@@ -1,0 +1,122 @@
+// Extension experiment: interaction between request routing and autoscaling
+// (paper §2 "Cluster Autoscalers" and §5 "Interaction between request
+// routing and autoscaler").
+//
+// A 4x load burst hits West at t=30s. The autoscaler needs an evaluation
+// period plus a provisioning delay (~tens of seconds: image pull, app
+// init) before new replicas serve traffic — the paper's point that
+// autoscaling is >1000x slower than request routing. Configurations:
+//
+//   local + autoscaler      — scaling alone; the burst rides out the
+//                             provisioning gap at exploding latency
+//   slate, fixed capacity   — routing alone; the burst is absorbed by
+//                             offloading to East within ~1 control period
+//   slate + autoscaler      — co-existence: routing bridges the gap, the
+//                             autoscaler then brings capacity home and
+//                             SLATE's live-server feedback re-localizes
+//
+// We report mean/p99 latency in three windows: pre-burst, the provisioning
+// gap, and post-scaling steady state.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+struct WindowedResult {
+  double gap_mean, gap_p99;       // t in (30, 60]: burst, before capacity
+  double steady_mean, steady_p99; // t in (90, 120]: after provisioning
+  std::uint64_t scale_ups;
+  unsigned final_west_servers;
+  double final_remote_fraction;
+};
+
+// Runs twice with different measurement windows (the engine measures one
+// window per run; deterministic seeds make the pair consistent).
+WindowedResult run(PolicyKind policy, bool autoscale) {
+  TwoClusterChainParams params;
+  params.west_rps = 200.0;
+  params.east_rps = 100.0;
+  params.west_servers = 1;
+  params.east_servers = 2;
+
+  auto make = [&]() {
+    Scenario scenario = make_two_cluster_chain_scenario(params);
+    scenario.demand.set_rate(ClassId{0}, ClusterId{0}, 200.0);
+    scenario.demand.add_step(ClassId{0}, ClusterId{0}, 30.0, 800.0);
+    return scenario;
+  };
+
+  RunConfig config;
+  config.policy = policy;
+  config.seed = 61;
+  config.autoscaler_enabled = autoscale;
+  config.autoscaler.target_utilization = 0.55;
+  config.autoscaler.evaluation_period = 10.0;
+  config.autoscaler.provision_delay = 30.0;
+  config.autoscaler.cooldown = 15.0;
+
+  WindowedResult out;
+  {
+    const Scenario scenario = make();
+    config.duration = 60.0;
+    config.warmup = 30.0;
+    const ExperimentResult r = run_experiment(scenario, config);
+    out.gap_mean = r.mean_latency() * 1e3;
+    out.gap_p99 = r.p99() * 1e3;
+  }
+  {
+    const Scenario scenario = make();
+    config.duration = 120.0;
+    config.warmup = 90.0;
+    const ExperimentResult r = run_experiment(scenario, config);
+    out.steady_mean = r.mean_latency() * 1e3;
+    out.steady_p99 = r.p99() * 1e3;
+    out.scale_ups = r.autoscaler_scale_ups;
+    const ServiceId svc1{1};
+    out.final_west_servers = r.final_servers[svc1.index() * 2 + 0];
+    out.final_remote_fraction = r.remote_fraction_from(ClassId{0}, 1, ClusterId{0});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension",
+                      "request routing x autoscaler interaction (§5)");
+  struct Config {
+    const char* name;
+    PolicyKind policy;
+    bool autoscale;
+  };
+  const Config configs[] = {
+      {"local + autoscaler", PolicyKind::kLocalOnly, true},
+      {"slate, fixed fleet", PolicyKind::kSlate, false},
+      {"slate + autoscaler", PolicyKind::kSlate, true},
+  };
+  std::printf("%-22s | %21s | %21s | %8s %7s %8s\n", "",
+              "provisioning gap", "post-scaling steady", "scaleups",
+              "west_n", "remote%");
+  std::printf("%-22s | %10s %10s | %10s %10s |\n", "configuration", "mean",
+              "p99", "mean", "p99");
+  for (const auto& cfg : configs) {
+    const WindowedResult r = run(cfg.policy, cfg.autoscale);
+    std::printf("%-22s | %8.1fms %8.1fms | %8.1fms %8.1fms | %8llu %7u %7.1f%%\n",
+                cfg.name, r.gap_mean, r.gap_p99, r.steady_mean, r.steady_p99,
+                static_cast<unsigned long long>(r.scale_ups),
+                r.final_west_servers, 100 * r.final_remote_fraction);
+    std::printf("data,autoscaler,%s,%.2f,%.2f,%.2f,%.2f,%llu\n", cfg.name,
+                r.gap_mean, r.gap_p99, r.steady_mean, r.steady_p99,
+                static_cast<unsigned long long>(r.scale_ups));
+  }
+  std::printf(
+      "\nreading: the autoscaler alone leaves the burst melting down for the\n"
+      "whole provisioning gap; SLATE absorbs it within one control period by\n"
+      "offloading; combined, routing bridges the gap and then returns traffic\n"
+      "home as scaled-up local capacity appears in the live-server feedback.\n");
+  return 0;
+}

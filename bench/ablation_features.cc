@@ -1,0 +1,96 @@
+// Ablation: the design choices called out in DESIGN.md.
+//
+//   * fractional vs all-or-nothing rules (LP vs MILP integer mode);
+//   * queue-cost PWL resolution (tangent count);
+//   * cost-awareness on the multi-hop scenario (cost_weight 0 vs 300);
+//   * control period (reaction speed vs optimizer work).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+RunConfig base_config() {
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 51;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "SLATE design choices");
+
+  {
+    std::printf("\n[1] fractional vs all-or-nothing routing rules (6a setup)\n");
+    TwoClusterChainParams params;
+    params.west_rps = 700.0;
+    const Scenario scenario = make_two_cluster_chain_scenario(params);
+    for (bool integer : {false, true}) {
+      RunConfig config = base_config();
+      config.slate.optimizer.integer_routes = integer;
+      const ExperimentResult r = run_experiment(scenario, config);
+      std::printf("  %-18s mean %8.2f ms   p99 %8.2f ms\n",
+                  integer ? "all-or-nothing" : "fractional",
+                  r.mean_latency() * 1e3, r.p99() * 1e3);
+      std::printf("data,rules,%s,%.3f,%.3f\n",
+                  integer ? "integer" : "fractional", r.mean_latency() * 1e3,
+                  r.p99() * 1e3);
+    }
+  }
+
+  {
+    std::printf("\n[2] queue-cost PWL tangent count (approximation quality)\n");
+    TwoClusterChainParams params;
+    params.west_rps = 800.0;
+    const Scenario scenario = make_two_cluster_chain_scenario(params);
+    for (std::size_t tangents : {3u, 6u, 14u, 28u}) {
+      RunConfig config = base_config();
+      config.slate.optimizer.tangent_count = tangents;
+      const ExperimentResult r = run_experiment(scenario, config);
+      std::printf("  tangents %-8zu mean %8.2f ms   p99 %8.2f ms\n", tangents,
+                  r.mean_latency() * 1e3, r.p99() * 1e3);
+      std::printf("data,tangents,%zu,%.3f,%.3f\n", tangents,
+                  r.mean_latency() * 1e3, r.p99() * 1e3);
+    }
+  }
+
+  {
+    std::printf("\n[3] cost-awareness on the multi-hop scenario (6c setup)\n");
+    const Scenario scenario = make_anomaly_scenario({});
+    for (double weight : {0.0, 30.0, 300.0}) {
+      RunConfig config = base_config();
+      config.slate.optimizer.cost_weight = weight;
+      const ExperimentResult r = run_experiment(scenario, config);
+      std::printf("  cost_weight %-8.0f mean %8.2f ms   egress $%.5f\n", weight,
+                  r.mean_latency() * 1e3, r.egress_cost_dollars);
+      std::printf("data,cost_weight,%.0f,%.3f,%.5f\n", weight,
+                  r.mean_latency() * 1e3, r.egress_cost_dollars);
+    }
+  }
+
+  {
+    std::printf("\n[4] control period vs burst reaction (load step at t=25s)\n");
+    TwoClusterChainParams params;
+    params.west_rps = 200.0;
+    for (double period : {0.5, 1.0, 2.0, 5.0}) {
+      Scenario scenario = make_two_cluster_chain_scenario(params);
+      scenario.demand.add_step(ClassId{0}, ClusterId{0}, 25.0, 800.0);
+      RunConfig config = base_config();
+      config.control_period = period;
+      config.warmup = 25.0;  // measure from the burst onward
+      const ExperimentResult r = run_experiment(scenario, config);
+      std::printf("  period %-6.1fs mean %8.2f ms   p99 %8.2f ms\n", period,
+                  r.mean_latency() * 1e3, r.p99() * 1e3);
+      std::printf("data,period,%.1f,%.3f,%.3f\n", period,
+                  r.mean_latency() * 1e3, r.p99() * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: resilience to prediction error (paper §5).
+//
+// We inject a wrong latency model (every service time scaled by a factor)
+// into SLATE's global controller with online re-fitting disabled, so the
+// optimizer plans against systematically bad predictions. Compared
+// configurations:
+//   * unguarded  — rules applied at full step every period;
+//   * guarded    — incremental steps + live-objective revert (§5's sketch);
+//   * refit      — misprediction present initially but online fitting on
+//                  (the deployed configuration).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+ExperimentResult run(double model_scale, bool guardrails, bool refit) {
+  TwoClusterChainParams params;
+  params.west_rps = 700.0;
+  params.east_rps = 100.0;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 60.0;
+  config.warmup = 20.0;
+  config.seed = 41;
+  config.slate.initial_model_scale = model_scale;
+  config.slate.freeze_model = !refit;
+  config.slate.guardrails.enabled = guardrails;
+  config.slate.guardrails.step_fraction = 0.3;
+  return run_experiment(scenario, config);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "guardrails under model misprediction (§5)");
+  std::printf("%-12s %-22s %14s %12s %10s\n", "model_scale", "configuration",
+              "mean (ms)", "p99 (ms)", "reverts");
+  for (double scale : {1.0, 4.0, 0.25}) {
+    struct Config {
+      const char* name;
+      bool guarded;
+      bool refit;
+    };
+    const Config configs[] = {{"unguarded, frozen", false, false},
+                              {"guarded, frozen", true, false},
+                              {"unguarded, refit", false, true}};
+    for (const auto& cfg : configs) {
+      const ExperimentResult r = run(scale, cfg.guarded, cfg.refit);
+      std::printf("%-12.2f %-22s %14.2f %12.2f %10llu\n", scale, cfg.name,
+                  r.mean_latency() * 1e3, r.p99() * 1e3,
+                  static_cast<unsigned long long>(r.controller_reverts));
+      std::printf("data,guardrails,%.2f,%s,%.3f,%.3f,%llu\n", scale, cfg.name,
+                  r.mean_latency() * 1e3, r.p99() * 1e3,
+                  static_cast<unsigned long long>(r.controller_reverts));
+    }
+  }
+  std::printf(
+      "\nreading: with an exact model (scale 1) all configurations agree.\n"
+      "Pessimistic misprediction (scale 4: services look slower than they\n"
+      "are) causes mild over-offloading. Optimistic misprediction (scale\n"
+      "0.25: the model believes capacity is ample) is the dangerous case -\n"
+      "the optimizer never proposes offloading, the local cluster melts\n"
+      "down, and guardrails cannot help because there is no bad *change* to\n"
+      "revert; only online re-fitting (the deployed configuration) recovers.\n"
+      "This sharpens the paper's §5 point: incremental-apply-and-verify\n"
+      "bounds damage from wrong shifts, but model re-learning is what\n"
+      "handles wrong models.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 4: "Empirical cross-cluster routing threshold calculated by SLATE
+// over different network latency and loads."
+//
+// Two clusters (West variable load, East pinned at 100 RPS), the linear
+// 3-service chain, inter-cluster RTT in {5, 25, 50} ms. For each West load
+// we run SLATE's optimizer (with the ground-truth latency model, as in the
+// paper's controlled experiment) and report how many RPS it keeps local at
+// the first routable hop — the "threshold". The reference line is 100%
+// local serving (threshold = offered load).
+//
+// Expected shape (paper): all curves track the 100%-local line at low load,
+// peel off as queueing at West exceeds the cost of crossing the network —
+// later for higher network latency — and flatten near West's capacity.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/optimizer.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+// RPS kept local at the svc-1 hop for West traffic, according to the
+// optimizer's rules.
+double local_threshold(double west_rps, double rtt) {
+  TwoClusterChainParams params;
+  params.west_rps = west_rps;
+  params.east_rps = 100.0;
+  params.rtt = rtt;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(*scenario.app, 2);
+  FlatMatrix<double> demand(1, 2, 0.0);
+  demand(0, 0) = params.west_rps;
+  demand(0, 1) = params.east_rps;
+  const OptimizerResult result = optimizer.optimize(model, demand);
+  if (!result.ok()) return -1.0;
+  const RouteWeights* rule = result.rules->find(ClassId{0}, 1, ClusterId{0});
+  const double local = rule != nullptr ? rule->weight_for(ClusterId{0}) : 1.0;
+  return local * west_rps;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 4",
+                      "optimal local-serving threshold vs load and RTT");
+  const double rtts[] = {5e-3, 25e-3, 50e-3};
+
+  std::printf("%-12s %14s %14s %14s %14s\n", "west_load", "100%-local",
+              "rtt=5ms", "rtt=25ms", "rtt=50ms");
+  for (double load = 100.0; load <= 1000.0 + 1e-9; load += 100.0) {
+    std::printf("%-12.0f %14.0f", load, load);
+    for (double rtt : rtts) {
+      const double threshold = local_threshold(load, rtt);
+      std::printf(" %14.1f", threshold);
+      std::printf("");
+    }
+    std::printf("\n");
+    for (double rtt : rtts) {
+      std::printf("data,threshold,%.0f,%.0f,%.1f\n", rtt * 1e3, load,
+                  local_threshold(load, rtt));
+    }
+  }
+  std::printf(
+      "\nshape check: thresholds track offered load while West has headroom,\n"
+      "peel off earlier for lower RTT, and flatten near West capacity "
+      "(~475 RPS).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6a: latency CDF, SLATE vs Waterfall — "how much to route to
+// remote clusters?" (§4.1).
+//
+// West overloaded (800 RPS against ~475 RPS capacity), East at 100 RPS,
+// RTT 25 ms. Waterfall keeps everything below its static RPS threshold
+// local — pinning West at ~95% utilization, deep in the queueing blow-up —
+// and spills the rest. SLATE offloads exactly as much as improves latency.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+int main() {
+  bench::print_header("Figure 6a", "how much to offload (latency CDF)");
+  TwoClusterChainParams params;
+  params.west_rps = 800.0;
+  params.east_rps = 100.0;
+  params.rtt = 25e-3;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 21;
+
+  ExperimentResult results[2];
+  const PolicyKind policies[] = {PolicyKind::kWaterfall, PolicyKind::kSlate};
+  for (int i = 0; i < 2; ++i) {
+    config.policy = policies[i];
+    results[i] = run_experiment(scenario, config);
+    bench::print_summary_row(results[i]);
+  }
+  for (const auto& r : results) {
+    bench::print_cdf(r.policy, r.e2e);
+  }
+  std::printf("\nslate/waterfall mean-latency ratio: %.2fx\n",
+              results[0].mean_latency() / results[1].mean_latency());
+  std::printf(
+      "west svc-1 traffic kept local: waterfall %.0f%%, slate %.0f%%\n",
+      100.0 * (1.0 - results[0].remote_fraction_from(ClassId{0}, 1, ClusterId{0})),
+      100.0 * (1.0 - results[1].remote_fraction_from(ClassId{0}, 1, ClusterId{0})));
+  return 0;
+}

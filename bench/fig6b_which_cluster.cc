@@ -1,0 +1,67 @@
+// Figure 6b: latency CDF, SLATE vs Waterfall — "which clusters to route
+// to?" (§4.2, Fig. 5b).
+//
+// Real GCP topology (OR, UT, IOW, SC with the paper's measured RTTs). OR
+// and IOW are overloaded; UT is the nearest cluster to both, so greedy
+// capacity-based offloading floods it while leaving the farther SC cluster
+// idle. SLATE's global optimization spreads overflow across UT *and* SC.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+int main() {
+  bench::print_header("Figure 6b", "which cluster to offload to (GCP topology)");
+  GcpChainParams params;
+  params.rps[0] = 800.0;  // OR overloaded
+  params.rps[1] = 100.0;  // UT light
+  params.rps[2] = 800.0;  // IOW overloaded
+  params.rps[3] = 100.0;  // SC light
+  params.servers[0] = 1;
+  params.servers[1] = 2;
+  params.servers[2] = 1;
+  params.servers[3] = 2;
+  const Scenario scenario = make_gcp_chain_scenario(params);
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 22;
+
+  ExperimentResult results[2];
+  const PolicyKind policies[] = {PolicyKind::kWaterfall, PolicyKind::kSlate};
+  for (int i = 0; i < 2; ++i) {
+    config.policy = policies[i];
+    results[i] = run_experiment(scenario, config);
+    bench::print_summary_row(results[i]);
+  }
+  for (const auto& r : results) {
+    bench::print_cdf(r.policy, r.e2e);
+  }
+
+  // Where did each policy send OR's and IOW's overflow (svc-1 hop)?
+  std::printf("\nsvc-1 call placement (share of calls served per cluster):\n");
+  std::printf("%-12s %8s %8s %8s %8s\n", "policy", "OR", "UT", "IOW", "SC");
+  for (const auto& r : results) {
+    const auto& m = r.flows[0][1];
+    double total = 0.0;
+    double per[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        per[j] += static_cast<double>(m(i, j));
+        total += static_cast<double>(m(i, j));
+      }
+    }
+    std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", r.policy.c_str(),
+                100 * per[0] / total, 100 * per[1] / total, 100 * per[2] / total,
+                100 * per[3] / total);
+    std::printf("data,placement,%s,%.4f,%.4f,%.4f,%.4f\n", r.policy.c_str(),
+                per[0] / total, per[1] / total, per[2] / total, per[3] / total);
+  }
+  std::printf("\nslate/waterfall mean-latency ratio: %.2fx\n",
+              results[0].mean_latency() / results[1].mean_latency());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6c: latency CDF + egress cost, SLATE vs locality-failover/Waterfall
+// — "where in the topology to route?" (§4.3, Fig. 5c).
+//
+// Anomaly-detection app FR -> MP -> DB, DB deployed only in East, and the
+// DB -> MP response ~10x larger than the MP -> FR response. Baselines cross
+// clusters at the forced MP -> DB edge (red arrow), hauling the 1MB metric
+// blobs over the WAN. SLATE, seeing the whole tree and the byte sizes, cuts
+// at FR -> MP (green arrow) so the big responses stay inside East. The paper
+// reports 11.6x less egress cost.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+int main() {
+  bench::print_header("Figure 6c", "where to cut the topology (multi-hop)");
+  AnomalyParams params;
+  params.west_rps = 200.0;
+  params.east_rps = 30.0;
+  params.rtt = 25e-3;
+  const Scenario scenario = make_anomaly_scenario(params);
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 23;
+
+  ExperimentResult results[3];
+  const PolicyKind policies[] = {PolicyKind::kLocalityFailover,
+                                 PolicyKind::kWaterfall, PolicyKind::kSlate};
+  for (int i = 0; i < 3; ++i) {
+    config.policy = policies[i];
+    if (policies[i] == PolicyKind::kSlate) {
+      // The administrator weights egress cost strongly (§4.1): worth ~0.3s
+      // of latency-objective per $/s of egress spend.
+      config.slate.optimizer.cost_weight = 300.0;
+    }
+    results[i] = run_experiment(scenario, config);
+    bench::print_summary_row(results[i]);
+  }
+  for (const auto& r : results) {
+    bench::print_cdf(r.policy, r.e2e);
+  }
+
+  std::printf("\ncut placement (remote fraction per call edge, West traffic):\n");
+  std::printf("%-20s %14s %14s\n", "policy", "FR->MP", "MP->DB(West)");
+  for (const auto& r : results) {
+    std::printf("%-20s %13.1f%% %13.1f%%\n", r.policy.c_str(),
+                100 * r.remote_fraction_from(ClassId{0}, 1, ClusterId{0}),
+                100 * r.remote_fraction_from(ClassId{0}, 2, ClusterId{0}));
+  }
+
+  const double failover_cost = results[0].egress_cost_dollars;
+  const double slate_cost = results[2].egress_cost_dollars;
+  std::printf("\negress cost: failover $%.5f, waterfall $%.5f, slate $%.5f\n",
+              results[0].egress_cost_dollars, results[1].egress_cost_dollars,
+              results[2].egress_cost_dollars);
+  std::printf("egress cost reduction vs locality failover: %.1fx "
+              "(paper reports 11.6x)\n",
+              failover_cost / slate_cost);
+  std::printf("data,egress_ratio,%.2f\n", failover_cost / slate_cost);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6d: latency CDF, SLATE vs Waterfall — "which subset of requests to
+// route?" (§4.4, Fig. 5d).
+//
+// One worker service, two traffic classes: L (1ms compute) and H (10ms
+// compute, the overload driver). Waterfall thresholds on class-blind RPS
+// and offloads the same fraction of both classes; SLATE offloads mostly H
+// requests — 10x the capacity relief per network crossing.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+int main() {
+  bench::print_header("Figure 6d", "which traffic classes to offload");
+  TwoClassParams params;
+  const Scenario scenario = make_two_class_scenario(params);
+  const ClassId light = scenario.app->find_class("L");
+  const ClassId heavy = scenario.app->find_class("H");
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 24;
+
+  ExperimentResult results[2];
+  const PolicyKind policies[] = {PolicyKind::kWaterfall, PolicyKind::kSlate};
+  for (int i = 0; i < 2; ++i) {
+    config.policy = policies[i];
+    results[i] = run_experiment(scenario, config);
+    bench::print_summary_row(results[i]);
+  }
+  for (const auto& r : results) {
+    bench::print_cdf(r.policy, r.e2e);
+  }
+
+  std::printf("\nper-class offload from West (remote fraction at worker hop):\n");
+  std::printf("%-12s %10s %10s\n", "policy", "class L", "class H");
+  for (const auto& r : results) {
+    std::printf("%-12s %9.1f%% %9.1f%%\n", r.policy.c_str(),
+                100 * r.remote_fraction_from(light, 1, ClusterId{0}),
+                100 * r.remote_fraction_from(heavy, 1, ClusterId{0}));
+    std::printf("data,offload,%s,%.4f,%.4f\n", r.policy.c_str(),
+                r.remote_fraction_from(light, 1, ClusterId{0}),
+                r.remote_fraction_from(heavy, 1, ClusterId{0}));
+  }
+  std::printf("\nper-class mean latency (ms):\n");
+  std::printf("%-12s %10s %10s\n", "policy", "class L", "class H");
+  for (const auto& r : results) {
+    std::printf("%-12s %10.2f %10.2f\n", r.policy.c_str(),
+                r.e2e_by_class[light.index()].mean() * 1e3,
+                r.e2e_by_class[heavy.index()].mean() * 1e3);
+  }
+  std::printf("\nslate/waterfall mean-latency ratio: %.2fx\n",
+              results[0].mean_latency() / results[1].mean_latency());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmark: data-plane critical-path costs (paper §3.1: "the routing
+// execution logic should be simple and heavily optimized since it is in the
+// critical path of request processing"; §5 scalability: low-overhead data
+// plane).
+#include <benchmark/benchmark.h>
+
+#include "core/traffic_classifier.h"
+#include "net/gcp_topology.h"
+#include "routing/locality_failover.h"
+#include "routing/waterfall.h"
+#include "routing/weighted_rules.h"
+#include "app/builders.h"
+#include "cluster/deployment.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
+namespace slate {
+namespace {
+
+// One weighted-rules routing decision: hash lookup + weighted draw.
+void BM_WeightedRulesRoute(benchmark::State& state) {
+  const Topology topo = make_gcp_topology();
+  WeightedRulesPolicy policy(topo);
+  auto rules = std::make_shared<RoutingRuleSet>();
+  RouteWeights w;
+  w.clusters = topo.all_clusters();
+  w.weights = {0.55, 0.25, 0.15, 0.05};
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    for (std::size_t n = 1; n <= 3; ++n) {
+      for (std::uint32_t c = 0; c < 4; ++c) {
+        rules->set_rule(ClassId{k}, n, ClusterId{c}, w);
+      }
+    }
+  }
+  policy.update_rules(rules);
+
+  const std::vector<ClusterId> candidates = topo.all_clusters();
+  RouteQuery query;
+  query.cls = ClassId{1};
+  query.call_node = 2;
+  query.child_service = ServiceId{1};
+  query.from = ClusterId{0};
+  query.candidates = &candidates;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.route(query, rng));
+  }
+}
+BENCHMARK(BM_WeightedRulesRoute);
+
+void BM_WeightedRulesFallback(benchmark::State& state) {
+  const Topology topo = make_gcp_topology();
+  WeightedRulesPolicy policy(topo);  // no rules: locality-failover path
+  const std::vector<ClusterId> candidates = topo.all_clusters();
+  RouteQuery query;
+  query.cls = ClassId{0};
+  query.call_node = 1;
+  query.child_service = ServiceId{1};
+  query.from = ClusterId{0};
+  query.candidates = &candidates;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.route(query, rng));
+  }
+}
+BENCHMARK(BM_WeightedRulesFallback);
+
+void BM_WaterfallRoute(benchmark::State& state) {
+  const Topology topo = make_gcp_topology();
+  const Application app = make_linear_chain_app();
+  Deployment deployment(app, 4);
+  deployment.deploy_everywhere(1, 500.0);
+
+  class ConstLoad final : public LoadView {
+   public:
+    double load_rps(ServiceId, ClusterId) const override { return 600.0; }
+  } loads;
+
+  WaterfallPolicy policy(topo, deployment, loads);
+  const std::vector<ClusterId> candidates = topo.all_clusters();
+  RouteQuery query;
+  query.cls = ClassId{0};
+  query.call_node = 1;
+  query.child_service = app.find_service("svc-1");
+  query.from = ClusterId{0};
+  query.candidates = &candidates;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.route(query, rng));
+  }
+}
+BENCHMARK(BM_WaterfallRoute);
+
+void BM_ClassifierHit(benchmark::State& state) {
+  const Application app = make_two_class_app();
+  TrafficClassifier classifier = TrafficClassifier::from_application(app);
+  const ServiceId entry = app.entry_service(ClassId{0});
+  const RequestAttributes& attrs = app.traffic_class(ClassId{0}).attributes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(entry, attrs));
+  }
+}
+BENCHMARK(BM_ClassifierHit);
+
+void BM_TelemetryRecordPair(benchmark::State& state) {
+  MetricsRegistry registry(8, 8);
+  double now = 0.0;
+  Span span;
+  span.exclusive_time = 1e-3;
+  for (auto _ : state) {
+    now += 1e-4;
+    registry.record_start(ServiceId{3}, ClassId{2}, now);
+    registry.record_end(ServiceId{3}, ClassId{2}, 1.2e-3, 1e-3);
+  }
+}
+BENCHMARK(BM_TelemetryRecordPair);
+
+}  // namespace
+}  // namespace slate
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Microbenchmark: optimizer solve time vs problem size (paper §5,
+// "Scalability & Fast reaction": optimization cost grows with the number of
+// clusters, services, and traffic classes; seconds-scale solve times are
+// the requirement).
+#include <benchmark/benchmark.h>
+
+#include "app/builders.h"
+#include "core/optimizer.h"
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+
+namespace slate {
+namespace {
+
+// Chain app with `services` stages deployed on `clusters` clusters.
+void BM_OptimizerClusters(benchmark::State& state) {
+  const std::size_t clusters = static_cast<std::size_t>(state.range(0));
+  LinearChainOptions app_options;
+  app_options.chain_length = 3;
+  Scenario scenario =
+      make_uniform_scenario("scale", make_linear_chain_app(app_options),
+                            make_line_topology(clusters, 10e-3), 2);
+  FlatMatrix<double> demand(1, clusters, 0.0);
+  for (std::size_t c = 0; c < clusters; ++c) demand(0, c) = 400.0;
+
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model =
+      LatencyModel::from_application(*scenario.app, clusters);
+  int vars = 0;
+  for (auto _ : state) {
+    const OptimizerResult result = optimizer.optimize(model, demand);
+    benchmark::DoNotOptimize(result);
+    vars = result.variables;
+  }
+  state.counters["lp_vars"] = vars;
+}
+BENCHMARK(BM_OptimizerClusters)->Arg(2)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerServices(benchmark::State& state) {
+  const std::size_t chain = static_cast<std::size_t>(state.range(0));
+  LinearChainOptions app_options;
+  app_options.chain_length = chain;
+  Scenario scenario =
+      make_uniform_scenario("scale", make_linear_chain_app(app_options),
+                            make_line_topology(4, 10e-3), 2);
+  FlatMatrix<double> demand(1, 4, 0.0);
+  for (std::size_t c = 0; c < 4; ++c) demand(0, c) = 400.0;
+
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(*scenario.app, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(model, demand));
+  }
+}
+BENCHMARK(BM_OptimizerServices)->Arg(2)->Arg(6)->Arg(12)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerClasses(benchmark::State& state) {
+  // Many classes sharing one worker service behind an ingress.
+  const std::size_t classes = static_cast<std::size_t>(state.range(0));
+  Application app;
+  const ServiceId ingress = app.add_service("ingress");
+  const ServiceId worker = app.add_service("worker");
+  for (std::size_t k = 0; k < classes; ++k) {
+    TrafficClassSpec spec;
+    spec.name = "class-" + std::to_string(k);
+    spec.attributes.path = "/api/" + std::to_string(k);
+    const std::size_t root = spec.graph.set_root(ingress, 0.1e-3, 512, 512);
+    spec.graph.add_call(root, worker, 1e-3 * static_cast<double>(1 + k % 5),
+                        512, 2048);
+    app.add_class(std::move(spec));
+  }
+  Scenario scenario = make_uniform_scenario(
+      "classes", std::move(app), make_line_topology(4, 10e-3), 4);
+  FlatMatrix<double> demand(classes, 4, 0.0);
+  for (std::size_t k = 0; k < classes; ++k) {
+    for (std::size_t c = 0; c < 4; ++c) demand(k, c) = 50.0;
+  }
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(*scenario.app, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(model, demand));
+  }
+}
+BENCHMARK(BM_OptimizerClasses)->Arg(1)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slate
+
+BENCHMARK_MAIN();

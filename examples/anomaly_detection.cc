@@ -1,0 +1,65 @@
+// The paper's §4.3 anomaly-detection application (Fig. 5c), end to end.
+//
+// FR (frontend) -> MP (metrics processor) -> DB (metrics store). The DB
+// lives only in the East cluster (regulation / failure), and DB responses
+// are ~10x larger than what MP returns to FR. Every West request must cross
+// the WAN somewhere; this example shows how the choice of *where* changes
+// the egress bill by an order of magnitude, and how to steer SLATE's
+// latency/cost trade-off with OptimizerOptions::cost_weight.
+//
+//   $ ./anomaly_detection
+#include <cstdio>
+
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+int main() {
+  AnomalyParams params;
+  params.west_rps = 200.0;
+  params.east_rps = 30.0;
+  params.rtt = 25e-3;
+  const Scenario scenario = make_anomaly_scenario(params);
+
+  std::printf("anomaly-detection app: FR -> MP -> DB, DB only in East\n");
+  std::printf("DB->MP response: %.0f KB, MP->FR response: %.0f KB\n\n",
+              static_cast<double>(
+                  scenario.app->traffic_class(ClassId{0}).graph.node(2).response_bytes) /
+                  1024.0,
+              static_cast<double>(
+                  scenario.app->traffic_class(ClassId{0}).graph.node(1).response_bytes) /
+                  1024.0);
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 5;
+
+  // Baseline: what every service mesh does today.
+  config.policy = PolicyKind::kLocalityFailover;
+  const ExperimentResult failover = run_experiment(scenario, config);
+
+  // SLATE with three different administrator cost preferences.
+  config.policy = PolicyKind::kSlate;
+  std::printf("%-26s %12s %14s %16s\n", "routing", "mean (ms)",
+              "egress $/min", "cut at FR->MP");
+  auto report = [&](const char* name, const ExperimentResult& r) {
+    std::printf("%-26s %12.2f %14.4f %15.1f%%\n", name, r.mean_latency() * 1e3,
+                r.egress_cost_dollars * 60.0 / r.measured_seconds,
+                100 * r.remote_fraction_from(ClassId{0}, 1, ClusterId{0}));
+  };
+  report("locality failover", failover);
+  for (double weight : {0.0, 300.0}) {
+    config.slate.optimizer.cost_weight = weight;
+    const ExperimentResult r = run_experiment(scenario, config);
+    char name[64];
+    std::snprintf(name, sizeof(name), "slate (cost_weight=%.0f)", weight);
+    report(name, r);
+  }
+
+  std::printf(
+      "\nthe failover mesh hauls every 1MB DB response across the WAN;\n"
+      "cost-aware SLATE moves the cluster cut up to FR->MP so only the\n"
+      "100KB processed result crosses, cutting egress spend ~10x.\n");
+  return 0;
+}

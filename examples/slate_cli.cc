@@ -1,0 +1,129 @@
+// Run any text-format scenario under any routing policy.
+//
+//   $ ./slate_cli <scenario.slate> [options]
+//
+// Options:
+//   --policy=<local|rr|failover|static|waterfall|slate>   (default slate)
+//   --duration=<seconds>   --warmup=<seconds>      (default 60 / 15)
+//   --seed=<n>                                     (default 1)
+//   --cost-weight=<w>      SLATE egress-cost weight (default 1)
+//   --fast                 SLATE: use the descent heuristic, not the LP
+//   --autoscale            enable the per-station autoscaler
+//   --cdf                  print the latency CDF
+//
+// Sample scenarios live in examples/scenarios/.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runtime/scenario_loader.h"
+#include "runtime/simulation.h"
+
+using namespace slate;
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <scenario.slate> [--policy=...] [--duration=N]\n"
+                 "see examples/scenarios/ for sample files\n",
+                 argv[0]);
+    return 2;
+  }
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  bool print_cdf = false;
+  std::string value;
+  for (int i = 2; i < argc; ++i) {
+    if (parse_flag(argv[i], "--policy", &value)) {
+      if (value == "local") {
+        config.policy = PolicyKind::kLocalOnly;
+      } else if (value == "rr") {
+        config.policy = PolicyKind::kRoundRobin;
+      } else if (value == "failover") {
+        config.policy = PolicyKind::kLocalityFailover;
+      } else if (value == "static") {
+        config.policy = PolicyKind::kStaticWeights;
+      } else if (value == "waterfall") {
+        config.policy = PolicyKind::kWaterfall;
+      } else if (value == "slate") {
+        config.policy = PolicyKind::kSlate;
+      } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (parse_flag(argv[i], "--duration", &value)) {
+      config.duration = std::stod(value);
+    } else if (parse_flag(argv[i], "--warmup", &value)) {
+      config.warmup = std::stod(value);
+    } else if (parse_flag(argv[i], "--seed", &value)) {
+      config.seed = std::stoull(value);
+    } else if (parse_flag(argv[i], "--cost-weight", &value)) {
+      config.slate.optimizer.cost_weight = std::stod(value);
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      config.slate.use_fast_optimizer = true;
+    } else if (std::strcmp(argv[i], "--autoscale") == 0) {
+      config.autoscaler_enabled = true;
+    } else if (std::strcmp(argv[i], "--cdf") == 0) {
+      print_cdf = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Scenario scenario;
+  try {
+    scenario = load_scenario_from_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
+    return 1;
+  }
+
+  const ExperimentResult r = run_experiment(scenario, config);
+
+  std::printf("scenario %s under %s: %llu requests measured over %.0fs\n",
+              r.scenario.c_str(), r.policy.c_str(),
+              static_cast<unsigned long long>(r.completed), r.measured_seconds);
+  std::printf("  latency  mean %.2f ms   p50 %.2f   p95 %.2f   p99 %.2f\n",
+              r.mean_latency() * 1e3, r.p50() * 1e3, r.p95() * 1e3,
+              r.p99() * 1e3);
+  std::printf("  egress   %.2f MB ($%.5f), local bytes %.2f MB\n",
+              static_cast<double>(r.egress_bytes) / (1024.0 * 1024.0),
+              r.egress_cost_dollars,
+              static_cast<double>(r.local_bytes) / (1024.0 * 1024.0));
+  for (ClassId k : scenario.app->all_classes()) {
+    if (r.e2e_by_class[k.index()].empty()) continue;
+    std::printf("  class %-12s mean %8.2f ms over %zu requests\n",
+                scenario.app->traffic_class(k).name.c_str(),
+                r.e2e_by_class[k.index()].mean() * 1e3,
+                r.e2e_by_class[k.index()].count());
+  }
+  if (r.autoscaler_scale_ups + r.autoscaler_scale_downs > 0) {
+    std::printf("  autoscaler: %llu up / %llu down\n",
+                static_cast<unsigned long long>(r.autoscaler_scale_ups),
+                static_cast<unsigned long long>(r.autoscaler_scale_downs));
+  }
+  if (print_cdf) {
+    std::printf("\n  %-8s %12s\n", "quantile", "latency_ms");
+    for (int i = 0; i <= 20; ++i) {
+      const double q = i / 20.0;
+      std::printf("  %-8.2f %12.3f\n", q, r.e2e.quantile(q) * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reconstructing call graphs from telemetry alone (paper §5, traffic
+// classification): run the social-network app, collect spans, rebuild each
+// request's call tree from (service, start, end) interval containment, and
+// score every traffic class's homogeneity — the signal SLATE would use to
+// decide whether a class is "one class" or needs splitting.
+//
+//   $ ./trace_inference
+#include <cstdio>
+
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+#include "runtime/simulation.h"
+#include "telemetry/graph_inference.h"
+
+using namespace slate;
+
+int main() {
+  Scenario scenario = make_uniform_scenario(
+      "social-network", make_social_network_app(), make_gcp_topology(), 2);
+  for (ClassId k : scenario.app->all_classes()) {
+    scenario.demand.set_rate(k, ClusterId{0}, 120.0);
+    scenario.demand.set_rate(k, ClusterId{2}, 60.0);
+  }
+
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 20.0;
+  config.warmup = 5.0;
+  config.trace_capacity = 500000;
+  config.seed = 9;
+
+  Simulation sim(scenario, config);
+  const ExperimentResult result = sim.run();
+  std::printf("simulated %llu requests; retained %zu spans\n\n",
+              static_cast<unsigned long long>(result.completed),
+              sim.traces().size());
+
+  const auto stats = analyze_call_graphs(sim.traces(), 2);
+  for (const auto& s : stats) {
+    const auto& spec = scenario.app->traffic_class(s.cls);
+    std::printf("class %-14s  %6llu traces   homogeneity %.3f\n",
+                spec.name.c_str(), static_cast<unsigned long long>(s.requests),
+                s.homogeneity());
+    std::printf("  expected call tree: %zu calls\n", spec.graph.node_count());
+    std::size_t shown = 0;
+    for (const auto& [signature, count] : s.signatures) {
+      std::printf("  observed %6llu x  %s\n",
+                  static_cast<unsigned long long>(count), signature.c_str());
+      if (++shown == 4) {
+        std::printf("  ... %zu more shapes\n", s.signatures.size() - shown);
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\nread-timeline and write-post contain probabilistic sub-calls (media\n"
+      "fetch on 80%% / 30%% of requests), so several tree shapes appear and\n"
+      "homogeneity drops below 1 — the signature-frequency table is exactly\n"
+      "what a classifier refinement pass would split on. view-profile is\n"
+      "deterministic and scores 1.0.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Traffic classes (§3.3, §4.4): building an application with heterogeneous
+// request classes from scratch using the public API, classifying requests by
+// (service, method, path), and watching SLATE route the classes differently.
+//
+//   $ ./traffic_classes
+#include <cstdio>
+
+#include "core/traffic_classifier.h"
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+int main() {
+  // 1. Describe the application: one ingress, one worker, two classes with
+  // a 10x compute gap. (make_two_class_app() does the same; spelled out
+  // here to show the API.)
+  Application app;
+  const ServiceId ingress = app.add_service("ingress");
+  const ServiceId worker = app.add_service("worker");
+
+  TrafficClassSpec light;
+  light.name = "L";
+  light.attributes.method = "GET";
+  light.attributes.path = "/api/light";
+  const std::size_t light_root = light.graph.set_root(ingress, 0.1e-3, 512, 2048);
+  light.graph.add_call(light_root, worker, 1e-3, 512, 2048);
+  const ClassId light_id = app.add_class(std::move(light));
+
+  TrafficClassSpec heavy;
+  heavy.name = "H";
+  heavy.attributes.method = "POST";
+  heavy.attributes.path = "/api/heavy";
+  const std::size_t heavy_root = heavy.graph.set_root(ingress, 0.1e-3, 512, 2048);
+  heavy.graph.add_call(heavy_root, worker, 10e-3, 512, 2048);
+  const ClassId heavy_id = app.add_class(std::move(heavy));
+  app.validate();
+
+  // 2. The classifier SLATE-proxy would run at the ingress.
+  TrafficClassifier classifier = TrafficClassifier::from_application(app);
+  RequestAttributes probe;
+  probe.method = "POST";
+  probe.path = "/api/heavy";
+  std::printf("classify(POST /api/heavy) -> class %u (expected H=%u)\n",
+              classifier.classify(ingress, probe).value(), heavy_id.value());
+
+  // 3. Deploy on two clusters and overload West with heavy requests.
+  Scenario scenario;
+  scenario.name = "traffic-classes";
+  scenario.app = std::make_unique<Application>(std::move(app));
+  scenario.topology =
+      std::make_unique<Topology>(make_two_cluster_topology(25e-3));
+  scenario.deployment = std::make_unique<Deployment>(*scenario.app, 2);
+  for (ClusterId c : scenario.topology->all_clusters()) {
+    scenario.deployment->deploy(ingress, c, 1, 9000.0);
+    scenario.deployment->deploy(worker, c, 1, 380.0);
+  }
+  scenario.demand.set_rate(light_id, ClusterId{0}, 400.0);
+  scenario.demand.set_rate(heavy_id, ClusterId{0}, 80.0);
+  scenario.demand.set_rate(light_id, ClusterId{1}, 100.0);
+  scenario.demand.set_rate(heavy_id, ClusterId{1}, 10.0);
+
+  RunConfig config;
+  config.duration = 60.0;
+  config.warmup = 15.0;
+  config.seed = 6;
+
+  std::printf("\n%-12s %14s %14s %16s %16s\n", "policy", "L mean (ms)",
+              "H mean (ms)", "L offloaded", "H offloaded");
+  for (PolicyKind policy : {PolicyKind::kWaterfall, PolicyKind::kSlate}) {
+    config.policy = policy;
+    const ExperimentResult r = run_experiment(scenario, config);
+    std::printf("%-12s %14.2f %14.2f %15.1f%% %15.1f%%\n",
+                r.policy.c_str(),
+                r.e2e_by_class[light_id.index()].mean() * 1e3,
+                r.e2e_by_class[heavy_id.index()].mean() * 1e3,
+                100 * r.remote_fraction_from(light_id, 1, ClusterId{0}),
+                100 * r.remote_fraction_from(heavy_id, 1, ClusterId{0}));
+  }
+  std::printf(
+      "\nWaterfall's per-service RPS threshold cannot tell a 1ms request\n"
+      "from a 10ms one; SLATE offloads (mostly) the heavy class - each\n"
+      "crossing buys 10x the capacity relief.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "app/application.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+ServiceId Application::add_service(std::string name) {
+  if (find_service(name).valid()) {
+    throw std::invalid_argument("Application: duplicate service name " + name);
+  }
+  const ServiceId id{services_.size()};
+  services_.push_back(std::move(name));
+  return id;
+}
+
+ClassId Application::add_class(TrafficClassSpec spec) {
+  if (spec.graph.empty()) {
+    throw std::invalid_argument("Application: class has empty call graph");
+  }
+  spec.graph.validate();
+  const ClassId id{classes_.size()};
+  classes_.push_back(std::move(spec));
+  return id;
+}
+
+const std::string& Application::service_name(ServiceId s) const {
+  if (!s.valid() || s.index() >= services_.size()) {
+    throw std::out_of_range("Application: bad service id");
+  }
+  return services_[s.index()];
+}
+
+ServiceId Application::find_service(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    if (services_[i] == name) return ServiceId{i};
+  }
+  return ServiceId{};
+}
+
+const TrafficClassSpec& Application::traffic_class(ClassId k) const {
+  if (!k.valid() || k.index() >= classes_.size()) {
+    throw std::out_of_range("Application: bad class id");
+  }
+  return classes_[k.index()];
+}
+
+ClassId Application::find_class(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) return ClassId{i};
+  }
+  return ClassId{};
+}
+
+std::vector<ServiceId> Application::all_services() const {
+  std::vector<ServiceId> out;
+  out.reserve(services_.size());
+  for (std::size_t i = 0; i < services_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<ClassId> Application::all_classes() const {
+  std::vector<ClassId> out;
+  out.reserve(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+ServiceId Application::entry_service(ClassId k) const {
+  return traffic_class(k).graph.node(0).service;
+}
+
+void Application::validate() const {
+  for (const auto& spec : classes_) {
+    spec.graph.validate();
+    for (const auto& node : spec.graph.nodes()) {
+      if (!node.service.valid() || node.service.index() >= services_.size()) {
+        throw std::logic_error("Application: class '" + spec.name +
+                               "' references unknown service");
+      }
+      if (node.compute_time_mean < 0.0) {
+        throw std::logic_error("Application: negative compute time in class '" +
+                               spec.name + "'");
+      }
+    }
+  }
+}
+
+}  // namespace slate

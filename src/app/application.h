@@ -1,0 +1,59 @@
+// Application model: services + traffic classes.
+//
+// A traffic class (paper §3.3 "Deriving Classes") is a subset of requests
+// with similar resource usage and an identical child call graph. Classes are
+// keyed by request attributes — the service being called, the HTTP method,
+// and the HTTP path — exactly the heuristic the paper adopts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "app/call_graph.h"
+#include "util/ids.h"
+
+namespace slate {
+
+// The attribute tuple SLATE can observe about a request at the proxy.
+// (Headers are available to future classifiers; the default classifier keys
+// on service/method/path per the paper.)
+struct RequestAttributes {
+  std::string method = "GET";
+  std::string path = "/";
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+struct TrafficClassSpec {
+  std::string name;
+  RequestAttributes attributes;
+  CallGraph graph;
+};
+
+class Application {
+ public:
+  ServiceId add_service(std::string name);
+  ClassId add_class(TrafficClassSpec spec);
+
+  [[nodiscard]] std::size_t service_count() const noexcept { return services_.size(); }
+  [[nodiscard]] std::size_t class_count() const noexcept { return classes_.size(); }
+  [[nodiscard]] const std::string& service_name(ServiceId s) const;
+  [[nodiscard]] ServiceId find_service(std::string_view name) const noexcept;
+  [[nodiscard]] const TrafficClassSpec& traffic_class(ClassId k) const;
+  [[nodiscard]] ClassId find_class(std::string_view name) const noexcept;
+  [[nodiscard]] std::vector<ServiceId> all_services() const;
+  [[nodiscard]] std::vector<ClassId> all_classes() const;
+
+  // Entry service of a class = its call graph root's service.
+  [[nodiscard]] ServiceId entry_service(ClassId k) const;
+
+  // Throws std::logic_error if any class graph is malformed or references
+  // services outside this application.
+  void validate() const;
+
+ private:
+  std::vector<std::string> services_;
+  std::vector<TrafficClassSpec> classes_;
+};
+
+}  // namespace slate

@@ -1,0 +1,192 @@
+#include "app/builders.h"
+
+#include <stdexcept>
+
+#include "util/strfmt.h"
+
+namespace slate {
+
+Application make_linear_chain_app(const LinearChainOptions& options) {
+  if (options.chain_length == 0) {
+    throw std::invalid_argument("make_linear_chain_app: chain_length == 0");
+  }
+  Application app;
+  const ServiceId ingress = app.add_service("ingress");
+  std::vector<ServiceId> chain;
+  chain.reserve(options.chain_length);
+  for (std::size_t i = 0; i < options.chain_length; ++i) {
+    chain.push_back(app.add_service(strfmt("svc-%zu", i + 1)));
+  }
+
+  TrafficClassSpec spec;
+  spec.name = "chain";
+  spec.attributes.method = "POST";
+  spec.attributes.path = "/api/write";
+  std::size_t parent = spec.graph.set_root(ingress, options.ingress_compute_mean,
+                                           options.request_bytes,
+                                           options.response_bytes);
+  for (ServiceId s : chain) {
+    parent = spec.graph.add_call(parent, s, options.service_compute_mean,
+                                 options.request_bytes, options.response_bytes);
+  }
+  app.add_class(std::move(spec));
+  app.validate();
+  return app;
+}
+
+Application make_anomaly_detection_app(const AnomalyDetectionOptions& options) {
+  Application app;
+  const ServiceId fr = app.add_service("frontend");
+  const ServiceId mp = app.add_service("metrics-processor");
+  const ServiceId db = app.add_service("metrics-db");
+
+  TrafficClassSpec spec;
+  spec.name = "detect";
+  spec.attributes.method = "GET";
+  spec.attributes.path = "/api/anomalies";
+  const std::size_t root =
+      spec.graph.set_root(fr, options.fr_compute_mean, options.request_bytes,
+                          static_cast<std::uint64_t>(
+                              static_cast<double>(options.mp_response_bytes) * 0.1));
+  const std::size_t mp_node =
+      spec.graph.add_call(root, mp, options.mp_compute_mean,
+                          options.request_bytes, options.mp_response_bytes);
+  spec.graph.add_call(
+      mp_node, db, options.db_compute_mean, options.request_bytes,
+      static_cast<std::uint64_t>(static_cast<double>(options.mp_response_bytes) *
+                                 options.db_response_factor));
+  app.add_class(std::move(spec));
+  app.validate();
+  return app;
+}
+
+Application make_two_class_app(const TwoClassOptions& options) {
+  Application app;
+  const ServiceId ingress = app.add_service("ingress");
+  const ServiceId worker = app.add_service("worker");
+
+  TrafficClassSpec light;
+  light.name = "L";
+  light.attributes.method = "GET";
+  light.attributes.path = "/api/light";
+  {
+    const std::size_t root =
+        light.graph.set_root(ingress, options.ingress_compute_mean,
+                             options.request_bytes, options.response_bytes);
+    light.graph.add_call(root, worker, options.light_compute_mean,
+                         options.request_bytes, options.response_bytes);
+  }
+  app.add_class(std::move(light));
+
+  TrafficClassSpec heavy;
+  heavy.name = "H";
+  heavy.attributes.method = "POST";
+  heavy.attributes.path = "/api/heavy";
+  {
+    const std::size_t root =
+        heavy.graph.set_root(ingress, options.ingress_compute_mean,
+                             options.request_bytes, options.response_bytes);
+    heavy.graph.add_call(root, worker, options.heavy_compute_mean,
+                         options.request_bytes, options.response_bytes);
+  }
+  app.add_class(std::move(heavy));
+  app.validate();
+  return app;
+}
+
+Application make_social_network_app() {
+  Application app;
+  const ServiceId gateway = app.add_service("gateway");
+  const ServiceId timeline = app.add_service("timeline");
+  const ServiceId post_store = app.add_service("post-store");
+  const ServiceId follow_graph = app.add_service("follow-graph");
+  const ServiceId media = app.add_service("media");
+  const ServiceId notifier = app.add_service("notifier");
+  const ServiceId user_profile = app.add_service("user-profile");
+  const ServiceId ad_ranker = app.add_service("ad-ranker");
+
+  {
+    TrafficClassSpec read;
+    read.name = "read-timeline";
+    read.attributes.method = "GET";
+    read.attributes.path = "/timeline";
+    const std::size_t root = read.graph.set_root(gateway, 0.2e-3, 512, 20 * 1024);
+    const std::size_t tl =
+        read.graph.add_call(root, timeline, 1.5e-3, 512, 20 * 1024);
+    read.graph.set_invocation_mode(tl, InvocationMode::kParallel);
+    read.graph.add_call(tl, follow_graph, 0.8e-3, 256, 4 * 1024);
+    read.graph.add_call(tl, post_store, 1.0e-3, 256, 8 * 1024, 2.0);
+    read.graph.add_call(tl, ad_ranker, 2.0e-3, 512, 2 * 1024);
+    read.graph.add_call(tl, media, 0.6e-3, 256, 50 * 1024, 0.8);
+    app.add_class(std::move(read));
+  }
+  {
+    TrafficClassSpec write;
+    write.name = "write-post";
+    write.attributes.method = "POST";
+    write.attributes.path = "/post";
+    const std::size_t root = write.graph.set_root(gateway, 0.2e-3, 4 * 1024, 512);
+    const std::size_t ps =
+        write.graph.add_call(root, post_store, 3.0e-3, 4 * 1024, 512);
+    write.graph.add_call(ps, media, 2.0e-3, 48 * 1024, 512, 0.3);
+    write.graph.add_call(ps, notifier, 0.5e-3, 512, 256);
+    app.add_class(std::move(write));
+  }
+  {
+    TrafficClassSpec profile;
+    profile.name = "view-profile";
+    profile.attributes.method = "GET";
+    profile.attributes.path = "/profile";
+    const std::size_t root =
+        profile.graph.set_root(gateway, 0.2e-3, 256, 6 * 1024);
+    const std::size_t up =
+        profile.graph.add_call(root, user_profile, 0.7e-3, 256, 6 * 1024);
+    profile.graph.add_call(up, follow_graph, 0.8e-3, 256, 4 * 1024);
+    app.add_class(std::move(profile));
+  }
+  app.validate();
+  return app;
+}
+
+namespace {
+void add_fanout_level(Application& app, TrafficClassSpec& spec,
+                      std::size_t parent, const FanoutOptions& options,
+                      std::size_t level, std::size_t& next_service) {
+  if (level == options.depth) return;
+  for (std::size_t w = 0; w < options.width; ++w) {
+    const ServiceId child{next_service++};
+    const std::size_t node =
+        spec.graph.add_call(parent, child, options.compute_mean,
+                            options.request_bytes, options.response_bytes);
+    spec.graph.set_invocation_mode(parent, options.mode);
+    add_fanout_level(app, spec, node, options, level + 1, next_service);
+  }
+}
+}  // namespace
+
+Application make_fanout_app(const FanoutOptions& options) {
+  Application app;
+  // Total services: 1 + width + width^2 + ... + width^depth.
+  std::size_t total = 1;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d < options.depth; ++d) {
+    level_size *= options.width;
+    total += level_size;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    app.add_service(strfmt("fan-%zu", i));
+  }
+
+  TrafficClassSpec spec;
+  spec.name = "fanout";
+  spec.attributes.path = "/api/fan";
+  spec.graph.set_root(ServiceId{0}, options.compute_mean, options.request_bytes,
+                      options.response_bytes);
+  std::size_t next_service = 1;
+  add_fanout_level(app, spec, 0, options, 0, next_service);
+  app.add_class(std::move(spec));
+  app.validate();
+  return app;
+}
+
+}  // namespace slate

@@ -1,0 +1,81 @@
+// Builders for the applications used in the paper's evaluation (§4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "app/application.h"
+
+namespace slate {
+
+// "an application composed of three microservices with ingress gateway
+// chained linearly", each performing simple file-write work
+// (paper §4, used for Fig. 4, 6a, 6b, 6d substrate).
+//
+// Services: "ingress", "svc-1", ..., "svc-<chain_length>". One traffic class
+// "chain" entering at the ingress.
+struct LinearChainOptions {
+  std::size_t chain_length = 3;
+  double ingress_compute_mean = 0.1e-3;   // gateway does almost no work
+  double service_compute_mean = 2.0e-3;   // ~500 RPS capacity per server
+  std::uint64_t request_bytes = 512;
+  std::uint64_t response_bytes = 2048;
+};
+Application make_linear_chain_app(const LinearChainOptions& options = {});
+
+// The anomaly-detection application of §4.3 / Fig. 5c, 6c:
+//   FR (frontend) -> MP (metrics processor) -> DB (metrics store).
+// MP pulls a large volume of metrics from DB: the DB->MP response is
+// `db_response_factor` times larger than the MP->FR response, which is what
+// makes the cross-cluster cut placement matter for egress cost.
+struct AnomalyDetectionOptions {
+  double fr_compute_mean = 0.5e-3;
+  double mp_compute_mean = 4.0e-3;   // anomaly detection is the heavy stage
+  double db_compute_mean = 2.0e-3;
+  std::uint64_t request_bytes = 512;
+  std::uint64_t mp_response_bytes = 100ull * 1024;  // MP -> FR
+  double db_response_factor = 10.0;                 // DB -> MP = factor * above
+};
+Application make_anomaly_detection_app(const AnomalyDetectionOptions& options = {});
+
+// The two-class application of §4.4 / Fig. 5d, 6d: one worker service behind
+// an ingress, serving a cheap class L and an expensive class H
+// ("H is significantly more expensive than L").
+struct TwoClassOptions {
+  double ingress_compute_mean = 0.1e-3;
+  double light_compute_mean = 1.0e-3;
+  double heavy_compute_mean = 10.0e-3;
+  std::uint64_t request_bytes = 512;
+  std::uint64_t response_bytes = 2048;
+};
+Application make_two_class_app(const TwoClassOptions& options = {});
+
+// A larger, social-network-style application in the spirit of the paper's
+// introduction (tens of services, trees of dependent calls, interleaved
+// parallel fan-out, heterogeneous classes):
+//
+//   read-timeline (GET /timeline):
+//     gateway -> timeline -(parallel)-> follow-graph, post-store x2,
+//     ad-ranker; timeline -> media (50KB responses, 80% of requests)
+//   write-post (POST /post):
+//     gateway -> post-store -> notifier; post-store -> media (30%)
+//   view-profile (GET /profile):
+//     gateway -> user-profile -> follow-graph
+//
+// Eight services, three classes with very different compute, fan-out, and
+// byte-size profiles — a stress case for class-aware routing.
+Application make_social_network_app();
+
+// Synthetic tree: the root fans out to `width` children, each of which fans
+// out again, `depth` levels deep. Used by scalability tests/benches.
+struct FanoutOptions {
+  std::size_t width = 2;
+  std::size_t depth = 2;
+  double compute_mean = 1.0e-3;
+  std::uint64_t request_bytes = 512;
+  std::uint64_t response_bytes = 1024;
+  InvocationMode mode = InvocationMode::kSequential;
+};
+Application make_fanout_app(const FanoutOptions& options = {});
+
+}  // namespace slate

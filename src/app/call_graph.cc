@@ -1,0 +1,86 @@
+#include "app/call_graph.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+std::size_t CallGraph::set_root(ServiceId service, double compute_time_mean,
+                                std::uint64_t request_bytes,
+                                std::uint64_t response_bytes) {
+  if (!nodes_.empty()) throw std::logic_error("CallGraph: root already set");
+  if (!service.valid()) throw std::invalid_argument("CallGraph: invalid service");
+  CallNode node;
+  node.service = service;
+  node.compute_time_mean = compute_time_mean;
+  node.request_bytes = request_bytes;
+  node.response_bytes = response_bytes;
+  node.parent = CallNode::kNoParent;
+  nodes_.push_back(node);
+  return 0;
+}
+
+std::size_t CallGraph::add_call(std::size_t parent, ServiceId service,
+                                double compute_time_mean,
+                                std::uint64_t request_bytes,
+                                std::uint64_t response_bytes,
+                                double multiplicity) {
+  if (parent >= nodes_.size()) throw std::out_of_range("CallGraph: bad parent");
+  if (!service.valid()) throw std::invalid_argument("CallGraph: invalid service");
+  if (!(multiplicity > 0.0)) {
+    throw std::invalid_argument("CallGraph: multiplicity must be positive");
+  }
+  CallNode node;
+  node.service = service;
+  node.compute_time_mean = compute_time_mean;
+  node.request_bytes = request_bytes;
+  node.response_bytes = response_bytes;
+  node.multiplicity = multiplicity;
+  node.parent = parent;
+  const std::size_t index = nodes_.size();
+  nodes_.push_back(node);
+  nodes_[parent].children.push_back(index);
+  return index;
+}
+
+void CallGraph::set_invocation_mode(std::size_t node, InvocationMode mode) {
+  if (node >= nodes_.size()) throw std::out_of_range("CallGraph: bad node");
+  nodes_[node].mode = mode;
+}
+
+const CallNode& CallGraph::node(std::size_t i) const {
+  if (i >= nodes_.size()) throw std::out_of_range("CallGraph: bad node");
+  return nodes_[i];
+}
+
+double CallGraph::executions_per_request(std::size_t i) const {
+  if (i >= nodes_.size()) throw std::out_of_range("CallGraph: bad node");
+  double product = 1.0;
+  for (std::size_t n = i; n != 0; n = nodes_[n].parent) {
+    product *= nodes_[n].multiplicity;
+  }
+  return product;
+}
+
+std::vector<std::size_t> CallGraph::nodes_for_service(ServiceId service) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].service == service) out.push_back(i);
+  }
+  return out;
+}
+
+void CallGraph::validate() const {
+  if (nodes_.empty()) throw std::logic_error("CallGraph: empty");
+  if (nodes_[0].parent != CallNode::kNoParent) {
+    throw std::logic_error("CallGraph: node 0 must be the root");
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent >= i) {
+      // Parents always precede children by construction; anything else means
+      // the structure was corrupted.
+      throw std::logic_error("CallGraph: parent does not precede child");
+    }
+  }
+}
+
+}  // namespace slate

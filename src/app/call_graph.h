@@ -1,0 +1,78 @@
+// Per-traffic-class call trees.
+//
+// Serving one request of a class executes a tree of dependent service calls
+// (paper Fig. 1). We index the tree by call node; node 0 is the entry call.
+// Every non-root node has exactly one parent, so "call-graph edge e" and
+// "call node e" coincide: edge 0 is the virtual ingress edge (workload ->
+// entry service), edge i (i > 0) is the call from node i's parent to node i.
+// The optimizer's flow variables are defined over these edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+// How a node invokes its children: one after another (latency adds) or all
+// at once (latency is the max of the children).
+enum class InvocationMode { kSequential, kParallel };
+
+struct CallNode {
+  ServiceId service;
+  // Mean compute time (seconds) this class spends in this service per call,
+  // excluding time blocked on children. Actual draws are exponential.
+  double compute_time_mean = 0.0;
+  InvocationMode mode = InvocationMode::kSequential;
+
+  // Parent linkage (kInvalid/-1 for the root).
+  std::size_t parent = kNoParent;
+  std::vector<std::size_t> children;
+
+  // Bytes of the request message sent TO this node and the response sent
+  // back from it, i.e. properties of this node's inbound edge.
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  // Average number of times the parent invokes this child per one execution
+  // of the parent (can be fractional: probabilistic sub-calls).
+  double multiplicity = 1.0;
+
+  static constexpr std::size_t kNoParent = ~std::size_t{0};
+};
+
+class CallGraph {
+ public:
+  // Creates the root call. Must be called exactly once, first.
+  std::size_t set_root(ServiceId service, double compute_time_mean,
+                       std::uint64_t request_bytes, std::uint64_t response_bytes);
+
+  // Adds a child call under `parent`; returns the new node index (== its
+  // inbound edge id).
+  std::size_t add_call(std::size_t parent, ServiceId service,
+                       double compute_time_mean, std::uint64_t request_bytes,
+                       std::uint64_t response_bytes, double multiplicity = 1.0);
+
+  void set_invocation_mode(std::size_t node, InvocationMode mode);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const CallNode& node(std::size_t i) const;
+  [[nodiscard]] const std::vector<CallNode>& nodes() const noexcept { return nodes_; }
+
+  // Expected number of executions of node i per one root request
+  // (product of multiplicities down the path from the root).
+  [[nodiscard]] double executions_per_request(std::size_t i) const;
+
+  // All node indices whose call targets `service`.
+  [[nodiscard]] std::vector<std::size_t> nodes_for_service(ServiceId service) const;
+
+  // Validates tree shape (single root, acyclic by construction, parents set).
+  // Throws std::logic_error on violation.
+  void validate() const;
+
+ private:
+  std::vector<CallNode> nodes_;
+};
+
+}  // namespace slate

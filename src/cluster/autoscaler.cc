@@ -1,0 +1,69 @@
+#include "cluster/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slate {
+
+Autoscaler::Autoscaler(Simulator& sim, ServiceStation& station,
+                       AutoscalerOptions options, ScaleObserver on_scale)
+    : sim_(sim),
+      station_(station),
+      options_(options),
+      on_scale_(std::move(on_scale)),
+      desired_(station.servers()),
+      window_start_(sim.now()) {
+  if (!(options_.target_utilization > 0.0 && options_.target_utilization < 1.0)) {
+    throw std::invalid_argument("Autoscaler: target utilization must be in (0,1)");
+  }
+  if (options_.min_servers == 0 || options_.min_servers > options_.max_servers) {
+    throw std::invalid_argument("Autoscaler: bad server bounds");
+  }
+  station_.reset_utilization();
+  task_ = sim_.schedule_periodic(options_.evaluation_period,
+                                 [this]() { evaluate(); });
+}
+
+Autoscaler::~Autoscaler() { task_.cancel(); }
+
+void Autoscaler::evaluate() {
+  const double utilization = station_.utilization();
+  station_.reset_utilization();
+  window_start_ = sim_.now();
+
+  if (sim_.now() - last_decision_ < options_.cooldown) return;
+
+  // HPA formula: desired = ceil(current * observed / target), within the
+  // deadband.
+  const double ratio = utilization / options_.target_utilization;
+  if (std::abs(ratio - 1.0) <= options_.deadband) return;
+  const unsigned current = desired_;
+  const auto proposed = static_cast<unsigned>(std::ceil(
+      static_cast<double>(current) * std::max(ratio, 1e-3)));
+  const unsigned target = std::clamp(proposed, options_.min_servers,
+                                     options_.max_servers);
+  if (target == current) return;
+
+  last_decision_ = sim_.now();
+  desired_ = target;
+  const unsigned old_servers = station_.servers();
+  if (target < current) {
+    // Scale-down is immediate (replicas drain; no provisioning).
+    ++scale_downs_;
+    station_.set_servers(target);
+    if (on_scale_) on_scale_(old_servers, target);
+    return;
+  }
+  // Scale-up serves traffic only after the provisioning delay.
+  ++scale_ups_;
+  sim_.schedule_after(options_.provision_delay, [this, target, old_servers]() {
+    // A later decision may have changed desired_; never scale below it.
+    if (target > station_.servers() && target <= desired_) {
+      station_.set_servers(target);
+      if (on_scale_) on_scale_(old_servers, target);
+    }
+  });
+}
+
+}  // namespace slate

@@ -1,0 +1,70 @@
+// Horizontal per-service autoscaler (paper §2 "Cluster Autoscalers", §5
+// "Interaction between request routing and autoscaler").
+//
+// Models the common HPA-style control loop: every evaluation period, compare
+// a station's observed utilization against a target and resize the replica
+// count proportionally — with the two properties the paper leans on:
+//   * it is SLOW: scale-ups take a provisioning delay (container image pull,
+//     app initialization) before new capacity serves traffic, and scale
+//     events are separated by a cooldown;
+//   * it has NO say in routing: it reacts to whatever load routing sends it.
+//
+// SLATE's request routing operates in the gap: it can shift load away in one
+// control period (~1s) while the autoscaler needs tens of seconds. The
+// interaction experiments (bench/ablation_autoscaler) measure exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/service_station.h"
+#include "sim/simulator.h"
+
+namespace slate {
+
+struct AutoscalerOptions {
+  double target_utilization = 0.6;
+  double evaluation_period = 15.0;   // seconds between decisions
+  double provision_delay = 30.0;     // scale-up takes effect this much later
+  double cooldown = 30.0;            // min time between scale decisions
+  unsigned min_servers = 1;
+  unsigned max_servers = 64;
+  // Utilization must stray this far (relative) from target to trigger.
+  double deadband = 0.1;
+};
+
+// Scales one station. The station must outlive the autoscaler; the
+// autoscaler owns a periodic task on the simulator.
+class Autoscaler {
+ public:
+  // `on_scale(old_servers, new_servers)` (optional) observes decisions.
+  using ScaleObserver = std::function<void(unsigned, unsigned)>;
+
+  Autoscaler(Simulator& sim, ServiceStation& station,
+             AutoscalerOptions options = {}, ScaleObserver on_scale = nullptr);
+  ~Autoscaler();
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  [[nodiscard]] std::uint64_t scale_ups() const noexcept { return scale_ups_; }
+  [[nodiscard]] std::uint64_t scale_downs() const noexcept { return scale_downs_; }
+  // Desired replica count (>= station.servers() while a scale-up is
+  // provisioning).
+  [[nodiscard]] unsigned desired_servers() const noexcept { return desired_; }
+
+ private:
+  void evaluate();
+
+  Simulator& sim_;
+  ServiceStation& station_;
+  AutoscalerOptions options_;
+  ScaleObserver on_scale_;
+  Simulator::PeriodicHandle task_;
+  unsigned desired_;
+  double last_decision_ = -1e18;
+  double window_start_;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,93 @@
+#include "cluster/service_station.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace slate {
+
+ServiceStation::ServiceStation(Simulator& sim, Rng rng, ServiceId service,
+                               ClusterId cluster, unsigned servers)
+    : sim_(sim),
+      rng_(rng),
+      service_(service),
+      cluster_(cluster),
+      servers_(servers),
+      window_start_(sim.now()),
+      last_busy_change_(sim.now()) {
+  if (servers == 0) {
+    throw std::invalid_argument("ServiceStation: servers must be >= 1");
+  }
+}
+
+void ServiceStation::set_servers(unsigned servers) {
+  if (servers == 0) {
+    throw std::invalid_argument("ServiceStation: servers must be >= 1");
+  }
+  // Fold the busy integral at the old parallelism before changing it, so
+  // utilization accounting stays exact across the transition.
+  account_busy_time();
+  servers_ = servers;
+  try_dispatch();
+}
+
+void ServiceStation::submit(double service_time_mean, Completion on_complete) {
+  ++submitted_;
+  queue_.push_back(Job{service_time_mean, std::move(on_complete), sim_.now()});
+  try_dispatch();
+}
+
+void ServiceStation::account_busy_time() noexcept {
+  const double delta =
+      static_cast<double>(busy_) * (sim_.now() - last_busy_change_);
+  busy_time_accum_ += delta;
+  lifetime_busy_ += delta;
+  last_busy_change_ = sim_.now();
+}
+
+void ServiceStation::try_dispatch() {
+  while (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    account_busy_time();
+    ++busy_;
+    const double service_time =
+        job.service_time_mean > 0.0 ? rng_.exponential(job.service_time_mean) : 0.0;
+    const double queue_seconds = sim_.now() - job.enqueue_time;
+    sim_.schedule_after(
+        service_time,
+        [this, job = std::move(job), queue_seconds, service_time]() mutable {
+          finish_job(std::move(job), queue_seconds, service_time);
+        });
+  }
+}
+
+void ServiceStation::finish_job(Job job, double queue_seconds,
+                                double service_seconds) {
+  account_busy_time();
+  --busy_;
+  ++completed_;
+  if (job.on_complete) job.on_complete(queue_seconds, service_seconds);
+  try_dispatch();
+}
+
+double ServiceStation::utilization() const noexcept {
+  const double elapsed = sim_.now() - window_start_;
+  if (elapsed <= 0.0) return 0.0;
+  const double busy_now =
+      busy_time_accum_ + static_cast<double>(busy_) * (sim_.now() - last_busy_change_);
+  return busy_now / (elapsed * static_cast<double>(servers_));
+}
+
+void ServiceStation::reset_utilization() noexcept {
+  // Fold the in-progress busy interval into lifetime accounting first.
+  account_busy_time();
+  window_start_ = sim_.now();
+  busy_time_accum_ = 0.0;
+}
+
+double ServiceStation::lifetime_busy_seconds() const noexcept {
+  return lifetime_busy_ +
+         static_cast<double>(busy_) * (sim_.now() - last_busy_change_);
+}
+
+}  // namespace slate

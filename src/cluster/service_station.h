@@ -1,0 +1,91 @@
+// Queueing model of one service's replica set in one cluster.
+//
+// A station is a c-server FIFO queue with exponentially distributed service
+// times whose mean is supplied per job (so different traffic classes consume
+// different compute — paper §4.4). With c servers of per-class rate 1/mean
+// this is the "variation of an M/M/1 queuing model" the paper uses for
+// latency: sojourn time rises smoothly with utilization and diverges as the
+// arrival rate approaches capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace slate {
+
+class ServiceStation {
+ public:
+  // `servers` is the replica/worker parallelism of this service in this
+  // cluster. Requires servers >= 1.
+  ServiceStation(Simulator& sim, Rng rng, ServiceId service, ClusterId cluster,
+                 unsigned servers);
+
+  ServiceStation(const ServiceStation&) = delete;
+  ServiceStation& operator=(const ServiceStation&) = delete;
+
+  // Completion callback: receives the time the job spent waiting in queue
+  // and the time it spent in service.
+  using Completion = std::function<void(double queue_seconds, double service_seconds)>;
+
+  // Enqueues one job whose service time is ~Exp(service_time_mean);
+  // `on_complete` fires when the job finishes processing. A zero/negative
+  // mean completes after zero processing time (still in FIFO order).
+  void submit(double service_time_mean, Completion on_complete);
+
+  [[nodiscard]] ServiceId service() const noexcept { return service_; }
+  [[nodiscard]] ClusterId cluster() const noexcept { return cluster_; }
+  [[nodiscard]] unsigned servers() const noexcept { return servers_; }
+
+  // Changes the server (replica) count at runtime — autoscaling or failure
+  // injection. Growing dispatches queued jobs immediately; shrinking lets
+  // in-service jobs finish (no preemption), so busy_servers() may exceed
+  // servers() transiently. Requires servers >= 1.
+  void set_servers(unsigned servers);
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] unsigned busy_servers() const noexcept { return busy_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t jobs_submitted() const noexcept { return submitted_; }
+
+  // Fraction of server-time spent busy since construction (or last
+  // reset_utilization). In [0, 1].
+  [[nodiscard]] double utilization() const noexcept;
+  void reset_utilization() noexcept;
+
+  // Busy server-seconds accumulated since construction; never reset. Lets
+  // callers measure utilization over their own window independently of the
+  // controller's per-period resets.
+  [[nodiscard]] double lifetime_busy_seconds() const noexcept;
+
+ private:
+  struct Job {
+    double service_time_mean;
+    Completion on_complete;
+    double enqueue_time = 0.0;
+  };
+
+  void try_dispatch();
+  void finish_job(Job job, double queue_seconds, double service_seconds);
+  void account_busy_time() noexcept;
+
+  Simulator& sim_;
+  Rng rng_;
+  ServiceId service_;
+  ClusterId cluster_;
+  unsigned servers_;
+  unsigned busy_ = 0;
+  std::deque<Job> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  // Utilization accounting.
+  double busy_time_accum_ = 0.0;
+  double lifetime_busy_ = 0.0;
+  double window_start_ = 0.0;
+  double last_busy_change_ = 0.0;
+};
+
+}  // namespace slate

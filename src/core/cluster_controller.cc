@@ -1,0 +1,84 @@
+#include "core/cluster_controller.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace slate {
+
+ClusterController::ClusterController(
+    ClusterId cluster, std::size_t class_count, MetricsRegistry& registry,
+    std::vector<ServiceStation*> stations,
+    std::shared_ptr<WeightedRulesPolicy> rules_policy)
+    : cluster_(cluster),
+      class_count_(class_count),
+      registry_(registry),
+      stations_(std::move(stations)),
+      rules_policy_(std::move(rules_policy)) {
+  if (rules_policy_ == nullptr) {
+    throw std::invalid_argument("ClusterController: null rules policy");
+  }
+  if (stations_.size() != registry_.service_count()) {
+    throw std::invalid_argument(
+        "ClusterController: stations/registry size mismatch");
+  }
+}
+
+ClusterReport ClusterController::collect(double now) {
+  ClusterReport report;
+  report.cluster = cluster_;
+  report.period_start = period_start_;
+  report.period_end = now;
+  const double period = std::max(now - period_start_, 1e-9);
+
+  for (std::size_t s = 0; s < registry_.service_count(); ++s) {
+    const ServiceId service{s};
+    for (std::size_t k = 0; k < class_count_; ++k) {
+      const ClassId cls{k};
+      const RequestStats& stats = registry_.stats(service, cls);
+      if (stats.started == 0 && stats.completed == 0) continue;
+      ServiceClassMetrics m;
+      m.service = service;
+      m.cls = cls;
+      m.started = stats.started;
+      m.completed = stats.completed;
+      m.completion_rps = static_cast<double>(stats.completed) / period;
+      m.mean_latency = stats.latency.mean();
+      m.max_latency = stats.latency.max();
+      m.mean_service_time = stats.service.mean();
+      report.request_metrics.push_back(m);
+    }
+    if (stations_[s] != nullptr) {
+      StationMetrics sm;
+      sm.service = service;
+      sm.servers = stations_[s]->servers();
+      sm.utilization = stations_[s]->utilization();
+      sm.queue_length = static_cast<double>(stations_[s]->queue_length());
+      report.station_metrics.push_back(sm);
+    }
+  }
+
+  report.ingress_rps.resize(class_count_, 0.0);
+  report.e2e.resize(class_count_);
+  for (std::size_t k = 0; k < class_count_; ++k) {
+    report.ingress_rps[k] =
+        static_cast<double>(registry_.ingress_count(ClassId{k})) / period;
+    const StreamingStats& e2e = registry_.e2e(ClassId{k});
+    report.e2e[k] = E2eMetrics{e2e.count(), e2e.mean()};
+  }
+
+  // Reset period-scoped state.
+  registry_.reset_period();
+  for (auto* station : stations_) {
+    if (station != nullptr) station->reset_utilization();
+  }
+  period_start_ = now;
+  ++reports_;
+  return report;
+}
+
+void ClusterController::push_rules(std::shared_ptr<const RoutingRuleSet> rules) {
+  rules_policy_->update_rules(std::move(rules));
+  ++pushes_;
+}
+
+}  // namespace slate

@@ -1,0 +1,55 @@
+// Cluster controller (paper §3.2).
+//
+// Per-cluster aggregation point between the proxies and the global
+// controller. Downstream: snapshots the cluster's metrics registry and
+// station states each control period into a ClusterReport, attaching the
+// cluster id (proxies don't know it). Upstream: receives the global rule
+// set and pushes it to every proxy in the cluster with one atomic policy
+// swap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/service_station.h"
+#include "routing/weighted_rules.h"
+#include "telemetry/cluster_report.h"
+#include "telemetry/metrics.h"
+#include "util/ids.h"
+
+namespace slate {
+
+class ClusterController {
+ public:
+  // `stations[s]` is the station for service s in this cluster, or nullptr
+  // where the service is not deployed. `registry` must outlive the
+  // controller; `rules_policy` is the executor shared by this cluster's
+  // proxies.
+  ClusterController(ClusterId cluster, std::size_t class_count,
+                    MetricsRegistry& registry,
+                    std::vector<ServiceStation*> stations,
+                    std::shared_ptr<WeightedRulesPolicy> rules_policy);
+
+  // Builds the report for (period_start, now], then resets period state
+  // (request stats, ingress counts, station utilization windows).
+  ClusterReport collect(double now);
+
+  // Pushes new rules to the data plane.
+  void push_rules(std::shared_ptr<const RoutingRuleSet> rules);
+
+  [[nodiscard]] ClusterId cluster() const noexcept { return cluster_; }
+  [[nodiscard]] std::uint64_t reports_built() const noexcept { return reports_; }
+  [[nodiscard]] std::uint64_t rules_pushed() const noexcept { return pushes_; }
+
+ private:
+  ClusterId cluster_;
+  std::size_t class_count_;
+  MetricsRegistry& registry_;
+  std::vector<ServiceStation*> stations_;
+  std::shared_ptr<WeightedRulesPolicy> rules_policy_;
+  double period_start_ = 0.0;
+  std::uint64_t reports_ = 0;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,152 @@
+#include "core/global_controller.h"
+
+#include <algorithm>
+
+#include "core/routing_rules.h"
+#include "util/logging.h"
+
+namespace slate {
+
+GlobalController::GlobalController(const Application& app,
+                                   const Deployment& deployment,
+                                   const Topology& topology,
+                                   GlobalControllerOptions options)
+    : app_(&app),
+      deployment_(&deployment),
+      topology_(&topology),
+      options_(options),
+      model_(options.warm_start_model
+                 ? LatencyModel::from_application(app, topology.cluster_count())
+                 : LatencyModel(app.service_count(), app.class_count(),
+                                topology.cluster_count())),
+      fitter_(options.fitter),
+      optimizer_(app, deployment, topology, options.optimizer),
+      fast_optimizer_(app, deployment, topology, options.fast_optimizer),
+      store_(app.service_count(), app.class_count(), topology.cluster_count(),
+             options.sample_capacity),
+      demand_(app.class_count(), topology.cluster_count(), 0.0),
+      live_servers_(app.service_count() * topology.cluster_count(), 0) {
+  if (options_.initial_model_scale != 1.0) {
+    model_.scale_all(options_.initial_model_scale);
+  }
+}
+
+void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
+  for (const auto& report : reports) {
+    // Station utilization lookup for this cluster's report.
+    std::vector<double> station_util(app_->service_count(), 0.0);
+    for (const auto& sm : report.station_metrics) {
+      station_util[sm.service.index()] = sm.utilization;
+      live_servers_[sm.service.index() * topology_->cluster_count() +
+                    report.cluster.index()] = sm.servers;
+    }
+    for (const auto& m : report.request_metrics) {
+      if (m.completed == 0) continue;
+      LoadSample sample;
+      sample.time = report.period_end;
+      sample.rps = m.completion_rps;
+      sample.mean_latency = m.mean_latency;
+      sample.mean_service_time = m.mean_service_time;
+      sample.utilization = station_util[m.service.index()];
+      sample.count = m.completed;
+      store_.add(m.service, m.cls, report.cluster, sample);
+    }
+    // Demand EWMA.
+    for (std::size_t k = 0; k < report.ingress_rps.size(); ++k) {
+      double& d = demand_(k, report.cluster.index());
+      const double observed = report.ingress_rps[k];
+      d = demand_seen_ ? d + options_.demand_smoothing * (observed - d)
+                       : observed;
+    }
+  }
+  demand_seen_ = true;
+}
+
+double GlobalController::observed_e2e(
+    const std::vector<ClusterReport>& reports) const {
+  std::uint64_t count = 0;
+  double weighted = 0.0;
+  for (const auto& report : reports) {
+    for (const auto& e : report.e2e) {
+      count += e.count;
+      weighted += static_cast<double>(e.count) * e.mean_latency;
+    }
+  }
+  if (count < options_.guardrails.min_e2e_samples) return -1.0;
+  return weighted / static_cast<double>(count);
+}
+
+std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
+    const std::vector<ClusterReport>& reports, double now) {
+  (void)now;
+  ++rounds_;
+  ingest(reports);
+
+  const GuardrailOptions& guard = options_.guardrails;
+  const double obs = observed_e2e(reports);
+
+  // 2. Evaluate the previous change against live telemetry.
+  if (guard.enabled && pending_eval_) {
+    pending_eval_ = false;
+    if (obs >= 0.0 && baseline_e2e_ >= 0.0 &&
+        obs > baseline_e2e_ * (1.0 + guard.regression_tolerance)) {
+      // The last step made things worse than predicted: revert and hold.
+      ++reverts_;
+      SLATE_LOG(kInfo) << "guardrail revert: e2e " << baseline_e2e_ << " -> "
+                       << obs << " after rule change";
+      // Restore the pre-change rules; before any push that state is "no
+      // rules", expressed as an empty set (data plane falls back to
+      // locality failover).
+      current_rules_ = previous_rules_ != nullptr
+                           ? previous_rules_
+                           : std::make_shared<const RoutingRuleSet>();
+      hold_remaining_ = guard.hold_periods;
+      return current_rules_;
+    }
+  }
+
+  // 3. Refit the latency model from accumulated samples.
+  if (!options_.freeze_model) {
+    fitter_.fit(store_, *deployment_, model_);
+  }
+
+  if (hold_remaining_ > 0) {
+    --hold_remaining_;
+    return nullptr;  // keep rules frozen while re-learning
+  }
+
+  // 4. Optimize.
+  double total_demand = 0.0;
+  for (double d : demand_.data()) total_demand += d;
+  if (total_demand <= 0.0) return nullptr;
+
+  last_result_ = options_.use_fast_optimizer
+                     ? fast_optimizer_.optimize(model_, demand_, &live_servers_)
+                     : optimizer_.optimize(model_, demand_, &live_servers_);
+  ++optimizations_;
+  if (options_.use_fast_optimizer &&
+      last_result_.status == LpStatus::kIterationLimit) {
+    // Descent ran out of sweeps but still holds a valid (improving) plan.
+    last_result_.status = LpStatus::kOptimal;
+  }
+  if (!last_result_.ok()) {
+    SLATE_LOG(kWarn) << "optimizer failed: " << to_string(last_result_.status);
+    return nullptr;
+  }
+
+  // 5. Emit rules (full target, or an incremental step under guardrails).
+  std::shared_ptr<const RoutingRuleSet> push;
+  if (guard.enabled) {
+    push = blend_rule_sets(current_rules_.get(), *last_result_.rules,
+                           guard.step_fraction);
+    previous_rules_ = current_rules_;
+    baseline_e2e_ = obs;
+    pending_eval_ = obs >= 0.0;
+  } else {
+    push = last_result_.rules;
+  }
+  current_rules_ = push;
+  return push;
+}
+
+}  // namespace slate

@@ -1,0 +1,131 @@
+// Global controller (paper §3.3): the control loop that turns cluster
+// reports into routing rules.
+//
+// Each control period:
+//   1. ingest every cluster's report into the sample store, and smooth the
+//      observed per-(class, cluster) ingress into the demand estimate;
+//   2. (guardrails) check whether the previous rule change regressed the
+//      live end-to-end latency objective; if so, revert and hold;
+//   3. re-fit the latency model from accumulated samples;
+//   4. run the routing optimization;
+//   5. emit rules — either the optimizer's target directly, or (guardrails)
+//      an incremental step toward it (paper §5: "implement incremental
+//      increases ... and proceed only if the objectives improve").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/deployment.h"
+#include "core/fast_optimizer.h"
+#include "core/model_fitter.h"
+#include "core/optimizer.h"
+#include "telemetry/cluster_report.h"
+#include "telemetry/sample_store.h"
+
+namespace slate {
+
+struct GuardrailOptions {
+  bool enabled = false;
+  // Fraction of the distance from current rules to the optimizer target
+  // applied per period (1.0 = jump straight to target).
+  double step_fraction = 0.3;
+  // Revert when observed mean e2e latency worsens by more than this
+  // fraction over the pre-change baseline.
+  double regression_tolerance = 0.25;
+  // Periods to keep rules frozen after a revert (time to re-learn).
+  std::size_t hold_periods = 2;
+  // Skip regression evaluation when fewer e2e samples than this were seen.
+  std::uint64_t min_e2e_samples = 50;
+};
+
+struct GlobalControllerOptions {
+  OptimizerOptions optimizer;
+  // Use the marginal-cost descent heuristic instead of the exact LP
+  // (paper §5 scalability: ~100-1000x faster solves within a few percent of
+  // the LP's plan quality — see bench/ablation_fast_optimizer).
+  bool use_fast_optimizer = false;
+  FastOptimizerOptions fast_optimizer;
+  FitterOptions fitter;
+  GuardrailOptions guardrails;
+  // Seed the latency model from the application spec ("offline profile");
+  // online fitting refines it. When false the model cold-starts from the
+  // default service time.
+  bool warm_start_model = true;
+  // When true the model is never re-fitted (pure warm-start operation).
+  bool freeze_model = false;
+  // Multiplies every warm-started service time — misprediction injection
+  // for the §5 resilience experiments (a wrong offline profile). 1 = exact.
+  double initial_model_scale = 1.0;
+  // EWMA factor for demand updates (1 = trust the latest period fully).
+  double demand_smoothing = 0.6;
+  std::size_t sample_capacity = 256;
+};
+
+class GlobalController {
+ public:
+  GlobalController(const Application& app, const Deployment& deployment,
+                   const Topology& topology, GlobalControllerOptions options);
+
+  // Processes the reports for the period ending at `now`. Returns the rule
+  // set to push to cluster controllers, or nullptr when rules should stay
+  // unchanged this period (hold after revert, optimizer failure, or no
+  // demand observed yet).
+  std::shared_ptr<const RoutingRuleSet> on_reports(
+      const std::vector<ClusterReport>& reports, double now);
+
+  [[nodiscard]] const LatencyModel& model() const noexcept { return model_; }
+  [[nodiscard]] LatencyModel& mutable_model() noexcept { return model_; }
+  [[nodiscard]] const FlatMatrix<double>& demand() const noexcept { return demand_; }
+  [[nodiscard]] const OptimizerResult& last_result() const noexcept {
+    return last_result_;
+  }
+  [[nodiscard]] const SampleStore& samples() const noexcept { return store_; }
+
+  // Live per-(service, cluster) server counts as last reported by cluster
+  // controllers (autoscalers and failures change them at runtime); 0 where
+  // never reported (the optimizer then uses the static deployment value).
+  [[nodiscard]] const std::vector<unsigned>& live_servers() const noexcept {
+    return live_servers_;
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t reverts() const noexcept { return reverts_; }
+  [[nodiscard]] std::uint64_t optimizations() const noexcept { return optimizations_; }
+
+ private:
+  void ingest(const std::vector<ClusterReport>& reports);
+  // Demand-weighted mean e2e latency across reports; negative when too few
+  // samples to judge.
+  [[nodiscard]] double observed_e2e(const std::vector<ClusterReport>& reports) const;
+
+  const Application* app_;
+  const Deployment* deployment_;
+  const Topology* topology_;
+  GlobalControllerOptions options_;
+
+  LatencyModel model_;
+  ModelFitter fitter_;
+  RouteOptimizer optimizer_;
+  FastRouteOptimizer fast_optimizer_;
+  SampleStore store_;
+  FlatMatrix<double> demand_;  // classes x clusters, RPS
+  std::vector<unsigned> live_servers_;  // services x clusters; 0 = unreported
+  bool demand_seen_ = false;
+
+  std::shared_ptr<const RoutingRuleSet> current_rules_;
+  std::shared_ptr<const RoutingRuleSet> previous_rules_;
+  OptimizerResult last_result_;
+
+  // Guardrail state.
+  bool pending_eval_ = false;
+  double baseline_e2e_ = -1.0;
+  std::size_t hold_remaining_ = 0;
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t reverts_ = 0;
+  std::uint64_t optimizations_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,106 @@
+#include "core/latency_model.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+LatencyModel::LatencyModel(std::size_t service_count, std::size_t class_count,
+                           std::size_t cluster_count)
+    : services_(service_count),
+      classes_(class_count),
+      clusters_(cluster_count),
+      service_time_(service_count * class_count * cluster_count, -1.0) {}
+
+LatencyModel LatencyModel::from_application(const Application& app,
+                                            std::size_t cluster_count) {
+  LatencyModel model(app.service_count(), app.class_count(), cluster_count);
+  for (ClassId k : app.all_classes()) {
+    const CallGraph& graph = app.traffic_class(k).graph;
+    // Demand-weighted mean compute per (service, class).
+    std::vector<double> weight(app.service_count(), 0.0);
+    std::vector<double> weighted_time(app.service_count(), 0.0);
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+      const CallNode& node = graph.node(n);
+      const double w = graph.executions_per_request(n);
+      weight[node.service.index()] += w;
+      weighted_time[node.service.index()] += w * node.compute_time_mean;
+    }
+    for (ServiceId s : app.all_services()) {
+      if (weight[s.index()] <= 0.0) continue;
+      const double mean = weighted_time[s.index()] / weight[s.index()];
+      for (std::size_t c = 0; c < cluster_count; ++c) {
+        model.set_service_time(s, k, ClusterId{c}, mean);
+      }
+    }
+  }
+  return model;
+}
+
+std::size_t LatencyModel::key(ServiceId s, ClassId k, ClusterId c) const {
+  if (!s.valid() || s.index() >= services_ || !k.valid() ||
+      k.index() >= classes_ || !c.valid() || c.index() >= clusters_) {
+    throw std::out_of_range("LatencyModel: bad key");
+  }
+  return (s.index() * classes_ + k.index()) * clusters_ + c.index();
+}
+
+void LatencyModel::set_service_time(ServiceId s, ClassId k, ClusterId c,
+                                    double mean_seconds) {
+  if (mean_seconds < 0.0) {
+    throw std::invalid_argument("LatencyModel: negative service time");
+  }
+  service_time_[key(s, k, c)] = mean_seconds;
+}
+
+bool LatencyModel::has(ServiceId s, ClassId k, ClusterId c) const {
+  return service_time_[key(s, k, c)] >= 0.0;
+}
+
+double LatencyModel::service_time(ServiceId s, ClassId k, ClusterId c) const {
+  const double v = service_time_[key(s, k, c)];
+  return v >= 0.0 ? v : default_;
+}
+
+void LatencyModel::scale_all(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("LatencyModel: bad factor");
+  for (double& v : service_time_) {
+    if (v >= 0.0) v *= factor;
+  }
+}
+
+double LatencyModel::utilization(ServiceId s, ClusterId c,
+                                 std::span<const double> class_rates,
+                                 unsigned servers) const {
+  if (servers == 0) throw std::invalid_argument("LatencyModel: zero servers");
+  double work = 0.0;
+  for (std::size_t k = 0; k < class_rates.size() && k < classes_; ++k) {
+    if (class_rates[k] <= 0.0) continue;
+    work += class_rates[k] * service_time(s, ClassId{k}, c);
+  }
+  return work / static_cast<double>(servers);
+}
+
+double LatencyModel::mean_wait(ServiceId s, ClusterId c,
+                               std::span<const double> class_rates,
+                               unsigned servers, double clamp_u) const {
+  double total_rate = 0.0;
+  double work = 0.0;
+  for (std::size_t k = 0; k < class_rates.size() && k < classes_; ++k) {
+    if (class_rates[k] <= 0.0) continue;
+    total_rate += class_rates[k];
+    work += class_rates[k] * service_time(s, ClassId{k}, c);
+  }
+  if (total_rate <= 0.0) return 0.0;
+  const double s_eff = work / total_rate;  // mean service across classes
+  double u = work / static_cast<double>(servers);
+  if (u > clamp_u) u = clamp_u;
+  return s_eff * u / (1.0 - u);
+}
+
+double LatencyModel::predict_latency(ServiceId s, ClassId k, ClusterId c,
+                                     std::span<const double> class_rates,
+                                     unsigned servers) const {
+  return service_time(s, k, c) + mean_wait(s, c, class_rates, servers);
+}
+
+}  // namespace slate

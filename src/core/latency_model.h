@@ -1,0 +1,79 @@
+// SLATE's load-to-latency model (paper §3.3 "Latency Modeling").
+//
+// Per (service, class, cluster) the model holds a mean service (compute)
+// time. A station (service s in cluster c, n servers) at per-class arrival
+// rates lambda_k is modelled as n parallel M/M/1 queues:
+//
+//   utilization  u = sum_k lambda_k * s_k / n
+//   mean wait    W(u) = s_eff * u / (1 - u),  s_eff = weighted mean service
+//   class-k latency = s_k + W(u)
+//
+// This is deliberately a simplified "variation of an M/M/1 queuing model" as
+// in the paper — the simulator's ground truth is a true M/M/n FIFO station,
+// so the model carries honest approximation error that the controllers must
+// tolerate (paper §5, resilience to misprediction).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "app/application.h"
+#include "util/ids.h"
+
+namespace slate {
+
+class LatencyModel {
+ public:
+  LatencyModel(std::size_t service_count, std::size_t class_count,
+               std::size_t cluster_count);
+
+  // Ground-truth model from the application spec (per-node compute means;
+  // when a service appears in several nodes of one class, their means are
+  // demand-weighted by expected executions). All clusters share values.
+  static LatencyModel from_application(const Application& app,
+                                       std::size_t cluster_count);
+
+  void set_service_time(ServiceId s, ClassId k, ClusterId c, double mean_seconds);
+  [[nodiscard]] bool has(ServiceId s, ClassId k, ClusterId c) const;
+  // Mean service time; falls back to `default_service_time` when the key was
+  // never set (cold start).
+  [[nodiscard]] double service_time(ServiceId s, ClassId k, ClusterId c) const;
+
+  void set_default_service_time(double seconds) noexcept { default_ = seconds; }
+  [[nodiscard]] double default_service_time() const noexcept { return default_; }
+
+  // Multiplies every stored service time by `factor` — misprediction
+  // injection for the resilience experiments (paper §5).
+  void scale_all(double factor);
+
+  // --- Predictions -------------------------------------------------------
+
+  // Station utilization for per-class arrival rates (index = class id).
+  [[nodiscard]] double utilization(ServiceId s, ClusterId c,
+                                   std::span<const double> class_rates,
+                                   unsigned servers) const;
+
+  // Mean queueing wait at the station (seconds); diverges as u -> 1 and is
+  // clamped at u = `clamp_u` to keep predictions finite.
+  [[nodiscard]] double mean_wait(ServiceId s, ClusterId c,
+                                 std::span<const double> class_rates,
+                                 unsigned servers, double clamp_u = 0.999) const;
+
+  // Predicted station-local latency for class k (service + wait).
+  [[nodiscard]] double predict_latency(ServiceId s, ClassId k, ClusterId c,
+                                       std::span<const double> class_rates,
+                                       unsigned servers) const;
+
+  [[nodiscard]] std::size_t service_count() const noexcept { return services_; }
+  [[nodiscard]] std::size_t class_count() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return clusters_; }
+
+ private:
+  [[nodiscard]] std::size_t key(ServiceId s, ClassId k, ClusterId c) const;
+
+  std::size_t services_, classes_, clusters_;
+  std::vector<double> service_time_;  // -1 = unset
+  double default_ = 1e-3;
+};
+
+}  // namespace slate

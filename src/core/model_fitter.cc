@@ -1,0 +1,89 @@
+#include "core/model_fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slate {
+
+ModelFitter::ModelFitter(FitterOptions options) : options_(options) {}
+
+double ModelFitter::estimate_service_time(
+    const std::vector<LoadSample>& samples) const {
+  std::size_t usable = 0;
+  double low_load_sum = 0.0;
+  std::size_t low_load_n = 0;
+  double service_weighted = 0.0;
+  double service_weight = 0.0;
+  const LoadSample* best_fallback = nullptr;
+
+  for (const auto& s : samples) {
+    if (s.count < options_.min_count_per_sample || s.mean_latency <= 0.0) continue;
+    ++usable;
+    if (s.mean_service_time > 0.0) {
+      service_weighted += s.mean_service_time * static_cast<double>(s.count);
+      service_weight += static_cast<double>(s.count);
+    }
+    if (s.utilization < options_.low_load_utilization) {
+      low_load_sum += s.mean_latency;
+      ++low_load_n;
+    }
+    if (best_fallback == nullptr || s.utilization < best_fallback->utilization) {
+      best_fallback = &s;
+    }
+  }
+  if (usable < options_.min_samples) return -1.0;
+
+  // Best evidence: the data plane's direct queue/service split, valid at
+  // any utilization (so per-class costs stay identifiable under overload).
+  if (service_weight > 0.0) return service_weighted / service_weight;
+
+  if (low_load_n > 0) {
+    // At low utilization the observed latency is essentially pure service
+    // time; average the quiet periods.
+    return low_load_sum / static_cast<double>(low_load_n);
+  }
+  // Always-busy key: invert T = s * (1 + u/(1-u)) = s / (1-u) from the
+  // least-loaded sample we have.
+  const double u = std::min(best_fallback->utilization, 0.95);
+  return best_fallback->mean_latency * (1.0 - u);
+}
+
+FitReport ModelFitter::fit(const SampleStore& store,
+                           const Deployment& deployment,
+                           LatencyModel& model) const {
+  FitReport report;
+  double change_accum = 0.0;
+
+  const auto& app = deployment.application();
+  for (ServiceId s : app.all_services()) {
+    for (ClassId k : app.all_classes()) {
+      for (std::size_t ci = 0; ci < deployment.cluster_count(); ++ci) {
+        const ClusterId c{ci};
+        if (!deployment.is_deployed(s, c)) continue;
+        if (store.sample_count(s, k, c) == 0) continue;
+        const double estimate = estimate_service_time(store.samples(s, k, c));
+        if (estimate < 0.0) {
+          ++report.keys_skipped_insufficient;
+          continue;
+        }
+        const bool had = model.has(s, k, c);
+        const double old_value = model.service_time(s, k, c);
+        const double blended =
+            had ? old_value + options_.smoothing * (estimate - old_value)
+                : estimate;
+        model.set_service_time(s, k, c, blended);
+        ++report.keys_fitted;
+        if (had && old_value > 0.0) {
+          change_accum += std::abs(blended - old_value) / old_value;
+        }
+      }
+    }
+  }
+  if (report.keys_fitted > 0) {
+    report.mean_relative_change =
+        change_accum / static_cast<double>(report.keys_fitted);
+  }
+  return report;
+}
+
+}  // namespace slate

@@ -1,0 +1,53 @@
+// Online latency-model fitting from telemetry samples.
+//
+// The paper's position (§5): learn latency profiles dynamically in
+// production rather than profiling offline. The fitter estimates each
+// (service, class, cluster) mean service time from low-utilization periods,
+// where station-local latency ~ service time (negligible queueing). When a
+// key has no low-load evidence it falls back to an M/M/1 inversion of the
+// busiest usable sample, and below a minimum sample count it leaves the
+// model value untouched (warm-start value or default).
+#pragma once
+
+#include "cluster/deployment.h"
+#include "core/latency_model.h"
+#include "telemetry/sample_store.h"
+
+namespace slate {
+
+struct FitterOptions {
+  // Samples with utilization below this are treated as queue-free evidence.
+  double low_load_utilization = 0.3;
+  // Keys with fewer samples than this keep their current model value.
+  std::size_t min_samples = 3;
+  // Exponential smoothing toward new estimates (1 = replace, 0 = frozen).
+  double smoothing = 0.5;
+  // Usable samples must have at least this many completions.
+  std::size_t min_count_per_sample = 10;
+};
+
+struct FitReport {
+  std::size_t keys_fitted = 0;
+  std::size_t keys_skipped_insufficient = 0;
+  // Mean absolute relative change across fitted keys (re-fit drift signal).
+  double mean_relative_change = 0.0;
+};
+
+class ModelFitter {
+ public:
+  explicit ModelFitter(FitterOptions options = {});
+
+  // Updates `model` in place from `store` samples. Returns fit statistics.
+  FitReport fit(const SampleStore& store, const Deployment& deployment,
+                LatencyModel& model) const;
+
+  // Single-key estimate (exposed for tests): returns the estimated service
+  // time, or a negative value when evidence is insufficient.
+  [[nodiscard]] double estimate_service_time(
+      const std::vector<LoadSample>& samples) const;
+
+ private:
+  FitterOptions options_;
+};
+
+}  // namespace slate

@@ -1,0 +1,370 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/piecewise.h"
+#include "util/strfmt.h"
+
+namespace slate {
+namespace {
+
+constexpr double kBytesPerGb = 1024.0 * 1024.0 * 1024.0;
+constexpr double kZeroFlow = 1e-9;
+
+// Dense index helpers for the variable maps.
+struct VarMaps {
+  // x[k][n][i * C + j]; -1 where not deployable. Only nodes n >= 1.
+  std::vector<std::vector<std::vector<int>>> x;
+  // a[k][n][j]; -1 where child service not deployed at j.
+  std::vector<std::vector<std::vector<int>>> a;
+  // Station vars, indexed s * C + c; -1 where not deployed.
+  std::vector<int> u, o, t;
+};
+
+}  // namespace
+
+RouteOptimizer::RouteOptimizer(const Application& app,
+                               const Deployment& deployment,
+                               const Topology& topology,
+                               OptimizerOptions options)
+    : app_(&app),
+      deployment_(&deployment),
+      topology_(&topology),
+      options_(options) {
+  if (deployment.cluster_count() != topology.cluster_count()) {
+    throw std::invalid_argument(
+        "RouteOptimizer: deployment/topology cluster count mismatch");
+  }
+  if (!(options_.max_utilization > 0.0 && options_.max_utilization < 1.0)) {
+    throw std::invalid_argument("RouteOptimizer: max_utilization must be in (0,1)");
+  }
+  app.validate();
+  deployment.validate();
+}
+
+OptimizerResult RouteOptimizer::optimize(
+    const LatencyModel& model, const FlatMatrix<double>& demand,
+    const std::vector<unsigned>* live_servers) const {
+  const std::size_t C = deployment_->cluster_count();
+  auto servers_at = [&](std::size_t s, std::size_t c) -> double {
+    if (live_servers != nullptr && s * C + c < live_servers->size() &&
+        (*live_servers)[s * C + c] > 0) {
+      return static_cast<double>((*live_servers)[s * C + c]);
+    }
+    return deployment_->servers(ServiceId{s}, ClusterId{c});
+  };
+  const std::size_t K = app_->class_count();
+  const std::size_t S = app_->service_count();
+  if (demand.rows() != K || demand.cols() != C) {
+    throw std::invalid_argument("RouteOptimizer: demand matrix shape mismatch");
+  }
+
+  OptimizerResult result;
+  LpModel lp;
+  VarMaps vars;
+
+  // Effective demand: reassign demand at clusters lacking the entry service
+  // to the nearest cluster that has it (front-door anycast).
+  FlatMatrix<double> eff_demand(K, C, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const ServiceId entry = app_->entry_service(ClassId{k});
+    const auto entry_clusters = deployment_->clusters_for(entry);
+    for (std::size_t c = 0; c < C; ++c) {
+      const double d = demand(k, c);
+      if (d <= 0.0) continue;
+      if (deployment_->is_deployed(entry, ClusterId{c})) {
+        eff_demand(k, c) += d;
+      } else {
+        const ClusterId fallback = topology_->nearest(ClusterId{c}, entry_clusters);
+        eff_demand(k, fallback.index()) += d;
+      }
+    }
+  }
+
+  // --- Variables ---------------------------------------------------------
+  vars.x.resize(K);
+  vars.a.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+    const std::size_t N = graph.node_count();
+    vars.x[k].assign(N, {});
+    vars.a[k].assign(N, std::vector<int>(C, -1));
+    for (std::size_t n = 0; n < N; ++n) {
+      const ServiceId svc = graph.node(n).service;
+      for (std::size_t j = 0; j < C; ++j) {
+        if (!deployment_->is_deployed(svc, ClusterId{j})) continue;
+        if (n == 0) {
+          // Root arrivals are pinned to the effective demand (entry service
+          // serves in the arrival cluster).
+          const double d = eff_demand(k, j);
+          vars.a[k][n][j] = lp.add_variable(
+              d, d, 0.0, strfmt("a[k%zu][n0][c%zu]", k, j));
+        } else {
+          vars.a[k][n][j] = lp.add_variable(
+              0.0, kLpInfinity, 0.0, strfmt("a[k%zu][n%zu][c%zu]", k, n, j));
+        }
+      }
+      if (n == 0) continue;
+      const ServiceId parent_svc = graph.node(graph.node(n).parent).service;
+      vars.x[k][n].assign(C * C, -1);
+      for (std::size_t i = 0; i < C; ++i) {
+        if (!deployment_->is_deployed(parent_svc, ClusterId{i})) continue;
+        for (std::size_t j = 0; j < C; ++j) {
+          if (!deployment_->is_deployed(svc, ClusterId{j})) continue;
+          // Objective: network RTT (request out + response back) plus
+          // weighted egress dollars per call.
+          double coeff = 0.0;
+          if (i != j) {
+            const ClusterId ci{i}, cj{j};
+            coeff += topology_->one_way_latency(ci, cj) +
+                     topology_->one_way_latency(cj, ci);
+            const double dollars_per_call =
+                (static_cast<double>(graph.node(n).request_bytes) *
+                     topology_->egress_price_per_gb(ci, cj) +
+                 static_cast<double>(graph.node(n).response_bytes) *
+                     topology_->egress_price_per_gb(cj, ci)) /
+                kBytesPerGb;
+            coeff += options_.cost_weight * dollars_per_call;
+          }
+          vars.x[k][n][i * C + j] = lp.add_variable(
+              0.0, kLpInfinity, coeff, strfmt("x[k%zu][n%zu][%zu->%zu]", k, n, i, j));
+        }
+      }
+    }
+  }
+
+  // Station variables.
+  vars.u.assign(S * C, -1);
+  vars.o.assign(S * C, -1);
+  vars.t.assign(S * C, -1);
+  const auto tangents =
+      queue_cost_tangents(options_.max_utilization, options_.tangent_count);
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      if (!deployment_->is_deployed(ServiceId{s}, ClusterId{c})) continue;
+      const double n_servers = servers_at(s, c);
+      vars.u[s * C + c] =
+          lp.add_variable(0.0, options_.max_utilization, n_servers,
+                          strfmt("u[s%zu][c%zu]", s, c));
+      vars.o[s * C + c] = lp.add_variable(
+          0.0, kLpInfinity, n_servers + options_.overflow_penalty,
+          strfmt("o[s%zu][c%zu]", s, c));
+      vars.t[s * C + c] = lp.add_variable(0.0, kLpInfinity, n_servers,
+                                          strfmt("t[s%zu][c%zu]", s, c));
+    }
+  }
+
+  // --- Constraints -------------------------------------------------------
+  for (std::size_t k = 0; k < K; ++k) {
+    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+    for (std::size_t n = 1; n < graph.node_count(); ++n) {
+      const std::size_t p = graph.node(n).parent;
+      const double mult = graph.node(n).multiplicity;
+
+      // Inflow: a[k][n][j] = sum_i x[k][n][i][j].
+      for (std::size_t j = 0; j < C; ++j) {
+        if (vars.a[k][n][j] < 0) continue;
+        std::vector<LinearTerm> terms{{vars.a[k][n][j], 1.0}};
+        for (std::size_t i = 0; i < C; ++i) {
+          const int xv = vars.x[k][n][i * C + j];
+          if (xv >= 0) terms.push_back({xv, -1.0});
+        }
+        lp.add_constraint(std::move(terms), Relation::kEqual, 0.0,
+                          strfmt("inflow[k%zu][n%zu][c%zu]", k, n, j));
+      }
+
+      // Outflow: sum_j x[k][n][i][j] = mult * a[k][p][i].
+      for (std::size_t i = 0; i < C; ++i) {
+        if (vars.a[k][p][i] < 0) continue;
+        std::vector<LinearTerm> terms{{vars.a[k][p][i], -mult}};
+        bool any = false;
+        for (std::size_t j = 0; j < C; ++j) {
+          const int xv = vars.x[k][n][i * C + j];
+          if (xv >= 0) {
+            terms.push_back({xv, 1.0});
+            any = true;
+          }
+        }
+        if (!any) {
+          // The child is deployed nowhere reachable — deployment.validate()
+          // precludes this, but guard anyway.
+          throw std::logic_error("RouteOptimizer: call edge with no candidates");
+        }
+        lp.add_constraint(std::move(terms), Relation::kEqual, 0.0,
+                          strfmt("outflow[k%zu][n%zu][c%zu]", k, n, i));
+      }
+    }
+  }
+
+  // Station utilization definitions and queue-cost epigraphs.
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const int uv = vars.u[s * C + c];
+      if (uv < 0) continue;
+      const double n_servers = servers_at(s, c);
+      std::vector<LinearTerm> terms{{uv, -1.0}, {vars.o[s * C + c], -1.0}};
+      for (std::size_t k = 0; k < K; ++k) {
+        const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+        const double st =
+            model.service_time(ServiceId{s}, ClassId{k}, ClusterId{c});
+        for (std::size_t n = 0; n < graph.node_count(); ++n) {
+          if (graph.node(n).service != ServiceId{s}) continue;
+          const int av = vars.a[k][n][c];
+          if (av >= 0) terms.push_back({av, st / n_servers});
+        }
+      }
+      lp.add_constraint(std::move(terms), Relation::kEqual, 0.0,
+                        strfmt("util[s%zu][c%zu]", s, c));
+
+      for (const auto& tan : tangents) {
+        lp.add_constraint({{vars.t[s * C + c], 1.0}, {uv, -tan.slope}},
+                          Relation::kGreaterEqual, tan.intercept,
+                          strfmt("queue[s%zu][c%zu]", s, c));
+      }
+    }
+  }
+
+  // Optional all-or-nothing MILP mode: binary y per (k, n, i, j) with
+  // x <= D_k * y, sum_j y = 1.
+  std::vector<double> class_total_demand(K, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t c = 0; c < C; ++c) class_total_demand[k] += eff_demand(k, c);
+  }
+  if (options_.integer_routes) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+      // Generous bound: total demand times the worst-case multiplicity chain.
+      double max_mult = 1.0;
+      for (std::size_t n = 1; n < graph.node_count(); ++n) {
+        max_mult = std::max(max_mult, graph.executions_per_request(n));
+      }
+      const double big = std::max(1.0, class_total_demand[k] * max_mult);
+      for (std::size_t n = 1; n < graph.node_count(); ++n) {
+        for (std::size_t i = 0; i < C; ++i) {
+          std::vector<LinearTerm> pick_one;
+          bool origin_possible = false;
+          for (std::size_t j = 0; j < C; ++j) {
+            const int xv = vars.x[k][n][i * C + j];
+            if (xv < 0) continue;
+            origin_possible = true;
+            const int yv = lp.add_variable(
+                0.0, 1.0, 0.0, strfmt("y[k%zu][n%zu][%zu->%zu]", k, n, i, j));
+            lp.set_integer(yv);
+            lp.add_constraint({{xv, 1.0}, {yv, -big}}, Relation::kLessEqual, 0.0);
+            pick_one.push_back({yv, 1.0});
+          }
+          if (origin_possible) {
+            lp.add_constraint(std::move(pick_one), Relation::kEqual, 1.0);
+          }
+        }
+      }
+    }
+  }
+
+  result.variables = lp.variable_count();
+  result.constraints = lp.constraint_count();
+
+  // --- Solve -------------------------------------------------------------
+  LpSolution solution;
+  if (options_.integer_routes) {
+    MilpOptions milp = options_.milp;
+    milp.simplex = options_.simplex;
+    solution = solve_milp(lp, milp);
+  } else {
+    solution = solve_lp(lp, options_.simplex, &result.simplex_stats);
+  }
+  result.status = solution.status;
+  result.objective = solution.objective;
+  if (!solution.ok()) return result;
+
+  // --- Extract rules -----------------------------------------------------
+  auto rules = std::make_shared<RoutingRuleSet>();
+  for (std::size_t k = 0; k < K; ++k) {
+    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+    for (std::size_t n = 1; n < graph.node_count(); ++n) {
+      const ServiceId svc = graph.node(n).service;
+      const auto candidates = deployment_->clusters_for(svc);
+      const std::size_t p = graph.node(n).parent;
+      const ServiceId parent_svc = graph.node(p).service;
+      for (std::size_t i = 0; i < C; ++i) {
+        if (!deployment_->is_deployed(parent_svc, ClusterId{i})) continue;
+        RouteWeights weights;
+        double total = 0.0;
+        for (std::size_t j = 0; j < C; ++j) {
+          const int xv = vars.x[k][n][i * C + j];
+          if (xv < 0) continue;
+          const double flow = std::max(0.0, solution.values[xv]);
+          weights.clusters.push_back(ClusterId{j});
+          weights.weights.push_back(flow);
+          total += flow;
+        }
+        if (total <= kZeroFlow) {
+          // No flow observed from this origin: deterministic fallback so the
+          // data plane always has a complete rule.
+          const ClusterId fallback =
+              deployment_->is_deployed(svc, ClusterId{i})
+                  ? ClusterId{i}
+                  : topology_->nearest(ClusterId{i}, candidates);
+          weights.weights.assign(weights.weights.size(), 0.0);
+          for (std::size_t wi = 0; wi < weights.clusters.size(); ++wi) {
+            if (weights.clusters[wi] == fallback) weights.weights[wi] = 1.0;
+          }
+        }
+        weights.normalize();
+        rules->set_rule(ClassId{k}, n, ClusterId{i}, std::move(weights));
+      }
+    }
+  }
+  rules->validate();
+  result.rules = std::move(rules);
+
+  // --- Predicted quality (exact queue cost, not the PWL approximation) ----
+  double latency_per_sec = 0.0;
+  double egress_per_sec = 0.0;
+  double total_demand = 0.0;
+  for (std::size_t k = 0; k < K; ++k) total_demand += class_total_demand[k];
+
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const int uv = vars.u[s * C + c];
+      if (uv < 0) continue;
+      const double n_servers = servers_at(s, c);
+      const double u = solution.values[uv];
+      const double o = solution.values[vars.o[s * C + c]];
+      result.station_plans.push_back(
+          StationPlan{ServiceId{s}, ClusterId{c}, u + o, o});
+      if (o > 1e-6) result.overloaded = true;
+      latency_per_sec += n_servers * (u + o);
+      latency_per_sec += n_servers * queue_cost(std::min(u + o, 0.999));
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+    for (std::size_t n = 1; n < graph.node_count(); ++n) {
+      for (std::size_t i = 0; i < C; ++i) {
+        for (std::size_t j = 0; j < C; ++j) {
+          const int xv = vars.x[k][n][i * C + j];
+          if (xv < 0 || i == j) continue;
+          const double flow = solution.values[xv];
+          if (flow <= 0.0) continue;
+          const ClusterId ci{i}, cj{j};
+          latency_per_sec += flow * (topology_->one_way_latency(ci, cj) +
+                                     topology_->one_way_latency(cj, ci));
+          egress_per_sec += flow *
+                            (static_cast<double>(graph.node(n).request_bytes) *
+                                 topology_->egress_price_per_gb(ci, cj) +
+                             static_cast<double>(graph.node(n).response_bytes) *
+                                 topology_->egress_price_per_gb(cj, ci)) /
+                            kBytesPerGb;
+        }
+      }
+    }
+  }
+  result.predicted_mean_latency =
+      total_demand > 0.0 ? latency_per_sec / total_demand : 0.0;
+  result.predicted_egress_dollars_per_sec = egress_per_sec;
+  return result;
+}
+
+}  // namespace slate

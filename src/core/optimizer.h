@@ -1,0 +1,108 @@
+// The global request-routing optimization (paper §3.3, DESIGN.md §4).
+//
+// Inputs: the application's per-class call trees, the deployment (placement,
+// server counts), the topology (latency, egress prices), the learned latency
+// model, and per-(class, ingress cluster) demand. Output: per (class,
+// call-edge, source cluster) weight vectors over destination clusters — the
+// paper's routing rules — plus the predicted latency/cost of the plan.
+//
+// Formulation (all flows in requests/second):
+//   x[k][e][i][j]  rate of class-k calls over call edge e from cluster i
+//                  serving in cluster j            (only where deployable)
+//   a[k][n][j]     arrival rate of call node n of class k at cluster j
+//   u[s][c]        station utilization (bounded by max_utilization)
+//   o[s][c]        utilization overflow beyond the bound (penalized; keeps
+//                  the program feasible under global overload)
+//   t[s][c]        epigraph of the convex queue-cost g(u) = u^2/(1-u)
+//
+// The objective minimizes total latency-seconds per second — compute
+// (servers * (u+o)), queueing (servers * t), and network RTT per crossing —
+// plus cost_weight * egress dollars per second. Minimizing total latency per
+// second is equivalent to minimizing mean end-to-end latency because total
+// demand is fixed. Parallel child invocations are counted as if sequential
+// (an upper bound on the true end-to-end latency).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/deployment.h"
+#include "core/latency_model.h"
+#include "lp/branch_and_bound.h"
+#include "lp/simplex.h"
+#include "net/topology.h"
+#include "routing/weighted_rules.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+struct OptimizerOptions {
+  // Seconds of objective per dollar-per-second of egress spend. 0 optimizes
+  // latency only; larger values trade latency for cheaper egress
+  // (paper §4.1: "if an administrator values cost over latency").
+  double cost_weight = 1.0;
+  // Stations may not be planned beyond this utilization.
+  double max_utilization = 0.95;
+  // Tangent count for the queue-cost epigraph.
+  std::size_t tangent_count = 14;
+  // Objective penalty per unit of utilization overflow (latency-seconds).
+  double overflow_penalty = 1e4;
+  // When true, each (class, edge, source) must route to a single cluster
+  // (all-or-nothing), solved as a MILP. Used by ablations.
+  bool integer_routes = false;
+  SimplexOptions simplex;
+  MilpOptions milp;
+};
+
+struct StationPlan {
+  ServiceId service;
+  ClusterId cluster;
+  double utilization = 0.0;
+  double overflow = 0.0;
+};
+
+struct OptimizerResult {
+  LpStatus status = LpStatus::kInfeasible;
+  std::shared_ptr<RoutingRuleSet> rules;
+
+  // Predicted plan quality, evaluated with the exact (non-PWL) queue model.
+  double predicted_mean_latency = 0.0;        // seconds per request
+  double predicted_egress_dollars_per_sec = 0.0;
+  double objective = 0.0;                     // LP objective value
+  bool overloaded = false;                    // any station overflowed
+
+  std::vector<StationPlan> station_plans;
+  int variables = 0;
+  int constraints = 0;
+  SimplexStats simplex_stats;
+
+  [[nodiscard]] bool ok() const noexcept { return status == LpStatus::kOptimal; }
+};
+
+class RouteOptimizer {
+ public:
+  RouteOptimizer(const Application& app, const Deployment& deployment,
+                 const Topology& topology, OptimizerOptions options = {});
+
+  // `demand(k, c)` = class-k requests/second entering cluster c.
+  // Demand at clusters lacking the class's entry service is reassigned to
+  // the nearest cluster that has it.
+  //
+  // `live_servers`, if non-null, overrides the deployment's static server
+  // counts (indexed service * cluster_count + cluster; entries of 0 fall
+  // back to the deployment). Autoscalers and failures change capacity at
+  // runtime; the controller feeds the observed counts back here.
+  OptimizerResult optimize(const LatencyModel& model,
+                           const FlatMatrix<double>& demand,
+                           const std::vector<unsigned>* live_servers = nullptr) const;
+
+  [[nodiscard]] const OptimizerOptions& options() const noexcept { return options_; }
+
+ private:
+  const Application* app_;
+  const Deployment* deployment_;
+  const Topology* topology_;
+  OptimizerOptions options_;
+};
+
+}  // namespace slate

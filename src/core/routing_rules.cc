@@ -1,0 +1,83 @@
+#include "core/routing_rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slate {
+
+std::shared_ptr<RoutingRuleSet> blend_rule_sets(const RoutingRuleSet* current,
+                                                const RoutingRuleSet& target,
+                                                double step) {
+  step = std::clamp(step, 0.0, 1.0);
+  auto out = std::make_shared<RoutingRuleSet>();
+  target.for_each([&](ClassId cls, std::size_t node, ClusterId from,
+                      const RouteWeights& target_rule) {
+    const RouteWeights* old_rule =
+        current != nullptr ? current->find(cls, node, from) : nullptr;
+    if (old_rule == nullptr || step >= 1.0) {
+      out->set_rule(cls, node, from, target_rule);
+      return;
+    }
+    RouteWeights blended;
+    blended.clusters = target_rule.clusters;
+    blended.weights.resize(target_rule.clusters.size());
+    for (std::size_t i = 0; i < target_rule.clusters.size(); ++i) {
+      const double old_w = old_rule->weight_for(target_rule.clusters[i]);
+      blended.weights[i] = (1.0 - step) * old_w + step * target_rule.weights[i];
+    }
+    // Old rules may put weight on clusters absent from the target rule's
+    // cluster list; renormalize over the target's list.
+    double total = 0.0;
+    for (double w : blended.weights) total += w;
+    if (total <= 0.0) {
+      blended = target_rule;
+    } else {
+      for (double& w : blended.weights) w /= total;
+    }
+    out->set_rule(cls, node, from, std::move(blended));
+  });
+  return out;
+}
+
+double rule_set_distance(const RoutingRuleSet& a, const RoutingRuleSet& b) {
+  double total = 0.0;
+  std::size_t count = 0;
+
+  auto compare = [&](ClassId cls, std::size_t node, ClusterId from,
+                     const RouteWeights& rule_a, const RouteWeights* rule_b) {
+    (void)cls;
+    (void)node;
+    (void)from;
+    double l1 = 0.0;
+    // Union of clusters mentioned by either rule.
+    for (std::size_t i = 0; i < rule_a.clusters.size(); ++i) {
+      const double wb =
+          rule_b != nullptr ? rule_b->weight_for(rule_a.clusters[i]) : 0.0;
+      l1 += std::abs(rule_a.weights[i] - wb);
+    }
+    if (rule_b != nullptr) {
+      for (std::size_t i = 0; i < rule_b->clusters.size(); ++i) {
+        const bool in_a = std::find(rule_a.clusters.begin(), rule_a.clusters.end(),
+                                    rule_b->clusters[i]) != rule_a.clusters.end();
+        if (!in_a) l1 += rule_b->weights[i];
+      }
+    }
+    total += l1;
+    ++count;
+  };
+
+  a.for_each([&](ClassId cls, std::size_t node, ClusterId from,
+                 const RouteWeights& rule_a) {
+    compare(cls, node, from, rule_a, b.find(cls, node, from));
+  });
+  // Keys only in b.
+  b.for_each([&](ClassId cls, std::size_t node, ClusterId from,
+                 const RouteWeights& rule_b) {
+    if (a.find(cls, node, from) == nullptr) {
+      compare(cls, node, from, rule_b, nullptr);
+    }
+  });
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace slate

@@ -1,0 +1,38 @@
+#include "core/slate_proxy.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace slate {
+
+SlateProxy::SlateProxy(ServiceId service, MetricsRegistry& registry,
+                       std::shared_ptr<WeightedRulesPolicy> rules_policy,
+                       TraceCollector* trace)
+    : service_(service),
+      registry_(registry),
+      rules_policy_(std::move(rules_policy)),
+      trace_(trace) {
+  if (rules_policy_ == nullptr) {
+    throw std::invalid_argument("SlateProxy: null rules policy");
+  }
+}
+
+ClusterId SlateProxy::route(const RouteQuery& query, Rng& rng) {
+  return rules_policy_->route(query, rng);
+}
+
+void SlateProxy::on_request_start(ClassId cls, double now) {
+  registry_.record_start(service_, cls, now);
+}
+
+void SlateProxy::on_request_end(ClassId cls, const Span& span) {
+  registry_.record_end(service_, cls, span.exclusive_time,
+                       span.exclusive_time - span.queue_time);
+  if (trace_ != nullptr) trace_->record(span);
+}
+
+void SlateProxy::on_root_response(ClassId cls, double e2e_latency_seconds) {
+  registry_.record_e2e(cls, e2e_latency_seconds);
+}
+
+}  // namespace slate

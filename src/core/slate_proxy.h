@@ -1,0 +1,56 @@
+// SLATE-proxy: the data-plane element (paper §3.1).
+//
+// One proxy fronts each service's replica pool in each cluster. Its two
+// jobs, mirroring the paper: (1) telemetry — record per-request load,
+// latency, class, and trace spans; (2) policy enforcement — answer routing
+// queries for outbound calls from the rules pushed by the cluster
+// controller. The routing fast path is one hash lookup plus one weighted
+// draw (measured in bench/micro_dataplane).
+//
+// Proxies deliberately do not know their own cluster id (the cluster
+// controller attaches it when aggregating, paper §3.2); they know it only
+// implicitly via the registry they write to.
+#pragma once
+
+#include <memory>
+
+#include "routing/weighted_rules.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "util/ids.h"
+
+namespace slate {
+
+class SlateProxy {
+ public:
+  // `registry` and `trace` (optional) must outlive the proxy. `rules_policy`
+  // is the shared per-cluster rule executor the cluster controller updates.
+  SlateProxy(ServiceId service, MetricsRegistry& registry,
+             std::shared_ptr<WeightedRulesPolicy> rules_policy,
+             TraceCollector* trace = nullptr);
+
+  // --- policy enforcement -----------------------------------------------
+  ClusterId route(const RouteQuery& query, Rng& rng);
+
+  // --- telemetry ----------------------------------------------------------
+  void on_request_start(ClassId cls, double now);
+  // `span` carries trace info; its exclusive (station-local) time feeds the
+  // load/latency metrics, the full span goes to the trace collector.
+  void on_request_end(ClassId cls, const Span& span);
+  // Root-node completion: records the end-to-end latency of a request that
+  // entered the mesh at this proxy.
+  void on_root_response(ClassId cls, double e2e_latency_seconds);
+
+  [[nodiscard]] ServiceId service() const noexcept { return service_; }
+  [[nodiscard]] const WeightedRulesPolicy& policy() const noexcept {
+    return *rules_policy_;
+  }
+
+ private:
+  ServiceId service_;
+  MetricsRegistry& registry_;
+  std::shared_ptr<WeightedRulesPolicy> rules_policy_;
+  TraceCollector* trace_;
+};
+
+}  // namespace slate

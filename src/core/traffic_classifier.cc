@@ -1,0 +1,62 @@
+#include "core/traffic_classifier.h"
+
+namespace slate {
+
+TrafficClassifier::TrafficClassifier(ClassifierOptions options)
+    : options_(options) {}
+
+std::string TrafficClassifier::make_key(ServiceId entry_service,
+                                        const RequestAttributes& attrs) {
+  std::string key;
+  key.reserve(16 + attrs.method.size() + attrs.path.size());
+  key += std::to_string(entry_service.value());
+  key += '\x1f';
+  key += attrs.method;
+  key += '\x1f';
+  key += attrs.path;
+  return key;
+}
+
+void TrafficClassifier::register_class(ServiceId entry_service,
+                                       const RequestAttributes& attrs,
+                                       ClassId cls) {
+  table_[make_key(entry_service, attrs)] = cls;
+}
+
+TrafficClassifier TrafficClassifier::from_application(const Application& app,
+                                                      ClassifierOptions options) {
+  TrafficClassifier classifier(options);
+  for (ClassId k : app.all_classes()) {
+    const auto& spec = app.traffic_class(k);
+    classifier.register_class(app.entry_service(k), spec.attributes, k);
+  }
+  classifier.set_discovery_base(app.class_count());
+  return classifier;
+}
+
+std::optional<ClassId> TrafficClassifier::lookup(
+    ServiceId entry_service, const RequestAttributes& attrs) const {
+  const auto it = table_.find(make_key(entry_service, attrs));
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+ClassId TrafficClassifier::classify(ServiceId entry_service,
+                                    const RequestAttributes& attrs) {
+  const std::string key = make_key(entry_service, attrs);
+  const auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+
+  if (discovered_ < options_.max_discovered_classes) {
+    const ClassId cls{discovery_base_ + discovered_};
+    ++discovered_;
+    table_[key] = cls;
+    return cls;
+  }
+  if (!overflow_.valid()) {
+    overflow_ = ClassId{discovery_base_ + discovered_};
+  }
+  return overflow_;
+}
+
+}  // namespace slate

@@ -1,0 +1,74 @@
+// Traffic classification (paper §3.3 "Deriving Classes").
+//
+// SLATE partitions the requests seen at a service into traffic classes so
+// routing can differentiate cheap from expensive requests. Following the
+// paper, the classifier keys on (service, HTTP method, HTTP path). Two
+// modes:
+//   * registered classes — the operator (or the application spec) binds
+//     attribute tuples to class ids up front;
+//   * discovery — unseen tuples are assigned fresh class ids up to a cap,
+//     after which they fall into a catch-all class (the paper's point that
+//     the class count must stay bounded for the optimizer and for getting
+//     enough samples per class).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "app/application.h"
+#include "util/ids.h"
+
+namespace slate {
+
+struct ClassifierOptions {
+  // Maximum classes discovery may allocate (registered classes don't count).
+  std::size_t max_discovered_classes = 64;
+};
+
+class TrafficClassifier {
+ public:
+  explicit TrafficClassifier(ClassifierOptions options = {});
+
+  // Binds (entry service, method, path) -> cls. Duplicate keys overwrite.
+  void register_class(ServiceId entry_service, const RequestAttributes& attrs,
+                      ClassId cls);
+
+  // Registers every class of `app` under its entry service and attributes.
+  static TrafficClassifier from_application(const Application& app,
+                                            ClassifierOptions options = {});
+
+  // Classifies a request. Registered tuples map to their class; unknown
+  // tuples allocate discovery classes (ids after `discovery_base`) until the
+  // cap, then the catch-all. Never fails.
+  [[nodiscard]] ClassId classify(ServiceId entry_service,
+                                 const RequestAttributes& attrs);
+
+  // Lookup without discovery side effects.
+  [[nodiscard]] std::optional<ClassId> lookup(ServiceId entry_service,
+                                              const RequestAttributes& attrs) const;
+
+  // First id used for discovered classes (= number of registered ids passed
+  // to set_discovery_base; defaults to 0 until set).
+  void set_discovery_base(std::size_t base) noexcept { discovery_base_ = base; }
+  [[nodiscard]] std::size_t discovered_count() const noexcept { return discovered_; }
+  [[nodiscard]] std::size_t registered_count() const noexcept {
+    return table_.size() - discovered_;
+  }
+  // The catch-all class returned once the discovery cap is hit (allocated
+  // lazily; invalid until then).
+  [[nodiscard]] ClassId overflow_class() const noexcept { return overflow_; }
+
+ private:
+  [[nodiscard]] static std::string make_key(ServiceId entry_service,
+                                            const RequestAttributes& attrs);
+
+  ClassifierOptions options_;
+  std::unordered_map<std::string, ClassId> table_;
+  std::size_t discovery_base_ = 0;
+  std::size_t discovered_ = 0;
+  ClassId overflow_;
+};
+
+}  // namespace slate

@@ -1,0 +1,128 @@
+#include "lp/branch_and_bound.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+namespace slate {
+namespace {
+
+struct Node {
+  // Bound overrides, sparse: (var, lower, upper).
+  std::vector<std::tuple<int, double, double>> bounds;
+};
+
+// Most-fractional integer variable, or -1 if all integral.
+int pick_branch_variable(const LpModel& model, const std::vector<double>& x,
+                         double tol) {
+  int best = -1;
+  double best_frac_distance = tol;
+  for (int j = 0; j < model.variable_count(); ++j) {
+    if (!model.is_integer(j)) continue;
+    const double v = x[j];
+    const double frac = v - std::floor(v);
+    const double distance = std::min(frac, 1.0 - frac);
+    if (distance > best_frac_distance) {
+      best_frac_distance = distance;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LpSolution solve_milp(const LpModel& model, const MilpOptions& options,
+                      MilpStats* stats) {
+  const bool maximize = model.objective_sense() == ObjectiveSense::kMaximize;
+  // Work on a private copy whose bounds we tighten per node.
+  LpModel work = model;
+
+  LpSolution incumbent;
+  incumbent.status = LpStatus::kInfeasible;
+  bool have_incumbent = false;
+  bool node_limit_hit = false;
+
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+
+  // "Better" in the model's own sense.
+  auto improves = [&](double candidate) {
+    if (!have_incumbent) return true;
+    return maximize ? candidate > incumbent.objective + options.absolute_gap
+                    : candidate < incumbent.objective - options.absolute_gap;
+  };
+
+  std::uint64_t nodes = 0;
+  while (!stack.empty()) {
+    if (nodes >= options.max_nodes) {
+      node_limit_hit = true;
+      break;
+    }
+    ++nodes;
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    // Apply node bounds on top of the base model.
+    for (int j = 0; j < model.variable_count(); ++j) {
+      work.set_bounds(j, model.lower_bound(j), model.upper_bound(j));
+    }
+    bool bounds_ok = true;
+    for (const auto& [var, lo, hi] : node.bounds) {
+      const double new_lo = std::max(lo, work.lower_bound(var));
+      const double new_hi = std::min(hi, work.upper_bound(var));
+      if (new_lo > new_hi) {
+        bounds_ok = false;  // branching emptied the box: prune
+        break;
+      }
+      work.set_bounds(var, new_lo, new_hi);
+    }
+    if (!bounds_ok) continue;
+
+    SimplexStats sstats;
+    const LpSolution relax = solve_lp(work, options.simplex, &sstats);
+    if (stats != nullptr) stats->simplex_iterations += sstats.iterations;
+    if (relax.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP itself is
+      // unbounded (or its feasibility is undecidable by bounding); report it.
+      if (node.bounds.empty()) return relax;
+      continue;
+    }
+    if (relax.status != LpStatus::kOptimal) continue;
+    if (!improves(relax.objective)) continue;  // bound pruning
+
+    const int branch_var =
+        pick_branch_variable(model, relax.values, options.integrality_tolerance);
+    if (branch_var < 0) {
+      incumbent = relax;
+      have_incumbent = true;
+      continue;
+    }
+
+    const double v = relax.values[branch_var];
+    Node down = node;
+    down.bounds.emplace_back(branch_var, -kLpInfinity, std::floor(v));
+    Node up = node;
+    up.bounds.emplace_back(branch_var, std::ceil(v), kLpInfinity);
+    // DFS: explore the side nearer the relaxation value first.
+    if (v - std::floor(v) <= 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (stats != nullptr) stats->nodes_explored = nodes;
+  if (have_incumbent) {
+    incumbent.status =
+        node_limit_hit ? LpStatus::kIterationLimit : LpStatus::kOptimal;
+    return incumbent;
+  }
+  LpSolution none;
+  none.status = node_limit_hit ? LpStatus::kIterationLimit : LpStatus::kInfeasible;
+  return none;
+}
+
+}  // namespace slate

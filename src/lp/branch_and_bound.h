@@ -1,0 +1,36 @@
+// Branch & bound MILP solver over the simplex LP relaxation.
+//
+// Depth-first search with best-bound pruning; branches on the integer
+// variable whose relaxation value is farthest from integral. Suitable for
+// the small integer dimensions SLATE uses (e.g. all-or-nothing class
+// pinning); the LP-only fast path (no integer variables) costs exactly one
+// simplex solve.
+#pragma once
+
+#include <cstdint>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace slate {
+
+struct MilpOptions {
+  SimplexOptions simplex;
+  std::uint64_t max_nodes = 100000;
+  double integrality_tolerance = 1e-6;
+  // Absolute objective gap below which an incumbent is accepted as optimal.
+  double absolute_gap = 1e-9;
+};
+
+struct MilpStats {
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t simplex_iterations = 0;
+};
+
+// Solves `model` respecting variables marked integer. Status semantics match
+// solve_lp; kIterationLimit is returned when max_nodes is exhausted with no
+// proven-optimal incumbent (values hold the best incumbent if any).
+LpSolution solve_milp(const LpModel& model, const MilpOptions& options = {},
+                      MilpStats* stats = nullptr);
+
+}  // namespace slate

@@ -1,0 +1,56 @@
+#include "lp/piecewise.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace slate {
+
+std::vector<TangentLine> tangents_of(const std::function<double(double)>& f,
+                                     const std::function<double(double)>& df,
+                                     double lo, double hi, std::size_t count) {
+  if (count < 2) throw std::invalid_argument("tangents_of: need >= 2 tangents");
+  if (!(hi > lo)) throw std::invalid_argument("tangents_of: empty interval");
+  std::vector<TangentLine> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // s in [0,1]; square it and mirror so points bunch toward hi where
+    // queueing curvature concentrates.
+    const double s = static_cast<double>(i) / static_cast<double>(count - 1);
+    const double warped = 1.0 - (1.0 - s) * (1.0 - s);
+    const double x = lo + (hi - lo) * warped;
+    const double slope = df(x);
+    out.push_back(TangentLine{slope, f(x) - slope * x});
+  }
+  return out;
+}
+
+double queue_cost(double u) noexcept {
+  if (u >= 1.0) return std::numeric_limits<double>::infinity();
+  if (u <= 0.0) return 0.0;
+  return u * u / (1.0 - u);
+}
+
+double queue_cost_derivative(double u) noexcept {
+  if (u >= 1.0) return std::numeric_limits<double>::infinity();
+  if (u <= 0.0) return 0.0;
+  const double d = 1.0 - u;
+  return (2.0 * u * d + u * u) / (d * d);
+}
+
+std::vector<TangentLine> queue_cost_tangents(double u_max, std::size_t count) {
+  if (!(u_max > 0.0 && u_max < 1.0)) {
+    throw std::invalid_argument("queue_cost_tangents: u_max must be in (0,1)");
+  }
+  return tangents_of([](double u) { return queue_cost(u); },
+                     [](double u) { return queue_cost_derivative(u); }, 0.0,
+                     u_max, count);
+}
+
+double pwl_value(const std::vector<TangentLine>& tangents, double x) noexcept {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& t : tangents) best = std::max(best, t.at(x));
+  return best;
+}
+
+}  // namespace slate

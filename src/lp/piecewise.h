@@ -1,0 +1,42 @@
+// Piecewise-linear under-approximation of convex functions.
+//
+// The optimizer's latency objective contains, per service station, the
+// convex queueing-cost function g(u) = u^2 / (1 - u) (aggregate waiting time
+// per second at utilization u; see DESIGN.md §4). A convex function is the
+// pointwise maximum of its tangents, so for minimization it can be encoded
+// exactly as an epigraph variable t with constraints t >= slope_i * u +
+// intercept_i — plain LP, no integer variables.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace slate {
+
+struct TangentLine {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  [[nodiscard]] double at(double x) const noexcept { return slope * x + intercept; }
+};
+
+// Tangents of a convex differentiable `f` with derivative `df`, taken at
+// `count` points on [lo, hi]. Points are spaced so curvature near `hi` (where
+// queueing curves blow up) gets denser coverage: u_i = lo + (hi-lo) * s_i^0.5
+// reversed — i.e. more points near hi.
+std::vector<TangentLine> tangents_of(const std::function<double(double)>& f,
+                                     const std::function<double(double)>& df,
+                                     double lo, double hi, std::size_t count);
+
+// Tangents of the queueing-cost g(u) = u^2/(1-u) on [0, u_max], u_max < 1.
+std::vector<TangentLine> queue_cost_tangents(double u_max, std::size_t count);
+
+// Max over tangents at x (the PWL approximation value).
+double pwl_value(const std::vector<TangentLine>& tangents, double x) noexcept;
+
+// The exact queueing-cost function and its derivative (exposed for tests and
+// for the controllers' objective evaluation).
+double queue_cost(double u) noexcept;        // u^2/(1-u), +inf for u >= 1
+double queue_cost_derivative(double u) noexcept;
+
+}  // namespace slate

@@ -1,0 +1,352 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace slate {
+namespace {
+
+// One structural column of the transformed problem, mapping back to a model
+// variable: model_x = sign * column_value + offset (summed over columns that
+// share the model variable, for free-variable splits).
+struct ColumnMap {
+  int model_var = -1;
+  double sign = 1.0;
+};
+
+struct Transformed {
+  // Dense constraint matrix rows (structural columns only) and rhs, already
+  // normalized to rhs >= 0.
+  std::vector<std::vector<double>> a;
+  std::vector<double> rhs;
+  std::vector<Relation> rel;
+  // Phase-2 objective over structural columns (minimization) + constant.
+  std::vector<double> cost;
+  double cost_constant = 0.0;
+  std::vector<ColumnMap> columns;
+  std::vector<double> offsets;  // per model variable
+  bool flip_objective = false;  // true when the model maximizes
+};
+
+// Rewrites the model into "all variables >= 0, rhs >= 0" form.
+Transformed transform(const LpModel& model) {
+  Transformed t;
+  const int n = model.variable_count();
+  t.offsets.assign(n, 0.0);
+  t.flip_objective = model.objective_sense() == ObjectiveSense::kMaximize;
+
+  // Column plan per model variable.
+  std::vector<int> first_col(n, -1);
+  std::vector<int> second_col(n, -1);  // for free-variable splits
+  std::vector<double> extra_upper;     // finite upper bound rows, per column
+  for (int j = 0; j < n; ++j) {
+    const double lo = model.lower_bound(j);
+    const double hi = model.upper_bound(j);
+    if (lo == -kLpInfinity && hi == kLpInfinity) {
+      first_col[j] = static_cast<int>(t.columns.size());
+      t.columns.push_back({j, 1.0});
+      extra_upper.push_back(kLpInfinity);
+      second_col[j] = static_cast<int>(t.columns.size());
+      t.columns.push_back({j, -1.0});
+      extra_upper.push_back(kLpInfinity);
+    } else if (lo == -kLpInfinity) {
+      // x = hi - x^, x^ >= 0.
+      first_col[j] = static_cast<int>(t.columns.size());
+      t.columns.push_back({j, -1.0});
+      extra_upper.push_back(kLpInfinity);
+      t.offsets[j] = hi;
+    } else {
+      // x = lo + x^, x^ in [0, hi - lo].
+      first_col[j] = static_cast<int>(t.columns.size());
+      t.columns.push_back({j, 1.0});
+      extra_upper.push_back(hi == kLpInfinity ? kLpInfinity : hi - lo);
+      t.offsets[j] = lo;
+    }
+  }
+  const int cols = static_cast<int>(t.columns.size());
+
+  // Objective over columns.
+  t.cost.assign(cols, 0.0);
+  for (int j = 0; j < n; ++j) {
+    double c = model.objective_coefficient(j);
+    if (t.flip_objective) c = -c;
+    t.cost_constant += c * t.offsets[j];
+    t.cost[first_col[j]] += c * t.columns[first_col[j]].sign;
+    if (second_col[j] >= 0) t.cost[second_col[j]] += c * t.columns[second_col[j]].sign;
+  }
+
+  auto add_row = [&](std::vector<double> row, Relation rel, double rhs) {
+    if (rhs < 0.0) {
+      for (double& v : row) v = -v;
+      rhs = -rhs;
+      rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
+            : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                             : Relation::kEqual;
+    }
+    t.a.push_back(std::move(row));
+    t.rhs.push_back(rhs);
+    t.rel.push_back(rel);
+  };
+
+  // Model constraints.
+  for (const auto& row : model.rows()) {
+    std::vector<double> dense(cols, 0.0);
+    double rhs = row.rhs;
+    for (const auto& term : row.terms) {
+      rhs -= term.coeff * t.offsets[term.var];
+      dense[first_col[term.var]] += term.coeff * t.columns[first_col[term.var]].sign;
+      if (second_col[term.var] >= 0) {
+        dense[second_col[term.var]] +=
+            term.coeff * t.columns[second_col[term.var]].sign;
+      }
+    }
+    add_row(std::move(dense), row.rel, rhs);
+  }
+
+  // Finite upper bounds as explicit rows.
+  for (int c = 0; c < cols; ++c) {
+    if (extra_upper[c] != kLpInfinity) {
+      std::vector<double> dense(cols, 0.0);
+      dense[c] = 1.0;
+      add_row(std::move(dense), Relation::kLessEqual, extra_upper[c]);
+    }
+  }
+  return t;
+}
+
+// Dense tableau with explicit basis bookkeeping.
+class Tableau {
+ public:
+  Tableau(const Transformed& t, const SimplexOptions& options)
+      : options_(options), structural_cols_(static_cast<int>(t.columns.size())) {
+    const int m = static_cast<int>(t.a.size());
+    // Column layout: [structural | slack/surplus | artificial], then rhs.
+    int slack_count = 0;
+    for (Relation r : t.rel) {
+      if (r != Relation::kEqual) ++slack_count;
+    }
+    int artificial_count = 0;
+    for (std::size_t i = 0; i < t.rel.size(); ++i) {
+      if (t.rel[i] != Relation::kLessEqual) ++artificial_count;
+    }
+    total_cols_ = structural_cols_ + slack_count + artificial_count;
+    first_artificial_ = structural_cols_ + slack_count;
+
+    rows_.assign(m, std::vector<double>(total_cols_ + 1, 0.0));
+    basis_.assign(m, -1);
+
+    int next_slack = structural_cols_;
+    int next_artificial = first_artificial_;
+    for (int i = 0; i < m; ++i) {
+      auto& row = rows_[i];
+      std::copy(t.a[i].begin(), t.a[i].end(), row.begin());
+      row[total_cols_] = t.rhs[i];
+      switch (t.rel[i]) {
+        case Relation::kLessEqual:
+          row[next_slack] = 1.0;
+          basis_[i] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          row[next_slack] = -1.0;
+          ++next_slack;
+          row[next_artificial] = 1.0;
+          basis_[i] = next_artificial++;
+          break;
+        case Relation::kEqual:
+          row[next_artificial] = 1.0;
+          basis_[i] = next_artificial++;
+          break;
+      }
+    }
+  }
+
+  // Runs phase 1 + phase 2. Returns the status; on kOptimal, `solution`
+  // holds structural column values.
+  LpStatus solve(const std::vector<double>& cost, std::vector<double>& solution,
+                 double& objective, SimplexStats* stats) {
+    const int m = static_cast<int>(rows_.size());
+
+    if (first_artificial_ < total_cols_) {
+      // Phase 1: minimize the sum of artificial variables.
+      std::vector<double> phase1(total_cols_, 0.0);
+      for (int c = first_artificial_; c < total_cols_; ++c) phase1[c] = 1.0;
+      build_objective(phase1);
+      const LpStatus s1 = iterate(stats);
+      if (s1 != LpStatus::kOptimal) return s1;
+      if (objective_value() > 1e-7) return LpStatus::kInfeasible;
+      purge_artificials();
+    }
+
+    // Phase 2.
+    std::vector<double> full_cost(total_cols_, 0.0);
+    std::copy(cost.begin(), cost.end(), full_cost.begin());
+    build_objective(full_cost);
+    const LpStatus s2 = iterate(stats);
+    if (s2 != LpStatus::kOptimal) return s2;
+
+    solution.assign(structural_cols_, 0.0);
+    for (int i = 0; i < m; ++i) {
+      if (basis_[i] >= 0 && basis_[i] < structural_cols_) {
+        solution[basis_[i]] = rows_[i][total_cols_];
+      }
+    }
+    objective = objective_value();
+    return LpStatus::kOptimal;
+  }
+
+ private:
+  // Rebuilds the reduced-cost row for the given column costs, pricing out
+  // the current basis.
+  void build_objective(const std::vector<double>& cost) {
+    current_cost_ = cost;
+    obj_.assign(total_cols_ + 1, 0.0);
+    for (int c = 0; c < total_cols_; ++c) obj_[c] = cost[c];
+    obj_[total_cols_] = 0.0;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (int c = 0; c <= total_cols_; ++c) obj_[c] -= cb * rows_[i][c];
+    }
+  }
+
+  [[nodiscard]] double objective_value() const { return -obj_[total_cols_]; }
+
+  // After phase 1: pivot lingering artificials out of the basis or drop
+  // their (redundant) rows, then forbid artificial columns.
+  void purge_artificials() {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      // Find any usable non-artificial pivot in this row.
+      int pivot_col = -1;
+      for (int c = 0; c < first_artificial_; ++c) {
+        if (std::abs(rows_[i][c]) > 1e-9 && !disabled_col(c)) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        pivot(static_cast<int>(i), pivot_col);
+      } else {
+        // Redundant row: zero it so it can never constrain anything.
+        std::fill(rows_[i].begin(), rows_[i].end(), 0.0);
+        // Keep the artificial basic at value 0 in a dead row.
+      }
+    }
+    artificials_disabled_ = true;
+  }
+
+  [[nodiscard]] bool disabled_col(int c) const {
+    return artificials_disabled_ && c >= first_artificial_;
+  }
+
+  LpStatus iterate(SimplexStats* stats) {
+    const double tol = options_.tolerance;
+    for (std::uint64_t iter = 0; iter < options_.max_iterations; ++iter) {
+      if (stats != nullptr) ++stats->iterations;
+      const bool bland = iter >= options_.bland_after;
+
+      // Entering column.
+      int entering = -1;
+      double best = -tol;
+      const int scan_limit =
+          artificials_disabled_ ? first_artificial_ : total_cols_;
+      for (int c = 0; c < scan_limit; ++c) {
+        const double rc = obj_[c];
+        if (rc < -tol) {
+          if (bland) {
+            entering = c;
+            break;
+          }
+          if (rc < best) {
+            best = rc;
+            entering = c;
+          }
+        }
+      }
+      if (entering < 0) return LpStatus::kOptimal;
+
+      // Ratio test.
+      int leaving = -1;
+      double best_ratio = kLpInfinity;
+      for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const double a = rows_[i][entering];
+        if (a > tol) {
+          const double ratio = rows_[i][total_cols_] / a;
+          if (ratio < best_ratio - tol ||
+              (ratio < best_ratio + tol && leaving >= 0 &&
+               basis_[i] < basis_[leaving])) {
+            best_ratio = ratio;
+            leaving = static_cast<int>(i);
+          }
+        }
+      }
+      if (leaving < 0) return LpStatus::kUnbounded;
+      pivot(leaving, entering);
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  void pivot(int row, int col) {
+    auto& pivot_row = rows_[row];
+    const double p = pivot_row[col];
+    for (double& v : pivot_row) v /= p;
+    pivot_row[col] = 1.0;  // kill rounding residue on the pivot itself
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (static_cast<int>(i) == row) continue;
+      const double factor = rows_[i][col];
+      if (factor == 0.0) continue;
+      auto& r = rows_[i];
+      for (int c = 0; c <= total_cols_; ++c) r[c] -= factor * pivot_row[c];
+      r[col] = 0.0;
+    }
+    const double obj_factor = obj_[col];
+    if (obj_factor != 0.0) {
+      for (int c = 0; c <= total_cols_; ++c) obj_[c] -= obj_factor * pivot_row[c];
+      obj_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  SimplexOptions options_;
+  int structural_cols_;
+  int total_cols_ = 0;
+  int first_artificial_ = 0;
+  bool artificials_disabled_ = false;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<double> current_cost_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
+                    SimplexStats* stats) {
+  LpSolution result;
+  const Transformed t = transform(model);
+  if (stats != nullptr) {
+    stats->phase1_rows = static_cast<int>(t.a.size());
+    stats->columns = static_cast<int>(t.columns.size());
+  }
+
+  Tableau tableau(t, options);
+  std::vector<double> columns;
+  double objective = 0.0;
+  result.status = tableau.solve(t.cost, columns, objective, stats);
+  if (result.status != LpStatus::kOptimal) return result;
+
+  // Map structural columns back to model variables.
+  result.values.assign(model.variable_count(), 0.0);
+  for (std::size_t c = 0; c < t.columns.size(); ++c) {
+    result.values[t.columns[c].model_var] += t.columns[c].sign * columns[c];
+  }
+  for (int j = 0; j < model.variable_count(); ++j) {
+    result.values[j] += t.offsets[j];
+  }
+  const double min_objective = objective + t.cost_constant;
+  result.objective = t.flip_objective ? -min_objective : min_objective;
+  return result;
+}
+
+}  // namespace slate

@@ -1,0 +1,40 @@
+// Two-phase primal simplex for LpModel (LP relaxation: integrality ignored).
+//
+// Dense tableau implementation. Bounded variables are handled by
+// substitution (lower bounds shifted to zero, finite upper bounds become
+// explicit rows, free variables split); phase 1 minimizes artificial
+// infeasibility, phase 2 the user objective. The entering rule is
+// most-negative reduced cost, switching to Bland's rule after a fixed number
+// of iterations to guarantee termination on degenerate problems.
+//
+// Problem sizes in SLATE are modest (hundreds to a few thousand variables),
+// where a dense tableau is simple, cache-friendly, and fast enough; see
+// bench/micro_optimizer_scaling for measured solve times.
+#pragma once
+
+#include <cstdint>
+
+#include "lp/model.h"
+
+namespace slate {
+
+struct SimplexOptions {
+  std::uint64_t max_iterations = 200000;
+  // Iterations of most-negative-reduced-cost pivoting before switching to
+  // Bland's rule.
+  std::uint64_t bland_after = 20000;
+  double tolerance = 1e-9;
+};
+
+struct SimplexStats {
+  std::uint64_t iterations = 0;
+  int phase1_rows = 0;
+  int columns = 0;
+};
+
+// Solves the LP relaxation of `model`. `stats`, if non-null, receives
+// iteration counts.
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& options = {},
+                    SimplexStats* stats = nullptr);
+
+}  // namespace slate

@@ -1,0 +1,43 @@
+// Egress accounting.
+//
+// Every message that crosses a cluster boundary is charged here; the meter is
+// how experiments report "egress bandwidth cost" (the paper's 11.6x headline).
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+#include "util/ids.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+class EgressMeter {
+ public:
+  explicit EgressMeter(const Topology& topology);
+
+  // Records `bytes` sent from `from` to `to`. Intra-cluster traffic is
+  // tracked separately (bytes only; it never accrues cost).
+  void record(ClusterId from, ClusterId to, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t total_egress_bytes() const noexcept {
+    return total_egress_bytes_;
+  }
+  [[nodiscard]] std::uint64_t total_local_bytes() const noexcept {
+    return total_local_bytes_;
+  }
+  [[nodiscard]] std::uint64_t egress_bytes(ClusterId from, ClusterId to) const;
+  // Dollars, priced by the topology's per-pair $/GB.
+  [[nodiscard]] double total_cost_dollars() const noexcept { return total_cost_; }
+
+  void reset() noexcept;
+
+ private:
+  const Topology* topology_;
+  FlatMatrix<std::uint64_t> bytes_;
+  std::uint64_t total_egress_bytes_ = 0;
+  std::uint64_t total_local_bytes_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace slate

@@ -1,0 +1,53 @@
+#include "net/gcp_topology.h"
+
+#include "util/strfmt.h"
+
+namespace slate {
+
+Topology make_gcp_topology(double egress_dollars_per_gb) {
+  Topology topo;
+  const ClusterId orc = topo.add_cluster(kGcpRegionOR);
+  const ClusterId ut = topo.add_cluster(kGcpRegionUT);
+  const ClusterId iow = topo.add_cluster(kGcpRegionIOW);
+  const ClusterId sc = topo.add_cluster(kGcpRegionSC);
+
+  topo.set_rtt(orc, ut, 30e-3);
+  topo.set_rtt(ut, iow, 20e-3);
+  topo.set_rtt(iow, sc, 35e-3);
+  topo.set_rtt(orc, sc, 66e-3);
+  topo.set_rtt(orc, iow, 37e-3);
+  topo.set_rtt(ut, sc, 52e-3);  // unreported in the paper; see header.
+
+  topo.set_uniform_egress_price(egress_dollars_per_gb);
+  return topo;
+}
+
+Topology make_two_cluster_topology(double rtt_seconds,
+                                   double egress_dollars_per_gb) {
+  Topology topo;
+  const ClusterId west = topo.add_cluster("west");
+  const ClusterId east = topo.add_cluster("east");
+  topo.set_rtt(west, east, rtt_seconds);
+  topo.set_uniform_egress_price(egress_dollars_per_gb);
+  return topo;
+}
+
+Topology make_line_topology(std::size_t n, double hop_rtt_seconds,
+                            double egress_dollars_per_gb) {
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_cluster(strfmt("line-%zu", i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double hops = static_cast<double>(i < j ? j - i : i - j);
+      topo.set_one_way_latency(ClusterId{i}, ClusterId{j},
+                               hops * hop_rtt_seconds / 2.0);
+    }
+  }
+  topo.set_uniform_egress_price(egress_dollars_per_gb);
+  return topo;
+}
+
+}  // namespace slate

@@ -1,0 +1,32 @@
+// Topology presets used by the paper's evaluation.
+#pragma once
+
+#include "net/topology.h"
+
+namespace slate {
+
+// Names of the four GCP regions in the paper's §4.2 scenario, in id order.
+inline constexpr const char* kGcpRegionOR = "us-west1-or";
+inline constexpr const char* kGcpRegionUT = "us-west3-ut";
+inline constexpr const char* kGcpRegionIOW = "us-central1-iow";
+inline constexpr const char* kGcpRegionSC = "us-east1-sc";
+
+// The paper's measured GCP inter-region median VM-to-VM RTTs:
+//   OR-UT 30ms, UT-IOW 20ms, IOW-SC 35ms, OR-SC 66ms, OR-IOW 37ms.
+// The UT-SC pair is not reported; we use 52ms (slightly under the
+// UT-IOW-SC relay path of 55ms, as direct WAN paths typically are).
+// Egress price defaults to $0.08/GB for every inter-region pair
+// (GCP North-America inter-region tier 1 pricing).
+Topology make_gcp_topology(double egress_dollars_per_gb = 0.08);
+
+// Two clusters "west" (id 0) and "east" (id 1) connected with the given RTT,
+// as in the paper's Fig. 4 / Fig. 6a setup.
+Topology make_two_cluster_topology(double rtt_seconds,
+                                   double egress_dollars_per_gb = 0.08);
+
+// `n` clusters on a line, RTT between neighbours = `hop_rtt_seconds`,
+// accumulating per hop. Handy for scalability benches.
+Topology make_line_topology(std::size_t n, double hop_rtt_seconds,
+                            double egress_dollars_per_gb = 0.08);
+
+}  // namespace slate

@@ -1,0 +1,72 @@
+// Inter-cluster network model.
+//
+// Clusters are vertices; between every ordered pair we model a one-way
+// propagation latency (with optional jitter) and an egress price in dollars
+// per gigabyte. This is the "tc netem + cloud billing" substrate of the
+// paper's testbed: crossing a cluster boundary costs time and money, staying
+// local costs neither.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace slate {
+
+class Topology {
+ public:
+  // Creates a topology with `cluster_count` clusters named "cluster-<i>".
+  explicit Topology(std::size_t cluster_count = 0);
+
+  // Adds a cluster and returns its id. Latencies to existing clusters
+  // default to 0 (same-site); set them explicitly.
+  ClusterId add_cluster(std::string name);
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& cluster_name(ClusterId c) const;
+  // Returns an invalid id if no cluster has `name`.
+  [[nodiscard]] ClusterId find_cluster(std::string_view name) const noexcept;
+
+  // Symmetric convenience: one-way latency in both directions = rtt/2.
+  void set_rtt(ClusterId a, ClusterId b, double rtt_seconds);
+  void set_one_way_latency(ClusterId from, ClusterId to, double seconds);
+  [[nodiscard]] double one_way_latency(ClusterId from, ClusterId to) const;
+  [[nodiscard]] double rtt(ClusterId a, ClusterId b) const;
+
+  // Egress pricing, $/GB for traffic leaving `from` toward `to`.
+  void set_egress_price(ClusterId from, ClusterId to, double dollars_per_gb);
+  // Sets every inter-cluster pair to `dollars_per_gb`; intra stays 0.
+  void set_uniform_egress_price(double dollars_per_gb);
+  [[nodiscard]] double egress_price_per_gb(ClusterId from, ClusterId to) const;
+
+  // Multiplicative jitter: sampled latency = base * (1 + U(-j, +j)).
+  // j = 0 (default) disables jitter. Requires 0 <= j < 1.
+  void set_jitter_fraction(double j);
+  [[nodiscard]] double jitter_fraction() const noexcept { return jitter_; }
+
+  // One latency draw for a message from -> to. Intra-cluster is 0.
+  [[nodiscard]] double sample_latency(ClusterId from, ClusterId to, Rng& rng) const;
+
+  // The cluster nearest to `from` among `candidates` by one-way latency
+  // (excluding `from` itself unless it is the only candidate). Ties break to
+  // the lowest id, mirroring a deterministic priority list.
+  [[nodiscard]] ClusterId nearest(ClusterId from,
+                                  const std::vector<ClusterId>& candidates) const;
+
+  [[nodiscard]] std::vector<ClusterId> all_clusters() const;
+
+ private:
+  void check(ClusterId c) const;
+
+  std::vector<std::string> names_;
+  FlatMatrix<double> latency_;  // one-way seconds
+  FlatMatrix<double> price_;    // $/GB
+  double jitter_ = 0.0;
+};
+
+}  // namespace slate

@@ -1,0 +1,15 @@
+#include "routing/local_only.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+ClusterId LocalOnlyPolicy::route(const RouteQuery& query, Rng& /*rng*/) {
+  for (ClusterId c : *query.candidates) {
+    if (c == query.from) return c;
+  }
+  throw std::runtime_error(
+      "LocalOnlyPolicy: child service not deployed in the local cluster");
+}
+
+}  // namespace slate

@@ -1,0 +1,18 @@
+// Strictly-local routing: always the caller's own cluster.
+//
+// The "default option" of the paper's introduction. Throws if the child
+// service is not deployed locally — use LocalityFailoverPolicy when partial
+// replication is possible.
+#pragma once
+
+#include "routing/policy.h"
+
+namespace slate {
+
+class LocalOnlyPolicy final : public RoutingPolicy {
+ public:
+  ClusterId route(const RouteQuery& query, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "local-only"; }
+};
+
+}  // namespace slate

@@ -1,0 +1,12 @@
+#include "routing/locality_failover.h"
+
+namespace slate {
+
+ClusterId LocalityFailoverPolicy::route(const RouteQuery& query, Rng& /*rng*/) {
+  for (ClusterId c : *query.candidates) {
+    if (c == query.from) return c;
+  }
+  return topology_->nearest(query.from, *query.candidates);
+}
+
+}  // namespace slate

@@ -1,0 +1,28 @@
+// Istio-style locality failover.
+//
+// Serve locally when the child service is deployed in the caller's cluster;
+// otherwise fail over to the nearest cluster (by network latency) that hosts
+// it. This is what the paper's surveyed operators run today and what existing
+// service meshes do under partial replication (paper §2, §4.3): the
+// cross-cluster cut always happens at the edge whose local replica is
+// missing, with no view of cost or downstream hops.
+#pragma once
+
+#include "net/topology.h"
+#include "routing/policy.h"
+
+namespace slate {
+
+class LocalityFailoverPolicy final : public RoutingPolicy {
+ public:
+  explicit LocalityFailoverPolicy(const Topology& topology)
+      : topology_(&topology) {}
+
+  ClusterId route(const RouteQuery& query, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "locality-failover"; }
+
+ private:
+  const Topology* topology_;
+};
+
+}  // namespace slate

@@ -1,0 +1,2 @@
+// policy.h is interface-only; this file anchors the library target.
+#include "routing/policy.h"

@@ -1,0 +1,53 @@
+// Request routing policy interface.
+//
+// A policy answers one question on the request critical path: for a call of
+// traffic class `cls` at call-tree node `call_node`, issued from cluster
+// `from` toward `child_service`, which candidate cluster should serve it?
+// Candidates are exactly the clusters where the child service is deployed.
+//
+// Policies must be cheap: they run per request (paper §3.1, "simple and
+// heavily optimized since it is in the critical path"). State they consult
+// (loads, rules) is maintained off the critical path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace slate {
+
+struct RouteQuery {
+  ClassId cls;
+  std::size_t call_node = 0;
+  ServiceId child_service;
+  ClusterId from;
+  // Clusters where the child service is deployed, ascending id order,
+  // non-empty.
+  const std::vector<ClusterId>* candidates = nullptr;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  // Picks the serving cluster. `query.candidates` is non-empty; the result
+  // must be one of them.
+  virtual ClusterId route(const RouteQuery& query, Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Read-only view of instantaneous per-(service, cluster) load, provided by
+// the runtime. Waterfall consults it; in real deployments this is the
+// (slightly stale) load signal Traffic Director / ServiceRouter distribute.
+class LoadView {
+ public:
+  virtual ~LoadView() = default;
+  // Requests/second currently arriving at `service` in `cluster`.
+  [[nodiscard]] virtual double load_rps(ServiceId service,
+                                        ClusterId cluster) const = 0;
+};
+
+}  // namespace slate

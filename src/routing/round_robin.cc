@@ -1,0 +1,16 @@
+#include "routing/round_robin.h"
+
+namespace slate {
+
+ClusterId RoundRobinPolicy::route(const RouteQuery& query, Rng& /*rng*/) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(query.cls.value()) << 40) ^
+                            (static_cast<std::uint64_t>(query.call_node) << 20) ^
+                            query.from.value();
+  std::size_t& cursor = cursors_[key];
+  const auto& candidates = *query.candidates;
+  const ClusterId pick = candidates[cursor % candidates.size()];
+  ++cursor;
+  return pick;
+}
+
+}  // namespace slate

@@ -1,0 +1,25 @@
+// Cluster-level round robin.
+//
+// Cycles across every cluster hosting the child service, ignoring locality,
+// load, and cost — the strawman extension of single-cluster round robin to
+// multi-cluster (paper §2: "simple load balancing (i.e., round robin, ...)").
+// One cursor per (class, call node, source cluster) keeps streams fair.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "routing/policy.h"
+
+namespace slate {
+
+class RoundRobinPolicy final : public RoutingPolicy {
+ public:
+  ClusterId route(const RouteQuery& query, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> cursors_;
+};
+
+}  // namespace slate

@@ -1,0 +1,57 @@
+#include "routing/static_weights.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace slate {
+
+StaticWeightsPolicy::StaticWeightsPolicy(const Topology& topology,
+                                         FlatMatrix<double> distribution)
+    : topology_(&topology), distribution_(std::move(distribution)) {
+  if (distribution_.rows() != topology.cluster_count() ||
+      distribution_.cols() != topology.cluster_count()) {
+    throw std::invalid_argument("StaticWeightsPolicy: matrix shape mismatch");
+  }
+  for (double w : distribution_.data()) {
+    if (w < 0.0) {
+      throw std::invalid_argument("StaticWeightsPolicy: negative weight");
+    }
+  }
+}
+
+StaticWeightsPolicy StaticWeightsPolicy::make_uniform_spread(
+    const Topology& topology, double local_share) {
+  if (local_share < 0.0 || local_share > 1.0) {
+    throw std::invalid_argument("StaticWeightsPolicy: local_share in [0,1]");
+  }
+  const std::size_t n = topology.cluster_count();
+  FlatMatrix<double> dist(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        dist(i, j) = n == 1 ? 1.0 : local_share;
+      } else {
+        dist(i, j) = (1.0 - local_share) / static_cast<double>(n - 1);
+      }
+    }
+  }
+  return StaticWeightsPolicy(topology, std::move(dist));
+}
+
+ClusterId StaticWeightsPolicy::route(const RouteQuery& query, Rng& rng) {
+  // Weights restricted to clusters actually hosting the service.
+  std::vector<double> weights;
+  weights.reserve(query.candidates->size());
+  double total = 0.0;
+  for (ClusterId c : *query.candidates) {
+    const double w = distribution_(query.from.index(), c.index());
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return topology_->nearest(query.from, *query.candidates);
+  }
+  return (*query.candidates)[rng.weighted_pick(weights)];
+}
+
+}  // namespace slate

@@ -1,0 +1,39 @@
+// Istio-style locality weighted distribution.
+//
+// The paper's operator survey (§2) lists "static load distribution [13]"
+// among the mechanisms in production use: the operator hand-configures, per
+// source cluster, fixed percentages of traffic toward each destination
+// cluster, identical for every service and class and never adapting to
+// load. This policy completes the baseline set; it is what SLATE's
+// continuously re-optimized per-class weights generalize.
+#pragma once
+
+#include "net/topology.h"
+#include "routing/policy.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+class StaticWeightsPolicy final : public RoutingPolicy {
+ public:
+  // `distribution(i, j)` = share of traffic originating in cluster i to send
+  // to cluster j. Rows need not be normalized; negative entries are invalid.
+  // Destinations where a service is not deployed are skipped at route time
+  // (remaining weights renormalize implicitly); if no configured destination
+  // hosts the service, falls back to the nearest candidate.
+  StaticWeightsPolicy(const Topology& topology, FlatMatrix<double> distribution);
+
+  // Convenience: keep `local_share` at home, split the rest evenly across
+  // the other clusters (a common hand-tuned configuration).
+  static StaticWeightsPolicy make_uniform_spread(const Topology& topology,
+                                                 double local_share);
+
+  ClusterId route(const RouteQuery& query, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "static-weights"; }
+
+ private:
+  const Topology* topology_;
+  FlatMatrix<double> distribution_;
+};
+
+}  // namespace slate

@@ -1,0 +1,57 @@
+#include "routing/waterfall.h"
+
+#include <limits>
+
+namespace slate {
+
+WaterfallPolicy::WaterfallPolicy(const Topology& topology,
+                                 const Deployment& deployment,
+                                 const LoadView& loads,
+                                 WaterfallOptions options)
+    : topology_(&topology),
+      deployment_(&deployment),
+      loads_(&loads),
+      options_(options) {}
+
+double WaterfallPolicy::capacity(ServiceId service, ClusterId cluster) const {
+  return deployment_->capacity_rps(service, cluster) * options_.threshold_scale;
+}
+
+ClusterId WaterfallPolicy::route(const RouteQuery& query, Rng& /*rng*/) {
+  const auto& candidates = *query.candidates;
+  const ServiceId service = query.child_service;
+
+  // 1. Local first, while under threshold.
+  for (ClusterId c : candidates) {
+    if (c == query.from &&
+        loads_->load_rps(service, c) < capacity(service, c)) {
+      return c;
+    }
+  }
+
+  // 2. Spill to the nearest candidate with headroom (greedy, single-hop view).
+  ClusterId best;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (ClusterId c : candidates) {
+    if (loads_->load_rps(service, c) >= capacity(service, c)) continue;
+    const double l = topology_->one_way_latency(query.from, c);
+    if (l < best_latency) {
+      best_latency = l;
+      best = c;
+    }
+  }
+  if (best.valid()) return best;
+
+  // 3. Everyone is saturated: least load relative to capacity.
+  double best_ratio = std::numeric_limits<double>::infinity();
+  for (ClusterId c : candidates) {
+    const double ratio = loads_->load_rps(service, c) / capacity(service, c);
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace slate

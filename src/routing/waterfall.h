@@ -1,0 +1,47 @@
+// The Waterfall algorithm: greedy capacity-based offloading.
+//
+// Faithful to the scheme the paper evaluates as its baseline (Google Traffic
+// Director's "waterfall by region" / Meta ServiceRouter, paper §4):
+//   * every (service, cluster) has an operator-configured static capacity in
+//     requests/second (any class — Waterfall is class-blind);
+//   * a request is served locally while the local replica pool's current
+//     load is below capacity;
+//   * load beyond capacity spills greedily to the NEAREST cluster (by
+//     network latency from the caller) whose load is below its capacity;
+//   * if no cluster has headroom, the least-loaded-relative-to-capacity
+//     cluster is used (the request must go somewhere).
+//
+// The load signal comes from a LoadView, as in real deployments where the
+// control plane distributes (slightly stale) replica-pool loads.
+#pragma once
+
+#include "cluster/deployment.h"
+#include "net/topology.h"
+#include "routing/policy.h"
+
+namespace slate {
+
+struct WaterfallOptions {
+  // Scales every configured capacity, modelling conservative (<1) or
+  // aggressive (>1) thresholds relative to nominal capacity (paper Fig. 3).
+  double threshold_scale = 1.0;
+};
+
+class WaterfallPolicy final : public RoutingPolicy {
+ public:
+  WaterfallPolicy(const Topology& topology, const Deployment& deployment,
+                  const LoadView& loads, WaterfallOptions options = {});
+
+  ClusterId route(const RouteQuery& query, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "waterfall"; }
+
+ private:
+  [[nodiscard]] double capacity(ServiceId service, ClusterId cluster) const;
+
+  const Topology* topology_;
+  const Deployment* deployment_;
+  const LoadView* loads_;
+  WaterfallOptions options_;
+};
+
+}  // namespace slate

@@ -1,0 +1,85 @@
+// SLATE routing rules and their data-plane executor.
+//
+// A rule is exactly the paper's §3.3 output: "when a request matches class X
+// (at this call edge, in this source cluster), send w1 of requests to
+// cluster 1, w2 to cluster 2, ...". The global controller computes rule
+// sets; cluster controllers push them; WeightedRulesPolicy executes them
+// with one weighted draw per request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "routing/policy.h"
+
+namespace slate {
+
+struct RouteWeights {
+  // Parallel arrays; weights are non-negative and sum to ~1.
+  std::vector<ClusterId> clusters;
+  std::vector<double> weights;
+
+  [[nodiscard]] bool empty() const noexcept { return clusters.empty(); }
+  // Largest-weight cluster (deterministic summary, used in reports/tests).
+  [[nodiscard]] ClusterId primary() const;
+  // Weight assigned to `cluster` (0 if absent).
+  [[nodiscard]] double weight_for(ClusterId cluster) const noexcept;
+  void normalize();
+};
+
+// Immutable once built; shared by reference into the data plane so a rule
+// push is a single pointer swap per proxy.
+class RoutingRuleSet {
+ public:
+  void set_rule(ClassId cls, std::size_t call_node, ClusterId from,
+                RouteWeights weights);
+  [[nodiscard]] const RouteWeights* find(ClassId cls, std::size_t call_node,
+                                         ClusterId from) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+
+  // Throws std::logic_error if any rule has negative weights, a zero total,
+  // or mismatched array sizes.
+  void validate() const;
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [key, weights] : rules_) {
+      fn(ClassId{static_cast<std::uint32_t>(key >> 40)},
+         static_cast<std::size_t>((key >> 20) & 0xFFFFF),
+         ClusterId{static_cast<std::uint32_t>(key & 0xFFFFF)}, weights);
+    }
+  }
+
+  static std::uint64_t make_key(ClassId cls, std::size_t call_node,
+                                ClusterId from) noexcept;
+
+ private:
+  std::unordered_map<std::uint64_t, RouteWeights> rules_;
+};
+
+// Executes a rule set; falls back to locality failover for calls with no
+// rule (e.g. before the first optimization round).
+class WeightedRulesPolicy final : public RoutingPolicy {
+ public:
+  explicit WeightedRulesPolicy(const Topology& topology);
+
+  ClusterId route(const RouteQuery& query, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "slate-rules"; }
+
+  // Atomically replaces the active rule set (the control-plane push).
+  void update_rules(std::shared_ptr<const RoutingRuleSet> rules) noexcept {
+    rules_ = std::move(rules);
+  }
+  [[nodiscard]] std::shared_ptr<const RoutingRuleSet> rules() const noexcept {
+    return rules_;
+  }
+
+ private:
+  const Topology* topology_;
+  std::shared_ptr<const RoutingRuleSet> rules_;
+};
+
+}  // namespace slate

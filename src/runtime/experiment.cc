@@ -1,0 +1,53 @@
+#include "runtime/experiment.h"
+
+#include "runtime/simulation.h"
+
+namespace slate {
+
+const char* to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLocalOnly: return "local-only";
+    case PolicyKind::kRoundRobin: return "round-robin";
+    case PolicyKind::kLocalityFailover: return "locality-failover";
+    case PolicyKind::kStaticWeights: return "static-weights";
+    case PolicyKind::kWaterfall: return "waterfall";
+    case PolicyKind::kSlate: return "slate";
+  }
+  return "?";
+}
+
+double ExperimentResult::remote_fraction(ClassId k, std::size_t node) const {
+  if (k.index() >= flows.size() || node >= flows[k.index()].size()) return 0.0;
+  const auto& m = flows[k.index()][node];
+  std::uint64_t total = 0, remote = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      total += m(i, j);
+      if (i != j) remote += m(i, j);
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(remote) / static_cast<double>(total);
+}
+
+double ExperimentResult::remote_fraction_from(ClassId k, std::size_t node,
+                                              ClusterId from) const {
+  if (k.index() >= flows.size() || node >= flows[k.index()].size()) return 0.0;
+  const auto& m = flows[k.index()][node];
+  if (from.index() >= m.rows()) return 0.0;
+  std::uint64_t total = 0, remote = 0;
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    total += m(from.index(), j);
+    if (j != from.index()) remote += m(from.index(), j);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(remote) / static_cast<double>(total);
+}
+
+ExperimentResult run_experiment(const Scenario& scenario,
+                                const RunConfig& config) {
+  Simulation sim(scenario, config);
+  return sim.run();
+}
+
+}  // namespace slate

@@ -1,0 +1,138 @@
+// Experiment configuration and results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "cluster/autoscaler.h"
+#include "cluster/deployment.h"
+#include "core/global_controller.h"
+#include "net/topology.h"
+#include "routing/waterfall.h"
+#include "util/stats.h"
+#include "workload/demand.h"
+
+namespace slate {
+
+// Which request-routing scheme the data plane runs.
+enum class PolicyKind {
+  kLocalOnly,         // always local (strict; entry must be deployed)
+  kRoundRobin,        // cluster-level round robin
+  kLocalityFailover,  // local, else nearest (Istio failover)
+  kStaticWeights,     // fixed operator-configured distribution (Istio
+                      // locality weighted distribution)
+  kWaterfall,         // greedy capacity-based offloading (TD / ServiceRouter)
+  kSlate,             // global controller + weighted rules
+};
+
+const char* to_string(PolicyKind kind) noexcept;
+
+// A self-contained experiment world. Scenario owns the application,
+// topology, deployment (which references the application), and demand
+// schedule; heap members keep addresses stable across moves.
+struct Scenario {
+  std::string name;
+  std::unique_ptr<Application> app;
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<Deployment> deployment;
+  DemandSchedule demand;
+};
+
+// A scheduled change to a station's replica count mid-run: failure
+// injection (shrink), manual provisioning (grow), cluster degradation.
+struct CapacityEvent {
+  double time = 0.0;
+  ServiceId service;
+  ClusterId cluster;
+  unsigned servers = 1;
+};
+
+struct RunConfig {
+  PolicyKind policy = PolicyKind::kSlate;
+  double duration = 60.0;  // simulated seconds
+  double warmup = 10.0;    // measurements start here
+  std::uint64_t seed = 1;
+  // Control period for cluster->global reporting and rule pushes.
+  double control_period = 1.0;
+  WaterfallOptions waterfall;
+  // kStaticWeights: share of traffic each cluster keeps at home (the rest
+  // spreads evenly across the other clusters).
+  double static_local_share = 0.7;
+  GlobalControllerOptions slate;
+  // Retained spans (0 disables tracing).
+  std::size_t trace_capacity = 0;
+
+  // Horizontal autoscaling of every station (paper §5 interaction study).
+  bool autoscaler_enabled = false;
+  AutoscalerOptions autoscaler;
+
+  // Scheduled capacity changes (applied in addition to autoscaling).
+  std::vector<CapacityEvent> capacity_events;
+};
+
+struct ExperimentResult {
+  std::string scenario;
+  std::string policy;
+
+  std::uint64_t generated = 0;  // arrivals in the full run
+  std::uint64_t completed = 0;  // completions inside the measurement window
+
+  SampleSet e2e;                        // end-to-end latency, seconds
+  std::vector<SampleSet> e2e_by_class;  // index = class id
+
+  // Post-warmup egress accounting.
+  std::uint64_t egress_bytes = 0;
+  std::uint64_t local_bytes = 0;
+  double egress_cost_dollars = 0.0;
+
+  // Post-warmup station utilization, indexed service * clusters + cluster
+  // (-1 where not deployed).
+  std::vector<double> station_utilization;
+
+  // Post-warmup call routing counts: flows[k][n](i, j) = class-k calls of
+  // node n issued from cluster i and served in cluster j.
+  std::vector<std::vector<FlatMatrix<std::uint64_t>>> flows;
+
+  // SLATE control-plane counters (zero for baselines).
+  std::uint64_t controller_rounds = 0;
+  std::uint64_t controller_reverts = 0;
+  std::uint64_t rule_pushes = 0;
+
+  // Autoscaler activity (zero when disabled).
+  std::uint64_t autoscaler_scale_ups = 0;
+  std::uint64_t autoscaler_scale_downs = 0;
+  // Final server count per station (service * clusters + cluster; 0 where
+  // not deployed) — shows where autoscaling/failures left the fleet.
+  std::vector<unsigned> final_servers;
+
+  double measured_seconds = 0.0;
+
+  [[nodiscard]] double mean_latency() const { return e2e.mean(); }
+  [[nodiscard]] double p50() const { return e2e.quantile(0.5); }
+  [[nodiscard]] double p95() const { return e2e.quantile(0.95); }
+  [[nodiscard]] double p99() const { return e2e.quantile(0.99); }
+  [[nodiscard]] double throughput_rps() const {
+    return measured_seconds > 0.0
+               ? static_cast<double>(completed) / measured_seconds
+               : 0.0;
+  }
+  // Fraction of node-n class-k calls served outside their source cluster.
+  [[nodiscard]] double remote_fraction(ClassId k, std::size_t node) const;
+  // Same, restricted to calls issued from cluster `from`.
+  [[nodiscard]] double remote_fraction_from(ClassId k, std::size_t node,
+                                            ClusterId from) const;
+  // Bytes sent across cluster boundaries per completed request.
+  [[nodiscard]] double egress_bytes_per_request() const {
+    return completed > 0
+               ? static_cast<double>(egress_bytes) / static_cast<double>(completed)
+               : 0.0;
+  }
+};
+
+// Runs `scenario` under `config` and returns measurements.
+ExperimentResult run_experiment(const Scenario& scenario, const RunConfig& config);
+
+}  // namespace slate

@@ -1,0 +1,365 @@
+#include "runtime/scenario_loader.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strfmt.h"
+
+namespace slate {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error(strfmt("line %zu: %s", line, message.c_str()));
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+// "25ms" -> 0.025; "3s" -> 3; "150us" -> 1.5e-4; bare numbers are seconds.
+double parse_duration(const std::string& text, std::size_t line) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    fail(line, "bad duration '" + text + "'");
+  }
+  const std::string unit = text.substr(pos);
+  if (unit.empty() || unit == "s") return value;
+  if (unit == "ms") return value * 1e-3;
+  if (unit == "us") return value * 1e-6;
+  fail(line, "unknown duration unit '" + unit + "'");
+}
+
+// "2KB" -> 2048; "1MB" -> 1048576; "512B"/"512" -> 512.
+std::uint64_t parse_bytes(const std::string& text, std::size_t line) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    fail(line, "bad size '" + text + "'");
+  }
+  const std::string unit = text.substr(pos);
+  double scale = 1.0;
+  if (unit.empty() || unit == "B") {
+    scale = 1.0;
+  } else if (unit == "KB") {
+    scale = 1024.0;
+  } else if (unit == "MB") {
+    scale = 1024.0 * 1024.0;
+  } else {
+    fail(line, "unknown size unit '" + unit + "'");
+  }
+  return static_cast<std::uint64_t>(value * scale);
+}
+
+double parse_number(const std::string& text, std::size_t line) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    fail(line, "bad number '" + text + "'");
+  }
+}
+
+// Splits "key=value"; returns nullopt for tokens without '='.
+std::optional<std::pair<std::string, std::string>> split_kv(
+    const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return std::nullopt;
+  return std::make_pair(token.substr(0, eq), token.substr(eq + 1));
+}
+
+// Build-time info per class: node label -> node index.
+struct ClassBuild {
+  ClassId id;
+  std::map<std::string, std::size_t> labels;
+};
+
+struct DeployDirective {
+  std::size_t line;
+  std::string service;  // "*" = all
+  std::string cluster;  // "*" = all
+  unsigned servers = 1;
+  double capacity = 0.0;
+  bool undeploy = false;
+};
+
+struct DemandDirective {
+  std::size_t line;
+  std::string cls;
+  std::string cluster;
+  double start_time = 0.0;
+  double rps = 0.0;
+};
+
+}  // namespace
+
+Scenario load_scenario(std::istream& input) {
+  Scenario scenario;
+  scenario.app = std::make_unique<Application>();
+  scenario.topology = std::make_unique<Topology>();
+
+  std::map<std::string, ClassBuild> classes;
+  // Class specs are accumulated and registered with the Application at the
+  // end (graphs must be complete before add_class).
+  std::map<std::string, TrafficClassSpec> class_specs;
+  std::vector<std::string> class_order;
+  std::vector<DeployDirective> deploys;
+  std::vector<DemandDirective> demands;
+  double default_egress = -1.0;
+
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(input, raw)) {
+    ++line_number;
+    const auto tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    auto need = [&](std::size_t count, const char* usage) {
+      if (tokens.size() < count) {
+        fail(line_number, std::string("usage: ") + usage);
+      }
+    };
+    auto find_cluster = [&](const std::string& name) {
+      const ClusterId id = scenario.topology->find_cluster(name);
+      if (!id.valid()) fail(line_number, "unknown cluster '" + name + "'");
+      return id;
+    };
+    auto find_service = [&](const std::string& name) {
+      const ServiceId id = scenario.app->find_service(name);
+      if (!id.valid()) fail(line_number, "unknown service '" + name + "'");
+      return id;
+    };
+
+    if (directive == "scenario") {
+      need(2, "scenario <name>");
+      scenario.name = tokens[1];
+    } else if (directive == "cluster") {
+      need(2, "cluster <name>");
+      if (scenario.topology->find_cluster(tokens[1]).valid()) {
+        fail(line_number, "duplicate cluster '" + tokens[1] + "'");
+      }
+      scenario.topology->add_cluster(tokens[1]);
+    } else if (directive == "rtt") {
+      need(4, "rtt <a> <b> <duration>");
+      scenario.topology->set_rtt(find_cluster(tokens[1]), find_cluster(tokens[2]),
+                                 parse_duration(tokens[3], line_number));
+    } else if (directive == "one_way") {
+      need(4, "one_way <from> <to> <duration>");
+      scenario.topology->set_one_way_latency(
+          find_cluster(tokens[1]), find_cluster(tokens[2]),
+          parse_duration(tokens[3], line_number));
+    } else if (directive == "egress_price") {
+      need(2, "egress_price <dollars-per-GB>");
+      default_egress = parse_number(tokens[1], line_number);
+    } else if (directive == "jitter") {
+      need(2, "jitter <fraction>");
+      scenario.topology->set_jitter_fraction(parse_number(tokens[1], line_number));
+    } else if (directive == "service") {
+      need(2, "service <name>");
+      scenario.app->add_service(tokens[1]);
+    } else if (directive == "class") {
+      need(2, "class <name> [<method> <path>]");
+      if (class_specs.count(tokens[1]) != 0) {
+        fail(line_number, "duplicate class '" + tokens[1] + "'");
+      }
+      TrafficClassSpec spec;
+      spec.name = tokens[1];
+      if (tokens.size() >= 3) spec.attributes.method = tokens[2];
+      if (tokens.size() >= 4) spec.attributes.path = tokens[3];
+      class_specs[tokens[1]] = std::move(spec);
+      class_order.push_back(tokens[1]);
+    } else if (directive == "call") {
+      need(4, "call <class> <parent|root> <service> [key=value...]");
+      auto spec_it = class_specs.find(tokens[1]);
+      if (spec_it == class_specs.end()) {
+        fail(line_number, "unknown class '" + tokens[1] + "'");
+      }
+      TrafficClassSpec& spec = spec_it->second;
+      ClassBuild& build = classes[tokens[1]];
+      const ServiceId service = find_service(tokens[3]);
+
+      double compute = 0.0;
+      std::uint64_t req = 512, resp = 512;
+      double mult = 1.0;
+      std::string label = tokens[3];
+      InvocationMode mode = InvocationMode::kSequential;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        const auto& [key, value] = *kv;
+        if (key == "compute") {
+          compute = parse_duration(value, line_number);
+        } else if (key == "req") {
+          req = parse_bytes(value, line_number);
+        } else if (key == "resp") {
+          resp = parse_bytes(value, line_number);
+        } else if (key == "mult") {
+          mult = parse_number(value, line_number);
+        } else if (key == "label") {
+          label = value;
+        } else if (key == "mode") {
+          if (value == "seq") {
+            mode = InvocationMode::kSequential;
+          } else if (value == "par") {
+            mode = InvocationMode::kParallel;
+          } else {
+            fail(line_number, "mode must be seq or par");
+          }
+        } else {
+          fail(line_number, "unknown call attribute '" + key + "'");
+        }
+      }
+
+      std::size_t node;
+      if (tokens[2] == "root") {
+        if (!spec.graph.empty()) {
+          fail(line_number, "class '" + tokens[1] + "' already has a root call");
+        }
+        node = spec.graph.set_root(service, compute, req, resp);
+      } else {
+        const auto parent_it = build.labels.find(tokens[2]);
+        if (parent_it == build.labels.end()) {
+          fail(line_number, "unknown parent call '" + tokens[2] + "'");
+        }
+        node = spec.graph.add_call(parent_it->second, service, compute, req,
+                                   resp, mult);
+      }
+      spec.graph.set_invocation_mode(node, mode);
+      if (build.labels.count(label) != 0) {
+        fail(line_number,
+             "duplicate call label '" + label + "' (use label=<name>)");
+      }
+      build.labels[label] = node;
+    } else if (directive == "deploy" || directive == "undeploy") {
+      const bool undeploy = directive == "undeploy";
+      need(3, "deploy <service|*> <cluster|*> [servers=N capacity=RPS]");
+      DeployDirective d;
+      d.line = line_number;
+      d.service = tokens[1];
+      d.cluster = tokens[2];
+      d.undeploy = undeploy;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "servers") {
+          d.servers = static_cast<unsigned>(parse_number(kv->second, line_number));
+        } else if (kv->first == "capacity") {
+          d.capacity = parse_number(kv->second, line_number);
+        } else {
+          fail(line_number, "unknown deploy attribute '" + kv->first + "'");
+        }
+      }
+      if (!undeploy && d.capacity <= 0.0) {
+        fail(line_number, "deploy requires capacity=<RPS>");
+      }
+      deploys.push_back(std::move(d));
+    } else if (directive == "demand") {
+      need(4, "demand <class> <cluster> [@t] <rps>");
+      DemandDirective d;
+      d.line = line_number;
+      d.cls = tokens[1];
+      d.cluster = tokens[2];
+      std::size_t rate_index = 3;
+      if (tokens[3][0] == '@') {
+        need(5, "demand <class> <cluster> @<t> <rps>");
+        d.start_time = parse_duration(tokens[3].substr(1), line_number);
+        rate_index = 4;
+      }
+      d.rps = parse_number(tokens[rate_index], line_number);
+      demands.push_back(std::move(d));
+    } else {
+      fail(line_number, "unknown directive '" + directive + "'");
+    }
+  }
+
+  // Finalize: classes, egress pricing, deployment, demand.
+  if (scenario.topology->cluster_count() == 0) {
+    throw std::runtime_error("scenario defines no clusters");
+  }
+  if (default_egress >= 0.0) {
+    scenario.topology->set_uniform_egress_price(default_egress);
+  }
+  for (const auto& name : class_order) {
+    auto& spec = class_specs[name];
+    if (spec.graph.empty()) {
+      throw std::runtime_error("class '" + name + "' has no root call");
+    }
+    classes[name].id = scenario.app->add_class(std::move(spec));
+  }
+  scenario.app->validate();
+
+  scenario.deployment = std::make_unique<Deployment>(
+      *scenario.app, scenario.topology->cluster_count());
+  for (const auto& d : deploys) {
+    std::vector<ServiceId> services;
+    if (d.service == "*") {
+      services = scenario.app->all_services();
+    } else {
+      const ServiceId id = scenario.app->find_service(d.service);
+      if (!id.valid()) fail(d.line, "unknown service '" + d.service + "'");
+      services.push_back(id);
+    }
+    std::vector<ClusterId> clusters;
+    if (d.cluster == "*") {
+      clusters = scenario.topology->all_clusters();
+    } else {
+      const ClusterId id = scenario.topology->find_cluster(d.cluster);
+      if (!id.valid()) fail(d.line, "unknown cluster '" + d.cluster + "'");
+      clusters.push_back(id);
+    }
+    for (ServiceId s : services) {
+      for (ClusterId c : clusters) {
+        if (d.undeploy) {
+          scenario.deployment->undeploy(s, c);
+        } else {
+          scenario.deployment->deploy(s, c, d.servers, d.capacity);
+        }
+      }
+    }
+  }
+  scenario.deployment->validate();
+
+  for (const auto& d : demands) {
+    const auto it = classes.find(d.cls);
+    if (it == classes.end()) fail(d.line, "unknown class '" + d.cls + "'");
+    const ClusterId cluster = scenario.topology->find_cluster(d.cluster);
+    if (!cluster.valid()) fail(d.line, "unknown cluster '" + d.cluster + "'");
+    if (d.start_time == 0.0) {
+      // First step may be expressed without '@0'.
+      scenario.demand.add_step(it->second.id, cluster, 0.0, d.rps);
+    } else {
+      scenario.demand.add_step(it->second.id, cluster, d.start_time, d.rps);
+    }
+  }
+  return scenario;
+}
+
+Scenario load_scenario_from_string(const std::string& text) {
+  std::istringstream stream(text);
+  return load_scenario(stream);
+}
+
+Scenario load_scenario_from_file(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    throw std::runtime_error("cannot open scenario file: " + path);
+  }
+  return load_scenario(stream);
+}
+
+}  // namespace slate

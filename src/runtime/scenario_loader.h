@@ -1,0 +1,52 @@
+// Text scenario format.
+//
+// Lets users describe a complete experiment world — clusters, services,
+// per-class call trees, deployment, demand — in a plain-text file and run it
+// with the bundled CLI (examples/slate_cli.cc) instead of writing C++.
+//
+// Format: one directive per line; '#' starts a comment; case-sensitive
+// names; durations accept s/ms/us suffixes, sizes accept B/KB/MB.
+//
+//   scenario checkout-demo
+//
+//   cluster west
+//   cluster east
+//   rtt west east 25ms          # symmetric; one_way A B 10ms also exists
+//   egress_price 0.08           # $/GB for every inter-cluster pair
+//   jitter 0.05                 # optional +-5% latency jitter
+//
+//   service ingress
+//   service worker
+//
+//   class checkout POST /api/checkout
+//   call checkout root ingress compute=0.1ms req=512B resp=2KB
+//   call checkout ingress worker compute=2ms req=512B resp=2KB mult=1 mode=seq
+//
+//   deploy * * servers=1 capacity=450
+//   deploy worker east servers=2 capacity=900
+//   undeploy worker west
+//
+//   demand checkout west 400
+//   demand checkout west @30s 800   # piecewise-constant step at t=30s
+//   demand checkout east 100
+//
+// `call <class> <parent> <service> ...` attaches a call under the node
+// labelled <parent> ("root" for the entry call; a call's label defaults to
+// its service name, override with label=<name> when a service appears more
+// than once in a tree).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/experiment.h"
+
+namespace slate {
+
+// Parses a scenario description. Throws std::runtime_error with a
+// "line N: message" diagnostic on malformed input.
+Scenario load_scenario(std::istream& input);
+Scenario load_scenario_from_string(const std::string& text);
+Scenario load_scenario_from_file(const std::string& path);
+
+}  // namespace slate

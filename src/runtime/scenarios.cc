@@ -1,0 +1,163 @@
+#include "runtime/scenarios.h"
+
+#include <algorithm>
+
+#include "net/gcp_topology.h"
+
+namespace slate {
+namespace {
+
+// Nominal service rate of `service` (requests/second per server) as the
+// inverse of its largest per-class compute mean — the conservative figure an
+// operator would provision against.
+double nominal_mu_per_server(const Application& app, ServiceId service) {
+  double worst_compute = 0.0;
+  for (ClassId k : app.all_classes()) {
+    const CallGraph& graph = app.traffic_class(k).graph;
+    for (std::size_t n : graph.nodes_for_service(service)) {
+      worst_compute = std::max(worst_compute, graph.node(n).compute_time_mean);
+    }
+  }
+  // A service that does no measurable compute is effectively unbounded.
+  return worst_compute > 0.0 ? 1.0 / worst_compute : 1e9;
+}
+
+}  // namespace
+
+Scenario make_two_cluster_chain_scenario(const TwoClusterChainParams& params) {
+  Scenario scenario;
+  scenario.name = "two-cluster-chain";
+  scenario.app = std::make_unique<Application>(make_linear_chain_app(params.app));
+  scenario.topology = std::make_unique<Topology>(
+      make_two_cluster_topology(params.rtt, params.egress_dollars_per_gb));
+  scenario.deployment =
+      std::make_unique<Deployment>(*scenario.app, scenario.topology->cluster_count());
+
+  const ClusterId west{0}, east{1};
+  for (ServiceId s : scenario.app->all_services()) {
+    const double mu = nominal_mu_per_server(*scenario.app, s);
+    scenario.deployment->deploy(s, west, params.west_servers,
+                                params.capacity_fraction * mu * params.west_servers);
+    scenario.deployment->deploy(s, east, params.east_servers,
+                                params.capacity_fraction * mu * params.east_servers);
+  }
+
+  const ClassId chain = scenario.app->find_class("chain");
+  scenario.demand.set_rate(chain, west, params.west_rps);
+  scenario.demand.set_rate(chain, east, params.east_rps);
+  return scenario;
+}
+
+Scenario make_gcp_chain_scenario(const GcpChainParams& params) {
+  Scenario scenario;
+  scenario.name = "gcp-chain";
+  scenario.app = std::make_unique<Application>(make_linear_chain_app(params.app));
+  scenario.topology = std::make_unique<Topology>(
+      make_gcp_topology(params.egress_dollars_per_gb));
+  scenario.deployment =
+      std::make_unique<Deployment>(*scenario.app, scenario.topology->cluster_count());
+
+  for (ServiceId s : scenario.app->all_services()) {
+    const double mu = nominal_mu_per_server(*scenario.app, s);
+    for (std::size_t c = 0; c < 4; ++c) {
+      scenario.deployment->deploy(
+          s, ClusterId{c}, params.servers[c],
+          params.capacity_fraction * mu * params.servers[c]);
+    }
+  }
+
+  const ClassId chain = scenario.app->find_class("chain");
+  for (std::size_t c = 0; c < 4; ++c) {
+    scenario.demand.set_rate(chain, ClusterId{c}, params.rps[c]);
+  }
+  return scenario;
+}
+
+Scenario make_anomaly_scenario(const AnomalyParams& params) {
+  Scenario scenario;
+  scenario.name = "anomaly-detection";
+  scenario.app =
+      std::make_unique<Application>(make_anomaly_detection_app(params.app));
+  scenario.topology = std::make_unique<Topology>(
+      make_two_cluster_topology(params.rtt, params.egress_dollars_per_gb));
+  scenario.deployment =
+      std::make_unique<Deployment>(*scenario.app, scenario.topology->cluster_count());
+
+  const ClusterId west{0}, east{1};
+  const ServiceId fr = scenario.app->find_service("frontend");
+  const ServiceId mp = scenario.app->find_service("metrics-processor");
+  const ServiceId db = scenario.app->find_service("metrics-db");
+
+  const double fr_mu = nominal_mu_per_server(*scenario.app, fr);
+  const double mp_mu = nominal_mu_per_server(*scenario.app, mp);
+  const double db_mu = nominal_mu_per_server(*scenario.app, db);
+
+  scenario.deployment->deploy(fr, west, params.fr_servers,
+                              params.capacity_fraction * fr_mu * params.fr_servers);
+  scenario.deployment->deploy(fr, east, params.fr_servers,
+                              params.capacity_fraction * fr_mu * params.fr_servers);
+  scenario.deployment->deploy(
+      mp, west, params.mp_servers_west,
+      params.capacity_fraction * mp_mu * params.mp_servers_west);
+  scenario.deployment->deploy(
+      mp, east, params.mp_servers_east,
+      params.capacity_fraction * mp_mu * params.mp_servers_east);
+  // DB exists only in East (paper §4.3: degraded or absent in West).
+  scenario.deployment->deploy(db, east, params.db_servers,
+                              params.capacity_fraction * db_mu * params.db_servers);
+
+  const ClassId detect = scenario.app->find_class("detect");
+  scenario.demand.set_rate(detect, west, params.west_rps);
+  scenario.demand.set_rate(detect, east, params.east_rps);
+  return scenario;
+}
+
+Scenario make_two_class_scenario(const TwoClassParams& params) {
+  Scenario scenario;
+  scenario.name = "two-class";
+  scenario.app = std::make_unique<Application>(make_two_class_app(params.app));
+  scenario.topology = std::make_unique<Topology>(
+      make_two_cluster_topology(params.rtt, params.egress_dollars_per_gb));
+  scenario.deployment =
+      std::make_unique<Deployment>(*scenario.app, scenario.topology->cluster_count());
+
+  const ClusterId west{0}, east{1};
+  const ServiceId ingress = scenario.app->find_service("ingress");
+  const ServiceId worker = scenario.app->find_service("worker");
+  const double ingress_mu = nominal_mu_per_server(*scenario.app, ingress);
+
+  for (ClusterId c : {west, east}) {
+    scenario.deployment->deploy(ingress, c, 1, 0.95 * ingress_mu);
+    scenario.deployment->deploy(worker, c, params.worker_servers,
+                                params.worker_capacity_rps);
+  }
+
+  const ClassId light = scenario.app->find_class("L");
+  const ClassId heavy = scenario.app->find_class("H");
+  scenario.demand.set_rate(light, west, params.west_light_rps);
+  scenario.demand.set_rate(heavy, west, params.west_heavy_rps);
+  scenario.demand.set_rate(light, east, params.east_light_rps);
+  scenario.demand.set_rate(heavy, east, params.east_heavy_rps);
+  return scenario;
+}
+
+Scenario make_uniform_scenario(std::string name, Application app,
+                               Topology topology, unsigned servers,
+                               double capacity_fraction) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.app = std::make_unique<Application>(std::move(app));
+  scenario.topology = std::make_unique<Topology>(std::move(topology));
+  scenario.deployment =
+      std::make_unique<Deployment>(*scenario.app, scenario.topology->cluster_count());
+  for (ServiceId s : scenario.app->all_services()) {
+    const double mu = nominal_mu_per_server(*scenario.app, s);
+    for (ClusterId c : scenario.topology->all_clusters()) {
+      scenario.deployment->deploy(s, c, servers,
+                                  capacity_fraction * mu * servers);
+    }
+  }
+  return scenario;
+}
+
+}  // namespace slate

@@ -1,0 +1,92 @@
+// Scenario presets reproducing the paper's evaluation setups (§4).
+//
+// Each maker returns a self-contained Scenario; benches/tests/examples tweak
+// the parameter structs to sweep loads, latencies, and placement.
+#pragma once
+
+#include "app/builders.h"
+#include "runtime/experiment.h"
+
+namespace slate {
+
+// --- Fig. 4 / Fig. 6a: two clusters, linear chain ------------------------
+//
+// West is the variable-load (potentially overloaded) cluster, East the
+// lightly loaded one. Chain: ingress -> svc-1 -> svc-2 -> svc-3, each
+// service-stage ~2ms compute (500 RPS per server).
+struct TwoClusterChainParams {
+  double rtt = 25e-3;
+  double west_rps = 800.0;
+  double east_rps = 100.0;
+  unsigned west_servers = 1;
+  unsigned east_servers = 2;
+  // Waterfall's static capacity = fraction * (servers / compute_mean).
+  double capacity_fraction = 0.95;
+  double egress_dollars_per_gb = 0.08;
+  LinearChainOptions app;
+};
+Scenario make_two_cluster_chain_scenario(const TwoClusterChainParams& params = {});
+
+// --- Fig. 6b: GCP 4-cluster topology, OR & IOW overloaded ----------------
+struct GcpChainParams {
+  // Demand per cluster in topology id order: OR, UT, IOW, SC.
+  double rps[4] = {800.0, 100.0, 800.0, 100.0};
+  unsigned servers[4] = {1, 2, 1, 2};
+  double capacity_fraction = 0.95;
+  double egress_dollars_per_gb = 0.08;
+  LinearChainOptions app;
+};
+Scenario make_gcp_chain_scenario(const GcpChainParams& params = {});
+
+// --- Fig. 6c: anomaly-detection app, DB absent in West -------------------
+//
+// FR -> MP -> DB with a 10x response-size blow-up on DB -> MP. The DB is
+// deployed only in East (security / regulation / failure, §4.3), so every
+// request must cross clusters somewhere; the question is where the cut goes.
+struct AnomalyParams {
+  double rtt = 25e-3;
+  double west_rps = 200.0;
+  double east_rps = 30.0;
+  unsigned fr_servers = 2;
+  unsigned mp_servers_west = 1;
+  unsigned mp_servers_east = 2;
+  unsigned db_servers = 2;
+  double capacity_fraction = 0.95;
+  double egress_dollars_per_gb = 0.08;
+  AnomalyDetectionOptions app;
+};
+Scenario make_anomaly_scenario(const AnomalyParams& params = {});
+
+// --- Fig. 6d: light/heavy traffic classes at one service -----------------
+//
+// Class H costs 10x class L in compute; the overload is driven by H volume.
+// Waterfall's per-service RPS capacity cannot tell them apart.
+struct TwoClassParams {
+  double rtt = 25e-3;
+  double west_light_rps = 400.0;
+  double west_heavy_rps = 80.0;
+  double east_light_rps = 100.0;
+  double east_heavy_rps = 10.0;
+  unsigned worker_servers = 1;
+  // Waterfall's class-blind worker capacity, total RPS. At the default
+  // demand mix (L=400 @1ms + H=80 @10ms = 1.2 server-equivalents of work)
+  // a 380-RPS threshold leaves ~0.95 utilization local — stable but deep in
+  // the queueing blow-up, exactly the miscalibration a per-request-count
+  // capacity suffers under heterogeneous classes (§4.4).
+  double worker_capacity_rps = 380.0;
+  double egress_dollars_per_gb = 0.08;
+  TwoClassOptions app;
+};
+Scenario make_two_class_scenario(const TwoClassParams& params = {});
+
+// --- Generic helper -------------------------------------------------------
+//
+// Deploys every service of `app` in every cluster of `topology` with
+// `servers` workers and nominal capacity `capacity_fraction * servers /
+// mean_compute_of_the_service` (per the busiest class). Demands are supplied
+// by the caller on the returned scenario.
+Scenario make_uniform_scenario(std::string name, Application app,
+                               Topology topology, unsigned servers,
+                               double capacity_fraction = 0.95);
+
+}  // namespace slate

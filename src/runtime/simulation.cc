@@ -1,0 +1,450 @@
+#include "runtime/simulation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "routing/local_only.h"
+#include "routing/locality_failover.h"
+#include "routing/round_robin.h"
+#include "routing/static_weights.h"
+#include "routing/waterfall.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace slate {
+
+// Live per-(service, cluster) arrival-rate signal for Waterfall — the
+// (fresh) analogue of the load reports Traffic Director distributes.
+class Simulation::LiveLoadView final : public LoadView {
+ public:
+  LiveLoadView(const Simulator& sim, std::size_t services, std::size_t clusters,
+               double tau = 1.0)
+      : sim_(sim), clusters_(clusters), meters_(services * clusters, RateMeter(tau)) {}
+
+  void observe(ServiceId s, ClusterId c) {
+    meters_[s.index() * clusters_ + c.index()].observe(sim_.now());
+  }
+
+  [[nodiscard]] double load_rps(ServiceId s, ClusterId c) const override {
+    return meters_[s.index() * clusters_ + c.index()].rate(sim_.now());
+  }
+
+ private:
+  const Simulator& sim_;
+  std::size_t clusters_;
+  std::vector<RateMeter> meters_;
+};
+
+Simulation::~Simulation() = default;
+
+Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
+    : scenario_(scenario),
+      config_(config),
+      cluster_count_(scenario.topology->cluster_count()),
+      rng_root_(config.seed),
+      rng_routing_(rng_root_.fork(2)),
+      egress_(*scenario.topology),
+      traces_(config.trace_capacity) {
+  const Application& app = *scenario_.app;
+  app.validate();
+  scenario_.deployment->validate();
+  if (scenario_.deployment->cluster_count() != cluster_count_) {
+    throw std::invalid_argument("Simulation: deployment/topology mismatch");
+  }
+  if (config_.warmup >= config_.duration) {
+    throw std::invalid_argument("Simulation: warmup must precede duration");
+  }
+
+  const std::size_t S = app.service_count();
+  const std::size_t K = app.class_count();
+
+  // Per-cluster telemetry and rule executors.
+  registries_.reserve(cluster_count_);
+  rule_policies_.reserve(cluster_count_);
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    registries_.push_back(std::make_unique<MetricsRegistry>(S, K));
+    rule_policies_.push_back(
+        std::make_shared<WeightedRulesPolicy>(*scenario_.topology));
+  }
+
+  // Stations and proxies where deployed.
+  stations_.resize(S * cluster_count_);
+  proxies_.resize(S * cluster_count_);
+  Rng station_rng = rng_root_.fork(1);
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      const ServiceId svc{s};
+      const ClusterId cluster{c};
+      if (!scenario_.deployment->is_deployed(svc, cluster)) continue;
+      stations_[station_index(svc, cluster)] = std::make_unique<ServiceStation>(
+          sim_, station_rng.fork(s * cluster_count_ + c), svc, cluster,
+          scenario_.deployment->servers(svc, cluster));
+      proxies_[station_index(svc, cluster)] = std::make_unique<SlateProxy>(
+          svc, *registries_[c], rule_policies_[c],
+          traces_.enabled() ? &traces_ : nullptr);
+    }
+  }
+
+  load_view_ = std::make_unique<LiveLoadView>(sim_, S, cluster_count_);
+
+  // Candidate clusters per service (deployment is immutable during a run).
+  candidates_.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    candidates_[s] = scenario_.deployment->clusters_for(ServiceId{s});
+  }
+
+  // Routing scheme.
+  switch (config_.policy) {
+    case PolicyKind::kLocalOnly:
+      baseline_policy_ = std::make_unique<LocalOnlyPolicy>();
+      break;
+    case PolicyKind::kRoundRobin:
+      baseline_policy_ = std::make_unique<RoundRobinPolicy>();
+      break;
+    case PolicyKind::kLocalityFailover:
+      baseline_policy_ =
+          std::make_unique<LocalityFailoverPolicy>(*scenario_.topology);
+      break;
+    case PolicyKind::kStaticWeights:
+      baseline_policy_ = std::make_unique<StaticWeightsPolicy>(
+          StaticWeightsPolicy::make_uniform_spread(*scenario_.topology,
+                                                   config_.static_local_share));
+      break;
+    case PolicyKind::kWaterfall:
+      baseline_policy_ = std::make_unique<WaterfallPolicy>(
+          *scenario_.topology, *scenario_.deployment, *load_view_,
+          config_.waterfall);
+      break;
+    case PolicyKind::kSlate: {
+      global_ = std::make_unique<GlobalController>(
+          app, *scenario_.deployment, *scenario_.topology, config_.slate);
+      for (std::size_t c = 0; c < cluster_count_; ++c) {
+        std::vector<ServiceStation*> cluster_stations(S, nullptr);
+        for (std::size_t s = 0; s < S; ++s) {
+          cluster_stations[s] =
+              stations_[s * cluster_count_ + c].get();
+        }
+        cluster_controllers_.push_back(std::make_unique<ClusterController>(
+            ClusterId{c}, K, *registries_[c], std::move(cluster_stations),
+            rule_policies_[c]));
+      }
+      break;
+    }
+  }
+
+  // Result containers.
+  result_.scenario = scenario_.name;
+  result_.policy = to_string(config_.policy);
+  result_.e2e_by_class.resize(K);
+  result_.flows.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    const std::size_t nodes = app.traffic_class(ClassId{k}).graph.node_count();
+    result_.flows[k].assign(nodes,
+                            FlatMatrix<std::uint64_t>(cluster_count_, cluster_count_, 0));
+  }
+}
+
+void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
+  const Application& app = *scenario_.app;
+  ++result_.generated;
+
+  auto req = std::make_shared<RequestState>();
+  req->id = RequestId{next_request_++};
+  req->cls = cls;
+  req->ingress = cluster;
+  req->arrival_time = sim_.now();
+
+  registries_[cluster.index()]->record_ingress(cls, sim_.now());
+
+  const ServiceId entry = app.entry_service(cls);
+  ClusterId entry_cluster = cluster;
+  if (!scenario_.deployment->is_deployed(entry, cluster)) {
+    entry_cluster = scenario_.topology->nearest(
+        cluster, scenario_.deployment->clusters_for(entry));
+  }
+
+  Done finish = [this, req, entry, entry_cluster]() {
+    const double e2e = sim_.now() - req->arrival_time;
+    proxy(entry, entry_cluster).on_root_response(req->cls, e2e);
+    if (measuring_) {
+      ++result_.completed;
+      result_.e2e.add(e2e);
+      result_.e2e_by_class[req->cls.index()].add(e2e);
+    }
+  };
+
+  if (measuring_) {
+    result_.flows[cls.index()][0](cluster.index(), entry_cluster.index())++;
+  }
+  load_view_->observe(entry, entry_cluster);
+
+  if (entry_cluster == cluster) {
+    execute_node(std::move(req), 0, entry_cluster, 0, std::move(finish));
+    return;
+  }
+  // Front-door redirect to the nearest cluster hosting the entry service.
+  const CallGraph& graph = app.traffic_class(cls).graph;
+  egress_.record(cluster, entry_cluster, graph.node(0).request_bytes);
+  const double d1 =
+      scenario_.topology->sample_latency(cluster, entry_cluster, rng_routing_);
+  sim_.schedule_after(d1, [this, req = std::move(req), entry_cluster, cluster,
+                           finish = std::move(finish)]() mutable {
+    execute_node(req, 0, entry_cluster, 0,
+                 [this, req, entry_cluster, cluster, finish]() {
+                   const CallGraph& g =
+                       scenario_.app->traffic_class(req->cls).graph;
+                   egress_.record(entry_cluster, cluster, g.node(0).response_bytes);
+                   const double d2 = scenario_.topology->sample_latency(
+                       entry_cluster, cluster, rng_routing_);
+                   sim_.schedule_after(d2, finish);
+                 });
+  });
+}
+
+void Simulation::execute_node(std::shared_ptr<RequestState> req,
+                              std::size_t node, ClusterId cluster,
+                              std::uint64_t parent_span, Done done) {
+  const CallGraph& graph = scenario_.app->traffic_class(req->cls).graph;
+  const CallNode& cnode = graph.node(node);
+  ServiceStation* st = station(cnode.service, cluster);
+  if (st == nullptr) {
+    throw std::logic_error("Simulation: routed to a cluster without the service");
+  }
+  SlateProxy& px = proxy(cnode.service, cluster);
+  const double enqueue_time = sim_.now();
+  const std::uint64_t span_id = next_span_++;
+  px.on_request_start(req->cls, enqueue_time);
+
+  st->submit(cnode.compute_time_mean, [this, req = std::move(req), node, cluster,
+                                       enqueue_time, span_id, parent_span,
+                                       done = std::move(done)](
+                                          double queue_s, double service_s) mutable {
+    run_children(req, node, cluster, span_id,
+                 [this, req, node, cluster, enqueue_time, queue_s, service_s,
+                  span_id, parent_span, done = std::move(done)]() {
+                   const CallGraph& g =
+                       scenario_.app->traffic_class(req->cls).graph;
+                   const CallNode& n = g.node(node);
+                   Span span;
+                   span.request = req->id;
+                   span.cls = req->cls;
+                   span.call_node = node;
+                   span.service = n.service;
+                   span.cluster = cluster;
+                   span.span_id = span_id;
+                   span.parent_span_id = parent_span;
+                   span.start_time = enqueue_time;
+                   span.end_time = sim_.now();
+                   span.queue_time = queue_s;
+                   span.exclusive_time = queue_s + service_s;
+                   proxy(n.service, cluster).on_request_end(req->cls, span);
+                   done();
+                 });
+  });
+}
+
+void Simulation::run_children(std::shared_ptr<RequestState> req,
+                              std::size_t parent_node, ClusterId cluster,
+                              std::uint64_t parent_span, Done done) {
+  const CallGraph& graph = scenario_.app->traffic_class(req->cls).graph;
+  const CallNode& parent = graph.node(parent_node);
+  if (parent.children.empty()) {
+    done();
+    return;
+  }
+
+  // Realize per-child multiplicities (floor + Bernoulli fraction).
+  auto calls = std::make_shared<std::vector<std::size_t>>();
+  for (std::size_t child : parent.children) {
+    const double mult = graph.node(child).multiplicity;
+    std::size_t count = static_cast<std::size_t>(std::floor(mult));
+    if (rng_routing_.bernoulli(mult - std::floor(mult))) ++count;
+    for (std::size_t i = 0; i < count; ++i) calls->push_back(child);
+  }
+  if (calls->empty()) {
+    done();
+    return;
+  }
+
+  if (parent.mode == InvocationMode::kParallel) {
+    auto remaining = std::make_shared<std::size_t>(calls->size());
+    auto shared_done = std::make_shared<Done>(std::move(done));
+    for (std::size_t child : *calls) {
+      issue_call(req, child, cluster, parent_span, [remaining, shared_done]() {
+        if (--*remaining == 0) (*shared_done)();
+      });
+    }
+    return;
+  }
+
+  // Sequential chain. Ownership of `step` travels inside the continuation
+  // wrappers; the stored closure itself holds only a weak reference, so
+  // requests still in flight when the simulation ends cannot leak a
+  // closure cycle.
+  auto index = std::make_shared<std::size_t>(0);
+  auto step = std::make_shared<Done>();
+  auto shared_done = std::make_shared<Done>(std::move(done));
+  std::weak_ptr<Done> weak_step = step;
+  *step = [this, req, cluster, calls, index, weak_step, shared_done,
+           parent_span]() {
+    if (*index == calls->size()) {
+      (*shared_done)();
+      return;
+    }
+    const std::size_t child = (*calls)[(*index)++];
+    // The wrapper keeps the chain alive until the child's response returns.
+    auto strong = weak_step.lock();
+    issue_call(req, child, cluster, parent_span,
+               [strong]() { (*strong)(); });
+  };
+  (*step)();
+}
+
+void Simulation::issue_call(std::shared_ptr<RequestState> req, std::size_t node,
+                            ClusterId from, std::uint64_t parent_span,
+                            Done done) {
+  const Application& app = *scenario_.app;
+  const CallGraph& graph = app.traffic_class(req->cls).graph;
+  const CallNode& cnode = graph.node(node);
+  const ServiceId child_svc = cnode.service;
+
+  const auto& candidates = candidates_[child_svc.index()];
+
+  RouteQuery query;
+  query.cls = req->cls;
+  query.call_node = node;
+  query.child_service = child_svc;
+  query.from = from;
+  query.candidates = &candidates;
+
+  const ServiceId parent_svc = graph.node(cnode.parent).service;
+  ClusterId to;
+  if (config_.policy == PolicyKind::kSlate) {
+    to = proxy(parent_svc, from).route(query, rng_routing_);
+  } else {
+    to = baseline_policy_->route(query, rng_routing_);
+  }
+
+  if (measuring_) {
+    result_.flows[req->cls.index()][node](from.index(), to.index())++;
+  }
+  load_view_->observe(child_svc, to);
+  egress_.record(from, to, cnode.request_bytes);
+
+  auto on_response = [this, req, node, from, to, done = std::move(done)]() {
+    const CallGraph& g = scenario_.app->traffic_class(req->cls).graph;
+    egress_.record(to, from, g.node(node).response_bytes);
+    const double back =
+        scenario_.topology->sample_latency(to, from, rng_routing_);
+    sim_.schedule_after(back, done);
+  };
+
+  const double out = scenario_.topology->sample_latency(from, to, rng_routing_);
+  sim_.schedule_after(out, [this, req = std::move(req), node, to, parent_span,
+                            on_response = std::move(on_response)]() mutable {
+    execute_node(req, node, to, parent_span, on_response);
+  });
+}
+
+void Simulation::control_tick() {
+  std::vector<ClusterReport> reports;
+  reports.reserve(cluster_controllers_.size());
+  for (auto& cc : cluster_controllers_) {
+    reports.push_back(cc->collect(sim_.now()));
+  }
+  auto rules = global_->on_reports(reports, sim_.now());
+  if (rules != nullptr) {
+    for (auto& cc : cluster_controllers_) {
+      cc->push_rules(rules);
+    }
+    ++rule_pushes_;
+  }
+}
+
+void Simulation::begin_measurement() {
+  measuring_ = true;
+  egress_.reset();
+  // Stations keep running; utilization for results is derived from
+  // lifetime_busy_seconds deltas captured here.
+}
+
+ExperimentResult Simulation::run() {
+  const Application& app = *scenario_.app;
+  const std::size_t S = app.service_count();
+
+  // Autoscalers (paper §5 interaction study): one per deployed station.
+  if (config_.autoscaler_enabled) {
+    for (auto& station : stations_) {
+      if (station != nullptr) {
+        autoscalers_.push_back(std::make_unique<Autoscaler>(
+            sim_, *station, config_.autoscaler));
+      }
+    }
+  }
+
+  // Scheduled capacity changes (failures, manual provisioning).
+  for (const CapacityEvent& event : config_.capacity_events) {
+    ServiceStation* st = station(event.service, event.cluster);
+    if (st == nullptr) {
+      throw std::invalid_argument(
+          "Simulation: capacity event targets an undeployed station");
+    }
+    sim_.schedule_at(event.time,
+                     [st, servers = event.servers]() { st->set_servers(servers); });
+  }
+
+  // Warmup boundary.
+  std::vector<double> busy_at_warmup(S * cluster_count_, 0.0);
+  sim_.schedule_at(config_.warmup, [this, &busy_at_warmup]() {
+    begin_measurement();
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      if (stations_[i] != nullptr) {
+        busy_at_warmup[i] = stations_[i]->lifetime_busy_seconds();
+      }
+    }
+  });
+
+  // Control loop.
+  if (config_.policy == PolicyKind::kSlate) {
+    sim_.schedule_periodic(config_.control_period, [this]() { control_tick(); });
+  }
+
+  // Workload.
+  workload_ = std::make_unique<WorkloadDriver>(
+      sim_, rng_root_.fork(0), scenario_.demand, config_.duration,
+      [this](ClassId cls, ClusterId cluster) { on_arrival(cls, cluster); });
+
+  sim_.run_until(config_.duration);
+
+  // Finalize.
+  result_.measured_seconds = config_.duration - config_.warmup;
+  result_.egress_bytes = egress_.total_egress_bytes();
+  result_.local_bytes = egress_.total_local_bytes();
+  result_.egress_cost_dollars = egress_.total_cost_dollars();
+  result_.station_utilization.assign(S * cluster_count_, -1.0);
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (stations_[i] == nullptr) continue;
+    const double busy = stations_[i]->lifetime_busy_seconds() - busy_at_warmup[i];
+    result_.station_utilization[i] =
+        busy / (result_.measured_seconds *
+                static_cast<double>(stations_[i]->servers()));
+  }
+  if (global_ != nullptr) {
+    result_.controller_rounds = global_->rounds();
+    result_.controller_reverts = global_->reverts();
+  }
+  result_.rule_pushes = rule_pushes_;
+  for (const auto& scaler : autoscalers_) {
+    result_.autoscaler_scale_ups += scaler->scale_ups();
+    result_.autoscaler_scale_downs += scaler->scale_downs();
+  }
+  result_.final_servers.assign(S * cluster_count_, 0);
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (stations_[i] != nullptr) {
+      result_.final_servers[i] = stations_[i]->servers();
+    }
+  }
+  return result_;
+}
+
+}  // namespace slate

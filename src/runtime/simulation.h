@@ -1,0 +1,123 @@
+// The multi-cluster request execution engine.
+//
+// Simulation wires a Scenario (application, deployment, topology, demand)
+// together with a routing policy and — in SLATE mode — the full control
+// hierarchy (proxies -> cluster controllers -> global controller), then
+// executes every request's call tree event-by-event on the discrete-event
+// simulator:
+//
+//   arrival -> entry station (queue + compute) -> per-child routing query ->
+//   network hop -> child subtree -> network hop back -> ... -> response.
+//
+// Cross-cluster messages charge the egress meter and add sampled one-way
+// network latency in each direction. All telemetry flows through the same
+// SlateProxy objects a real deployment would use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/service_station.h"
+#include "core/cluster_controller.h"
+#include "core/slate_proxy.h"
+#include "net/egress_meter.h"
+#include "routing/policy.h"
+#include "runtime/experiment.h"
+#include "sim/simulator.h"
+#include "telemetry/span.h"
+#include "workload/arrival.h"
+
+namespace slate {
+
+class Simulation {
+ public:
+  Simulation(const Scenario& scenario, const RunConfig& config);
+  ~Simulation();  // out-of-line: members use types incomplete in this header
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Runs to completion and returns the measurements. Call once.
+  ExperimentResult run();
+
+  // Introspection (valid after run()).
+  [[nodiscard]] const GlobalController* global_controller() const noexcept {
+    return global_.get();
+  }
+  [[nodiscard]] const TraceCollector& traces() const noexcept { return traces_; }
+
+ private:
+  struct RequestState {
+    RequestId id;
+    ClassId cls;
+    ClusterId ingress;
+    double arrival_time = 0.0;
+  };
+  using Done = std::function<void()>;
+
+  [[nodiscard]] std::size_t station_index(ServiceId s, ClusterId c) const {
+    return s.index() * cluster_count_ + c.index();
+  }
+  [[nodiscard]] ServiceStation* station(ServiceId s, ClusterId c) {
+    return stations_[station_index(s, c)].get();
+  }
+  SlateProxy& proxy(ServiceId s, ClusterId c) {
+    return *proxies_[station_index(s, c)];
+  }
+
+  void on_arrival(ClassId cls, ClusterId cluster);
+  // Executes call node `node` of `req`'s class at `cluster`; `done` fires at
+  // the node's response time (network back to the caller NOT included).
+  // `parent_span` is the caller's span id (trace-context propagation; 0 at
+  // the root).
+  void execute_node(std::shared_ptr<RequestState> req, std::size_t node,
+                    ClusterId cluster, std::uint64_t parent_span, Done done);
+  // Issues the call for child `node` from `from`: routes, pays the network
+  // and egress both ways, recurses. `done` fires when the response is back
+  // at `from`.
+  void issue_call(std::shared_ptr<RequestState> req, std::size_t node,
+                  ClusterId from, std::uint64_t parent_span, Done done);
+  // Runs `children[index...]` per the parent's invocation mode.
+  void run_children(std::shared_ptr<RequestState> req, std::size_t parent_node,
+                    ClusterId cluster, std::uint64_t parent_span, Done done);
+
+  void control_tick();
+  void begin_measurement();
+
+  const Scenario& scenario_;
+  RunConfig config_;
+  std::size_t cluster_count_;
+
+  Simulator sim_;
+  Rng rng_root_;
+  Rng rng_routing_;
+
+  // Per service: clusters hosting it (ascending id order).
+  std::vector<std::vector<ClusterId>> candidates_;
+  // Per (service, cluster); null where not deployed.
+  std::vector<std::unique_ptr<ServiceStation>> stations_;
+  std::vector<std::unique_ptr<Autoscaler>> autoscalers_;
+  std::vector<std::unique_ptr<SlateProxy>> proxies_;
+  std::vector<std::unique_ptr<MetricsRegistry>> registries_;  // per cluster
+  std::vector<std::shared_ptr<WeightedRulesPolicy>> rule_policies_;  // per cluster
+  std::vector<std::unique_ptr<ClusterController>> cluster_controllers_;
+  std::unique_ptr<GlobalController> global_;
+  std::unique_ptr<RoutingPolicy> baseline_policy_;
+
+  // Live load signal for Waterfall.
+  class LiveLoadView;
+  std::unique_ptr<LiveLoadView> load_view_;
+
+  EgressMeter egress_;
+  TraceCollector traces_;
+  std::unique_ptr<WorkloadDriver> workload_;
+
+  // Measurement state.
+  bool measuring_ = false;
+  ExperimentResult result_;
+  std::uint64_t next_request_ = 0;
+  std::uint64_t next_span_ = 1;  // 0 is "no span" in trace context
+  std::uint64_t rule_pushes_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace slate {
+
+void Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(SimTime delay, Callback fn) {
+  if (delay < 0.0) delay = 0.0;
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.time > until) break;
+    // Move the callback out before popping so it can schedule new events.
+    Callback fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.time;
+    queue_.pop();
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  if (!stopped_ && until != std::numeric_limits<SimTime>::infinity() &&
+      now_ < until) {
+    now_ = until;
+  }
+  return ran;
+}
+
+Simulator::PeriodicHandle Simulator::schedule_periodic(SimTime interval,
+                                                       Callback fn) {
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument("Simulator::schedule_periodic: interval <= 0");
+  }
+  PeriodicHandle handle;
+  handle.alive_ = std::make_shared<bool>(true);
+  // The simulator owns the repeating closure; scheduled copies capture only
+  // a weak reference, so no ownership cycle exists and still-active tasks
+  // are released when the simulator is destroyed.
+  auto tick = std::make_shared<Callback>();
+  periodic_tasks_.push_back(tick);
+  std::weak_ptr<Callback> weak_tick = tick;
+  std::shared_ptr<bool> alive = handle.alive_;
+  *tick = [this, interval, alive, weak_tick, user = std::move(fn)]() {
+    if (!*alive) return;
+    user();
+    if (*alive) {
+      if (const auto strong = weak_tick.lock()) {
+        schedule_after(interval, *strong);
+      }
+    }
+  };
+  schedule_after(interval, *tick);
+  return handle;
+}
+
+}  // namespace slate

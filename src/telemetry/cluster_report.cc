@@ -1,0 +1,2 @@
+// cluster_report.h is data-only; this file anchors the library target.
+#include "telemetry/cluster_report.h"

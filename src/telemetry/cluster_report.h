@@ -1,0 +1,56 @@
+// The cluster controller's periodic report to the global controller.
+//
+// Proxies do not know which cluster they run in; the cluster controller
+// attaches its cluster id when aggregating (paper §3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+// One (service, class) cell of the report.
+struct ServiceClassMetrics {
+  ServiceId service;
+  ClassId cls;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  double completion_rps = 0.0;   // completed / period
+  double mean_latency = 0.0;     // station-local seconds (queue + compute)
+  double max_latency = 0.0;
+  // Mean pure service time (handler time, no queueing); 0 when the data
+  // plane cannot provide the split.
+  double mean_service_time = 0.0;
+};
+
+// Per-station (service) utilization summary.
+struct StationMetrics {
+  ServiceId service;
+  unsigned servers = 0;
+  double utilization = 0.0;      // busy fraction over the period
+  double queue_length = 0.0;     // instantaneous at period end
+};
+
+// End-to-end latency summary for one class entering at this cluster.
+struct E2eMetrics {
+  std::uint64_t count = 0;
+  double mean_latency = 0.0;  // seconds
+};
+
+struct ClusterReport {
+  ClusterId cluster;
+  double period_start = 0.0;
+  double period_end = 0.0;
+  std::vector<ServiceClassMetrics> request_metrics;
+  std::vector<StationMetrics> station_metrics;
+  // Observed ingress demand per class (index = class id), requests/second.
+  std::vector<double> ingress_rps;
+  // End-to-end latency per class (index = class id).
+  std::vector<E2eMetrics> e2e;
+
+  [[nodiscard]] double period() const noexcept { return period_end - period_start; }
+};
+
+}  // namespace slate

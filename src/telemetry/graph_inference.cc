@@ -1,0 +1,140 @@
+#include "telemetry/graph_inference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strfmt.h"
+
+namespace slate {
+
+std::string ObservedTree::signature() const {
+  if (calls.empty()) return "<empty>";
+  std::string root = strfmt("root=%u", calls.front().service.value());
+  // Multiset of parent->child service edges.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> edges;
+  for (const auto& call : calls) {
+    if (call.parent == ObservedCall::kNoParent) continue;
+    ++edges[{calls[call.parent].service.value(), call.service.value()}];
+  }
+  std::string sig = root;
+  for (const auto& [edge, count] : edges) {
+    sig += strfmt(";%u->%u x%llu", edge.first, edge.second,
+                  static_cast<unsigned long long>(count));
+  }
+  return sig;
+}
+
+ObservedTree infer_tree(const std::vector<Span>& spans) {
+  ObservedTree tree;
+  if (spans.empty()) return tree;
+  tree.request = spans.front().request;
+  tree.cls = spans.front().cls;
+
+  // Sort by start time; the earliest-starting span is the root candidate.
+  std::vector<Span> sorted = spans;
+  std::sort(sorted.begin(), sorted.end(), [](const Span& a, const Span& b) {
+    if (a.start_time != b.start_time) return a.start_time < b.start_time;
+    return a.end_time > b.end_time;  // containing span first on ties
+  });
+
+  tree.calls.reserve(sorted.size());
+  for (const auto& span : sorted) {
+    ObservedCall call;
+    call.service = span.service;
+    call.start = span.start_time;
+    call.end = span.end_time;
+    tree.calls.push_back(call);
+  }
+
+  // Preferred: trace-context linkage (every span carries its parent's span
+  // id, as propagated data planes provide). This is exact even for parallel
+  // siblings, whose intervals overlap.
+  bool have_context = true;
+  for (const auto& span : sorted) {
+    if (span.span_id == 0) {
+      have_context = false;
+      break;
+    }
+  }
+  if (have_context) {
+    std::unordered_map<std::uint64_t, std::size_t> by_span_id;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      by_span_id[sorted[i].span_id] = i;
+    }
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const auto it = by_span_id.find(sorted[i].parent_span_id);
+      tree.calls[i].parent =
+          it != by_span_id.end() ? it->second : ObservedCall::kNoParent;
+    }
+    return tree;
+  }
+
+  // Fallback without context: parent of call i is the minimal-duration
+  // earlier call whose interval contains i's. Exact for sequential trees
+  // (network delays make child intervals strictly interior); parallel
+  // siblings can be mis-nested — which is why real meshes propagate
+  // context.
+  for (std::size_t i = 1; i < tree.calls.size(); ++i) {
+    std::size_t best = ObservedCall::kNoParent;
+    double best_duration = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& cand = tree.calls[j];
+      if (cand.start <= tree.calls[i].start && cand.end >= tree.calls[i].end) {
+        const double duration = cand.end - cand.start;
+        if (best == ObservedCall::kNoParent || duration < best_duration) {
+          best = j;
+          best_duration = duration;
+        }
+      }
+    }
+    tree.calls[i].parent = best;
+  }
+  return tree;
+}
+
+double ClassGraphStats::homogeneity() const {
+  if (requests == 0 || signatures.empty()) return 1.0;
+  return static_cast<double>(signatures.front().second) /
+         static_cast<double>(requests);
+}
+
+const std::string& ClassGraphStats::modal_signature() const {
+  static const std::string kEmpty = "<none>";
+  return signatures.empty() ? kEmpty : signatures.front().first;
+}
+
+std::vector<ClassGraphStats> analyze_call_graphs(
+    const TraceCollector& traces, std::size_t min_spans_per_request) {
+  // Group spans by request.
+  std::unordered_map<std::uint32_t, std::vector<Span>> by_request;
+  traces.for_each(
+      [&](const Span& span) { by_request[span.request.value()].push_back(span); });
+
+  // Count signatures per class.
+  std::map<std::uint32_t, std::map<std::string, std::uint64_t>> counts;
+  std::map<std::uint32_t, std::uint64_t> totals;
+  for (const auto& [request, spans] : by_request) {
+    (void)request;
+    if (spans.size() < min_spans_per_request) continue;
+    const ObservedTree tree = infer_tree(spans);
+    ++counts[tree.cls.value()][tree.signature()];
+    ++totals[tree.cls.value()];
+  }
+
+  std::vector<ClassGraphStats> out;
+  for (const auto& [cls, sig_counts] : counts) {
+    ClassGraphStats stats;
+    stats.cls = ClassId{cls};
+    stats.requests = totals[cls];
+    stats.signatures.assign(sig_counts.begin(), sig_counts.end());
+    std::sort(stats.signatures.begin(), stats.signatures.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace slate

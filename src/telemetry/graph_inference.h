@@ -1,0 +1,73 @@
+// Call-graph reconstruction from trace spans.
+//
+// Paper §5 ("Traffic classification"): "the majority of requests in a
+// meaningful traffic class should spawn the same child call graph". This
+// module checks that property from telemetry alone: it rebuilds each
+// request's call tree from its spans using only (service, start, end)
+// interval containment — NOT the simulator's ground-truth call_node — and
+// reports, per traffic class, how homogeneous the observed trees are.
+// A low homogeneity score is the signal that a class is too coarse and
+// should be split (or that the classifier is mis-keyed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/span.h"
+#include "util/ids.h"
+
+namespace slate {
+
+// One reconstructed call within a request's tree.
+struct ObservedCall {
+  ServiceId service;
+  // Index of the parent call within ObservedTree::calls, or kNoParent.
+  std::size_t parent = kNoParent;
+  double start = 0.0;
+  double end = 0.0;
+
+  static constexpr std::size_t kNoParent = ~std::size_t{0};
+};
+
+struct ObservedTree {
+  RequestId request;
+  ClassId cls;
+  std::vector<ObservedCall> calls;  // sorted by start time; root first
+
+  // Canonical signature: sorted "parentService->childService xCount" edge
+  // multiset plus the root service. Two trees with the same signature have
+  // the same call structure (ignoring timing and cluster placement).
+  [[nodiscard]] std::string signature() const;
+};
+
+// Rebuilds the call tree of one request from its spans (any order).
+// When every span carries trace context (span_id != 0), parents come from
+// parent_span_id — exact even for overlapping parallel siblings. Without
+// context the parent is the shortest span containing the child's interval,
+// which is exact for sequential trees only. Returns an empty tree when
+// `spans` is empty.
+ObservedTree infer_tree(const std::vector<Span>& spans);
+
+// Per-class homogeneity over every complete trace in a collector.
+struct ClassGraphStats {
+  ClassId cls;
+  std::uint64_t requests = 0;
+  // Distinct observed signatures and their frequencies, most common first.
+  std::vector<std::pair<std::string, std::uint64_t>> signatures;
+
+  // Fraction of requests whose tree matches the modal signature; 1.0 for a
+  // perfectly homogeneous class.
+  [[nodiscard]] double homogeneity() const;
+  [[nodiscard]] const std::string& modal_signature() const;
+};
+
+// Groups the collector's retained spans by request and analyzes each class.
+// Requests with truncated traces (evicted spans) are skipped when
+// `min_spans_per_request` > the retained span count. Results are keyed in
+// class-id order.
+std::vector<ClassGraphStats> analyze_call_graphs(
+    const TraceCollector& traces, std::size_t min_spans_per_request = 1);
+
+}  // namespace slate

@@ -1,0 +1,127 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slate {
+
+void RateMeter::observe(double now) noexcept {
+  if (last_ < 0.0) {
+    last_ = now;
+    rate_ = 1.0 / tau_;  // first event: seed with one event per tau
+    return;
+  }
+  const double gap = now - last_;
+  last_ = now;
+  if (gap <= 0.0) {
+    // Simultaneous events: each adds one event's worth of instantaneous mass.
+    rate_ += 1.0 / tau_;
+    return;
+  }
+  const double decay = std::exp(-gap / tau_);
+  rate_ = rate_ * decay + (1.0 - decay) / gap;
+}
+
+double RateMeter::rate(double now) const noexcept {
+  if (last_ < 0.0) return 0.0;
+  const double gap = now - last_;
+  if (gap <= 0.0) return rate_;
+  return rate_ * std::exp(-gap / tau_);
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t service_count,
+                                 std::size_t class_count, double rate_tau)
+    : services_(service_count),
+      classes_(class_count),
+      stats_(service_count * class_count),
+      service_rates_(service_count, RateMeter(rate_tau)),
+      inflight_(service_count, 0),
+      ingress_rates_(class_count, RateMeter(rate_tau)),
+      ingress_counts_(class_count, 0),
+      e2e_(class_count) {}
+
+std::size_t MetricsRegistry::key(ServiceId s, ClassId k) const {
+  if (!s.valid() || s.index() >= services_ || !k.valid() || k.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad service/class id");
+  }
+  return s.index() * classes_ + k.index();
+}
+
+void MetricsRegistry::record_start(ServiceId service, ClassId cls, double now) {
+  auto& st = stats_[key(service, cls)];
+  ++st.started;
+  ++inflight_[service.index()];
+  service_rates_[service.index()].observe(now);
+}
+
+void MetricsRegistry::record_end(ServiceId service, ClassId cls,
+                                 double latency_seconds,
+                                 double service_seconds) {
+  auto& st = stats_[key(service, cls)];
+  ++st.completed;
+  st.latency.add(latency_seconds);
+  st.service.add(service_seconds);
+  if (inflight_[service.index()] > 0) --inflight_[service.index()];
+}
+
+void MetricsRegistry::record_ingress(ClassId cls, double now) {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  ingress_rates_[cls.index()].observe(now);
+  ++ingress_counts_[cls.index()];
+}
+
+void MetricsRegistry::record_e2e(ClassId cls, double latency_seconds) {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  e2e_[cls.index()].add(latency_seconds);
+}
+
+const StreamingStats& MetricsRegistry::e2e(ClassId cls) const {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  return e2e_[cls.index()];
+}
+
+const RequestStats& MetricsRegistry::stats(ServiceId service, ClassId cls) const {
+  return stats_[key(service, cls)];
+}
+
+double MetricsRegistry::service_rate(ServiceId service, double now) const {
+  if (!service.valid() || service.index() >= services_) {
+    throw std::out_of_range("MetricsRegistry: bad service id");
+  }
+  return service_rates_[service.index()].rate(now);
+}
+
+double MetricsRegistry::ingress_rate(ClassId cls, double now) const {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  return ingress_rates_[cls.index()].rate(now);
+}
+
+std::uint64_t MetricsRegistry::ingress_count(ClassId cls) const {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  return ingress_counts_[cls.index()];
+}
+
+std::size_t MetricsRegistry::inflight(ServiceId service) const {
+  if (!service.valid() || service.index() >= services_) {
+    throw std::out_of_range("MetricsRegistry: bad service id");
+  }
+  return inflight_[service.index()];
+}
+
+void MetricsRegistry::reset_period() {
+  for (auto& st : stats_) st = RequestStats{};
+  for (auto& c : ingress_counts_) c = 0;
+  for (auto& e : e2e_) e.reset();
+}
+
+}  // namespace slate

@@ -1,0 +1,92 @@
+// Per-cluster request metrics.
+//
+// Each cluster's proxies record request-level telemetry here (paper §3.1:
+// load, latency, class). Two consumers with different needs share the data:
+//   * the cluster controller snapshots-and-resets per control period to
+//     build its report for the global controller;
+//   * baseline policies (Waterfall) need an instantaneous load estimate,
+//     served by exponentially-weighted rate meters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/stats.h"
+
+namespace slate {
+
+// Exponentially weighted arrival-rate estimator. Event-driven: each call to
+// observe() decays the estimate by the elapsed gap. The estimate converges to
+// the true rate with time constant `tau` seconds.
+class RateMeter {
+ public:
+  explicit RateMeter(double tau = 1.0) : tau_(tau) {}
+
+  void observe(double now) noexcept;
+  // Rate estimate at time `now` (decays if no recent events).
+  [[nodiscard]] double rate(double now) const noexcept;
+
+ private:
+  double tau_;
+  double rate_ = 0.0;
+  double last_ = -1.0;
+};
+
+// Accumulated per-(service, class) statistics for one control period.
+struct RequestStats {
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  StreamingStats latency;  // station-local (queue + service) seconds
+  // Pure service (application handler) seconds, excluding queueing. The
+  // sidecar observes this split directly, which is what lets the model
+  // fitter recover per-class compute costs even at saturated stations.
+  StreamingStats service;
+};
+
+// Registry for one cluster. Indexing is dense over (service, class).
+class MetricsRegistry {
+ public:
+  MetricsRegistry(std::size_t service_count, std::size_t class_count,
+                  double rate_tau = 1.0);
+
+  void record_start(ServiceId service, ClassId cls, double now);
+  void record_end(ServiceId service, ClassId cls, double latency_seconds,
+                  double service_seconds = 0.0);
+
+  // Ingress demand tracking: class-k requests entering this cluster.
+  void record_ingress(ClassId cls, double now);
+
+  // End-to-end latency of a class-k request that entered at this cluster
+  // (root span duration). Feeds the guarded controller's live objective.
+  void record_e2e(ClassId cls, double latency_seconds);
+  [[nodiscard]] const StreamingStats& e2e(ClassId cls) const;
+
+  [[nodiscard]] const RequestStats& stats(ServiceId service, ClassId cls) const;
+  // Instantaneous per-service arrival rate (all classes), for Waterfall.
+  [[nodiscard]] double service_rate(ServiceId service, double now) const;
+  [[nodiscard]] double ingress_rate(ClassId cls, double now) const;
+  [[nodiscard]] std::uint64_t ingress_count(ClassId cls) const;
+  [[nodiscard]] std::size_t inflight(ServiceId service) const;
+
+  [[nodiscard]] std::size_t service_count() const noexcept { return services_; }
+  [[nodiscard]] std::size_t class_count() const noexcept { return classes_; }
+
+  // Clears period-accumulated stats (RequestStats, ingress counts) but keeps
+  // rate meters running.
+  void reset_period();
+
+ private:
+  [[nodiscard]] std::size_t key(ServiceId s, ClassId k) const;
+
+  std::size_t services_;
+  std::size_t classes_;
+  std::vector<RequestStats> stats_;          // services x classes
+  std::vector<RateMeter> service_rates_;     // per service
+  std::vector<std::size_t> inflight_;        // per service
+  std::vector<RateMeter> ingress_rates_;     // per class
+  std::vector<std::uint64_t> ingress_counts_;  // per class, period-scoped
+  std::vector<StreamingStats> e2e_;          // per class, period-scoped
+};
+
+}  // namespace slate

@@ -1,0 +1,63 @@
+#include "telemetry/sample_store.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+SampleStore::SampleStore(std::size_t service_count, std::size_t class_count,
+                         std::size_t cluster_count,
+                         std::size_t capacity_per_key)
+    : services_(service_count),
+      classes_(class_count),
+      clusters_(cluster_count),
+      capacity_(capacity_per_key),
+      rings_(service_count * class_count * cluster_count) {
+  if (capacity_per_key == 0) {
+    throw std::invalid_argument("SampleStore: zero capacity");
+  }
+}
+
+std::size_t SampleStore::key(ServiceId s, ClassId k, ClusterId c) const {
+  if (!s.valid() || s.index() >= services_ || !k.valid() ||
+      k.index() >= classes_ || !c.valid() || c.index() >= clusters_) {
+    throw std::out_of_range("SampleStore: bad key");
+  }
+  return (s.index() * classes_ + k.index()) * clusters_ + c.index();
+}
+
+void SampleStore::add(ServiceId s, ClassId k, ClusterId c,
+                      const LoadSample& sample) {
+  Ring& ring = rings_[key(s, k, c)];
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(sample);
+    ++ring.size;
+    return;
+  }
+  ring.buf[ring.head] = sample;
+  ring.head = (ring.head + 1) % capacity_;
+}
+
+std::vector<LoadSample> SampleStore::samples(ServiceId s, ClassId k,
+                                             ClusterId c) const {
+  const Ring& ring = rings_[key(s, k, c)];
+  std::vector<LoadSample> out;
+  out.reserve(ring.size);
+  for (std::size_t i = 0; i < ring.size; ++i) {
+    out.push_back(ring.buf[(ring.head + i) % ring.buf.size()]);
+  }
+  return out;
+}
+
+std::size_t SampleStore::sample_count(ServiceId s, ClassId k, ClusterId c) const {
+  return rings_[key(s, k, c)].size;
+}
+
+void SampleStore::clear() {
+  for (auto& ring : rings_) {
+    ring.buf.clear();
+    ring.head = 0;
+    ring.size = 0;
+  }
+}
+
+}  // namespace slate

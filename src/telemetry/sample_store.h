@@ -1,0 +1,55 @@
+// Load/latency observation store for online model fitting.
+//
+// Every control period the global controller receives, per (service, class,
+// cluster): the offered rate, mean latency, and the station's utilization in
+// that period. These samples accumulate here (bounded ring per key) and the
+// model fitter (core/model_fitter.h) turns them into latency-model
+// parameters — the paper's "learn latency profiles dynamically in
+// production, rather than profiling offline".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+struct LoadSample {
+  double time = 0.0;         // period end, seconds
+  double rps = 0.0;          // per-(service,class,cluster) completion rate
+  double mean_latency = 0.0; // seconds, station-local (queue + compute)
+  // Mean pure service time (0 when the data plane lacks the queue/service
+  // split; the fitter then falls back to low-load inference).
+  double mean_service_time = 0.0;
+  double utilization = 0.0;  // station utilization during the period, [0,1]
+  std::size_t count = 0;     // completions the sample is based on
+};
+
+class SampleStore {
+ public:
+  SampleStore(std::size_t service_count, std::size_t class_count,
+              std::size_t cluster_count, std::size_t capacity_per_key = 256);
+
+  void add(ServiceId s, ClassId k, ClusterId c, const LoadSample& sample);
+
+  // Samples for a key, oldest first.
+  [[nodiscard]] std::vector<LoadSample> samples(ServiceId s, ClassId k,
+                                                ClusterId c) const;
+  [[nodiscard]] std::size_t sample_count(ServiceId s, ClassId k, ClusterId c) const;
+
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<LoadSample> buf;
+    std::size_t head = 0;
+    std::size_t size = 0;
+  };
+  [[nodiscard]] std::size_t key(ServiceId s, ClassId k, ClusterId c) const;
+
+  std::size_t services_, classes_, clusters_, capacity_;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace slate

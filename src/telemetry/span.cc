@@ -1,0 +1,34 @@
+#include "telemetry/span.h"
+
+namespace slate {
+
+TraceCollector::TraceCollector(std::size_t capacity) : capacity_(capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceCollector::record(const Span& span) {
+  if (capacity_ == 0) return;
+  ++recorded_;
+  if (size_ < capacity_) {
+    ring_[(head_ + size_) % capacity_] = span;
+    ++size_;
+  } else {
+    ring_[head_] = span;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<Span> TraceCollector::spans_for(RequestId request) const {
+  std::vector<Span> out;
+  for_each([&](const Span& s) {
+    if (s.request == request) out.push_back(s);
+  });
+  return out;
+}
+
+void TraceCollector::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace slate

@@ -1,0 +1,74 @@
+// Distributed-tracing spans.
+//
+// SLATE-proxy reports trace information per request (paper §3.1). A span
+// covers one service invocation: which request, class, call-tree node,
+// service, and cluster, and when it started/ended. The collector keeps a
+// bounded ring so long experiments cannot exhaust memory; tests and the
+// call-graph sanity checks read traces back via request id.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+struct Span {
+  RequestId request;
+  ClassId cls;
+  std::size_t call_node = 0;
+  ServiceId service;
+  ClusterId cluster;
+  // Trace-context propagation (W3C traceparent style): a per-request-unique
+  // span id, and the id of the span whose service issued this call (0 for
+  // the root span, and for data planes that do not propagate context).
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  // Time spent queued at the station before processing began.
+  double queue_time = 0.0;
+  // Station-local time (queue + compute), excluding child calls and network.
+  // This is what load-to-latency model fitting needs; duration() is the
+  // inclusive span used for end-to-end accounting at root nodes.
+  double exclusive_time = 0.0;
+
+  [[nodiscard]] double duration() const noexcept { return end_time - start_time; }
+};
+
+class TraceCollector {
+ public:
+  // `capacity` bounds retained spans (oldest evicted first). 0 disables
+  // collection entirely (record() becomes a no-op).
+  explicit TraceCollector(std::size_t capacity = 0);
+
+  void record(const Span& span);
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return recorded_; }
+
+  // All retained spans of one request, in recording order.
+  [[nodiscard]] std::vector<Span> spans_for(RequestId request) const;
+
+  // Visits every retained span, oldest first.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(ring_[(head_ + i) % capacity_]);
+    }
+  }
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Span> ring_;
+  std::size_t head_ = 0;  // index of oldest
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace slate {
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value,
+                                   std::size_t buckets)
+    : log_min_(std::log(min_value)),
+      log_max_(std::log(max_value)),
+      counts_(buckets, 0) {
+  if (!(min_value > 0.0) || !(max_value > min_value) || buckets < 2) {
+    throw std::invalid_argument("LatencyHistogram: bad bounds or bucket count");
+  }
+  inv_log_width_ = static_cast<double>(buckets) / (log_max_ - log_min_);
+}
+
+std::size_t LatencyHistogram::bucket_for(double value) const noexcept {
+  if (!(value > 0.0)) return 0;
+  const double pos = (std::log(value) - log_min_) * inv_log_width_;
+  if (pos < 0.0) return 0;
+  const auto idx = static_cast<std::size_t>(pos);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void LatencyHistogram::add(double value) noexcept {
+  ++counts_[bucket_for(value)];
+  ++count_;
+  sum_ += value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.counts_.size() != counts_.size() || other.log_min_ != log_min_ ||
+      other.log_max_ != log_max_) {
+    throw std::invalid_argument("LatencyHistogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::bucket_lower(std::size_t i) const {
+  assert(i < counts_.size());
+  const double width = (log_max_ - log_min_) / static_cast<double>(counts_.size());
+  return std::exp(log_min_ + width * static_cast<double>(i));
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate within the bucket (geometric midpoint behaviour).
+      const double lower = bucket_lower(i);
+      const double upper = (i + 1 < counts_.size()) ? bucket_lower(i + 1)
+                                                    : std::exp(log_max_);
+      const double frac = counts_[i] == 0
+                              ? 0.5
+                              : (target - cumulative) / static_cast<double>(counts_[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative = next;
+  }
+  return std::exp(log_max_);
+}
+
+}  // namespace slate

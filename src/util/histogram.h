@@ -1,0 +1,46 @@
+// Log-bucketed latency histogram.
+//
+// Fixed memory regardless of sample count; quantile error bounded by the
+// bucket growth factor (~2.4% with the default 64 buckets per decade shape).
+// Used for unbounded telemetry streams where SampleSet would grow without
+// limit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slate {
+
+class LatencyHistogram {
+ public:
+  // Tracks values in [min_value, max_value]; values outside are clamped into
+  // the first/last bucket. Defaults suit latencies in seconds (10us .. 100s).
+  explicit LatencyHistogram(double min_value = 1e-5, double max_value = 100.0,
+                            std::size_t buckets = 256);
+
+  void add(double value) noexcept;
+  void merge(const LatencyHistogram& other);
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  // Approximate quantile (bucket midpoint interpolation); 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  // Lower edge of bucket i.
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(double value) const noexcept;
+
+  double log_min_;
+  double log_max_;
+  double inv_log_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace slate

@@ -1,0 +1,70 @@
+// Strong integer identifier types.
+//
+// Clusters, services, traffic classes, call-graph edges, and requests are all
+// referred to by dense indices throughout the library. Using a distinct type
+// per entity prevents the classic bug of passing a service index where a
+// cluster index was expected; the compiler rejects the mix-up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace slate {
+
+// A type-tagged integer id. `Tag` is an empty struct unique per entity kind.
+// Ids are trivially copyable, totally ordered, hashable, and stream-printable.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  // An id that refers to nothing; default-constructed ids are invalid.
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(underlying_type value) noexcept : value_(value) {}
+  constexpr explicit StrongId(std::size_t value) noexcept
+      : value_(static_cast<underlying_type>(value)) {}
+  constexpr explicit StrongId(int value) noexcept
+      : value_(static_cast<underlying_type>(value)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct ClusterTag {};
+struct ServiceTag {};
+struct ClassTag {};
+struct EdgeTag {};
+struct RequestTag {};
+
+using ClusterId = StrongId<ClusterTag>;
+using ServiceId = StrongId<ServiceTag>;
+using ClassId = StrongId<ClassTag>;
+using EdgeId = StrongId<EdgeTag>;    // A call-graph edge within a class's call tree.
+using RequestId = StrongId<RequestTag>;
+
+}  // namespace slate
+
+namespace std {
+template <typename Tag>
+struct hash<slate::StrongId<Tag>> {
+  size_t operator()(slate::StrongId<Tag> id) const noexcept {
+    return std::hash<typename slate::StrongId<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator's hot path never logs; logging exists for controllers and
+// experiment harnesses. Level is a process-global that defaults to kWarn so
+// tests and benches stay quiet unless asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace slate {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+// Usage: SLATE_LOG(kInfo) << "solved in " << ms << " ms";
+#define SLATE_LOG(level_name)                                              \
+  for (bool slate_log_once =                                               \
+           ::slate::log_level() <= ::slate::LogLevel::level_name;          \
+       slate_log_once; slate_log_once = false)                             \
+  ::slate::detail::LogStream(::slate::LogLevel::level_name)
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace slate

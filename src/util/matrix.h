@@ -1,0 +1,38 @@
+// Dense row-major matrix over a flat vector.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace slate {
+
+template <typename T>
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+  FlatMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace slate

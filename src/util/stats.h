@@ -1,0 +1,72 @@
+// Streaming statistics helpers.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace slate {
+
+// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+// Numerically stable for long runs; O(1) memory.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const StreamingStats& other) noexcept;
+  void reset() noexcept { *this = StreamingStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact quantile over a retained sample vector. Used where sample counts are
+// bounded (per-experiment latency distributions); for unbounded streams use
+// LatencyHistogram instead.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  // Linear-interpolated quantile, q in [0, 1]. Returns 0 for an empty set
+  // (mirrors mean()). Sorts lazily; amortized cost is one sort per batch of
+  // queries.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+  void clear() noexcept { samples_.clear(); sorted_ = true; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Ordinary least squares fit of y = a + b*x. Returns {a, b, r_squared}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace slate

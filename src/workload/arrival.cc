@@ -1,0 +1,57 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <utility>
+
+namespace slate {
+
+WorkloadDriver::WorkloadDriver(Simulator& sim, Rng rng,
+                               const DemandSchedule& schedule, double end_time,
+                               Sink sink)
+    : sim_(sim),
+      rng_(rng),
+      schedule_(schedule),
+      end_time_(end_time),
+      sink_(std::move(sink)) {
+  stream_rngs_.reserve(schedule_.streams().size());
+  for (std::size_t i = 0; i < schedule_.streams().size(); ++i) {
+    stream_rngs_.push_back(rng_.fork(i));
+    schedule_next(i);
+  }
+}
+
+void WorkloadDriver::schedule_next(std::size_t stream_index) {
+  const auto& stream = schedule_.streams()[stream_index];
+  Rng& rng = stream_rngs_[stream_index];
+
+  // Walk forward from now, segment by segment, until an arrival lands inside
+  // a constant-rate segment or we pass end_time.
+  double t = sim_.now();
+  while (t < end_time_) {
+    const double rate = schedule_.rate_at(stream.cls, stream.cluster, t);
+    const double boundary =
+        std::min(schedule_.next_change_after(stream.cls, stream.cluster, t),
+                 end_time_);
+    if (rate <= 0.0) {
+      if (!std::isfinite(boundary)) return;  // stream is silent forever
+      t = boundary;
+      continue;
+    }
+    const double gap = rng.exponential(1.0 / rate);
+    if (t + gap < boundary) {
+      const double when = t + gap;
+      sim_.schedule_at(when, [this, stream_index]() {
+        const auto& s = schedule_.streams()[stream_index];
+        ++generated_;
+        sink_(s.cls, s.cluster);
+        schedule_next(stream_index);
+      });
+      return;
+    }
+    // The draw crossed a rate boundary; restart at the boundary
+    // (memorylessness makes this exact).
+    t = boundary;
+  }
+}
+
+}  // namespace slate

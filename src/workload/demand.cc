@@ -1,0 +1,79 @@
+#include "workload/demand.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace slate {
+
+DemandSchedule::Stream& DemandSchedule::stream_for(ClassId cls,
+                                                   ClusterId cluster) {
+  for (auto& s : streams_) {
+    if (s.cls == cls && s.cluster == cluster) return s;
+  }
+  streams_.push_back(Stream{cls, cluster, {}});
+  return streams_.back();
+}
+
+const DemandSchedule::Stream* DemandSchedule::find_stream(
+    ClassId cls, ClusterId cluster) const {
+  for (const auto& s : streams_) {
+    if (s.cls == cls && s.cluster == cluster) return &s;
+  }
+  return nullptr;
+}
+
+void DemandSchedule::set_rate(ClassId cls, ClusterId cluster, double rps) {
+  if (rps < 0.0) throw std::invalid_argument("DemandSchedule: negative rate");
+  auto& stream = stream_for(cls, cluster);
+  stream.steps.clear();
+  stream.steps.push_back(RateStep{0.0, rps});
+}
+
+void DemandSchedule::add_step(ClassId cls, ClusterId cluster, double start_time,
+                              double rps) {
+  if (rps < 0.0) throw std::invalid_argument("DemandSchedule: negative rate");
+  if (start_time < 0.0) {
+    throw std::invalid_argument("DemandSchedule: negative start time");
+  }
+  auto& stream = stream_for(cls, cluster);
+  if (!stream.steps.empty() && stream.steps.back().start_time >= start_time) {
+    throw std::invalid_argument(
+        "DemandSchedule: steps must be added in increasing time order");
+  }
+  stream.steps.push_back(RateStep{start_time, rps});
+}
+
+double DemandSchedule::rate_at(ClassId cls, ClusterId cluster, double t) const {
+  const Stream* stream = find_stream(cls, cluster);
+  if (stream == nullptr) return 0.0;
+  double rate = 0.0;
+  for (const auto& step : stream->steps) {
+    if (step.start_time <= t) {
+      rate = step.rps;
+    } else {
+      break;
+    }
+  }
+  return rate;
+}
+
+double DemandSchedule::next_change_after(ClassId cls, ClusterId cluster,
+                                         double t) const {
+  const Stream* stream = find_stream(cls, cluster);
+  if (stream != nullptr) {
+    for (const auto& step : stream->steps) {
+      if (step.start_time > t) return step.start_time;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double DemandSchedule::total_rate_at(double t) const {
+  double total = 0.0;
+  for (const auto& s : streams_) {
+    total += rate_at(s.cls, s.cluster, t);
+  }
+  return total;
+}
+
+}  // namespace slate

@@ -1,0 +1,55 @@
+// Demand schedules: offered load per (traffic class, ingress cluster).
+//
+// Rates are piecewise-constant requests/second, which is expressive enough
+// for every scenario in the paper (constant loads, overload phases, ramps)
+// while keeping the Poisson arrival generation exact.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+struct RateStep {
+  double start_time;  // seconds; first step should start at 0
+  double rps;
+};
+
+class DemandSchedule {
+ public:
+  // Sets a constant rate from t=0 (replacing any existing steps).
+  void set_rate(ClassId cls, ClusterId cluster, double rps);
+
+  // Appends a step; steps for one stream must be added in increasing
+  // start_time order.
+  void add_step(ClassId cls, ClusterId cluster, double start_time, double rps);
+
+  // Rate of the stream at time t (0 if the stream has no step yet).
+  [[nodiscard]] double rate_at(ClassId cls, ClusterId cluster, double t) const;
+
+  // Time of the next step boundary strictly after t, or +infinity.
+  [[nodiscard]] double next_change_after(ClassId cls, ClusterId cluster,
+                                         double t) const;
+
+  struct Stream {
+    ClassId cls;
+    ClusterId cluster;
+    std::vector<RateStep> steps;
+  };
+  [[nodiscard]] const std::vector<Stream>& streams() const noexcept {
+    return streams_;
+  }
+
+  // Sum of all stream rates at time t (total offered load).
+  [[nodiscard]] double total_rate_at(double t) const;
+
+ private:
+  Stream& stream_for(ClassId cls, ClusterId cluster);
+  [[nodiscard]] const Stream* find_stream(ClassId cls, ClusterId cluster) const;
+
+  std::vector<Stream> streams_;
+};
+
+}  // namespace slate

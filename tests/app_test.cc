@@ -1,0 +1,240 @@
+// Unit tests for the application model: call graphs, applications, builders.
+#include <gtest/gtest.h>
+
+#include "app/application.h"
+#include "app/builders.h"
+#include "app/call_graph.h"
+
+namespace slate {
+namespace {
+
+// --- CallGraph -------------------------------------------------------------
+
+TEST(CallGraph, RootOnly) {
+  CallGraph g;
+  const std::size_t root = g.set_root(ServiceId{0}, 1e-3, 100, 200);
+  EXPECT_EQ(root, 0u);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.node(0).parent, CallNode::kNoParent);
+  g.validate();
+}
+
+TEST(CallGraph, DoubleRootThrows) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 1e-3, 0, 0);
+  EXPECT_THROW(g.set_root(ServiceId{1}, 1e-3, 0, 0), std::logic_error);
+}
+
+TEST(CallGraph, InvalidServiceThrows) {
+  CallGraph g;
+  EXPECT_THROW(g.set_root(ServiceId{}, 1e-3, 0, 0), std::invalid_argument);
+}
+
+TEST(CallGraph, AddCallLinksParentChild) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 1e-3, 0, 0);
+  const std::size_t child = g.add_call(0, ServiceId{1}, 2e-3, 10, 20);
+  EXPECT_EQ(child, 1u);
+  EXPECT_EQ(g.node(1).parent, 0u);
+  EXPECT_EQ(g.node(0).children, std::vector<std::size_t>{1});
+  EXPECT_EQ(g.node(1).request_bytes, 10u);
+  EXPECT_EQ(g.node(1).response_bytes, 20u);
+  g.validate();
+}
+
+TEST(CallGraph, BadParentThrows) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 1e-3, 0, 0);
+  EXPECT_THROW(g.add_call(5, ServiceId{1}, 1e-3, 0, 0), std::out_of_range);
+}
+
+TEST(CallGraph, NonPositiveMultiplicityThrows) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 1e-3, 0, 0);
+  EXPECT_THROW(g.add_call(0, ServiceId{1}, 1e-3, 0, 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(g.add_call(0, ServiceId{1}, 1e-3, 0, 0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(CallGraph, ExecutionsPerRequestMultipliesDownThePath) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 0, 0, 0);
+  const std::size_t a = g.add_call(0, ServiceId{1}, 0, 0, 0, 2.0);
+  const std::size_t b = g.add_call(a, ServiceId{2}, 0, 0, 0, 3.0);
+  const std::size_t c = g.add_call(0, ServiceId{3}, 0, 0, 0, 0.5);
+  EXPECT_DOUBLE_EQ(g.executions_per_request(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.executions_per_request(a), 2.0);
+  EXPECT_DOUBLE_EQ(g.executions_per_request(b), 6.0);
+  EXPECT_DOUBLE_EQ(g.executions_per_request(c), 0.5);
+}
+
+TEST(CallGraph, NodesForService) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 0, 0, 0);
+  g.add_call(0, ServiceId{1}, 0, 0, 0);
+  g.add_call(0, ServiceId{1}, 0, 0, 0);
+  g.add_call(0, ServiceId{2}, 0, 0, 0);
+  EXPECT_EQ(g.nodes_for_service(ServiceId{1}),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(g.nodes_for_service(ServiceId{9}).empty());
+}
+
+TEST(CallGraph, InvocationMode) {
+  CallGraph g;
+  g.set_root(ServiceId{0}, 0, 0, 0);
+  EXPECT_EQ(g.node(0).mode, InvocationMode::kSequential);
+  g.set_invocation_mode(0, InvocationMode::kParallel);
+  EXPECT_EQ(g.node(0).mode, InvocationMode::kParallel);
+}
+
+// --- Application ------------------------------------------------------------
+
+TEST(Application, ServicesAndLookup) {
+  Application app;
+  const ServiceId a = app.add_service("a");
+  const ServiceId b = app.add_service("b");
+  EXPECT_EQ(app.service_count(), 2u);
+  EXPECT_EQ(app.service_name(a), "a");
+  EXPECT_EQ(app.find_service("b"), b);
+  EXPECT_FALSE(app.find_service("c").valid());
+  EXPECT_THROW(app.add_service("a"), std::invalid_argument);
+}
+
+TEST(Application, ClassWithEmptyGraphThrows) {
+  Application app;
+  app.add_service("a");
+  TrafficClassSpec spec;
+  spec.name = "empty";
+  EXPECT_THROW(app.add_class(std::move(spec)), std::invalid_argument);
+}
+
+TEST(Application, EntryServiceAndClassLookup) {
+  Application app;
+  const ServiceId front = app.add_service("front");
+  app.add_service("back");
+  TrafficClassSpec spec;
+  spec.name = "k";
+  spec.graph.set_root(front, 1e-3, 0, 0);
+  const ClassId k = app.add_class(std::move(spec));
+  EXPECT_EQ(app.entry_service(k), front);
+  EXPECT_EQ(app.find_class("k"), k);
+  EXPECT_FALSE(app.find_class("zzz").valid());
+}
+
+TEST(Application, ValidateCatchesUnknownService) {
+  Application app;
+  app.add_service("only");
+  TrafficClassSpec spec;
+  spec.name = "bad";
+  spec.graph.set_root(ServiceId{5}, 1e-3, 0, 0);  // out of range
+  app.add_class(std::move(spec));
+  EXPECT_THROW(app.validate(), std::logic_error);
+}
+
+// --- Builders ------------------------------------------------------------------
+
+TEST(Builders, LinearChainShape) {
+  const Application app = make_linear_chain_app();
+  EXPECT_EQ(app.service_count(), 4u);  // ingress + 3
+  EXPECT_EQ(app.class_count(), 1u);
+  const CallGraph& g = app.traffic_class(ClassId{0}).graph;
+  EXPECT_EQ(g.node_count(), 4u);
+  // Strictly linear: node i+1's parent is node i.
+  for (std::size_t n = 1; n < g.node_count(); ++n) {
+    EXPECT_EQ(g.node(n).parent, n - 1);
+  }
+  EXPECT_EQ(app.entry_service(ClassId{0}), app.find_service("ingress"));
+}
+
+TEST(Builders, LinearChainCustomLength) {
+  LinearChainOptions options;
+  options.chain_length = 5;
+  const Application app = make_linear_chain_app(options);
+  EXPECT_EQ(app.service_count(), 6u);
+  EXPECT_EQ(app.traffic_class(ClassId{0}).graph.node_count(), 6u);
+  EXPECT_THROW(make_linear_chain_app({.chain_length = 0}), std::invalid_argument);
+}
+
+TEST(Builders, AnomalyDetectionResponseBlowup) {
+  AnomalyDetectionOptions options;
+  options.mp_response_bytes = 100 * 1024;
+  options.db_response_factor = 10.0;
+  const Application app = make_anomaly_detection_app(options);
+  const CallGraph& g = app.traffic_class(ClassId{0}).graph;
+  ASSERT_EQ(g.node_count(), 3u);
+  const CallNode& mp_call = g.node(1);
+  const CallNode& db_call = g.node(2);
+  EXPECT_EQ(mp_call.service, app.find_service("metrics-processor"));
+  EXPECT_EQ(db_call.service, app.find_service("metrics-db"));
+  // The DB -> MP response is 10x the MP -> FR response (the §4.3 premise).
+  EXPECT_EQ(db_call.response_bytes, mp_call.response_bytes * 10);
+}
+
+TEST(Builders, TwoClassComputeGap) {
+  const Application app = make_two_class_app();
+  ASSERT_EQ(app.class_count(), 2u);
+  const ClassId light = app.find_class("L");
+  const ClassId heavy = app.find_class("H");
+  ASSERT_TRUE(light.valid() && heavy.valid());
+  const double light_compute =
+      app.traffic_class(light).graph.node(1).compute_time_mean;
+  const double heavy_compute =
+      app.traffic_class(heavy).graph.node(1).compute_time_mean;
+  EXPECT_DOUBLE_EQ(heavy_compute, 10.0 * light_compute);
+  // Same entry service, different attributes -> distinct classes.
+  EXPECT_EQ(app.entry_service(light), app.entry_service(heavy));
+  EXPECT_NE(app.traffic_class(light).attributes.path,
+            app.traffic_class(heavy).attributes.path);
+}
+
+TEST(Builders, FanoutCounts) {
+  FanoutOptions options;
+  options.width = 2;
+  options.depth = 2;
+  const Application app = make_fanout_app(options);
+  EXPECT_EQ(app.service_count(), 7u);  // 1 + 2 + 4
+  EXPECT_EQ(app.traffic_class(ClassId{0}).graph.node_count(), 7u);
+}
+
+TEST(Builders, SocialNetworkShape) {
+  const Application app = make_social_network_app();
+  EXPECT_EQ(app.service_count(), 8u);
+  EXPECT_EQ(app.class_count(), 3u);
+  app.validate();
+
+  const ClassId read = app.find_class("read-timeline");
+  ASSERT_TRUE(read.valid());
+  const CallGraph& g = app.traffic_class(read).graph;
+  EXPECT_EQ(g.node_count(), 6u);
+  // The timeline node fans out in parallel.
+  const auto timeline_nodes = g.nodes_for_service(app.find_service("timeline"));
+  ASSERT_EQ(timeline_nodes.size(), 1u);
+  EXPECT_EQ(g.node(timeline_nodes[0]).mode, InvocationMode::kParallel);
+  EXPECT_EQ(g.node(timeline_nodes[0]).children.size(), 4u);
+  // post-store is called twice per timeline read.
+  const auto ps_nodes = g.nodes_for_service(app.find_service("post-store"));
+  ASSERT_EQ(ps_nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.node(ps_nodes[0]).multiplicity, 2.0);
+  // media is probabilistic in both read and write classes.
+  const ClassId write = app.find_class("write-post");
+  const auto media_write = app.traffic_class(write).graph.nodes_for_service(
+      app.find_service("media"));
+  ASSERT_EQ(media_write.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      app.traffic_class(write).graph.node(media_write[0]).multiplicity, 0.3);
+}
+
+TEST(Builders, FanoutParallelMode) {
+  FanoutOptions options;
+  options.width = 3;
+  options.depth = 1;
+  options.mode = InvocationMode::kParallel;
+  const Application app = make_fanout_app(options);
+  const CallGraph& g = app.traffic_class(ClassId{0}).graph;
+  EXPECT_EQ(g.node(0).mode, InvocationMode::kParallel);
+  EXPECT_EQ(g.node(0).children.size(), 3u);
+}
+
+}  // namespace
+}  // namespace slate

@@ -1,0 +1,262 @@
+// Tests for dynamic station capacity: set_servers, the Autoscaler control
+// loop, and capacity/failure events through the full simulation.
+#include <gtest/gtest.h>
+
+#include "cluster/autoscaler.h"
+#include "cluster/service_station.h"
+#include "runtime/scenarios.h"
+#include "runtime/simulation.h"
+
+namespace slate {
+namespace {
+
+// Drives `station` open-loop at `rate` until `until`.
+void drive(Simulator& sim, ServiceStation& station, Rng& rng, double rate,
+           double service_mean, double until) {
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&sim, &station, &rng, rate, service_mean, until, arrive]() {
+    station.submit(service_mean, [](double, double) {});
+    const double gap = rng.exponential(1.0 / rate);
+    if (sim.now() + gap < until) {
+      sim.schedule_after(gap, *arrive);
+    } else {
+      *arrive = nullptr;  // break self-reference
+    }
+  };
+  sim.schedule_at(sim.now(), *arrive);
+}
+
+// --- ServiceStation::set_servers -----------------------------------------------
+
+TEST(SetServers, GrowDispatchesQueuedJobs) {
+  Simulator sim;
+  ServiceStation st(sim, Rng(1), ServiceId{0}, ClusterId{0}, 1);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    st.submit(1.0, [&](double, double) { ++done; });
+  }
+  sim.run_until(0.0);
+  EXPECT_EQ(st.busy_servers(), 1u);
+  EXPECT_EQ(st.queue_length(), 3u);
+  st.set_servers(4);
+  sim.run_until(0.0);
+  EXPECT_EQ(st.busy_servers(), 4u);
+  EXPECT_EQ(st.queue_length(), 0u);
+  sim.run_until(60.0);
+  EXPECT_EQ(done, 4);
+}
+
+TEST(SetServers, ShrinkDoesNotPreempt) {
+  Simulator sim;
+  ServiceStation st(sim, Rng(2), ServiceId{0}, ClusterId{0}, 3);
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    st.submit(1.0, [&](double, double) { ++done; });
+  }
+  sim.run_until(0.0);
+  EXPECT_EQ(st.busy_servers(), 3u);
+  st.set_servers(1);
+  // All three in-flight jobs still complete.
+  sim.run_until(60.0);
+  EXPECT_EQ(done, 3);
+  // New work runs at the reduced parallelism.
+  for (int i = 0; i < 2; ++i) {
+    st.submit(1.0, [&](double, double) {});
+  }
+  sim.run_until(60.0);
+  EXPECT_EQ(st.busy_servers(), 1u);
+}
+
+TEST(SetServers, ZeroThrows) {
+  Simulator sim;
+  ServiceStation st(sim, Rng(3), ServiceId{0}, ClusterId{0}, 2);
+  EXPECT_THROW(st.set_servers(0), std::invalid_argument);
+}
+
+// --- Autoscaler -----------------------------------------------------------------
+
+TEST(Autoscaler, ScalesUpUnderOverloadAfterDelay) {
+  Simulator sim;
+  Rng rng(5);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 1);
+  AutoscalerOptions options;
+  options.target_utilization = 0.6;
+  options.evaluation_period = 5.0;
+  options.provision_delay = 10.0;
+  options.cooldown = 1.0;
+  std::vector<double> scale_times;
+  Autoscaler scaler(sim, st, options, [&](unsigned, unsigned) {
+    scale_times.push_back(sim.now());
+  });
+
+  Rng arrivals = rng.fork(1);
+  drive(sim, st, arrivals, 900.0, 1e-3, 120.0);  // u = 0.9 on one server
+  sim.run_until(120.0);
+
+  EXPECT_GE(scaler.scale_ups(), 1u);
+  EXPECT_GE(st.servers(), 2u);
+  ASSERT_FALSE(scale_times.empty());
+  // First decision at t=5 takes effect no earlier than t=15.
+  EXPECT_GE(scale_times.front(), options.evaluation_period +
+                                     options.provision_delay - 1e-9);
+}
+
+TEST(Autoscaler, ScalesDownWhenIdle) {
+  Simulator sim;
+  Rng rng(7);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 8);
+  AutoscalerOptions options;
+  options.evaluation_period = 5.0;
+  options.cooldown = 1.0;
+  options.min_servers = 2;
+  Autoscaler scaler(sim, st, options);
+
+  Rng arrivals = rng.fork(1);
+  drive(sim, st, arrivals, 100.0, 1e-3, 120.0);  // u = 0.0125 on 8 servers
+  sim.run_until(120.0);
+
+  EXPECT_GE(scaler.scale_downs(), 1u);
+  EXPECT_EQ(st.servers(), 2u);  // clamped at min_servers
+}
+
+TEST(Autoscaler, DeadbandPreventsFlapping) {
+  Simulator sim;
+  Rng rng(9);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 2);
+  AutoscalerOptions options;
+  options.target_utilization = 0.5;
+  options.evaluation_period = 5.0;
+  options.cooldown = 0.0;
+  options.deadband = 0.15;
+  Autoscaler scaler(sim, st, options);
+
+  Rng arrivals = rng.fork(1);
+  drive(sim, st, arrivals, 1000.0, 1e-3, 200.0);  // u = 0.5: on target
+  sim.run_until(200.0);
+  EXPECT_EQ(scaler.scale_ups() + scaler.scale_downs(), 0u);
+  EXPECT_EQ(st.servers(), 2u);
+}
+
+TEST(Autoscaler, CooldownLimitsDecisionRate) {
+  Simulator sim;
+  Rng rng(11);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 1);
+  AutoscalerOptions options;
+  options.evaluation_period = 1.0;
+  options.cooldown = 50.0;
+  options.provision_delay = 0.1;
+  Autoscaler scaler(sim, st, options);
+
+  Rng arrivals = rng.fork(1);
+  drive(sim, st, arrivals, 950.0, 1e-3, 99.0);
+  sim.run_until(99.0);
+  // With a 50s cooldown, at most 2 decisions fit in 99s.
+  EXPECT_LE(scaler.scale_ups() + scaler.scale_downs(), 2u);
+}
+
+TEST(Autoscaler, BadOptionsThrow) {
+  Simulator sim;
+  ServiceStation st(sim, Rng(1), ServiceId{0}, ClusterId{0}, 1);
+  AutoscalerOptions bad;
+  bad.target_utilization = 1.5;
+  EXPECT_THROW(Autoscaler(sim, st, bad), std::invalid_argument);
+  AutoscalerOptions bounds;
+  bounds.min_servers = 5;
+  bounds.max_servers = 2;
+  EXPECT_THROW(Autoscaler(sim, st, bounds), std::invalid_argument);
+}
+
+// --- Capacity events & interaction through the full simulation --------------------
+
+TEST(CapacityEvents, FailureDegradesLocalOnly) {
+  TwoClusterChainParams params;
+  params.west_rps = 350.0;
+  params.east_rps = 100.0;
+  params.west_servers = 2;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  RunConfig config;
+  config.policy = PolicyKind::kLocalOnly;
+  config.duration = 50.0;
+  config.warmup = 25.0;
+  config.seed = 13;
+
+  const ExperimentResult healthy = run_experiment(scenario, config);
+
+  // Lose one of West's two svc-1 replicas at t=20 (before measurement).
+  config.capacity_events.push_back(CapacityEvent{
+      20.0, scenario.app->find_service("svc-1"), ClusterId{0}, 1});
+  const ExperimentResult degraded = run_experiment(scenario, config);
+
+  // 350 RPS on one 500-RPS server: u = 0.7 vs 0.35 — latency clearly up.
+  EXPECT_GT(degraded.mean_latency(), healthy.mean_latency() * 1.2);
+  EXPECT_EQ(degraded.final_servers[scenario.app->find_service("svc-1").index() * 2 +
+                                   0],
+            1u);
+}
+
+TEST(CapacityEvents, SlateRoutesAroundFailure) {
+  TwoClusterChainParams params;
+  params.west_rps = 450.0;  // u = 0.9 on the surviving replica
+  params.east_rps = 100.0;
+  params.west_servers = 2;
+  params.east_servers = 2;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  RunConfig config;
+  config.duration = 70.0;
+  config.warmup = 40.0;  // failure at 20, leave time to adapt
+  config.seed = 17;
+  config.capacity_events.push_back(CapacityEvent{
+      20.0, scenario.app->find_service("svc-1"), ClusterId{0}, 1});
+
+  config.policy = PolicyKind::kLocalityFailover;  // static: keeps serving local
+  const ExperimentResult failover = run_experiment(scenario, config);
+  config.policy = PolicyKind::kSlate;
+  const ExperimentResult slate = run_experiment(scenario, config);
+
+  // SLATE's live-server feedback detects the lost replica and offloads.
+  EXPECT_GT(slate.remote_fraction_from(ClassId{0}, 1, ClusterId{0}), 0.1);
+  EXPECT_LT(slate.mean_latency(), failover.mean_latency());
+}
+
+TEST(CapacityEvents, UndeployedTargetThrows) {
+  const Scenario scenario = make_anomaly_scenario({});
+  RunConfig config;
+  config.duration = 5.0;
+  config.warmup = 1.0;
+  // DB is not deployed in West.
+  config.capacity_events.push_back(CapacityEvent{
+      1.0, scenario.app->find_service("metrics-db"), ClusterId{0}, 2});
+  EXPECT_THROW(run_experiment(scenario, config), std::invalid_argument);
+}
+
+TEST(AutoscalerIntegration, ScalesOutUnderBurstAndHelpsLatency) {
+  TwoClusterChainParams params;
+  params.west_rps = 800.0;  // sustained overload for one server
+  params.east_rps = 100.0;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+
+  RunConfig config;
+  config.policy = PolicyKind::kLocalOnly;
+  config.duration = 120.0;
+  config.warmup = 80.0;  // measure after scaling settles
+  config.seed = 19;
+
+  config.autoscaler_enabled = true;
+  config.autoscaler.target_utilization = 0.6;
+  config.autoscaler.evaluation_period = 10.0;
+  config.autoscaler.provision_delay = 20.0;
+  config.autoscaler.cooldown = 10.0;
+  const ExperimentResult scaled = run_experiment(scenario, config);
+
+  config.autoscaler_enabled = false;
+  const ExperimentResult fixed = run_experiment(scenario, config);
+
+  EXPECT_GE(scaled.autoscaler_scale_ups, 1u);
+  // After scaling, west can serve 800 RPS locally at sane utilization.
+  EXPECT_LT(scaled.mean_latency(), fixed.mean_latency() * 0.5);
+  const ServiceId svc1 = scenario.app->find_service("svc-1");
+  EXPECT_GE(scaled.final_servers[svc1.index() * 2 + 0], 2u);
+}
+
+}  // namespace
+}  // namespace slate

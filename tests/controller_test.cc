@@ -1,0 +1,350 @@
+// Tests for the control hierarchy: SlateProxy telemetry, ClusterController
+// aggregation/rule fan-out, and the GlobalController loop including the
+// guarded (incremental + revert) rule application of paper §5.
+#include <gtest/gtest.h>
+
+#include "app/builders.h"
+#include "core/cluster_controller.h"
+#include "core/global_controller.h"
+#include "core/routing_rules.h"
+#include "core/slate_proxy.h"
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+
+namespace slate {
+namespace {
+
+// --- SlateProxy -------------------------------------------------------------
+
+TEST(SlateProxy, RecordsTelemetry) {
+  const Topology topo = make_two_cluster_topology(10e-3);
+  MetricsRegistry registry(2, 1);
+  auto policy = std::make_shared<WeightedRulesPolicy>(topo);
+  TraceCollector traces(16);
+  SlateProxy proxy(ServiceId{1}, registry, policy, &traces);
+
+  proxy.on_request_start(ClassId{0}, 1.0);
+  EXPECT_EQ(registry.inflight(ServiceId{1}), 1u);
+
+  Span span;
+  span.service = ServiceId{1};
+  span.cls = ClassId{0};
+  span.start_time = 1.0;
+  span.end_time = 1.5;
+  span.exclusive_time = 0.1;
+  proxy.on_request_end(ClassId{0}, span);
+  EXPECT_EQ(registry.inflight(ServiceId{1}), 0u);
+  // The metrics see the exclusive (station-local) time, not the full span.
+  EXPECT_DOUBLE_EQ(registry.stats(ServiceId{1}, ClassId{0}).latency.mean(), 0.1);
+  EXPECT_EQ(traces.size(), 1u);
+
+  proxy.on_root_response(ClassId{0}, 0.5);
+  EXPECT_DOUBLE_EQ(registry.e2e(ClassId{0}).mean(), 0.5);
+}
+
+TEST(SlateProxy, NullPolicyThrows) {
+  MetricsRegistry registry(1, 1);
+  EXPECT_THROW(SlateProxy(ServiceId{0}, registry, nullptr),
+               std::invalid_argument);
+}
+
+// --- ClusterController --------------------------------------------------------
+
+class ClusterControllerTest : public ::testing::Test {
+ protected:
+  ClusterControllerTest()
+      : topo_(make_two_cluster_topology(10e-3)),
+        registry_(2, 1),
+        policy_(std::make_shared<WeightedRulesPolicy>(topo_)),
+        station_(sim_, Rng(1), ServiceId{0}, ClusterId{0}, 1) {}
+
+  Simulator sim_;
+  Topology topo_;
+  MetricsRegistry registry_;
+  std::shared_ptr<WeightedRulesPolicy> policy_;
+  ServiceStation station_;
+};
+
+TEST_F(ClusterControllerTest, CollectBuildsReportAndResets) {
+  ClusterController controller(ClusterId{0}, 1, registry_,
+                               {&station_, nullptr}, policy_);
+  // Simulate some traffic at t in [0, 2).
+  registry_.record_ingress(ClassId{0}, 0.5);
+  registry_.record_ingress(ClassId{0}, 1.0);
+  registry_.record_start(ServiceId{0}, ClassId{0}, 0.5);
+  registry_.record_end(ServiceId{0}, ClassId{0}, 0.02);
+  registry_.record_e2e(ClassId{0}, 0.08);
+  sim_.run_until(2.0);
+
+  const ClusterReport report = controller.collect(sim_.now());
+  EXPECT_EQ(report.cluster, ClusterId{0});
+  EXPECT_DOUBLE_EQ(report.period(), 2.0);
+  ASSERT_EQ(report.request_metrics.size(), 1u);
+  EXPECT_EQ(report.request_metrics[0].completed, 1u);
+  EXPECT_DOUBLE_EQ(report.request_metrics[0].mean_latency, 0.02);
+  EXPECT_DOUBLE_EQ(report.request_metrics[0].completion_rps, 0.5);
+  ASSERT_EQ(report.ingress_rps.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.ingress_rps[0], 1.0);  // 2 arrivals / 2s
+  ASSERT_EQ(report.e2e.size(), 1u);
+  EXPECT_EQ(report.e2e[0].count, 1u);
+  EXPECT_DOUBLE_EQ(report.e2e[0].mean_latency, 0.08);
+  // Station metrics are present for deployed services only.
+  ASSERT_EQ(report.station_metrics.size(), 1u);
+  EXPECT_EQ(report.station_metrics[0].service, ServiceId{0});
+
+  // Period state reset; a second immediate collect is empty.
+  const ClusterReport second = controller.collect(sim_.now());
+  EXPECT_TRUE(second.request_metrics.empty());
+  EXPECT_EQ(controller.reports_built(), 2u);
+}
+
+TEST_F(ClusterControllerTest, PushRulesReachesPolicy) {
+  ClusterController controller(ClusterId{0}, 1, registry_,
+                               {&station_, nullptr}, policy_);
+  auto rules = std::make_shared<RoutingRuleSet>();
+  RouteWeights w;
+  w.clusters = {ClusterId{1}};
+  w.weights = {1.0};
+  rules->set_rule(ClassId{0}, 1, ClusterId{0}, w);
+  controller.push_rules(rules);
+  EXPECT_EQ(policy_->rules().get(), rules.get());
+  EXPECT_EQ(controller.rules_pushed(), 1u);
+}
+
+TEST_F(ClusterControllerTest, SizeMismatchThrows) {
+  EXPECT_THROW(
+      ClusterController(ClusterId{0}, 1, registry_, {&station_}, policy_),
+      std::invalid_argument);
+}
+
+// --- GlobalController -----------------------------------------------------------
+
+// Builds a synthetic report as if a cluster had served `rps` of class 0 at
+// `latency` with the given utilization and e2e.
+ClusterReport synthetic_report(ClusterId cluster, double t0, double t1,
+                               ServiceId svc, double rps, double latency,
+                               double utilization, double e2e_latency) {
+  ClusterReport report;
+  report.cluster = cluster;
+  report.period_start = t0;
+  report.period_end = t1;
+  const double period = t1 - t0;
+  ServiceClassMetrics m;
+  m.service = svc;
+  m.cls = ClassId{0};
+  m.completed = static_cast<std::uint64_t>(rps * period);
+  m.started = m.completed;
+  m.completion_rps = rps;
+  m.mean_latency = latency;
+  report.request_metrics.push_back(m);
+  StationMetrics sm;
+  sm.service = svc;
+  sm.servers = 1;
+  sm.utilization = utilization;
+  report.station_metrics.push_back(sm);
+  report.ingress_rps = {rps};
+  report.e2e = {
+      E2eMetrics{static_cast<std::uint64_t>(rps * period), e2e_latency}};
+  return report;
+}
+
+TEST(GlobalController, ProducesRulesFromReports) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  std::vector<ClusterReport> reports;
+  for (std::size_t c = 0; c < 2; ++c) {
+    reports.push_back(synthetic_report(ClusterId{c}, 0.0, 1.0,
+                                       scenario.app->find_service("svc-1"),
+                                       c == 0 ? 700.0 : 100.0, 2e-3, 0.5,
+                                       10e-3));
+  }
+  const auto rules = controller.on_reports(reports, 1.0);
+  ASSERT_NE(rules, nullptr);
+  EXPECT_GT(rules->size(), 0u);
+  EXPECT_EQ(controller.rounds(), 1u);
+  EXPECT_EQ(controller.optimizations(), 1u);
+  // Demand was ingested.
+  EXPECT_NEAR(controller.demand()(0, 0), 700.0, 1e-9);
+}
+
+TEST(GlobalController, NoDemandMeansNoRules) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, {});
+  ClusterReport empty;
+  empty.cluster = ClusterId{0};
+  empty.period_end = 1.0;
+  empty.ingress_rps = {0.0};
+  EXPECT_EQ(controller.on_reports({empty}, 1.0), nullptr);
+}
+
+TEST(GlobalController, DemandSmoothing) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.demand_smoothing = 0.5;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+  controller.on_reports(
+      {synthetic_report(ClusterId{0}, 0.0, 1.0, svc, 100.0, 2e-3, 0.2, 8e-3)},
+      1.0);
+  EXPECT_NEAR(controller.demand()(0, 0), 100.0, 1e-9);  // first: take as-is
+  controller.on_reports(
+      {synthetic_report(ClusterId{0}, 1.0, 2.0, svc, 300.0, 2e-3, 0.5, 8e-3)},
+      2.0);
+  EXPECT_NEAR(controller.demand()(0, 0), 200.0, 1e-9);  // halfway
+}
+
+TEST(GlobalController, FitsModelFromSamples) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.warm_start_model = false;  // cold start: everything defaults
+  options.fitter.min_samples = 3;
+  options.fitter.smoothing = 1.0;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+  // Low-utilization periods with 7ms station latency -> service time ~7ms.
+  for (int i = 0; i < 4; ++i) {
+    controller.on_reports({synthetic_report(ClusterId{0}, i, i + 1.0, svc,
+                                            100.0, 7e-3, 0.1, 20e-3)},
+                          i + 1.0);
+  }
+  EXPECT_NEAR(
+      controller.model().service_time(svc, ClassId{0}, ClusterId{0}), 7e-3,
+      5e-4);
+}
+
+TEST(GlobalController, FreezeModelSkipsFitting) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.freeze_model = true;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+  const double before =
+      controller.model().service_time(svc, ClassId{0}, ClusterId{0});
+  for (int i = 0; i < 4; ++i) {
+    controller.on_reports({synthetic_report(ClusterId{0}, i, i + 1.0, svc,
+                                            100.0, 50e-3, 0.1, 60e-3)},
+                          i + 1.0);
+  }
+  EXPECT_DOUBLE_EQ(
+      controller.model().service_time(svc, ClassId{0}, ClusterId{0}), before);
+}
+
+TEST(GlobalController, GuardrailStepIsIncremental) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.guardrails.enabled = true;
+  options.guardrails.step_fraction = 0.25;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+
+  // Heavy west overload: the optimizer's target offloads a lot, but the
+  // first guarded push must stay within step_fraction of the (implicitly
+  // local) previous rules.
+  std::vector<ClusterReport> reports{
+      synthetic_report(ClusterId{0}, 0.0, 1.0, svc, 800.0, 2e-3, 0.95, 50e-3),
+      synthetic_report(ClusterId{1}, 0.0, 1.0, svc, 100.0, 2e-3, 0.2, 8e-3)};
+  const auto first = controller.on_reports(reports, 1.0);
+  ASSERT_NE(first, nullptr);
+  const auto second = controller.on_reports(reports, 2.0);
+  ASSERT_NE(second, nullptr);
+  // The second push moves strictly closer to the target than the first
+  // (monotone approach under a constant target).
+  const OptimizerResult& target = controller.last_result();
+  EXPECT_LT(rule_set_distance(*second, *target.rules),
+            rule_set_distance(*first, *target.rules) + 1e-9);
+}
+
+TEST(GlobalController, GuardrailRevertsOnRegression) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.guardrails.enabled = true;
+  options.guardrails.step_fraction = 1.0;
+  options.guardrails.regression_tolerance = 0.2;
+  options.guardrails.min_e2e_samples = 10;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+
+  // Period 1: healthy baseline (e2e 10ms), rules pushed.
+  std::vector<ClusterReport> healthy{
+      synthetic_report(ClusterId{0}, 0.0, 1.0, svc, 700.0, 2e-3, 0.9, 10e-3),
+      synthetic_report(ClusterId{1}, 0.0, 1.0, svc, 100.0, 2e-3, 0.2, 10e-3)};
+  const auto push1 = controller.on_reports(healthy, 1.0);
+  ASSERT_NE(push1, nullptr);
+
+  // Period 2: e2e exploded (100ms >> 10ms * 1.2) -> revert.
+  std::vector<ClusterReport> regressed{
+      synthetic_report(ClusterId{0}, 1.0, 2.0, svc, 700.0, 2e-3, 0.9, 100e-3),
+      synthetic_report(ClusterId{1}, 1.0, 2.0, svc, 100.0, 2e-3, 0.2, 100e-3)};
+  const auto push2 = controller.on_reports(regressed, 2.0);
+  EXPECT_EQ(controller.reverts(), 1u);
+  // The revert re-pushes the previous rules (null would mean "no change";
+  // the controller explicitly returns the restored set).
+  ASSERT_NE(push2, nullptr);
+
+  // During the hold period no new optimization is applied.
+  const auto push3 = controller.on_reports(regressed, 3.0);
+  EXPECT_EQ(push3, nullptr);
+}
+
+TEST(GlobalController, FastOptimizerProducesRulesToo) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.use_fast_optimizer = true;
+  options.guardrails.enabled = true;  // composes with guardrails
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+  std::vector<ClusterReport> reports{
+      synthetic_report(ClusterId{0}, 0.0, 1.0, svc, 700.0, 2e-3, 0.9, 20e-3),
+      synthetic_report(ClusterId{1}, 0.0, 1.0, svc, 100.0, 2e-3, 0.2, 8e-3)};
+  const auto rules = controller.on_reports(reports, 1.0);
+  ASSERT_NE(rules, nullptr);
+  EXPECT_GT(rules->size(), 0u);
+  rules->validate();
+  EXPECT_TRUE(controller.last_result().ok());
+}
+
+TEST(GlobalController, LiveServersTrackedFromReports) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, {});
+  const ServiceId svc = scenario.app->find_service("svc-1");
+  ClusterReport report = synthetic_report(ClusterId{1}, 0.0, 1.0, svc, 100.0,
+                                          2e-3, 0.2, 8e-3);
+  report.station_metrics[0].servers = 7;  // autoscaled
+  controller.on_reports({report}, 1.0);
+  EXPECT_EQ(controller.live_servers()[svc.index() * 2 + 1], 7u);
+  EXPECT_EQ(controller.live_servers()[svc.index() * 2 + 0], 0u);  // unreported
+}
+
+TEST(GlobalController, NoRevertWithinTolerance) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.guardrails.enabled = true;
+  options.guardrails.regression_tolerance = 0.5;
+  options.guardrails.min_e2e_samples = 10;
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+  std::vector<ClusterReport> healthy{
+      synthetic_report(ClusterId{0}, 0.0, 1.0, svc, 700.0, 2e-3, 0.9, 10e-3),
+      synthetic_report(ClusterId{1}, 0.0, 1.0, svc, 100.0, 2e-3, 0.2, 10e-3)};
+  controller.on_reports(healthy, 1.0);
+  // 20% worse < 50% tolerance: no revert.
+  std::vector<ClusterReport> slightly_worse{
+      synthetic_report(ClusterId{0}, 1.0, 2.0, svc, 700.0, 2e-3, 0.9, 12e-3),
+      synthetic_report(ClusterId{1}, 1.0, 2.0, svc, 100.0, 2e-3, 0.2, 12e-3)};
+  controller.on_reports(slightly_worse, 2.0);
+  EXPECT_EQ(controller.reverts(), 0u);
+}
+
+}  // namespace
+}  // namespace slate

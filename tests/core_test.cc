@@ -1,0 +1,287 @@
+// Unit tests for SLATE core pieces: traffic classifier, latency model,
+// model fitter, rule blending.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/builders.h"
+#include "core/latency_model.h"
+#include "core/model_fitter.h"
+#include "core/routing_rules.h"
+#include "core/traffic_classifier.h"
+
+namespace slate {
+namespace {
+
+// --- TrafficClassifier ------------------------------------------------------
+
+TEST(TrafficClassifier, RegisteredLookup) {
+  TrafficClassifier classifier;
+  RequestAttributes attrs;
+  attrs.method = "GET";
+  attrs.path = "/api/light";
+  classifier.register_class(ServiceId{0}, attrs, ClassId{3});
+  EXPECT_EQ(classifier.classify(ServiceId{0}, attrs), ClassId{3});
+  EXPECT_EQ(classifier.lookup(ServiceId{0}, attrs), ClassId{3});
+}
+
+TEST(TrafficClassifier, KeyIncludesServiceMethodAndPath) {
+  TrafficClassifier classifier;
+  RequestAttributes get_light{.method = "GET", .path = "/light", .headers = {}};
+  classifier.register_class(ServiceId{0}, get_light, ClassId{0});
+  classifier.set_discovery_base(1);
+
+  RequestAttributes post_light = get_light;
+  post_light.method = "POST";
+  RequestAttributes get_heavy = get_light;
+  get_heavy.path = "/heavy";
+
+  EXPECT_NE(classifier.classify(ServiceId{0}, post_light), ClassId{0});
+  EXPECT_NE(classifier.classify(ServiceId{0}, get_heavy), ClassId{0});
+  EXPECT_NE(classifier.classify(ServiceId{1}, get_light), ClassId{0});
+}
+
+TEST(TrafficClassifier, DiscoveryAllocatesStableIds) {
+  TrafficClassifier classifier;
+  classifier.set_discovery_base(10);
+  RequestAttributes a{.method = "GET", .path = "/a", .headers = {}};
+  RequestAttributes b{.method = "GET", .path = "/b", .headers = {}};
+  const ClassId ka = classifier.classify(ServiceId{0}, a);
+  const ClassId kb = classifier.classify(ServiceId{0}, b);
+  EXPECT_EQ(ka, ClassId{10});
+  EXPECT_EQ(kb, ClassId{11});
+  // Repeat classification is stable.
+  EXPECT_EQ(classifier.classify(ServiceId{0}, a), ka);
+  EXPECT_EQ(classifier.discovered_count(), 2u);
+}
+
+TEST(TrafficClassifier, DiscoveryCapFallsToOverflowClass) {
+  ClassifierOptions options;
+  options.max_discovered_classes = 2;
+  TrafficClassifier classifier(options);
+  classifier.set_discovery_base(0);
+  RequestAttributes attrs{.method = "GET", .path = "/0", .headers = {}};
+  classifier.classify(ServiceId{0}, attrs);
+  attrs.path = "/1";
+  classifier.classify(ServiceId{0}, attrs);
+  attrs.path = "/2";
+  const ClassId overflow1 = classifier.classify(ServiceId{0}, attrs);
+  attrs.path = "/3";
+  const ClassId overflow2 = classifier.classify(ServiceId{0}, attrs);
+  EXPECT_EQ(overflow1, overflow2);
+  EXPECT_EQ(overflow1, classifier.overflow_class());
+  EXPECT_EQ(classifier.discovered_count(), 2u);
+}
+
+TEST(TrafficClassifier, FromApplicationBindsPaperClasses) {
+  const Application app = make_two_class_app();
+  TrafficClassifier classifier = TrafficClassifier::from_application(app);
+  const ClassId light = app.find_class("L");
+  const ClassId heavy = app.find_class("H");
+  EXPECT_EQ(classifier.classify(app.entry_service(light),
+                                app.traffic_class(light).attributes),
+            light);
+  EXPECT_EQ(classifier.classify(app.entry_service(heavy),
+                                app.traffic_class(heavy).attributes),
+            heavy);
+}
+
+// --- LatencyModel -------------------------------------------------------------
+
+TEST(LatencyModel, DefaultsUntilSet) {
+  LatencyModel model(2, 2, 2);
+  model.set_default_service_time(5e-3);
+  EXPECT_FALSE(model.has(ServiceId{0}, ClassId{0}, ClusterId{0}));
+  EXPECT_DOUBLE_EQ(model.service_time(ServiceId{0}, ClassId{0}, ClusterId{0}),
+                   5e-3);
+  model.set_service_time(ServiceId{0}, ClassId{0}, ClusterId{0}, 2e-3);
+  EXPECT_TRUE(model.has(ServiceId{0}, ClassId{0}, ClusterId{0}));
+  EXPECT_DOUBLE_EQ(model.service_time(ServiceId{0}, ClassId{0}, ClusterId{0}),
+                   2e-3);
+}
+
+TEST(LatencyModel, UtilizationIsWorkOverServers) {
+  LatencyModel model(1, 2, 1);
+  model.set_service_time(ServiceId{0}, ClassId{0}, ClusterId{0}, 1e-3);
+  model.set_service_time(ServiceId{0}, ClassId{1}, ClusterId{0}, 10e-3);
+  const std::vector<double> rates{400.0, 40.0};  // 0.4 + 0.4 = 0.8 work
+  EXPECT_NEAR(model.utilization(ServiceId{0}, ClusterId{0}, rates, 1), 0.8, 1e-12);
+  EXPECT_NEAR(model.utilization(ServiceId{0}, ClusterId{0}, rates, 2), 0.4, 1e-12);
+}
+
+TEST(LatencyModel, WaitGrowsWithUtilizationAndClamps) {
+  LatencyModel model(1, 1, 1);
+  model.set_service_time(ServiceId{0}, ClassId{0}, ClusterId{0}, 1e-3);
+  const std::vector<double> low{300.0};
+  const std::vector<double> high{900.0};
+  const double wait_low = model.mean_wait(ServiceId{0}, ClusterId{0}, low, 1);
+  const double wait_high = model.mean_wait(ServiceId{0}, ClusterId{0}, high, 1);
+  EXPECT_LT(wait_low, wait_high);
+  // M/M/1: W = s * u/(1-u) = 1ms * 0.3/0.7.
+  EXPECT_NEAR(wait_low, 1e-3 * 0.3 / 0.7, 1e-9);
+  // Over capacity: clamped, finite.
+  const std::vector<double> overload{2000.0};
+  EXPECT_TRUE(std::isfinite(
+      model.mean_wait(ServiceId{0}, ClusterId{0}, overload, 1)));
+}
+
+TEST(LatencyModel, PredictLatencyAddsServiceTime) {
+  LatencyModel model(1, 1, 1);
+  model.set_service_time(ServiceId{0}, ClassId{0}, ClusterId{0}, 2e-3);
+  const std::vector<double> rates{100.0};
+  const double latency =
+      model.predict_latency(ServiceId{0}, ClassId{0}, ClusterId{0}, rates, 1);
+  const double wait = model.mean_wait(ServiceId{0}, ClusterId{0}, rates, 1);
+  EXPECT_NEAR(latency, 2e-3 + wait, 1e-12);
+}
+
+TEST(LatencyModel, FromApplicationUsesComputeMeans) {
+  const Application app = make_two_class_app();
+  const LatencyModel model = LatencyModel::from_application(app, 2);
+  const ServiceId worker = app.find_service("worker");
+  const ClassId light = app.find_class("L");
+  const ClassId heavy = app.find_class("H");
+  EXPECT_DOUBLE_EQ(model.service_time(worker, light, ClusterId{0}), 1e-3);
+  EXPECT_DOUBLE_EQ(model.service_time(worker, heavy, ClusterId{1}), 10e-3);
+}
+
+TEST(LatencyModel, ScaleAll) {
+  LatencyModel model(1, 1, 1);
+  model.set_service_time(ServiceId{0}, ClassId{0}, ClusterId{0}, 2e-3);
+  model.scale_all(3.0);
+  EXPECT_DOUBLE_EQ(model.service_time(ServiceId{0}, ClassId{0}, ClusterId{0}),
+                   6e-3);
+  EXPECT_THROW(model.scale_all(0.0), std::invalid_argument);
+}
+
+// --- ModelFitter -----------------------------------------------------------------
+
+LoadSample sample(double util, double latency, std::size_t count = 100) {
+  LoadSample s;
+  s.utilization = util;
+  s.mean_latency = latency;
+  s.count = count;
+  s.rps = 100.0;
+  return s;
+}
+
+TEST(ModelFitter, LowLoadSamplesGiveServiceTime) {
+  ModelFitter fitter;
+  const std::vector<LoadSample> samples{
+      sample(0.1, 2.0e-3), sample(0.2, 2.2e-3), sample(0.15, 1.8e-3)};
+  EXPECT_NEAR(fitter.estimate_service_time(samples), 2.0e-3, 1e-6);
+}
+
+TEST(ModelFitter, BusyOnlySamplesInvertMM1) {
+  ModelFitter fitter;
+  // T = s/(1-u): with s = 2ms at u = 0.5, T = 4ms.
+  const std::vector<LoadSample> samples{
+      sample(0.5, 4.0e-3), sample(0.6, 5.0e-3), sample(0.7, 6.7e-3)};
+  EXPECT_NEAR(fitter.estimate_service_time(samples), 2.0e-3, 2e-4);
+}
+
+TEST(ModelFitter, InsufficientEvidenceIsNegative) {
+  ModelFitter fitter;
+  EXPECT_LT(fitter.estimate_service_time({}), 0.0);
+  // Too few usable samples (min_samples = 3 by default).
+  EXPECT_LT(fitter.estimate_service_time({sample(0.1, 1e-3)}), 0.0);
+  // Samples below the per-sample count floor are unusable.
+  const std::vector<LoadSample> tiny{
+      sample(0.1, 1e-3, 2), sample(0.1, 1e-3, 2), sample(0.1, 1e-3, 2)};
+  EXPECT_LT(fitter.estimate_service_time(tiny), 0.0);
+}
+
+TEST(ModelFitter, FitUpdatesModelWithSmoothing) {
+  const Application app = make_linear_chain_app();
+  Deployment deployment(app, 1);
+  deployment.deploy_everywhere(1, 500.0);
+  SampleStore store(app.service_count(), app.class_count(), 1);
+  const ServiceId svc = app.find_service("svc-1");
+  for (int i = 0; i < 5; ++i) {
+    store.add(svc, ClassId{0}, ClusterId{0}, sample(0.1, 4.0e-3));
+  }
+
+  LatencyModel model(app.service_count(), app.class_count(), 1);
+  model.set_service_time(svc, ClassId{0}, ClusterId{0}, 2.0e-3);
+
+  FitterOptions options;
+  options.smoothing = 0.5;
+  ModelFitter fitter(options);
+  const FitReport report = fitter.fit(store, deployment, model);
+  EXPECT_GE(report.keys_fitted, 1u);
+  // Smoothed halfway: 2ms -> 3ms.
+  EXPECT_NEAR(model.service_time(svc, ClassId{0}, ClusterId{0}), 3.0e-3, 1e-6);
+  EXPECT_GT(report.mean_relative_change, 0.0);
+}
+
+// --- Rule blending --------------------------------------------------------------
+
+RouteWeights weights2(double w0, double w1) {
+  RouteWeights w;
+  w.clusters = {ClusterId{0}, ClusterId{1}};
+  w.weights = {w0, w1};
+  return w;
+}
+
+TEST(BlendRuleSets, NullCurrentCopiesTarget) {
+  RoutingRuleSet target;
+  target.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.5, 0.5));
+  const auto blended = blend_rule_sets(nullptr, target, 0.3);
+  const RouteWeights* rule = blended->find(ClassId{0}, 1, ClusterId{0});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_DOUBLE_EQ(rule->weights[0], 0.5);
+}
+
+TEST(BlendRuleSets, PartialStep) {
+  RoutingRuleSet current, target;
+  current.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(1.0, 0.0));
+  target.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.0, 1.0));
+  const auto blended = blend_rule_sets(&current, target, 0.3);
+  const RouteWeights* rule = blended->find(ClassId{0}, 1, ClusterId{0});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_NEAR(rule->weight_for(ClusterId{0}), 0.7, 1e-12);
+  EXPECT_NEAR(rule->weight_for(ClusterId{1}), 0.3, 1e-12);
+}
+
+TEST(BlendRuleSets, FullStepEqualsTarget) {
+  RoutingRuleSet current, target;
+  current.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(1.0, 0.0));
+  target.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.2, 0.8));
+  const auto blended = blend_rule_sets(&current, target, 1.0);
+  EXPECT_DOUBLE_EQ(
+      blended->find(ClassId{0}, 1, ClusterId{0})->weight_for(ClusterId{1}), 0.8);
+}
+
+TEST(BlendRuleSets, KeysOnlyInTargetCopied) {
+  RoutingRuleSet current, target;
+  current.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(1.0, 0.0));
+  target.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.0, 1.0));
+  target.set_rule(ClassId{1}, 2, ClusterId{1}, weights2(0.4, 0.6));
+  const auto blended = blend_rule_sets(&current, target, 0.5);
+  EXPECT_EQ(blended->size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      blended->find(ClassId{1}, 2, ClusterId{1})->weight_for(ClusterId{1}), 0.6);
+}
+
+TEST(RuleSetDistance, ZeroForIdentical) {
+  RoutingRuleSet a;
+  a.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.5, 0.5));
+  EXPECT_DOUBLE_EQ(rule_set_distance(a, a), 0.0);
+}
+
+TEST(RuleSetDistance, MaxForDisjointWeights) {
+  RoutingRuleSet a, b;
+  a.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(1.0, 0.0));
+  b.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(rule_set_distance(a, b), 2.0);
+}
+
+TEST(RuleSetDistance, SymmetricUnderMissingKeys) {
+  RoutingRuleSet a, b;
+  a.set_rule(ClassId{0}, 1, ClusterId{0}, weights2(0.5, 0.5));
+  EXPECT_GT(rule_set_distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(rule_set_distance(a, b), rule_set_distance(b, a));
+}
+
+}  // namespace
+}  // namespace slate

@@ -1,0 +1,182 @@
+// Randomized end-to-end property tests.
+//
+// Generates random worlds — topology size/latencies, call-tree shapes,
+// partial replication, demand mixes — runs each policy briefly, and checks
+// the invariants that must hold regardless of configuration:
+//   * the run completes (no crash, no stuck simulation);
+//   * requests are conserved (completed <= generated; flows consistent);
+//   * routing never targets an undeployed station (the engine throws);
+//   * measured quantiles are ordered and finite;
+//   * egress bytes appear iff some call crossed clusters;
+//   * identical seeds reproduce identical results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+#include "runtime/simulation.h"
+#include "util/strfmt.h"
+
+namespace slate {
+namespace {
+
+// Random application: tree of up to `max_services` services, 1-3 classes
+// with varying compute and sizes.
+Application random_app(Rng& rng) {
+  Application app;
+  const std::size_t services = 2 + rng.uniform_u64(5);
+  for (std::size_t s = 0; s < services; ++s) {
+    app.add_service(strfmt("svc-%zu", s));
+  }
+  const std::size_t classes = 1 + rng.uniform_u64(3);
+  for (std::size_t k = 0; k < classes; ++k) {
+    TrafficClassSpec spec;
+    spec.name = strfmt("class-%zu", k);
+    spec.attributes.path = strfmt("/api/%zu", k);
+    // Random tree: each node's parent is a previously created node.
+    const std::size_t nodes = 1 + rng.uniform_u64(services);
+    spec.graph.set_root(ServiceId{0}, rng.uniform(0.1e-3, 3e-3),
+                        64 + rng.uniform_u64(4096),
+                        64 + rng.uniform_u64(16384));
+    for (std::size_t n = 1; n < nodes; ++n) {
+      const std::size_t parent = rng.uniform_u64(n);
+      const ServiceId service{1 + rng.uniform_u64(services - 1)};
+      const std::size_t node = spec.graph.add_call(
+          parent, service, rng.uniform(0.1e-3, 4e-3),
+          64 + rng.uniform_u64(4096), 64 + rng.uniform_u64(16384),
+          rng.bernoulli(0.2) ? 0.5 : 1.0);
+      if (rng.bernoulli(0.3)) {
+        spec.graph.set_invocation_mode(node, InvocationMode::kParallel);
+      }
+    }
+    app.add_class(std::move(spec));
+  }
+  app.validate();
+  return app;
+}
+
+Scenario random_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = strfmt("fuzz-%llu", static_cast<unsigned long long>(seed));
+  scenario.app = std::make_unique<Application>(random_app(rng));
+
+  const std::size_t clusters = 2 + rng.uniform_u64(3);
+  scenario.topology = std::make_unique<Topology>();
+  for (std::size_t c = 0; c < clusters; ++c) {
+    scenario.topology->add_cluster(strfmt("c%zu", c));
+  }
+  for (std::size_t a = 0; a < clusters; ++a) {
+    for (std::size_t b = a + 1; b < clusters; ++b) {
+      scenario.topology->set_rtt(ClusterId{a}, ClusterId{b},
+                                 rng.uniform(2e-3, 80e-3));
+    }
+  }
+  scenario.topology->set_uniform_egress_price(rng.uniform(0.01, 0.15));
+  if (rng.bernoulli(0.4)) scenario.topology->set_jitter_fraction(0.1);
+
+  scenario.deployment = std::make_unique<Deployment>(*scenario.app, clusters);
+  for (ServiceId s : scenario.app->all_services()) {
+    // Deploy in a random non-empty subset of clusters; the entry service of
+    // every class must exist somewhere (guaranteed: non-empty subset).
+    bool any = false;
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if (rng.bernoulli(0.7)) {
+        scenario.deployment->deploy(s, ClusterId{c}, 1 + rng.uniform_u64(3),
+                                    rng.uniform(100.0, 900.0));
+        any = true;
+      }
+    }
+    if (!any) {
+      scenario.deployment->deploy(s, ClusterId{rng.uniform_u64(clusters)},
+                                  1 + rng.uniform_u64(3),
+                                  rng.uniform(100.0, 900.0));
+    }
+  }
+  scenario.deployment->validate();
+
+  for (ClassId k : scenario.app->all_classes()) {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if (rng.bernoulli(0.6)) {
+        scenario.demand.set_rate(k, ClusterId{c}, rng.uniform(10.0, 300.0));
+      }
+    }
+  }
+  return scenario;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, AllPoliciesSatisfyInvariants) {
+  const auto seed = static_cast<std::uint64_t>(7000 + GetParam());
+  const Scenario scenario = random_scenario(seed);
+
+  for (PolicyKind policy :
+       {PolicyKind::kLocalityFailover, PolicyKind::kRoundRobin,
+        PolicyKind::kWaterfall, PolicyKind::kSlate}) {
+    SCOPED_TRACE(to_string(policy));
+    RunConfig config;
+    config.policy = policy;
+    config.duration = 12.0;
+    config.warmup = 4.0;
+    config.seed = seed;
+    const ExperimentResult r = run_experiment(scenario, config);
+
+    // Conservation & basic sanity.
+    EXPECT_LE(r.completed, r.generated);
+    if (scenario.demand.total_rate_at(0.0) > 0.0) {
+      EXPECT_GT(r.generated, 0u);
+    }
+    if (r.completed > 0) {
+      EXPECT_GT(r.mean_latency(), 0.0);
+      EXPECT_TRUE(std::isfinite(r.p99()));
+      EXPECT_LE(r.p50(), r.p95() + 1e-12);
+      EXPECT_LE(r.p95(), r.p99() + 1e-12);
+    }
+
+    // Flows only between valid clusters; egress consistent with flows.
+    std::uint64_t cross_calls = 0;
+    for (const auto& per_class : r.flows) {
+      for (const auto& m : per_class) {
+        for (std::size_t i = 0; i < m.rows(); ++i) {
+          for (std::size_t j = 0; j < m.cols(); ++j) {
+            if (i != j) cross_calls += m(i, j);
+          }
+        }
+      }
+    }
+    if (cross_calls == 0) {
+      EXPECT_EQ(r.egress_bytes, 0u);
+    } else {
+      EXPECT_GT(r.egress_bytes, 0u);
+    }
+
+    // Station utilization entries are -1 (not deployed) or within [0, ~1.5]
+    // (transient shrink overshoot allowed).
+    for (double u : r.station_utilization) {
+      EXPECT_TRUE(u == -1.0 || (u >= 0.0 && u < 2.0)) << u;
+    }
+  }
+}
+
+TEST_P(FuzzTest, DeterministicAcrossRuns) {
+  const auto seed = static_cast<std::uint64_t>(9000 + GetParam());
+  const Scenario scenario = random_scenario(seed);
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 8.0;
+  config.warmup = 2.0;
+  config.seed = seed;
+  const ExperimentResult a = run_experiment(scenario, config);
+  const ExperimentResult b = run_experiment(scenario, config);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.egress_bytes, b.egress_bytes);
+  EXPECT_DOUBLE_EQ(a.mean_latency(), b.mean_latency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace slate

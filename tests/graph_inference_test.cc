@@ -1,0 +1,244 @@
+// Tests for call-graph reconstruction from spans, including end-to-end
+// inference against traces produced by the real simulator.
+#include <gtest/gtest.h>
+
+#include "app/builders.h"
+#include "net/gcp_topology.h"
+#include "runtime/scenarios.h"
+#include "runtime/simulation.h"
+#include "telemetry/graph_inference.h"
+
+namespace slate {
+namespace {
+
+Span make_span(std::uint32_t request, ClassId cls, ServiceId service,
+               double start, double end) {
+  Span span;
+  span.request = RequestId{request};
+  span.cls = cls;
+  span.service = service;
+  span.start_time = start;
+  span.end_time = end;
+  return span;
+}
+
+TEST(InferTree, EmptyInput) {
+  const ObservedTree tree = infer_tree({});
+  EXPECT_TRUE(tree.calls.empty());
+  EXPECT_EQ(tree.signature(), "<empty>");
+}
+
+TEST(InferTree, SingleSpanIsRoot) {
+  const ObservedTree tree =
+      infer_tree({make_span(1, ClassId{0}, ServiceId{7}, 0.0, 1.0)});
+  ASSERT_EQ(tree.calls.size(), 1u);
+  EXPECT_EQ(tree.calls[0].parent, ObservedCall::kNoParent);
+  EXPECT_EQ(tree.signature(), "root=7");
+}
+
+TEST(InferTree, NestedContainment) {
+  // root [0,10] contains a [1,4] and b [5,9]; a contains c [2,3].
+  const ObservedTree tree = infer_tree({
+      make_span(1, ClassId{0}, ServiceId{0}, 0.0, 10.0),
+      make_span(1, ClassId{0}, ServiceId{1}, 1.0, 4.0),
+      make_span(1, ClassId{0}, ServiceId{2}, 2.0, 3.0),
+      make_span(1, ClassId{0}, ServiceId{3}, 5.0, 9.0),
+  });
+  ASSERT_EQ(tree.calls.size(), 4u);
+  EXPECT_EQ(tree.calls[0].service, ServiceId{0});
+  EXPECT_EQ(tree.calls[1].parent, 0u);  // a under root
+  EXPECT_EQ(tree.calls[2].parent, 1u);  // c under a (minimal container)
+  EXPECT_EQ(tree.calls[3].parent, 0u);  // b under root
+  EXPECT_EQ(tree.signature(), "root=0;0->1 x1;0->3 x1;1->2 x1");
+}
+
+TEST(InferTree, OrderIndependent) {
+  std::vector<Span> spans{
+      make_span(1, ClassId{0}, ServiceId{2}, 2.0, 3.0),
+      make_span(1, ClassId{0}, ServiceId{0}, 0.0, 10.0),
+      make_span(1, ClassId{0}, ServiceId{1}, 1.0, 4.0),
+  };
+  const std::string sig_a = infer_tree(spans).signature();
+  std::reverse(spans.begin(), spans.end());
+  EXPECT_EQ(infer_tree(spans).signature(), sig_a);
+}
+
+TEST(InferTree, RepeatedCallsCounted) {
+  // Root calls service 1 twice sequentially.
+  const ObservedTree tree = infer_tree({
+      make_span(1, ClassId{0}, ServiceId{0}, 0.0, 10.0),
+      make_span(1, ClassId{0}, ServiceId{1}, 1.0, 3.0),
+      make_span(1, ClassId{0}, ServiceId{1}, 4.0, 6.0),
+  });
+  EXPECT_EQ(tree.signature(), "root=0;0->1 x2");
+}
+
+TEST(InferTree, TraceContextBeatsContainmentForParallelSiblings) {
+  // Two parallel siblings under the root; the longer sibling's interval
+  // contains the shorter's, which fools containment — context must not be.
+  Span root = make_span(1, ClassId{0}, ServiceId{0}, 0.0, 10.0);
+  root.span_id = 1;
+  Span long_sibling = make_span(1, ClassId{0}, ServiceId{1}, 1.0, 9.0);
+  long_sibling.span_id = 2;
+  long_sibling.parent_span_id = 1;
+  Span short_sibling = make_span(1, ClassId{0}, ServiceId{2}, 1.5, 3.0);
+  short_sibling.span_id = 3;
+  short_sibling.parent_span_id = 1;
+
+  const ObservedTree with_context =
+      infer_tree({root, long_sibling, short_sibling});
+  EXPECT_EQ(with_context.signature(), "root=0;0->1 x1;0->2 x1");
+
+  // Strip the context: containment mis-nests the short sibling.
+  for (Span* s : {&root, &long_sibling, &short_sibling}) {
+    s->span_id = 0;
+    s->parent_span_id = 0;
+  }
+  const ObservedTree without_context =
+      infer_tree({root, long_sibling, short_sibling});
+  EXPECT_EQ(without_context.signature(), "root=0;0->1 x1;1->2 x1");
+}
+
+TEST(InferTree, ParallelFanoutRecoveredFromSimulatedTraces) {
+  FanoutOptions fan;
+  fan.width = 3;
+  fan.depth = 1;
+  fan.compute_mean = 2e-3;
+  fan.mode = InvocationMode::kParallel;
+  Scenario scenario = make_uniform_scenario(
+      "fan", make_fanout_app(fan), make_two_cluster_topology(10e-3), 2);
+  scenario.demand.set_rate(ClassId{0}, ClusterId{0}, 100.0);
+  RunConfig config;
+  config.policy = PolicyKind::kLocalOnly;
+  config.duration = 15.0;
+  config.warmup = 2.0;
+  config.trace_capacity = 100000;
+  config.seed = 43;
+  Simulation sim(scenario, config);
+  sim.run();
+
+  const auto stats = analyze_call_graphs(sim.traces(), 4);
+  ASSERT_EQ(stats.size(), 1u);
+  // All three parallel children hang directly off the root.
+  EXPECT_EQ(stats[0].modal_signature(),
+            "root=0;0->1 x1;0->2 x1;0->3 x1");
+  EXPECT_GT(stats[0].homogeneity(), 0.99);
+}
+
+TEST(AnalyzeCallGraphs, HomogeneousClass) {
+  TraceCollector traces(100);
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    traces.record(make_span(r, ClassId{0}, ServiceId{0}, 0.0, 10.0));
+    traces.record(make_span(r, ClassId{0}, ServiceId{1}, 1.0, 4.0));
+  }
+  const auto stats = analyze_call_graphs(traces);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].cls, ClassId{0});
+  EXPECT_EQ(stats[0].requests, 10u);
+  EXPECT_DOUBLE_EQ(stats[0].homogeneity(), 1.0);
+  EXPECT_EQ(stats[0].modal_signature(), "root=0;0->1 x1");
+}
+
+TEST(AnalyzeCallGraphs, MixedClassDetected) {
+  TraceCollector traces(100);
+  // 7 requests call service 1; 3 skip it — a class that should be split.
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    traces.record(make_span(r, ClassId{2}, ServiceId{0}, 0.0, 10.0));
+    if (r < 7) {
+      traces.record(make_span(r, ClassId{2}, ServiceId{1}, 1.0, 4.0));
+    }
+  }
+  const auto stats = analyze_call_graphs(traces);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].signatures.size(), 2u);
+  EXPECT_NEAR(stats[0].homogeneity(), 0.7, 1e-9);
+}
+
+TEST(AnalyzeCallGraphs, MinSpansFilterSkipsTruncatedTraces) {
+  TraceCollector traces(100);
+  traces.record(make_span(1, ClassId{0}, ServiceId{0}, 0.0, 10.0));  // 1 span
+  traces.record(make_span(2, ClassId{0}, ServiceId{0}, 0.0, 10.0));
+  traces.record(make_span(2, ClassId{0}, ServiceId{1}, 1.0, 4.0));   // 2 spans
+  const auto stats = analyze_call_graphs(traces, 2);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, 1u);
+}
+
+// --- End-to-end against the real simulator -----------------------------------
+
+TEST(AnalyzeCallGraphs, RecoversLinearChainFromSimulatedTraces) {
+  TwoClusterChainParams params;
+  params.west_rps = 100.0;
+  params.east_rps = 50.0;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 20.0;
+  config.warmup = 5.0;
+  config.trace_capacity = 200000;
+  config.seed = 31;
+  Simulation sim(scenario, config);
+  sim.run();
+
+  // The chain class has 4 nodes -> 4 spans per request.
+  const auto stats = analyze_call_graphs(sim.traces(), 4);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GT(stats[0].requests, 500u);
+  // Inference from timing alone recovers the exact linear chain
+  // (0->1->2->3 by service id) for essentially every request.
+  EXPECT_EQ(stats[0].modal_signature(), "root=0;0->1 x1;1->2 x1;2->3 x1");
+  EXPECT_GT(stats[0].homogeneity(), 0.99);
+}
+
+TEST(AnalyzeCallGraphs, DistinguishesClassesInTwoClassApp) {
+  const Scenario scenario = make_two_class_scenario({});
+  RunConfig config;
+  config.policy = PolicyKind::kWaterfall;
+  config.duration = 10.0;
+  config.warmup = 2.0;
+  config.trace_capacity = 200000;
+  config.seed = 37;
+  Simulation sim(scenario, config);
+  sim.run();
+
+  const auto stats = analyze_call_graphs(sim.traces(), 2);
+  ASSERT_EQ(stats.size(), 2u);
+  // Both classes share the ingress->worker shape but are tracked apart.
+  EXPECT_EQ(stats[0].modal_signature(), stats[1].modal_signature());
+  EXPECT_GT(stats[0].homogeneity(), 0.99);
+  EXPECT_GT(stats[1].homogeneity(), 0.99);
+}
+
+TEST(AnalyzeCallGraphs, FractionalMultiplicityLowersHomogeneity) {
+  // A class whose sub-call happens with probability 0.5 produces two tree
+  // shapes — the inference must notice.
+  Application app;
+  const ServiceId front = app.add_service("front");
+  const ServiceId maybe = app.add_service("maybe");
+  TrafficClassSpec spec;
+  spec.name = "flaky";
+  const std::size_t root = spec.graph.set_root(front, 1e-3, 128, 128);
+  spec.graph.add_call(root, maybe, 1e-3, 128, 128, /*multiplicity=*/0.5);
+  app.add_class(std::move(spec));
+
+  Scenario scenario = make_uniform_scenario(
+      "flaky", std::move(app), make_two_cluster_topology(10e-3), 2);
+  scenario.demand.set_rate(ClassId{0}, ClusterId{0}, 200.0);
+
+  RunConfig config;
+  config.policy = PolicyKind::kLocalOnly;
+  config.duration = 20.0;
+  config.warmup = 2.0;
+  config.trace_capacity = 200000;
+  config.seed = 41;
+  Simulation sim(scenario, config);
+  sim.run();
+
+  const auto stats = analyze_call_graphs(sim.traces());
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].signatures.size(), 2u);
+  EXPECT_NEAR(stats[0].homogeneity(), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace slate

@@ -1,0 +1,405 @@
+// Unit tests for the routing policies: local-only, round robin, locality
+// failover, Waterfall, and the SLATE weighted-rules executor.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "app/builders.h"
+#include "cluster/deployment.h"
+#include "net/gcp_topology.h"
+#include "routing/local_only.h"
+#include "routing/locality_failover.h"
+#include "routing/round_robin.h"
+#include "routing/static_weights.h"
+#include "routing/waterfall.h"
+#include "routing/weighted_rules.h"
+
+namespace slate {
+namespace {
+
+RouteQuery make_query(ClusterId from, const std::vector<ClusterId>& candidates,
+                      ClassId cls = ClassId{0}, std::size_t node = 1,
+                      ServiceId svc = ServiceId{1}) {
+  RouteQuery q;
+  q.cls = cls;
+  q.call_node = node;
+  q.child_service = svc;
+  q.from = from;
+  q.candidates = &candidates;
+  return q;
+}
+
+// Fixed load table standing in for the runtime's live view.
+class FakeLoadView final : public LoadView {
+ public:
+  void set(ServiceId s, ClusterId c, double rps) { loads_[{s, c}] = rps; }
+  double load_rps(ServiceId s, ClusterId c) const override {
+    const auto it = loads_.find({s, c});
+    return it == loads_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::pair<ServiceId, ClusterId>, double> loads_;
+};
+
+// --- LocalOnly ---------------------------------------------------------------
+
+TEST(LocalOnly, PicksLocal) {
+  LocalOnlyPolicy policy;
+  Rng rng(1);
+  const std::vector<ClusterId> candidates{ClusterId{0}, ClusterId{1}};
+  EXPECT_EQ(policy.route(make_query(ClusterId{1}, candidates), rng), ClusterId{1});
+}
+
+TEST(LocalOnly, ThrowsWhenAbsent) {
+  LocalOnlyPolicy policy;
+  Rng rng(1);
+  const std::vector<ClusterId> candidates{ClusterId{1}};
+  EXPECT_THROW(policy.route(make_query(ClusterId{0}, candidates), rng),
+               std::runtime_error);
+}
+
+// --- RoundRobin ----------------------------------------------------------------
+
+TEST(RoundRobin, CyclesThroughCandidates) {
+  RoundRobinPolicy policy;
+  Rng rng(1);
+  const std::vector<ClusterId> candidates{ClusterId{0}, ClusterId{1}, ClusterId{2}};
+  const auto q = make_query(ClusterId{0}, candidates);
+  EXPECT_EQ(policy.route(q, rng), ClusterId{0});
+  EXPECT_EQ(policy.route(q, rng), ClusterId{1});
+  EXPECT_EQ(policy.route(q, rng), ClusterId{2});
+  EXPECT_EQ(policy.route(q, rng), ClusterId{0});
+}
+
+TEST(RoundRobin, IndependentCursorsPerStream) {
+  RoundRobinPolicy policy;
+  Rng rng(1);
+  const std::vector<ClusterId> candidates{ClusterId{0}, ClusterId{1}};
+  const auto q0 = make_query(ClusterId{0}, candidates, ClassId{0});
+  const auto q1 = make_query(ClusterId{0}, candidates, ClassId{1});
+  EXPECT_EQ(policy.route(q0, rng), ClusterId{0});
+  EXPECT_EQ(policy.route(q1, rng), ClusterId{0});  // own cursor, not shared
+}
+
+// --- LocalityFailover -------------------------------------------------------------
+
+TEST(LocalityFailover, LocalWhenDeployed) {
+  const Topology topo = make_gcp_topology();
+  LocalityFailoverPolicy policy(topo);
+  Rng rng(1);
+  const std::vector<ClusterId> candidates{ClusterId{0}, ClusterId{3}};
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, candidates), rng), ClusterId{0});
+}
+
+TEST(LocalityFailover, NearestWhenAbsent) {
+  const Topology topo = make_gcp_topology();
+  LocalityFailoverPolicy policy(topo);
+  Rng rng(1);
+  // From OR, service only in IOW and SC: IOW (37ms) beats SC (66ms).
+  const std::vector<ClusterId> candidates{ClusterId{2}, ClusterId{3}};
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, candidates), rng), ClusterId{2});
+}
+
+// --- Waterfall ---------------------------------------------------------------------
+
+class WaterfallTest : public ::testing::Test {
+ protected:
+  WaterfallTest()
+      : topo_(make_gcp_topology()),
+        app_(make_linear_chain_app()),
+        deployment_(app_, 4) {
+    deployment_.deploy_everywhere(1, 500.0);
+    svc_ = app_.find_service("svc-1");
+    candidates_ = deployment_.clusters_for(svc_);
+  }
+
+  Topology topo_;
+  Application app_;
+  Deployment deployment_;
+  ServiceId svc_;
+  std::vector<ClusterId> candidates_;
+  FakeLoadView loads_;
+  Rng rng_{1};
+};
+
+TEST_F(WaterfallTest, LocalUnderCapacity) {
+  WaterfallPolicy policy(topo_, deployment_, loads_);
+  loads_.set(svc_, ClusterId{0}, 300.0);  // below 500
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, candidates_, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{0});
+}
+
+TEST_F(WaterfallTest, SpillsToNearestWithHeadroom) {
+  WaterfallPolicy policy(topo_, deployment_, loads_);
+  loads_.set(svc_, ClusterId{0}, 600.0);  // OR saturated
+  // Nearest to OR is UT (15ms one-way); it has headroom.
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, candidates_, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{1});
+}
+
+TEST_F(WaterfallTest, SkipsSaturatedNearest) {
+  WaterfallPolicy policy(topo_, deployment_, loads_);
+  loads_.set(svc_, ClusterId{0}, 600.0);
+  loads_.set(svc_, ClusterId{1}, 600.0);  // UT also saturated
+  // Next nearest from OR: IOW (18.5ms).
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, candidates_, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{2});
+}
+
+TEST_F(WaterfallTest, AllSaturatedPicksLeastRelativeLoad) {
+  WaterfallPolicy policy(topo_, deployment_, loads_);
+  loads_.set(svc_, ClusterId{0}, 900.0);
+  loads_.set(svc_, ClusterId{1}, 800.0);
+  loads_.set(svc_, ClusterId{2}, 700.0);
+  loads_.set(svc_, ClusterId{3}, 600.0);
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, candidates_, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{3});
+}
+
+TEST_F(WaterfallTest, ThresholdScaleShiftsSpillPoint) {
+  WaterfallOptions conservative;
+  conservative.threshold_scale = 0.5;  // capacity treated as 250
+  WaterfallPolicy policy(topo_, deployment_, loads_, conservative);
+  loads_.set(svc_, ClusterId{0}, 300.0);
+  // 300 > 250: spills even though nominal capacity is 500.
+  EXPECT_NE(policy.route(make_query(ClusterId{0}, candidates_, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{0});
+}
+
+TEST_F(WaterfallTest, ClassBlind) {
+  // Identical decisions regardless of traffic class — the §4.4 limitation.
+  WaterfallPolicy policy(topo_, deployment_, loads_);
+  loads_.set(svc_, ClusterId{0}, 600.0);
+  const ClusterId for_class0 = policy.route(
+      make_query(ClusterId{0}, candidates_, ClassId{0}, 1, svc_), rng_);
+  const ClusterId for_class1 = policy.route(
+      make_query(ClusterId{0}, candidates_, ClassId{1}, 1, svc_), rng_);
+  EXPECT_EQ(for_class0, for_class1);
+}
+
+TEST_F(WaterfallTest, RemoteOnlyCandidates) {
+  // Child service absent locally: Waterfall spills straight to the nearest
+  // candidate with headroom, like failover but load-aware.
+  WaterfallPolicy policy(topo_, deployment_, loads_);
+  const std::vector<ClusterId> remote_only{ClusterId{2}, ClusterId{3}};
+  // IOW (37ms from OR) is closer than SC (66ms) and has headroom.
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, remote_only, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{2});
+  loads_.set(svc_, ClusterId{2}, 600.0);  // IOW saturated
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, remote_only, ClassId{0}, 1, svc_),
+                         rng_),
+            ClusterId{3});
+}
+
+// --- StaticWeights ------------------------------------------------------------
+
+TEST(StaticWeights, FollowsConfiguredDistribution) {
+  const Topology topo = make_gcp_topology();
+  StaticWeightsPolicy policy =
+      StaticWeightsPolicy::make_uniform_spread(topo, 0.7);
+  Rng rng(3);
+  const std::vector<ClusterId> all{ClusterId{0}, ClusterId{1}, ClusterId{2},
+                                   ClusterId{3}};
+  int local = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.route(make_query(ClusterId{0}, all), rng) == ClusterId{0}) {
+      ++local;
+    }
+  }
+  EXPECT_NEAR(local, n * 0.7, n * 0.02);
+}
+
+TEST(StaticWeights, RenormalizesOverDeployedSubset) {
+  const Topology topo = make_gcp_topology();
+  StaticWeightsPolicy policy =
+      StaticWeightsPolicy::make_uniform_spread(topo, 0.7);
+  Rng rng(3);
+  // The service is absent locally: the 0.7 local share redistributes over
+  // the two deployed remotes (0.1 : 0.1 -> 50/50).
+  const std::vector<ClusterId> remotes{ClusterId{1}, ClusterId{3}};
+  int to_ut = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.route(make_query(ClusterId{0}, remotes), rng) == ClusterId{1}) {
+      ++to_ut;
+    }
+  }
+  EXPECT_NEAR(to_ut, n / 2, n * 0.02);
+}
+
+TEST(StaticWeights, ZeroConfiguredMassFallsBackToNearest) {
+  Topology topo(3);
+  topo.set_rtt(ClusterId{0}, ClusterId{1}, 0.010);
+  topo.set_rtt(ClusterId{0}, ClusterId{2}, 0.050);
+  FlatMatrix<double> dist(3, 3, 0.0);
+  dist(0, 0) = 1.0;  // everything local; nothing configured for remotes
+  StaticWeightsPolicy policy(topo, std::move(dist));
+  Rng rng(3);
+  const std::vector<ClusterId> remotes{ClusterId{1}, ClusterId{2}};
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, remotes), rng), ClusterId{1});
+}
+
+TEST(StaticWeights, BadConfigThrows) {
+  const Topology topo = make_gcp_topology();
+  EXPECT_THROW(StaticWeightsPolicy(topo, FlatMatrix<double>(2, 2, 0.5)),
+               std::invalid_argument);
+  FlatMatrix<double> negative(4, 4, 0.25);
+  negative(0, 1) = -0.1;
+  EXPECT_THROW(StaticWeightsPolicy(topo, std::move(negative)),
+               std::invalid_argument);
+  EXPECT_THROW(StaticWeightsPolicy::make_uniform_spread(topo, 1.5),
+               std::invalid_argument);
+}
+
+TEST(RoundRobin, SingleCandidateAlwaysPicked) {
+  RoundRobinPolicy policy;
+  Rng rng(1);
+  const std::vector<ClusterId> only{ClusterId{2}};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.route(make_query(ClusterId{0}, only), rng), ClusterId{2});
+  }
+}
+
+// --- RouteWeights / RoutingRuleSet ------------------------------------------------
+
+TEST(RouteWeights, PrimaryAndLookup) {
+  RouteWeights w;
+  w.clusters = {ClusterId{0}, ClusterId{1}, ClusterId{2}};
+  w.weights = {0.2, 0.5, 0.3};
+  EXPECT_EQ(w.primary(), ClusterId{1});
+  EXPECT_DOUBLE_EQ(w.weight_for(ClusterId{2}), 0.3);
+  EXPECT_DOUBLE_EQ(w.weight_for(ClusterId{9}), 0.0);
+}
+
+TEST(RouteWeights, Normalize) {
+  RouteWeights w;
+  w.clusters = {ClusterId{0}, ClusterId{1}};
+  w.weights = {2.0, 6.0};
+  w.normalize();
+  EXPECT_DOUBLE_EQ(w.weights[0], 0.25);
+  EXPECT_DOUBLE_EQ(w.weights[1], 0.75);
+  RouteWeights zero;
+  zero.clusters = {ClusterId{0}};
+  zero.weights = {0.0};
+  EXPECT_THROW(zero.normalize(), std::logic_error);
+}
+
+TEST(RoutingRuleSet, SetFindValidate) {
+  RoutingRuleSet rules;
+  RouteWeights w;
+  w.clusters = {ClusterId{0}, ClusterId{1}};
+  w.weights = {0.6, 0.4};
+  rules.set_rule(ClassId{2}, 3, ClusterId{1}, w);
+  EXPECT_EQ(rules.size(), 1u);
+  const RouteWeights* found = rules.find(ClassId{2}, 3, ClusterId{1});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->weights[0], 0.6);
+  EXPECT_EQ(rules.find(ClassId{2}, 3, ClusterId{0}), nullptr);
+  EXPECT_EQ(rules.find(ClassId{0}, 3, ClusterId{1}), nullptr);
+  rules.validate();
+}
+
+TEST(RoutingRuleSet, ValidateRejectsBadRules) {
+  {
+    RoutingRuleSet rules;
+    RouteWeights w;
+    w.clusters = {ClusterId{0}};
+    w.weights = {-0.5};
+    rules.set_rule(ClassId{0}, 1, ClusterId{0}, w);
+    EXPECT_THROW(rules.validate(), std::logic_error);
+  }
+  {
+    RoutingRuleSet rules;
+    RouteWeights w;
+    w.clusters = {ClusterId{0}, ClusterId{1}};
+    w.weights = {0.5};  // size mismatch
+    rules.set_rule(ClassId{0}, 1, ClusterId{0}, w);
+    EXPECT_THROW(rules.validate(), std::logic_error);
+  }
+}
+
+TEST(RoutingRuleSet, ForEachRoundTripsKeys) {
+  RoutingRuleSet rules;
+  RouteWeights w;
+  w.clusters = {ClusterId{4}};
+  w.weights = {1.0};
+  rules.set_rule(ClassId{7}, 11, ClusterId{4}, w);
+  bool seen = false;
+  rules.for_each([&](ClassId cls, std::size_t node, ClusterId from,
+                     const RouteWeights&) {
+    EXPECT_EQ(cls, ClassId{7});
+    EXPECT_EQ(node, 11u);
+    EXPECT_EQ(from, ClusterId{4});
+    seen = true;
+  });
+  EXPECT_TRUE(seen);
+}
+
+TEST(WeightedRulesPolicy, FollowsWeights) {
+  const Topology topo = make_gcp_topology();
+  WeightedRulesPolicy policy(topo);
+  auto rules = std::make_shared<RoutingRuleSet>();
+  RouteWeights w;
+  w.clusters = {ClusterId{0}, ClusterId{1}};
+  w.weights = {0.7, 0.3};
+  rules->set_rule(ClassId{0}, 1, ClusterId{0}, w);
+  policy.update_rules(rules);
+
+  Rng rng(5);
+  const std::vector<ClusterId> candidates{ClusterId{0}, ClusterId{1}};
+  int to_local = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.route(make_query(ClusterId{0}, candidates), rng) == ClusterId{0}) {
+      ++to_local;
+    }
+  }
+  EXPECT_NEAR(to_local, n * 0.7, n * 0.02);
+}
+
+TEST(WeightedRulesPolicy, FallbackWithoutRulesIsLocalityFailover) {
+  const Topology topo = make_gcp_topology();
+  WeightedRulesPolicy policy(topo);
+  Rng rng(5);
+  const std::vector<ClusterId> local_present{ClusterId{0}, ClusterId{3}};
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, local_present), rng),
+            ClusterId{0});
+  const std::vector<ClusterId> remote_only{ClusterId{2}, ClusterId{3}};
+  EXPECT_EQ(policy.route(make_query(ClusterId{0}, remote_only), rng),
+            ClusterId{2});
+}
+
+TEST(WeightedRulesPolicy, RuleSwapTakesEffect) {
+  const Topology topo = make_gcp_topology();
+  WeightedRulesPolicy policy(topo);
+  Rng rng(5);
+  const std::vector<ClusterId> candidates{ClusterId{0}, ClusterId{1}};
+  const auto q = make_query(ClusterId{0}, candidates);
+
+  auto rules_a = std::make_shared<RoutingRuleSet>();
+  RouteWeights all_local;
+  all_local.clusters = candidates;
+  all_local.weights = {1.0, 0.0};
+  rules_a->set_rule(q.cls, q.call_node, q.from, all_local);
+  policy.update_rules(rules_a);
+  EXPECT_EQ(policy.route(q, rng), ClusterId{0});
+
+  auto rules_b = std::make_shared<RoutingRuleSet>();
+  RouteWeights all_remote;
+  all_remote.clusters = candidates;
+  all_remote.weights = {0.0, 1.0};
+  rules_b->set_rule(q.cls, q.call_node, q.from, all_remote);
+  policy.update_rules(rules_b);
+  EXPECT_EQ(policy.route(q, rng), ClusterId{1});
+}
+
+}  // namespace
+}  // namespace slate

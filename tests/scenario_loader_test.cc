@@ -1,0 +1,219 @@
+// Tests for the text scenario format.
+#include <gtest/gtest.h>
+
+#include "runtime/scenario_loader.h"
+#include "runtime/simulation.h"
+
+namespace slate {
+namespace {
+
+constexpr const char* kBasic = R"(
+# comment line
+scenario demo
+
+cluster west
+cluster east
+rtt west east 25ms
+egress_price 0.08
+
+service ingress
+service worker
+
+class api GET /api/v1
+call api root ingress compute=0.1ms req=512B resp=2KB
+call api ingress worker compute=2ms req=512B resp=2KB
+
+deploy * * servers=1 capacity=475
+demand api west 400
+demand api east 100
+)";
+
+TEST(ScenarioLoader, ParsesBasicScenario) {
+  const Scenario s = load_scenario_from_string(kBasic);
+  EXPECT_EQ(s.name, "demo");
+  EXPECT_EQ(s.topology->cluster_count(), 2u);
+  EXPECT_DOUBLE_EQ(
+      s.topology->rtt(ClusterId{0}, ClusterId{1}), 0.025);
+  EXPECT_DOUBLE_EQ(
+      s.topology->egress_price_per_gb(ClusterId{0}, ClusterId{1}), 0.08);
+  EXPECT_EQ(s.app->service_count(), 2u);
+  EXPECT_EQ(s.app->class_count(), 1u);
+
+  const TrafficClassSpec& spec = s.app->traffic_class(ClassId{0});
+  EXPECT_EQ(spec.name, "api");
+  EXPECT_EQ(spec.attributes.method, "GET");
+  EXPECT_EQ(spec.attributes.path, "/api/v1");
+  ASSERT_EQ(spec.graph.node_count(), 2u);
+  EXPECT_DOUBLE_EQ(spec.graph.node(0).compute_time_mean, 0.1e-3);
+  EXPECT_EQ(spec.graph.node(1).request_bytes, 512u);
+  EXPECT_EQ(spec.graph.node(1).response_bytes, 2048u);
+
+  EXPECT_TRUE(s.deployment->is_deployed(ServiceId{1}, ClusterId{1}));
+  EXPECT_DOUBLE_EQ(s.deployment->capacity_rps(ServiceId{0}, ClusterId{0}), 475.0);
+  EXPECT_DOUBLE_EQ(s.demand.rate_at(ClassId{0}, ClusterId{0}, 0.0), 400.0);
+}
+
+TEST(ScenarioLoader, ParsedScenarioRuns) {
+  const Scenario s = load_scenario_from_string(kBasic);
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 10.0;
+  config.warmup = 2.0;
+  const ExperimentResult r = run_experiment(s, config);
+  EXPECT_GT(r.completed, 1000u);
+  EXPECT_GT(r.mean_latency(), 0.0);
+}
+
+TEST(ScenarioLoader, DurationAndSizeUnits) {
+  const Scenario s = load_scenario_from_string(R"(
+cluster a
+cluster b
+one_way a b 1500us
+service svc
+class k
+call k root svc compute=0.5ms req=1KB resp=1MB
+deploy * * servers=2 capacity=100
+demand k a 10
+)");
+  EXPECT_DOUBLE_EQ(s.topology->one_way_latency(ClusterId{0}, ClusterId{1}),
+                   1.5e-3);
+  EXPECT_DOUBLE_EQ(s.topology->one_way_latency(ClusterId{1}, ClusterId{0}), 0.0);
+  const auto& node = s.app->traffic_class(ClassId{0}).graph.node(0);
+  EXPECT_EQ(node.request_bytes, 1024u);
+  EXPECT_EQ(node.response_bytes, 1024u * 1024u);
+}
+
+TEST(ScenarioLoader, DemandSteps) {
+  const Scenario s = load_scenario_from_string(R"(
+cluster a
+service svc
+class k
+call k root svc compute=1ms
+deploy * * servers=1 capacity=100
+demand k a 50
+demand k a @30s 200
+)");
+  EXPECT_DOUBLE_EQ(s.demand.rate_at(ClassId{0}, ClusterId{0}, 10.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.demand.rate_at(ClassId{0}, ClusterId{0}, 31.0), 200.0);
+}
+
+TEST(ScenarioLoader, PartialReplicationViaUndeploy) {
+  const Scenario s = load_scenario_from_string(R"(
+cluster a
+cluster b
+service front
+service db
+class k
+call k root front compute=1ms
+call k front db compute=1ms
+deploy * * servers=1 capacity=100
+undeploy db a
+demand k a 10
+)");
+  EXPECT_FALSE(s.deployment->is_deployed(ServiceId{1}, ClusterId{0}));
+  EXPECT_TRUE(s.deployment->is_deployed(ServiceId{1}, ClusterId{1}));
+}
+
+TEST(ScenarioLoader, LabelsDisambiguateRepeatedServices) {
+  const Scenario s = load_scenario_from_string(R"(
+cluster a
+service front
+service store
+class k
+call k root front compute=1ms
+call k front store label=read compute=1ms
+call k read store label=write compute=2ms
+deploy * * servers=1 capacity=100
+demand k a 10
+)");
+  const CallGraph& g = s.app->traffic_class(ClassId{0}).graph;
+  ASSERT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.node(2).parent, 1u);
+  EXPECT_DOUBLE_EQ(g.node(2).compute_time_mean, 2e-3);
+}
+
+TEST(ScenarioLoader, ParallelMode) {
+  const Scenario s = load_scenario_from_string(R"(
+cluster a
+service root-svc
+service c1
+service c2
+class k
+call k root root-svc compute=1ms mode=par
+call k root-svc c1 compute=1ms
+call k root-svc c2 compute=1ms
+deploy * * servers=1 capacity=100
+demand k a 10
+)");
+  EXPECT_EQ(s.app->traffic_class(ClassId{0}).graph.node(0).mode,
+            InvocationMode::kParallel);
+}
+
+// --- Diagnostics ----------------------------------------------------------------
+
+void expect_error(const std::string& text, const std::string& fragment) {
+  try {
+    load_scenario_from_string(text);
+    FAIL() << "expected parse error containing '" << fragment << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+TEST(ScenarioLoader, ErrorsCarryLineNumbers) {
+  expect_error("cluster a\nbogus directive\n", "line 2");
+}
+
+TEST(ScenarioLoader, UnknownReferencesRejected) {
+  expect_error("cluster a\nrtt a nowhere 1ms\n", "unknown cluster");
+  expect_error("cluster a\nservice s\nclass k\ncall k root other compute=1ms\n",
+               "unknown service");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k missing s compute=1ms\n",
+      "unknown parent");
+}
+
+TEST(ScenarioLoader, StructuralErrorsRejected) {
+  expect_error("service s\n", "no clusters");
+  expect_error("cluster a\nservice s\nclass k\ndeploy * * capacity=10\ndemand k a 5\n",
+               "no root call");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=10\ndemand other a 5\n",
+      "unknown class");
+  expect_error("cluster a\ncluster a\n", "duplicate cluster");
+}
+
+TEST(ScenarioLoader, BadValuesRejected) {
+  expect_error("cluster a\ncluster b\nrtt a b 5parsecs\n", "unit");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=abc\n", "bad");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * *\ndemand k a 5\n",
+      "capacity");
+}
+
+TEST(ScenarioLoader, MissingFileThrows) {
+  EXPECT_THROW(load_scenario_from_file("/nonexistent/path.slate"),
+               std::runtime_error);
+}
+
+TEST(ScenarioLoader, SampleFilesParse) {
+  // The shipped sample scenarios must stay valid.
+  for (const char* path : {"examples/scenarios/two_cluster_overload.slate",
+                           "examples/scenarios/burst.slate",
+                           "examples/scenarios/anomaly_detection.slate"}) {
+    SCOPED_TRACE(path);
+    std::string full = std::string(SLATE_SOURCE_DIR) + "/" + path;
+    EXPECT_NO_THROW({
+      const Scenario s = load_scenario_from_file(full);
+      s.app->validate();
+      s.deployment->validate();
+    });
+  }
+}
+
+}  // namespace
+}  // namespace slate

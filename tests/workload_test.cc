@@ -1,0 +1,143 @@
+// Unit tests for demand schedules and Poisson arrival generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.h"
+#include "workload/arrival.h"
+#include "workload/demand.h"
+
+namespace slate {
+namespace {
+
+TEST(DemandSchedule, ConstantRate) {
+  DemandSchedule d;
+  d.set_rate(ClassId{0}, ClusterId{0}, 100.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 1e6), 100.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{1}, ClusterId{0}, 0.0), 0.0);
+}
+
+TEST(DemandSchedule, Steps) {
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 0.0, 50.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 10.0, 200.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 20.0, 0.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 10.0), 200.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 15.0), 200.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 25.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.next_change_after(ClassId{0}, ClusterId{0}, 5.0), 10.0);
+  EXPECT_TRUE(std::isinf(d.next_change_after(ClassId{0}, ClusterId{0}, 30.0)));
+}
+
+TEST(DemandSchedule, OutOfOrderStepsThrow) {
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 10.0, 50.0);
+  EXPECT_THROW(d.add_step(ClassId{0}, ClusterId{0}, 5.0, 60.0),
+               std::invalid_argument);
+  EXPECT_THROW(d.add_step(ClassId{0}, ClusterId{0}, 20.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(DemandSchedule, SetRateReplacesSteps) {
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 0.0, 50.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 10.0, 200.0);
+  d.set_rate(ClassId{0}, ClusterId{0}, 75.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 15.0), 75.0);
+}
+
+TEST(DemandSchedule, TotalRate) {
+  DemandSchedule d;
+  d.set_rate(ClassId{0}, ClusterId{0}, 100.0);
+  d.set_rate(ClassId{1}, ClusterId{1}, 50.0);
+  EXPECT_DOUBLE_EQ(d.total_rate_at(0.0), 150.0);
+}
+
+TEST(WorkloadDriver, PoissonCountNearExpectation) {
+  Simulator sim;
+  DemandSchedule d;
+  d.set_rate(ClassId{0}, ClusterId{0}, 200.0);
+  std::uint64_t count = 0;
+  WorkloadDriver driver(sim, Rng(1), d, 50.0,
+                        [&](ClassId, ClusterId) { ++count; });
+  sim.run();
+  // Poisson(10000): 5 sigma = 500.
+  EXPECT_NEAR(static_cast<double>(count), 10000.0, 500.0);
+  EXPECT_EQ(driver.generated(), count);
+}
+
+TEST(WorkloadDriver, HonorsRateSteps) {
+  Simulator sim;
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 0.0, 100.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 50.0, 1000.0);
+  std::uint64_t first_half = 0, second_half = 0;
+  WorkloadDriver driver(sim, Rng(3), d, 100.0, [&](ClassId, ClusterId) {
+    (sim.now() < 50.0 ? first_half : second_half)++;
+  });
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(first_half), 5000.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(second_half), 50000.0, 1200.0);
+}
+
+TEST(WorkloadDriver, SilentStreamGeneratesNothing) {
+  Simulator sim;
+  DemandSchedule d;
+  d.set_rate(ClassId{0}, ClusterId{0}, 0.0);
+  std::uint64_t count = 0;
+  WorkloadDriver driver(sim, Rng(5), d, 10.0,
+                        [&](ClassId, ClusterId) { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(WorkloadDriver, StreamWakesUpAtStep) {
+  Simulator sim;
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 0.0, 0.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 5.0, 100.0);
+  double first_arrival = -1.0;
+  WorkloadDriver driver(sim, Rng(7), d, 10.0, [&](ClassId, ClusterId) {
+    if (first_arrival < 0.0) first_arrival = sim.now();
+  });
+  sim.run();
+  EXPECT_GE(first_arrival, 5.0);
+  EXPECT_LT(first_arrival, 6.0);  // Exp(100) after 5.0 arrives fast
+}
+
+TEST(WorkloadDriver, DeterministicPerSeed) {
+  auto trace = [](std::uint64_t seed) {
+    Simulator sim;
+    DemandSchedule d;
+    d.set_rate(ClassId{0}, ClusterId{0}, 50.0);
+    d.set_rate(ClassId{1}, ClusterId{1}, 80.0);
+    std::vector<std::pair<double, std::uint32_t>> out;
+    WorkloadDriver driver(sim, Rng(seed), d, 5.0,
+                          [&](ClassId k, ClusterId) {
+                            out.emplace_back(sim.now(), k.value());
+                          });
+    sim.run();
+    return out;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+TEST(WorkloadDriver, RoutesClassAndClusterThrough) {
+  Simulator sim;
+  DemandSchedule d;
+  d.set_rate(ClassId{3}, ClusterId{2}, 100.0);
+  bool checked = false;
+  WorkloadDriver driver(sim, Rng(9), d, 1.0, [&](ClassId k, ClusterId c) {
+    EXPECT_EQ(k, ClassId{3});
+    EXPECT_EQ(c, ClusterId{2});
+    checked = true;
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace slate
