@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_autoscaler"
+  "../bench/ablation_autoscaler.pdb"
+  "CMakeFiles/ablation_autoscaler.dir/ablation_autoscaler.cc.o"
+  "CMakeFiles/ablation_autoscaler.dir/ablation_autoscaler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

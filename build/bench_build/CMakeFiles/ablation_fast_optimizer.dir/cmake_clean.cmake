@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fast_optimizer"
+  "../bench/ablation_fast_optimizer.pdb"
+  "CMakeFiles/ablation_fast_optimizer.dir/ablation_fast_optimizer.cc.o"
+  "CMakeFiles/ablation_fast_optimizer.dir/ablation_fast_optimizer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_guardrails"
+  "../bench/ablation_guardrails.pdb"
+  "CMakeFiles/ablation_guardrails.dir/ablation_guardrails.cc.o"
+  "CMakeFiles/ablation_guardrails.dir/ablation_guardrails.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guardrails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_social_network"
+  "../bench/ext_social_network.pdb"
+  "CMakeFiles/ext_social_network.dir/ext_social_network.cc.o"
+  "CMakeFiles/ext_social_network.dir/ext_social_network.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_social_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_offload_threshold"
+  "../bench/fig4_offload_threshold.pdb"
+  "CMakeFiles/fig4_offload_threshold.dir/fig4_offload_threshold.cc.o"
+  "CMakeFiles/fig4_offload_threshold.dir/fig4_offload_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_offload_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_how_much"
+  "../bench/fig6a_how_much.pdb"
+  "CMakeFiles/fig6a_how_much.dir/fig6a_how_much.cc.o"
+  "CMakeFiles/fig6a_how_much.dir/fig6a_how_much.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_how_much.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

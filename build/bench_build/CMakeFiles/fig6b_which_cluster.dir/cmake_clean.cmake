@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_which_cluster"
+  "../bench/fig6b_which_cluster.pdb"
+  "CMakeFiles/fig6b_which_cluster.dir/fig6b_which_cluster.cc.o"
+  "CMakeFiles/fig6b_which_cluster.dir/fig6b_which_cluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_which_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_which_cluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_multihop"
+  "../bench/fig6c_multihop.pdb"
+  "CMakeFiles/fig6c_multihop.dir/fig6c_multihop.cc.o"
+  "CMakeFiles/fig6c_multihop.dir/fig6c_multihop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6d_traffic_classes"
+  "../bench/fig6d_traffic_classes.pdb"
+  "CMakeFiles/fig6d_traffic_classes.dir/fig6d_traffic_classes.cc.o"
+  "CMakeFiles/fig6d_traffic_classes.dir/fig6d_traffic_classes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_traffic_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6d_traffic_classes.
+# This may be replaced when dependencies are built.

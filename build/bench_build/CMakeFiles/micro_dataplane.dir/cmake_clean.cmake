@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_dataplane"
+  "../bench/micro_dataplane.pdb"
+  "CMakeFiles/micro_dataplane.dir/micro_dataplane.cc.o"
+  "CMakeFiles/micro_dataplane.dir/micro_dataplane.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

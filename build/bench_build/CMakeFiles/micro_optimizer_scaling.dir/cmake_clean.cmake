@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_optimizer_scaling"
+  "../bench/micro_optimizer_scaling.pdb"
+  "CMakeFiles/micro_optimizer_scaling.dir/micro_optimizer_scaling.cc.o"
+  "CMakeFiles/micro_optimizer_scaling.dir/micro_optimizer_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_optimizer_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

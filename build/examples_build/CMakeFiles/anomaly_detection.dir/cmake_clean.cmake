@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/anomaly_detection"
+  "../examples/anomaly_detection.pdb"
+  "CMakeFiles/anomaly_detection.dir/anomaly_detection.cc.o"
+  "CMakeFiles/anomaly_detection.dir/anomaly_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

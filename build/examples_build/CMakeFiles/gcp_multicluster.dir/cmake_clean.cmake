@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gcp_multicluster"
+  "../examples/gcp_multicluster.pdb"
+  "CMakeFiles/gcp_multicluster.dir/gcp_multicluster.cc.o"
+  "CMakeFiles/gcp_multicluster.dir/gcp_multicluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcp_multicluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

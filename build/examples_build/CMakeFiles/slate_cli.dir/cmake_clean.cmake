@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/slate_cli"
+  "../examples/slate_cli.pdb"
+  "CMakeFiles/slate_cli.dir/slate_cli.cc.o"
+  "CMakeFiles/slate_cli.dir/slate_cli.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

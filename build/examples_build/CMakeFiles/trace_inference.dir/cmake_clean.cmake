@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/trace_inference"
+  "../examples/trace_inference.pdb"
+  "CMakeFiles/trace_inference.dir/trace_inference.cc.o"
+  "CMakeFiles/trace_inference.dir/trace_inference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

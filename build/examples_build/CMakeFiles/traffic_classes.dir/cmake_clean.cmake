@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/traffic_classes"
+  "../examples/traffic_classes.pdb"
+  "CMakeFiles/traffic_classes.dir/traffic_classes.cc.o"
+  "CMakeFiles/traffic_classes.dir/traffic_classes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

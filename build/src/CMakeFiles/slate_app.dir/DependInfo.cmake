@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/application.cc" "src/CMakeFiles/slate_app.dir/app/application.cc.o" "gcc" "src/CMakeFiles/slate_app.dir/app/application.cc.o.d"
+  "/root/repo/src/app/builders.cc" "src/CMakeFiles/slate_app.dir/app/builders.cc.o" "gcc" "src/CMakeFiles/slate_app.dir/app/builders.cc.o.d"
+  "/root/repo/src/app/call_graph.cc" "src/CMakeFiles/slate_app.dir/app/call_graph.cc.o" "gcc" "src/CMakeFiles/slate_app.dir/app/call_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_app.dir/app/application.cc.o"
+  "CMakeFiles/slate_app.dir/app/application.cc.o.d"
+  "CMakeFiles/slate_app.dir/app/builders.cc.o"
+  "CMakeFiles/slate_app.dir/app/builders.cc.o.d"
+  "CMakeFiles/slate_app.dir/app/call_graph.cc.o"
+  "CMakeFiles/slate_app.dir/app/call_graph.cc.o.d"
+  "libslate_app.a"
+  "libslate_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/autoscaler.cc" "src/CMakeFiles/slate_cluster.dir/cluster/autoscaler.cc.o" "gcc" "src/CMakeFiles/slate_cluster.dir/cluster/autoscaler.cc.o.d"
+  "/root/repo/src/cluster/deployment.cc" "src/CMakeFiles/slate_cluster.dir/cluster/deployment.cc.o" "gcc" "src/CMakeFiles/slate_cluster.dir/cluster/deployment.cc.o.d"
+  "/root/repo/src/cluster/service_station.cc" "src/CMakeFiles/slate_cluster.dir/cluster/service_station.cc.o" "gcc" "src/CMakeFiles/slate_cluster.dir/cluster/service_station.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slate_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

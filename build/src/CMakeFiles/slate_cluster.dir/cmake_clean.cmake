@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_cluster.dir/cluster/autoscaler.cc.o"
+  "CMakeFiles/slate_cluster.dir/cluster/autoscaler.cc.o.d"
+  "CMakeFiles/slate_cluster.dir/cluster/deployment.cc.o"
+  "CMakeFiles/slate_cluster.dir/cluster/deployment.cc.o.d"
+  "CMakeFiles/slate_cluster.dir/cluster/service_station.cc.o"
+  "CMakeFiles/slate_cluster.dir/cluster/service_station.cc.o.d"
+  "libslate_cluster.a"
+  "libslate_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

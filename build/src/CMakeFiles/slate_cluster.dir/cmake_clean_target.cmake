@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslate_cluster.a"
+)

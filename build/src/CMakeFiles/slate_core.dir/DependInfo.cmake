@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_controller.cc" "src/CMakeFiles/slate_core.dir/core/cluster_controller.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/cluster_controller.cc.o.d"
+  "/root/repo/src/core/fast_optimizer.cc" "src/CMakeFiles/slate_core.dir/core/fast_optimizer.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/fast_optimizer.cc.o.d"
+  "/root/repo/src/core/global_controller.cc" "src/CMakeFiles/slate_core.dir/core/global_controller.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/global_controller.cc.o.d"
+  "/root/repo/src/core/latency_model.cc" "src/CMakeFiles/slate_core.dir/core/latency_model.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/latency_model.cc.o.d"
+  "/root/repo/src/core/model_fitter.cc" "src/CMakeFiles/slate_core.dir/core/model_fitter.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/model_fitter.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/slate_core.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/routing_rules.cc" "src/CMakeFiles/slate_core.dir/core/routing_rules.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/routing_rules.cc.o.d"
+  "/root/repo/src/core/slate_proxy.cc" "src/CMakeFiles/slate_core.dir/core/slate_proxy.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/slate_proxy.cc.o.d"
+  "/root/repo/src/core/traffic_classifier.cc" "src/CMakeFiles/slate_core.dir/core/traffic_classifier.cc.o" "gcc" "src/CMakeFiles/slate_core.dir/core/traffic_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slate_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_core.dir/core/cluster_controller.cc.o"
+  "CMakeFiles/slate_core.dir/core/cluster_controller.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/fast_optimizer.cc.o"
+  "CMakeFiles/slate_core.dir/core/fast_optimizer.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/global_controller.cc.o"
+  "CMakeFiles/slate_core.dir/core/global_controller.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/latency_model.cc.o"
+  "CMakeFiles/slate_core.dir/core/latency_model.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/model_fitter.cc.o"
+  "CMakeFiles/slate_core.dir/core/model_fitter.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/optimizer.cc.o"
+  "CMakeFiles/slate_core.dir/core/optimizer.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/routing_rules.cc.o"
+  "CMakeFiles/slate_core.dir/core/routing_rules.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/slate_proxy.cc.o"
+  "CMakeFiles/slate_core.dir/core/slate_proxy.cc.o.d"
+  "CMakeFiles/slate_core.dir/core/traffic_classifier.cc.o"
+  "CMakeFiles/slate_core.dir/core/traffic_classifier.cc.o.d"
+  "libslate_core.a"
+  "libslate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

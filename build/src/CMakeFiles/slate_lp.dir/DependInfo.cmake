@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/branch_and_bound.cc" "src/CMakeFiles/slate_lp.dir/lp/branch_and_bound.cc.o" "gcc" "src/CMakeFiles/slate_lp.dir/lp/branch_and_bound.cc.o.d"
+  "/root/repo/src/lp/model.cc" "src/CMakeFiles/slate_lp.dir/lp/model.cc.o" "gcc" "src/CMakeFiles/slate_lp.dir/lp/model.cc.o.d"
+  "/root/repo/src/lp/piecewise.cc" "src/CMakeFiles/slate_lp.dir/lp/piecewise.cc.o" "gcc" "src/CMakeFiles/slate_lp.dir/lp/piecewise.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/slate_lp.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/slate_lp.dir/lp/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

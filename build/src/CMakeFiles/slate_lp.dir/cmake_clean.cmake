@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_lp.dir/lp/branch_and_bound.cc.o"
+  "CMakeFiles/slate_lp.dir/lp/branch_and_bound.cc.o.d"
+  "CMakeFiles/slate_lp.dir/lp/model.cc.o"
+  "CMakeFiles/slate_lp.dir/lp/model.cc.o.d"
+  "CMakeFiles/slate_lp.dir/lp/piecewise.cc.o"
+  "CMakeFiles/slate_lp.dir/lp/piecewise.cc.o.d"
+  "CMakeFiles/slate_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/slate_lp.dir/lp/simplex.cc.o.d"
+  "libslate_lp.a"
+  "libslate_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

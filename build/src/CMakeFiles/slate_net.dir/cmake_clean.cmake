@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_net.dir/net/egress_meter.cc.o"
+  "CMakeFiles/slate_net.dir/net/egress_meter.cc.o.d"
+  "CMakeFiles/slate_net.dir/net/gcp_topology.cc.o"
+  "CMakeFiles/slate_net.dir/net/gcp_topology.cc.o.d"
+  "CMakeFiles/slate_net.dir/net/topology.cc.o"
+  "CMakeFiles/slate_net.dir/net/topology.cc.o.d"
+  "libslate_net.a"
+  "libslate_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/local_only.cc" "src/CMakeFiles/slate_routing.dir/routing/local_only.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/local_only.cc.o.d"
+  "/root/repo/src/routing/locality_failover.cc" "src/CMakeFiles/slate_routing.dir/routing/locality_failover.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/locality_failover.cc.o.d"
+  "/root/repo/src/routing/policy.cc" "src/CMakeFiles/slate_routing.dir/routing/policy.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/policy.cc.o.d"
+  "/root/repo/src/routing/round_robin.cc" "src/CMakeFiles/slate_routing.dir/routing/round_robin.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/round_robin.cc.o.d"
+  "/root/repo/src/routing/static_weights.cc" "src/CMakeFiles/slate_routing.dir/routing/static_weights.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/static_weights.cc.o.d"
+  "/root/repo/src/routing/waterfall.cc" "src/CMakeFiles/slate_routing.dir/routing/waterfall.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/waterfall.cc.o.d"
+  "/root/repo/src/routing/weighted_rules.cc" "src/CMakeFiles/slate_routing.dir/routing/weighted_rules.cc.o" "gcc" "src/CMakeFiles/slate_routing.dir/routing/weighted_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slate_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_routing.dir/routing/local_only.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/local_only.cc.o.d"
+  "CMakeFiles/slate_routing.dir/routing/locality_failover.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/locality_failover.cc.o.d"
+  "CMakeFiles/slate_routing.dir/routing/policy.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/policy.cc.o.d"
+  "CMakeFiles/slate_routing.dir/routing/round_robin.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/round_robin.cc.o.d"
+  "CMakeFiles/slate_routing.dir/routing/static_weights.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/static_weights.cc.o.d"
+  "CMakeFiles/slate_routing.dir/routing/waterfall.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/waterfall.cc.o.d"
+  "CMakeFiles/slate_routing.dir/routing/weighted_rules.cc.o"
+  "CMakeFiles/slate_routing.dir/routing/weighted_rules.cc.o.d"
+  "libslate_routing.a"
+  "libslate_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_runtime.dir/runtime/experiment.cc.o"
+  "CMakeFiles/slate_runtime.dir/runtime/experiment.cc.o.d"
+  "CMakeFiles/slate_runtime.dir/runtime/scenario_loader.cc.o"
+  "CMakeFiles/slate_runtime.dir/runtime/scenario_loader.cc.o.d"
+  "CMakeFiles/slate_runtime.dir/runtime/scenarios.cc.o"
+  "CMakeFiles/slate_runtime.dir/runtime/scenarios.cc.o.d"
+  "CMakeFiles/slate_runtime.dir/runtime/simulation.cc.o"
+  "CMakeFiles/slate_runtime.dir/runtime/simulation.cc.o.d"
+  "libslate_runtime.a"
+  "libslate_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

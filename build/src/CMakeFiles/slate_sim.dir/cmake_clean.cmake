@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/slate_sim.dir/sim/simulator.cc.o.d"
+  "libslate_sim.a"
+  "libslate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

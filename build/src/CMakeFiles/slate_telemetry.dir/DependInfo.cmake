@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/cluster_report.cc" "src/CMakeFiles/slate_telemetry.dir/telemetry/cluster_report.cc.o" "gcc" "src/CMakeFiles/slate_telemetry.dir/telemetry/cluster_report.cc.o.d"
+  "/root/repo/src/telemetry/graph_inference.cc" "src/CMakeFiles/slate_telemetry.dir/telemetry/graph_inference.cc.o" "gcc" "src/CMakeFiles/slate_telemetry.dir/telemetry/graph_inference.cc.o.d"
+  "/root/repo/src/telemetry/metrics.cc" "src/CMakeFiles/slate_telemetry.dir/telemetry/metrics.cc.o" "gcc" "src/CMakeFiles/slate_telemetry.dir/telemetry/metrics.cc.o.d"
+  "/root/repo/src/telemetry/sample_store.cc" "src/CMakeFiles/slate_telemetry.dir/telemetry/sample_store.cc.o" "gcc" "src/CMakeFiles/slate_telemetry.dir/telemetry/sample_store.cc.o.d"
+  "/root/repo/src/telemetry/span.cc" "src/CMakeFiles/slate_telemetry.dir/telemetry/span.cc.o" "gcc" "src/CMakeFiles/slate_telemetry.dir/telemetry/span.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slate_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slate_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

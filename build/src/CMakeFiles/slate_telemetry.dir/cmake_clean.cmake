@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_telemetry.dir/telemetry/cluster_report.cc.o"
+  "CMakeFiles/slate_telemetry.dir/telemetry/cluster_report.cc.o.d"
+  "CMakeFiles/slate_telemetry.dir/telemetry/graph_inference.cc.o"
+  "CMakeFiles/slate_telemetry.dir/telemetry/graph_inference.cc.o.d"
+  "CMakeFiles/slate_telemetry.dir/telemetry/metrics.cc.o"
+  "CMakeFiles/slate_telemetry.dir/telemetry/metrics.cc.o.d"
+  "CMakeFiles/slate_telemetry.dir/telemetry/sample_store.cc.o"
+  "CMakeFiles/slate_telemetry.dir/telemetry/sample_store.cc.o.d"
+  "CMakeFiles/slate_telemetry.dir/telemetry/span.cc.o"
+  "CMakeFiles/slate_telemetry.dir/telemetry/span.cc.o.d"
+  "libslate_telemetry.a"
+  "libslate_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_util.dir/util/histogram.cc.o"
+  "CMakeFiles/slate_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/slate_util.dir/util/logging.cc.o"
+  "CMakeFiles/slate_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/slate_util.dir/util/rng.cc.o"
+  "CMakeFiles/slate_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/slate_util.dir/util/stats.cc.o"
+  "CMakeFiles/slate_util.dir/util/stats.cc.o.d"
+  "libslate_util.a"
+  "libslate_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

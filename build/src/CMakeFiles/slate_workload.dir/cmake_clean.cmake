@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slate_workload.dir/workload/arrival.cc.o"
+  "CMakeFiles/slate_workload.dir/workload/arrival.cc.o.d"
+  "CMakeFiles/slate_workload.dir/workload/demand.cc.o"
+  "CMakeFiles/slate_workload.dir/workload/demand.cc.o.d"
+  "libslate_workload.a"
+  "libslate_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slate_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

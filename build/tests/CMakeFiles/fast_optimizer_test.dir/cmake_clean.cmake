@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_optimizer_test.dir/fast_optimizer_test.cc.o"
+  "CMakeFiles/fast_optimizer_test.dir/fast_optimizer_test.cc.o.d"
+  "fast_optimizer_test"
+  "fast_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

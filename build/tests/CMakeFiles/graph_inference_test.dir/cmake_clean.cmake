@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_inference_test.dir/graph_inference_test.cc.o"
+  "CMakeFiles/graph_inference_test.dir/graph_inference_test.cc.o.d"
+  "graph_inference_test"
+  "graph_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_loader_test.dir/scenario_loader_test.cc.o"
+  "CMakeFiles/scenario_loader_test.dir/scenario_loader_test.cc.o.d"
+  "scenario_loader_test"
+  "scenario_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
