@@ -1,0 +1,131 @@
+// Extension experiment: goodput under a cluster outage and time to
+// reconverge (paper §4 "Challenges" — the control plane must react to
+// failures, not just load).
+//
+// Two-cluster chain with West overloaded (600 > 475 RPS capacity), so the
+// routing policy must spill onto East to serve everyone. East then dies
+// for 10 seconds mid-run. The data plane runs full failure semantics
+// (timeouts, budgeted retries that avoid the failed cluster), and we watch
+// the whole-run goodput timeseries:
+//
+//   pre      — goodput in [30, 40), before the fault
+//   during   — goodput in [42, 49), the outage steady state
+//   post     — goodput in [53, 60), after East returns
+//   reconverge — seconds after the fault clears (t=50) until goodput holds
+//                >= 95% of pre for 3 consecutive 1-second buckets
+//
+// SLATE's global controller sees East's report vanish, decays its demand
+// estimate, and reroutes within a few control periods; Waterfall's greedy
+// spill has no liveness signal of its own and leans on the data plane's
+// retries alone.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+constexpr double kFaultStart = 40.0;
+constexpr double kFaultEnd = 50.0;
+
+struct Row {
+  ExperimentResult r;
+  double pre, during_fault, post;
+  double reconverge;  // seconds after kFaultEnd; <0 = never within the run
+};
+
+// First time after the fault clears at which goodput holds >= 95% of the
+// pre-fault level for `hold` consecutive buckets, relative to kFaultEnd.
+double time_to_reconverge(const ExperimentResult& r, double pre,
+                          std::size_t hold = 3) {
+  const double bucket = r.series_bucket;
+  if (bucket <= 0.0 || pre <= 0.0) return -1.0;
+  const double target = 0.95 * pre * bucket;  // completions per bucket
+  std::size_t streak = 0;
+  for (std::size_t i = static_cast<std::size_t>(kFaultEnd / bucket);
+       i < r.completed_series.size(); ++i) {
+    streak = static_cast<double>(r.completed_series[i]) >= target ? streak + 1
+                                                                  : 0;
+    if (streak == hold) {
+      return (static_cast<double>(i + 1 - hold)) * bucket - kFaultEnd;
+    }
+  }
+  return -1.0;
+}
+
+Row run(PolicyKind policy) {
+  TwoClusterChainParams params;
+  params.west_rps = 600.0;
+  params.east_rps = 100.0;
+  Scenario scenario = make_two_cluster_chain_scenario(params);
+  scenario.faults.cluster_outage(ClusterId{1}, kFaultStart,
+                                 kFaultEnd - kFaultStart);
+
+  RunConfig config;
+  config.policy = policy;
+  config.duration = 70.0;
+  config.warmup = 10.0;
+  config.seed = 17;
+  config.control_period = 1.0;
+  config.timeseries_bucket = 1.0;
+  config.failure.enabled = true;
+  config.failure.call_timeout = 0.5;
+  config.failure.max_retries = 2;
+
+  Row row;
+  row.r = run_experiment(scenario, config);
+  row.pre = row.r.goodput_in_window(30.0, kFaultStart);
+  row.during_fault = row.r.goodput_in_window(42.0, 49.0);
+  row.post = row.r.goodput_in_window(53.0, 60.0);
+  row.reconverge = time_to_reconverge(row.r, row.pre);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension",
+                      "goodput under a 10s cluster outage + reconvergence");
+  const PolicyKind policies[] = {PolicyKind::kSlate, PolicyKind::kWaterfall,
+                                 PolicyKind::kLocalityFailover};
+  std::printf("%-18s %9s %9s %9s %11s %8s %8s %8s\n", "policy", "pre_rps",
+              "fault_rps", "post_rps", "reconverge", "errors", "retries",
+              "timeouts");
+  for (PolicyKind policy : policies) {
+    const Row row = run(policy);
+    char reconverge[32];
+    if (row.reconverge >= 0.0) {
+      std::snprintf(reconverge, sizeof(reconverge), "%.0fs", row.reconverge);
+    } else {
+      std::snprintf(reconverge, sizeof(reconverge), "never");
+    }
+    std::printf("%-18s %9.1f %9.1f %9.1f %11s %8llu %8llu %8llu\n",
+                row.r.policy.c_str(), row.pre, row.during_fault, row.post,
+                reconverge, static_cast<unsigned long long>(row.r.failed),
+                static_cast<unsigned long long>(row.r.call_retries),
+                static_cast<unsigned long long>(row.r.call_timeouts));
+    std::printf("data,fault_recovery,%s,%.2f,%.2f,%.2f,%.2f,%llu,%llu\n",
+                row.r.policy.c_str(), row.pre, row.during_fault, row.post,
+                row.reconverge, static_cast<unsigned long long>(row.r.failed),
+                static_cast<unsigned long long>(row.r.call_retries));
+    for (std::size_t i = 0; i < row.r.completed_series.size(); ++i) {
+      std::printf("data,goodput_series,%s,%.1f,%llu\n", row.r.policy.c_str(),
+                  static_cast<double>(i) * row.r.series_bucket,
+                  static_cast<unsigned long long>(row.r.completed_series[i]));
+    }
+  }
+  std::printf(
+      "\nreading: before and after the outage SLATE spills West's overload\n"
+      "onto East and lands nearly all 700 RPS. During the outage West alone\n"
+      "(475 RPS capacity) faces the full offered load: SLATE has no\n"
+      "admission control, so retries re-aim the spill at the saturated\n"
+      "survivor, queueing delay blows past the 0.5s deadline, and timed-out\n"
+      "work still burns server time — goodput collapses metastably until\n"
+      "East returns, then reconverges within a few control periods.\n"
+      "Waterfall fails the spill fast on the dead cluster's rejections and\n"
+      "keeps West's admitted load at capacity, degrading gracefully instead\n"
+      "of collapsing — the flip side of controller-driven rebalancing.\n");
+  return 0;
+}

@@ -9,6 +9,9 @@
 //   --cost-weight=<w>      SLATE egress-cost weight (default 1)
 //   --fast                 SLATE: use the descent heuristic, not the LP
 //   --autoscale            enable the per-station autoscaler
+//   --timeout=<seconds>    per-call timeout (enables failure handling)
+//   --retries=<n>          max retries per call (enables failure handling)
+//   --no-faults            ignore the scenario's fault plan
 //   --cdf                  print the latency CDF
 //
 // Sample scenarios live in examples/scenarios/.
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   config.duration = 60.0;
   config.warmup = 15.0;
   bool print_cdf = false;
+  bool drop_faults = false;
   std::string value;
   for (int i = 2; i < argc; ++i) {
     if (parse_flag(argv[i], "--policy", &value)) {
@@ -78,6 +82,14 @@ int main(int argc, char** argv) {
       config.slate.use_fast_optimizer = true;
     } else if (std::strcmp(argv[i], "--autoscale") == 0) {
       config.autoscaler_enabled = true;
+    } else if (parse_flag(argv[i], "--timeout", &value)) {
+      config.failure.enabled = true;
+      config.failure.call_timeout = std::stod(value);
+    } else if (parse_flag(argv[i], "--retries", &value)) {
+      config.failure.enabled = true;
+      config.failure.max_retries = std::stoull(value);
+    } else if (std::strcmp(argv[i], "--no-faults") == 0) {
+      drop_faults = true;
     } else if (std::strcmp(argv[i], "--cdf") == 0) {
       print_cdf = true;
     } else {
@@ -93,6 +105,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
     return 1;
   }
+  if (drop_faults) scenario.faults.clear();
 
   const ExperimentResult r = run_experiment(scenario, config);
 
@@ -112,6 +125,15 @@ int main(int argc, char** argv) {
                 scenario.app->traffic_class(k).name.c_str(),
                 r.e2e_by_class[k.index()].mean() * 1e3,
                 r.e2e_by_class[k.index()].count());
+  }
+  if (r.failed > 0 || r.fault_transitions > 0) {
+    std::printf(
+        "  faults   %llu failed (%.2f%% error rate), goodput %.1f rps, "
+        "%llu timeouts / %llu retries / %llu rejections\n",
+        static_cast<unsigned long long>(r.failed), r.error_rate() * 100.0,
+        r.goodput_rps(), static_cast<unsigned long long>(r.call_timeouts),
+        static_cast<unsigned long long>(r.call_retries),
+        static_cast<unsigned long long>(r.call_rejections));
   }
   if (r.autoscaler_scale_ups + r.autoscaler_scale_downs > 0) {
     std::printf("  autoscaler: %llu up / %llu down\n",

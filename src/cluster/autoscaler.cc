@@ -21,11 +21,11 @@ Autoscaler::Autoscaler(Simulator& sim, ServiceStation& station,
     throw std::invalid_argument("Autoscaler: bad server bounds");
   }
   station_.reset_utilization();
-  task_ = sim_.schedule_periodic(options_.evaluation_period,
-                                 [this]() { evaluate(); });
+  task_ = sim_.schedule_scoped_periodic(options_.evaluation_period,
+                                        [this]() { evaluate(); });
 }
 
-Autoscaler::~Autoscaler() { task_.cancel(); }
+Autoscaler::~Autoscaler() = default;
 
 void Autoscaler::evaluate() {
   const double utilization = station_.utilization();

@@ -59,7 +59,7 @@ class Autoscaler {
   ServiceStation& station_;
   AutoscalerOptions options_;
   ScaleObserver on_scale_;
-  Simulator::PeriodicHandle task_;
+  Simulator::ScopedPeriodic task_;  // cancel-on-destroy: no leaked timer
   unsigned desired_;
   double last_decision_ = -1e18;
   double window_start_;

@@ -81,4 +81,15 @@ void ClusterController::push_rules(std::shared_ptr<const RoutingRuleSet> rules) 
   ++pushes_;
 }
 
+bool ClusterController::age_rules(double now, double period,
+                                  std::size_t max_missed) {
+  if (rules_policy_->rules() == nullptr) return false;  // already failed over
+  if (now - last_contact_ <= static_cast<double>(max_missed) * period) {
+    return false;
+  }
+  rules_policy_->update_rules(nullptr);
+  ++failovers_;
+  return true;
+}
+
 }  // namespace slate

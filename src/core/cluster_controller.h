@@ -37,9 +37,22 @@ class ClusterController {
   // Pushes new rules to the data plane.
   void push_rules(std::shared_ptr<const RoutingRuleSet> rules);
 
+  // Records contact with the global controller (any exchange this period,
+  // with or without a rule change).
+  void heartbeat(double now) noexcept { last_contact_ = now; }
+
+  // Staleness failover: if more than `max_missed` control periods of length
+  // `period` have passed since the last heartbeat and rules are installed,
+  // drop them — the data plane falls back to locality failover rather than
+  // executing a dead controller's weights forever. Returns true when this
+  // call performed the drop. Fresh pushes after reconnection re-arm rules.
+  bool age_rules(double now, double period, std::size_t max_missed);
+
   [[nodiscard]] ClusterId cluster() const noexcept { return cluster_; }
   [[nodiscard]] std::uint64_t reports_built() const noexcept { return reports_; }
   [[nodiscard]] std::uint64_t rules_pushed() const noexcept { return pushes_; }
+  [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+  [[nodiscard]] double last_contact() const noexcept { return last_contact_; }
 
  private:
   ClusterId cluster_;
@@ -48,8 +61,10 @@ class ClusterController {
   std::vector<ServiceStation*> stations_;
   std::shared_ptr<WeightedRulesPolicy> rules_policy_;
   double period_start_ = 0.0;
+  double last_contact_ = 0.0;
   std::uint64_t reports_ = 0;
   std::uint64_t pushes_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace slate

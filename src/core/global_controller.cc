@@ -25,14 +25,23 @@ GlobalController::GlobalController(const Application& app,
       store_(app.service_count(), app.class_count(), topology.cluster_count(),
              options.sample_capacity),
       demand_(app.class_count(), topology.cluster_count(), 0.0),
-      live_servers_(app.service_count() * topology.cluster_count(), 0) {
+      live_servers_(app.service_count() * topology.cluster_count(), 0),
+      last_seen_round_(topology.cluster_count(), 0),
+      cluster_stale_(topology.cluster_count(), false) {
   if (options_.initial_model_scale != 1.0) {
     model_.scale_all(options_.initial_model_scale);
   }
 }
 
+std::size_t GlobalController::stale_clusters() const noexcept {
+  std::size_t n = 0;
+  for (const bool stale : cluster_stale_) n += stale ? 1 : 0;
+  return n;
+}
+
 void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
   for (const auto& report : reports) {
+    last_seen_round_[report.cluster.index()] = rounds_;
     // Station utilization lookup for this cluster's report.
     std::vector<double> station_util(app_->service_count(), 0.0);
     for (const auto& sm : report.station_metrics) {
@@ -59,7 +68,28 @@ void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
                        : observed;
     }
   }
-  demand_seen_ = true;
+  if (!reports.empty()) demand_seen_ = true;
+
+  // Age out clusters we have not heard from for too long: their demand is
+  // unobservable, so decay it toward zero instead of optimizing ghost load
+  // from silently-stale state. Recovery is automatic on the next report.
+  for (std::size_t c = 0; c < topology_->cluster_count(); ++c) {
+    if (last_seen_round_[c] == 0) continue;  // never reported yet
+    const std::uint64_t missed = rounds_ - last_seen_round_[c];
+    if (missed > options_.stale_after_periods) {
+      for (std::size_t k = 0; k < app_->class_count(); ++k) {
+        demand_(k, c) *= options_.stale_demand_decay;
+      }
+      if (!cluster_stale_[c]) {
+        cluster_stale_[c] = true;
+        SLATE_LOG(kWarn) << "cluster " << c << " stale: no report for "
+                         << missed << " periods; decaying its demand";
+      }
+    } else if (cluster_stale_[c]) {
+      cluster_stale_[c] = false;
+      SLATE_LOG(kInfo) << "cluster " << c << " reporting again";
+    }
+  }
 }
 
 double GlobalController::observed_e2e(

@@ -61,6 +61,14 @@ struct GlobalControllerOptions {
   // EWMA factor for demand updates (1 = trust the latest period fully).
   double demand_smoothing = 0.6;
   std::size_t sample_capacity = 256;
+
+  // Missing-report tolerance. A cluster whose report has not arrived for
+  // more than `stale_after_periods` control periods (telemetry blackout,
+  // partition, dead controller) has its demand estimate decayed by
+  // `stale_demand_decay` per further period instead of being optimized as
+  // live state; it recovers on the first fresh report.
+  std::size_t stale_after_periods = 3;
+  double stale_demand_decay = 0.5;
 };
 
 class GlobalController {
@@ -71,9 +79,15 @@ class GlobalController {
   // Processes the reports for the period ending at `now`. Returns the rule
   // set to push to cluster controllers, or nullptr when rules should stay
   // unchanged this period (hold after revert, optimizer failure, or no
-  // demand observed yet).
+  // demand observed yet). `reports` may be missing clusters — or be empty —
+  // when telemetry is lost; the controller holds last-known state and ages
+  // out clusters it has not heard from (see stale_after_periods).
   std::shared_ptr<const RoutingRuleSet> on_reports(
       const std::vector<ClusterReport>& reports, double now);
+
+  // Clusters currently considered stale (no report for more than
+  // stale_after_periods control periods).
+  [[nodiscard]] std::size_t stale_clusters() const noexcept;
 
   [[nodiscard]] const LatencyModel& model() const noexcept { return model_; }
   [[nodiscard]] LatencyModel& mutable_model() noexcept { return model_; }
@@ -113,6 +127,10 @@ class GlobalController {
   FlatMatrix<double> demand_;  // classes x clusters, RPS
   std::vector<unsigned> live_servers_;  // services x clusters; 0 = unreported
   bool demand_seen_ = false;
+
+  // Per-cluster round number of the last report seen (0 = never).
+  std::vector<std::uint64_t> last_seen_round_;
+  std::vector<bool> cluster_stale_;
 
   std::shared_ptr<const RoutingRuleSet> current_rules_;
   std::shared_ptr<const RoutingRuleSet> previous_rules_;

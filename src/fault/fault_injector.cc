@@ -1,0 +1,86 @@
+#include "fault/fault_injector.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace slate {
+
+FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan,
+                             std::size_t cluster_count,
+                             std::size_t service_count)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      cluster_count_(cluster_count),
+      outage_depth_(cluster_count, 0),
+      blackout_depth_(cluster_count, 0),
+      partition_depth_(cluster_count, cluster_count, 0),
+      latency_factor_(cluster_count, cluster_count, 1.0),
+      extra_latency_(cluster_count, cluster_count, 0.0),
+      compute_factor_(service_count * cluster_count, 1.0) {
+  plan_.validate(cluster_count, service_count);
+}
+
+void FaultInjector::arm() {
+  if (armed_) {
+    throw std::logic_error("FaultInjector: arm() called twice");
+  }
+  armed_ = true;
+  for (const FaultSpec& spec : plan_.faults()) {
+    if (spec.end() <= sim_.now()) continue;  // already over
+    // A fault whose start has passed activates immediately.
+    const double start = spec.start < sim_.now() ? sim_.now() : spec.start;
+    sim_.schedule_at(start, [this, &spec]() { apply(spec, true); });
+    sim_.schedule_at(spec.end(), [this, &spec]() { apply(spec, false); });
+  }
+}
+
+void FaultInjector::apply(const FaultSpec& spec, bool activate) {
+  const int step = activate ? 1 : -1;
+  switch (spec.kind) {
+    case FaultKind::kClusterOutage:
+      outage_depth_[spec.cluster.index()] += step;
+      break;
+    case FaultKind::kTelemetryBlackout:
+      blackout_depth_[spec.cluster.index()] += step;
+      break;
+    case FaultKind::kLinkDegradation: {
+      const std::size_t i = spec.cluster.index();
+      const std::size_t j = spec.to.index();
+      if (spec.partition) partition_depth_(i, j) += step;
+      if (spec.factor != 1.0) {
+        if (activate) {
+          latency_factor_(i, j) *= spec.factor;
+        } else {
+          latency_factor_(i, j) /= spec.factor;
+        }
+      }
+      extra_latency_(i, j) += activate ? spec.extra_latency : -spec.extra_latency;
+      break;
+    }
+    case FaultKind::kServiceSlowdown: {
+      // Invalid cluster means "this service everywhere".
+      for (std::size_t c = 0; c < cluster_count_; ++c) {
+        if (spec.cluster.valid() && spec.cluster.index() != c) continue;
+        double& f = compute_factor_[spec.service.index() * cluster_count_ + c];
+        if (activate) {
+          f *= spec.factor;
+        } else {
+          f /= spec.factor;
+        }
+      }
+      break;
+    }
+  }
+  if (activate) {
+    ++active_;
+  } else {
+    --active_;
+  }
+  ++transitions_;
+  SLATE_LOG(kInfo) << "fault " << to_string(spec.kind)
+                   << (activate ? " active" : " cleared") << " at t=" << sim_.now();
+  if (on_transition) on_transition(spec, activate);
+}
+
+}  // namespace slate

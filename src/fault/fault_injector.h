@@ -1,0 +1,92 @@
+// Drives a FaultPlan on the discrete-event simulator.
+//
+// arm() schedules one activation and one clearing event per fault; between
+// them the injector answers O(1) live queries from the data plane and the
+// control loop:
+//
+//   cluster_down()         — should a station reject new work?
+//   link_partitioned()     — is a directed edge dropping messages?
+//   latency_factor() /
+//   extra_latency()        — how degraded is a directed edge?
+//   compute_factor()       — gray-failure compute multiplier for a station
+//   telemetry_blackout()   — is a cluster cut off from the global controller?
+//
+// Overlapping faults stack: boolean effects are reference-counted (an edge
+// stays partitioned until the last covering fault ends), multiplicative
+// effects multiply, additive effects add. The injector never mutates the
+// world itself — the Simulation consults it at each decision point, which
+// keeps fault state and request state trivially consistent under the
+// simulator's deterministic event order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+class FaultInjector {
+ public:
+  // The plan is copied; `cluster_count`/`service_count` size the state
+  // tables and validate the plan (throws std::invalid_argument on
+  // out-of-range ids). Nothing is scheduled until arm().
+  FaultInjector(Simulator& sim, FaultPlan plan, std::size_t cluster_count,
+                std::size_t service_count);
+
+  // Schedules every fault's start/end on the simulator. Call once, before
+  // running; faults whose window has already passed are skipped.
+  void arm();
+
+  // --- live queries --------------------------------------------------------
+  [[nodiscard]] bool cluster_down(ClusterId c) const noexcept {
+    return outage_depth_[c.index()] > 0;
+  }
+  [[nodiscard]] bool link_partitioned(ClusterId from, ClusterId to) const noexcept {
+    return partition_depth_(from.index(), to.index()) > 0;
+  }
+  [[nodiscard]] double latency_factor(ClusterId from, ClusterId to) const noexcept {
+    return latency_factor_(from.index(), to.index());
+  }
+  [[nodiscard]] double extra_latency(ClusterId from, ClusterId to) const noexcept {
+    return extra_latency_(from.index(), to.index());
+  }
+  [[nodiscard]] double compute_factor(ServiceId s, ClusterId c) const noexcept {
+    return compute_factor_[s.index() * cluster_count_ + c.index()];
+  }
+  [[nodiscard]] bool telemetry_blackout(ClusterId c) const noexcept {
+    return blackout_depth_[c.index()] > 0;
+  }
+
+  // Number of faults currently in their active window.
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
+  // Activations seen so far (monotonic; equals 2*transitions at the end).
+  [[nodiscard]] std::uint64_t transitions() const noexcept { return transitions_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // Optional observer, fired on every activation (active=true) and clearing
+  // (active=false) — experiment logs, bench annotations.
+  std::function<void(const FaultSpec&, bool active)> on_transition;
+
+ private:
+  void apply(const FaultSpec& spec, bool activate);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  std::size_t cluster_count_;
+  bool armed_ = false;
+
+  std::vector<int> outage_depth_;           // per cluster
+  std::vector<int> blackout_depth_;         // per cluster
+  FlatMatrix<int> partition_depth_;         // from x to
+  FlatMatrix<double> latency_factor_;       // from x to, product of factors
+  FlatMatrix<double> extra_latency_;        // from x to, sum of extras
+  std::vector<double> compute_factor_;      // service x cluster, product
+  std::size_t active_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace slate

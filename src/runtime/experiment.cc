@@ -1,5 +1,7 @@
 #include "runtime/experiment.h"
 
+#include <algorithm>
+
 #include "runtime/simulation.h"
 
 namespace slate {
@@ -14,6 +16,30 @@ const char* to_string(PolicyKind kind) noexcept {
     case PolicyKind::kSlate: return "slate";
   }
   return "?";
+}
+
+double ExperimentResult::error_rate(ClassId k) const {
+  if (k.index() >= failed_by_class.size()) return 0.0;
+  const std::uint64_t errors = failed_by_class[k.index()];
+  const std::uint64_t ok =
+      k.index() < e2e_by_class.size() ? e2e_by_class[k.index()].count() : 0;
+  const std::uint64_t finished = ok + errors;
+  return finished > 0
+             ? static_cast<double>(errors) / static_cast<double>(finished)
+             : 0.0;
+}
+
+double ExperimentResult::goodput_in_window(double from, double to) const {
+  if (series_bucket <= 0.0 || completed_series.empty() || to <= from) return 0.0;
+  const auto first = static_cast<std::size_t>(from / series_bucket);
+  auto last = static_cast<std::size_t>(to / series_bucket);
+  if (last * series_bucket < to) ++last;  // include the partial tail bucket
+  last = std::min(last, completed_series.size());
+  if (first >= last) return 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t i = first; i < last; ++i) total += completed_series[i];
+  return static_cast<double>(total) /
+         (static_cast<double>(last - first) * series_bucket);
 }
 
 double ExperimentResult::remote_fraction(ClassId k, std::size_t node) const {

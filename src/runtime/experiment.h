@@ -10,6 +10,7 @@
 #include "cluster/autoscaler.h"
 #include "cluster/deployment.h"
 #include "core/global_controller.h"
+#include "fault/fault_plan.h"
 #include "net/topology.h"
 #include "routing/waterfall.h"
 #include "util/stats.h"
@@ -39,6 +40,9 @@ struct Scenario {
   std::unique_ptr<Topology> topology;
   std::unique_ptr<Deployment> deployment;
   DemandSchedule demand;
+  // Scheduled faults shipped with the world (scenario files' `fault`
+  // directives). Merged with RunConfig::faults at run time.
+  FaultPlan faults;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -48,6 +52,33 @@ struct CapacityEvent {
   ServiceId service;
   ClusterId cluster;
   unsigned servers = 1;
+};
+
+// Per-call failure semantics of the data plane. Disabled (the default) the
+// engine behaves as a fair-weather world: calls cannot time out and
+// fault-induced failures are terminal on the first attempt. Enabled, every
+// inter-service call gets a deadline and retries with exponential backoff
+// under a token-bucket retry budget (the standard mesh discipline: Envoy
+// retry policies, Finagle budgets).
+struct FailurePolicy {
+  bool enabled = false;
+  // Per-attempt deadline, seconds. The caller abandons the attempt at the
+  // deadline; work already queued remains (no cancellation — timed-out work
+  // is wasted, as in real meshes). 0 disables timeouts.
+  double call_timeout = 0.5;
+  // Retries per call after the first attempt.
+  std::size_t max_retries = 2;
+  // Delay before retry n is backoff_base * backoff_multiplier^n.
+  double backoff_base = 0.01;
+  double backoff_multiplier = 2.0;
+  // Token bucket: each first attempt earns `retry_budget_ratio` tokens, a
+  // retry costs 1; at most `retry_budget_cap` tokens bank up. Caps retry
+  // amplification during a full outage at ~ratio x offered load.
+  double retry_budget_ratio = 0.2;
+  double retry_budget_cap = 64.0;
+  // A retry prefers a candidate cluster other than the one that just
+  // failed, when one exists (retry-on-different-host).
+  bool retry_excludes_failed = true;
 };
 
 struct RunConfig {
@@ -71,6 +102,20 @@ struct RunConfig {
 
   // Scheduled capacity changes (applied in addition to autoscaling).
   std::vector<CapacityEvent> capacity_events;
+
+  // Scheduled faults (merged with Scenario::faults) and the data plane's
+  // failure semantics.
+  FaultPlan faults;
+  FailurePolicy failure;
+  // Control-plane staleness tolerance, in control periods: a cluster
+  // controller out of contact with the global controller for longer falls
+  // back to locality failover; the global controller decays the demand
+  // estimate of clusters unheard from for longer.
+  std::size_t control_staleness_periods = 3;
+  // When > 0, record per-bucket completion/error counts over the whole run
+  // (not just the measurement window) into ExperimentResult::*_series —
+  // the goodput-over-time signal fault experiments are judged by.
+  double timeseries_bucket = 0.0;
 };
 
 struct ExperimentResult {
@@ -78,9 +123,22 @@ struct ExperimentResult {
   std::string policy;
 
   std::uint64_t generated = 0;  // arrivals in the full run
-  std::uint64_t completed = 0;  // completions inside the measurement window
+  // Successful completions inside the measurement window. With failure
+  // semantics disabled and no faults every finished request lands here.
+  std::uint64_t completed = 0;
+  // Requests that finished with an error (exhausted retries, timeout, or a
+  // fault rejection) inside the measurement window.
+  std::uint64_t failed = 0;
+  std::vector<std::uint64_t> failed_by_class;  // index = class id
 
-  SampleSet e2e;                        // end-to-end latency, seconds
+  // Data-plane failure-handling activity (whole run, not just measured).
+  std::uint64_t call_retries = 0;          // retry attempts issued
+  std::uint64_t call_timeouts = 0;         // attempts abandoned at deadline
+  std::uint64_t call_rejections = 0;       // attempts refused by a down cluster
+  std::uint64_t retry_budget_denials = 0;  // retries suppressed by the budget
+  std::uint64_t fault_transitions = 0;     // injector activations + clearings
+
+  SampleSet e2e;                        // end-to-end latency of successes, seconds
   std::vector<SampleSet> e2e_by_class;  // index = class id
 
   // Post-warmup egress accounting.
@@ -108,17 +166,41 @@ struct ExperimentResult {
   // not deployed) — shows where autoscaling/failures left the fleet.
   std::vector<unsigned> final_servers;
 
+  // Whole-run success/error counts per RunConfig::timeseries_bucket-second
+  // bucket (empty when the timeseries is disabled). Index i covers
+  // [i * bucket, (i+1) * bucket).
+  std::vector<std::uint64_t> completed_series;
+  std::vector<std::uint64_t> failed_series;
+  double series_bucket = 0.0;
+
   double measured_seconds = 0.0;
 
   [[nodiscard]] double mean_latency() const { return e2e.mean(); }
   [[nodiscard]] double p50() const { return e2e.quantile(0.5); }
   [[nodiscard]] double p95() const { return e2e.quantile(0.95); }
   [[nodiscard]] double p99() const { return e2e.quantile(0.99); }
+  // Finished requests (success + error) per measured second.
   [[nodiscard]] double throughput_rps() const {
+    return measured_seconds > 0.0
+               ? static_cast<double>(completed + failed) / measured_seconds
+               : 0.0;
+  }
+  // Successful requests per measured second — the number faults depress.
+  [[nodiscard]] double goodput_rps() const {
     return measured_seconds > 0.0
                ? static_cast<double>(completed) / measured_seconds
                : 0.0;
   }
+  // Errors as a fraction of finished requests (0 when nothing finished).
+  [[nodiscard]] double error_rate() const {
+    const std::uint64_t finished = completed + failed;
+    return finished > 0
+               ? static_cast<double>(failed) / static_cast<double>(finished)
+               : 0.0;
+  }
+  [[nodiscard]] double error_rate(ClassId k) const;
+  // Mean goodput RPS over timeseries buckets intersecting [from, to).
+  [[nodiscard]] double goodput_in_window(double from, double to) const;
   // Fraction of node-n class-k calls served outside their source cluster.
   [[nodiscard]] double remote_fraction(ClassId k, std::size_t node) const;
   // Same, restricted to calls issued from cluster `from`.

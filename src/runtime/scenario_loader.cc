@@ -105,6 +105,22 @@ struct DemandDirective {
   double rps = 0.0;
 };
 
+// Names are resolved at finalize time: faults may reference clusters and
+// services declared later in the file.
+struct FaultDirective {
+  std::size_t line;
+  std::string kind;  // outage | blackout | slowdown | link
+  std::string a;     // cluster / service / edge source
+  std::string b;     // slowdown cluster ("*" = all) / edge destination
+  double start = 0.0;
+  double duration = 0.0;
+  double factor = 1.0;
+  double extra = 0.0;
+  bool partition = false;
+  bool has_factor = false;
+  bool has_extra = false;
+};
+
 }  // namespace
 
 Scenario load_scenario(std::istream& input) {
@@ -119,6 +135,7 @@ Scenario load_scenario(std::istream& input) {
   std::vector<std::string> class_order;
   std::vector<DeployDirective> deploys;
   std::vector<DemandDirective> demands;
+  std::vector<FaultDirective> faults;
   double default_egress = -1.0;
 
   std::string raw;
@@ -134,6 +151,15 @@ Scenario load_scenario(std::istream& input) {
         fail(line_number, std::string("usage: ") + usage);
       }
     };
+    // Fixed-arity directives reject trailing garbage instead of silently
+    // ignoring it (a misspelled attribute must not become a no-op).
+    auto exact = [&](std::size_t count, const char* usage) {
+      need(count, usage);
+      if (tokens.size() > count) {
+        fail(line_number, "unexpected trailing token '" + tokens[count] +
+                              "' (usage: " + usage + ")");
+      }
+    };
     auto find_cluster = [&](const std::string& name) {
       const ClusterId id = scenario.topology->find_cluster(name);
       if (!id.valid()) fail(line_number, "unknown cluster '" + name + "'");
@@ -146,31 +172,31 @@ Scenario load_scenario(std::istream& input) {
     };
 
     if (directive == "scenario") {
-      need(2, "scenario <name>");
+      exact(2, "scenario <name>");
       scenario.name = tokens[1];
     } else if (directive == "cluster") {
-      need(2, "cluster <name>");
+      exact(2, "cluster <name>");
       if (scenario.topology->find_cluster(tokens[1]).valid()) {
         fail(line_number, "duplicate cluster '" + tokens[1] + "'");
       }
       scenario.topology->add_cluster(tokens[1]);
     } else if (directive == "rtt") {
-      need(4, "rtt <a> <b> <duration>");
+      exact(4, "rtt <a> <b> <duration>");
       scenario.topology->set_rtt(find_cluster(tokens[1]), find_cluster(tokens[2]),
                                  parse_duration(tokens[3], line_number));
     } else if (directive == "one_way") {
-      need(4, "one_way <from> <to> <duration>");
+      exact(4, "one_way <from> <to> <duration>");
       scenario.topology->set_one_way_latency(
           find_cluster(tokens[1]), find_cluster(tokens[2]),
           parse_duration(tokens[3], line_number));
     } else if (directive == "egress_price") {
-      need(2, "egress_price <dollars-per-GB>");
+      exact(2, "egress_price <dollars-per-GB>");
       default_egress = parse_number(tokens[1], line_number);
     } else if (directive == "jitter") {
-      need(2, "jitter <fraction>");
+      exact(2, "jitter <fraction>");
       scenario.topology->set_jitter_fraction(parse_number(tokens[1], line_number));
     } else if (directive == "service") {
-      need(2, "service <name>");
+      exact(2, "service <name>");
       scenario.app->add_service(tokens[1]);
     } else if (directive == "class") {
       need(2, "class <name> [<method> <path>]");
@@ -282,6 +308,66 @@ Scenario load_scenario(std::istream& input) {
       }
       d.rps = parse_number(tokens[rate_index], line_number);
       demands.push_back(std::move(d));
+    } else if (directive == "fault") {
+      need(2, "fault <outage|blackout|slowdown|link> ...");
+      FaultDirective f;
+      f.line = line_number;
+      f.kind = tokens[1];
+      std::size_t i = 0;  // index of @<start>
+      if (f.kind == "outage" || f.kind == "blackout") {
+        exact(5, "fault <outage|blackout> <cluster> @<start> <duration>");
+        f.a = tokens[2];
+        i = 3;
+      } else if (f.kind == "slowdown") {
+        need(6,
+             "fault slowdown <service> <cluster|*> @<start> <duration> "
+             "factor=<x>");
+        f.a = tokens[2];
+        f.b = tokens[3];
+        i = 4;
+      } else if (f.kind == "link") {
+        need(6,
+             "fault link <from> <to> @<start> <duration> "
+             "[factor=<x>] [extra=<duration>] [partition]");
+        f.a = tokens[2];
+        f.b = tokens[3];
+        i = 4;
+      } else {
+        fail(line_number, "unknown fault kind '" + f.kind +
+                              "' (expected outage, blackout, slowdown, link)");
+      }
+      if (tokens[i][0] != '@') {
+        fail(line_number, "expected @<start-time>, got '" + tokens[i] + "'");
+      }
+      f.start = parse_duration(tokens[i].substr(1), line_number);
+      f.duration = parse_duration(tokens[i + 1], line_number);
+      for (i += 2; i < tokens.size(); ++i) {
+        if (f.kind == "link" && tokens[i] == "partition") {
+          f.partition = true;
+          continue;
+        }
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "factor" &&
+            (f.kind == "slowdown" || f.kind == "link")) {
+          f.factor = parse_number(kv->second, line_number);
+          f.has_factor = true;
+        } else if (kv->first == "extra" && f.kind == "link") {
+          f.extra = parse_duration(kv->second, line_number);
+          f.has_extra = true;
+        } else {
+          fail(line_number, "unknown fault " + f.kind + " attribute '" +
+                                kv->first + "'");
+        }
+      }
+      if (f.kind == "slowdown" && !f.has_factor) {
+        fail(line_number, "fault slowdown requires factor=<x>");
+      }
+      if (f.kind == "link" && !f.partition && !f.has_factor && !f.has_extra) {
+        fail(line_number,
+             "fault link needs an effect: factor=, extra=, or partition");
+      }
+      faults.push_back(std::move(f));
     } else {
       fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -344,6 +430,45 @@ Scenario load_scenario(std::istream& input) {
       scenario.demand.add_step(it->second.id, cluster, 0.0, d.rps);
     } else {
       scenario.demand.add_step(it->second.id, cluster, d.start_time, d.rps);
+    }
+  }
+
+  for (const auto& f : faults) {
+    auto resolve_cluster = [&](const std::string& name) {
+      const ClusterId id = scenario.topology->find_cluster(name);
+      if (!id.valid()) fail(f.line, "unknown cluster '" + name + "'");
+      return id;
+    };
+    try {
+      if (f.kind == "outage") {
+        scenario.faults.cluster_outage(resolve_cluster(f.a), f.start,
+                                       f.duration);
+      } else if (f.kind == "blackout") {
+        scenario.faults.telemetry_blackout(resolve_cluster(f.a), f.start,
+                                           f.duration);
+      } else if (f.kind == "slowdown") {
+        const ServiceId service = scenario.app->find_service(f.a);
+        if (!service.valid()) fail(f.line, "unknown service '" + f.a + "'");
+        const ClusterId cluster =
+            f.b == "*" ? ClusterId{} : resolve_cluster(f.b);
+        scenario.faults.service_slowdown(service, cluster, f.start, f.duration,
+                                         f.factor);
+      } else {  // link
+        const ClusterId from = resolve_cluster(f.a);
+        const ClusterId to = resolve_cluster(f.b);
+        FaultSpec spec;
+        spec.kind = FaultKind::kLinkDegradation;
+        spec.start = f.start;
+        spec.duration = f.duration;
+        spec.cluster = from;
+        spec.to = to;
+        spec.factor = f.factor;
+        spec.extra_latency = f.extra;
+        spec.partition = f.partition;
+        scenario.faults.add(spec);
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(f.line, e.what());
     }
   }
   return scenario;

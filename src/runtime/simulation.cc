@@ -58,6 +58,14 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
   const std::size_t S = app.service_count();
   const std::size_t K = app.class_count();
 
+  // Fault injection: the scenario's shipped plan plus the config's.
+  FaultPlan merged = scenario_.faults;
+  merged.append(config_.faults);
+  if (!merged.empty()) {
+    injector_ = std::make_unique<FaultInjector>(sim_, std::move(merged),
+                                                cluster_count_, S);
+  }
+
   // Per-cluster telemetry and rule executors.
   registries_.reserve(cluster_count_);
   rule_policies_.reserve(cluster_count_);
@@ -136,11 +144,50 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
   result_.scenario = scenario_.name;
   result_.policy = to_string(config_.policy);
   result_.e2e_by_class.resize(K);
+  result_.failed_by_class.assign(K, 0);
   result_.flows.resize(K);
   for (std::size_t k = 0; k < K; ++k) {
     const std::size_t nodes = app.traffic_class(ClassId{k}).graph.node_count();
     result_.flows[k].assign(nodes,
                             FlatMatrix<std::uint64_t>(cluster_count_, cluster_count_, 0));
+  }
+  if (config_.timeseries_bucket > 0.0) {
+    const auto buckets = static_cast<std::size_t>(
+                             std::ceil(config_.duration / config_.timeseries_bucket)) +
+                         1;
+    result_.completed_series.assign(buckets, 0);
+    result_.failed_series.assign(buckets, 0);
+    result_.series_bucket = config_.timeseries_bucket;
+  }
+}
+
+double Simulation::net_delay(ClusterId from, ClusterId to) {
+  double d = scenario_.topology->sample_latency(from, to, rng_routing_);
+  if (injector_ != nullptr) {
+    d = d * injector_->latency_factor(from, to) +
+        injector_->extra_latency(from, to);
+  }
+  return d;
+}
+
+void Simulation::finish_request(const RequestState& req, bool ok,
+                                ServiceId entry, ClusterId entry_cluster) {
+  const double e2e = sim_.now() - req.arrival_time;
+  if (ok) proxy(entry, entry_cluster).on_root_response(req.cls, e2e);
+  if (config_.timeseries_bucket > 0.0) {
+    const auto b =
+        static_cast<std::size_t>(sim_.now() / config_.timeseries_bucket);
+    auto& series = ok ? result_.completed_series : result_.failed_series;
+    if (b < series.size()) ++series[b];
+  }
+  if (!measuring_) return;
+  if (ok) {
+    ++result_.completed;
+    result_.e2e.add(e2e);
+    result_.e2e_by_class[req.cls.index()].add(e2e);
+  } else {
+    ++result_.failed;
+    ++result_.failed_by_class[req.cls.index()];
   }
 }
 
@@ -158,19 +205,26 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
 
   const ServiceId entry = app.entry_service(cls);
   ClusterId entry_cluster = cluster;
-  if (!scenario_.deployment->is_deployed(entry, cluster)) {
-    entry_cluster = scenario_.topology->nearest(
-        cluster, scenario_.deployment->clusters_for(entry));
+  if (!scenario_.deployment->is_deployed(entry, cluster) ||
+      cluster_down(cluster)) {
+    // Front-door failover: the nearest up cluster hosting the entry service
+    // (clients reach a healthy edge via DNS/anycast; the client edge itself
+    // is not subject to link partitions).
+    std::vector<ClusterId> alive;
+    for (ClusterId c : candidates_[entry.index()]) {
+      if (!cluster_down(c)) alive.push_back(c);
+    }
+    if (alive.empty()) {
+      // Every cluster hosting the entry service is down.
+      ++result_.call_rejections;
+      finish_request(*req, false, entry, cluster);
+      return;
+    }
+    entry_cluster = scenario_.topology->nearest(cluster, alive);
   }
 
-  Done finish = [this, req, entry, entry_cluster]() {
-    const double e2e = sim_.now() - req->arrival_time;
-    proxy(entry, entry_cluster).on_root_response(req->cls, e2e);
-    if (measuring_) {
-      ++result_.completed;
-      result_.e2e.add(e2e);
-      result_.e2e_by_class[req->cls.index()].add(e2e);
-    }
+  Done finish = [this, req, entry, entry_cluster](bool ok) {
+    finish_request(*req, ok, entry, entry_cluster);
   };
 
   if (measuring_) {
@@ -185,18 +239,19 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   // Front-door redirect to the nearest cluster hosting the entry service.
   const CallGraph& graph = app.traffic_class(cls).graph;
   egress_.record(cluster, entry_cluster, graph.node(0).request_bytes);
-  const double d1 =
-      scenario_.topology->sample_latency(cluster, entry_cluster, rng_routing_);
+  const double d1 = net_delay(cluster, entry_cluster);
   sim_.schedule_after(d1, [this, req = std::move(req), entry_cluster, cluster,
                            finish = std::move(finish)]() mutable {
     execute_node(req, 0, entry_cluster, 0,
-                 [this, req, entry_cluster, cluster, finish]() {
-                   const CallGraph& g =
-                       scenario_.app->traffic_class(req->cls).graph;
-                   egress_.record(entry_cluster, cluster, g.node(0).response_bytes);
-                   const double d2 = scenario_.topology->sample_latency(
-                       entry_cluster, cluster, rng_routing_);
-                   sim_.schedule_after(d2, finish);
+                 [this, req, entry_cluster, cluster, finish](bool ok) {
+                   if (ok) {
+                     const CallGraph& g =
+                         scenario_.app->traffic_class(req->cls).graph;
+                     egress_.record(entry_cluster, cluster,
+                                    g.node(0).response_bytes);
+                   }
+                   const double d2 = net_delay(entry_cluster, cluster);
+                   sim_.schedule_after(d2, [finish, ok]() { finish(ok); });
                  });
   });
 }
@@ -204,6 +259,13 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
 void Simulation::execute_node(std::shared_ptr<RequestState> req,
                               std::size_t node, ClusterId cluster,
                               std::uint64_t parent_span, Done done) {
+  if (cluster_down(cluster)) {
+    // Every station in a down cluster refuses new work; in-flight jobs run
+    // to completion (no preemption).
+    ++result_.call_rejections;
+    done(false);
+    return;
+  }
   const CallGraph& graph = scenario_.app->traffic_class(req->cls).graph;
   const CallNode& cnode = graph.node(node);
   ServiceStation* st = station(cnode.service, cluster);
@@ -215,13 +277,19 @@ void Simulation::execute_node(std::shared_ptr<RequestState> req,
   const std::uint64_t span_id = next_span_++;
   px.on_request_start(req->cls, enqueue_time);
 
-  st->submit(cnode.compute_time_mean, [this, req = std::move(req), node, cluster,
-                                       enqueue_time, span_id, parent_span,
-                                       done = std::move(done)](
-                                          double queue_s, double service_s) mutable {
+  double compute = cnode.compute_time_mean;
+  if (injector_ != nullptr) {
+    // Gray failure: the service is up but slow.
+    compute *= injector_->compute_factor(cnode.service, cluster);
+  }
+
+  st->submit(compute, [this, req = std::move(req), node, cluster,
+                       enqueue_time, span_id, parent_span,
+                       done = std::move(done)](
+                          double queue_s, double service_s) mutable {
     run_children(req, node, cluster, span_id,
                  [this, req, node, cluster, enqueue_time, queue_s, service_s,
-                  span_id, parent_span, done = std::move(done)]() {
+                  span_id, parent_span, done = std::move(done)](bool ok) {
                    const CallGraph& g =
                        scenario_.app->traffic_class(req->cls).graph;
                    const CallNode& n = g.node(node);
@@ -237,8 +305,9 @@ void Simulation::execute_node(std::shared_ptr<RequestState> req,
                    span.end_time = sim_.now();
                    span.queue_time = queue_s;
                    span.exclusive_time = queue_s + service_s;
+                   span.error = !ok;
                    proxy(n.service, cluster).on_request_end(req->cls, span);
-                   done();
+                   done(ok);
                  });
   });
 }
@@ -249,7 +318,7 @@ void Simulation::run_children(std::shared_ptr<RequestState> req,
   const CallGraph& graph = scenario_.app->traffic_class(req->cls).graph;
   const CallNode& parent = graph.node(parent_node);
   if (parent.children.empty()) {
-    done();
+    done(true);
     return;
   }
 
@@ -262,47 +331,70 @@ void Simulation::run_children(std::shared_ptr<RequestState> req,
     for (std::size_t i = 0; i < count; ++i) calls->push_back(child);
   }
   if (calls->empty()) {
-    done();
+    done(true);
     return;
   }
 
   if (parent.mode == InvocationMode::kParallel) {
+    // A parallel fan-out fails if any child failed; siblings are not
+    // cancelled (their responses are awaited, then discarded).
     auto remaining = std::make_shared<std::size_t>(calls->size());
+    auto all_ok = std::make_shared<bool>(true);
     auto shared_done = std::make_shared<Done>(std::move(done));
     for (std::size_t child : *calls) {
-      issue_call(req, child, cluster, parent_span, [remaining, shared_done]() {
-        if (--*remaining == 0) (*shared_done)();
-      });
+      issue_call(req, child, cluster, parent_span,
+                 [remaining, all_ok, shared_done](bool ok) {
+                   if (!ok) *all_ok = false;
+                   if (--*remaining == 0) (*shared_done)(*all_ok);
+                 });
     }
     return;
   }
 
-  // Sequential chain. Ownership of `step` travels inside the continuation
-  // wrappers; the stored closure itself holds only a weak reference, so
-  // requests still in flight when the simulation ends cannot leak a
-  // closure cycle.
+  // Sequential chain; aborts at the first failed child. Ownership of `step`
+  // travels inside the continuation wrappers; the stored closure itself
+  // holds only a weak reference, so requests still in flight when the
+  // simulation ends cannot leak a closure cycle.
   auto index = std::make_shared<std::size_t>(0);
   auto step = std::make_shared<Done>();
   auto shared_done = std::make_shared<Done>(std::move(done));
   std::weak_ptr<Done> weak_step = step;
   *step = [this, req, cluster, calls, index, weak_step, shared_done,
-           parent_span]() {
+           parent_span](bool ok) {
+    if (!ok) {
+      (*shared_done)(false);
+      return;
+    }
     if (*index == calls->size()) {
-      (*shared_done)();
+      (*shared_done)(true);
       return;
     }
     const std::size_t child = (*calls)[(*index)++];
     // The wrapper keeps the chain alive until the child's response returns.
     auto strong = weak_step.lock();
     issue_call(req, child, cluster, parent_span,
-               [strong]() { (*strong)(); });
+               [strong](bool child_ok) { (*strong)(child_ok); });
   };
-  (*step)();
+  (*step)(true);
 }
 
 void Simulation::issue_call(std::shared_ptr<RequestState> req, std::size_t node,
                             ClusterId from, std::uint64_t parent_span,
                             Done done) {
+  if (config_.failure.enabled) {
+    // Each first attempt earns fractional retry credit (Finagle-style
+    // budget): retries are bounded at ~ratio x offered call volume.
+    retry_tokens_ = std::min(retry_tokens_ + config_.failure.retry_budget_ratio,
+                             config_.failure.retry_budget_cap);
+  }
+  start_attempt(std::move(req), node, from, parent_span, 0, ClusterId{},
+                std::move(done));
+}
+
+void Simulation::start_attempt(std::shared_ptr<RequestState> req,
+                               std::size_t node, ClusterId from,
+                               std::uint64_t parent_span, std::size_t attempt,
+                               ClusterId exclude, Done done) {
   const Application& app = *scenario_.app;
   const CallGraph& graph = app.traffic_class(req->cls).graph;
   const CallNode& cnode = graph.node(node);
@@ -310,12 +402,23 @@ void Simulation::issue_call(std::shared_ptr<RequestState> req, std::size_t node,
 
   const auto& candidates = candidates_[child_svc.index()];
 
+  // Retry-on-different-cluster: steer away from the cluster the previous
+  // attempt failed on when an alternative exists.
+  const std::vector<ClusterId>* cand = &candidates;
+  std::vector<ClusterId> filtered;
+  if (exclude.valid() && config_.failure.retry_excludes_failed) {
+    for (ClusterId c : candidates) {
+      if (c != exclude) filtered.push_back(c);
+    }
+    if (!filtered.empty()) cand = &filtered;
+  }
+
   RouteQuery query;
   query.cls = req->cls;
   query.call_node = node;
   query.child_service = child_svc;
   query.from = from;
-  query.candidates = &candidates;
+  query.candidates = cand;
 
   const ServiceId parent_svc = graph.node(cnode.parent).service;
   ClusterId to;
@@ -324,6 +427,10 @@ void Simulation::issue_call(std::shared_ptr<RequestState> req, std::size_t node,
   } else {
     to = baseline_policy_->route(query, rng_routing_);
   }
+  if (cand == &filtered && to == exclude) {
+    // Weighted rules ignore the candidate filter; force the failover.
+    to = scenario_.topology->nearest(from, filtered);
+  }
 
   if (measuring_) {
     result_.flows[req->cls.index()][node](from.index(), to.index())++;
@@ -331,34 +438,108 @@ void Simulation::issue_call(std::shared_ptr<RequestState> req, std::size_t node,
   load_view_->observe(child_svc, to);
   egress_.record(from, to, cnode.request_bytes);
 
-  auto on_response = [this, req, node, from, to, done = std::move(done)]() {
-    const CallGraph& g = scenario_.app->traffic_class(req->cls).graph;
-    egress_.record(to, from, g.node(node).response_bytes);
-    const double back =
-        scenario_.topology->sample_latency(to, from, rng_routing_);
-    sim_.schedule_after(back, done);
-  };
+  const FailurePolicy& fp = config_.failure;
 
-  const double out = scenario_.topology->sample_latency(from, to, rng_routing_);
-  sim_.schedule_after(out, [this, req = std::move(req), node, to, parent_span,
-                            on_response = std::move(on_response)]() mutable {
-    execute_node(req, node, to, parent_span, on_response);
+  // Attempt settlement: the first of {response, timeout} wins; the loser
+  // finds `settled` set and does nothing.
+  auto settled = std::make_shared<bool>(false);
+  auto resolve = std::make_shared<std::function<void(bool)>>(
+      [this, req, node, from, parent_span, attempt, to, done](bool ok) mutable {
+        if (ok) {
+          done(true);
+          return;
+        }
+        const FailurePolicy& policy = config_.failure;
+        if (policy.enabled && attempt < policy.max_retries) {
+          if (retry_tokens_ >= 1.0) {
+            retry_tokens_ -= 1.0;
+            ++result_.call_retries;
+            const double backoff =
+                policy.backoff_base *
+                std::pow(policy.backoff_multiplier,
+                         static_cast<double>(attempt));
+            sim_.schedule_after(
+                backoff,
+                [this, req, node, from, parent_span, attempt, to,
+                 done]() mutable {
+                  start_attempt(req, node, from, parent_span, attempt + 1, to,
+                                std::move(done));
+                });
+            return;
+          }
+          ++result_.retry_budget_denials;
+        }
+        done(false);
+      });
+
+  if (fp.enabled && fp.call_timeout > 0.0) {
+    sim_.schedule_after(fp.call_timeout, [this, settled, resolve]() {
+      if (*settled) return;
+      *settled = true;
+      ++result_.call_timeouts;
+      (*resolve)(false);
+    });
+  }
+
+  // Request leg. A partitioned link swallows the message: with a timeout
+  // the caller notices at the deadline; without one the call hangs — the
+  // honest price of a fair-weather configuration in a faulty world.
+  if (injector_ != nullptr && injector_->link_partitioned(from, to)) return;
+
+  const double out = net_delay(from, to);
+  sim_.schedule_after(out, [this, req = std::move(req), node, from, to,
+                            parent_span, settled, resolve]() mutable {
+    // Deadline propagation: an attempt abandoned before the request
+    // arrived is not executed by the server.
+    if (*settled) return;
+    execute_node(
+        req, node, to, parent_span,
+        [this, req, node, from, to, settled, resolve](bool ok) {
+          // Response leg (errors travel back too, but pay no egress).
+          if (injector_ != nullptr && injector_->link_partitioned(to, from)) {
+            return;  // response lost; the caller's timeout settles it
+          }
+          if (ok) {
+            const CallGraph& g = scenario_.app->traffic_class(req->cls).graph;
+            egress_.record(to, from, g.node(node).response_bytes);
+          }
+          const double back = net_delay(to, from);
+          sim_.schedule_after(back, [settled, resolve, ok]() {
+            if (*settled) return;
+            *settled = true;
+            (*resolve)(ok);
+          });
+        });
   });
 }
 
 void Simulation::control_tick() {
+  const double now = sim_.now();
   std::vector<ClusterReport> reports;
   reports.reserve(cluster_controllers_.size());
   for (auto& cc : cluster_controllers_) {
-    reports.push_back(cc->collect(sim_.now()));
-  }
-  auto rules = global_->on_reports(reports, sim_.now());
-  if (rules != nullptr) {
-    for (auto& cc : cluster_controllers_) {
-      cc->push_rules(rules);
+    const bool dark =
+        injector_ != nullptr && injector_->telemetry_blackout(cc->cluster());
+    ClusterReport report = cc->collect(now);  // local aggregation always runs
+    if (dark) {
+      // The report is lost in flight, and this period's rule push will not
+      // arrive either. After enough missed periods the cluster degrades
+      // itself to locality failover rather than executing stale weights.
+      cc->age_rules(now, config_.control_period,
+                    config_.control_staleness_periods);
+      continue;
     }
-    ++rule_pushes_;
+    reports.push_back(std::move(report));
   }
+  auto rules = global_->on_reports(reports, now);
+  for (auto& cc : cluster_controllers_) {
+    if (injector_ != nullptr && injector_->telemetry_blackout(cc->cluster())) {
+      continue;
+    }
+    cc->heartbeat(now);
+    if (rules != nullptr) cc->push_rules(rules);
+  }
+  if (rules != nullptr) ++rule_pushes_;
 }
 
 void Simulation::begin_measurement() {
@@ -393,6 +574,9 @@ ExperimentResult Simulation::run() {
                      [st, servers = event.servers]() { st->set_servers(servers); });
   }
 
+  // Faults.
+  if (injector_ != nullptr) injector_->arm();
+
   // Warmup boundary.
   std::vector<double> busy_at_warmup(S * cluster_count_, 0.0);
   sim_.schedule_at(config_.warmup, [this, &busy_at_warmup]() {
@@ -404,9 +588,10 @@ ExperimentResult Simulation::run() {
     }
   });
 
-  // Control loop.
+  // Control loop (RAII handle: cancelled when the Simulation dies).
   if (config_.policy == PolicyKind::kSlate) {
-    sim_.schedule_periodic(config_.control_period, [this]() { control_tick(); });
+    control_timer_ = sim_.schedule_scoped_periodic(config_.control_period,
+                                                   [this]() { control_tick(); });
   }
 
   // Workload.
@@ -434,6 +619,9 @@ ExperimentResult Simulation::run() {
     result_.controller_reverts = global_->reverts();
   }
   result_.rule_pushes = rule_pushes_;
+  if (injector_ != nullptr) {
+    result_.fault_transitions = injector_->transitions();
+  }
   for (const auto& scaler : autoscalers_) {
     result_.autoscaler_scale_ups += scaler->scale_ups();
     result_.autoscaler_scale_downs += scaler->scale_downs();

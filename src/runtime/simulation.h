@@ -12,6 +12,15 @@
 // Cross-cluster messages charge the egress meter and add sampled one-way
 // network latency in each direction. All telemetry flows through the same
 // SlateProxy objects a real deployment would use.
+//
+// Failure semantics: every inter-service call can fail — a down cluster
+// refuses the request, a partitioned link drops it, a timeout abandons it —
+// and the error propagates up the call tree to the root (a sequential chain
+// aborts at the first failed child; a parallel fan-out fails if any child
+// failed). With RunConfig::failure enabled, failed attempts retry with
+// exponential backoff under a token-bucket budget, preferring a different
+// candidate cluster. Faults come from the FaultPlan via a FaultInjector the
+// engine consults at each decision point.
 #pragma once
 
 #include <functional>
@@ -21,6 +30,7 @@
 #include "cluster/service_station.h"
 #include "core/cluster_controller.h"
 #include "core/slate_proxy.h"
+#include "fault/fault_injector.h"
 #include "net/egress_meter.h"
 #include "routing/policy.h"
 #include "runtime/experiment.h"
@@ -45,6 +55,17 @@ class Simulation {
     return global_.get();
   }
   [[nodiscard]] const TraceCollector& traces() const noexcept { return traces_; }
+  // Null unless the merged scenario+config fault plan is non-empty.
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return injector_.get();
+  }
+  // Null for baseline policies; indexed by cluster id under SLATE.
+  [[nodiscard]] const ClusterController* cluster_controller(
+      ClusterId c) const noexcept {
+    return c.index() < cluster_controllers_.size()
+               ? cluster_controllers_[c.index()].get()
+               : nullptr;
+  }
 
  private:
   struct RequestState {
@@ -53,7 +74,9 @@ class Simulation {
     ClusterId ingress;
     double arrival_time = 0.0;
   };
-  using Done = std::function<void()>;
+  // Continuation of one call-tree node; `ok` is false when the subtree
+  // failed (rejection, timeout, exhausted retries).
+  using Done = std::function<void(bool ok)>;
 
   [[nodiscard]] std::size_t station_index(ServiceId s, ClusterId c) const {
     return s.index() * cluster_count_ + c.index();
@@ -67,19 +90,34 @@ class Simulation {
 
   void on_arrival(ClassId cls, ClusterId cluster);
   // Executes call node `node` of `req`'s class at `cluster`; `done` fires at
-  // the node's response time (network back to the caller NOT included).
-  // `parent_span` is the caller's span id (trace-context propagation; 0 at
-  // the root).
+  // the node's response time (network back to the caller NOT included), with
+  // ok=false when the cluster refused the request or a child subtree
+  // failed. `parent_span` is the caller's span id (trace-context
+  // propagation; 0 at the root).
   void execute_node(std::shared_ptr<RequestState> req, std::size_t node,
                     ClusterId cluster, std::uint64_t parent_span, Done done);
   // Issues the call for child `node` from `from`: routes, pays the network
-  // and egress both ways, recurses. `done` fires when the response is back
-  // at `from`.
+  // and egress both ways, recurses, retrying failed attempts per
+  // config_.failure. `done` fires when the call settles at `from`.
   void issue_call(std::shared_ptr<RequestState> req, std::size_t node,
                   ClusterId from, std::uint64_t parent_span, Done done);
+  // One routed attempt of a call; `exclude` steers the route away from the
+  // cluster a previous attempt failed on.
+  void start_attempt(std::shared_ptr<RequestState> req, std::size_t node,
+                     ClusterId from, std::uint64_t parent_span,
+                     std::size_t attempt, ClusterId exclude, Done done);
   // Runs `children[index...]` per the parent's invocation mode.
   void run_children(std::shared_ptr<RequestState> req, std::size_t parent_node,
                     ClusterId cluster, std::uint64_t parent_span, Done done);
+
+  // One fault-aware network latency draw for a message from -> to.
+  [[nodiscard]] double net_delay(ClusterId from, ClusterId to);
+  [[nodiscard]] bool cluster_down(ClusterId c) const noexcept {
+    return injector_ != nullptr && injector_->cluster_down(c);
+  }
+  // Terminal outcome of one request (success or error).
+  void finish_request(const RequestState& req, bool ok, ServiceId entry,
+                      ClusterId entry_cluster);
 
   void control_tick();
   void begin_measurement();
@@ -111,6 +149,10 @@ class Simulation {
   EgressMeter egress_;
   TraceCollector traces_;
   std::unique_ptr<WorkloadDriver> workload_;
+  std::unique_ptr<FaultInjector> injector_;
+  // RAII: destroying the Simulation cancels the control loop, so an
+  // injected controller shutdown cannot leak a live timer.
+  Simulator::ScopedPeriodic control_timer_;
 
   // Measurement state.
   bool measuring_ = false;
@@ -118,6 +160,7 @@ class Simulation {
   std::uint64_t next_request_ = 0;
   std::uint64_t next_span_ = 1;  // 0 is "no span" in trace context
   std::uint64_t rule_pushes_ = 0;
+  double retry_tokens_ = 0.0;  // token-bucket retry budget
 };
 
 }  // namespace slate

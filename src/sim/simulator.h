@@ -64,8 +64,45 @@ class Simulator {
     std::shared_ptr<bool> alive_;
   };
 
+  // RAII wrapper over PeriodicHandle: cancels on destruction. Move-only.
+  // Use for timers owned by components that can be torn down mid-run
+  // (controllers under fault injection) so destroying the owner cannot leak
+  // a live timer into the event queue.
+  class ScopedPeriodic {
+   public:
+    ScopedPeriodic() = default;
+    explicit ScopedPeriodic(PeriodicHandle handle) noexcept
+        : handle_(handle) {}
+    ~ScopedPeriodic() { handle_.cancel(); }
+    ScopedPeriodic(const ScopedPeriodic&) = delete;
+    ScopedPeriodic& operator=(const ScopedPeriodic&) = delete;
+    ScopedPeriodic(ScopedPeriodic&& other) noexcept
+        : handle_(other.handle_) {
+      other.handle_ = PeriodicHandle{};
+    }
+    ScopedPeriodic& operator=(ScopedPeriodic&& other) noexcept {
+      if (this != &other) {
+        handle_.cancel();
+        handle_ = other.handle_;
+        other.handle_ = PeriodicHandle{};
+      }
+      return *this;
+    }
+
+    void cancel() noexcept { handle_.cancel(); }
+    [[nodiscard]] bool active() const noexcept { return handle_.active(); }
+
+   private:
+    PeriodicHandle handle_;
+  };
+
   // Runs `fn` every `interval` seconds until cancelled. Requires interval > 0.
   PeriodicHandle schedule_periodic(SimTime interval, Callback fn);
+  // Same, returning the RAII form.
+  [[nodiscard]] ScopedPeriodic schedule_scoped_periodic(SimTime interval,
+                                                        Callback fn) {
+    return ScopedPeriodic(schedule_periodic(interval, std::move(fn)));
+  }
 
  private:
   struct Event {

@@ -34,6 +34,9 @@ struct Span {
   // This is what load-to-latency model fitting needs; duration() is the
   // inclusive span used for end-to-end accounting at root nodes.
   double exclusive_time = 0.0;
+  // True when the subtree below this invocation failed (rejection, timeout,
+  // exhausted retries) and this service returned an error to its caller.
+  bool error = false;
 
   [[nodiscard]] double duration() const noexcept { return end_time - start_time; }
 };

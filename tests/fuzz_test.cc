@@ -12,8 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "net/gcp_topology.h"
+#include "runtime/scenario_loader.h"
 #include "runtime/scenarios.h"
 #include "runtime/simulation.h"
 #include "util/strfmt.h"
@@ -106,6 +109,41 @@ Scenario random_scenario(std::uint64_t seed) {
   return scenario;
 }
 
+// Random fault schedule over the world: 1-4 faults of any kind, windows
+// landing anywhere in (or straddling) a `duration`-second run.
+void add_random_faults(FaultPlan& plan, Rng& rng, std::size_t clusters,
+                       std::size_t services, double duration) {
+  const std::size_t n = 1 + rng.uniform_u64(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double start = rng.uniform(0.0, duration);
+    const double len = rng.uniform(0.5, duration / 2.0);
+    const ClusterId a{rng.uniform_u64(clusters)};
+    switch (rng.uniform_u64(5)) {
+      case 0:
+        plan.cluster_outage(a, start, len);
+        break;
+      case 1:
+        plan.telemetry_blackout(a, start, len);
+        break;
+      case 2:
+        plan.service_slowdown(ServiceId{rng.uniform_u64(services)},
+                              rng.bernoulli(0.5) ? a : ClusterId{}, start, len,
+                              rng.uniform(1.5, 20.0));
+        break;
+      default: {
+        ClusterId b{(a.index() + 1 + rng.uniform_u64(clusters - 1)) % clusters};
+        if (rng.bernoulli(0.3)) {
+          plan.link_partition(a, b, start, len);
+        } else {
+          plan.link_degradation(a, b, start, len, rng.uniform(1.5, 10.0),
+                                rng.uniform(0.0, 0.05));
+        }
+        break;
+      }
+    }
+  }
+}
+
 class FuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzTest, AllPoliciesSatisfyInvariants) {
@@ -174,6 +212,84 @@ TEST_P(FuzzTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.egress_bytes, b.egress_bytes);
   EXPECT_DOUBLE_EQ(a.mean_latency(), b.mean_latency());
+}
+
+TEST_P(FuzzTest, FaultedRunsSatisfyInvariantsAndDeterminism) {
+  const auto seed = static_cast<std::uint64_t>(11000 + GetParam());
+  Scenario scenario = random_scenario(seed);
+  Rng rng(seed ^ 0xfau);
+  add_random_faults(scenario.faults, rng, scenario.topology->cluster_count(),
+                    scenario.app->service_count(), 12.0);
+
+  for (PolicyKind policy : {PolicyKind::kLocalityFailover, PolicyKind::kSlate}) {
+    SCOPED_TRACE(to_string(policy));
+    RunConfig config;
+    config.policy = policy;
+    config.duration = 12.0;
+    config.warmup = 4.0;
+    config.seed = seed;
+    config.timeseries_bucket = 1.0;
+    // Half the runs get the full timeout/retry machinery.
+    config.failure.enabled = rng.bernoulli(0.5);
+
+    const ExperimentResult a = run_experiment(scenario, config);
+    // Conservation: every measured finish is a success or an error, and the
+    // whole-run series can't exceed the arrivals.
+    EXPECT_LE(a.completed, a.generated);
+    std::uint64_t series_total = 0;
+    for (std::size_t i = 0; i < a.completed_series.size(); ++i) {
+      series_total += a.completed_series[i] + a.failed_series[i];
+    }
+    EXPECT_LE(series_total, a.generated);
+    if (a.completed > 0) {
+      EXPECT_TRUE(std::isfinite(a.p99()));
+      EXPECT_LE(a.p50(), a.p99() + 1e-12);
+    }
+
+    const ExperimentResult b = run_experiment(scenario, config);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.call_retries, b.call_retries);
+    EXPECT_EQ(a.fault_transitions, b.fault_transitions);
+  }
+}
+
+// Random fault directive lines through the text loader: every line either
+// parses into a plan entry or is rejected with a line-numbered error —
+// never a crash, never a silently half-applied fault.
+TEST_P(FuzzTest, FaultDirectivesParseOrFailCleanly) {
+  const auto seed = static_cast<std::uint64_t>(13000 + GetParam());
+  Rng rng(seed);
+  const std::string base =
+      "cluster west\ncluster east\nrtt west east 20ms\n"
+      "service s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=200\ndemand k west 50\n";
+
+  auto token = [&](std::initializer_list<const char*> options) {
+    auto it = options.begin();
+    std::advance(it, rng.uniform_u64(options.size()));
+    return std::string(*it);
+  };
+  for (int line = 0; line < 24; ++line) {
+    std::string directive =
+        "fault " + token({"outage", "blackout", "slowdown", "link", "rain"});
+    const std::size_t extras = rng.uniform_u64(5);
+    for (std::size_t i = 0; i < extras; ++i) {
+      directive += " " + token({"west", "east", "s", "*", "@1s", "@-3s", "2s",
+                                "0s", "factor=2", "factor=x", "extra=5ms",
+                                "partition", "bogus"});
+    }
+    const std::string text = base + directive + "\n";
+    try {
+      const Scenario s = load_scenario_from_string(text);
+      EXPECT_EQ(s.faults.size(), 1u) << directive;
+      s.faults.validate(s.topology->cluster_count(), s.app->service_count());
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 9"), std::string::npos)
+          << directive << " -> " << e.what();
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 12));

@@ -195,6 +195,84 @@ TEST(ScenarioLoader, BadValuesRejected) {
       "capacity");
 }
 
+TEST(ScenarioLoader, TrailingTokensRejectedWithLineNumber) {
+  expect_error("cluster a extra\n", "trailing token 'extra'");
+  expect_error("cluster a\ncluster b\nrtt a b 1ms oops\n", "line 3");
+  expect_error("cluster a\njitter 0.1 0.2\n", "trailing token");
+  expect_error("scenario demo demo2\n", "trailing token");
+}
+
+constexpr const char* kFaultBase = R"(
+cluster west
+cluster east
+rtt west east 25ms
+service s
+class k
+call k root s compute=1ms
+deploy * * servers=1 capacity=100
+demand k west 50
+)";
+
+TEST(ScenarioLoader, ParsesFaultDirectives) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "fault outage east @40s 10s\n"
+      "fault blackout west @70s 12s\n"
+      "fault slowdown s west @5s 3s factor=4\n"
+      "fault slowdown s * @6s 1s factor=2\n"
+      "fault link west east @10s 5s factor=3 extra=50ms\n"
+      "fault link east west @10s 5s partition\n");
+  ASSERT_EQ(s.faults.size(), 6u);
+  const auto& f = s.faults.faults();
+
+  EXPECT_EQ(f[0].kind, FaultKind::kClusterOutage);
+  EXPECT_EQ(f[0].cluster, ClusterId{1});
+  EXPECT_DOUBLE_EQ(f[0].start, 40.0);
+  EXPECT_DOUBLE_EQ(f[0].duration, 10.0);
+
+  EXPECT_EQ(f[1].kind, FaultKind::kTelemetryBlackout);
+  EXPECT_EQ(f[1].cluster, ClusterId{0});
+
+  EXPECT_EQ(f[2].kind, FaultKind::kServiceSlowdown);
+  EXPECT_EQ(f[2].service, ServiceId{0});
+  EXPECT_EQ(f[2].cluster, ClusterId{0});
+  EXPECT_DOUBLE_EQ(f[2].factor, 4.0);
+  EXPECT_FALSE(f[3].cluster.valid());  // '*' = every cluster
+
+  EXPECT_EQ(f[4].kind, FaultKind::kLinkDegradation);
+  EXPECT_DOUBLE_EQ(f[4].factor, 3.0);
+  EXPECT_DOUBLE_EQ(f[4].extra_latency, 0.05);
+  EXPECT_FALSE(f[4].partition);
+  EXPECT_TRUE(f[5].partition);
+  EXPECT_EQ(f[5].cluster, ClusterId{1});
+  EXPECT_EQ(f[5].to, ClusterId{0});
+}
+
+TEST(ScenarioLoader, FaultDirectiveForwardReferencesResolve) {
+  // Faults may appear before the clusters/services they name.
+  const Scenario s = load_scenario_from_string(
+      "fault outage east @40s 10s\n" + std::string(kFaultBase));
+  ASSERT_EQ(s.faults.size(), 1u);
+  EXPECT_EQ(s.faults.faults()[0].cluster, ClusterId{1});
+}
+
+TEST(ScenarioLoader, BadFaultDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "fault meteor west @1s 2s\n", "unknown fault kind");
+  expect_error(base + "fault outage nowhere @1s 2s\n", "unknown cluster");
+  expect_error(base + "fault slowdown bogus west @1s 2s factor=2\n",
+               "unknown service");
+  expect_error(base + "fault outage east 1s 2s\n", "expected @<start-time>");
+  expect_error(base + "fault outage east @1s 2s extra=1ms\n",
+               "trailing token");
+  expect_error(base + "fault slowdown s west @1s 2s\n", "requires factor");
+  expect_error(base + "fault link west east @1s 2s\n", "needs an effect");
+  expect_error(base + "fault link west west @1s 2s partition\n", "line 10");
+  expect_error(base + "fault outage east @1s 0s\n", "line 10");
+  expect_error(base + "fault slowdown s west @1s 2s factor=2 partition\n",
+               "key=value");
+}
+
 TEST(ScenarioLoader, MissingFileThrows) {
   EXPECT_THROW(load_scenario_from_file("/nonexistent/path.slate"),
                std::runtime_error);
@@ -204,7 +282,8 @@ TEST(ScenarioLoader, SampleFilesParse) {
   // The shipped sample scenarios must stay valid.
   for (const char* path : {"examples/scenarios/two_cluster_overload.slate",
                            "examples/scenarios/burst.slate",
-                           "examples/scenarios/anomaly_detection.slate"}) {
+                           "examples/scenarios/anomaly_detection.slate",
+                           "examples/scenarios/cluster_outage.slate"}) {
     SCOPED_TRACE(path);
     std::string full = std::string(SLATE_SOURCE_DIR) + "/" + path;
     EXPECT_NO_THROW({

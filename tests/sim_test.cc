@@ -140,6 +140,58 @@ TEST(Simulator, DefaultHandleCancelIsNoOp) {
   handle.cancel();  // must not crash
 }
 
+TEST(Simulator, ScopedPeriodicCancelsOnDestroy) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Simulator::ScopedPeriodic scoped =
+        sim.schedule_scoped_periodic(1.0, [&] { ++fires; });
+    EXPECT_TRUE(scoped.active());
+    sim.run_until(3.5);
+    EXPECT_EQ(fires, 3);
+    EXPECT_TRUE(scoped.active());
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 3);  // destroyed handle fired nothing further
+}
+
+TEST(Simulator, ScopedPeriodicMoveTransfersOwnership) {
+  Simulator sim;
+  int fires = 0;
+  Simulator::ScopedPeriodic outer;
+  {
+    Simulator::ScopedPeriodic inner =
+        sim.schedule_scoped_periodic(1.0, [&] { ++fires; });
+    outer = std::move(inner);
+    // inner's destructor must not cancel the moved-from task.
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(outer.active());
+}
+
+TEST(Simulator, ScopedPeriodicMoveAssignCancelsPrevious) {
+  Simulator sim;
+  int a = 0, b = 0;
+  auto scoped = sim.schedule_scoped_periodic(1.0, [&] { ++a; });
+  sim.run_until(2.5);
+  scoped = sim.schedule_scoped_periodic(1.0, [&] { ++b; });
+  sim.run_until(5.5);
+  EXPECT_EQ(a, 2);  // cancelled by the assignment
+  EXPECT_EQ(b, 3);  // fires at 3.5, 4.5, 5.5
+}
+
+TEST(Simulator, ScopedPeriodicExplicitCancel) {
+  Simulator sim;
+  int fires = 0;
+  auto scoped = sim.schedule_scoped_periodic(1.0, [&] { ++fires; });
+  sim.run_until(1.5);
+  scoped.cancel();
+  EXPECT_FALSE(scoped.active());
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 1);
+}
+
 TEST(Simulator, TwoPeriodicTasksInterleave) {
   Simulator sim;
   std::vector<int> order;
