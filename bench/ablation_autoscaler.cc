@@ -18,6 +18,7 @@
 // We report mean/p99 latency in three windows: pre-burst, the provisioning
 // gap, and post-scaling steady state.
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.h"
 #include "runtime/scenarios.h"
@@ -34,55 +35,6 @@ struct WindowedResult {
   double final_remote_fraction;
 };
 
-// Runs twice with different measurement windows (the engine measures one
-// window per run; deterministic seeds make the pair consistent).
-WindowedResult run(PolicyKind policy, bool autoscale) {
-  TwoClusterChainParams params;
-  params.west_rps = 200.0;
-  params.east_rps = 100.0;
-  params.west_servers = 1;
-  params.east_servers = 2;
-
-  auto make = [&]() {
-    Scenario scenario = make_two_cluster_chain_scenario(params);
-    scenario.demand.set_rate(ClassId{0}, ClusterId{0}, 200.0);
-    scenario.demand.add_step(ClassId{0}, ClusterId{0}, 30.0, 800.0);
-    return scenario;
-  };
-
-  RunConfig config;
-  config.policy = policy;
-  config.seed = 61;
-  config.autoscaler_enabled = autoscale;
-  config.autoscaler.target_utilization = 0.55;
-  config.autoscaler.evaluation_period = 10.0;
-  config.autoscaler.provision_delay = 30.0;
-  config.autoscaler.cooldown = 15.0;
-
-  WindowedResult out;
-  {
-    const Scenario scenario = make();
-    config.duration = 60.0;
-    config.warmup = 30.0;
-    const ExperimentResult r = run_experiment(scenario, config);
-    out.gap_mean = r.mean_latency() * 1e3;
-    out.gap_p99 = r.p99() * 1e3;
-  }
-  {
-    const Scenario scenario = make();
-    config.duration = 120.0;
-    config.warmup = 90.0;
-    const ExperimentResult r = run_experiment(scenario, config);
-    out.steady_mean = r.mean_latency() * 1e3;
-    out.steady_p99 = r.p99() * 1e3;
-    out.scale_ups = r.autoscaler_scale_ups;
-    const ServiceId svc1{1};
-    out.final_west_servers = r.final_servers[svc1.index() * 2 + 0];
-    out.final_remote_fraction = r.remote_fraction_from(ClassId{0}, 1, ClusterId{0});
-  }
-  return out;
-}
-
 }  // namespace
 
 int main() {
@@ -98,13 +50,57 @@ int main() {
       {"slate, fixed fleet", PolicyKind::kSlate, false},
       {"slate + autoscaler", PolicyKind::kSlate, true},
   };
+
+  TwoClusterChainParams params;
+  params.west_rps = 200.0;
+  params.east_rps = 100.0;
+  params.west_servers = 1;
+  params.east_servers = 2;
+  Scenario scenario = make_two_cluster_chain_scenario(params);
+  scenario.demand.set_rate(ClassId{0}, ClusterId{0}, 200.0);
+  scenario.demand.add_step(ClassId{0}, ClusterId{0}, 30.0, 800.0);
+
+  // Two runs per configuration: the engine measures one window per run;
+  // deterministic seeds make the pair consistent. All 6 fan out together.
+  std::vector<GridJob> jobs;
+  for (const auto& cfg : configs) {
+    RunConfig config;
+    config.policy = cfg.policy;
+    config.seed = 61;
+    config.autoscaler_enabled = cfg.autoscale;
+    config.autoscaler.target_utilization = 0.55;
+    config.autoscaler.evaluation_period = 10.0;
+    config.autoscaler.provision_delay = 30.0;
+    config.autoscaler.cooldown = 15.0;
+
+    config.duration = 60.0;   // provisioning-gap window
+    config.warmup = 30.0;
+    jobs.push_back({&scenario, config, cfg.name});
+    config.duration = 120.0;  // post-scaling steady window
+    config.warmup = 90.0;
+    jobs.push_back({&scenario, config, cfg.name});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+
   std::printf("%-22s | %21s | %21s | %8s %7s %8s\n", "",
               "provisioning gap", "post-scaling steady", "scaleups",
               "west_n", "remote%");
   std::printf("%-22s | %10s %10s | %10s %10s |\n", "configuration", "mean",
               "p99", "mean", "p99");
-  for (const auto& cfg : configs) {
-    const WindowedResult r = run(cfg.policy, cfg.autoscale);
+  for (std::size_t i = 0; i < std::size(configs); ++i) {
+    const auto& cfg = configs[i];
+    const ExperimentResult& gap = results[2 * i];
+    const ExperimentResult& steady = results[2 * i + 1];
+    WindowedResult r;
+    r.gap_mean = gap.mean_latency() * 1e3;
+    r.gap_p99 = gap.p99() * 1e3;
+    r.steady_mean = steady.mean_latency() * 1e3;
+    r.steady_p99 = steady.p99() * 1e3;
+    r.scale_ups = steady.autoscaler_scale_ups;
+    const ServiceId svc1{1};
+    r.final_west_servers = steady.final_servers[svc1.index() * 2 + 0];
+    r.final_remote_fraction =
+        steady.remote_fraction_from(ClassId{0}, 1, ClusterId{0});
     std::printf("%-22s | %8.1fms %8.1fms | %8.1fms %8.1fms | %8llu %7u %7.1f%%\n",
                 cfg.name, r.gap_mean, r.gap_p99, r.steady_mean, r.steady_p99,
                 static_cast<unsigned long long>(r.scale_ups),

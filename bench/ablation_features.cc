@@ -4,7 +4,11 @@
 //   * queue-cost PWL resolution (tangent count);
 //   * cost-awareness on the multi-hop scenario (cost_weight 0 vs 300);
 //   * control period (reaction speed vs optimizer work).
+//
+// All 13 runs are independent, so they go through the parallel grid as one
+// batch and are printed section by section afterwards.
 #include <cstdio>
+#include <deque>
 
 #include "bench_util.h"
 #include "runtime/scenarios.h"
@@ -27,70 +31,95 @@ RunConfig base_config() {
 int main() {
   bench::print_header("Ablation", "SLATE design choices");
 
+  std::deque<Scenario> scenarios;
+  std::vector<GridJob> jobs;
+
+  // [1] fractional vs all-or-nothing (6a setup).
   {
-    std::printf("\n[1] fractional vs all-or-nothing routing rules (6a setup)\n");
     TwoClusterChainParams params;
     params.west_rps = 700.0;
-    const Scenario scenario = make_two_cluster_chain_scenario(params);
+    scenarios.push_back(make_two_cluster_chain_scenario(params));
     for (bool integer : {false, true}) {
       RunConfig config = base_config();
       config.slate.optimizer.integer_routes = integer;
-      const ExperimentResult r = run_experiment(scenario, config);
-      std::printf("  %-18s mean %8.2f ms   p99 %8.2f ms\n",
-                  integer ? "all-or-nothing" : "fractional",
-                  r.mean_latency() * 1e3, r.p99() * 1e3);
-      std::printf("data,rules,%s,%.3f,%.3f\n",
-                  integer ? "integer" : "fractional", r.mean_latency() * 1e3,
-                  r.p99() * 1e3);
+      jobs.push_back({&scenarios.back(), config,
+                      integer ? "all-or-nothing" : "fractional"});
     }
   }
-
+  // [2] PWL tangent count.
+  const std::size_t tangent_counts[] = {3, 6, 14, 28};
   {
-    std::printf("\n[2] queue-cost PWL tangent count (approximation quality)\n");
     TwoClusterChainParams params;
     params.west_rps = 800.0;
-    const Scenario scenario = make_two_cluster_chain_scenario(params);
-    for (std::size_t tangents : {3u, 6u, 14u, 28u}) {
+    scenarios.push_back(make_two_cluster_chain_scenario(params));
+    for (std::size_t tangents : tangent_counts) {
       RunConfig config = base_config();
       config.slate.optimizer.tangent_count = tangents;
-      const ExperimentResult r = run_experiment(scenario, config);
-      std::printf("  tangents %-8zu mean %8.2f ms   p99 %8.2f ms\n", tangents,
-                  r.mean_latency() * 1e3, r.p99() * 1e3);
-      std::printf("data,tangents,%zu,%.3f,%.3f\n", tangents,
-                  r.mean_latency() * 1e3, r.p99() * 1e3);
+      jobs.push_back({&scenarios.back(), config, "tangents"});
     }
   }
-
-  {
-    std::printf("\n[3] cost-awareness on the multi-hop scenario (6c setup)\n");
-    const Scenario scenario = make_anomaly_scenario({});
-    for (double weight : {0.0, 30.0, 300.0}) {
-      RunConfig config = base_config();
-      config.slate.optimizer.cost_weight = weight;
-      const ExperimentResult r = run_experiment(scenario, config);
-      std::printf("  cost_weight %-8.0f mean %8.2f ms   egress $%.5f\n", weight,
-                  r.mean_latency() * 1e3, r.egress_cost_dollars);
-      std::printf("data,cost_weight,%.0f,%.3f,%.5f\n", weight,
-                  r.mean_latency() * 1e3, r.egress_cost_dollars);
-    }
+  // [3] cost-awareness (6c setup).
+  const double cost_weights[] = {0.0, 30.0, 300.0};
+  scenarios.push_back(make_anomaly_scenario({}));
+  for (double weight : cost_weights) {
+    RunConfig config = base_config();
+    config.slate.optimizer.cost_weight = weight;
+    jobs.push_back({&scenarios.back(), config, "cost_weight"});
   }
-
+  // [4] control period vs burst reaction (load step at t=25s).
+  const double periods[] = {0.5, 1.0, 2.0, 5.0};
   {
-    std::printf("\n[4] control period vs burst reaction (load step at t=25s)\n");
     TwoClusterChainParams params;
     params.west_rps = 200.0;
-    for (double period : {0.5, 1.0, 2.0, 5.0}) {
-      Scenario scenario = make_two_cluster_chain_scenario(params);
-      scenario.demand.add_step(ClassId{0}, ClusterId{0}, 25.0, 800.0);
+    Scenario scenario = make_two_cluster_chain_scenario(params);
+    scenario.demand.add_step(ClassId{0}, ClusterId{0}, 25.0, 800.0);
+    scenarios.push_back(std::move(scenario));
+    for (double period : periods) {
       RunConfig config = base_config();
       config.control_period = period;
       config.warmup = 25.0;  // measure from the burst onward
-      const ExperimentResult r = run_experiment(scenario, config);
-      std::printf("  period %-6.1fs mean %8.2f ms   p99 %8.2f ms\n", period,
-                  r.mean_latency() * 1e3, r.p99() * 1e3);
-      std::printf("data,period,%.1f,%.3f,%.3f\n", period,
-                  r.mean_latency() * 1e3, r.p99() * 1e3);
+      jobs.push_back({&scenarios.back(), config, "control_period"});
     }
+  }
+
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+  std::size_t at = 0;
+
+  std::printf("\n[1] fractional vs all-or-nothing routing rules (6a setup)\n");
+  for (bool integer : {false, true}) {
+    const ExperimentResult& r = results[at++];
+    std::printf("  %-18s mean %8.2f ms   p99 %8.2f ms\n",
+                integer ? "all-or-nothing" : "fractional",
+                r.mean_latency() * 1e3, r.p99() * 1e3);
+    std::printf("data,rules,%s,%.3f,%.3f\n", integer ? "integer" : "fractional",
+                r.mean_latency() * 1e3, r.p99() * 1e3);
+  }
+
+  std::printf("\n[2] queue-cost PWL tangent count (approximation quality)\n");
+  for (std::size_t tangents : tangent_counts) {
+    const ExperimentResult& r = results[at++];
+    std::printf("  tangents %-8zu mean %8.2f ms   p99 %8.2f ms\n", tangents,
+                r.mean_latency() * 1e3, r.p99() * 1e3);
+    std::printf("data,tangents,%zu,%.3f,%.3f\n", tangents,
+                r.mean_latency() * 1e3, r.p99() * 1e3);
+  }
+
+  std::printf("\n[3] cost-awareness on the multi-hop scenario (6c setup)\n");
+  for (double weight : cost_weights) {
+    const ExperimentResult& r = results[at++];
+    std::printf("  cost_weight %-8.0f mean %8.2f ms   egress $%.5f\n", weight,
+                r.mean_latency() * 1e3, r.egress_cost_dollars);
+    std::printf("data,cost_weight,%.0f,%.3f,%.5f\n", weight,
+                r.mean_latency() * 1e3, r.egress_cost_dollars);
+  }
+
+  std::printf("\n[4] control period vs burst reaction (load step at t=25s)\n");
+  for (double period : periods) {
+    const ExperimentResult& r = results[at++];
+    std::printf("  period %-6.1fs mean %8.2f ms   p99 %8.2f ms\n", period,
+                r.mean_latency() * 1e3, r.p99() * 1e3);
+    std::printf("data,period,%.1f,%.3f,%.3f\n", period,
+                r.mean_latency() * 1e3, r.p99() * 1e3);
   }
   return 0;
 }

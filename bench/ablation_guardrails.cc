@@ -17,47 +17,55 @@ using namespace slate;
 
 namespace {
 
-ExperimentResult run(double model_scale, bool guardrails, bool refit) {
-  TwoClusterChainParams params;
-  params.west_rps = 700.0;
-  params.east_rps = 100.0;
-  const Scenario scenario = make_two_cluster_chain_scenario(params);
-  RunConfig config;
-  config.policy = PolicyKind::kSlate;
-  config.duration = 60.0;
-  config.warmup = 20.0;
-  config.seed = 41;
-  config.slate.initial_model_scale = model_scale;
-  config.slate.freeze_model = !refit;
-  config.slate.guardrails.enabled = guardrails;
-  config.slate.guardrails.step_fraction = 0.3;
-  return run_experiment(scenario, config);
-}
+struct Variant {
+  double scale;
+  const char* name;
+  bool guarded;
+  bool refit;
+};
 
 }  // namespace
 
 int main() {
   bench::print_header("Ablation", "guardrails under model misprediction (§5)");
+
+  TwoClusterChainParams params;
+  params.west_rps = 700.0;
+  params.east_rps = 100.0;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+
+  std::vector<Variant> variants;
+  for (double scale : {1.0, 4.0, 0.25}) {
+    variants.push_back({scale, "unguarded, frozen", false, false});
+    variants.push_back({scale, "guarded, frozen", true, false});
+    variants.push_back({scale, "unguarded, refit", false, true});
+  }
+  std::vector<GridJob> jobs;
+  for (const Variant& v : variants) {
+    RunConfig config;
+    config.policy = PolicyKind::kSlate;
+    config.duration = 60.0;
+    config.warmup = 20.0;
+    config.seed = 41;
+    config.slate.initial_model_scale = v.scale;
+    config.slate.freeze_model = !v.refit;
+    config.slate.guardrails.enabled = v.guarded;
+    config.slate.guardrails.step_fraction = 0.3;
+    jobs.push_back({&scenario, config, v.name});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+
   std::printf("%-12s %-22s %14s %12s %10s\n", "model_scale", "configuration",
               "mean (ms)", "p99 (ms)", "reverts");
-  for (double scale : {1.0, 4.0, 0.25}) {
-    struct Config {
-      const char* name;
-      bool guarded;
-      bool refit;
-    };
-    const Config configs[] = {{"unguarded, frozen", false, false},
-                              {"guarded, frozen", true, false},
-                              {"unguarded, refit", false, true}};
-    for (const auto& cfg : configs) {
-      const ExperimentResult r = run(scale, cfg.guarded, cfg.refit);
-      std::printf("%-12.2f %-22s %14.2f %12.2f %10llu\n", scale, cfg.name,
-                  r.mean_latency() * 1e3, r.p99() * 1e3,
-                  static_cast<unsigned long long>(r.controller_reverts));
-      std::printf("data,guardrails,%.2f,%s,%.3f,%.3f,%llu\n", scale, cfg.name,
-                  r.mean_latency() * 1e3, r.p99() * 1e3,
-                  static_cast<unsigned long long>(r.controller_reverts));
-    }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const ExperimentResult& r = results[i];
+    std::printf("%-12.2f %-22s %14.2f %12.2f %10llu\n", v.scale, v.name,
+                r.mean_latency() * 1e3, r.p99() * 1e3,
+                static_cast<unsigned long long>(r.controller_reverts));
+    std::printf("data,guardrails,%.2f,%s,%.3f,%.3f,%llu\n", v.scale, v.name,
+                r.mean_latency() * 1e3, r.p99() * 1e3,
+                static_cast<unsigned long long>(r.controller_reverts));
   }
   std::printf(
       "\nreading: with an exact model (scale 1) all configurations agree.\n"

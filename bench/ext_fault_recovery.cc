@@ -55,27 +55,9 @@ double time_to_reconverge(const ExperimentResult& r, double pre,
   return -1.0;
 }
 
-Row run(PolicyKind policy) {
-  TwoClusterChainParams params;
-  params.west_rps = 600.0;
-  params.east_rps = 100.0;
-  Scenario scenario = make_two_cluster_chain_scenario(params);
-  scenario.faults.cluster_outage(ClusterId{1}, kFaultStart,
-                                 kFaultEnd - kFaultStart);
-
-  RunConfig config;
-  config.policy = policy;
-  config.duration = 70.0;
-  config.warmup = 10.0;
-  config.seed = 17;
-  config.control_period = 1.0;
-  config.timeseries_bucket = 1.0;
-  config.failure.enabled = true;
-  config.failure.call_timeout = 0.5;
-  config.failure.max_retries = 2;
-
+Row summarize(ExperimentResult r) {
   Row row;
-  row.r = run_experiment(scenario, config);
+  row.r = std::move(r);
   row.pre = row.r.goodput_in_window(30.0, kFaultStart);
   row.during_fault = row.r.goodput_in_window(42.0, 49.0);
   row.post = row.r.goodput_in_window(53.0, 60.0);
@@ -90,11 +72,36 @@ int main() {
                       "goodput under a 10s cluster outage + reconvergence");
   const PolicyKind policies[] = {PolicyKind::kSlate, PolicyKind::kWaterfall,
                                  PolicyKind::kLocalityFailover};
+
+  TwoClusterChainParams params;
+  params.west_rps = 600.0;
+  params.east_rps = 100.0;
+  Scenario scenario = make_two_cluster_chain_scenario(params);
+  scenario.faults.cluster_outage(ClusterId{1}, kFaultStart,
+                                 kFaultEnd - kFaultStart);
+
+  // One grid job per policy, same scenario and seed.
+  std::vector<GridJob> jobs;
+  for (PolicyKind policy : policies) {
+    RunConfig config;
+    config.policy = policy;
+    config.duration = 70.0;
+    config.warmup = 10.0;
+    config.seed = 17;
+    config.control_period = 1.0;
+    config.timeseries_bucket = 1.0;
+    config.failure.enabled = true;
+    config.failure.call_timeout = 0.5;
+    config.failure.max_retries = 2;
+    jobs.push_back({&scenario, config, to_string(policy)});
+  }
+  std::vector<ExperimentResult> results = bench::run_grid(jobs);
+
   std::printf("%-18s %9s %9s %9s %11s %8s %8s %8s\n", "policy", "pre_rps",
               "fault_rps", "post_rps", "reconverge", "errors", "retries",
               "timeouts");
-  for (PolicyKind policy : policies) {
-    const Row row = run(policy);
+  for (ExperimentResult& result : results) {
+    const Row row = summarize(std::move(result));
     char reconverge[32];
     if (row.reconverge >= 0.0) {
       std::snprintf(reconverge, sizeof(reconverge), "%.0fs", row.reconverge);

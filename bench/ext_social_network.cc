@@ -38,15 +38,23 @@ int main() {
   config.warmup = 15.0;
   config.seed = 71;
 
-  std::printf("%-20s %10s %10s %10s | %10s %10s %10s\n", "policy", "mean",
-              "p95", "p99", "read", "write", "profile");
-  ExperimentResult best_baseline, slate;
+  // Five policies, one grid job each.
+  std::vector<GridJob> jobs;
   for (PolicyKind policy :
        {PolicyKind::kLocalityFailover, PolicyKind::kRoundRobin,
         PolicyKind::kStaticWeights, PolicyKind::kWaterfall,
         PolicyKind::kSlate}) {
     config.policy = policy;
-    const ExperimentResult r = run_experiment(scenario, config);
+    jobs.push_back({&scenario, config, to_string(policy)});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+
+  std::printf("%-20s %10s %10s %10s | %10s %10s %10s\n", "policy", "mean",
+              "p95", "p99", "read", "write", "profile");
+  ExperimentResult best_baseline, slate;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PolicyKind policy = jobs[i].config.policy;
+    const ExperimentResult& r = results[i];
     std::printf("%-20s %8.2fms %8.2fms %8.2fms | %8.2fms %8.2fms %8.2fms\n",
                 r.policy.c_str(), r.mean_latency() * 1e3, r.p95() * 1e3,
                 r.p99() * 1e3, r.e2e_by_class[read.index()].mean() * 1e3,

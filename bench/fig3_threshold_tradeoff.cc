@@ -8,46 +8,57 @@
 // blow-up), and (c) SLATE's per-load optimum. The two static curves cross
 // the optimal curve exactly as the paper sketches: conservative loses at
 // low load, aggressive loses at high load.
+//
+// 18 independent (load, policy) points — fanned out across the grid.
 #include <cstdio>
+#include <deque>
 
 #include "bench_util.h"
 #include "runtime/scenarios.h"
 
 using namespace slate;
 
-namespace {
-
-ExperimentResult run(double west_rps, PolicyKind policy, double scale) {
-  TwoClusterChainParams params;
-  params.west_rps = west_rps;
-  params.east_rps = 100.0;
-  params.rtt = 25e-3;
-  const Scenario scenario = make_two_cluster_chain_scenario(params);
-  RunConfig config;
-  config.policy = policy;
-  config.duration = 40.0;
-  config.warmup = 10.0;
-  config.seed = 11;
-  config.waterfall.threshold_scale = scale;
-  return run_experiment(scenario, config);
-}
-
-}  // namespace
-
 int main() {
   bench::print_header(
       "Figure 3", "static conservative/aggressive thresholds vs optimal");
+
+  std::deque<Scenario> scenarios;
+  std::vector<GridJob> jobs;
+  std::vector<double> loads;
+  for (double load = 200.0; load <= 700.0 + 1e-9; load += 100.0) {
+    loads.push_back(load);
+    TwoClusterChainParams params;
+    params.west_rps = load;
+    params.east_rps = 100.0;
+    params.rtt = 25e-3;
+    scenarios.push_back(make_two_cluster_chain_scenario(params));
+    const Scenario* scenario = &scenarios.back();
+
+    RunConfig config;
+    config.duration = 40.0;
+    config.warmup = 10.0;
+    config.seed = 11;
+
+    config.policy = PolicyKind::kWaterfall;
+    config.waterfall.threshold_scale = 0.35;
+    jobs.push_back({scenario, config, "waterfall-conservative"});
+    config.waterfall.threshold_scale = 1.04;
+    jobs.push_back({scenario, config, "waterfall-aggressive"});
+    config.policy = PolicyKind::kSlate;
+    config.waterfall.threshold_scale = 1.0;
+    jobs.push_back({scenario, config, "slate"});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+
   std::printf("%-10s %18s %18s %14s   (mean latency, ms)\n", "west_load",
               "waterfall-cons.", "waterfall-aggr.", "slate");
-  for (double load = 200.0; load <= 700.0 + 1e-9; load += 100.0) {
-    const double conservative =
-        run(load, PolicyKind::kWaterfall, 0.35).mean_latency() * 1e3;
-    const double aggressive =
-        run(load, PolicyKind::kWaterfall, 1.04).mean_latency() * 1e3;
-    const double slate = run(load, PolicyKind::kSlate, 1.0).mean_latency() * 1e3;
-    std::printf("%-10.0f %18.2f %18.2f %14.2f\n", load, conservative,
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double conservative = results[3 * i].mean_latency() * 1e3;
+    const double aggressive = results[3 * i + 1].mean_latency() * 1e3;
+    const double slate = results[3 * i + 2].mean_latency() * 1e3;
+    std::printf("%-10.0f %18.2f %18.2f %14.2f\n", loads[i], conservative,
                 aggressive, slate);
-    std::printf("data,fig3,%.0f,%.3f,%.3f,%.3f\n", load, conservative,
+    std::printf("data,fig3,%.0f,%.3f,%.3f,%.3f\n", loads[i], conservative,
                 aggressive, slate);
   }
   std::printf(

@@ -25,12 +25,15 @@ int main() {
   config.warmup = 15.0;
   config.seed = 21;
 
-  ExperimentResult results[2];
   const PolicyKind policies[] = {PolicyKind::kWaterfall, PolicyKind::kSlate};
-  for (int i = 0; i < 2; ++i) {
-    config.policy = policies[i];
-    results[i] = run_experiment(scenario, config);
-    bench::print_summary_row(results[i]);
+  std::vector<GridJob> jobs;
+  for (PolicyKind policy : policies) {
+    config.policy = policy;
+    jobs.push_back({&scenario, config, to_string(policy)});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+  for (const auto& r : results) {
+    bench::print_summary_row(r);
   }
   for (const auto& r : results) {
     bench::print_cdf(r.policy, r.e2e);

@@ -27,18 +27,21 @@ int main() {
   config.warmup = 15.0;
   config.seed = 23;
 
-  ExperimentResult results[3];
   const PolicyKind policies[] = {PolicyKind::kLocalityFailover,
                                  PolicyKind::kWaterfall, PolicyKind::kSlate};
-  for (int i = 0; i < 3; ++i) {
-    config.policy = policies[i];
-    if (policies[i] == PolicyKind::kSlate) {
+  std::vector<GridJob> jobs;
+  for (PolicyKind policy : policies) {
+    config.policy = policy;
+    if (policy == PolicyKind::kSlate) {
       // The administrator weights egress cost strongly (§4.1): worth ~0.3s
       // of latency-objective per $/s of egress spend.
       config.slate.optimizer.cost_weight = 300.0;
     }
-    results[i] = run_experiment(scenario, config);
-    bench::print_summary_row(results[i]);
+    jobs.push_back({&scenario, config, to_string(policy)});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
+  for (const auto& r : results) {
+    bench::print_summary_row(r);
   }
   for (const auto& r : results) {
     bench::print_cdf(r.policy, r.e2e);

@@ -5,8 +5,12 @@
 // Reproduces the "up to" by sweeping the evaluation scenarios and reporting
 // the per-scenario and maximum ratios of Waterfall (or locality failover,
 // whichever the paper's §4 section uses as the baseline) to SLATE.
+//
+// All (scenario, policy) runs are independent, so they fan out across the
+// parallel experiment grid; results are identical to serial execution.
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 
 #include "bench_util.h"
 #include "runtime/scenarios.h"
@@ -15,72 +19,73 @@ using namespace slate;
 
 namespace {
 
-struct Row {
+struct Pair {
   const char* name;
-  double latency_ratio;
-  double egress_cost_ratio;
+  PolicyKind baseline;
+  double slate_cost_weight;
 };
-
-Row run_pair(const char* name, const Scenario& scenario,
-             PolicyKind baseline, double slate_cost_weight = 1.0) {
-  RunConfig config;
-  config.duration = 60.0;
-  config.warmup = 15.0;
-  config.seed = 33;
-
-  config.policy = baseline;
-  const ExperimentResult base = run_experiment(scenario, config);
-  config.policy = PolicyKind::kSlate;
-  config.slate.optimizer.cost_weight = slate_cost_weight;
-  const ExperimentResult slate = run_experiment(scenario, config);
-
-  Row row;
-  row.name = name;
-  row.latency_ratio = base.mean_latency() / slate.mean_latency();
-  row.egress_cost_ratio =
-      slate.egress_cost_dollars > 0.0
-          ? base.egress_cost_dollars / slate.egress_cost_dollars
-          : 0.0;
-  return row;
-}
 
 }  // namespace
 
 int main() {
   bench::print_header("Headline", "max latency and egress-cost improvements");
 
-  std::vector<Row> rows;
+  // Scenarios live in a deque: the grid holds pointers into it.
+  std::deque<Scenario> scenarios;
+  std::vector<Pair> pairs;
 
   {
     TwoClusterChainParams params;
     params.west_rps = 800.0;
-    rows.push_back(run_pair("6a how-much", make_two_cluster_chain_scenario(params),
-                            PolicyKind::kWaterfall));
+    scenarios.push_back(make_two_cluster_chain_scenario(params));
+    pairs.push_back({"6a how-much", PolicyKind::kWaterfall, 1.0});
   }
   {
     TwoClusterChainParams params;
     params.west_rps = 550.0;  // just past capacity: aggressive threshold hurts most
-    rows.push_back(run_pair("6a near-capacity",
-                            make_two_cluster_chain_scenario(params),
-                            PolicyKind::kWaterfall));
+    scenarios.push_back(make_two_cluster_chain_scenario(params));
+    pairs.push_back({"6a near-capacity", PolicyKind::kWaterfall, 1.0});
   }
-  rows.push_back(run_pair("6b which-cluster", make_gcp_chain_scenario({}),
-                          PolicyKind::kWaterfall));
-  rows.push_back(run_pair("6c multi-hop", make_anomaly_scenario({}),
-                          PolicyKind::kLocalityFailover, 300.0));
-  rows.push_back(run_pair("6d traffic-classes", make_two_class_scenario({}),
-                          PolicyKind::kWaterfall));
+  scenarios.push_back(make_gcp_chain_scenario({}));
+  pairs.push_back({"6b which-cluster", PolicyKind::kWaterfall, 1.0});
+  scenarios.push_back(make_anomaly_scenario({}));
+  pairs.push_back({"6c multi-hop", PolicyKind::kLocalityFailover, 300.0});
+  scenarios.push_back(make_two_class_scenario({}));
+  pairs.push_back({"6d traffic-classes", PolicyKind::kWaterfall, 1.0});
+
+  // Two jobs per scenario: baseline then SLATE.
+  std::vector<GridJob> jobs;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    RunConfig config;
+    config.duration = 60.0;
+    config.warmup = 15.0;
+    config.seed = 33;
+
+    config.policy = pairs[i].baseline;
+    jobs.push_back({&scenarios[i], config, pairs[i].name});
+    config.policy = PolicyKind::kSlate;
+    config.slate.optimizer.cost_weight = pairs[i].slate_cost_weight;
+    jobs.push_back({&scenarios[i], config, pairs[i].name});
+  }
+  const std::vector<ExperimentResult> results = bench::run_grid(jobs);
 
   std::printf("%-20s %18s %18s\n", "scenario", "latency ratio",
               "egress-cost ratio");
   double max_latency = 0.0, max_cost = 0.0;
-  for (const auto& row : rows) {
-    std::printf("%-20s %17.2fx %17.2fx\n", row.name, row.latency_ratio,
-                row.egress_cost_ratio);
-    std::printf("data,headline,%s,%.3f,%.3f\n", row.name, row.latency_ratio,
-                row.egress_cost_ratio);
-    max_latency = std::max(max_latency, row.latency_ratio);
-    max_cost = std::max(max_cost, row.egress_cost_ratio);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const ExperimentResult& base = results[2 * i];
+    const ExperimentResult& slate = results[2 * i + 1];
+    const double latency_ratio = base.mean_latency() / slate.mean_latency();
+    const double cost_ratio =
+        slate.egress_cost_dollars > 0.0
+            ? base.egress_cost_dollars / slate.egress_cost_dollars
+            : 0.0;
+    std::printf("%-20s %17.2fx %17.2fx\n", pairs[i].name, latency_ratio,
+                cost_ratio);
+    std::printf("data,headline,%s,%.3f,%.3f\n", pairs[i].name, latency_ratio,
+                cost_ratio);
+    max_latency = std::max(max_latency, latency_ratio);
+    max_cost = std::max(max_cost, cost_ratio);
   }
   std::printf("\nmax latency improvement:     %.1fx  (paper: up to 3.5x)\n",
               max_latency);

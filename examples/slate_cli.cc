@@ -13,12 +13,18 @@
 //   --retries=<n>          max retries per call (enables failure handling)
 //   --no-faults            ignore the scenario's fault plan
 //   --cdf                  print the latency CDF
+//   --seeds=<n>            run n replications (derived seeds) and report
+//                          mean +/- 95% CI across them (default 1)
+//   --jobs=<n>             worker threads for replications (default: all
+//                          hardware threads; results are independent of n)
 //
 // Sample scenarios live in examples/scenarios/.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "runtime/parallel.h"
 #include "runtime/scenario_loader.h"
 #include "runtime/simulation.h"
 
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
   config.warmup = 15.0;
   bool print_cdf = false;
   bool drop_faults = false;
+  std::size_t seeds = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string value;
   for (int i = 2; i < argc; ++i) {
     if (parse_flag(argv[i], "--policy", &value)) {
@@ -92,6 +100,11 @@ int main(int argc, char** argv) {
       drop_faults = true;
     } else if (std::strcmp(argv[i], "--cdf") == 0) {
       print_cdf = true;
+    } else if (parse_flag(argv[i], "--seeds", &value)) {
+      seeds = std::stoull(value);
+      if (seeds == 0) seeds = 1;
+    } else if (parse_flag(argv[i], "--jobs", &value)) {
+      jobs = std::stoull(value);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;
@@ -107,7 +120,49 @@ int main(int argc, char** argv) {
   }
   if (drop_faults) scenario.faults.clear();
 
-  const ExperimentResult r = run_experiment(scenario, config);
+  // Replications: seed i is derived from the base seed, and every replicate
+  // is an independent grid job, so `--jobs` changes wall-clock only.
+  std::vector<GridJob> grid;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    RunConfig replicate = config;
+    replicate.seed = replicate_seed(config.seed, i);
+    grid.push_back({&scenario, replicate, "replicate"});
+  }
+  GridOptions options;
+  options.jobs = jobs;
+  const std::vector<ExperimentResult> results =
+      run_experiment_grid(grid, options);
+  const ExperimentResult& r = results.front();
+
+  if (seeds > 1) {
+    std::vector<double> mean_ms, p99_ms, goodput, cost;
+    for (const ExperimentResult& rep : results) {
+      mean_ms.push_back(rep.mean_latency() * 1e3);
+      p99_ms.push_back(rep.p99() * 1e3);
+      goodput.push_back(rep.goodput_rps());
+      cost.push_back(rep.egress_cost_dollars);
+    }
+    const MeanCI mean_ci = mean_ci95(mean_ms);
+    const MeanCI p99_ci = mean_ci95(p99_ms);
+    const MeanCI good_ci = mean_ci95(goodput);
+    const MeanCI cost_ci = mean_ci95(cost);
+    std::printf("scenario %s under %s: %zu replications (base seed %llu)\n",
+                r.scenario.c_str(), r.policy.c_str(), seeds,
+                static_cast<unsigned long long>(config.seed));
+    std::printf("  mean latency  %8.2f +/- %6.2f ms   (95%% CI)\n",
+                mean_ci.mean, mean_ci.ci95);
+    std::printf("  p99 latency   %8.2f +/- %6.2f ms\n", p99_ci.mean,
+                p99_ci.ci95);
+    std::printf("  goodput       %8.1f +/- %6.1f rps\n", good_ci.mean,
+                good_ci.ci95);
+    std::printf("  egress cost   $%.5f +/- %.5f\n", cost_ci.mean, cost_ci.ci95);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("data,replicate,%zu,%llu,%.3f,%.3f,%.1f,%.5f\n", i,
+                  static_cast<unsigned long long>(grid[i].config.seed),
+                  mean_ms[i], p99_ms[i], goodput[i], cost[i]);
+    }
+    return 0;
+  }
 
   std::printf("scenario %s under %s: %llu requests measured over %.0fs\n",
               r.scenario.c_str(), r.policy.c_str(),

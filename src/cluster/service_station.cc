@@ -53,20 +53,23 @@ void ServiceStation::try_dispatch() {
     const double service_time =
         job.service_time_mean > 0.0 ? rng_.exponential(job.service_time_mean) : 0.0;
     const double queue_seconds = sim_.now() - job.enqueue_time;
+    // Capture exactly {this, completion, 2 doubles} = 64 bytes — inline in
+    // the simulator's callback buffer, no heap allocation per job.
     sim_.schedule_after(
         service_time,
-        [this, job = std::move(job), queue_seconds, service_time]() mutable {
-          finish_job(std::move(job), queue_seconds, service_time);
+        [this, on_complete = std::move(job.on_complete), queue_seconds,
+         service_time]() mutable {
+          finish_job(std::move(on_complete), queue_seconds, service_time);
         });
   }
 }
 
-void ServiceStation::finish_job(Job job, double queue_seconds,
+void ServiceStation::finish_job(Completion on_complete, double queue_seconds,
                                 double service_seconds) {
   account_busy_time();
   --busy_;
   ++completed_;
-  if (job.on_complete) job.on_complete(queue_seconds, service_seconds);
+  if (on_complete) on_complete(queue_seconds, service_seconds);
   try_dispatch();
 }
 

@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "sim/simulator.h"
 #include "util/ids.h"
+#include "util/inline_function.h"
 #include "util/rng.h"
 
 namespace slate {
@@ -29,8 +29,9 @@ class ServiceStation {
   ServiceStation& operator=(const ServiceStation&) = delete;
 
   // Completion callback: receives the time the job spent waiting in queue
-  // and the time it spent in service.
-  using Completion = std::function<void(double queue_seconds, double service_seconds)>;
+  // and the time it spent in service. Move-only with a 32-byte inline
+  // capture buffer — one job submission allocates nothing on the hot path.
+  using Completion = InlineFunction<void(double queue_seconds, double service_seconds), 32>;
 
   // Enqueues one job whose service time is ~Exp(service_time_mean);
   // `on_complete` fires when the job finishes processing. A zero/negative
@@ -69,7 +70,8 @@ class ServiceStation {
   };
 
   void try_dispatch();
-  void finish_job(Job job, double queue_seconds, double service_seconds);
+  void finish_job(Completion on_complete, double queue_seconds,
+                  double service_seconds);
   void account_busy_time() noexcept;
 
   Simulator& sim_;

@@ -173,6 +173,10 @@ struct ExperimentResult {
   std::vector<std::uint64_t> failed_series;
   double series_bucket = 0.0;
 
+  // Discrete events the simulator executed over the whole run — the raw
+  // work unit the engine's perf (bench/micro_simulator) is measured in.
+  std::uint64_t sim_events = 0;
+
   double measured_seconds = 0.0;
 
   [[nodiscard]] double mean_latency() const { return e2e.mean(); }

@@ -1,0 +1,122 @@
+#include "runtime/parallel.h"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+namespace slate {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+std::vector<ExperimentResult> run_experiment_grid(
+    const std::vector<GridJob>& jobs, const GridOptions& options) {
+  std::vector<ExperimentResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::size_t width = options.jobs;
+  if (width == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    width = hw > 0 ? hw : 1;
+  }
+  width = std::min(width, jobs.size());
+
+  std::mutex progress_mutex;
+  std::size_t finished = 0;
+
+  WorkerPool pool(width);
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    futures.push_back(pool.submit([&, i]() {
+      const GridJob& job = jobs[i];
+      if (job.scenario == nullptr) {
+        throw std::invalid_argument("run_experiment_grid: job without scenario");
+      }
+      // Each job builds a private Simulation seeded from its own config —
+      // no state is shared between jobs, so the result is byte-identical
+      // to a serial run of the same job.
+      results[i] = run_experiment(*job.scenario, job.config);
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(++finished, jobs.size());
+      }
+    }));
+  }
+
+  // Collect in job order; remember the first failure but let every job
+  // finish (futures are drained regardless).
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::uint64_t replicate_seed(std::uint64_t base, std::size_t index) noexcept {
+  if (index == 0) return base;
+  // SplitMix64 finalizer over (base, index) — decorrelates replicates even
+  // for adjacent base seeds.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(index);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+MeanCI mean_ci95(const std::vector<double>& values) noexcept {
+  MeanCI out;
+  out.n = values.size();
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - out.mean;
+    ss += d * d;
+  }
+  const double stddev =
+      std::sqrt(ss / static_cast<double>(values.size() - 1));
+  out.ci95 = 1.96 * stddev / std::sqrt(static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace slate

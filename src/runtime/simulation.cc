@@ -195,7 +195,7 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   const Application& app = *scenario_.app;
   ++result_.generated;
 
-  auto req = std::make_shared<RequestState>();
+  ReqPtr req = request_pool_.make();
   req->id = RequestId{next_request_++};
   req->cls = cls;
   req->ingress = cluster;
@@ -237,13 +237,17 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
     return;
   }
   // Front-door redirect to the nearest cluster hosting the entry service.
+  // Cold path: these closures may exceed the inline buffers and spill to
+  // the heap — redirects only happen under partial deployments or faults.
   const CallGraph& graph = app.traffic_class(cls).graph;
   egress_.record(cluster, entry_cluster, graph.node(0).request_bytes);
   const double d1 = net_delay(cluster, entry_cluster);
   sim_.schedule_after(d1, [this, req = std::move(req), entry_cluster, cluster,
                            finish = std::move(finish)]() mutable {
-    execute_node(req, 0, entry_cluster, 0,
-                 [this, req, entry_cluster, cluster, finish](bool ok) {
+    ReqPtr r = req;
+    execute_node(std::move(r), 0, entry_cluster, 0,
+                 [this, req = std::move(req), entry_cluster, cluster,
+                  finish = std::move(finish)](bool ok) mutable {
                    if (ok) {
                      const CallGraph& g =
                          scenario_.app->traffic_class(req->cls).graph;
@@ -251,13 +255,15 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
                                     g.node(0).response_bytes);
                    }
                    const double d2 = net_delay(entry_cluster, cluster);
-                   sim_.schedule_after(d2, [finish, ok]() { finish(ok); });
+                   sim_.schedule_after(d2,
+                                       [finish = std::move(finish), ok]() mutable {
+                                         finish(ok);
+                                       });
                  });
   });
 }
 
-void Simulation::execute_node(std::shared_ptr<RequestState> req,
-                              std::size_t node, ClusterId cluster,
+void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
                               std::uint64_t parent_span, Done done) {
   if (cluster_down(cluster)) {
     // Every station in a down cluster refuses new work; in-flight jobs run
@@ -273,9 +279,7 @@ void Simulation::execute_node(std::shared_ptr<RequestState> req,
     throw std::logic_error("Simulation: routed to a cluster without the service");
   }
   SlateProxy& px = proxy(cnode.service, cluster);
-  const double enqueue_time = sim_.now();
-  const std::uint64_t span_id = next_span_++;
-  px.on_request_start(req->cls, enqueue_time);
+  px.on_request_start(req->cls, sim_.now());
 
   double compute = cnode.compute_time_mean;
   if (injector_ != nullptr) {
@@ -283,38 +287,55 @@ void Simulation::execute_node(std::shared_ptr<RequestState> req,
     compute *= injector_->compute_factor(cnode.service, cluster);
   }
 
-  st->submit(compute, [this, req = std::move(req), node, cluster,
-                       enqueue_time, span_id, parent_span,
-                       done = std::move(done)](
-                          double queue_s, double service_s) mutable {
-    run_children(req, node, cluster, span_id,
-                 [this, req, node, cluster, enqueue_time, queue_s, service_s,
-                  span_id, parent_span, done = std::move(done)](bool ok) {
-                   const CallGraph& g =
-                       scenario_.app->traffic_class(req->cls).graph;
-                   const CallNode& n = g.node(node);
-                   Span span;
-                   span.request = req->id;
-                   span.cls = req->cls;
-                   span.call_node = node;
-                   span.service = n.service;
-                   span.cluster = cluster;
-                   span.span_id = span_id;
-                   span.parent_span_id = parent_span;
-                   span.start_time = enqueue_time;
-                   span.end_time = sim_.now();
-                   span.queue_time = queue_s;
-                   span.exclusive_time = queue_s + service_s;
-                   span.error = !ok;
-                   proxy(n.service, cluster).on_request_end(req->cls, span);
-                   done(ok);
-                 });
-  });
+  auto ns = node_pool_.make();
+  ns->req = std::move(req);
+  ns->node = static_cast<std::uint32_t>(node);
+  ns->cluster = cluster;
+  ns->span_id = next_span_++;
+  ns->parent_span = parent_span;
+  ns->enqueue_time = sim_.now();
+  ns->done = std::move(done);
+
+  // {this, pool handle} captures: both continuations stay inline.
+  st->submit(compute,
+             [this, ns = std::move(ns)](double queue_s, double service_s) mutable {
+               ns->queue_s = queue_s;
+               ns->service_s = service_s;
+               ReqPtr req = ns->req;
+               const std::uint32_t node = ns->node;
+               const ClusterId cluster = ns->cluster;
+               const std::uint64_t span_id = ns->span_id;
+               run_children(std::move(req), node, cluster, span_id,
+                            [this, ns = std::move(ns)](bool ok) mutable {
+                              finish_node(ns, ok);
+                            });
+             });
 }
 
-void Simulation::run_children(std::shared_ptr<RequestState> req,
-                              std::size_t parent_node, ClusterId cluster,
-                              std::uint64_t parent_span, Done done) {
+void Simulation::finish_node(const PoolPtr<NodeState>& ns, bool ok) {
+  const CallGraph& g = scenario_.app->traffic_class(ns->req->cls).graph;
+  const CallNode& n = g.node(ns->node);
+  Span span;
+  span.request = ns->req->id;
+  span.cls = ns->req->cls;
+  span.call_node = ns->node;
+  span.service = n.service;
+  span.cluster = ns->cluster;
+  span.span_id = ns->span_id;
+  span.parent_span_id = ns->parent_span;
+  span.start_time = ns->enqueue_time;
+  span.end_time = sim_.now();
+  span.queue_time = ns->queue_s;
+  span.exclusive_time = ns->queue_s + ns->service_s;
+  span.error = !ok;
+  proxy(n.service, ns->cluster).on_request_end(ns->req->cls, span);
+  Done done = std::move(ns->done);
+  done(ok);
+}
+
+void Simulation::run_children(ReqPtr req, std::size_t parent_node,
+                              ClusterId cluster, std::uint64_t parent_span,
+                              Done done) {
   const CallGraph& graph = scenario_.app->traffic_class(req->cls).graph;
   const CallNode& parent = graph.node(parent_node);
   if (parent.children.empty()) {
@@ -323,82 +344,89 @@ void Simulation::run_children(std::shared_ptr<RequestState> req,
   }
 
   // Realize per-child multiplicities (floor + Bernoulli fraction).
-  auto calls = std::make_shared<std::vector<std::size_t>>();
+  auto cs = chain_pool_.make();
   for (std::size_t child : parent.children) {
     const double mult = graph.node(child).multiplicity;
     std::size_t count = static_cast<std::size_t>(std::floor(mult));
     if (rng_routing_.bernoulli(mult - std::floor(mult))) ++count;
-    for (std::size_t i = 0; i < count; ++i) calls->push_back(child);
+    for (std::size_t i = 0; i < count; ++i) {
+      cs->calls.push_back(static_cast<std::uint32_t>(child));
+    }
   }
-  if (calls->empty()) {
+  if (cs->calls.empty()) {
     done(true);
     return;
   }
 
   if (parent.mode == InvocationMode::kParallel) {
     // A parallel fan-out fails if any child failed; siblings are not
-    // cancelled (their responses are awaited, then discarded).
-    auto remaining = std::make_shared<std::size_t>(calls->size());
-    auto all_ok = std::make_shared<bool>(true);
-    auto shared_done = std::make_shared<Done>(std::move(done));
-    for (std::size_t child : *calls) {
-      issue_call(req, child, cluster, parent_span,
-                 [remaining, all_ok, shared_done](bool ok) {
-                   if (!ok) *all_ok = false;
-                   if (--*remaining == 0) (*shared_done)(*all_ok);
+    // cancelled (their responses are awaited, then discarded). The chain
+    // record only carried the realized call list; it recycles on return.
+    auto fs = fanout_pool_.make();
+    fs->remaining = cs->calls.size();
+    fs->all_ok = true;
+    fs->done = std::move(done);
+    for (std::size_t i = 0; i < cs->calls.size(); ++i) {
+      issue_call(req, cs->calls[i], cluster, parent_span,
+                 [this, fs](bool ok) mutable {
+                   if (!ok) fs->all_ok = false;
+                   if (--fs->remaining == 0) {
+                     Done d = std::move(fs->done);
+                     d(fs->all_ok);
+                   }
                  });
     }
     return;
   }
 
-  // Sequential chain; aborts at the first failed child. Ownership of `step`
-  // travels inside the continuation wrappers; the stored closure itself
-  // holds only a weak reference, so requests still in flight when the
-  // simulation ends cannot leak a closure cycle.
-  auto index = std::make_shared<std::size_t>(0);
-  auto step = std::make_shared<Done>();
-  auto shared_done = std::make_shared<Done>(std::move(done));
-  std::weak_ptr<Done> weak_step = step;
-  *step = [this, req, cluster, calls, index, weak_step, shared_done,
-           parent_span](bool ok) {
-    if (!ok) {
-      (*shared_done)(false);
-      return;
-    }
-    if (*index == calls->size()) {
-      (*shared_done)(true);
-      return;
-    }
-    const std::size_t child = (*calls)[(*index)++];
-    // The wrapper keeps the chain alive until the child's response returns.
-    auto strong = weak_step.lock();
-    issue_call(req, child, cluster, parent_span,
-               [strong](bool child_ok) { (*strong)(child_ok); });
-  };
-  (*step)(true);
+  // Sequential chain; aborts at the first failed child. The chain record
+  // owns the parent continuation; the per-child wrapper holds a pool handle,
+  // so requests still in flight when the simulation ends cannot leak a
+  // closure cycle.
+  cs->req = std::move(req);
+  cs->cluster = cluster;
+  cs->parent_span = parent_span;
+  cs->done = std::move(done);
+  chain_next(cs, true);
 }
 
-void Simulation::issue_call(std::shared_ptr<RequestState> req, std::size_t node,
-                            ClusterId from, std::uint64_t parent_span,
-                            Done done) {
+void Simulation::chain_next(const PoolPtr<ChainState>& cs, bool ok) {
+  if (!ok || cs->index == cs->calls.size()) {
+    Done done = std::move(cs->done);
+    done(ok);
+    return;
+  }
+  const std::uint32_t child = cs->calls[cs->index++];
+  issue_call(cs->req, child, cs->cluster, cs->parent_span,
+             [this, cs = cs](bool child_ok) mutable { chain_next(cs, child_ok); });
+}
+
+void Simulation::issue_call(ReqPtr req, std::size_t node, ClusterId from,
+                            std::uint64_t parent_span, Done done) {
   if (config_.failure.enabled) {
     // Each first attempt earns fractional retry credit (Finagle-style
     // budget): retries are bounded at ~ratio x offered call volume.
     retry_tokens_ = std::min(retry_tokens_ + config_.failure.retry_budget_ratio,
                              config_.failure.retry_budget_cap);
   }
-  start_attempt(std::move(req), node, from, parent_span, 0, ClusterId{},
-                std::move(done));
+  auto as = attempt_pool_.make();
+  as->req = std::move(req);
+  as->node = static_cast<std::uint32_t>(node);
+  as->from = from;
+  as->exclude = ClusterId{};
+  as->parent_span = parent_span;
+  as->attempt = 0;
+  as->settled = false;
+  as->done = std::move(done);
+  start_attempt(as);
 }
 
-void Simulation::start_attempt(std::shared_ptr<RequestState> req,
-                               std::size_t node, ClusterId from,
-                               std::uint64_t parent_span, std::size_t attempt,
-                               ClusterId exclude, Done done) {
+void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   const Application& app = *scenario_.app;
-  const CallGraph& graph = app.traffic_class(req->cls).graph;
-  const CallNode& cnode = graph.node(node);
+  const CallGraph& graph = app.traffic_class(as->req->cls).graph;
+  const CallNode& cnode = graph.node(as->node);
   const ServiceId child_svc = cnode.service;
+  const ClusterId from = as->from;
 
   const auto& candidates = candidates_[child_svc.index()];
 
@@ -406,16 +434,16 @@ void Simulation::start_attempt(std::shared_ptr<RequestState> req,
   // attempt failed on when an alternative exists.
   const std::vector<ClusterId>* cand = &candidates;
   std::vector<ClusterId> filtered;
-  if (exclude.valid() && config_.failure.retry_excludes_failed) {
+  if (as->exclude.valid() && config_.failure.retry_excludes_failed) {
     for (ClusterId c : candidates) {
-      if (c != exclude) filtered.push_back(c);
+      if (c != as->exclude) filtered.push_back(c);
     }
     if (!filtered.empty()) cand = &filtered;
   }
 
   RouteQuery query;
-  query.cls = req->cls;
-  query.call_node = node;
+  query.cls = as->req->cls;
+  query.call_node = as->node;
   query.child_service = child_svc;
   query.from = from;
   query.candidates = cand;
@@ -427,57 +455,31 @@ void Simulation::start_attempt(std::shared_ptr<RequestState> req,
   } else {
     to = baseline_policy_->route(query, rng_routing_);
   }
-  if (cand == &filtered && to == exclude) {
+  if (cand == &filtered && to == as->exclude) {
     // Weighted rules ignore the candidate filter; force the failover.
     to = scenario_.topology->nearest(from, filtered);
   }
+  as->to = to;
 
   if (measuring_) {
-    result_.flows[req->cls.index()][node](from.index(), to.index())++;
+    result_.flows[as->req->cls.index()][as->node](from.index(), to.index())++;
   }
   load_view_->observe(child_svc, to);
   egress_.record(from, to, cnode.request_bytes);
 
   const FailurePolicy& fp = config_.failure;
 
-  // Attempt settlement: the first of {response, timeout} wins; the loser
-  // finds `settled` set and does nothing.
-  auto settled = std::make_shared<bool>(false);
-  auto resolve = std::make_shared<std::function<void(bool)>>(
-      [this, req, node, from, parent_span, attempt, to, done](bool ok) mutable {
-        if (ok) {
-          done(true);
-          return;
-        }
-        const FailurePolicy& policy = config_.failure;
-        if (policy.enabled && attempt < policy.max_retries) {
-          if (retry_tokens_ >= 1.0) {
-            retry_tokens_ -= 1.0;
-            ++result_.call_retries;
-            const double backoff =
-                policy.backoff_base *
-                std::pow(policy.backoff_multiplier,
-                         static_cast<double>(attempt));
-            sim_.schedule_after(
-                backoff,
-                [this, req, node, from, parent_span, attempt, to,
-                 done]() mutable {
-                  start_attempt(req, node, from, parent_span, attempt + 1, to,
-                                std::move(done));
-                });
-            return;
-          }
-          ++result_.retry_budget_denials;
-        }
-        done(false);
-      });
+  // Attempt settlement: the first of {response, timeout} wins. The attempt
+  // record is reused across retries, so every event of this attempt carries
+  // its generation and drops itself if a retry has superseded it.
+  const std::uint32_t gen = as->attempt;
 
   if (fp.enabled && fp.call_timeout > 0.0) {
-    sim_.schedule_after(fp.call_timeout, [this, settled, resolve]() {
-      if (*settled) return;
-      *settled = true;
+    sim_.schedule_after(fp.call_timeout, [this, as, gen]() {
+      if (as->attempt != gen || as->settled) return;
+      as->settled = true;
       ++result_.call_timeouts;
-      (*resolve)(false);
+      settle_attempt(as, false);
     });
   }
 
@@ -487,30 +489,64 @@ void Simulation::start_attempt(std::shared_ptr<RequestState> req,
   if (injector_ != nullptr && injector_->link_partitioned(from, to)) return;
 
   const double out = net_delay(from, to);
-  sim_.schedule_after(out, [this, req = std::move(req), node, from, to,
-                            parent_span, settled, resolve]() mutable {
+  sim_.schedule_after(out, [this, as, gen]() mutable {
     // Deadline propagation: an attempt abandoned before the request
     // arrived is not executed by the server.
-    if (*settled) return;
+    if (as->attempt != gen || as->settled) return;
+    ReqPtr req = as->req;
+    const ClusterId from = as->from;
+    const ClusterId to = as->to;
+    // The response continuation pins this generation's endpoints by value:
+    // by the time it fires a retry may have re-aimed the attempt record.
     execute_node(
-        req, node, to, parent_span,
-        [this, req, node, from, to, settled, resolve](bool ok) {
+        std::move(req), as->node, to, as->parent_span,
+        [this, as, gen, from, to](bool ok) mutable {
           // Response leg (errors travel back too, but pay no egress).
           if (injector_ != nullptr && injector_->link_partitioned(to, from)) {
             return;  // response lost; the caller's timeout settles it
           }
           if (ok) {
-            const CallGraph& g = scenario_.app->traffic_class(req->cls).graph;
-            egress_.record(to, from, g.node(node).response_bytes);
+            const CallGraph& g =
+                scenario_.app->traffic_class(as->req->cls).graph;
+            egress_.record(to, from, g.node(as->node).response_bytes);
           }
           const double back = net_delay(to, from);
-          sim_.schedule_after(back, [settled, resolve, ok]() {
-            if (*settled) return;
-            *settled = true;
-            (*resolve)(ok);
+          sim_.schedule_after(back, [this, as, gen, ok]() {
+            if (as->attempt != gen || as->settled) return;
+            as->settled = true;
+            settle_attempt(as, ok);
           });
         });
   });
+}
+
+void Simulation::settle_attempt(const PoolPtr<AttemptState>& as, bool ok) {
+  if (ok) {
+    Done done = std::move(as->done);
+    done(true);
+    return;
+  }
+  const FailurePolicy& policy = config_.failure;
+  if (policy.enabled && as->attempt < policy.max_retries) {
+    if (retry_tokens_ >= 1.0) {
+      retry_tokens_ -= 1.0;
+      ++result_.call_retries;
+      const double backoff =
+          policy.backoff_base *
+          std::pow(policy.backoff_multiplier, static_cast<double>(as->attempt));
+      // Re-arm the same attempt record: bump the generation (stale events
+      // of this attempt drop themselves) and steer away from the cluster
+      // that just failed.
+      as->exclude = as->to;
+      ++as->attempt;
+      as->settled = false;
+      sim_.schedule_after(backoff, [this, as]() { start_attempt(as); });
+      return;
+    }
+    ++result_.retry_budget_denials;
+  }
+  Done done = std::move(as->done);
+  done(false);
 }
 
 void Simulation::control_tick() {
@@ -602,6 +638,7 @@ ExperimentResult Simulation::run() {
   sim_.run_until(config_.duration);
 
   // Finalize.
+  result_.sim_events = sim_.events_executed();
   result_.measured_seconds = config_.duration - config_.warmup;
   result_.egress_bytes = egress_.total_egress_bytes();
   result_.local_bytes = egress_.total_local_bytes();

@@ -23,7 +23,7 @@
 // engine consults at each decision point.
 #pragma once
 
-#include <functional>
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -36,6 +36,8 @@
 #include "runtime/experiment.h"
 #include "sim/simulator.h"
 #include "telemetry/span.h"
+#include "util/inline_function.h"
+#include "util/pool.h"
 #include "workload/arrival.h"
 
 namespace slate {
@@ -68,15 +70,90 @@ class Simulation {
   }
 
  private:
+  // Continuation of one call-tree node; `ok` is false when the subtree
+  // failed (rejection, timeout, exhausted retries). 32-byte inline buffer:
+  // hot-path continuations capture {this, pooled-state handle} and stay
+  // allocation-free; only rare cold paths (front-door redirects) spill.
+  using Done = InlineFunction<void(bool ok), 32>;
+
   struct RequestState {
     RequestId id;
     ClassId cls;
     ClusterId ingress;
     double arrival_time = 0.0;
   };
-  // Continuation of one call-tree node; `ok` is false when the subtree
-  // failed (rejection, timeout, exhausted retries).
-  using Done = std::function<void(bool ok)>;
+  using ReqPtr = PoolPtr<RequestState>;
+
+  // The realized child-call list of one node. Multiplicities are small;
+  // the inline array covers the common case, a heap vector the tail.
+  class CallList {
+   public:
+    void push_back(std::uint32_t node) {
+      if (count_ < kInline) {
+        inline_[count_] = node;
+      } else {
+        overflow_.push_back(node);
+      }
+      ++count_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::uint32_t operator[](std::size_t i) const noexcept {
+      return i < kInline ? inline_[i] : overflow_[i - kInline];
+    }
+
+   private:
+    static constexpr std::size_t kInline = 8;
+    std::array<std::uint32_t, kInline> inline_{};
+    std::uint32_t count_ = 0;
+    std::vector<std::uint32_t> overflow_;
+  };
+
+  // One executing call-tree node: alive from station submission until its
+  // span is emitted and `done` fired.
+  struct NodeState {
+    ReqPtr req;
+    std::uint32_t node = 0;
+    ClusterId cluster;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span = 0;
+    double enqueue_time = 0.0;
+    double queue_s = 0.0;
+    double service_s = 0.0;
+    Done done;
+  };
+
+  // Sequential child chain of one node.
+  struct ChainState {
+    ReqPtr req;
+    ClusterId cluster;
+    std::uint64_t parent_span = 0;
+    CallList calls;
+    std::size_t index = 0;
+    Done done;
+  };
+
+  // Parallel child fan-out of one node.
+  struct FanoutState {
+    std::size_t remaining = 0;
+    bool all_ok = true;
+    Done done;
+  };
+
+  // One logical call (possibly several routed attempts). Reused across
+  // retries; `attempt` doubles as the generation counter that lets stale
+  // events of a superseded attempt recognize themselves.
+  struct AttemptState {
+    ReqPtr req;
+    std::uint32_t node = 0;
+    ClusterId from;
+    ClusterId to;
+    ClusterId exclude;  // cluster the previous attempt failed on
+    std::uint64_t parent_span = 0;
+    std::uint32_t attempt = 0;
+    bool settled = false;
+    Done done;
+  };
 
   [[nodiscard]] std::size_t station_index(ServiceId s, ClusterId c) const {
     return s.index() * cluster_count_ + c.index();
@@ -94,21 +171,26 @@ class Simulation {
   // ok=false when the cluster refused the request or a child subtree
   // failed. `parent_span` is the caller's span id (trace-context
   // propagation; 0 at the root).
-  void execute_node(std::shared_ptr<RequestState> req, std::size_t node,
-                    ClusterId cluster, std::uint64_t parent_span, Done done);
+  void execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
+                    std::uint64_t parent_span, Done done);
+  // Emits the node's span and fires its continuation.
+  void finish_node(const PoolPtr<NodeState>& ns, bool ok);
   // Issues the call for child `node` from `from`: routes, pays the network
   // and egress both ways, recurses, retrying failed attempts per
   // config_.failure. `done` fires when the call settles at `from`.
-  void issue_call(std::shared_ptr<RequestState> req, std::size_t node,
-                  ClusterId from, std::uint64_t parent_span, Done done);
-  // One routed attempt of a call; `exclude` steers the route away from the
-  // cluster a previous attempt failed on.
-  void start_attempt(std::shared_ptr<RequestState> req, std::size_t node,
-                     ClusterId from, std::uint64_t parent_span,
-                     std::size_t attempt, ClusterId exclude, Done done);
+  void issue_call(ReqPtr req, std::size_t node, ClusterId from,
+                  std::uint64_t parent_span, Done done);
+  // One routed attempt of the call described by `as` (fields set by
+  // issue_call / the preceding attempt's retry path).
+  void start_attempt(const PoolPtr<AttemptState>& as);
+  // Terminal verdict of the current attempt: ok completes the call, a
+  // failure retries (budget permitting) or fails the call.
+  void settle_attempt(const PoolPtr<AttemptState>& as, bool ok);
   // Runs `children[index...]` per the parent's invocation mode.
-  void run_children(std::shared_ptr<RequestState> req, std::size_t parent_node,
-                    ClusterId cluster, std::uint64_t parent_span, Done done);
+  void run_children(ReqPtr req, std::size_t parent_node, ClusterId cluster,
+                    std::uint64_t parent_span, Done done);
+  // Advances a sequential child chain after the previous child settled.
+  void chain_next(const PoolPtr<ChainState>& cs, bool ok);
 
   // One fault-aware network latency draw for a message from -> to.
   [[nodiscard]] double net_delay(ClusterId from, ClusterId to);
@@ -125,6 +207,15 @@ class Simulation {
   const Scenario& scenario_;
   RunConfig config_;
   std::size_t cluster_count_;
+
+  // Hot-path control-block pools. Declared before every consumer (the
+  // simulator's event queue and the stations' job queues hold PoolPtrs that
+  // are released during their destruction), so the pools are destroyed last.
+  Pool<RequestState> request_pool_;
+  Pool<NodeState> node_pool_;
+  Pool<ChainState> chain_pool_;
+  Pool<FanoutState> fanout_pool_;
+  Pool<AttemptState> attempt_pool_;
 
   Simulator sim_;
   Rng rng_root_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -7,11 +8,55 @@
 
 namespace slate {
 
+Simulator::Simulator() {
+  // Typical experiments keep thousands of events in flight; start with a
+  // capacity that makes early growth reallocations rare.
+  events_.reserve(1024);
+}
+
+void Simulator::push_event(Event event) {
+  events_.push_back(std::move(event));
+  // Sift up with a hole: move parents down until the new event's position
+  // is found, then drop it in — one relocation per level instead of a swap.
+  std::size_t i = events_.size() - 1;
+  Event item = std::move(events_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!runs_before(item, events_[parent])) break;
+    events_[i] = std::move(events_[parent]);
+    i = parent;
+  }
+  events_[i] = std::move(item);
+}
+
+void Simulator::pop_min() {
+  assert(!events_.empty());
+  Event tail = std::move(events_.back());
+  events_.pop_back();
+  if (events_.empty()) return;
+  // Sift the old tail down from the root.
+  const std::size_t n = events_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * kHeapArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kHeapArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (runs_before(events_[c], events_[best])) best = c;
+    }
+    if (!runs_before(events_[best], tail)) break;
+    events_[i] = std::move(events_[best]);
+    i = best;
+  }
+  events_[i] = std::move(tail);
+}
+
 void Simulator::schedule_at(SimTime when, Callback fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  push_event(Event{when, next_seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_after(SimTime delay, Callback fn) {
@@ -26,13 +71,13 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::run_until(SimTime until) {
   stopped_ = false;
   std::uint64_t ran = 0;
-  while (!queue_.empty() && !stopped_) {
-    const Event& top = queue_.top();
+  while (!events_.empty() && !stopped_) {
+    Event& top = events_.front();
     if (top.time > until) break;
     // Move the callback out before popping so it can schedule new events.
-    Callback fn = std::move(const_cast<Event&>(top).fn);
+    Callback fn = std::move(top.fn);
     now_ = top.time;
-    queue_.pop();
+    pop_min();
     fn();
     ++ran;
     ++executed_;
@@ -49,26 +94,44 @@ Simulator::PeriodicHandle Simulator::schedule_periodic(SimTime interval,
   if (!(interval > 0.0)) {
     throw std::invalid_argument("Simulator::schedule_periodic: interval <= 0");
   }
+  // Drop owners whose tasks were cancelled (their closures are already
+  // released; this bounds the owner list under timer churn).
+  std::erase_if(periodic_tasks_, [](const std::shared_ptr<PeriodicTask>& t) {
+    return t->cancelled;
+  });
+
+  auto task = std::make_shared<PeriodicTask>();
+  task->user = std::move(fn);
+  periodic_tasks_.push_back(task);
+
   PeriodicHandle handle;
   handle.alive_ = std::make_shared<bool>(true);
-  // The simulator owns the repeating closure; scheduled copies capture only
-  // a weak reference, so no ownership cycle exists and still-active tasks
-  // are released when the simulator is destroyed.
-  auto tick = std::make_shared<Callback>();
-  periodic_tasks_.push_back(tick);
-  std::weak_ptr<Callback> weak_tick = tick;
-  std::shared_ptr<bool> alive = handle.alive_;
-  *tick = [this, interval, alive, weak_tick, user = std::move(fn)]() {
-    if (!*alive) return;
-    user();
-    if (*alive) {
-      if (const auto strong = weak_tick.lock()) {
-        schedule_after(interval, *strong);
-      }
-    }
-  };
-  schedule_after(interval, *tick);
+  handle.task_ = task;
+  arm_periodic(task, handle.alive_, interval);
   return handle;
+}
+
+void Simulator::arm_periodic(std::weak_ptr<PeriodicTask> task,
+                             std::shared_ptr<bool> alive, SimTime interval) {
+  // The tick holds only a weak reference to the closure owner, so a
+  // destroyed simulator (or a cancelled task) cannot keep it alive.
+  schedule_after(interval, [this, task = std::move(task),
+                            alive = std::move(alive), interval]() {
+    if (!*alive) return;
+    const auto strong = task.lock();
+    if (strong == nullptr || strong->cancelled || !strong->user) return;
+    strong->running = true;
+    strong->user();
+    strong->running = false;
+    if (!*alive || strong->cancelled) {
+      // Cancelled from inside user(): release the closure now that it has
+      // returned (PeriodicHandle::cancel deferred to us).
+      strong->cancelled = true;
+      strong->user = nullptr;
+      return;
+    }
+    arm_periodic(task, alive, interval);
+  });
 }
 
 }  // namespace slate

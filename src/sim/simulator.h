@@ -4,24 +4,32 @@
 // ordered by (time, insertion sequence); the sequence tie-break makes runs
 // fully deterministic regardless of heap internals. All SLATE experiments run
 // on this engine; nothing in it knows about services or networks.
+//
+// Hot-path design: callbacks are InlineCallback (64-byte small-buffer
+// optimization — scheduling a typical closure allocates nothing), and the
+// pending-event queue is a reserved 4-ary implicit heap (shallower than a
+// binary heap, sift path touches one cache line of children per level).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
+
+#include "util/inline_function.h"
 
 namespace slate {
 
 // Simulated time, in seconds.
 using SimTime = double;
 
+// The engine's closure type: move-only, 64-byte inline capture buffer.
+using InlineCallback = InlineFunction<void(), 64>;
+
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -35,6 +43,10 @@ class Simulator {
   // Schedules `fn` `delay` seconds from now. Negative delays are clamped to 0.
   void schedule_after(SimTime delay, Callback fn);
 
+  // Pre-sizes the event queue (amortizes vector growth for runs whose
+  // event population is known to be large).
+  void reserve_events(std::size_t n) { events_.reserve(n); }
+
   // Runs events until the queue is empty or stop() is called.
   // Returns the number of events executed.
   std::uint64_t run();
@@ -46,22 +58,42 @@ class Simulator {
   // Makes run()/run_until() return after the current event completes.
   void stop() noexcept { stopped_ = true; }
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
+ private:
+  // Owner of one repeating task's closure. Shared by the simulator (owner),
+  // weakly by the scheduled tick events, and weakly by handles.
+  struct PeriodicTask {
+    Callback user;
+    bool running = false;    // user() currently executing
+    bool cancelled = false;  // no further firings; user is (or will be) released
+  };
+
+ public:
   // A cancellable repeating task. Destroying the handle does NOT cancel;
-  // call cancel(). First firing is at now() + interval.
+  // call cancel(). First firing is at now() + interval. Cancelling releases
+  // the task's closure immediately (or, if the closure is presently
+  // executing, right after it returns) — cancelled timers do not accumulate
+  // dead closures for the simulator's lifetime.
   class PeriodicHandle {
    public:
     void cancel() noexcept {
       if (alive_) *alive_ = false;
+      if (const auto task = task_.lock()) {
+        task->cancelled = true;
+        // Release the owned closure now unless it is mid-execution (the
+        // tick releases it on return in that case).
+        if (!task->running) task->user = nullptr;
+      }
     }
     [[nodiscard]] bool active() const noexcept { return alive_ && *alive_; }
 
    private:
     friend class Simulator;
     std::shared_ptr<bool> alive_;
+    std::weak_ptr<PeriodicTask> task_;
   };
 
   // RAII wrapper over PeriodicHandle: cancels on destruction. Move-only.
@@ -110,17 +142,26 @@ class Simulator {
     std::uint64_t seq;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Owners of periodic-task closures (see schedule_periodic); entries live
-  // until the simulator is destroyed.
-  std::vector<std::shared_ptr<Callback>> periodic_tasks_;
+  // (time, seq) total order — `a` runs strictly before `b`.
+  static bool runs_before(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void push_event(Event event);
+  // Removes the minimum event. Requires a non-empty queue.
+  void pop_min();
+
+  void arm_periodic(std::weak_ptr<PeriodicTask> task,
+                    std::shared_ptr<bool> alive, SimTime interval);
+
+  // 4-ary implicit min-heap over (time, seq).
+  static constexpr std::size_t kHeapArity = 4;
+  std::vector<Event> events_;
+  // Owners of periodic-task closures. Cancelled entries are pruned on the
+  // next schedule_periodic; their closures are released at cancel time.
+  std::vector<std::shared_ptr<PeriodicTask>> periodic_tasks_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

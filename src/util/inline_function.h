@@ -1,0 +1,165 @@
+// Small-buffer-optimized move-only callable wrapper.
+//
+// The simulator executes millions of closures per run; std::function's
+// 16-byte inline buffer (libstdc++) pushes nearly every capture onto the
+// heap. InlineFunction<Sig, N> stores callables up to N bytes inline (no
+// allocation, default 64 — two cache lines including the vtable pointer)
+// and falls back to the heap only for fat captures. Unlike std::function it
+// requires only move-constructibility, so closures may own move-only
+// resources (pool handles, other InlineFunctions).
+//
+// Deliberately minimal: no copy, no target_type, no allocator support —
+// exactly what a hot event loop needs and nothing more.
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace slate {
+
+template <typename Sig, std::size_t InlineSize = 64>
+class InlineFunction;  // undefined; specialized below
+
+template <typename R, typename... Args, std::size_t InlineSize>
+class InlineFunction<R(Args...), InlineSize> {
+ public:
+  static constexpr std::size_t inline_size = InlineSize;
+
+  // Does a callable of type F live in the inline buffer (vs the heap)?
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= InlineSize && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction& operator=(F&& fn) {
+    reset();
+    construct(std::forward<F>(fn));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    if (vtable_ == nullptr) throw std::bad_function_call();
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  // True when the held callable lives in the inline buffer. Empty functions
+  // report true (nothing was heap-allocated).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vtable_ == nullptr || vtable_->heap == false;
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-construct the callable of `src` into `dst`, then destroy src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename F>
+  void construct(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<Fn>) {
+      static constexpr VTable vtable = {
+          [](void* storage, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) noexcept {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+          },
+          [](void* storage) noexcept {
+            std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+          },
+          /*heap=*/false,
+      };
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vtable_ = &vtable;
+    } else {
+      static constexpr VTable vtable = {
+          [](void* storage, Args&&... args) -> R {
+            return (**std::launder(reinterpret_cast<Fn**>(storage)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) noexcept {
+            // Heap target: relocation is a pointer move.
+            Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+            ::new (dst) (Fn*)(*from);
+          },
+          [](void* storage) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(storage));
+          },
+          /*heap=*/true,
+      };
+      Fn* heap_fn = new Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(storage_)) (Fn*)(heap_fn);
+      vtable_ = &vtable;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[InlineSize];
+};
+
+}  // namespace slate

@@ -39,13 +39,6 @@ double StreamingStats::variance() const noexcept {
 
 double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-double SampleSet::mean() const noexcept {
-  if (samples_.empty()) return 0.0;
-  double sum = 0.0;
-  for (double s : samples_) sum += s;
-  return sum / static_cast<double>(samples_.size());
-}
-
 double SampleSet::quantile(double q) const {
   if (samples_.empty()) return 0.0;
   assert(q >= 0.0 && q <= 1.0);

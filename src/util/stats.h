@@ -41,24 +41,45 @@ class SampleSet {
   void add(double x) {
     samples_.push_back(x);
     sorted_ = false;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
   }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
-  [[nodiscard]] double mean() const noexcept;
+  // O(1): the sum streams alongside add().
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.empty() ? 0.0
+                            : sum_ / static_cast<double>(samples_.size());
+  }
   // Linear-interpolated quantile, q in [0, 1]. Returns 0 for an empty set
   // (mirrors mean()). Sorts lazily; amortized cost is one sort per batch of
-  // queries.
+  // queries, and interleaved add() calls only mark the cache dirty.
   [[nodiscard]] double quantile(double q) const;
-  [[nodiscard]] double min() const { return quantile(0.0); }
-  [[nodiscard]] double max() const { return quantile(1.0); }
+  // O(1): extremes stream alongside add() — no sort needed.
+  [[nodiscard]] double min() const noexcept {
+    return samples_.empty() ? 0.0 : min_;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return samples_.empty() ? 0.0 : max_;
+  }
   [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
-  void clear() noexcept { samples_.clear(); sorted_ = true; }
+  void clear() noexcept {
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
 
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 // Ordinary least squares fit of y = a + b*x. Returns {a, b, r_squared}.

@@ -1,0 +1,148 @@
+#include "util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace slate {
+namespace {
+
+TEST(InlineFunction, EmptyThrowsBadFunctionCall) {
+  InlineFunction<int()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_THROW(fn(), std::bad_function_call);
+  InlineFunction<int()> null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFunction, SmallCaptureStoresInline) {
+  int x = 41;
+  InlineFunction<int()> fn = [x]() { return x + 1; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunction, FatCaptureFallsBackToHeap) {
+  // 128 bytes of capture cannot fit a 64-byte buffer.
+  struct Fat {
+    double values[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  } fat;
+  InlineFunction<double()> fn = [fat]() { return fat.values[15]; };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 16.0);
+}
+
+TEST(InlineFunction, CustomBufferSizeBoundary) {
+  struct Bytes32 {
+    char data[32] = {7};
+  } b;
+  InlineFunction<char(), 32> fits = [b]() { return b.data[0]; };
+  EXPECT_TRUE(fits.is_inline());
+  EXPECT_EQ(fits(), 7);
+
+  struct Bytes40 {
+    char data[40] = {9};
+  } big;
+  InlineFunction<char(), 32> spills = [big]() { return big.data[0]; };
+  EXPECT_FALSE(spills.is_inline());
+  EXPECT_EQ(spills(), 9);
+}
+
+TEST(InlineFunction, MoveTransfersInlineTarget) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction<void()> a = [counter]() { ++*counter; };
+  EXPECT_TRUE(a.is_inline());
+
+  InlineFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+
+  InlineFunction<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineFunction, MoveTransfersHeapTarget) {
+  struct Fat {
+    std::shared_ptr<int> counter;
+    double pad[16] = {};
+  };
+  auto counter = std::make_shared<int>(0);
+  Fat fat;
+  fat.counter = counter;
+  InlineFunction<void()> a = [fat]() { ++*fat.counter; };
+  EXPECT_FALSE(a.is_inline());
+
+  InlineFunction<void()> b = std::move(a);
+  b();
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFunction, DestroysCapturedStateOnReset) {
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = tracked;
+  InlineFunction<void()> fn = [tracked]() {};
+  tracked.reset();
+  EXPECT_FALSE(weak.expired());
+  fn.reset();
+  EXPECT_TRUE(weak.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, DestroysCapturedStateOnDestruction) {
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = tracked;
+  {
+    InlineFunction<void()> fn = [tracked]() {};
+    tracked.reset();
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks) {
+  // std::function cannot hold this closure; InlineFunction must.
+  auto owned = std::make_unique<int>(5);
+  InlineFunction<int()> fn = [owned = std::move(owned)]() { return *owned; };
+  EXPECT_EQ(fn(), 5);
+}
+
+TEST(InlineFunction, NestedInlineFunctionCapture) {
+  InlineFunction<int(), 32> inner = []() { return 3; };
+  InlineFunction<int()> outer = [inner = std::move(inner)]() mutable {
+    return inner() + 1;
+  };
+  EXPECT_EQ(outer(), 4);
+}
+
+TEST(InlineFunction, ArgumentsAndReturnValues) {
+  InlineFunction<double(double, double)> fn = [](double a, double b) {
+    return a * b;
+  };
+  EXPECT_EQ(fn(6.0, 7.0), 42.0);
+}
+
+TEST(InlineFunction, ReassignmentReplacesTarget) {
+  InlineFunction<int()> fn = []() { return 1; };
+  EXPECT_EQ(fn(), 1);
+  fn = []() { return 2; };
+  EXPECT_EQ(fn(), 2);
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, SelfMoveAssignIsSafe) {
+  InlineFunction<int()> fn = []() { return 9; };
+  InlineFunction<int()>& alias = fn;
+  fn = std::move(alias);
+  EXPECT_EQ(fn(), 9);
+}
+
+}  // namespace
+}  // namespace slate

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulation engine.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -126,6 +127,34 @@ TEST(Simulator, PeriodicCancel) {
   sim.run_until(10.0);
   EXPECT_EQ(fires, 3);
   EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulator, PeriodicCancelReleasesClosure) {
+  // A cancelled periodic must free its closure immediately, not hold it
+  // until the simulator is destroyed.
+  Simulator sim;
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = tracked;
+  auto handle = sim.schedule_periodic(1.0, [tracked] {});
+  tracked.reset();
+  sim.run_until(2.5);
+  EXPECT_FALSE(weak.expired());
+  handle.cancel();
+  EXPECT_TRUE(weak.expired()) << "cancel() leaked the periodic closure";
+  sim.run_until(10.0);  // pending ticks for the dead task must be inert
+}
+
+TEST(Simulator, PeriodicSelfCancelReleasesClosureAfterTick) {
+  // cancel() from inside the callback defers the release until the tick
+  // returns (the closure is executing), but must still happen.
+  Simulator sim;
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = tracked;
+  Simulator::PeriodicHandle handle;
+  handle = sim.schedule_periodic(1.0, [&handle, tracked] { handle.cancel(); });
+  tracked.reset();
+  sim.run_until(5.0);
+  EXPECT_TRUE(weak.expired());
 }
 
 TEST(Simulator, PeriodicBadIntervalThrows) {

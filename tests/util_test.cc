@@ -233,6 +233,35 @@ TEST(SampleSet, MeanAndClear) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(SampleSet, StreamingExtremesNeedNoSort) {
+  // min/max/mean stream alongside add() and must not depend on quantile()
+  // having sorted the samples first.
+  SampleSet s;
+  for (double x : {5.0, -2.0, 9.0, 0.5}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.125);
+  // samples() still reflects insertion order: nothing sorted yet.
+  EXPECT_EQ(s.samples().front(), 5.0);
+  s.add(-7.0);  // extremes update after a quantile-free history too
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, EmptyExtremesAreZero) {
+  SampleSet s;
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.add(4.0);
+  s.clear();
+  EXPECT_EQ(s.min(), 0.0);  // clear() must reset the streamed extremes
+  EXPECT_EQ(s.max(), 0.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
 // --- fit_line ----------------------------------------------------------------
 
 TEST(FitLine, ExactLine) {
