@@ -157,6 +157,16 @@ int main(int argc, char** argv) {
     c.failure.enabled = true;
     c.failure.call_timeout = 0.5;
     rows.push_back(run_case("chain-2c-failure", scenario, c));
+    // Full overload stack armed (bounded queues + CoDel, deadline
+    // propagation, breakers): the gates sit on every submit/dispatch, so
+    // this run prices the per-event overhead of the protection machinery.
+    RunConfig o = c;
+    o.overload.queue.max_queue = 64;
+    o.overload.queue.codel_target = 0.02;
+    o.overload.deadline.enabled = true;
+    o.overload.deadline.default_deadline = 0.5;
+    o.overload.breaker.enabled = true;
+    rows.push_back(run_case("chain-2c-overload", scenario, o));
   }
   {
     Scenario scenario = make_uniform_scenario(

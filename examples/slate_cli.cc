@@ -12,6 +12,9 @@
 //   --timeout=<seconds>    per-call timeout (enables failure handling)
 //   --retries=<n>          max retries per call (enables failure handling)
 //   --no-faults            ignore the scenario's fault plan
+//   --queue-limit=<n>      bound every station queue at n jobs (overload)
+//   --deadline=<seconds>   end-to-end deadline with propagation (overload)
+//   --no-overload          ignore the scenario's overload directives
 //   --cdf                  print the latency CDF
 //   --seeds=<n>            run n replications (derived seeds) and report
 //                          mean +/- 95% CI across them (default 1)
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   config.warmup = 15.0;
   bool print_cdf = false;
   bool drop_faults = false;
+  bool drop_overload = false;
   std::size_t seeds = 1;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string value;
@@ -98,6 +102,13 @@ int main(int argc, char** argv) {
       config.failure.max_retries = std::stoull(value);
     } else if (std::strcmp(argv[i], "--no-faults") == 0) {
       drop_faults = true;
+    } else if (parse_flag(argv[i], "--queue-limit", &value)) {
+      config.overload.queue.max_queue = std::stoull(value);
+    } else if (parse_flag(argv[i], "--deadline", &value)) {
+      config.overload.deadline.enabled = true;
+      config.overload.deadline.default_deadline = std::stod(value);
+    } else if (std::strcmp(argv[i], "--no-overload") == 0) {
+      drop_overload = true;
     } else if (std::strcmp(argv[i], "--cdf") == 0) {
       print_cdf = true;
     } else if (parse_flag(argv[i], "--seeds", &value)) {
@@ -119,6 +130,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (drop_faults) scenario.faults.clear();
+  if (drop_overload) scenario.overload = OverloadPolicy{};
 
   // Replications: seed i is derived from the base seed, and every replicate
   // is an independent grid job, so `--jobs` changes wall-clock only.
@@ -189,6 +201,37 @@ int main(int argc, char** argv) {
         r.goodput_rps(), static_cast<unsigned long long>(r.call_timeouts),
         static_cast<unsigned long long>(r.call_retries),
         static_cast<unsigned long long>(r.call_rejections));
+  }
+  if (r.call_retries + r.call_timeouts + r.retry_budget_denials > 0) {
+    for (ClassId k : scenario.app->all_classes()) {
+      const std::size_t i = k.index();
+      if (r.call_retries_by_class[i] + r.call_timeouts_by_class[i] +
+              r.retry_budget_denials_by_class[i] ==
+          0) {
+        continue;
+      }
+      std::printf(
+          "  class %-12s %llu retries / %llu timeouts / %llu budget denials\n",
+          scenario.app->traffic_class(k).name.c_str(),
+          static_cast<unsigned long long>(r.call_retries_by_class[i]),
+          static_cast<unsigned long long>(r.call_timeouts_by_class[i]),
+          static_cast<unsigned long long>(r.retry_budget_denials_by_class[i]));
+    }
+  }
+  if (r.total_shed() + r.deadline_cancellations + r.breaker_ejections > 0) {
+    std::printf(
+        "  overload %llu shed (%llu full / %llu delay / %llu evicted), "
+        "%llu deadline cancellations, %llu breaker ejections\n",
+        static_cast<unsigned long long>(r.total_shed()),
+        static_cast<unsigned long long>(r.shed_queue_full),
+        static_cast<unsigned long long>(r.shed_queue_delay),
+        static_cast<unsigned long long>(r.shed_evictions),
+        static_cast<unsigned long long>(r.deadline_cancellations),
+        static_cast<unsigned long long>(r.breaker_ejections));
+    if (r.wasted_server_seconds > 0.0) {
+      std::printf("  overload %.3f wasted server-seconds (expired work served)\n",
+                  r.wasted_server_seconds);
+    }
   }
   if (r.autoscaler_scale_ups + r.autoscaler_scale_downs > 0) {
     std::printf("  autoscaler: %llu up / %llu down\n",

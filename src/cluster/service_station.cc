@@ -19,6 +19,14 @@ ServiceStation::ServiceStation(Simulator& sim, Rng rng, ServiceId service,
   }
 }
 
+void ServiceStation::configure_overload(const StationOverloadConfig& config) {
+  if (config.codel_target > 0.0 && config.codel_interval <= 0.0) {
+    throw std::invalid_argument(
+        "ServiceStation: codel_interval must be > 0 when codel_target is set");
+  }
+  overload_ = config;
+}
+
 void ServiceStation::set_servers(unsigned servers) {
   if (servers == 0) {
     throw std::invalid_argument("ServiceStation: servers must be >= 1");
@@ -30,10 +38,64 @@ void ServiceStation::set_servers(unsigned servers) {
   try_dispatch();
 }
 
-void ServiceStation::submit(double service_time_mean, Completion on_complete) {
+bool ServiceStation::submit(const JobSpec& spec, Completion on_complete) {
+  const double now = sim_.now();
+  auto reject = [&](JobOutcome outcome) {
+    ++shed_;
+    if (on_complete) on_complete(outcome, 0.0, 0.0);
+    return false;
+  };
+  // Deadline already blown: refuse at the door rather than queue doomed
+  // work.
+  if (overload_.cancel_expired && spec.deadline <= now) {
+    return reject(JobOutcome::kExpired);
+  }
+  if (codel_shedding_) {
+    if (queue_.empty()) {
+      // Standing queue drained; the shedder disarms instantly.
+      codel_shedding_ = false;
+      codel_above_since_ = -1.0;
+    } else {
+      return reject(JobOutcome::kShedQueueDelay);
+    }
+  }
+  if (overload_.max_queue > 0 && queue_.size() >= overload_.max_queue) {
+    // Full. Priority shedding: evict the lowest-priority queued job if the
+    // arrival outranks it (ties keep the incumbent); otherwise shed the
+    // arrival itself.
+    std::size_t victim = queue_.size();
+    if (overload_.priority_shedding) {
+      int victim_priority = spec.priority;
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        // `<=` prefers the youngest among equal-lowest victims: it has
+        // waited least, so evicting it wastes the least queueing.
+        if (queue_[i].priority < spec.priority &&
+            queue_[i].priority <= victim_priority) {
+          victim = i;
+          victim_priority = queue_[i].priority;
+        }
+      }
+    }
+    if (victim == queue_.size()) {
+      return reject(JobOutcome::kShedQueueFull);
+    }
+    Job evictee = std::move(queue_[victim]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++evicted_;
+    ++submitted_;
+    queue_.push_back(Job{spec.service_time_mean, std::move(on_complete), now,
+                         spec.priority, spec.deadline});
+    if (evictee.on_complete) {
+      evictee.on_complete(JobOutcome::kEvicted, now - evictee.enqueue_time, 0.0);
+    }
+    try_dispatch();
+    return true;
+  }
   ++submitted_;
-  queue_.push_back(Job{service_time_mean, std::move(on_complete), sim_.now()});
+  queue_.push_back(Job{spec.service_time_mean, std::move(on_complete), now,
+                       spec.priority, spec.deadline});
   try_dispatch();
+  return true;
 }
 
 void ServiceStation::account_busy_time() noexcept {
@@ -44,15 +106,47 @@ void ServiceStation::account_busy_time() noexcept {
   last_busy_change_ = sim_.now();
 }
 
+void ServiceStation::observe_queue_delay(double delay) noexcept {
+  if (overload_.codel_target <= 0.0) return;
+  const double now = sim_.now();
+  if (delay <= overload_.codel_target) {
+    codel_shedding_ = false;
+    codel_above_since_ = -1.0;
+    return;
+  }
+  if (codel_above_since_ < 0.0) {
+    codel_above_since_ = now;
+  } else if (now - codel_above_since_ >= overload_.codel_interval) {
+    codel_shedding_ = true;
+  }
+}
+
 void ServiceStation::try_dispatch() {
   while (busy_ < servers_ && !queue_.empty()) {
     Job job = std::move(queue_.front());
     queue_.pop_front();
+    const double now = sim_.now();
+    const double queue_seconds = now - job.enqueue_time;
+    queue_delay_window_.add(queue_seconds);
+    observe_queue_delay(queue_seconds);
+    if (overload_.cancel_expired && job.deadline <= now) {
+      // Deadline expired while queued: cancel instead of burning a server
+      // on work nobody is waiting for.
+      ++cancelled_;
+      if (job.on_complete) {
+        job.on_complete(JobOutcome::kCancelled, queue_seconds, 0.0);
+      }
+      continue;
+    }
     account_busy_time();
     ++busy_;
     const double service_time =
         job.service_time_mean > 0.0 ? rng_.exponential(job.service_time_mean) : 0.0;
-    const double queue_seconds = sim_.now() - job.enqueue_time;
+    if (job.deadline <= now) {
+      // Only reachable with cancel_expired off: the doomed-work pathology
+      // deadline propagation eliminates, made measurable.
+      wasted_server_seconds_ += service_time;
+    }
     // Capture exactly {this, completion, 2 doubles} = 64 bytes — inline in
     // the simulator's callback buffer, no heap allocation per job.
     sim_.schedule_after(
@@ -69,7 +163,9 @@ void ServiceStation::finish_job(Completion on_complete, double queue_seconds,
   account_busy_time();
   --busy_;
   ++completed_;
-  if (on_complete) on_complete(queue_seconds, service_seconds);
+  if (on_complete) {
+    on_complete(JobOutcome::kServed, queue_seconds, service_seconds);
+  }
   try_dispatch();
 }
 

@@ -6,20 +6,58 @@
 // this is the "variation of an M/M/1 queuing model" the paper uses for
 // latency: sojourn time rises smoothly with utilization and diverges as the
 // arrival rate approaches capacity.
+//
+// Overload control (docs/overload.md): an optional StationOverloadConfig
+// bounds the queue (with priority shedding — low-priority jobs are evicted
+// to admit higher-priority arrivals when full), sheds on standing queue
+// delay (CoDel-style windowed-min test), and cancels deadline-expired jobs
+// at submit/dispatch instead of burning server time on them. All gates
+// default to off, preserving the unbounded fair-weather model.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 
 #include "sim/simulator.h"
 #include "util/ids.h"
 #include "util/inline_function.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace slate {
 
+// Station-level overload knobs (derived from the scenario's QueuePolicy /
+// DeadlinePolicy by the simulation; kept dependency-free here).
+struct StationOverloadConfig {
+  std::size_t max_queue = 0;       // 0 = unbounded
+  bool priority_shedding = true;   // evict lower-priority queued work
+  double codel_target = 0.0;       // 0 disables the queue-delay shedder
+  double codel_interval = 0.1;
+  bool cancel_expired = true;      // cancel deadline-expired jobs
+};
+
 class ServiceStation {
  public:
+  static constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+  // How one submitted job ultimately left the station. Every submit fires
+  // its completion exactly once with one of these: rejections
+  // (kShed*/kExpired) fire synchronously inside submit with zero queue and
+  // service time; the rest fire later from simulator events.
+  enum class JobOutcome : std::uint8_t {
+    kServed,         // ran to completion
+    kCancelled,      // deadline expired while queued; cancelled at dispatch
+    kEvicted,        // shed from a full queue by a higher-priority arrival
+    kShedQueueFull,  // rejected: queue at max_queue, nothing evictable
+    kShedQueueDelay, // rejected: CoDel shedder active (standing queue)
+    kExpired,        // rejected: deadline already passed at submit
+  };
+  [[nodiscard]] static constexpr bool admitted(JobOutcome o) noexcept {
+    return o == JobOutcome::kServed || o == JobOutcome::kCancelled ||
+           o == JobOutcome::kEvicted;
+  }
+
   // `servers` is the replica/worker parallelism of this service in this
   // cluster. Requires servers >= 1.
   ServiceStation(Simulator& sim, Rng rng, ServiceId service, ClusterId cluster,
@@ -28,15 +66,36 @@ class ServiceStation {
   ServiceStation(const ServiceStation&) = delete;
   ServiceStation& operator=(const ServiceStation&) = delete;
 
-  // Completion callback: receives the time the job spent waiting in queue
-  // and the time it spent in service. Move-only with a 32-byte inline
-  // capture buffer — one job submission allocates nothing on the hot path.
-  using Completion = InlineFunction<void(double queue_seconds, double service_seconds), 32>;
+  // Completion callback: receives how the job left the station plus the time
+  // it spent waiting in queue and in service (service is 0 unless kServed).
+  // Move-only with a 32-byte inline capture buffer — one job submission
+  // allocates nothing on the hot path.
+  using Completion =
+      InlineFunction<void(JobOutcome outcome, double queue_seconds,
+                          double service_seconds), 32>;
 
-  // Enqueues one job whose service time is ~Exp(service_time_mean);
-  // `on_complete` fires when the job finishes processing. A zero/negative
-  // mean completes after zero processing time (still in FIFO order).
-  void submit(double service_time_mean, Completion on_complete);
+  struct JobSpec {
+    // Service time is ~Exp(service_time_mean); zero/negative completes after
+    // zero processing time (still in FIFO order).
+    double service_time_mean = 0.0;
+    // Shed priority (higher = kept longer) under priority_shedding.
+    int priority = 0;
+    // Absolute simulation time after which the job's result is worthless.
+    double deadline = kNoDeadline;
+  };
+
+  // Enqueues one job; returns true if it was admitted. A rejected job
+  // (return false) has already fired `on_complete` synchronously with the
+  // shed outcome — the caller turns it into a fast-fail error.
+  bool submit(const JobSpec& spec, Completion on_complete);
+  // Convenience for overload-free callers (fair-weather jobs with no
+  // deadline or priority).
+  bool submit(double service_time_mean, Completion on_complete) {
+    return submit(JobSpec{service_time_mean, 0, kNoDeadline},
+                  std::move(on_complete));
+  }
+
+  void configure_overload(const StationOverloadConfig& config);
 
   [[nodiscard]] ServiceId service() const noexcept { return service_; }
   [[nodiscard]] ClusterId cluster() const noexcept { return cluster_; }
@@ -50,7 +109,28 @@ class ServiceStation {
   [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
   [[nodiscard]] unsigned busy_servers() const noexcept { return busy_; }
   [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return completed_; }
+  // Admitted jobs only; shed submissions are counted in jobs_shed().
   [[nodiscard]] std::uint64_t jobs_submitted() const noexcept { return submitted_; }
+  // Conservation: submitted = completed + cancelled + evicted
+  //                          + busy_servers + queue_length at all times.
+  [[nodiscard]] std::uint64_t jobs_cancelled() const noexcept { return cancelled_; }
+  [[nodiscard]] std::uint64_t jobs_evicted() const noexcept { return evicted_; }
+  [[nodiscard]] std::uint64_t jobs_shed() const noexcept { return shed_; }
+
+  // Server-seconds spent processing jobs that were already past their
+  // deadline at dispatch (only accrues with cancel_expired off — the
+  // wasted-work pathology deadline propagation exists to eliminate).
+  [[nodiscard]] double wasted_server_seconds() const noexcept {
+    return wasted_server_seconds_;
+  }
+
+  // Queue-delay distribution of jobs leaving the queue (served or
+  // cancelled) since the last reset — the telemetry signal behind the
+  // shedder. p50/p99/max via SampleSet's streaming stats.
+  [[nodiscard]] const SampleSet& queue_delay_window() const noexcept {
+    return queue_delay_window_;
+  }
+  void reset_queue_delay_window() noexcept { queue_delay_window_.clear(); }
 
   // Fraction of server-time spent busy since construction (or last
   // reset_utilization). In [0, 1].
@@ -67,12 +147,17 @@ class ServiceStation {
     double service_time_mean;
     Completion on_complete;
     double enqueue_time = 0.0;
+    int priority = 0;
+    double deadline = kNoDeadline;
   };
 
   void try_dispatch();
   void finish_job(Completion on_complete, double queue_seconds,
                   double service_seconds);
   void account_busy_time() noexcept;
+  // CoDel bookkeeping at dispatch time; returns whether the shedder is
+  // currently rejecting arrivals.
+  void observe_queue_delay(double delay) noexcept;
 
   Simulator& sim_;
   Rng rng_;
@@ -81,8 +166,19 @@ class ServiceStation {
   unsigned servers_;
   unsigned busy_ = 0;
   std::deque<Job> queue_;
+  StationOverloadConfig overload_;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t shed_ = 0;
+  double wasted_server_seconds_ = 0.0;
+  SampleSet queue_delay_window_;
+  // CoDel state: shedding starts once the observed queue delay has stayed
+  // above target for a full interval, stops the moment a dispatch sees
+  // delay at/below target (or the standing queue drains).
+  bool codel_shedding_ = false;
+  double codel_above_since_ = -1.0;  // < 0: not currently above target
   // Utilization accounting.
   double busy_time_accum_ = 0.0;
   double lifetime_busy_ = 0.0;

@@ -1,0 +1,126 @@
+#include "overload/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slate {
+
+CircuitBreakerBank::CircuitBreakerBank(const BreakerPolicy& policy,
+                                       std::size_t services,
+                                       std::size_t clusters)
+    : policy_(policy),
+      clusters_(clusters),
+      bucket_len_(policy.window / static_cast<double>(kBuckets)),
+      breakers_(services * clusters) {
+  if (policy.window <= 0.0) {
+    throw std::invalid_argument("BreakerPolicy: window must be > 0");
+  }
+  if (policy.failure_ratio <= 0.0 || policy.failure_ratio > 1.0) {
+    throw std::invalid_argument("BreakerPolicy: failure_ratio must be in (0, 1]");
+  }
+  if (policy.ejection_base <= 0.0) {
+    throw std::invalid_argument("BreakerPolicy: ejection_base must be > 0");
+  }
+}
+
+void CircuitBreakerBank::clear_window(Breaker& b) const {
+  b.ok.fill(0);
+  b.fail.fill(0);
+}
+
+void CircuitBreakerBank::advance(Breaker& b, double now) const {
+  const auto epoch = static_cast<std::int64_t>(std::floor(now / bucket_len_));
+  if (epoch <= b.epoch) return;
+  const std::int64_t steps = epoch - b.epoch;
+  if (steps >= static_cast<std::int64_t>(kBuckets)) {
+    clear_window(b);
+  } else {
+    for (std::int64_t i = 1; i <= steps; ++i) {
+      const std::size_t slot =
+          static_cast<std::size_t>(b.epoch + i) % kBuckets;
+      b.ok[slot] = 0;
+      b.fail[slot] = 0;
+    }
+  }
+  b.epoch = epoch;
+}
+
+void CircuitBreakerBank::trip(Breaker& b, double now) {
+  b.state = State::kOpen;
+  ++b.consecutive_trips;
+  const double ejection =
+      std::min(policy_.ejection_base * static_cast<double>(b.consecutive_trips),
+               policy_.max_ejection);
+  b.open_until = now + ejection;
+  b.probe_successes = 0;
+  clear_window(b);
+  ++ejections_;
+}
+
+bool CircuitBreakerBank::allowed(ServiceId service, ClusterId cluster,
+                                 double now) {
+  Breaker& b = breakers_[index(service, cluster)];
+  if (b.state == State::kOpen) {
+    if (now < b.open_until) return false;
+    // Ejection elapsed: admit probes.
+    b.state = State::kHalfOpen;
+    b.probe_successes = 0;
+  }
+  return true;
+}
+
+void CircuitBreakerBank::on_result(ServiceId service, ClusterId cluster,
+                                   bool ok, double now) {
+  Breaker& b = breakers_[index(service, cluster)];
+  // An outcome arriving while open (an in-flight call from before the trip,
+  // or one that raced the ejection expiry) flips an expired breaker to
+  // half-open first so recovery is not deadlocked on a routing probe.
+  if (b.state == State::kOpen) {
+    if (now < b.open_until) return;  // stale outcome; window already cleared
+    b.state = State::kHalfOpen;
+    b.probe_successes = 0;
+  }
+  if (b.state == State::kHalfOpen) {
+    if (!ok) {
+      trip(b, now);
+      return;
+    }
+    if (++b.probe_successes >= policy_.half_open_probes) {
+      b.state = State::kClosed;
+      b.consecutive_trips = 0;
+      clear_window(b);
+      b.epoch = static_cast<std::int64_t>(std::floor(now / bucket_len_));
+    }
+    return;
+  }
+  // Closed: roll the window forward and accumulate.
+  advance(b, now);
+  const std::size_t slot = static_cast<std::size_t>(b.epoch) % kBuckets;
+  if (ok) {
+    ++b.ok[slot];
+  } else {
+    ++b.fail[slot];
+  }
+  std::uint64_t oks = 0, fails = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    oks += b.ok[i];
+    fails += b.fail[i];
+  }
+  const std::uint64_t volume = oks + fails;
+  if (volume >= policy_.min_volume &&
+      static_cast<double>(fails) >=
+          policy_.failure_ratio * static_cast<double>(volume)) {
+    trip(b, now);
+  }
+}
+
+CircuitBreakerBank::State CircuitBreakerBank::state(ServiceId service,
+                                                    ClusterId cluster,
+                                                    double now) const {
+  const Breaker& b = breakers_[index(service, cluster)];
+  if (b.state == State::kOpen && now >= b.open_until) return State::kHalfOpen;
+  return b.state;
+}
+
+}  // namespace slate

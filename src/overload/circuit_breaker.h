@@ -1,0 +1,93 @@
+// Per-(service, destination-cluster) circuit breakers with outlier ejection.
+//
+// Each breaker watches the rolling failure rate of calls a service receives
+// in one destination cluster and trips when the rate crosses a threshold
+// over enough volume — the Envoy outlier-detection discipline: an ejected
+// cluster is removed from routing candidates for an ejection period that
+// grows with consecutive trips, then re-admitted in a half-open probing
+// state where a handful of successes close the breaker and a single failure
+// re-ejects it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+struct BreakerPolicy {
+  bool enabled = false;
+  // Rolling window the failure rate is computed over, seconds.
+  double window = 5.0;
+  // Minimum calls inside the window before the breaker may trip (low-volume
+  // noise immunity).
+  std::size_t min_volume = 20;
+  // Failure fraction at or above which the breaker trips.
+  double failure_ratio = 0.5;
+  // First ejection lasts `ejection_base` seconds; consecutive trips grow it
+  // linearly (Envoy-style base * n), capped at `max_ejection`.
+  double ejection_base = 5.0;
+  double max_ejection = 60.0;
+  // Successful probes required in half-open state to close the breaker.
+  std::size_t half_open_probes = 3;
+};
+
+// A bank of breakers indexed by (service, destination cluster). All state
+// transitions are driven by the caller's clock (simulation time): `allowed`
+// promotes an expired ejection to half-open, `on_result` records outcomes
+// and trips/closes breakers. No internal timers — the bank is pure state,
+// which keeps it trivially deterministic.
+class CircuitBreakerBank {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreakerBank(const BreakerPolicy& policy, std::size_t services,
+                     std::size_t clusters);
+
+  // May calls to `service` in `cluster` be attempted at `now`? Open breakers
+  // whose ejection elapsed flip to half-open (and return true: probes are
+  // how a breaker discovers recovery).
+  [[nodiscard]] bool allowed(ServiceId service, ClusterId cluster, double now);
+
+  // Records one attempt outcome and advances the state machine.
+  void on_result(ServiceId service, ClusterId cluster, bool ok, double now);
+
+  [[nodiscard]] State state(ServiceId service, ClusterId cluster,
+                            double now) const;
+
+  // Total trips (Closed/HalfOpen -> Open transitions) since construction.
+  [[nodiscard]] std::uint64_t ejections() const noexcept { return ejections_; }
+
+ private:
+  // The rolling window is a ring of kBuckets count pairs; stale buckets are
+  // zeroed lazily as time advances past them.
+  static constexpr std::size_t kBuckets = 8;
+
+  struct Breaker {
+    std::array<std::uint32_t, kBuckets> ok{};
+    std::array<std::uint32_t, kBuckets> fail{};
+    std::int64_t epoch = 0;  // bucket index of the newest bucket
+    State state = State::kClosed;
+    double open_until = 0.0;
+    std::uint32_t consecutive_trips = 0;
+    std::uint32_t probe_successes = 0;
+  };
+
+  [[nodiscard]] std::size_t index(ServiceId s, ClusterId c) const noexcept {
+    return s.index() * clusters_ + c.index();
+  }
+  void advance(Breaker& b, double now) const;
+  void clear_window(Breaker& b) const;
+  void trip(Breaker& b, double now);
+
+  BreakerPolicy policy_;
+  std::size_t clusters_;
+  double bucket_len_;
+  std::vector<Breaker> breakers_;
+  std::uint64_t ejections_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,39 @@
+#include "overload/overload_policy.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+void OverloadPolicy::validate(std::size_t class_count) const {
+  if (queue.codel_target < 0.0) {
+    throw std::invalid_argument("QueuePolicy: codel_target must be >= 0");
+  }
+  if (queue.codel_target > 0.0 && queue.codel_interval <= 0.0) {
+    throw std::invalid_argument("QueuePolicy: codel_interval must be > 0");
+  }
+  if (queue.class_priority.size() > class_count) {
+    throw std::invalid_argument("QueuePolicy: class_priority exceeds class count");
+  }
+  if (deadline.enabled && deadline.default_deadline <= 0.0) {
+    throw std::invalid_argument("DeadlinePolicy: default_deadline must be > 0");
+  }
+  if (deadline.per_class.size() > class_count) {
+    throw std::invalid_argument("DeadlinePolicy: per_class exceeds class count");
+  }
+  if (breaker.enabled) {
+    if (breaker.window <= 0.0) {
+      throw std::invalid_argument("BreakerPolicy: window must be > 0");
+    }
+    if (breaker.failure_ratio <= 0.0 || breaker.failure_ratio > 1.0) {
+      throw std::invalid_argument("BreakerPolicy: failure_ratio must be in (0, 1]");
+    }
+    if (breaker.ejection_base <= 0.0 || breaker.max_ejection <= 0.0) {
+      throw std::invalid_argument("BreakerPolicy: ejection times must be > 0");
+    }
+    if (breaker.half_open_probes == 0) {
+      throw std::invalid_argument("BreakerPolicy: half_open_probes must be >= 1");
+    }
+  }
+}
+
+}  // namespace slate

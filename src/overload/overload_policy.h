@@ -1,0 +1,78 @@
+// Overload-control configuration: bounded class-aware station queues,
+// end-to-end deadline propagation, and circuit breaking (docs/overload.md).
+//
+// The three mechanisms are independent — each has its own enable gate so a
+// scenario can, say, bound queues without deadlines. All of them default to
+// off, preserving the fair-weather semantics of a plain run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overload/circuit_breaker.h"
+#include "util/ids.h"
+
+namespace slate {
+
+// Station admission control: a queue limit with priority shedding plus an
+// optional CoDel-style queue-delay shedder.
+struct QueuePolicy {
+  // Maximum queued (not in-service) jobs per station; 0 = unbounded. A full
+  // queue sheds the lowest-priority work: an arriving job outranking a
+  // queued one evicts it, otherwise the arrival itself is rejected.
+  std::size_t max_queue = 0;
+  bool priority_shedding = true;
+  // CoDel-style shedder: when the minimum queue delay observed over a
+  // `codel_interval` window stays above `codel_target`, new arrivals are
+  // shed until the standing queue drains. 0 disables.
+  double codel_target = 0.0;
+  double codel_interval = 0.1;
+  // Shed priority per class id (higher = kept longer); classes beyond the
+  // vector default to 0.
+  std::vector<int> class_priority;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_queue > 0 || codel_target > 0.0;
+  }
+  [[nodiscard]] int priority_of(ClassId cls) const noexcept {
+    return cls.index() < class_priority.size() ? class_priority[cls.index()]
+                                               : 0;
+  }
+};
+
+// End-to-end deadlines. Each request is admitted with a deadline derived
+// from its class; the remaining budget propagates down the call tree, and
+// with `propagate` on, work whose deadline already expired is cancelled at
+// enqueue/dispatch instead of processed. With `propagate` off the deadline
+// is carried but ignored by stations — expired work still burns server time,
+// which ExperimentResult::wasted_server_seconds makes visible.
+struct DeadlinePolicy {
+  bool enabled = false;
+  double default_deadline = 1.0;  // seconds from arrival
+  // Per-class override (<= 0 falls back to default_deadline).
+  std::vector<double> per_class;
+  bool propagate = true;
+
+  [[nodiscard]] double deadline_for(ClassId cls) const noexcept {
+    if (cls.index() < per_class.size() && per_class[cls.index()] > 0.0) {
+      return per_class[cls.index()];
+    }
+    return default_deadline;
+  }
+};
+
+struct OverloadPolicy {
+  QueuePolicy queue;
+  DeadlinePolicy deadline;
+  BreakerPolicy breaker;
+
+  [[nodiscard]] bool any_enabled() const noexcept {
+    return queue.enabled() || deadline.enabled || breaker.enabled;
+  }
+
+  // Throws std::invalid_argument on nonsensical knobs (negative durations,
+  // out-of-range ratios). `class_count` bounds per-class vectors.
+  void validate(std::size_t class_count) const;
+};
+
+}  // namespace slate

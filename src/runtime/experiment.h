@@ -12,6 +12,7 @@
 #include "core/global_controller.h"
 #include "fault/fault_plan.h"
 #include "net/topology.h"
+#include "overload/overload_policy.h"
 #include "routing/waterfall.h"
 #include "util/stats.h"
 #include "workload/demand.h"
@@ -43,6 +44,10 @@ struct Scenario {
   // Scheduled faults shipped with the world (scenario files' `fault`
   // directives). Merged with RunConfig::faults at run time.
   FaultPlan faults;
+  // Overload control shipped with the world (`overload` directives). Each
+  // enabled sub-policy of RunConfig::overload overrides its counterpart
+  // here at run time.
+  OverloadPolicy overload;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -107,6 +112,9 @@ struct RunConfig {
   // failure semantics.
   FaultPlan faults;
   FailurePolicy failure;
+  // Overload control (bounded queues, deadlines, circuit breaking). Each
+  // enabled sub-policy overrides the scenario's; see docs/overload.md.
+  OverloadPolicy overload;
   // Control-plane staleness tolerance, in control periods: a cluster
   // controller out of contact with the global controller for longer falls
   // back to locality failover; the global controller decays the demand
@@ -137,6 +145,35 @@ struct ExperimentResult {
   std::uint64_t call_rejections = 0;       // attempts refused by a down cluster
   std::uint64_t retry_budget_denials = 0;  // retries suppressed by the budget
   std::uint64_t fault_transitions = 0;     // injector activations + clearings
+  // Per-class breakdowns of the above (index = class id).
+  std::vector<std::uint64_t> call_retries_by_class;
+  std::vector<std::uint64_t> call_timeouts_by_class;
+  std::vector<std::uint64_t> retry_budget_denials_by_class;
+
+  // Overload-control activity (whole run; zero with the subsystem off).
+  std::uint64_t shed_queue_full = 0;   // arrivals rejected by a full queue
+  std::uint64_t shed_queue_delay = 0;  // arrivals rejected by the CoDel shedder
+  std::uint64_t shed_evictions = 0;    // queued jobs evicted by higher priority
+  // Work cancelled because its deadline had expired (at call issue, at
+  // station admission, or at dispatch).
+  std::uint64_t deadline_cancellations = 0;
+  std::uint64_t breaker_ejections = 0;  // circuit-breaker trips
+  // Server-seconds burned on jobs already past their deadline at dispatch —
+  // >0 only when deadlines are carried without propagation.
+  double wasted_server_seconds = 0.0;
+  [[nodiscard]] std::uint64_t total_shed() const noexcept {
+    return shed_queue_full + shed_queue_delay + shed_evictions;
+  }
+
+  // Station-level job conservation, summed over stations at run end:
+  // jobs_submitted = jobs_served + jobs_cancelled + jobs_evicted +
+  // jobs_in_flight_at_end (jobs_shed were refused and never admitted).
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_served = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_evicted = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_in_flight_at_end = 0;
 
   SampleSet e2e;                        // end-to-end latency of successes, seconds
   std::vector<SampleSet> e2e_by_class;  // index = class id

@@ -1,5 +1,6 @@
 #include "runtime/scenario_loader.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -28,6 +29,7 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 // "25ms" -> 0.025; "3s" -> 3; "150us" -> 1.5e-4; bare numbers are seconds.
+// Durations are spans of time: negatives are always a spec error.
 double parse_duration(const std::string& text, std::size_t line) {
   std::size_t pos = 0;
   double value = 0.0;
@@ -36,6 +38,7 @@ double parse_duration(const std::string& text, std::size_t line) {
   } catch (const std::exception&) {
     fail(line, "bad duration '" + text + "'");
   }
+  if (value < 0.0) fail(line, "negative duration '" + text + "'");
   const std::string unit = text.substr(pos);
   if (unit.empty() || unit == "s") return value;
   if (unit == "ms") return value * 1e-3;
@@ -52,6 +55,7 @@ std::uint64_t parse_bytes(const std::string& text, std::size_t line) {
   } catch (const std::exception&) {
     fail(line, "bad size '" + text + "'");
   }
+  if (value < 0.0) fail(line, "negative size '" + text + "'");
   const std::string unit = text.substr(pos);
   double scale = 1.0;
   if (unit.empty() || unit == "B") {
@@ -72,6 +76,28 @@ double parse_number(const std::string& text, std::size_t line) {
   } catch (const std::exception&) {
     fail(line, "bad number '" + text + "'");
   }
+}
+
+// A whole number >= `min` (replica counts, queue limits, probe counts):
+// "servers=-2" must not wrap into a huge unsigned, and "servers=1.5"
+// must not silently truncate.
+std::uint64_t parse_count(const std::string& text, std::size_t line,
+                          std::uint64_t min, const char* what) {
+  const double v = parse_number(text, line);
+  if (v != std::floor(v)) {
+    fail(line, std::string(what) + " must be an integer, got '" + text + "'");
+  }
+  if (v < static_cast<double>(min)) {
+    fail(line, std::string(what) + " must be >= " + std::to_string(min) +
+                   ", got '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+bool parse_on_off(const std::string& text, std::size_t line, const char* what) {
+  if (text == "on") return true;
+  if (text == "off") return false;
+  fail(line, std::string(what) + " must be on or off, got '" + text + "'");
 }
 
 // Splits "key=value"; returns nullopt for tokens without '='.
@@ -121,6 +147,16 @@ struct FaultDirective {
   bool has_extra = false;
 };
 
+// Per-class overload settings reference classes that may be declared later;
+// resolved at finalize like faults.
+struct OverloadClassDirective {
+  std::size_t line;
+  std::string kind;  // deadline | priority
+  std::string cls;
+  double deadline = 0.0;
+  int priority = 0;
+};
+
 }  // namespace
 
 Scenario load_scenario(std::istream& input) {
@@ -136,6 +172,7 @@ Scenario load_scenario(std::istream& input) {
   std::vector<DeployDirective> deploys;
   std::vector<DemandDirective> demands;
   std::vector<FaultDirective> faults;
+  std::vector<OverloadClassDirective> overloads;
   double default_egress = -1.0;
 
   std::string raw;
@@ -192,9 +229,17 @@ Scenario load_scenario(std::istream& input) {
     } else if (directive == "egress_price") {
       exact(2, "egress_price <dollars-per-GB>");
       default_egress = parse_number(tokens[1], line_number);
+      if (default_egress < 0.0) {
+        fail(line_number, "egress_price must be >= 0");
+      }
     } else if (directive == "jitter") {
       exact(2, "jitter <fraction>");
-      scenario.topology->set_jitter_fraction(parse_number(tokens[1], line_number));
+      try {
+        scenario.topology->set_jitter_fraction(
+            parse_number(tokens[1], line_number));
+      } catch (const std::invalid_argument& e) {
+        fail(line_number, e.what());
+      }
     } else if (directive == "service") {
       exact(2, "service <name>");
       scenario.app->add_service(tokens[1]);
@@ -236,6 +281,7 @@ Scenario load_scenario(std::istream& input) {
           resp = parse_bytes(value, line_number);
         } else if (key == "mult") {
           mult = parse_number(value, line_number);
+          if (mult < 0.0) fail(line_number, "mult must be >= 0");
         } else if (key == "label") {
           label = value;
         } else if (key == "mode") {
@@ -283,7 +329,8 @@ Scenario load_scenario(std::istream& input) {
         const auto kv = split_kv(tokens[i]);
         if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
         if (kv->first == "servers") {
-          d.servers = static_cast<unsigned>(parse_number(kv->second, line_number));
+          d.servers = static_cast<unsigned>(
+              parse_count(kv->second, line_number, 1, "servers"));
         } else if (kv->first == "capacity") {
           d.capacity = parse_number(kv->second, line_number);
         } else {
@@ -307,6 +354,7 @@ Scenario load_scenario(std::istream& input) {
         rate_index = 4;
       }
       d.rps = parse_number(tokens[rate_index], line_number);
+      if (d.rps < 0.0) fail(line_number, "demand rate must be >= 0");
       demands.push_back(std::move(d));
     } else if (directive == "fault") {
       need(2, "fault <outage|blackout|slowdown|link> ...");
@@ -351,6 +399,7 @@ Scenario load_scenario(std::istream& input) {
         if (kv->first == "factor" &&
             (f.kind == "slowdown" || f.kind == "link")) {
           f.factor = parse_number(kv->second, line_number);
+          if (f.factor <= 0.0) fail(line_number, "factor must be > 0");
           f.has_factor = true;
         } else if (kv->first == "extra" && f.kind == "link") {
           f.extra = parse_duration(kv->second, line_number);
@@ -368,6 +417,120 @@ Scenario load_scenario(std::istream& input) {
              "fault link needs an effect: factor=, extra=, or partition");
       }
       faults.push_back(std::move(f));
+    } else if (directive == "overload") {
+      need(2, "overload <queue|deadline|priority|breaker> ...");
+      const std::string& sub = tokens[1];
+      if (sub == "queue") {
+        need(3,
+             "overload queue limit=<n> [codel_target=<dur>] "
+             "[codel_interval=<dur>] [priority_shedding=on|off]");
+        QueuePolicy& q = scenario.overload.queue;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "limit") {
+            q.max_queue = static_cast<std::size_t>(
+                parse_count(value, line_number, 0, "limit"));
+          } else if (key == "codel_target") {
+            q.codel_target = parse_duration(value, line_number);
+            if (q.codel_target <= 0.0) {
+              fail(line_number, "codel_target must be > 0");
+            }
+          } else if (key == "codel_interval") {
+            q.codel_interval = parse_duration(value, line_number);
+            if (q.codel_interval <= 0.0) {
+              fail(line_number, "codel_interval must be > 0");
+            }
+          } else if (key == "priority_shedding") {
+            q.priority_shedding =
+                parse_on_off(value, line_number, "priority_shedding");
+          } else {
+            fail(line_number, "unknown overload queue attribute '" + key + "'");
+          }
+        }
+      } else if (sub == "deadline") {
+        // Two forms: a default for all classes (with optional propagate=),
+        // or a per-class override ("overload deadline <class> <duration>").
+        need(3, "overload deadline <duration>|<class> ...");
+        if (tokens.size() >= 4 && tokens[3].find('=') == std::string::npos) {
+          exact(4, "overload deadline <class> <duration>");
+          OverloadClassDirective od;
+          od.line = line_number;
+          od.kind = "deadline";
+          od.cls = tokens[2];
+          od.deadline = parse_duration(tokens[3], line_number);
+          if (od.deadline <= 0.0) fail(line_number, "deadline must be > 0");
+          overloads.push_back(std::move(od));
+        } else {
+          DeadlinePolicy& dl = scenario.overload.deadline;
+          dl.enabled = true;
+          dl.default_deadline = parse_duration(tokens[2], line_number);
+          if (dl.default_deadline <= 0.0) {
+            fail(line_number, "deadline must be > 0");
+          }
+          for (std::size_t i = 3; i < tokens.size(); ++i) {
+            const auto kv = split_kv(tokens[i]);
+            if (!kv) {
+              fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+            }
+            if (kv->first == "propagate") {
+              dl.propagate = parse_on_off(kv->second, line_number, "propagate");
+            } else {
+              fail(line_number,
+                   "unknown overload deadline attribute '" + kv->first + "'");
+            }
+          }
+        }
+      } else if (sub == "priority") {
+        exact(4, "overload priority <class> <level>");
+        OverloadClassDirective od;
+        od.line = line_number;
+        od.kind = "priority";
+        od.cls = tokens[2];
+        const double level = parse_number(tokens[3], line_number);
+        if (level != std::floor(level)) {
+          fail(line_number, "priority level must be an integer");
+        }
+        od.priority = static_cast<int>(level);
+        overloads.push_back(std::move(od));
+      } else if (sub == "breaker") {
+        BreakerPolicy& br = scenario.overload.breaker;
+        br.enabled = true;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "window") {
+            br.window = parse_duration(value, line_number);
+            if (br.window <= 0.0) fail(line_number, "window must be > 0");
+          } else if (key == "ratio") {
+            br.failure_ratio = parse_number(value, line_number);
+            if (br.failure_ratio <= 0.0 || br.failure_ratio > 1.0) {
+              fail(line_number, "ratio must be in (0, 1]");
+            }
+          } else if (key == "min_volume") {
+            br.min_volume = static_cast<std::size_t>(
+                parse_count(value, line_number, 1, "min_volume"));
+          } else if (key == "eject") {
+            br.ejection_base = parse_duration(value, line_number);
+            if (br.ejection_base <= 0.0) fail(line_number, "eject must be > 0");
+          } else if (key == "max_eject") {
+            br.max_ejection = parse_duration(value, line_number);
+            if (br.max_ejection <= 0.0) {
+              fail(line_number, "max_eject must be > 0");
+            }
+          } else if (key == "probes") {
+            br.half_open_probes = static_cast<std::size_t>(
+                parse_count(value, line_number, 1, "probes"));
+          } else {
+            fail(line_number, "unknown overload breaker attribute '" + key + "'");
+          }
+        }
+      } else {
+        fail(line_number, "unknown overload kind '" + sub +
+                              "' (expected queue, deadline, priority, breaker)");
+      }
     } else {
       fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -469,6 +632,23 @@ Scenario load_scenario(std::istream& input) {
       }
     } catch (const std::invalid_argument& e) {
       fail(f.line, e.what());
+    }
+  }
+
+  // Per-class overload settings (forward class references resolved here).
+  for (const auto& od : overloads) {
+    const auto it = classes.find(od.cls);
+    if (it == classes.end()) fail(od.line, "unknown class '" + od.cls + "'");
+    const std::size_t k = it->second.id.index();
+    if (od.kind == "deadline") {
+      auto& per_class = scenario.overload.deadline.per_class;
+      if (per_class.size() <= k) per_class.resize(k + 1, 0.0);
+      per_class[k] = od.deadline;
+      scenario.overload.deadline.enabled = true;
+    } else {
+      auto& priority = scenario.overload.queue.class_priority;
+      if (priority.size() <= k) priority.resize(k + 1, 0);
+      priority[k] = od.priority;
     }
   }
   return scenario;

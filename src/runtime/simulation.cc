@@ -1,5 +1,6 @@
 #include "runtime/simulation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -58,6 +59,30 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
   const std::size_t S = app.service_count();
   const std::size_t K = app.class_count();
 
+  // Effective overload policy: the scenario ships one, each sub-policy the
+  // config enables overrides its counterpart (mirrors fault-plan merging).
+  overload_ = scenario_.overload;
+  if (config_.overload.queue.enabled()) overload_.queue = config_.overload.queue;
+  if (config_.overload.deadline.enabled) {
+    overload_.deadline = config_.overload.deadline;
+  }
+  if (config_.overload.breaker.enabled) {
+    overload_.breaker = config_.overload.breaker;
+  }
+  overload_.validate(K);
+  deadline_by_class_.assign(K, ServiceStation::kNoDeadline);
+  priority_by_class_.assign(K, 0);
+  for (std::size_t k = 0; k < K; ++k) {
+    if (overload_.deadline.enabled) {
+      deadline_by_class_[k] = overload_.deadline.deadline_for(ClassId{k});
+    }
+    priority_by_class_[k] = overload_.queue.priority_of(ClassId{k});
+  }
+  if (overload_.breaker.enabled) {
+    breakers_ = std::make_unique<CircuitBreakerBank>(overload_.breaker, S,
+                                                     cluster_count_);
+  }
+
   // Fault injection: the scenario's shipped plan plus the config's.
   FaultPlan merged = scenario_.faults;
   merged.append(config_.faults);
@@ -87,6 +112,16 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
       stations_[station_index(svc, cluster)] = std::make_unique<ServiceStation>(
           sim_, station_rng.fork(s * cluster_count_ + c), svc, cluster,
           scenario_.deployment->servers(svc, cluster));
+      if (overload_.queue.enabled() || overload_.deadline.enabled) {
+        StationOverloadConfig sc;
+        sc.max_queue = overload_.queue.max_queue;
+        sc.priority_shedding = overload_.queue.priority_shedding;
+        sc.codel_target = overload_.queue.codel_target;
+        sc.codel_interval = overload_.queue.codel_interval;
+        sc.cancel_expired =
+            overload_.deadline.enabled && overload_.deadline.propagate;
+        stations_[station_index(svc, cluster)]->configure_overload(sc);
+      }
       proxies_[station_index(svc, cluster)] = std::make_unique<SlateProxy>(
           svc, *registries_[c], rule_policies_[c],
           traces_.enabled() ? &traces_ : nullptr);
@@ -145,6 +180,9 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
   result_.policy = to_string(config_.policy);
   result_.e2e_by_class.resize(K);
   result_.failed_by_class.assign(K, 0);
+  result_.call_retries_by_class.assign(K, 0);
+  result_.call_timeouts_by_class.assign(K, 0);
+  result_.retry_budget_denials_by_class.assign(K, 0);
   result_.flows.resize(K);
   for (std::size_t k = 0; k < K; ++k) {
     const std::size_t nodes = app.traffic_class(ClassId{k}).graph.node_count();
@@ -200,6 +238,9 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   req->cls = cls;
   req->ingress = cluster;
   req->arrival_time = sim_.now();
+  // End-to-end budget: the class deadline starts at the front door
+  // (kNoDeadline when deadlines are off).
+  req->deadline = sim_.now() + deadline_by_class_[cls.index()];
 
   registries_[cluster.index()]->record_ingress(cls, sim_.now());
 
@@ -233,7 +274,9 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   load_view_->observe(entry, entry_cluster);
 
   if (entry_cluster == cluster) {
-    execute_node(std::move(req), 0, entry_cluster, 0, std::move(finish));
+    const double deadline = req->deadline;
+    execute_node(std::move(req), 0, entry_cluster, 0, deadline,
+                 std::move(finish));
     return;
   }
   // Front-door redirect to the nearest cluster hosting the entry service.
@@ -245,7 +288,8 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   sim_.schedule_after(d1, [this, req = std::move(req), entry_cluster, cluster,
                            finish = std::move(finish)]() mutable {
     ReqPtr r = req;
-    execute_node(std::move(r), 0, entry_cluster, 0,
+    const double deadline = r->deadline;
+    execute_node(std::move(r), 0, entry_cluster, 0, deadline,
                  [this, req = std::move(req), entry_cluster, cluster,
                   finish = std::move(finish)](bool ok) mutable {
                    if (ok) {
@@ -264,11 +308,20 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
 }
 
 void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
-                              std::uint64_t parent_span, Done done) {
+                              std::uint64_t parent_span, double deadline,
+                              Done done) {
   if (cluster_down(cluster)) {
     // Every station in a down cluster refuses new work; in-flight jobs run
     // to completion (no preemption).
     ++result_.call_rejections;
+    done(false);
+    return;
+  }
+  if (overload_.deadline.enabled && overload_.deadline.propagate &&
+      deadline <= sim_.now()) {
+    // The budget is gone before the node even starts: cancel instead of
+    // queueing doomed work.
+    ++result_.deadline_cancellations;
     done(false);
     return;
   }
@@ -287,6 +340,11 @@ void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
     compute *= injector_->compute_factor(cnode.service, cluster);
   }
 
+  ServiceStation::JobSpec spec;
+  spec.service_time_mean = compute;
+  spec.priority = priority_by_class_[req->cls.index()];
+  spec.deadline = deadline;
+
   auto ns = node_pool_.make();
   ns->req = std::move(req);
   ns->node = static_cast<std::uint32_t>(node);
@@ -294,22 +352,40 @@ void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
   ns->span_id = next_span_++;
   ns->parent_span = parent_span;
   ns->enqueue_time = sim_.now();
+  ns->deadline = deadline;
   ns->done = std::move(done);
 
-  // {this, pool handle} captures: both continuations stay inline.
-  st->submit(compute,
-             [this, ns = std::move(ns)](double queue_s, double service_s) mutable {
-               ns->queue_s = queue_s;
-               ns->service_s = service_s;
-               ReqPtr req = ns->req;
-               const std::uint32_t node = ns->node;
-               const ClusterId cluster = ns->cluster;
-               const std::uint64_t span_id = ns->span_id;
-               run_children(std::move(req), node, cluster, span_id,
-                            [this, ns = std::move(ns)](bool ok) mutable {
-                              finish_node(ns, ok);
-                            });
-             });
+  // {this, pool handle} captures: both continuations stay inline. Shed and
+  // cancelled jobs fail the node — the error feeds the caller's retry
+  // budget exactly like any other fast failure.
+  st->submit(spec, [this, ns = std::move(ns)](ServiceStation::JobOutcome outcome,
+                                              double queue_s,
+                                              double service_s) mutable {
+    using JobOutcome = ServiceStation::JobOutcome;
+    ns->queue_s = queue_s;
+    ns->service_s = service_s;
+    if (outcome != JobOutcome::kServed) {
+      switch (outcome) {
+        case JobOutcome::kShedQueueFull: ++result_.shed_queue_full; break;
+        case JobOutcome::kShedQueueDelay: ++result_.shed_queue_delay; break;
+        case JobOutcome::kEvicted: ++result_.shed_evictions; break;
+        case JobOutcome::kCancelled:
+        case JobOutcome::kExpired: ++result_.deadline_cancellations; break;
+        case JobOutcome::kServed: break;
+      }
+      finish_node(ns, false);
+      return;
+    }
+    ReqPtr req = ns->req;
+    const std::uint32_t node = ns->node;
+    const ClusterId cluster = ns->cluster;
+    const std::uint64_t span_id = ns->span_id;
+    const double deadline = ns->deadline;
+    run_children(std::move(req), node, cluster, span_id, deadline,
+                 [this, ns = std::move(ns)](bool ok) mutable {
+                   finish_node(ns, ok);
+                 });
+  });
 }
 
 void Simulation::finish_node(const PoolPtr<NodeState>& ns, bool ok) {
@@ -335,7 +411,7 @@ void Simulation::finish_node(const PoolPtr<NodeState>& ns, bool ok) {
 
 void Simulation::run_children(ReqPtr req, std::size_t parent_node,
                               ClusterId cluster, std::uint64_t parent_span,
-                              Done done) {
+                              double deadline, Done done) {
   const CallGraph& graph = scenario_.app->traffic_class(req->cls).graph;
   const CallNode& parent = graph.node(parent_node);
   if (parent.children.empty()) {
@@ -367,7 +443,7 @@ void Simulation::run_children(ReqPtr req, std::size_t parent_node,
     fs->all_ok = true;
     fs->done = std::move(done);
     for (std::size_t i = 0; i < cs->calls.size(); ++i) {
-      issue_call(req, cs->calls[i], cluster, parent_span,
+      issue_call(req, cs->calls[i], cluster, parent_span, deadline,
                  [this, fs](bool ok) mutable {
                    if (!ok) fs->all_ok = false;
                    if (--fs->remaining == 0) {
@@ -386,6 +462,7 @@ void Simulation::run_children(ReqPtr req, std::size_t parent_node,
   cs->req = std::move(req);
   cs->cluster = cluster;
   cs->parent_span = parent_span;
+  cs->deadline = deadline;
   cs->done = std::move(done);
   chain_next(cs, true);
 }
@@ -397,12 +474,13 @@ void Simulation::chain_next(const PoolPtr<ChainState>& cs, bool ok) {
     return;
   }
   const std::uint32_t child = cs->calls[cs->index++];
-  issue_call(cs->req, child, cs->cluster, cs->parent_span,
+  issue_call(cs->req, child, cs->cluster, cs->parent_span, cs->deadline,
              [this, cs = cs](bool child_ok) mutable { chain_next(cs, child_ok); });
 }
 
 void Simulation::issue_call(ReqPtr req, std::size_t node, ClusterId from,
-                            std::uint64_t parent_span, Done done) {
+                            std::uint64_t parent_span, double deadline,
+                            Done done) {
   if (config_.failure.enabled) {
     // Each first attempt earns fractional retry credit (Finagle-style
     // budget): retries are bounded at ~ratio x offered call volume.
@@ -417,6 +495,7 @@ void Simulation::issue_call(ReqPtr req, std::size_t node, ClusterId from,
   as->parent_span = parent_span;
   as->attempt = 0;
   as->settled = false;
+  as->deadline = deadline;
   as->done = std::move(done);
   start_attempt(as);
 }
@@ -427,16 +506,47 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   const CallNode& cnode = graph.node(as->node);
   const ServiceId child_svc = cnode.service;
   const ClusterId from = as->from;
+  const double now = sim_.now();
+
+  if (overload_.deadline.enabled && overload_.deadline.propagate &&
+      as->deadline <= now) {
+    // The call's remaining budget is gone (e.g. burned by earlier attempts'
+    // backoff): fail fast without issuing another attempt.
+    ++result_.deadline_cancellations;
+    as->settled = true;
+    Done done = std::move(as->done);
+    done(false);
+    return;
+  }
 
   const auto& candidates = candidates_[child_svc.index()];
 
-  // Retry-on-different-cluster: steer away from the cluster the previous
-  // attempt failed on when an alternative exists.
+  // Candidate filtering: steer away from the cluster the previous attempt
+  // failed on (retry-on-different-cluster) and from clusters the circuit
+  // breaker has ejected for this service. Local-only routing has exactly
+  // one viable target, so filtering is skipped entirely (the panic-routing
+  // rule: with no alternative, ejections and exclusions must not strand
+  // the request).
+  const bool can_reroute = config_.policy != PolicyKind::kLocalOnly;
+  const bool exclude_failed = can_reroute && as->exclude.valid() &&
+                              config_.failure.retry_excludes_failed;
   const std::vector<ClusterId>* cand = &candidates;
   std::vector<ClusterId> filtered;
-  if (as->exclude.valid() && config_.failure.retry_excludes_failed) {
+  if (exclude_failed || (can_reroute && breakers_ != nullptr)) {
     for (ClusterId c : candidates) {
-      if (c != as->exclude) filtered.push_back(c);
+      if (exclude_failed && c == as->exclude) continue;
+      if (breakers_ != nullptr && !breakers_->allowed(child_svc, c, now)) {
+        continue;
+      }
+      filtered.push_back(c);
+    }
+    if (filtered.empty() && breakers_ != nullptr) {
+      // Panic routing (Envoy's panic-threshold idea): every candidate is
+      // ejected, so ejections are ignored rather than failing all traffic.
+      for (ClusterId c : candidates) {
+        if (exclude_failed && c == as->exclude) continue;
+        filtered.push_back(c);
+      }
     }
     if (!filtered.empty()) cand = &filtered;
   }
@@ -455,9 +565,17 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   } else {
     to = baseline_policy_->route(query, rng_routing_);
   }
-  if (cand == &filtered && to == as->exclude) {
-    // Weighted rules ignore the candidate filter; force the failover.
-    to = scenario_.topology->nearest(from, filtered);
+  if (cand == &filtered && filtered.size() != candidates.size()) {
+    // Weighted rules ignore the candidate filter; force the failover when
+    // the pick is excluded or ejected.
+    bool in_filtered = false;
+    for (ClusterId c : filtered) {
+      if (c == to) {
+        in_filtered = true;
+        break;
+      }
+    }
+    if (!in_filtered) to = scenario_.topology->nearest(from, filtered);
   }
   as->to = to;
 
@@ -469,18 +587,38 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
 
   const FailurePolicy& fp = config_.failure;
 
-  // Attempt settlement: the first of {response, timeout} wins. The attempt
-  // record is reused across retries, so every event of this attempt carries
-  // its generation and drops itself if a retry has superseded it.
+  // Attempt settlement: the first of {response, timeout, deadline} wins.
+  // The attempt record is reused across retries, so every event of this
+  // attempt carries its generation and drops itself if a retry has
+  // superseded it.
   const std::uint32_t gen = as->attempt;
 
-  if (fp.enabled && fp.call_timeout > 0.0) {
-    sim_.schedule_after(fp.call_timeout, [this, as, gen]() {
+  // The attempt is abandoned at the per-attempt timeout or the remaining
+  // end-to-end budget, whichever comes first.
+  double timeout_after = ServiceStation::kNoDeadline;
+  if (fp.enabled && fp.call_timeout > 0.0) timeout_after = fp.call_timeout;
+  if (overload_.deadline.enabled && overload_.deadline.propagate) {
+    timeout_after = std::min(timeout_after, as->deadline - now);
+  }
+  if (timeout_after < ServiceStation::kNoDeadline) {
+    sim_.schedule_after(timeout_after, [this, as, gen]() {
       if (as->attempt != gen || as->settled) return;
       as->settled = true;
       ++result_.call_timeouts;
+      ++result_.call_timeouts_by_class[as->req->cls.index()];
       settle_attempt(as, false);
     });
+  }
+
+  // The remaining budget the callee's subtree inherits: the caller stops
+  // waiting at now + timeout_after, so any work past that point is wasted
+  // regardless of the request deadline. Without propagation the raw
+  // deadline is carried for wasted-work accounting only.
+  double child_deadline = ServiceStation::kNoDeadline;
+  if (overload_.deadline.enabled) {
+    child_deadline = overload_.deadline.propagate
+                         ? std::min(as->deadline, now + timeout_after)
+                         : as->deadline;
   }
 
   // Request leg. A partitioned link swallows the message: with a timeout
@@ -489,7 +627,7 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   if (injector_ != nullptr && injector_->link_partitioned(from, to)) return;
 
   const double out = net_delay(from, to);
-  sim_.schedule_after(out, [this, as, gen]() mutable {
+  sim_.schedule_after(out, [this, as, gen, child_deadline]() mutable {
     // Deadline propagation: an attempt abandoned before the request
     // arrived is not executed by the server.
     if (as->attempt != gen || as->settled) return;
@@ -499,7 +637,7 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
     // The response continuation pins this generation's endpoints by value:
     // by the time it fires a retry may have re-aimed the attempt record.
     execute_node(
-        std::move(req), as->node, to, as->parent_span,
+        std::move(req), as->node, to, as->parent_span, child_deadline,
         [this, as, gen, from, to](bool ok) mutable {
           // Response leg (errors travel back too, but pay no egress).
           if (injector_ != nullptr && injector_->link_partitioned(to, from)) {
@@ -521,16 +659,27 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
 }
 
 void Simulation::settle_attempt(const PoolPtr<AttemptState>& as, bool ok) {
+  if (breakers_ != nullptr) {
+    // Outlier detection: every settled attempt is a health datapoint for
+    // the (service, destination) breaker.
+    const CallGraph& g = scenario_.app->traffic_class(as->req->cls).graph;
+    breakers_->on_result(g.node(as->node).service, as->to, ok, sim_.now());
+  }
   if (ok) {
     Done done = std::move(as->done);
     done(true);
     return;
   }
   const FailurePolicy& policy = config_.failure;
-  if (policy.enabled && as->attempt < policy.max_retries) {
+  // Retrying past the deadline cannot help anyone; the failure is terminal.
+  const bool budget_left =
+      !(overload_.deadline.enabled && overload_.deadline.propagate &&
+        as->deadline <= sim_.now());
+  if (policy.enabled && budget_left && as->attempt < policy.max_retries) {
     if (retry_tokens_ >= 1.0) {
       retry_tokens_ -= 1.0;
       ++result_.call_retries;
+      ++result_.call_retries_by_class[as->req->cls.index()];
       const double backoff =
           policy.backoff_base *
           std::pow(policy.backoff_multiplier, static_cast<double>(as->attempt));
@@ -544,6 +693,7 @@ void Simulation::settle_attempt(const PoolPtr<AttemptState>& as, bool ok) {
       return;
     }
     ++result_.retry_budget_denials;
+    ++result_.retry_budget_denials_by_class[as->req->cls.index()];
   }
   Done done = std::move(as->done);
   done(false);
@@ -668,6 +818,20 @@ ExperimentResult Simulation::run() {
     if (stations_[i] != nullptr) {
       result_.final_servers[i] = stations_[i]->servers();
     }
+  }
+  if (breakers_ != nullptr) {
+    result_.breaker_ejections = breakers_->ejections();
+  }
+  // Station-level job conservation and doomed-work accounting.
+  for (const auto& st : stations_) {
+    if (st == nullptr) continue;
+    result_.jobs_submitted += st->jobs_submitted();
+    result_.jobs_served += st->jobs_completed();
+    result_.jobs_cancelled += st->jobs_cancelled();
+    result_.jobs_evicted += st->jobs_evicted();
+    result_.jobs_shed += st->jobs_shed();
+    result_.jobs_in_flight_at_end += st->busy_servers() + st->queue_length();
+    result_.wasted_server_seconds += st->wasted_server_seconds();
   }
   return result_;
 }

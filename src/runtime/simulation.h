@@ -32,6 +32,8 @@
 #include "core/slate_proxy.h"
 #include "fault/fault_injector.h"
 #include "net/egress_meter.h"
+#include "overload/circuit_breaker.h"
+#include "overload/overload_policy.h"
 #include "routing/policy.h"
 #include "runtime/experiment.h"
 #include "sim/simulator.h"
@@ -61,6 +63,10 @@ class Simulation {
   [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
     return injector_.get();
   }
+  // Null unless circuit breaking is enabled.
+  [[nodiscard]] const CircuitBreakerBank* circuit_breakers() const noexcept {
+    return breakers_.get();
+  }
   // Null for baseline policies; indexed by cluster id under SLATE.
   [[nodiscard]] const ClusterController* cluster_controller(
       ClusterId c) const noexcept {
@@ -81,6 +87,8 @@ class Simulation {
     ClassId cls;
     ClusterId ingress;
     double arrival_time = 0.0;
+    // End-to-end deadline (absolute sim time; +inf when deadlines are off).
+    double deadline = 0.0;
   };
   using ReqPtr = PoolPtr<RequestState>;
 
@@ -120,6 +128,8 @@ class Simulation {
     double enqueue_time = 0.0;
     double queue_s = 0.0;
     double service_s = 0.0;
+    // Remaining time budget for this node's subtree (absolute; +inf = none).
+    double deadline = 0.0;
     Done done;
   };
 
@@ -130,6 +140,7 @@ class Simulation {
     std::uint64_t parent_span = 0;
     CallList calls;
     std::size_t index = 0;
+    double deadline = 0.0;
     Done done;
   };
 
@@ -152,6 +163,7 @@ class Simulation {
     std::uint64_t parent_span = 0;
     std::uint32_t attempt = 0;
     bool settled = false;
+    double deadline = 0.0;
     Done done;
   };
 
@@ -170,16 +182,18 @@ class Simulation {
   // the node's response time (network back to the caller NOT included), with
   // ok=false when the cluster refused the request or a child subtree
   // failed. `parent_span` is the caller's span id (trace-context
-  // propagation; 0 at the root).
+  // propagation; 0 at the root). `deadline` is the remaining time budget
+  // (absolute sim time; kNoDeadline when deadlines are off) — with deadline
+  // propagation on, expired work is cancelled instead of executed.
   void execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
-                    std::uint64_t parent_span, Done done);
+                    std::uint64_t parent_span, double deadline, Done done);
   // Emits the node's span and fires its continuation.
   void finish_node(const PoolPtr<NodeState>& ns, bool ok);
   // Issues the call for child `node` from `from`: routes, pays the network
   // and egress both ways, recurses, retrying failed attempts per
   // config_.failure. `done` fires when the call settles at `from`.
   void issue_call(ReqPtr req, std::size_t node, ClusterId from,
-                  std::uint64_t parent_span, Done done);
+                  std::uint64_t parent_span, double deadline, Done done);
   // One routed attempt of the call described by `as` (fields set by
   // issue_call / the preceding attempt's retry path).
   void start_attempt(const PoolPtr<AttemptState>& as);
@@ -188,7 +202,7 @@ class Simulation {
   void settle_attempt(const PoolPtr<AttemptState>& as, bool ok);
   // Runs `children[index...]` per the parent's invocation mode.
   void run_children(ReqPtr req, std::size_t parent_node, ClusterId cluster,
-                    std::uint64_t parent_span, Done done);
+                    std::uint64_t parent_span, double deadline, Done done);
   // Advances a sequential child chain after the previous child settled.
   void chain_next(const PoolPtr<ChainState>& cs, bool ok);
 
@@ -207,6 +221,15 @@ class Simulation {
   const Scenario& scenario_;
   RunConfig config_;
   std::size_t cluster_count_;
+
+  // Effective overload policy: scenario's, with each enabled sub-policy of
+  // the config overriding its counterpart.
+  OverloadPolicy overload_;
+  // Precomputed per-class knobs (kNoDeadline / 0 when the sub-policy is off).
+  std::vector<double> deadline_by_class_;
+  std::vector<int> priority_by_class_;
+  // Null unless overload_.breaker.enabled.
+  std::unique_ptr<CircuitBreakerBank> breakers_;
 
   // Hot-path control-block pools. Declared before every consumer (the
   // simulator's event queue and the stations' job queues hold PoolPtrs that

@@ -15,7 +15,8 @@ void drive(Simulator& sim, ServiceStation& station, Rng& rng, double rate,
            double service_mean, double until) {
   auto arrive = std::make_shared<std::function<void()>>();
   *arrive = [&sim, &station, &rng, rate, service_mean, until, arrive]() {
-    station.submit(service_mean, [](double, double) {});
+    station.submit(service_mean,
+                   [](ServiceStation::JobOutcome, double, double) {});
     const double gap = rng.exponential(1.0 / rate);
     if (sim.now() + gap < until) {
       sim.schedule_after(gap, *arrive);
@@ -33,7 +34,7 @@ TEST(SetServers, GrowDispatchesQueuedJobs) {
   ServiceStation st(sim, Rng(1), ServiceId{0}, ClusterId{0}, 1);
   int done = 0;
   for (int i = 0; i < 4; ++i) {
-    st.submit(1.0, [&](double, double) { ++done; });
+    st.submit(1.0, [&](ServiceStation::JobOutcome, double, double) { ++done; });
   }
   sim.run_until(0.0);
   EXPECT_EQ(st.busy_servers(), 1u);
@@ -51,7 +52,7 @@ TEST(SetServers, ShrinkDoesNotPreempt) {
   ServiceStation st(sim, Rng(2), ServiceId{0}, ClusterId{0}, 3);
   int done = 0;
   for (int i = 0; i < 3; ++i) {
-    st.submit(1.0, [&](double, double) { ++done; });
+    st.submit(1.0, [&](ServiceStation::JobOutcome, double, double) { ++done; });
   }
   sim.run_until(0.0);
   EXPECT_EQ(st.busy_servers(), 3u);
@@ -61,7 +62,7 @@ TEST(SetServers, ShrinkDoesNotPreempt) {
   EXPECT_EQ(done, 3);
   // New work runs at the reduced parallelism.
   for (int i = 0; i < 2; ++i) {
-    st.submit(1.0, [&](double, double) {});
+    st.submit(1.0, [&](ServiceStation::JobOutcome, double, double) {});
   }
   sim.run_until(60.0);
   EXPECT_EQ(st.busy_servers(), 1u);

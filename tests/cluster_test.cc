@@ -24,9 +24,10 @@ double simulate_mm_c(double arrival_rate, double service_mean, unsigned servers,
 
   std::function<void()> arrive = [&]() {
     const double enq = sim.now();
-    station.submit(service_mean, [&, enq](double, double) {
-      sojourn.add(sim.now() - enq);
-    });
+    station.submit(service_mean,
+                   [&, enq](ServiceStation::JobOutcome, double, double) {
+                     sojourn.add(sim.now() - enq);
+                   });
     const double gap = arrivals.exponential(1.0 / arrival_rate);
     if (sim.now() + gap < duration) sim.schedule_after(gap, arrive);
   };
@@ -47,7 +48,7 @@ TEST(ServiceStation, ProcessesAllJobs) {
   ServiceStation st(sim, Rng(2), ServiceId{0}, ClusterId{0}, 1);
   int done = 0;
   for (int i = 0; i < 50; ++i) {
-    st.submit(1e-3, [&](double, double) { ++done; });
+    st.submit(1e-3, [&](ServiceStation::JobOutcome, double, double) { ++done; });
   }
   sim.run();
   EXPECT_EQ(done, 50);
@@ -61,8 +62,9 @@ TEST(ServiceStation, ZeroServiceTimeCompletesImmediately) {
   Simulator sim;
   ServiceStation st(sim, Rng(3), ServiceId{0}, ClusterId{0}, 1);
   bool done = false;
-  st.submit(0.0, [&](double q, double s) {
+  st.submit(0.0, [&](ServiceStation::JobOutcome o, double q, double s) {
     done = true;
+    EXPECT_EQ(o, ServiceStation::JobOutcome::kServed);
     EXPECT_EQ(q, 0.0);
     EXPECT_EQ(s, 0.0);
   });
@@ -76,7 +78,9 @@ TEST(ServiceStation, FifoOrder) {
   ServiceStation st(sim, Rng(4), ServiceId{0}, ClusterId{0}, 1);
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    st.submit(1e-3, [&order, i](double, double) { order.push_back(i); });
+    st.submit(1e-3, [&order, i](ServiceStation::JobOutcome, double, double) {
+      order.push_back(i);
+    });
   }
   sim.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -112,7 +116,7 @@ TEST(ServiceStation, UtilizationTracksLoad) {
   Rng arrivals = rng.fork(1);
   const double lambda = 500.0;  // u = 0.5
   std::function<void()> arrive = [&]() {
-    station.submit(s, [](double, double) {});
+    station.submit(s, [](ServiceStation::JobOutcome, double, double) {});
     const double gap = arrivals.exponential(1.0 / lambda);
     if (sim.now() + gap < 100.0) sim.schedule_after(gap, arrive);
   };
@@ -133,7 +137,7 @@ TEST(ServiceStation, QueueAndServiceTimesReported) {
   ServiceStation st(sim, Rng(5), ServiceId{0}, ClusterId{0}, 1);
   std::vector<double> queue_times;
   for (int i = 0; i < 5; ++i) {
-    st.submit(1e-3, [&](double q, double sv) {
+    st.submit(1e-3, [&](ServiceStation::JobOutcome, double q, double sv) {
       queue_times.push_back(q);
       EXPECT_GT(sv, 0.0);
     });

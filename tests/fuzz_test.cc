@@ -292,6 +292,136 @@ TEST_P(FuzzTest, FaultDirectivesParseOrFailCleanly) {
   }
 }
 
+// Random but valid overload-control configuration.
+OverloadPolicy random_overload(Rng& rng, std::size_t classes) {
+  OverloadPolicy p;
+  if (rng.bernoulli(0.7)) {
+    p.queue.max_queue = 1 + rng.uniform_u64(128);
+    p.queue.priority_shedding = rng.bernoulli(0.5);
+  }
+  if (rng.bernoulli(0.4)) {
+    p.queue.codel_target = rng.uniform(0.005, 0.05);
+    p.queue.codel_interval = rng.uniform(0.02, 0.2);
+  }
+  if (rng.bernoulli(0.7)) {
+    p.deadline.enabled = true;
+    p.deadline.default_deadline = rng.uniform(0.05, 1.0);
+    p.deadline.propagate = rng.bernoulli(0.7);
+    for (std::size_t k = 0; k < classes; ++k) {
+      if (rng.bernoulli(0.3)) {
+        p.deadline.per_class.resize(classes, 0.0);
+        p.deadline.per_class[k] = rng.uniform(0.05, 2.0);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < classes; ++k) {
+    if (rng.bernoulli(0.3)) {
+      p.queue.class_priority.resize(classes, 0);
+      p.queue.class_priority[k] = static_cast<int>(rng.uniform_u64(10)) - 3;
+    }
+  }
+  if (rng.bernoulli(0.5)) {
+    p.breaker.enabled = true;
+    p.breaker.window = rng.uniform(1.0, 8.0);
+    p.breaker.min_volume = 5 + rng.uniform_u64(40);
+    p.breaker.failure_ratio = rng.uniform(0.2, 1.0);
+    p.breaker.ejection_base = rng.uniform(1.0, 5.0);
+    p.breaker.max_ejection = 30.0;
+    p.breaker.half_open_probes = 1 + rng.uniform_u64(5);
+  }
+  return p;
+}
+
+// Overload control interleaved with random faults: the run must neither
+// crash nor leak jobs. Conservation — every job a station admitted is
+// served, cancelled, evicted, or still in flight at run end; everything
+// else was shed at the door — plus seed determinism with the whole
+// subsystem active.
+TEST_P(FuzzTest, OverloadRunsSatisfyConservationAndDeterminism) {
+  const auto seed = static_cast<std::uint64_t>(15000 + GetParam());
+  Scenario scenario = random_scenario(seed);
+  Rng rng(seed ^ 0x0eu);
+  if (rng.bernoulli(0.6)) {
+    add_random_faults(scenario.faults, rng, scenario.topology->cluster_count(),
+                      scenario.app->service_count(), 12.0);
+  }
+
+  for (PolicyKind policy : {PolicyKind::kLocalityFailover, PolicyKind::kSlate}) {
+    SCOPED_TRACE(to_string(policy));
+    RunConfig config;
+    config.policy = policy;
+    config.duration = 12.0;
+    config.warmup = 4.0;
+    config.seed = seed;
+    config.failure.enabled = rng.bernoulli(0.7);
+    config.overload = random_overload(rng, scenario.app->class_count());
+
+    const ExperimentResult a = run_experiment(scenario, config);
+    EXPECT_EQ(a.jobs_submitted, a.jobs_served + a.jobs_cancelled +
+                                    a.jobs_evicted + a.jobs_in_flight_at_end);
+    EXPECT_EQ(a.jobs_evicted, a.shed_evictions);
+    EXPECT_GE(a.jobs_shed, a.shed_queue_full + a.shed_queue_delay);
+    EXPECT_LE(a.completed, a.generated);
+    if (a.completed > 0) {
+      EXPECT_TRUE(std::isfinite(a.p99()));
+    }
+    // Wasted server time requires deadlines carried without propagation.
+    if (!a.generated || !config.overload.deadline.enabled ||
+        config.overload.deadline.propagate) {
+      EXPECT_EQ(a.wasted_server_seconds, 0.0);
+    }
+
+    const ExperimentResult b = run_experiment(scenario, config);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.total_shed(), b.total_shed());
+    EXPECT_EQ(a.deadline_cancellations, b.deadline_cancellations);
+    EXPECT_EQ(a.breaker_ejections, b.breaker_ejections);
+    EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  }
+}
+
+// Random overload directive lines through the text loader: like the fault
+// fuzz — parse into policy state or fail with a line-numbered error.
+TEST_P(FuzzTest, OverloadDirectivesParseOrFailCleanly) {
+  const auto seed = static_cast<std::uint64_t>(17000 + GetParam());
+  Rng rng(seed);
+  const std::string base =
+      "cluster west\ncluster east\nrtt west east 20ms\n"
+      "service s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=200\ndemand k west 50\n";
+
+  auto token = [&](std::initializer_list<const char*> options) {
+    auto it = options.begin();
+    std::advance(it, rng.uniform_u64(options.size()));
+    return std::string(*it);
+  };
+  for (int line = 0; line < 24; ++line) {
+    std::string directive =
+        "overload " + token({"queue", "deadline", "priority", "breaker",
+                             "meteor"});
+    const std::size_t extras = rng.uniform_u64(5);
+    for (std::size_t i = 0; i < extras; ++i) {
+      directive += " " + token({"k", "s", "500ms", "-1s", "0s", "limit=32",
+                                "limit=-4", "limit=x", "codel_target=10ms",
+                                "priority_shedding=on", "propagate=off",
+                                "propagate=41", "window=5s", "ratio=0.5",
+                                "ratio=7", "min_volume=10", "probes=0",
+                                "eject=5s", "7", "1.5", "bogus=1"});
+    }
+    const std::string text = base + directive + "\n";
+    try {
+      const Scenario s = load_scenario_from_string(text);
+      // Whatever parsed must be a coherent policy for this world.
+      s.overload.validate(s.app->class_count());
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 9"), std::string::npos)
+          << directive << " -> " << e.what();
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 12));
 
 }  // namespace

@@ -136,6 +136,45 @@ TEST(ExperimentGrid, ParallelResultsMatchSerialExactly) {
   }
 }
 
+TEST(ExperimentGrid, ParallelMatchesSerialWithOverloadControlEnabled) {
+  // The overload subsystem (bounded queues, deadlines, breakers) must not
+  // introduce any cross-run shared state: byte-identity has to survive with
+  // every gate armed and actively shedding.
+  TwoClusterChainParams params;
+  params.west_rps = 650.0;  // overloaded: the gates fire constantly
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  std::vector<GridJob> jobs = determinism_jobs(scenario);
+  for (GridJob& job : jobs) {
+    job.config.overload.queue.max_queue = 32;
+    job.config.overload.queue.codel_target = 0.02;
+    job.config.overload.deadline.enabled = true;
+    job.config.overload.deadline.default_deadline = 0.4;
+    job.config.overload.breaker.enabled = true;
+    job.config.overload.breaker.min_volume = 10;
+  }
+
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<ExperimentResult> a = run_experiment_grid(jobs, serial);
+  const std::vector<ExperimentResult> b = run_experiment_grid(jobs, parallel);
+
+  ASSERT_EQ(a.size(), jobs.size());
+  std::uint64_t overload_activity = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(a[i], b[i]);
+    EXPECT_EQ(a[i].total_shed(), b[i].total_shed());
+    EXPECT_EQ(a[i].deadline_cancellations, b[i].deadline_cancellations);
+    EXPECT_EQ(a[i].breaker_ejections, b[i].breaker_ejections);
+    EXPECT_EQ(a[i].jobs_submitted, b[i].jobs_submitted);
+    overload_activity += a[i].total_shed() + a[i].deadline_cancellations;
+  }
+  // The comparison is vacuous unless the subsystem actually did something.
+  EXPECT_GT(overload_activity, 0u);
+}
+
 TEST(ExperimentGrid, ResultsComeBackInJobOrder) {
   TwoClusterChainParams params;
   const Scenario scenario = make_two_cluster_chain_scenario(params);

@@ -278,12 +278,144 @@ TEST(ScenarioLoader, MissingFileThrows) {
                std::runtime_error);
 }
 
+// --- Loader hardening: values that used to wrap, truncate, or slip through
+
+TEST(ScenarioLoader, NegativeAndMalformedValuesRejected) {
+  expect_error("cluster a\ncluster b\nrtt a b -5ms\n", "negative duration");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=1ms req=-4KB\n",
+      "negative size");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=-2 capacity=10\ndemand k a 5\n",
+      "servers must be >= 1");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1.5 capacity=10\ndemand k a 5\n",
+      "servers must be an integer");
+  expect_error(
+      "cluster a\nservice s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=10\ndemand k a -5\n",
+      "demand");
+  expect_error("cluster a\negress_price -0.1\n", "egress_price");
+}
+
+TEST(ScenarioLoader, NonPositiveFaultFactorRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "fault slowdown s west @1s 2s factor=0\n",
+               "factor must be > 0");
+  expect_error(base + "fault slowdown s west @1s 2s factor=-3\n",
+               "factor must be > 0");
+}
+
+// --- Overload directives ---------------------------------------------------
+
+TEST(ScenarioLoader, ParsesOverloadDirectives) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "overload queue limit=64 codel_target=20ms codel_interval=100ms "
+      "priority_shedding=off\n"
+      "overload deadline 500ms propagate=off\n"
+      "overload priority k 7\n"
+      "overload breaker window=4s ratio=0.6 min_volume=15 eject=3s "
+      "max_eject=30s probes=2\n");
+  const OverloadPolicy& p = s.overload;
+  EXPECT_EQ(p.queue.max_queue, 64u);
+  EXPECT_DOUBLE_EQ(p.queue.codel_target, 0.02);
+  EXPECT_DOUBLE_EQ(p.queue.codel_interval, 0.1);
+  EXPECT_FALSE(p.queue.priority_shedding);
+  EXPECT_TRUE(p.queue.enabled());
+
+  EXPECT_TRUE(p.deadline.enabled);
+  EXPECT_DOUBLE_EQ(p.deadline.default_deadline, 0.5);
+  EXPECT_FALSE(p.deadline.propagate);
+
+  ASSERT_EQ(p.queue.class_priority.size(), 1u);
+  EXPECT_EQ(p.queue.class_priority[0], 7);
+  EXPECT_EQ(p.queue.priority_of(ClassId{0}), 7);
+
+  EXPECT_TRUE(p.breaker.enabled);
+  EXPECT_DOUBLE_EQ(p.breaker.window, 4.0);
+  EXPECT_DOUBLE_EQ(p.breaker.failure_ratio, 0.6);
+  EXPECT_EQ(p.breaker.min_volume, 15u);
+  EXPECT_DOUBLE_EQ(p.breaker.ejection_base, 3.0);
+  EXPECT_DOUBLE_EQ(p.breaker.max_ejection, 30.0);
+  EXPECT_EQ(p.breaker.half_open_probes, 2u);
+  EXPECT_TRUE(p.any_enabled());
+}
+
+TEST(ScenarioLoader, PerClassDeadlineEnablesAndResolvesForwardReferences) {
+  // The per-class form appears before the class declaration and still
+  // resolves; it also switches deadlines on by itself.
+  const Scenario s = load_scenario_from_string(
+      "overload deadline k 2s\n" + std::string(kFaultBase));
+  EXPECT_TRUE(s.overload.deadline.enabled);
+  ASSERT_EQ(s.overload.deadline.per_class.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.overload.deadline.per_class[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.overload.deadline.deadline_for(ClassId{0}), 2.0);
+}
+
+TEST(ScenarioLoader, BareBreakerDirectiveEnablesDefaults) {
+  const Scenario s =
+      load_scenario_from_string(std::string(kFaultBase) + "overload breaker\n");
+  EXPECT_TRUE(s.overload.breaker.enabled);
+  EXPECT_DOUBLE_EQ(s.overload.breaker.window, BreakerPolicy{}.window);
+}
+
+TEST(ScenarioLoader, OverloadScenarioRunsEndToEnd) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) + "overload queue limit=32\n"
+                                "overload deadline 300ms\n");
+  RunConfig config;
+  config.policy = PolicyKind::kLocalOnly;
+  config.duration = 10.0;
+  config.warmup = 2.0;
+  const ExperimentResult r = run_experiment(s, config);
+  EXPECT_GT(r.completed, 100u);
+}
+
+TEST(ScenarioLoader, BadOverloadDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "overload\n", "overload <queue|deadline");
+  expect_error(base + "overload meteor limit=3\n", "unknown overload kind");
+  expect_error(base + "overload queue\n", "overload queue limit");
+  expect_error(base + "overload queue limit=-1\n", "limit must be >= 0");
+  expect_error(base + "overload queue limit=2.5\n", "limit must be an integer");
+  expect_error(base + "overload queue codel_target=0s\n",
+               "codel_target must be > 0");
+  expect_error(base + "overload queue bogus=1\n",
+               "unknown overload queue attribute");
+  expect_error(base + "overload queue limit\n", "expected key=value");
+  expect_error(base + "overload deadline 0s\n", "deadline must be > 0");
+  expect_error(base + "overload deadline -1s\n", "negative duration");
+  expect_error(base + "overload deadline 1s propagate=maybe\n",
+               "propagate must be on or off");
+  expect_error(base + "overload deadline 1s retry=2\n",
+               "unknown overload deadline attribute");
+  expect_error(base + "overload deadline nope 1s\n", "unknown class 'nope'");
+  expect_error(base + "overload priority nope 3\n", "unknown class 'nope'");
+  expect_error(base + "overload priority k 1.5\n",
+               "priority level must be an integer");
+  expect_error(base + "overload priority k 1 extra\n", "overload priority");
+  expect_error(base + "overload breaker ratio=0\n", "ratio must be in (0, 1]");
+  expect_error(base + "overload breaker ratio=1.2\n", "ratio must be in (0, 1]");
+  expect_error(base + "overload breaker window=0s\n", "window must be > 0");
+  expect_error(base + "overload breaker min_volume=0\n",
+               "min_volume must be >= 1");
+  expect_error(base + "overload breaker probes=0\n", "probes must be >= 1");
+  expect_error(base + "overload breaker spin=7\n",
+               "unknown overload breaker attribute");
+  // Errors carry the directive's source line.
+  expect_error(base + "overload queue limit=-1\n", "line 10");
+}
+
 TEST(ScenarioLoader, SampleFilesParse) {
   // The shipped sample scenarios must stay valid.
   for (const char* path : {"examples/scenarios/two_cluster_overload.slate",
                            "examples/scenarios/burst.slate",
                            "examples/scenarios/anomaly_detection.slate",
-                           "examples/scenarios/cluster_outage.slate"}) {
+                           "examples/scenarios/cluster_outage.slate",
+                           "examples/scenarios/metastable_burst.slate"}) {
     SCOPED_TRACE(path);
     std::string full = std::string(SLATE_SOURCE_DIR) + "/" + path;
     EXPECT_NO_THROW({

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_simulator run against the committed perf baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json [BASELINE.json] [--threshold=0.25]
+
+Exits non-zero if any (case, policy) run's events_per_sec regressed by more
+than the threshold fraction relative to the baseline (BENCH_simulator.json
+at the repo root by default). Faster-than-baseline results and allocation
+deltas are reported but never fail the check — CI machines vary; a >25%
+events/sec drop on the same machine class is a real regression, not noise.
+
+New cases missing from the baseline are reported and skipped (regenerate
+the baseline with `./bench/micro_simulator BENCH_simulator.json` to pin
+them); baseline cases missing from the current run fail the check, since a
+silently dropped case would hide a regression.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for run in doc.get("runs", []):
+        runs[(run["case"], run["policy"])] = run
+    if not runs:
+        sys.exit(f"error: no runs in {path}")
+    return runs
+
+
+def main(argv):
+    threshold = 0.25
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+    if not 1 <= len(positional) <= 2:
+        sys.exit(__doc__.strip())
+
+    current_path = positional[0]
+    baseline_path = (
+        positional[1]
+        if len(positional) == 2
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+    )
+
+    current = load_runs(current_path)
+    baseline = load_runs(baseline_path)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        name = f"{key[0]}/{key[1]}"
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        base_eps = base["events_per_sec"]
+        cur_eps = cur["events_per_sec"]
+        delta = (cur_eps - base_eps) / base_eps
+        marker = "OK "
+        if delta < -threshold:
+            marker = "REG"
+            failures.append(
+                f"{name}: events/sec {cur_eps:,.0f} vs baseline "
+                f"{base_eps:,.0f} ({delta:+.1%} < -{threshold:.0%})"
+            )
+        alloc_note = ""
+        if "allocs_per_event" in base and "allocs_per_event" in cur:
+            alloc_note = (
+                f"  allocs/event {cur['allocs_per_event']:.3f}"
+                f" (baseline {base['allocs_per_event']:.3f})"
+            )
+        print(
+            f"{marker} {name:28s} {cur_eps:12,.0f} ev/s "
+            f"({delta:+7.1%} vs baseline){alloc_note}"
+        )
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"NEW {key[0]}/{key[1]}: not in baseline, skipped")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) beyond {threshold:.0%}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nall runs within {threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
