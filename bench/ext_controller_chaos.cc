@@ -1,0 +1,144 @@
+// Extension experiment: control-plane hardening under byzantine telemetry
+// and a solver outage (paper §4 "Challenges" — the controller itself is a
+// failure domain, not just the clusters it manages).
+//
+// Two-cluster chain with West overloaded (800 > 475 RPS capacity), so SLATE
+// must spill onto East to serve everyone. Mid-run the control plane is
+// attacked twice:
+//
+//   [25, 75)  West's reports turn byzantine: ingress rates, latencies, and
+//             utilizations spiked 8x, zeroed, truncated, or negated before they reach
+//             the global controller. West is the overloaded cluster, so its
+//             demand signal is exactly the one the spill plan hangs on: a
+//             zeroed report stops the spill (West melts down locally), a
+//             spiked one over-rotates it.
+//   [35, 45)  the optimizer is down entirely (every solve attempt throws).
+//
+// Three arms, same data plane, same seed:
+//
+//   fault-free        — no chaos; the goodput ceiling.
+//   chaos-unguarded   — chaos with the guard stack disarmed: poisoned
+//                       telemetry drives the demand estimate, rules flap,
+//                       solver outage freezes whatever garbage was last
+//                       pushed.
+//   chaos-guarded     — telemetry admission + solver fallback ladder +
+//                       damped canary rollout armed (scenario defaults).
+//
+// Judged on goodput in the chaos window, rule churn (mean successive-push
+// L1 distance — flapping shows up as a large mean), and the guard counters.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+constexpr double kCorruptStart = 25.0;
+constexpr double kCorruptEnd = 75.0;
+constexpr double kSolverStart = 35.0;
+constexpr double kSolverEnd = 45.0;
+
+struct Row {
+  ExperimentResult r;
+  double pre, chaos, post;
+};
+
+Row summarize(ExperimentResult r) {
+  Row row;
+  row.r = std::move(r);
+  row.pre = row.r.goodput_in_window(15.0, kCorruptStart);
+  row.chaos = row.r.goodput_in_window(kCorruptStart + 2.0, kCorruptEnd);
+  row.post = row.r.goodput_in_window(kCorruptEnd + 3.0, 90.0);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension",
+                      "controller chaos: byzantine telemetry + solver outage");
+
+  TwoClusterChainParams params;
+  params.west_rps = 800.0;
+  params.east_rps = 100.0;
+
+  // Arm 0: the fault-free ceiling.
+  Scenario clean = make_two_cluster_chain_scenario(params);
+
+  // Arms 1-2: corrupted West telemetry overlapping a global solver outage.
+  // The guard directives ride on the scenario; the unguarded arm disarms
+  // them with ignore_scenario_guard (slate_cli --no-guard).
+  Scenario chaos = make_two_cluster_chain_scenario(params);
+  chaos.faults.telemetry_corruption(ClusterId{0}, kCorruptStart,
+                                    kCorruptEnd - kCorruptStart, 8.0);
+  chaos.faults.solver_outage(kSolverStart, kSolverEnd - kSolverStart);
+  chaos.guard.admission.enabled = true;
+  chaos.guard.solver.enabled = true;
+  chaos.guard.rollout.enabled = true;
+
+  RunConfig base;
+  base.policy = PolicyKind::kSlate;
+  base.duration = 90.0;
+  base.warmup = 10.0;
+  base.seed = 17;
+  base.control_period = 1.0;
+  base.timeseries_bucket = 1.0;
+  base.failure.enabled = true;
+  base.failure.call_timeout = 0.5;
+  base.failure.max_retries = 2;
+
+  std::vector<GridJob> jobs;
+  jobs.push_back({&clean, base, "fault-free"});
+  RunConfig unguarded = base;
+  unguarded.ignore_scenario_guard = true;
+  jobs.push_back({&chaos, unguarded, "chaos-unguarded"});
+  jobs.push_back({&chaos, base, "chaos-guarded"});
+  std::vector<ExperimentResult> results = bench::run_grid(jobs);
+
+  const char* labels[] = {"fault-free", "chaos-unguarded", "chaos-guarded"};
+  std::printf("%-18s %9s %9s %9s %10s %9s %9s %9s\n", "arm", "pre_rps",
+              "chaos_rps", "post_rps", "rule_delta", "fallback", "rollback",
+              "rejects");
+  double clean_chaos = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Row row = summarize(std::move(results[i]));
+    if (i == 0) clean_chaos = row.chaos;
+    std::printf("%-18s %9.1f %9.1f %9.1f %10.3f %9llu %9llu %9llu\n",
+                labels[i], row.pre, row.chaos, row.post,
+                row.r.mean_rule_delta(),
+                static_cast<unsigned long long>(row.r.solver_fallbacks),
+                static_cast<unsigned long long>(row.r.rollout_rollbacks),
+                static_cast<unsigned long long>(row.r.guard_fields_rejected));
+    std::printf(
+        "data,controller_chaos,%s,%.2f,%.2f,%.2f,%.4f,%llu,%llu,%llu,%llu,"
+        "%llu,%llu\n",
+        labels[i], row.pre, row.chaos, row.post, row.r.mean_rule_delta(),
+        static_cast<unsigned long long>(row.r.solver_fallbacks),
+        static_cast<unsigned long long>(row.r.solver_holds),
+        static_cast<unsigned long long>(row.r.rollout_rollbacks),
+        static_cast<unsigned long long>(row.r.rollout_flap_freezes),
+        static_cast<unsigned long long>(row.r.guard_fields_rejected),
+        static_cast<unsigned long long>(row.r.guard_spikes_clamped));
+    for (std::size_t b = 0; b < row.r.completed_series.size(); ++b) {
+      std::printf("data,goodput_series,%s,%.1f,%llu\n", labels[i],
+                  static_cast<double>(b) * row.r.series_bucket,
+                  static_cast<unsigned long long>(row.r.completed_series[b]));
+    }
+    if (i == 2 && clean_chaos > 0.0) {
+      std::printf("data,guarded_vs_clean,%.4f\n", row.chaos / clean_chaos);
+    }
+  }
+  std::printf(
+      "\nreading: unguarded, West's spiked/zeroed/negated reports whipsaw\n"
+      "the demand estimate — successive rule pushes move large L1 distances\n"
+      "(flapping), traffic sloshes between clusters, and goodput drops well\n"
+      "below the fault-free ceiling; the solver outage then freezes whatever\n"
+      "garbage plan was live. Guarded, the admission gate rejects poisoned\n"
+      "fields and clamps MAD spikes (interpolating last-good values), the\n"
+      "fallback ladder rides the outage on a capacity split, and the damped\n"
+      "canary rollout keeps successive pushes small — goodput stays within a\n"
+      "few percent of fault-free.\n");
+  return 0;
+}

@@ -12,6 +12,8 @@
 //   --timeout=<seconds>    per-call timeout (enables failure handling)
 //   --retries=<n>          max retries per call (enables failure handling)
 //   --no-faults            ignore the scenario's fault plan
+//   --no-guard             ignore the scenario's guard directives (run the
+//                          control plane unhardened)
 //   --queue-limit=<n>      bound every station queue at n jobs (overload)
 //   --deadline=<seconds>   end-to-end deadline with propagation (overload)
 //   --no-overload          ignore the scenario's overload directives
@@ -102,6 +104,8 @@ int main(int argc, char** argv) {
       config.failure.max_retries = std::stoull(value);
     } else if (std::strcmp(argv[i], "--no-faults") == 0) {
       drop_faults = true;
+    } else if (std::strcmp(argv[i], "--no-guard") == 0) {
+      config.ignore_scenario_guard = true;
     } else if (parse_flag(argv[i], "--queue-limit", &value)) {
       config.overload.queue.max_queue = std::stoull(value);
     } else if (parse_flag(argv[i], "--deadline", &value)) {
@@ -232,6 +236,31 @@ int main(int argc, char** argv) {
       std::printf("  overload %.3f wasted server-seconds (expired work served)\n",
                   r.wasted_server_seconds);
     }
+  }
+  if (r.guard_fields_rejected + r.guard_spikes_clamped + r.solver_fallbacks +
+          r.solver_holds + r.rollout_rollbacks + r.rollout_flap_freezes +
+          r.rollout_damped_pushes + r.stale_rule_pushes >
+      0) {
+    std::printf(
+        "  guard    %llu fields rejected / %llu spikes clamped "
+        "(%llu interpolated)\n",
+        static_cast<unsigned long long>(r.guard_fields_rejected),
+        static_cast<unsigned long long>(r.guard_spikes_clamped),
+        static_cast<unsigned long long>(r.guard_interpolations));
+    std::printf(
+        "  guard    %llu solver fallbacks, %llu holds; rollout %llu rollbacks "
+        "/ %llu flap freezes / %llu damped pushes, %llu stale pushes dropped\n",
+        static_cast<unsigned long long>(r.solver_fallbacks),
+        static_cast<unsigned long long>(r.solver_holds),
+        static_cast<unsigned long long>(r.rollout_rollbacks),
+        static_cast<unsigned long long>(r.rollout_flap_freezes),
+        static_cast<unsigned long long>(r.rollout_damped_pushes),
+        static_cast<unsigned long long>(r.stale_rule_pushes));
+  }
+  if (r.rule_delta_count > 0) {
+    std::printf("  rules    %llu pushes, mean successive L1 delta %.3f\n",
+                static_cast<unsigned long long>(r.rule_pushes),
+                r.mean_rule_delta());
   }
   if (r.autoscaler_scale_ups + r.autoscaler_scale_downs > 0) {
     std::printf("  autoscaler: %llu up / %llu down\n",

@@ -63,7 +63,8 @@ ClusterReport ClusterController::collect(double now) {
     report.ingress_rps[k] =
         static_cast<double>(registry_.ingress_count(ClassId{k})) / period;
     const StreamingStats& e2e = registry_.e2e(ClassId{k});
-    report.e2e[k] = E2eMetrics{e2e.count(), e2e.mean()};
+    report.e2e[k] = E2eMetrics{e2e.count(), e2e.mean(),
+                               registry_.e2e_quantile(ClassId{k}, 0.99)};
   }
 
   // Reset period-scoped state.
@@ -76,7 +77,15 @@ ClusterReport ClusterController::collect(double now) {
   return report;
 }
 
-void ClusterController::push_rules(std::shared_ptr<const RoutingRuleSet> rules) {
+void ClusterController::push_rules(std::shared_ptr<const RoutingRuleSet> rules,
+                                   std::uint64_t epoch) {
+  if (epoch != 0 && epoch < rule_epoch_) {
+    // A delayed push from an older control round arriving after a newer
+    // one: applying it would silently roll the data plane backwards.
+    ++stale_pushes_;
+    return;
+  }
+  if (epoch != 0) rule_epoch_ = epoch;
   rules_policy_->update_rules(std::move(rules));
   ++pushes_;
 }

@@ -34,8 +34,12 @@ class ClusterController {
   // (request stats, ingress counts, station utilization windows).
   ClusterReport collect(double now);
 
-  // Pushes new rules to the data plane.
-  void push_rules(std::shared_ptr<const RoutingRuleSet> rules);
+  // Pushes new rules to the data plane. `epoch` is the global controller's
+  // monotone rule-set epoch; a push older than the newest epoch this
+  // controller has already applied is discarded (it raced a newer push on
+  // the wire). Epoch 0 is the legacy "unstamped" path and always applies.
+  void push_rules(std::shared_ptr<const RoutingRuleSet> rules,
+                  std::uint64_t epoch = 0);
 
   // Records contact with the global controller (any exchange this period,
   // with or without a rule change).
@@ -53,6 +57,11 @@ class ClusterController {
   [[nodiscard]] std::uint64_t rules_pushed() const noexcept { return pushes_; }
   [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
   [[nodiscard]] double last_contact() const noexcept { return last_contact_; }
+  // Epoch of the currently installed rules (0 until a stamped push lands).
+  [[nodiscard]] std::uint64_t rule_epoch() const noexcept { return rule_epoch_; }
+  [[nodiscard]] std::uint64_t stale_rule_pushes() const noexcept {
+    return stale_pushes_;
+  }
 
  private:
   ClusterId cluster_;
@@ -65,6 +74,8 @@ class ClusterController {
   std::uint64_t reports_ = 0;
   std::uint64_t pushes_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t rule_epoch_ = 0;
+  std::uint64_t stale_pushes_ = 0;
 };
 
 }  // namespace slate

@@ -1,6 +1,8 @@
 #include "core/global_controller.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "core/routing_rules.h"
 #include "util/logging.h"
@@ -31,6 +33,18 @@ GlobalController::GlobalController(const Application& app,
   if (options_.initial_model_scale != 1.0) {
     model_.scale_all(options_.initial_model_scale);
   }
+  if (options_.guard.admission.enabled) {
+    validator_ = std::make_unique<ReportValidator>(
+        app.service_count(), app.class_count(), topology.cluster_count(),
+        options_.guard.admission);
+  }
+  if (options_.guard.solver.enabled) {
+    solver_guard_ = std::make_unique<SolverGuard>(app, deployment, topology,
+                                                  options_.guard.solver);
+  }
+  if (options_.guard.rollout.enabled) {
+    rollout_ = std::make_unique<RuleRollout>(options_.guard.rollout);
+  }
 }
 
 std::size_t GlobalController::stale_clusters() const noexcept {
@@ -39,18 +53,35 @@ std::size_t GlobalController::stale_clusters() const noexcept {
   return n;
 }
 
+std::size_t GlobalController::stale_periods(ClusterId cluster) const noexcept {
+  const std::size_t c = cluster.index();
+  if (c >= last_seen_round_.size() || last_seen_round_[c] == 0) return 0;
+  return static_cast<std::size_t>(rounds_ - last_seen_round_[c]);
+}
+
 void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
   for (const auto& report : reports) {
+    if (!report.cluster.valid() ||
+        report.cluster.index() >= topology_->cluster_count()) {
+      continue;  // structurally broken report: nowhere safe to ingest it
+    }
     last_seen_round_[report.cluster.index()] = rounds_;
     // Station utilization lookup for this cluster's report.
     std::vector<double> station_util(app_->service_count(), 0.0);
     for (const auto& sm : report.station_metrics) {
+      if (!sm.service.valid() || sm.service.index() >= app_->service_count()) {
+        continue;
+      }
       station_util[sm.service.index()] = sm.utilization;
       live_servers_[sm.service.index() * topology_->cluster_count() +
                     report.cluster.index()] = sm.servers;
     }
     for (const auto& m : report.request_metrics) {
       if (m.completed == 0) continue;
+      if (!m.service.valid() || m.service.index() >= app_->service_count() ||
+          !m.cls.valid() || m.cls.index() >= app_->class_count()) {
+        continue;
+      }
       LoadSample sample;
       sample.time = report.period_end;
       sample.rps = m.completion_rps;
@@ -60,12 +91,16 @@ void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
       sample.count = m.completed;
       store_.add(m.service, m.cls, report.cluster, sample);
     }
-    // Demand EWMA.
-    for (std::size_t k = 0; k < report.ingress_rps.size(); ++k) {
+    // Demand EWMA. A chronically noisy reporter (low trust) moves the
+    // estimate slowly; a clean one at full smoothing speed.
+    double alpha = options_.demand_smoothing;
+    if (validator_ != nullptr) alpha *= validator_->trust(report.cluster);
+    const std::size_t k_limit =
+        std::min(report.ingress_rps.size(), app_->class_count());
+    for (std::size_t k = 0; k < k_limit; ++k) {
       double& d = demand_(k, report.cluster.index());
       const double observed = report.ingress_rps[k];
-      d = demand_seen_ ? d + options_.demand_smoothing * (observed - d)
-                       : observed;
+      d = demand_seen_ ? d + alpha * (observed - d) : observed;
     }
   }
   if (!reports.empty()) demand_seen_ = true;
@@ -78,7 +113,12 @@ void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
     const std::uint64_t missed = rounds_ - last_seen_round_[c];
     if (missed > options_.stale_after_periods) {
       for (std::size_t k = 0; k < app_->class_count(); ++k) {
-        demand_(k, c) *= options_.stale_demand_decay;
+        double& d = demand_(k, c);
+        d *= options_.stale_demand_decay;
+        // Snap to exactly zero at the floor: geometric decay alone never
+        // reaches it, and a long-dark cluster must not keep attracting
+        // ghost-load routing forever.
+        if (d < options_.stale_demand_floor) d = 0.0;
       }
       if (!cluster_stale_[c]) {
         cluster_stale_[c] = true;
@@ -106,17 +146,70 @@ double GlobalController::observed_e2e(
   return weighted / static_cast<double>(count);
 }
 
+GlobalController::LiveSignal GlobalController::live_signal(
+    const std::vector<ClusterReport>& reports) const {
+  LiveSignal sig;
+  double weighted_p99 = 0.0;
+  for (const auto& report : reports) {
+    const double period = std::max(report.period(), 1e-9);
+    for (const auto& e : report.e2e) {
+      sig.samples += e.count;
+      sig.goodput_rps += static_cast<double>(e.count) / period;
+      weighted_p99 += static_cast<double>(e.count) * e.p99_latency;
+    }
+  }
+  if (sig.samples > 0) {
+    sig.p99 = weighted_p99 / static_cast<double>(sig.samples);
+  }
+  return sig;
+}
+
+std::shared_ptr<const RoutingRuleSet> GlobalController::emit(
+    std::shared_ptr<const RoutingRuleSet> rules) {
+  current_rules_ = rules;
+  ++epoch_seq_;
+  return rules;
+}
+
 std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     const std::vector<ClusterReport>& reports, double now) {
   (void)now;
   ++rounds_;
-  ingest(reports);
+
+  // 0. Telemetry admission: sanitize a copy before anything downstream
+  // sees it — the raw reports stay untouched for the caller.
+  const std::vector<ClusterReport>* admitted = &reports;
+  std::vector<ClusterReport> sanitized;
+  if (validator_ != nullptr) {
+    sanitized = reports;
+    for (auto& report : sanitized) validator_->admit(report);
+    admitted = &sanitized;
+  }
+
+  ingest(*admitted);
 
   const GuardrailOptions& guard = options_.guardrails;
-  const double obs = observed_e2e(reports);
+  const double obs = observed_e2e(*admitted);
+  const bool rollout_active = rollout_ != nullptr;
 
-  // 2. Evaluate the previous change against live telemetry.
-  if (guard.enabled && pending_eval_) {
+  // 2a. Guarded rollout, phase 1: canary verdicts against live telemetry,
+  // rollback, and freeze bookkeeping. Supersedes the legacy guardrail
+  // blend/revert below when armed.
+  bool rollout_hold = false;
+  if (rollout_active) {
+    const LiveSignal sig = live_signal(*admitted);
+    RolloutDecision decision =
+        rollout_->observe(sig.goodput_rps, sig.p99, sig.samples);
+    if (decision.rolled_back) {
+      ++reverts_;
+      return emit(decision.rules);
+    }
+    rollout_hold = decision.hold;
+  }
+
+  // 2b. Legacy guardrail: evaluate the previous change against live
+  // telemetry (skipped entirely when the rollout gate is armed).
+  if (!rollout_active && guard.enabled && pending_eval_) {
     pending_eval_ = false;
     if (obs >= 0.0 && baseline_e2e_ >= 0.0 &&
         obs > baseline_e2e_ * (1.0 + guard.regression_tolerance)) {
@@ -131,6 +224,7 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
                            ? previous_rules_
                            : std::make_shared<const RoutingRuleSet>();
       hold_remaining_ = guard.hold_periods;
+      ++epoch_seq_;
       return current_rules_;
     }
   }
@@ -140,31 +234,64 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     fitter_.fit(store_, *deployment_, model_);
   }
 
+  if (rollout_hold) return nullptr;  // mid-canary or frozen: no actuation
+
   if (hold_remaining_ > 0) {
     --hold_remaining_;
     return nullptr;  // keep rules frozen while re-learning
   }
 
-  // 4. Optimize.
+  // 4. Optimize. The demand check is written non-finite-safe: a poisoned
+  // matrix (possible only with admission off) must hold, not solve.
   double total_demand = 0.0;
   for (double d : demand_.data()) total_demand += d;
-  if (total_demand <= 0.0) return nullptr;
+  if (!(total_demand > 0.0) || !std::isfinite(total_demand)) return nullptr;
 
-  last_result_ = options_.use_fast_optimizer
-                     ? fast_optimizer_.optimize(model_, demand_, &live_servers_)
-                     : optimizer_.optimize(model_, demand_, &live_servers_);
-  ++optimizations_;
-  if (options_.use_fast_optimizer &&
-      last_result_.status == LpStatus::kIterationLimit) {
-    // Descent ran out of sweeps but still holds a valid (improving) plan.
-    last_result_.status = LpStatus::kOptimal;
-  }
-  if (!last_result_.ok()) {
-    SLATE_LOG(kWarn) << "optimizer failed: " << to_string(last_result_.status);
-    return nullptr;
+  if (solver_guard_ != nullptr) {
+    const bool have_last_good =
+        current_rules_ != nullptr && current_rules_->size() > 0;
+    SolverGuard::Outcome outcome = solver_guard_->solve(
+        optimizer_, fast_optimizer_, options_.use_fast_optimizer, model_,
+        demand_, &live_servers_, solver_chaos_, have_last_good);
+    ++optimizations_;
+    last_result_ = std::move(outcome.result);
+    if (outcome.rung == SolverRung::kHoldLastGood || !last_result_.ok()) {
+      ++solver_holds_;
+      return nullptr;  // ladder exhausted: keep last-known-good rules
+    }
+  } else {
+    if (solver_chaos_) {
+      // Unguarded solver outage: no plan at all — the fleet keeps
+      // executing whatever was pushed last.
+      ++solver_holds_;
+      return nullptr;
+    }
+    last_result_ =
+        options_.use_fast_optimizer
+            ? fast_optimizer_.optimize(model_, demand_, &live_servers_)
+            : optimizer_.optimize(model_, demand_, &live_servers_);
+    ++optimizations_;
+    if (options_.use_fast_optimizer &&
+        last_result_.status == LpStatus::kIterationLimit) {
+      // Descent ran out of sweeps but still holds a valid (improving) plan.
+      last_result_.status = LpStatus::kOptimal;
+    }
+    if (!last_result_.ok()) {
+      SLATE_LOG(kWarn) << "optimizer failed: "
+                       << to_string(last_result_.status);
+      ++solver_holds_;
+      return nullptr;
+    }
   }
 
-  // 5. Emit rules (full target, or an incremental step under guardrails).
+  // 5. Emit rules: guarded rollout (damping + flap detection + canary
+  // arming), legacy incremental step, or the raw target.
+  if (rollout_active) {
+    RolloutDecision decision = rollout_->apply(last_result_.rules);
+    if (decision.rules == nullptr) return nullptr;  // flap freeze
+    return emit(decision.rules);
+  }
+
   std::shared_ptr<const RoutingRuleSet> push;
   if (guard.enabled) {
     push = blend_rule_sets(current_rules_.get(), *last_result_.rules,
@@ -175,8 +302,7 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
   } else {
     push = last_result_.rules;
   }
-  current_rules_ = push;
-  return push;
+  return emit(std::move(push));
 }
 
 }  // namespace slate

@@ -21,6 +21,10 @@
 #include "core/fast_optimizer.h"
 #include "core/model_fitter.h"
 #include "core/optimizer.h"
+#include "guard/guard_options.h"
+#include "guard/report_validator.h"
+#include "guard/rule_rollout.h"
+#include "guard/solver_guard.h"
 #include "telemetry/cluster_report.h"
 #include "telemetry/sample_store.h"
 
@@ -69,6 +73,16 @@ struct GlobalControllerOptions {
   // live state; it recovers on the first fresh report.
   std::size_t stale_after_periods = 3;
   double stale_demand_decay = 0.5;
+  // Decay floor: once a stale cluster's per-cell demand falls below this,
+  // it snaps to exactly zero instead of shrinking geometrically forever —
+  // a cluster dark for hours must not keep a denormal ghost of its load
+  // alive in the optimizer's demand matrix.
+  double stale_demand_floor = 1e-3;
+
+  // Control-plane hardening gates (telemetry admission, solver fallback
+  // ladder, guarded rollout). All off by default; when rollout is enabled
+  // it supersedes the legacy `guardrails` blend/revert path above.
+  GuardOptions guard;
 };
 
 class GlobalController {
@@ -89,6 +103,22 @@ class GlobalController {
   // stale_after_periods control periods).
   [[nodiscard]] std::size_t stale_clusters() const noexcept;
 
+  // Consecutive control periods since `cluster` last reported (0 = fresh
+  // this round, or never heard from at all).
+  [[nodiscard]] std::size_t stale_periods(ClusterId cluster) const noexcept;
+
+  // Injected solver outage (fault plan): while true, the model-driven
+  // solver rungs are unavailable. With the solver guard armed the ladder
+  // descends to the capacity split; without it the controller holds.
+  void set_solver_chaos(bool down) noexcept { solver_chaos_ = down; }
+
+  // Epoch stamped on the most recent non-null rule set returned by
+  // on_reports (monotone; 0 = nothing pushed yet). Cluster controllers use
+  // it to discard stale pushes.
+  [[nodiscard]] std::uint64_t last_push_epoch() const noexcept {
+    return epoch_seq_;
+  }
+
   [[nodiscard]] const LatencyModel& model() const noexcept { return model_; }
   [[nodiscard]] LatencyModel& mutable_model() noexcept { return model_; }
   [[nodiscard]] const FlatMatrix<double>& demand() const noexcept { return demand_; }
@@ -107,12 +137,40 @@ class GlobalController {
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
   [[nodiscard]] std::uint64_t reverts() const noexcept { return reverts_; }
   [[nodiscard]] std::uint64_t optimizations() const noexcept { return optimizations_; }
+  // Periods the controller held existing rules because every solver rung
+  // failed (or, unguarded, because the solver was down/failed).
+  [[nodiscard]] std::uint64_t solver_holds() const noexcept {
+    return solver_holds_;
+  }
+
+  // Guard stages; null when the corresponding gate is disabled.
+  [[nodiscard]] const ReportValidator* validator() const noexcept {
+    return validator_.get();
+  }
+  [[nodiscard]] const SolverGuard* solver_guard() const noexcept {
+    return solver_guard_.get();
+  }
+  [[nodiscard]] const RuleRollout* rollout() const noexcept {
+    return rollout_.get();
+  }
 
  private:
+  // Live telemetry digest for the rollout canary.
+  struct LiveSignal {
+    double goodput_rps = 0.0;  // completed e2e requests per second
+    double p99 = 0.0;          // count-weighted mean of per-class p99s
+    std::uint64_t samples = 0;
+  };
+
   void ingest(const std::vector<ClusterReport>& reports);
   // Demand-weighted mean e2e latency across reports; negative when too few
   // samples to judge.
   [[nodiscard]] double observed_e2e(const std::vector<ClusterReport>& reports) const;
+  [[nodiscard]] LiveSignal live_signal(
+      const std::vector<ClusterReport>& reports) const;
+  // Stamps a fresh epoch on a non-null push and records it as current.
+  std::shared_ptr<const RoutingRuleSet> emit(
+      std::shared_ptr<const RoutingRuleSet> rules);
 
   const Application* app_;
   const Deployment* deployment_;
@@ -141,9 +199,17 @@ class GlobalController {
   double baseline_e2e_ = -1.0;
   std::size_t hold_remaining_ = 0;
 
+  // Guard stages (null when disabled).
+  std::unique_ptr<ReportValidator> validator_;
+  std::unique_ptr<SolverGuard> solver_guard_;
+  std::unique_ptr<RuleRollout> rollout_;
+  bool solver_chaos_ = false;
+  std::uint64_t epoch_seq_ = 0;
+
   std::uint64_t rounds_ = 0;
   std::uint64_t reverts_ = 0;
   std::uint64_t optimizations_ = 0;
+  std::uint64_t solver_holds_ = 0;
 };
 
 }  // namespace slate

@@ -14,6 +14,8 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan,
       cluster_count_(cluster_count),
       outage_depth_(cluster_count, 0),
       blackout_depth_(cluster_count, 0),
+      corrupt_depth_(cluster_count, 0),
+      corrupt_factor_(cluster_count, 1.0),
       partition_depth_(cluster_count, cluster_count, 0),
       latency_factor_(cluster_count, cluster_count, 1.0),
       extra_latency_(cluster_count, cluster_count, 0.0),
@@ -43,6 +45,19 @@ void FaultInjector::apply(const FaultSpec& spec, bool activate) {
       break;
     case FaultKind::kTelemetryBlackout:
       blackout_depth_[spec.cluster.index()] += step;
+      break;
+    case FaultKind::kTelemetryCorruption: {
+      corrupt_depth_[spec.cluster.index()] += step;
+      double& f = corrupt_factor_[spec.cluster.index()];
+      if (activate) {
+        f *= spec.factor;
+      } else {
+        f /= spec.factor;
+      }
+      break;
+    }
+    case FaultKind::kSolverOutage:
+      solver_depth_ += step;
       break;
     case FaultKind::kLinkDegradation: {
       const std::size_t i = spec.cluster.index();

@@ -60,6 +60,17 @@ class FaultInjector {
   [[nodiscard]] bool telemetry_blackout(ClusterId c) const noexcept {
     return blackout_depth_[c.index()] > 0;
   }
+  // Is a cluster's reporting pipeline emitting garbage right now?
+  [[nodiscard]] bool telemetry_corrupt(ClusterId c) const noexcept {
+    return corrupt_depth_[c.index()] > 0;
+  }
+  // Spike multiplier of the corruption covering `c` (product when faults
+  // overlap; 1 when clean).
+  [[nodiscard]] double corrupt_factor(ClusterId c) const noexcept {
+    return corrupt_factor_[c.index()];
+  }
+  // Are the global controller's model-driven solvers down?
+  [[nodiscard]] bool solver_down() const noexcept { return solver_depth_ > 0; }
 
   // Number of faults currently in their active window.
   [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
@@ -81,6 +92,9 @@ class FaultInjector {
 
   std::vector<int> outage_depth_;           // per cluster
   std::vector<int> blackout_depth_;         // per cluster
+  std::vector<int> corrupt_depth_;          // per cluster
+  std::vector<double> corrupt_factor_;      // per cluster, product
+  int solver_depth_ = 0;
   FlatMatrix<int> partition_depth_;         // from x to
   FlatMatrix<double> latency_factor_;       // from x to, product of factors
   FlatMatrix<double> extra_latency_;        // from x to, sum of extras

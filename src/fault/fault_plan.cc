@@ -13,6 +13,8 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kLinkDegradation: return "link-degradation";
     case FaultKind::kServiceSlowdown: return "service-slowdown";
     case FaultKind::kTelemetryBlackout: return "telemetry-blackout";
+    case FaultKind::kTelemetryCorruption: return "telemetry-corruption";
+    case FaultKind::kSolverOutage: return "solver-outage";
   }
   return "?";
 }
@@ -36,6 +38,18 @@ void FaultPlan::add(const FaultSpec& spec) {
       if (!spec.cluster.valid()) {
         throw std::invalid_argument("FaultPlan: fault needs a cluster");
       }
+      break;
+    case FaultKind::kTelemetryCorruption:
+      if (!spec.cluster.valid()) {
+        throw std::invalid_argument("FaultPlan: fault needs a cluster");
+      }
+      if (spec.factor <= 1.0) {
+        throw std::invalid_argument(
+            "FaultPlan: corruption spike factor must exceed 1");
+      }
+      break;
+    case FaultKind::kSolverOutage:
+      // Global: no ids to check.
       break;
     case FaultKind::kLinkDegradation:
       if (!spec.cluster.valid() || !spec.to.valid()) {
@@ -118,6 +132,27 @@ std::size_t FaultPlan::telemetry_blackout(ClusterId cluster, double start,
   FaultSpec spec;
   spec.kind = FaultKind::kTelemetryBlackout;
   spec.cluster = cluster;
+  spec.start = start;
+  spec.duration = duration;
+  add(spec);
+  return faults_.size() - 1;
+}
+
+std::size_t FaultPlan::telemetry_corruption(ClusterId cluster, double start,
+                                            double duration, double factor) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTelemetryCorruption;
+  spec.cluster = cluster;
+  spec.start = start;
+  spec.duration = duration;
+  spec.factor = factor;
+  add(spec);
+  return faults_.size() - 1;
+}
+
+std::size_t FaultPlan::solver_outage(double start, double duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kSolverOutage;
   spec.start = start;
   spec.duration = duration;
   add(spec);

@@ -11,7 +11,15 @@
 //                           cluster (gray failure: slow, not down);
 //   * telemetry blackout  — the cluster controller loses contact with the
 //                           global controller (reports and rule pushes both
-//                           stop; the data plane keeps serving).
+//                           stop; the data plane keeps serving);
+//   * telemetry corruption — the cluster's reports arrive but carry garbage
+//                           (spiked demand, zeroed/negated latencies): the
+//                           byzantine-reporter case the admission guard
+//                           exists for;
+//   * solver outage       — the global controller's model-driven solvers
+//                           are unavailable (crash-looping optimizer, forced
+//                           timeouts); the fallback ladder or a full hold
+//                           takes over.
 //
 // Plans are pure data: validation happens against a topology/application
 // size, and the FaultInjector (fault_injector.h) turns a plan into live
@@ -32,6 +40,8 @@ enum class FaultKind {
   kLinkDegradation,
   kServiceSlowdown,
   kTelemetryBlackout,
+  kTelemetryCorruption,
+  kSolverOutage,
 };
 
 const char* to_string(FaultKind kind) noexcept;
@@ -42,9 +52,10 @@ struct FaultSpec {
   double start = 0.0;
   double duration = 0.0;
 
-  // kClusterOutage / kTelemetryBlackout: the affected cluster.
-  // kLinkDegradation: the edge source. kServiceSlowdown: the hosting
-  // cluster, or invalid for "every cluster".
+  // kClusterOutage / kTelemetryBlackout / kTelemetryCorruption: the
+  // affected cluster. kLinkDegradation: the edge source. kServiceSlowdown:
+  // the hosting cluster, or invalid for "every cluster". kSolverOutage:
+  // unused (the outage is global).
   ClusterId cluster;
   // kLinkDegradation only: the edge destination. The effect applies to the
   // directed edge (cluster -> to); add a second spec for the reverse path.
@@ -54,6 +65,7 @@ struct FaultSpec {
 
   // kLinkDegradation: sampled latency -> latency * factor + extra_latency.
   // kServiceSlowdown: compute time -> compute * factor.
+  // kTelemetryCorruption: spike multiplier applied to corrupted fields.
   double factor = 1.0;
   double extra_latency = 0.0;
   // kLinkDegradation: when true, messages on the edge are dropped instead
@@ -81,6 +93,9 @@ class FaultPlan {
                                double start, double duration, double factor);
   std::size_t telemetry_blackout(ClusterId cluster, double start,
                                  double duration);
+  std::size_t telemetry_corruption(ClusterId cluster, double start,
+                                   double duration, double factor = 50.0);
+  std::size_t solver_outage(double start, double duration);
 
   // Checks every referenced id against the world's sizes. Throws
   // std::invalid_argument naming the offending fault index.

@@ -1,0 +1,145 @@
+// Telemetry admission (docs/control_plane.md §admission).
+//
+// The global controller's inputs are the least trustworthy data in the
+// system: every ClusterReport crossed a lossy network from a possibly
+// misbehaving reporter. The validator sanitizes each report in place
+// before ingest so a single poisoned field cannot swing the demand matrix
+// or the fitted latency model cluster-wide:
+//
+//   * structural damage (out-of-range service/class ids, wrong-sized
+//     vectors) is dropped;
+//   * non-finite, negative, or implausibly large fields are replaced with
+//     the last admitted value for that series (or dropped where the entry
+//     is optional);
+//   * per-(class, cluster) demand, latency, completion-rate, service-time,
+//     and utilization spikes beyond a rolling MAD bound are clamped to the
+//     admitted rolling median ("last-good interpolation") instead of
+//     entering the EWMA / model fitter — only admitted values build the
+//     reference window, and a coherent run of rejects is readmitted as a
+//     genuine level shift;
+//   * each cluster carries a trust score that decays on violations and
+//     recovers on clean periods — the controller scales that cluster's
+//     demand-smoothing gain by it, downweighting chronic noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "guard/guard_options.h"
+#include "telemetry/cluster_report.h"
+#include "util/ids.h"
+
+namespace slate {
+
+// Fixed-window rolling median / MAD per (row, col) series.
+class MadTracker {
+ public:
+  MadTracker(std::size_t rows, std::size_t cols, std::size_t window);
+
+  // True when `x` deviates from the rolling median by more than
+  // `threshold * max(MAD, noise_floor * median)`; only armed once the
+  // series holds at least `min_history` samples.
+  [[nodiscard]] bool is_spike(std::size_t row, std::size_t col, double x,
+                              double threshold, double noise_floor,
+                              std::size_t min_history) const;
+  [[nodiscard]] double median(std::size_t row, std::size_t col) const;
+  // Median absolute deviation of the series (0 with < 2 samples).
+  [[nodiscard]] double mad(std::size_t row, std::size_t col) const;
+  [[nodiscard]] std::size_t history(std::size_t row, std::size_t col) const;
+  void push(std::size_t row, std::size_t col, double x);
+  // Forgets the series' samples (the spike gate re-arms after min_history).
+  void clear(std::size_t row, std::size_t col);
+
+ private:
+  [[nodiscard]] std::size_t base(std::size_t row, std::size_t col) const {
+    return (row * cols_ + col) * window_;
+  }
+
+  std::size_t cols_;
+  std::size_t window_;
+  std::vector<double> values_;       // (rows*cols) x window ring buffers
+  std::vector<std::uint32_t> count_; // per series: samples seen (caps at window)
+  std::vector<std::uint32_t> next_;  // per series: ring write index
+};
+
+class ReportValidator {
+ public:
+  ReportValidator(std::size_t service_count, std::size_t class_count,
+                  std::size_t cluster_count, AdmissionOptions options);
+
+  // Sanitizes `report` in place. Returns true when anything was rejected,
+  // clamped, or dropped (the report was "dirty").
+  bool admit(ClusterReport& report);
+
+  // Trust score in [min_trust, 1] for a cluster's reporter.
+  [[nodiscard]] double trust(ClusterId cluster) const {
+    return trust_[cluster.index()];
+  }
+
+  [[nodiscard]] std::uint64_t reports_seen() const noexcept { return reports_; }
+  [[nodiscard]] std::uint64_t dirty_reports() const noexcept { return dirty_; }
+  // Non-finite / negative / implausible fields rejected (replaced or dropped).
+  [[nodiscard]] std::uint64_t fields_rejected() const noexcept {
+    return fields_rejected_;
+  }
+  // MAD-gate clamps (demand or latency spikes replaced with the median).
+  [[nodiscard]] std::uint64_t spikes_clamped() const noexcept {
+    return spikes_clamped_;
+  }
+  // Values substituted from last-good/median state (subset of the above
+  // where a replacement existed, vs. outright drops).
+  [[nodiscard]] std::uint64_t interpolations() const noexcept {
+    return interpolations_;
+  }
+
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  // One gated series family: `main` holds only ADMITTED values (the
+  // reference median a byzantine reporter cannot rot), `shadow` holds the
+  // consecutive rejected raws the level-shift coherence test runs on.
+  struct SpikeGate {
+    SpikeGate(std::size_t rows, std::size_t cols, std::size_t window)
+        : main(rows, cols, window), shadow(rows, cols, window) {}
+    MadTracker main;
+    MadTracker shadow;
+  };
+
+  // Replaces `value` with `fallback` when non-finite, negative, or above
+  // `ceiling`; bumps counters. Returns true when replaced.
+  bool sanitize_field(double& value, double fallback, double ceiling,
+                      bool* dirty);
+  // MAD-gates `value` against the ADMITTED history of its (row, col)
+  // series. A spike is clamped to the admitted rolling median — never to a
+  // window the attacker has already rotted. Rejected raws accumulate in
+  // the gate's shadow ring; once `min_history` consecutive rejects agree
+  // with each other (low dispersion around their own median), the value is
+  // readmitted as a genuine level shift and the gate re-seeds. Returns
+  // true when clamped.
+  bool clamp_spike(SpikeGate& gate, std::size_t row, std::size_t col,
+                   double& value, bool* dirty);
+
+  std::size_t services_;
+  std::size_t classes_;
+  std::size_t clusters_;
+  AdmissionOptions options_;
+
+  SpikeGate ingress_mad_;   // class x cluster, RPS
+  SpikeGate station_mad_;   // (service*classes + class) x cluster, latency
+  SpikeGate rps_mad_;       // (service*classes + class) x cluster, completions
+  SpikeGate service_mad_;   // (service*classes + class) x cluster, service time
+  SpikeGate util_mad_;      // service x cluster, utilization
+  SpikeGate e2e_mad_;       // class x cluster, latency
+  std::vector<double> last_ingress_;  // class x cluster last admitted value
+  std::vector<double> trust_;         // per cluster
+
+  std::uint64_t reports_ = 0;
+  std::uint64_t dirty_ = 0;
+  std::uint64_t fields_rejected_ = 0;
+  std::uint64_t spikes_clamped_ = 0;
+  std::uint64_t interpolations_ = 0;
+};
+
+}  // namespace slate

@@ -48,6 +48,10 @@ struct Scenario {
   // enabled sub-policy of RunConfig::overload overrides its counterpart
   // here at run time.
   OverloadPolicy overload;
+  // Control-plane hardening shipped with the world (`guard` directives).
+  // Each enabled gate of RunConfig::slate.guard overrides its counterpart
+  // here at run time; see docs/control_plane.md.
+  GuardOptions guard;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -124,6 +128,10 @@ struct RunConfig {
   // (not just the measurement window) into ExperimentResult::*_series —
   // the goodput-over-time signal fault experiments are judged by.
   double timeseries_bucket = 0.0;
+  // Run the scenario with its `guard` directives disarmed (slate_cli
+  // --no-guard): only RunConfig::slate.guard gates apply. The unguarded
+  // arm of control-plane chaos comparisons.
+  bool ignore_scenario_guard = false;
 };
 
 struct ExperimentResult {
@@ -195,6 +203,30 @@ struct ExperimentResult {
   std::uint64_t controller_rounds = 0;
   std::uint64_t controller_reverts = 0;
   std::uint64_t rule_pushes = 0;
+
+  // Control-plane hardening activity (zero with every gate off; see
+  // docs/control_plane.md).
+  std::uint64_t guard_fields_rejected = 0;  // admission: poisoned fields
+  std::uint64_t guard_spikes_clamped = 0;   // admission: MAD-gate clamps
+  std::uint64_t guard_interpolations = 0;   // admission: last-good substitutions
+  std::uint64_t solver_fallbacks = 0;       // solves settled below rung 0
+  std::uint64_t solver_holds = 0;           // periods held with no usable plan
+  std::uint64_t rollout_rollbacks = 0;      // canary-triggered reverts
+  std::uint64_t rollout_flap_freezes = 0;   // flap-detector freezes
+  std::uint64_t rollout_damped_pushes = 0;  // pushes clipped by the delta cap
+  std::uint64_t stale_rule_pushes = 0;      // epoch-stale pushes discarded
+  // Rule-churn signal: per-control-period L1 distance between successive
+  // actuated rule sets. Periods that hold the previous rules (canary
+  // window, solver hold, flap freeze) contribute zero movement but still
+  // count, so the mean measures actuation churn per unit time rather than
+  // per push.
+  double rule_delta_sum = 0.0;
+  std::uint64_t rule_delta_count = 0;
+  [[nodiscard]] double mean_rule_delta() const noexcept {
+    return rule_delta_count > 0
+               ? rule_delta_sum / static_cast<double>(rule_delta_count)
+               : 0.0;
+  }
 
   // Autoscaler activity (zero when disabled).
   std::uint64_t autoscaler_scale_ups = 0;

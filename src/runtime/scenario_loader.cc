@@ -135,7 +135,7 @@ struct DemandDirective {
 // services declared later in the file.
 struct FaultDirective {
   std::size_t line;
-  std::string kind;  // outage | blackout | slowdown | link
+  std::string kind;  // outage | blackout | corrupt | slowdown | link | solver
   std::string a;     // cluster / service / edge source
   std::string b;     // slowdown cluster ("*" = all) / edge destination
   double start = 0.0;
@@ -357,7 +357,7 @@ Scenario load_scenario(std::istream& input) {
       if (d.rps < 0.0) fail(line_number, "demand rate must be >= 0");
       demands.push_back(std::move(d));
     } else if (directive == "fault") {
-      need(2, "fault <outage|blackout|slowdown|link> ...");
+      need(2, "fault <outage|blackout|corrupt|slowdown|link|solver> ...");
       FaultDirective f;
       f.line = line_number;
       f.kind = tokens[1];
@@ -366,6 +366,13 @@ Scenario load_scenario(std::istream& input) {
         exact(5, "fault <outage|blackout> <cluster> @<start> <duration>");
         f.a = tokens[2];
         i = 3;
+      } else if (f.kind == "corrupt") {
+        need(5, "fault corrupt <cluster> @<start> <duration> [factor=<x>]");
+        f.a = tokens[2];
+        i = 3;
+      } else if (f.kind == "solver") {
+        exact(4, "fault solver @<start> <duration>");
+        i = 2;
       } else if (f.kind == "slowdown") {
         need(6,
              "fault slowdown <service> <cluster|*> @<start> <duration> "
@@ -381,8 +388,10 @@ Scenario load_scenario(std::istream& input) {
         f.b = tokens[3];
         i = 4;
       } else {
-        fail(line_number, "unknown fault kind '" + f.kind +
-                              "' (expected outage, blackout, slowdown, link)");
+        fail(line_number,
+             "unknown fault kind '" + f.kind +
+                 "' (expected outage, blackout, corrupt, slowdown, link, "
+                 "solver)");
       }
       if (tokens[i][0] != '@') {
         fail(line_number, "expected @<start-time>, got '" + tokens[i] + "'");
@@ -397,9 +406,12 @@ Scenario load_scenario(std::istream& input) {
         const auto kv = split_kv(tokens[i]);
         if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
         if (kv->first == "factor" &&
-            (f.kind == "slowdown" || f.kind == "link")) {
+            (f.kind == "slowdown" || f.kind == "link" || f.kind == "corrupt")) {
           f.factor = parse_number(kv->second, line_number);
           if (f.factor <= 0.0) fail(line_number, "factor must be > 0");
+          if (f.kind == "corrupt" && f.factor <= 1.0) {
+            fail(line_number, "corrupt factor must be > 1 (spike multiplier)");
+          }
           f.has_factor = true;
         } else if (kv->first == "extra" && f.kind == "link") {
           f.extra = parse_duration(kv->second, line_number);
@@ -531,6 +543,132 @@ Scenario load_scenario(std::istream& input) {
         fail(line_number, "unknown overload kind '" + sub +
                               "' (expected queue, deadline, priority, breaker)");
       }
+    } else if (directive == "guard") {
+      need(2, "guard <admission|solver|rollout> [key=value...]");
+      const std::string& sub = tokens[1];
+      if (sub == "admission") {
+        AdmissionOptions& g = scenario.guard.admission;
+        g.enabled = true;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "max_rps") {
+            g.max_rps = parse_number(value, line_number);
+            if (g.max_rps <= 0.0) fail(line_number, "max_rps must be > 0");
+          } else if (key == "max_latency") {
+            g.max_latency = parse_duration(value, line_number);
+            if (g.max_latency <= 0.0) fail(line_number, "max_latency must be > 0");
+          } else if (key == "max_utilization") {
+            g.max_utilization = parse_number(value, line_number);
+            if (g.max_utilization <= 0.0) {
+              fail(line_number, "max_utilization must be > 0");
+            }
+          } else if (key == "window") {
+            g.mad_window = static_cast<std::size_t>(
+                parse_count(value, line_number, 2, "window"));
+            if (g.mad_window > 256) {
+              fail(line_number, "window must be <= 256");
+            }
+          } else if (key == "min_history") {
+            g.min_history = static_cast<std::size_t>(
+                parse_count(value, line_number, 1, "min_history"));
+          } else if (key == "threshold") {
+            g.mad_threshold = parse_number(value, line_number);
+            if (g.mad_threshold <= 0.0) fail(line_number, "threshold must be > 0");
+          } else if (key == "noise_floor") {
+            g.mad_noise_floor = parse_number(value, line_number);
+            if (g.mad_noise_floor < 0.0) {
+              fail(line_number, "noise_floor must be >= 0");
+            }
+          } else if (key == "trust_decay") {
+            g.trust_decay = parse_number(value, line_number);
+            if (g.trust_decay <= 0.0 || g.trust_decay > 1.0) {
+              fail(line_number, "trust_decay must be in (0, 1]");
+            }
+          } else if (key == "trust_recovery") {
+            g.trust_recovery = parse_number(value, line_number);
+            if (g.trust_recovery <= 0.0 || g.trust_recovery > 1.0) {
+              fail(line_number, "trust_recovery must be in (0, 1]");
+            }
+          } else if (key == "min_trust") {
+            g.min_trust = parse_number(value, line_number);
+            if (g.min_trust <= 0.0 || g.min_trust > 1.0) {
+              fail(line_number, "min_trust must be in (0, 1]");
+            }
+          } else {
+            fail(line_number, "unknown guard admission attribute '" + key + "'");
+          }
+        }
+      } else if (sub == "solver") {
+        SolverGuardOptions& g = scenario.guard.solver;
+        g.enabled = true;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "budget") {
+            g.wall_budget = parse_duration(value, line_number);
+          } else if (key == "enforce_budget") {
+            g.enforce_budget = parse_on_off(value, line_number, "enforce_budget");
+          } else if (key == "local_bias") {
+            g.split_local_bias = parse_number(value, line_number);
+            if (g.split_local_bias < 1.0) {
+              fail(line_number, "local_bias must be >= 1");
+            }
+          } else {
+            fail(line_number, "unknown guard solver attribute '" + key + "'");
+          }
+        }
+      } else if (sub == "rollout") {
+        RolloutOptions& g = scenario.guard.rollout;
+        g.enabled = true;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "max_delta") {
+            g.max_weight_delta = parse_number(value, line_number);
+            if (g.max_weight_delta <= 0.0 || g.max_weight_delta > 1.0) {
+              fail(line_number, "max_delta must be in (0, 1]");
+            }
+          } else if (key == "canary") {
+            g.canary_periods = static_cast<std::size_t>(
+                parse_count(value, line_number, 1, "canary"));
+          } else if (key == "goodput_drop") {
+            g.goodput_drop = parse_number(value, line_number);
+            if (g.goodput_drop <= 0.0 || g.goodput_drop >= 1.0) {
+              fail(line_number, "goodput_drop must be in (0, 1)");
+            }
+          } else if (key == "p99_rise") {
+            g.p99_rise = parse_number(value, line_number);
+            if (g.p99_rise <= 0.0) fail(line_number, "p99_rise must be > 0");
+          } else if (key == "min_samples") {
+            g.min_samples = parse_count(value, line_number, 1, "min_samples");
+          } else if (key == "flap_threshold") {
+            g.flap_threshold = parse_number(value, line_number);
+            if (g.flap_threshold <= 0.0) {
+              fail(line_number, "flap_threshold must be > 0");
+            }
+          } else if (key == "flap_window") {
+            g.flap_window = static_cast<std::size_t>(
+                parse_count(value, line_number, 2, "flap_window"));
+          } else if (key == "freeze") {
+            g.freeze_periods = static_cast<std::size_t>(
+                parse_count(value, line_number, 1, "freeze"));
+          } else if (key == "damping_floor") {
+            g.damping_floor = parse_number(value, line_number);
+            if (g.damping_floor <= 0.0 || g.damping_floor > 1.0) {
+              fail(line_number, "damping_floor must be in (0, 1]");
+            }
+          } else {
+            fail(line_number, "unknown guard rollout attribute '" + key + "'");
+          }
+        }
+      } else {
+        fail(line_number, "unknown guard kind '" + sub +
+                              "' (expected admission, solver, rollout)");
+      }
     } else {
       fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -551,6 +689,26 @@ Scenario load_scenario(std::istream& input) {
     classes[name].id = scenario.app->add_class(std::move(spec));
   }
   scenario.app->validate();
+
+  // Two explicit directives naming the same (service, cluster) target:
+  // the later one would silently overwrite the earlier (Deployment
+  // re-deploy semantics), which is always a spec mistake. Wildcards are
+  // exempt — `deploy * *` followed by a specific override is the
+  // documented idiom.
+  {
+    std::map<std::pair<std::string, std::string>, std::size_t> explicit_targets;
+    for (const auto& d : deploys) {
+      if (d.service == "*" || d.cluster == "*") continue;
+      const auto [it, inserted] =
+          explicit_targets.emplace(std::make_pair(d.service, d.cluster), d.line);
+      if (!inserted) {
+        fail(d.line,
+             strfmt("duplicate %s target '%s %s' (first declared at line %zu)",
+                    d.undeploy ? "undeploy" : "deploy", d.service.c_str(),
+                    d.cluster.c_str(), it->second));
+      }
+    }
+  }
 
   scenario.deployment = std::make_unique<Deployment>(
       *scenario.app, scenario.topology->cluster_count());
@@ -609,6 +767,16 @@ Scenario load_scenario(std::istream& input) {
       } else if (f.kind == "blackout") {
         scenario.faults.telemetry_blackout(resolve_cluster(f.a), f.start,
                                            f.duration);
+      } else if (f.kind == "corrupt") {
+        if (f.has_factor) {
+          scenario.faults.telemetry_corruption(resolve_cluster(f.a), f.start,
+                                               f.duration, f.factor);
+        } else {
+          scenario.faults.telemetry_corruption(resolve_cluster(f.a), f.start,
+                                               f.duration);
+        }
+      } else if (f.kind == "solver") {
+        scenario.faults.solver_outage(f.start, f.duration);
       } else if (f.kind == "slowdown") {
         const ServiceId service = scenario.app->find_service(f.a);
         if (!service.valid()) fail(f.line, "unknown service '" + f.a + "'");

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/routing_rules.h"
 #include "routing/local_only.h"
 #include "routing/locality_failover.h"
 #include "routing/round_robin.h"
@@ -44,6 +45,10 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
       cluster_count_(scenario.topology->cluster_count()),
       rng_root_(config.seed),
       rng_routing_(rng_root_.fork(2)),
+      // Forking mutates the parent stream; the chaos stream forks a fresh
+      // copy of the seed so arming it never perturbs the workload/station/
+      // routing draws of an otherwise-identical run.
+      rng_chaos_([&config] { return Rng(config.seed).fork(3); }()),
       egress_(*scenario.topology),
       traces_(config.trace_capacity) {
   const Application& app = *scenario_.app;
@@ -81,6 +86,24 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
   if (overload_.breaker.enabled) {
     breakers_ = std::make_unique<CircuitBreakerBank>(overload_.breaker, S,
                                                      cluster_count_);
+  }
+
+  // Effective control-plane guard: the scenario ships one, each gate the
+  // config enables overrides its counterpart (same merge the overload
+  // policy uses). --no-guard disarms the scenario's gates entirely.
+  {
+    GuardOptions effective =
+        config_.ignore_scenario_guard ? GuardOptions{} : scenario_.guard;
+    if (config_.slate.guard.admission.enabled) {
+      effective.admission = config_.slate.guard.admission;
+    }
+    if (config_.slate.guard.solver.enabled) {
+      effective.solver = config_.slate.guard.solver;
+    }
+    if (config_.slate.guard.rollout.enabled) {
+      effective.rollout = config_.slate.guard.rollout;
+    }
+    config_.slate.guard = effective;
   }
 
   // Fault injection: the scenario's shipped plan plus the config's.
@@ -699,6 +722,49 @@ void Simulation::settle_attempt(const PoolPtr<AttemptState>& as, bool ok) {
   done(false);
 }
 
+void Simulation::corrupt_report(ClusterReport& report, double factor) {
+  // Finite garbage only: a NaN entering the demand EWMA would persist
+  // forever, turning "corrupted period" into "bricked controller" — real
+  // byzantine reporters emit wrong numbers, not signalling values.
+  // Underreports dominate the mix: dropped counters and truncated
+  // accumulators are the common byzantine-reporter failure, and they are
+  // the dangerous direction here — an ingress estimate that sags below
+  // local capacity talks the controller out of spilling entirely.
+  for (double& v : report.ingress_rps) {
+    const double roll = rng_chaos_.next_double();
+    if (roll < 0.4) {
+      v = 0.0;  // dropped counter
+    } else if (roll < 0.65) {
+      v /= factor;  // truncated accumulator
+    } else if (roll < 0.9) {
+      v *= factor;  // phantom demand spike
+    } else {
+      v = -v * factor;  // sign-flipped accumulator
+    }
+  }
+  for (auto& m : report.request_metrics) {
+    const double roll = rng_chaos_.next_double();
+    if (roll < 0.5) {
+      m.mean_latency *= factor;
+      m.max_latency *= factor;
+    } else if (roll < 0.75) {
+      m.completion_rps *= factor;
+    } else {
+      m.mean_latency = 0.0;
+      m.mean_service_time = 0.0;
+    }
+  }
+  for (auto& sm : report.station_metrics) {
+    if (rng_chaos_.bernoulli(0.5)) sm.utilization *= factor;
+  }
+  for (auto& e : report.e2e) {
+    if (rng_chaos_.bernoulli(0.5)) {
+      e.mean_latency *= factor;
+      e.p99_latency *= factor;
+    }
+  }
+}
+
 void Simulation::control_tick() {
   const double now = sim_.now();
   std::vector<ClusterReport> reports;
@@ -715,17 +781,38 @@ void Simulation::control_tick() {
                     config_.control_staleness_periods);
       continue;
     }
+    if (injector_ != nullptr && injector_->telemetry_corrupt(cc->cluster())) {
+      corrupt_report(report, injector_->corrupt_factor(cc->cluster()));
+    }
     reports.push_back(std::move(report));
   }
+  if (injector_ != nullptr) {
+    global_->set_solver_chaos(injector_->solver_down());
+  }
   auto rules = global_->on_reports(reports, now);
+  const std::uint64_t epoch = global_->last_push_epoch();
   for (auto& cc : cluster_controllers_) {
     if (injector_ != nullptr && injector_->telemetry_blackout(cc->cluster())) {
       continue;
     }
     cc->heartbeat(now);
-    if (rules != nullptr) cc->push_rules(rules);
+    if (rules != nullptr) cc->push_rules(rules, epoch);
   }
-  if (rules != nullptr) ++rule_pushes_;
+  if (rules != nullptr) {
+    ++rule_pushes_;
+    if (last_pushed_rules_ != nullptr) {
+      result_.rule_delta_sum += rule_set_distance(*last_pushed_rules_, *rules);
+      ++result_.rule_delta_count;
+    }
+    last_pushed_rules_ = rules;
+  } else if (last_pushed_rules_ != nullptr) {
+    // A hold period (canary window, solver hold, flap freeze) leaves the
+    // fleet executing the same weights: zero movement, but it still counts
+    // toward the per-period mean — otherwise a controller that pushes
+    // rarely but wildly would score BETTER on flap than one that pushes
+    // every period with tiny steps.
+    ++result_.rule_delta_count;
+  }
 }
 
 void Simulation::begin_measurement() {
@@ -804,6 +891,23 @@ ExperimentResult Simulation::run() {
   if (global_ != nullptr) {
     result_.controller_rounds = global_->rounds();
     result_.controller_reverts = global_->reverts();
+    result_.solver_holds = global_->solver_holds();
+    if (const ReportValidator* v = global_->validator()) {
+      result_.guard_fields_rejected = v->fields_rejected();
+      result_.guard_spikes_clamped = v->spikes_clamped();
+      result_.guard_interpolations = v->interpolations();
+    }
+    if (const SolverGuard* sg = global_->solver_guard()) {
+      result_.solver_fallbacks = sg->fallbacks();
+    }
+    if (const RuleRollout* ro = global_->rollout()) {
+      result_.rollout_rollbacks = ro->rollbacks();
+      result_.rollout_flap_freezes = ro->flap_freezes();
+      result_.rollout_damped_pushes = ro->damped_pushes();
+    }
+  }
+  for (const auto& cc : cluster_controllers_) {
+    result_.stale_rule_pushes += cc->stale_rule_pushes();
   }
   result_.rule_pushes = rule_pushes_;
   if (injector_ != nullptr) {

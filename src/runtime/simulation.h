@@ -216,6 +216,11 @@ class Simulation {
                       ClusterId entry_cluster);
 
   void control_tick();
+  // Applies a telemetry-corruption fault to a collected report: finite
+  // garbage only (spikes, zeros, sign flips) — the byzantine-reporter
+  // recipe the admission guard is benchmarked against. Non-finite payloads
+  // are exercised in unit/fuzz tests against the validator directly.
+  void corrupt_report(ClusterReport& report, double factor);
   void begin_measurement();
 
   const Scenario& scenario_;
@@ -243,6 +248,7 @@ class Simulation {
   Simulator sim_;
   Rng rng_root_;
   Rng rng_routing_;
+  Rng rng_chaos_;  // telemetry-corruption draws (fork 3 of the root)
 
   // Per service: clusters hosting it (ascending id order).
   std::vector<std::vector<ClusterId>> candidates_;
@@ -274,6 +280,8 @@ class Simulation {
   std::uint64_t next_request_ = 0;
   std::uint64_t next_span_ = 1;  // 0 is "no span" in trace context
   std::uint64_t rule_pushes_ = 0;
+  // Previous pushed rule set, for the successive-push L1 churn signal.
+  std::shared_ptr<const RoutingRuleSet> last_pushed_rules_;
   double retry_tokens_ = 0.0;  // token-bucket retry budget
 };
 

@@ -37,6 +37,10 @@ struct StationMetrics {
 struct E2eMetrics {
   std::uint64_t count = 0;
   double mean_latency = 0.0;  // seconds
+  // Period-local p99 (exact over the period's samples; equals the mean
+  // when too few samples landed to resolve a tail). Drives the rollout
+  // canary's tail-regression check.
+  double p99_latency = 0.0;
 };
 
 struct ClusterReport {

@@ -38,7 +38,8 @@ MetricsRegistry::MetricsRegistry(std::size_t service_count,
       inflight_(service_count, 0),
       ingress_rates_(class_count, RateMeter(rate_tau)),
       ingress_counts_(class_count, 0),
-      e2e_(class_count) {}
+      e2e_(class_count),
+      e2e_samples_(class_count) {}
 
 std::size_t MetricsRegistry::key(ServiceId s, ClassId k) const {
   if (!s.valid() || s.index() >= services_ || !k.valid() || k.index() >= classes_) {
@@ -77,6 +78,14 @@ void MetricsRegistry::record_e2e(ClassId cls, double latency_seconds) {
     throw std::out_of_range("MetricsRegistry: bad class id");
   }
   e2e_[cls.index()].add(latency_seconds);
+  e2e_samples_[cls.index()].add(latency_seconds);
+}
+
+double MetricsRegistry::e2e_quantile(ClassId cls, double q) const {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  return e2e_samples_[cls.index()].quantile(q);
 }
 
 const StreamingStats& MetricsRegistry::e2e(ClassId cls) const {
@@ -122,6 +131,7 @@ void MetricsRegistry::reset_period() {
   for (auto& st : stats_) st = RequestStats{};
   for (auto& c : ingress_counts_) c = 0;
   for (auto& e : e2e_) e.reset();
+  for (auto& s : e2e_samples_) s.clear();
 }
 
 }  // namespace slate

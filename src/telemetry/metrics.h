@@ -61,6 +61,10 @@ class MetricsRegistry {
   // (root span duration). Feeds the guarded controller's live objective.
   void record_e2e(ClassId cls, double latency_seconds);
   [[nodiscard]] const StreamingStats& e2e(ClassId cls) const;
+  // Exact period-local e2e quantile (0 with no samples). Backed by a full
+  // sample window that resets with the period, so the tail reflects only
+  // the current control interval.
+  [[nodiscard]] double e2e_quantile(ClassId cls, double q) const;
 
   [[nodiscard]] const RequestStats& stats(ServiceId service, ClassId cls) const;
   // Instantaneous per-service arrival rate (all classes), for Waterfall.
@@ -87,6 +91,7 @@ class MetricsRegistry {
   std::vector<RateMeter> ingress_rates_;     // per class
   std::vector<std::uint64_t> ingress_counts_;  // per class, period-scoped
   std::vector<StreamingStats> e2e_;          // per class, period-scoped
+  std::vector<SampleSet> e2e_samples_;       // per class, period-scoped
 };
 
 }  // namespace slate

@@ -346,5 +346,109 @@ TEST(GlobalController, NoRevertWithinTolerance) {
   EXPECT_EQ(controller.reverts(), 0u);
 }
 
+// --- Rule aging edge cases --------------------------------------------------
+
+TEST_F(ClusterControllerTest, AgeRulesKeepsRulesAtExactStalenessBoundary) {
+  ClusterController controller(ClusterId{0}, 1, registry_,
+                               {&station_, nullptr}, policy_);
+  controller.push_rules(std::make_shared<RoutingRuleSet>());
+  controller.heartbeat(10.0);
+  // now - last_contact == max_missed * period exactly: still in contact.
+  EXPECT_FALSE(controller.age_rules(13.0, 1.0, 3));
+  EXPECT_NE(policy_->rules(), nullptr);
+  EXPECT_EQ(controller.failovers(), 0u);
+  // One epsilon past the boundary: the rules drop.
+  EXPECT_TRUE(controller.age_rules(13.0 + 1e-9, 1.0, 3));
+  EXPECT_EQ(policy_->rules(), nullptr);
+  EXPECT_EQ(controller.failovers(), 1u);
+  // Already failed over: aging again is a no-op, not a second failover.
+  EXPECT_FALSE(controller.age_rules(20.0, 1.0, 3));
+  EXPECT_EQ(controller.failovers(), 1u);
+}
+
+TEST_F(ClusterControllerTest, FreshPushMidAgeOutRearmsRules) {
+  ClusterController controller(ClusterId{0}, 1, registry_,
+                               {&station_, nullptr}, policy_);
+  controller.push_rules(std::make_shared<RoutingRuleSet>(), 1);
+  controller.heartbeat(10.0);
+  EXPECT_TRUE(controller.age_rules(15.0, 1.0, 3));  // aged out
+  EXPECT_EQ(policy_->rules(), nullptr);
+  // The controller comes back: a fresh push re-arms the data plane and
+  // resets the staleness clock.
+  auto fresh = std::make_shared<RoutingRuleSet>();
+  controller.heartbeat(16.0);
+  controller.push_rules(fresh, 2);
+  EXPECT_EQ(policy_->rules().get(), fresh.get());
+  EXPECT_FALSE(controller.age_rules(17.0, 1.0, 3));
+  EXPECT_EQ(controller.failovers(), 1u);
+}
+
+TEST_F(ClusterControllerTest, ZeroMaxMissedAgesImmediately) {
+  // max_missed == 0: any gap beyond the current instant is too stale.
+  ClusterController controller(ClusterId{0}, 1, registry_,
+                               {&station_, nullptr}, policy_);
+  controller.push_rules(std::make_shared<RoutingRuleSet>());
+  controller.heartbeat(5.0);
+  EXPECT_FALSE(controller.age_rules(5.0, 1.0, 0));  // same instant: in contact
+  EXPECT_TRUE(controller.age_rules(5.1, 1.0, 0));
+  EXPECT_EQ(policy_->rules(), nullptr);
+}
+
+// --- Stale-demand decay floor ----------------------------------------------
+
+TEST(GlobalController, StaleDemandDecaysThenSnapsToZero) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  GlobalControllerOptions options;
+  options.stale_after_periods = 2;
+  options.stale_demand_decay = 0.5;
+  options.stale_demand_floor = 10.0;  // high floor: snap fast in the test
+  GlobalController controller(*scenario.app, *scenario.deployment,
+                              *scenario.topology, options);
+  const ServiceId svc = scenario.app->find_service("svc-1");
+
+  // West reports 100 RPS once, then goes dark; East keeps reporting.
+  controller.on_reports(
+      {synthetic_report(ClusterId{0}, 0.0, 1.0, svc, 100.0, 2e-3, 0.5, 8e-3),
+       synthetic_report(ClusterId{1}, 0.0, 1.0, svc, 50.0, 2e-3, 0.2, 8e-3)},
+      1.0);
+  EXPECT_NEAR(controller.demand()(0, 0), 100.0, 1e-9);
+  EXPECT_EQ(controller.stale_periods(ClusterId{0}), 0u);
+
+  double t = 2.0;
+  auto east_only = [&] {
+    controller.on_reports({synthetic_report(ClusterId{1}, t - 1.0, t, svc,
+                                            50.0, 2e-3, 0.2, 8e-3)},
+                          t);
+    t += 1.0;
+  };
+  // Periods 2-3: within tolerance, demand untouched.
+  east_only();
+  east_only();
+  EXPECT_NEAR(controller.demand()(0, 0), 100.0, 1e-9);
+  EXPECT_EQ(controller.stale_periods(ClusterId{0}), 2u);
+  EXPECT_EQ(controller.stale_clusters(), 0u);
+
+  // Period 4: past stale_after_periods, geometric decay begins.
+  east_only();
+  EXPECT_NEAR(controller.demand()(0, 0), 50.0, 1e-9);
+  EXPECT_EQ(controller.stale_clusters(), 1u);
+  east_only();
+  EXPECT_NEAR(controller.demand()(0, 0), 25.0, 1e-9);
+  // Period 6: 12.5 decays to 6.25 < floor 10 -> snaps to exactly zero so a
+  // long-dark cluster stops attracting ghost-load routing.
+  east_only();
+  east_only();
+  EXPECT_DOUBLE_EQ(controller.demand()(0, 0), 0.0);
+  EXPECT_GE(controller.stale_periods(ClusterId{0}), 5u);
+
+  // Recovery: the cluster reports again and demand snaps back live.
+  controller.on_reports({synthetic_report(ClusterId{0}, t - 1.0, t, svc, 80.0,
+                                          2e-3, 0.5, 8e-3)},
+                        t);
+  EXPECT_GT(controller.demand()(0, 0), 0.0);
+  EXPECT_EQ(controller.stale_periods(ClusterId{0}), 0u);
+  EXPECT_EQ(controller.stale_clusters(), 0u);
+}
+
 }  // namespace
 }  // namespace slate

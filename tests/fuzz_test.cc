@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "guard/report_validator.h"
 #include "net/gcp_topology.h"
 #include "runtime/scenario_loader.h"
 #include "runtime/scenarios.h"
@@ -420,6 +422,166 @@ TEST_P(FuzzTest, OverloadDirectivesParseOrFailCleanly) {
           << directive << " -> " << e.what();
     }
   }
+}
+
+// --- Corrupted-report fuzzing (control-plane hardening) ---------------------
+
+// Poisons random fields of a report the way a byzantine reporter would:
+// NaN/Inf/negative values, implausible magnitudes, permuted or out-of-range
+// class/service indices, wrong-sized per-class vectors.
+void poison_report(ClusterReport& report, Rng& rng) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto poison = [&](double& v) {
+    switch (rng.uniform_u64(6)) {
+      case 0: v = kNaN; break;
+      case 1: v = kInf; break;
+      case 2: v = -std::abs(v) - 1.0; break;
+      case 3: v *= 1e9; break;
+      case 4: v = 0.0; break;
+      default: v *= rng.uniform(0.0, 100.0); break;
+    }
+  };
+  for (double& v : report.ingress_rps) {
+    if (rng.bernoulli(0.5)) poison(v);
+  }
+  for (auto& m : report.request_metrics) {
+    if (rng.bernoulli(0.3)) poison(m.mean_latency);
+    if (rng.bernoulli(0.3)) poison(m.completion_rps);
+    if (rng.bernoulli(0.3)) poison(m.mean_service_time);
+    if (rng.bernoulli(0.2)) m.cls = ClassId{rng.uniform_u64(64)};
+    if (rng.bernoulli(0.2)) m.service = ServiceId{rng.uniform_u64(64)};
+  }
+  for (auto& sm : report.station_metrics) {
+    if (rng.bernoulli(0.3)) poison(sm.utilization);
+    if (rng.bernoulli(0.2)) sm.service = ServiceId{rng.uniform_u64(64)};
+  }
+  for (auto& e : report.e2e) {
+    if (rng.bernoulli(0.3)) poison(e.mean_latency);
+    if (rng.bernoulli(0.3)) poison(e.p99_latency);
+  }
+  if (rng.bernoulli(0.2)) {
+    report.ingress_rps.resize(rng.uniform_u64(8), 50.0);
+  }
+  if (rng.bernoulli(0.1)) report.cluster = ClusterId{rng.uniform_u64(64)};
+}
+
+// The validator must block every poisoned field: after admit(), nothing
+// non-finite, negative, implausible, or out-of-range survives in the
+// report, regardless of the corruption drawn.
+TEST_P(FuzzTest, ValidatorBlocksEveryPoisonedField) {
+  const auto seed = static_cast<std::uint64_t>(19000 + GetParam());
+  Rng rng(seed);
+  const std::size_t services = 1 + rng.uniform_u64(5);
+  const std::size_t classes = 1 + rng.uniform_u64(3);
+  const std::size_t clusters = 2 + rng.uniform_u64(3);
+  AdmissionOptions options;
+  options.enabled = true;
+  ReportValidator validator(services, classes, clusters, options);
+
+  for (int round = 0; round < 200; ++round) {
+    ClusterReport report;
+    report.cluster = ClusterId{rng.uniform_u64(clusters)};
+    report.period_start = round;
+    report.period_end = round + 1.0;
+    report.ingress_rps.assign(classes, rng.uniform(10.0, 500.0));
+    for (std::size_t s = 0; s < services; ++s) {
+      ServiceClassMetrics m;
+      m.service = ServiceId{s};
+      m.cls = ClassId{rng.uniform_u64(classes)};
+      m.completed = 50;
+      m.completion_rps = rng.uniform(10.0, 400.0);
+      m.mean_latency = rng.uniform(1e-3, 50e-3);
+      m.max_latency = m.mean_latency * 2.0;
+      m.mean_service_time = rng.uniform(1e-3, 10e-3);
+      report.request_metrics.push_back(m);
+      StationMetrics sm;
+      sm.service = ServiceId{s};
+      sm.servers = 1 + static_cast<unsigned>(rng.uniform_u64(4));
+      sm.utilization = rng.uniform(0.0, 1.0);
+      report.station_metrics.push_back(sm);
+    }
+    report.e2e.assign(classes, E2eMetrics{40, 20e-3, 45e-3});
+    if (rng.bernoulli(0.8)) poison_report(report, rng);
+
+    validator.admit(report);
+
+    for (const double v : report.ingress_rps) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, validator.options().max_rps);
+    }
+    for (const auto& m : report.request_metrics) {
+      EXPECT_LT(m.service.index(), services);
+      EXPECT_LT(m.cls.index(), classes);
+      EXPECT_TRUE(std::isfinite(m.mean_latency));
+      EXPECT_GE(m.mean_latency, 0.0);
+      EXPECT_TRUE(std::isfinite(m.completion_rps));
+      EXPECT_GE(m.completion_rps, 0.0);
+      EXPECT_TRUE(std::isfinite(m.mean_service_time));
+      EXPECT_GE(m.mean_service_time, 0.0);
+    }
+    for (const auto& sm : report.station_metrics) {
+      EXPECT_TRUE(std::isfinite(sm.utilization));
+      EXPECT_GE(sm.utilization, 0.0);
+    }
+    for (const auto& e : report.e2e) {
+      if (e.count == 0) continue;
+      EXPECT_TRUE(std::isfinite(e.mean_latency));
+      EXPECT_GE(e.mean_latency, 0.0);
+      EXPECT_TRUE(std::isfinite(e.p99_latency));
+    }
+  }
+}
+
+// Guard-armed end-to-end runs under telemetry corruption and solver
+// outages: the simulation never crashes, conserves requests, and stays
+// bit-deterministic for a fixed seed.
+TEST_P(FuzzTest, GuardArmedChaosRunsSatisfyInvariantsAndDeterminism) {
+  const auto seed = static_cast<std::uint64_t>(21000 + GetParam());
+  Scenario scenario = random_scenario(seed);
+  Rng rng(seed ^ 0x6du);
+  const std::size_t clusters = scenario.topology->cluster_count();
+  const std::size_t n = 1 + rng.uniform_u64(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double start = rng.uniform(0.0, 12.0);
+    const double len = rng.uniform(0.5, 6.0);
+    if (rng.bernoulli(0.6)) {
+      scenario.faults.telemetry_corruption(ClusterId{rng.uniform_u64(clusters)},
+                                           start, len,
+                                           rng.uniform(1.5, 50.0));
+    } else {
+      scenario.faults.solver_outage(start, len);
+    }
+  }
+  scenario.guard.admission.enabled = true;
+  scenario.guard.solver.enabled = rng.bernoulli(0.7);
+  scenario.guard.rollout.enabled = rng.bernoulli(0.7);
+
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 12.0;
+  config.warmup = 4.0;
+  config.seed = seed;
+  config.timeseries_bucket = 1.0;
+  config.failure.enabled = rng.bernoulli(0.5);
+
+  const ExperimentResult a = run_experiment(scenario, config);
+  EXPECT_LE(a.completed, a.generated);
+  if (a.completed > 0) {
+    EXPECT_TRUE(std::isfinite(a.p99()));
+    EXPECT_LE(a.p50(), a.p99() + 1e-12);
+  }
+  // The admission gate saw the corruption (when any fired pre-duration).
+  const ExperimentResult b = run_experiment(scenario, config);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.guard_fields_rejected, b.guard_fields_rejected);
+  EXPECT_EQ(a.guard_spikes_clamped, b.guard_spikes_clamped);
+  EXPECT_EQ(a.solver_fallbacks, b.solver_fallbacks);
+  EXPECT_EQ(a.rollout_rollbacks, b.rollout_rollbacks);
+  EXPECT_EQ(a.rule_pushes, b.rule_pushes);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 12));

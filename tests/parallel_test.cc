@@ -175,6 +175,60 @@ TEST(ExperimentGrid, ParallelMatchesSerialWithOverloadControlEnabled) {
   EXPECT_GT(overload_activity, 0u);
 }
 
+TEST(ExperimentGrid, ParallelMatchesSerialWithGuardArmed) {
+  // The control-plane guard stack (telemetry admission, solver fallback
+  // ladder, canary rollout) must stay bit-deterministic across worker
+  // threads even while actively clamping corrupted reports and riding out
+  // a solver outage.
+  TwoClusterChainParams params;
+  params.west_rps = 800.0;
+  params.east_rps = 100.0;
+  Scenario scenario = make_two_cluster_chain_scenario(params);
+  scenario.faults.telemetry_corruption(ClusterId{0}, 3.0, 8.0, 8.0);
+  scenario.faults.solver_outage(5.0, 3.0);
+  scenario.guard.admission.enabled = true;
+  scenario.guard.solver.enabled = true;
+  scenario.guard.rollout.enabled = true;
+
+  std::vector<GridJob> jobs;
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    RunConfig config;
+    config.policy = PolicyKind::kSlate;
+    config.duration = 14.0;
+    config.warmup = 2.0;
+    config.seed = seed;
+    config.failure.enabled = true;
+    config.failure.call_timeout = 0.5;
+    jobs.push_back({&scenario, config, "guarded"});
+  }
+
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<ExperimentResult> a = run_experiment_grid(jobs, serial);
+  const std::vector<ExperimentResult> b = run_experiment_grid(jobs, parallel);
+
+  ASSERT_EQ(a.size(), jobs.size());
+  std::uint64_t guard_activity = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(a[i], b[i]);
+    EXPECT_EQ(a[i].guard_fields_rejected, b[i].guard_fields_rejected);
+    EXPECT_EQ(a[i].guard_spikes_clamped, b[i].guard_spikes_clamped);
+    EXPECT_EQ(a[i].solver_fallbacks, b[i].solver_fallbacks);
+    EXPECT_EQ(a[i].solver_holds, b[i].solver_holds);
+    EXPECT_EQ(a[i].rollout_rollbacks, b[i].rollout_rollbacks);
+    EXPECT_EQ(a[i].rollout_flap_freezes, b[i].rollout_flap_freezes);
+    EXPECT_EQ(a[i].rule_pushes, b[i].rule_pushes);
+    EXPECT_EQ(a[i].rule_delta_sum, b[i].rule_delta_sum);
+    guard_activity += a[i].guard_spikes_clamped + a[i].guard_fields_rejected +
+                      a[i].solver_fallbacks;
+  }
+  // The comparison is vacuous unless the guard actually did something.
+  EXPECT_GT(guard_activity, 0u);
+}
+
 TEST(ExperimentGrid, ResultsComeBackInJobOrder) {
   TwoClusterChainParams params;
   const Scenario scenario = make_two_cluster_chain_scenario(params);

@@ -409,13 +409,113 @@ TEST(ScenarioLoader, BadOverloadDirectivesRejected) {
   expect_error(base + "overload queue limit=-1\n", "line 10");
 }
 
+// --- Guard directives -------------------------------------------------------
+
+TEST(ScenarioLoader, ParsesGuardDirectives) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "guard admission threshold=6 window=32 min_history=4 trust_decay=0.5\n"
+      "guard solver budget=100ms enforce_budget=on local_bias=3\n"
+      "guard rollout max_delta=0.2 canary=3 goodput_drop=0.3 freeze=5\n");
+  EXPECT_TRUE(s.guard.admission.enabled);
+  EXPECT_DOUBLE_EQ(s.guard.admission.mad_threshold, 6.0);
+  EXPECT_EQ(s.guard.admission.mad_window, 32u);
+  EXPECT_EQ(s.guard.admission.min_history, 4u);
+  EXPECT_DOUBLE_EQ(s.guard.admission.trust_decay, 0.5);
+  EXPECT_TRUE(s.guard.solver.enabled);
+  EXPECT_DOUBLE_EQ(s.guard.solver.wall_budget, 0.1);
+  EXPECT_TRUE(s.guard.solver.enforce_budget);
+  EXPECT_DOUBLE_EQ(s.guard.solver.split_local_bias, 3.0);
+  EXPECT_TRUE(s.guard.rollout.enabled);
+  EXPECT_DOUBLE_EQ(s.guard.rollout.max_weight_delta, 0.2);
+  EXPECT_EQ(s.guard.rollout.canary_periods, 3u);
+  EXPECT_DOUBLE_EQ(s.guard.rollout.goodput_drop, 0.3);
+  EXPECT_EQ(s.guard.rollout.freeze_periods, 5u);
+}
+
+TEST(ScenarioLoader, BareGuardDirectivesEnableDefaults) {
+  const Scenario s = load_scenario_from_string(std::string(kFaultBase) +
+                                               "guard admission\n");
+  EXPECT_TRUE(s.guard.admission.enabled);
+  EXPECT_FALSE(s.guard.solver.enabled);
+  EXPECT_FALSE(s.guard.rollout.enabled);
+}
+
+TEST(ScenarioLoader, BadGuardDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "guard turbo\n", "unknown guard kind");
+  expect_error(base + "guard admission threshold=0\n", "threshold must be > 0");
+  expect_error(base + "guard admission window=500\n", "window must be <= 256");
+  expect_error(base + "guard rollout max_delta=2\n", "max_delta must be in");
+  expect_error(base + "guard rollout bogus=1\n",
+               "unknown guard rollout attribute");
+  expect_error(base + "guard solver local_bias=0.5\n", "local_bias must be >= 1");
+}
+
+TEST(ScenarioLoader, ParsesControlPlaneFaultDirectives) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "fault corrupt west @25s 50s factor=8\n"
+      "fault solver @35s 10s\n");
+  ASSERT_EQ(s.faults.size(), 2u);
+  const auto& f = s.faults.faults();
+  EXPECT_EQ(f[0].kind, FaultKind::kTelemetryCorruption);
+  EXPECT_EQ(f[0].cluster, ClusterId{0});
+  EXPECT_DOUBLE_EQ(f[0].start, 25.0);
+  EXPECT_DOUBLE_EQ(f[0].duration, 50.0);
+  EXPECT_DOUBLE_EQ(f[0].factor, 8.0);
+  EXPECT_EQ(f[1].kind, FaultKind::kSolverOutage);
+  EXPECT_DOUBLE_EQ(f[1].start, 35.0);
+}
+
+// --- Duplicate deploy targets ----------------------------------------------
+
+TEST(ScenarioLoader, DuplicateExplicitDeployTargetsRejected) {
+  const std::string base =
+      "cluster west\ncluster east\nrtt west east 20ms\n"
+      "service s\nclass k\ncall k root s compute=1ms\n";
+  // Two explicit deploys of the same (service, cluster): the second would
+  // silently overwrite the first.
+  expect_error(base +
+                   "deploy s west servers=1 capacity=100\n"
+                   "deploy s west servers=4 capacity=900\n"
+                   "demand k west 10\n",
+               "duplicate deploy target 's west'");
+  // The error names the first declaration's line (line 7 here).
+  expect_error(base +
+                   "deploy s west servers=1 capacity=100\n"
+                   "deploy s west servers=4 capacity=900\n"
+                   "demand k west 10\n",
+               "line 7");
+  // Duplicate undeploys of the same target are equally a spec mistake.
+  expect_error(base +
+                   "deploy * * servers=1 capacity=100\n"
+                   "undeploy s east\nundeploy s east\n"
+                   "demand k west 10\n",
+               "duplicate undeploy target 's east'");
+}
+
+TEST(ScenarioLoader, WildcardThenSpecificOverrideStillAllowed) {
+  // `deploy * *` followed by a specific override is the documented idiom
+  // and must keep working.
+  const Scenario s = load_scenario_from_string(
+      "cluster west\ncluster east\nrtt west east 20ms\n"
+      "service s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=100\n"
+      "deploy s west servers=4 capacity=900\n"
+      "demand k west 10\n");
+  EXPECT_EQ(s.deployment->servers(ServiceId{0}, ClusterId{0}), 4u);
+  EXPECT_EQ(s.deployment->servers(ServiceId{0}, ClusterId{1}), 1u);
+}
+
 TEST(ScenarioLoader, SampleFilesParse) {
   // The shipped sample scenarios must stay valid.
   for (const char* path : {"examples/scenarios/two_cluster_overload.slate",
                            "examples/scenarios/burst.slate",
                            "examples/scenarios/anomaly_detection.slate",
                            "examples/scenarios/cluster_outage.slate",
-                           "examples/scenarios/metastable_burst.slate"}) {
+                           "examples/scenarios/metastable_burst.slate",
+                           "examples/scenarios/controller_chaos.slate"}) {
     SCOPED_TRACE(path);
     std::string full = std::string(SLATE_SOURCE_DIR) + "/" + path;
     EXPECT_NO_THROW({
