@@ -20,6 +20,7 @@
 #include "bench_util.h"
 #include "net/gcp_topology.h"
 #include "runtime/scenarios.h"
+#include "workload/generators.h"
 
 // --- Counting allocator hook ------------------------------------------------
 //
@@ -167,6 +168,29 @@ int main(int argc, char** argv) {
     o.overload.deadline.default_deadline = 0.5;
     o.overload.breaker.enabled = true;
     rows.push_back(run_case("chain-2c-overload", scenario, o));
+    // Forecast armed on time-varying demand: the piecewise generator steps
+    // churn arrival rates every 0.5 s and the Holt-Winters per-cell
+    // forecasters + rolling backtest score every control period — this run
+    // prices the full predictive pipeline on top of the engine hot path.
+    Scenario diurnal = make_two_cluster_chain_scenario(params);
+    diurnal.demand = DemandSchedule{};
+    DiurnalSpec west;
+    west.base = 450.0;
+    west.amplitude = 350.0;
+    west.period = 10.0;
+    west.end = config.duration + west.period;
+    west.step = 0.5;
+    DiurnalSpec east = west;
+    east.phase = west.period / 2.0;
+    add_diurnal(diurnal.demand, ClassId{0}, ClusterId{0}, west);
+    add_diurnal(diurnal.demand, ClassId{0}, ClusterId{1}, east);
+    RunConfig f = config;
+    f.policy = PolicyKind::kSlate;
+    f.control_period = 1.0;
+    f.slate.forecast.kind = ForecastKind::kHoltWinters;
+    f.slate.forecast.season =
+        static_cast<std::size_t>(west.period / f.control_period);
+    rows.push_back(run_case("chain-2c-forecast", diurnal, f));
   }
   {
     Scenario scenario = make_uniform_scenario(

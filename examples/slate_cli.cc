@@ -14,6 +14,14 @@
 //   --no-faults            ignore the scenario's fault plan
 //   --no-guard             ignore the scenario's guard directives (run the
 //                          control plane unhardened)
+//   --forecast=<kind>      SLATE demand forecasting: last, ewma, linear,
+//                          holtwinters, or oracle (overrides the scenario's
+//                          forecast directive)
+//   --forecast-season=<n>  Holt-Winters season length, in control periods
+//   --no-forecast          ignore the scenario's forecast directive (run
+//                          the controller purely reactive)
+//   --dump-demand=<csv>    write the per-period offered/estimated/forecast
+//                          demand timeseries per (class, cluster) to <csv>
 //   --queue-limit=<n>      bound every station queue at n jobs (overload)
 //   --deadline=<seconds>   end-to-end deadline with propagation (overload)
 //   --no-overload          ignore the scenario's overload directives
@@ -26,6 +34,7 @@
 // Sample scenarios live in examples/scenarios/.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -63,6 +72,7 @@ int main(int argc, char** argv) {
   bool print_cdf = false;
   bool drop_faults = false;
   bool drop_overload = false;
+  std::string dump_demand_path;
   std::size_t seeds = 1;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string value;
@@ -106,6 +116,21 @@ int main(int argc, char** argv) {
       drop_faults = true;
     } else if (std::strcmp(argv[i], "--no-guard") == 0) {
       config.ignore_scenario_guard = true;
+    } else if (parse_flag(argv[i], "--forecast", &value)) {
+      if (!forecast_kind_from_string(value, &config.slate.forecast.kind)) {
+        std::fprintf(stderr,
+                     "unknown forecast kind '%s' (expected none, last, ewma, "
+                     "linear, holtwinters, oracle)\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (parse_flag(argv[i], "--forecast-season", &value)) {
+      config.slate.forecast.season = std::stoull(value);
+    } else if (std::strcmp(argv[i], "--no-forecast") == 0) {
+      config.ignore_scenario_forecast = true;
+    } else if (parse_flag(argv[i], "--dump-demand", &value)) {
+      config.record_demand_trace = true;
+      dump_demand_path = value;
     } else if (parse_flag(argv[i], "--queue-limit", &value)) {
       config.overload.queue.max_queue = std::stoull(value);
     } else if (parse_flag(argv[i], "--deadline", &value)) {
@@ -149,6 +174,29 @@ int main(int argc, char** argv) {
   const std::vector<ExperimentResult> results =
       run_experiment_grid(grid, options);
   const ExperimentResult& r = results.front();
+
+  // Demand-trace export (first replicate): offered vs. controller-estimated
+  // vs. forecast RPS per (class, cluster) control period.
+  if (!dump_demand_path.empty()) {
+    std::ofstream out(dump_demand_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", dump_demand_path.c_str());
+      return 1;
+    }
+    out << "time,class,cluster,offered_rps,estimated_rps,forecast_rps\n";
+    char buf[64];
+    for (const DemandTracePoint& p : r.demand_trace) {
+      std::snprintf(buf, sizeof buf, "%.3f,", p.time);
+      out << buf
+          << scenario.app->traffic_class(ClassId{p.cls}).name << ','
+          << scenario.topology->cluster_name(ClusterId{p.cluster}) << ',';
+      std::snprintf(buf, sizeof buf, "%.4f,%.4f,%.4f\n", p.offered_rps,
+                    p.estimated_rps, p.forecast_rps);
+      out << buf;
+    }
+    std::fprintf(stderr, "wrote %zu demand trace rows to %s\n",
+                 r.demand_trace.size(), dump_demand_path.c_str());
+  }
 
   if (seeds > 1) {
     std::vector<double> mean_ms, p99_ms, goodput, cost;
@@ -261,6 +309,13 @@ int main(int argc, char** argv) {
     std::printf("  rules    %llu pushes, mean successive L1 delta %.3f\n",
                 static_cast<unsigned long long>(r.rule_pushes),
                 r.mean_rule_delta());
+  }
+  if (r.forecast_solves > 0) {
+    std::printf(
+        "  forecast %llu predictive solves, mean sMAPE %.3f, "
+        "mean confidence %.2f\n",
+        static_cast<unsigned long long>(r.forecast_solves),
+        r.forecast_mean_smape, r.forecast_mean_confidence);
   }
   if (r.autoscaler_scale_ups + r.autoscaler_scale_downs > 0) {
     std::printf("  autoscaler: %llu up / %llu down\n",

@@ -6,6 +6,7 @@
 
 #include "core/routing_rules.h"
 #include "util/logging.h"
+#include "workload/demand.h"
 
 namespace slate {
 
@@ -27,6 +28,7 @@ GlobalController::GlobalController(const Application& app,
       store_(app.service_count(), app.class_count(), topology.cluster_count(),
              options.sample_capacity),
       demand_(app.class_count(), topology.cluster_count(), 0.0),
+      solve_demand_(app.class_count(), topology.cluster_count(), 0.0),
       live_servers_(app.service_count() * topology.cluster_count(), 0),
       last_seen_round_(topology.cluster_count(), 0),
       cluster_stale_(topology.cluster_count(), false) {
@@ -44,6 +46,20 @@ GlobalController::GlobalController(const Application& app,
   }
   if (options_.guard.rollout.enabled) {
     rollout_ = std::make_unique<RuleRollout>(options_.guard.rollout);
+  }
+  switch (options_.forecast.kind) {
+    case ForecastKind::kLast:
+    case ForecastKind::kEwma:
+    case ForecastKind::kLinear:
+    case ForecastKind::kHoltWinters:
+      forecaster_ = std::make_unique<DemandForecaster>(
+          app.class_count(), topology.cluster_count(), options_.forecast);
+      break;
+    case ForecastKind::kOracle:
+      options_.forecast.validate();
+      break;
+    case ForecastKind::kNone:
+      break;
   }
 }
 
@@ -171,9 +187,33 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::emit(
   return rules;
 }
 
+const FlatMatrix<double>& GlobalController::solve_demand_input(double now) {
+  if (forecaster_ != nullptr) {
+    forecaster_->blend(demand_, &solve_demand_);
+    ++forecast_solves_;
+    return solve_demand_;
+  }
+  if (options_.forecast.kind == ForecastKind::kOracle &&
+      options_.forecast.oracle_schedule != nullptr) {
+    // The pushed rules actuate over (now, now + horizon]; the load they
+    // should be sized for is the window mean, which for any smooth profile
+    // is the midpoint sample — reading the window END would overshoot a
+    // moving demand by half a period.
+    const double t = now + 0.5 * options_.forecast.horizon;
+    for (std::size_t k = 0; k < solve_demand_.rows(); ++k) {
+      for (std::size_t c = 0; c < solve_demand_.cols(); ++c) {
+        solve_demand_(k, c) =
+            options_.forecast.oracle_schedule->rate_at(ClassId{k}, ClusterId{c}, t);
+      }
+    }
+    ++forecast_solves_;
+    return solve_demand_;
+  }
+  return demand_;
+}
+
 std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     const std::vector<ClusterReport>& reports, double now) {
-  (void)now;
   ++rounds_;
 
   // 0. Telemetry admission: sanitize a copy before anything downstream
@@ -187,6 +227,12 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
   }
 
   ingest(*admitted);
+
+  // 1b. Forecast bookkeeping runs EVERY round — including rounds that end
+  // in a hold — so backtests and seasonal indices stay aligned with
+  // wall-clock control periods (a Holt-Winters season is `season` periods
+  // of elapsed time, not `season` successful solves).
+  if (forecaster_ != nullptr) forecaster_->step(demand_);
 
   const GuardrailOptions& guard = options_.guardrails;
   const double obs = observed_e2e(*admitted);
@@ -241,10 +287,13 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     return nullptr;  // keep rules frozen while re-learning
   }
 
-  // 4. Optimize. The demand check is written non-finite-safe: a poisoned
-  // matrix (possible only with admission off) must hold, not solve.
+  // 4. Optimize — on the measured demand estimate, the forecast blend, or
+  // the oracle's future, depending on the armed forecast mode. The demand
+  // check is written non-finite-safe: a poisoned matrix (possible only
+  // with admission off) must hold, not solve.
+  const FlatMatrix<double>& solve_demand = solve_demand_input(now);
   double total_demand = 0.0;
-  for (double d : demand_.data()) total_demand += d;
+  for (double d : solve_demand.data()) total_demand += d;
   if (!(total_demand > 0.0) || !std::isfinite(total_demand)) return nullptr;
 
   if (solver_guard_ != nullptr) {
@@ -252,7 +301,7 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
         current_rules_ != nullptr && current_rules_->size() > 0;
     SolverGuard::Outcome outcome = solver_guard_->solve(
         optimizer_, fast_optimizer_, options_.use_fast_optimizer, model_,
-        demand_, &live_servers_, solver_chaos_, have_last_good);
+        solve_demand, &live_servers_, solver_chaos_, have_last_good);
     ++optimizations_;
     last_result_ = std::move(outcome.result);
     if (outcome.rung == SolverRung::kHoldLastGood || !last_result_.ok()) {
@@ -268,8 +317,8 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     }
     last_result_ =
         options_.use_fast_optimizer
-            ? fast_optimizer_.optimize(model_, demand_, &live_servers_)
-            : optimizer_.optimize(model_, demand_, &live_servers_);
+            ? fast_optimizer_.optimize(model_, solve_demand, &live_servers_)
+            : optimizer_.optimize(model_, solve_demand, &live_servers_);
     ++optimizations_;
     if (options_.use_fast_optimizer &&
         last_result_.status == LpStatus::kIterationLimit) {

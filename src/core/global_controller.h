@@ -19,6 +19,7 @@
 
 #include "cluster/deployment.h"
 #include "core/fast_optimizer.h"
+#include "forecast/demand_forecaster.h"
 #include "core/model_fitter.h"
 #include "core/optimizer.h"
 #include "guard/guard_options.h"
@@ -83,6 +84,15 @@ struct GlobalControllerOptions {
   // ladder, guarded rollout). All off by default; when rollout is enabled
   // it supersedes the legacy `guardrails` blend/revert path above.
   GuardOptions guard;
+
+  // Demand forecasting (docs/forecasting.md). kNone solves on the measured
+  // demand estimate exactly as before; a predictive kind solves on the
+  // confidence-weighted blend of predicted and measured demand; kOracle
+  // reads the actual next-period offered load from `forecast.oracle_schedule`
+  // (wired by the harness) as the hindsight upper bound. The forecaster
+  // observes the post-admission demand estimate, so report-validator trust
+  // keeps scaling its input when the guard stack is armed.
+  ForecastOptions forecast;
 };
 
 class GlobalController {
@@ -122,6 +132,27 @@ class GlobalController {
   [[nodiscard]] const LatencyModel& model() const noexcept { return model_; }
   [[nodiscard]] LatencyModel& mutable_model() noexcept { return model_; }
   [[nodiscard]] const FlatMatrix<double>& demand() const noexcept { return demand_; }
+  // Demand matrix handed to the most recent optimization: the measured
+  // estimate (reactive), the confidence blend (predictive), or the actual
+  // future offered load (oracle).
+  [[nodiscard]] const FlatMatrix<double>& solve_demand() const noexcept {
+    return forecast_active() ? solve_demand_ : demand_;
+  }
+  // True when solves run on forecast or oracle demand rather than the
+  // measured estimate.
+  [[nodiscard]] bool forecast_active() const noexcept {
+    return forecaster_ != nullptr ||
+           (options_.forecast.kind == ForecastKind::kOracle &&
+            options_.forecast.oracle_schedule != nullptr);
+  }
+  // Periods whose optimization consumed forecast/oracle demand.
+  [[nodiscard]] std::uint64_t forecast_solves() const noexcept {
+    return forecast_solves_;
+  }
+  // Null unless a predictive forecast kind is armed.
+  [[nodiscard]] const DemandForecaster* forecaster() const noexcept {
+    return forecaster_.get();
+  }
   [[nodiscard]] const OptimizerResult& last_result() const noexcept {
     return last_result_;
   }
@@ -163,6 +194,9 @@ class GlobalController {
   };
 
   void ingest(const std::vector<ClusterReport>& reports);
+  // Fills solve_demand_ for the active forecast mode and returns it, or
+  // returns demand_ untouched when reactive (bit-identical legacy path).
+  [[nodiscard]] const FlatMatrix<double>& solve_demand_input(double now);
   // Demand-weighted mean e2e latency across reports; negative when too few
   // samples to judge.
   [[nodiscard]] double observed_e2e(const std::vector<ClusterReport>& reports) const;
@@ -183,6 +217,10 @@ class GlobalController {
   FastRouteOptimizer fast_optimizer_;
   SampleStore store_;
   FlatMatrix<double> demand_;  // classes x clusters, RPS
+  // Demand fed to the optimizer under an armed forecast mode (unused, and
+  // never touched, when reactive).
+  FlatMatrix<double> solve_demand_;
+  std::unique_ptr<DemandForecaster> forecaster_;
   std::vector<unsigned> live_servers_;  // services x clusters; 0 = unreported
   bool demand_seen_ = false;
 
@@ -210,6 +248,7 @@ class GlobalController {
   std::uint64_t reverts_ = 0;
   std::uint64_t optimizations_ = 0;
   std::uint64_t solver_holds_ = 0;
+  std::uint64_t forecast_solves_ = 0;
 };
 
 }  // namespace slate

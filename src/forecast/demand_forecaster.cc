@@ -1,0 +1,121 @@
+#include "forecast/demand_forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slate {
+namespace {
+
+// Symmetric mean absolute percentage error of one (prediction, actual)
+// pair, in [0, 2]. Two effectively-zero values agree perfectly — without
+// the epsilon guard an idle cell would score 0/0.
+double smape_of(double prediction, double actual) {
+  const double denom = (std::abs(prediction) + std::abs(actual)) / 2.0;
+  if (denom < 1e-9) return 0.0;
+  return std::abs(prediction - actual) / denom;
+}
+
+}  // namespace
+
+DemandForecaster::DemandForecaster(std::size_t classes, std::size_t clusters,
+                                   const ForecastOptions& options)
+    : options_(options),
+      clusters_(clusters),
+      cells_(classes * clusters),
+      predicted_(classes, clusters, 0.0),
+      confidence_(classes, clusters, 0.0) {
+  options_.validate();
+  if (options_.kind == ForecastKind::kNone ||
+      options_.kind == ForecastKind::kOracle) {
+    throw std::invalid_argument(
+        "DemandForecaster: kind has no per-cell model (none/oracle)");
+  }
+  for (auto& cell : cells_) {
+    cell.model = make_cell_forecaster(options_);
+    cell.smape.assign(options_.backtest_window, 0.0);
+    cell.error.assign(options_.backtest_window, 0.0);
+  }
+}
+
+double DemandForecaster::cell_confidence(const Cell& cell) const {
+  if (cell.scored < options_.min_history || cell.ring_size == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cell.ring_size; ++i) sum += cell.smape[i];
+  const double mean = sum / static_cast<double>(cell.ring_size);
+  const double c = 1.0 - mean / options_.smape_scale;
+  return std::clamp(c, 0.0, options_.max_confidence);
+}
+
+void DemandForecaster::step(const FlatMatrix<double>& measured) {
+  ++steps_;
+  for (std::size_t k = 0; k < predicted_.rows(); ++k) {
+    for (std::size_t c = 0; c < clusters_; ++c) {
+      Cell& cell = cells_[k * clusters_ + c];
+      const double actual = measured(k, c);
+      if (cell.has_prediction) {
+        cell.smape[cell.ring_next] = smape_of(cell.last_prediction, actual);
+        cell.error[cell.ring_next] = cell.last_prediction - actual;
+        cell.ring_next = (cell.ring_next + 1) % cell.smape.size();
+        if (cell.ring_size < cell.smape.size()) ++cell.ring_size;
+        ++cell.scored;
+      }
+      cell.model->observe(actual);
+      cell.last_prediction = cell.model->predict();
+      cell.has_prediction = true;
+      predicted_(k, c) = cell.last_prediction;
+      confidence_(k, c) = cell_confidence(cell);
+    }
+  }
+}
+
+void DemandForecaster::blend(const FlatMatrix<double>& measured,
+                             FlatMatrix<double>* out) const {
+  for (std::size_t k = 0; k < predicted_.rows(); ++k) {
+    for (std::size_t c = 0; c < clusters_; ++c) {
+      const double m = measured(k, c);
+      const double conf = confidence_(k, c);
+      // conf == 0 must reproduce the measured value bit-for-bit (graceful
+      // degradation to the reactive controller), so skip the arithmetic.
+      (*out)(k, c) = conf > 0.0 ? m + conf * (predicted_(k, c) - m) : m;
+    }
+  }
+}
+
+double DemandForecaster::cell_smape(std::size_t cls, std::size_t cluster) const {
+  const Cell& cell = cells_[cls * clusters_ + cluster];
+  if (cell.ring_size == 0) return -1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cell.ring_size; ++i) sum += cell.smape[i];
+  return sum / static_cast<double>(cell.ring_size);
+}
+
+double DemandForecaster::cell_bias(std::size_t cls, std::size_t cluster) const {
+  const Cell& cell = cells_[cls * clusters_ + cluster];
+  if (cell.ring_size == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cell.ring_size; ++i) sum += cell.error[i];
+  return sum / static_cast<double>(cell.ring_size);
+}
+
+double DemandForecaster::mean_smape() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const double s = cell_smape(i / clusters_, i % clusters_);
+    if (s >= 0.0) {
+      sum += s;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : -1.0;
+}
+
+double DemandForecaster::mean_confidence() const {
+  double sum = 0.0;
+  for (double c : confidence_.data()) sum += c;
+  const std::size_t n = confidence_.data().size();
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace slate

@@ -1,0 +1,82 @@
+// The control-plane side of forecasting: one CellForecaster per
+// (traffic class, ingress cluster), stepped once per control period with
+// the controller's measured demand estimate, plus an online backtest that
+// scores every prediction against the value that actually materialized.
+//
+// The backtest is what makes prediction safe to actuate: each cell keeps a
+// rolling window of sMAPE scores (symmetric percentage error, in [0, 2]),
+// and confidence = clamp(1 - mean_smape / smape_scale, 0, max_confidence).
+// The controller solves on blend = measured + confidence * (predicted -
+// measured), so a forecaster that has not proven itself — cold start, a
+// regime change, a seasonal model fed aperiodic load — contributes nothing
+// and the loop stays exactly reactive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+class DemandForecaster {
+ public:
+  DemandForecaster(std::size_t classes, std::size_t clusters,
+                   const ForecastOptions& options);
+
+  // One control period: scores the previous prediction of every cell
+  // against `measured`, feeds the new observation, and refreshes the
+  // per-cell next-period prediction and confidence.
+  void step(const FlatMatrix<double>& measured);
+
+  // Next-period demand prediction per cell (valid after the first step).
+  [[nodiscard]] const FlatMatrix<double>& predicted() const noexcept {
+    return predicted_;
+  }
+  // Backtest-derived blend weight per cell, in [0, max_confidence].
+  [[nodiscard]] const FlatMatrix<double>& confidence() const noexcept {
+    return confidence_;
+  }
+
+  // out(k,c) = measured + confidence * (predicted - measured). A zero
+  // confidence leaves the measured value bit-identical, so a fully
+  // unconfident forecaster reproduces the reactive controller exactly.
+  void blend(const FlatMatrix<double>& measured, FlatMatrix<double>* out) const;
+
+  // Rolling-window backtest digests. Cells with no scored prediction yet
+  // report sMAPE -1 and bias 0.
+  [[nodiscard]] double cell_smape(std::size_t cls, std::size_t cluster) const;
+  [[nodiscard]] double cell_bias(std::size_t cls, std::size_t cluster) const;
+  // Mean over cells with at least one scored prediction (-1 when none).
+  [[nodiscard]] double mean_smape() const;
+  [[nodiscard]] double mean_confidence() const;
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+ private:
+  struct Cell {
+    std::unique_ptr<CellForecaster> model;
+    double last_prediction = 0.0;
+    bool has_prediction = false;
+    // Rolling backtest rings: sMAPE in [0, 2] and signed error
+    // (prediction - actual).
+    std::vector<double> smape;
+    std::vector<double> error;
+    std::size_t ring_next = 0;
+    std::size_t ring_size = 0;
+    std::uint64_t scored = 0;  // predictions backtested so far
+  };
+
+  [[nodiscard]] double cell_confidence(const Cell& cell) const;
+
+  ForecastOptions options_;
+  std::size_t clusters_;
+  std::vector<Cell> cells_;  // classes x clusters, row-major
+  FlatMatrix<double> predicted_;
+  FlatMatrix<double> confidence_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace slate

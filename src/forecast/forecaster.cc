@@ -1,0 +1,185 @@
+#include "forecast/forecaster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slate {
+
+const char* to_string(ForecastKind kind) noexcept {
+  switch (kind) {
+    case ForecastKind::kNone: return "none";
+    case ForecastKind::kLast: return "last";
+    case ForecastKind::kEwma: return "ewma";
+    case ForecastKind::kLinear: return "linear";
+    case ForecastKind::kHoltWinters: return "holtwinters";
+    case ForecastKind::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+bool forecast_kind_from_string(const std::string& text, ForecastKind* out) {
+  if (text == "none") {
+    *out = ForecastKind::kNone;
+  } else if (text == "last") {
+    *out = ForecastKind::kLast;
+  } else if (text == "ewma") {
+    *out = ForecastKind::kEwma;
+  } else if (text == "linear") {
+    *out = ForecastKind::kLinear;
+  } else if (text == "holtwinters") {
+    *out = ForecastKind::kHoltWinters;
+  } else if (text == "oracle") {
+    *out = ForecastKind::kOracle;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ForecastOptions::validate() const {
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    throw std::invalid_argument("forecast: ewma_alpha must be in (0, 1]");
+  }
+  if (window < 2) {
+    throw std::invalid_argument("forecast: window must be >= 2");
+  }
+  if (hw_alpha <= 0.0 || hw_alpha > 1.0 || hw_beta < 0.0 || hw_beta > 1.0 ||
+      hw_gamma < 0.0 || hw_gamma > 1.0) {
+    throw std::invalid_argument("forecast: Holt-Winters gains must be in (0, 1]");
+  }
+  if (season < 2) {
+    throw std::invalid_argument("forecast: season must be >= 2 periods");
+  }
+  if (backtest_window < 1) {
+    throw std::invalid_argument("forecast: backtest window must be >= 1");
+  }
+  if (smape_scale <= 0.0) {
+    throw std::invalid_argument("forecast: smape_scale must be > 0");
+  }
+  if (max_confidence < 0.0 || max_confidence > 1.0) {
+    throw std::invalid_argument("forecast: max_confidence must be in [0, 1]");
+  }
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("forecast: horizon must be > 0");
+  }
+}
+
+// --- LastValueForecaster ----------------------------------------------------
+
+double LastValueForecaster::predict() const { return std::max(0.0, last_); }
+
+// --- EwmaForecaster ---------------------------------------------------------
+
+void EwmaForecaster::observe(double value) {
+  estimate_ = seen_ ? estimate_ + alpha_ * (value - estimate_) : value;
+  seen_ = true;
+}
+
+double EwmaForecaster::predict() const { return std::max(0.0, estimate_); }
+
+// --- LinearTrendForecaster --------------------------------------------------
+
+LinearTrendForecaster::LinearTrendForecaster(std::size_t window)
+    : ring_(std::max<std::size_t>(window, 2), 0.0) {}
+
+void LinearTrendForecaster::observe(double value) {
+  ring_[next_] = value;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+double LinearTrendForecaster::predict() const {
+  if (size_ == 0) return 0.0;
+  const std::size_t n = size_;
+  // Oldest observation first: x = 0 .. n-1, prediction at x = n.
+  const std::size_t first = (next_ + ring_.size() - size_) % ring_.size();
+  if (n == 1) return std::max(0.0, ring_[first]);
+  double sum_y = 0.0, sum_xy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = ring_[(first + i) % ring_.size()];
+    sum_y += y;
+    sum_xy += static_cast<double>(i) * y;
+  }
+  const double nd = static_cast<double>(n);
+  const double sum_x = nd * (nd - 1.0) / 2.0;
+  const double sum_xx = (nd - 1.0) * nd * (2.0 * nd - 1.0) / 6.0;
+  const double denom = nd * sum_xx - sum_x * sum_x;
+  const double slope = denom != 0.0 ? (nd * sum_xy - sum_x * sum_y) / denom : 0.0;
+  const double intercept = (sum_y - slope * sum_x) / nd;
+  return std::max(0.0, intercept + slope * nd);
+}
+
+// --- HoltWintersForecaster --------------------------------------------------
+
+HoltWintersForecaster::HoltWintersForecaster(double alpha, double beta,
+                                             double gamma, std::size_t season)
+    : alpha_(alpha), beta_(beta), gamma_(gamma),
+      season_(std::max<std::size_t>(season, 2)) {
+  warmup_.reserve(2 * season_);
+}
+
+void HoltWintersForecaster::observe(double value) {
+  if (!initialized_) {
+    warmup_.push_back(value);
+    ++n_;
+    if (warmup_.size() < 2 * season_) return;
+    // Two full seasons: classic initialization. Level is the first-season
+    // mean, trend the per-period drift between season means, and each
+    // seasonal index the mean deviation from its season's level.
+    const double m = static_cast<double>(season_);
+    double mean1 = 0.0, mean2 = 0.0;
+    for (std::size_t i = 0; i < season_; ++i) {
+      mean1 += warmup_[i];
+      mean2 += warmup_[season_ + i];
+    }
+    mean1 /= m;
+    mean2 /= m;
+    level_ = mean2;
+    trend_ = (mean2 - mean1) / m;
+    seasonal_.assign(season_, 0.0);
+    for (std::size_t i = 0; i < season_; ++i) {
+      seasonal_[i] = ((warmup_[i] - mean1) + (warmup_[season_ + i] - mean2)) / 2.0;
+    }
+    warmup_.clear();
+    warmup_.shrink_to_fit();
+    initialized_ = true;
+    return;
+  }
+  const std::size_t idx = n_ % season_;
+  const double prev_level = level_;
+  level_ = alpha_ * (value - seasonal_[idx]) +
+           (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  seasonal_[idx] = gamma_ * (value - level_) + (1.0 - gamma_) * seasonal_[idx];
+  ++n_;
+}
+
+double HoltWintersForecaster::predict() const {
+  if (!initialized_) {
+    return warmup_.empty() ? 0.0 : std::max(0.0, warmup_.back());
+  }
+  return std::max(0.0, level_ + trend_ + seasonal_[n_ % season_]);
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<CellForecaster> make_cell_forecaster(
+    const ForecastOptions& options) {
+  switch (options.kind) {
+    case ForecastKind::kLast:
+      return std::make_unique<LastValueForecaster>();
+    case ForecastKind::kEwma:
+      return std::make_unique<EwmaForecaster>(options.ewma_alpha);
+    case ForecastKind::kLinear:
+      return std::make_unique<LinearTrendForecaster>(options.window);
+    case ForecastKind::kHoltWinters:
+      return std::make_unique<HoltWintersForecaster>(
+          options.hw_alpha, options.hw_beta, options.hw_gamma, options.season);
+    case ForecastKind::kNone:
+    case ForecastKind::kOracle:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace slate

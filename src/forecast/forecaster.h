@@ -1,0 +1,145 @@
+// Demand forecasting (docs/forecasting.md): per-(class, ingress-cluster)
+// predictors that let the global controller solve on where demand is GOING
+// instead of where it was last period.
+//
+// Every rule set SLATE ships is at least one control period stale: the
+// controller EWMAs last-period measured ingress, solves, and pushes — so
+// under a moving workload the fleet always executes a plan for the recent
+// past. A forecaster closes that lag by predicting next-period demand; an
+// online backtest (rolling sMAPE per cell) converts forecast skill into a
+// confidence weight, so a wrong model degrades gracefully back to the
+// reactive estimate instead of steering the fleet off a cliff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slate {
+
+class DemandSchedule;
+
+enum class ForecastKind {
+  kNone,         // reactive: solve on the measured demand estimate
+  kLast,         // naive last-value carry-forward
+  kEwma,         // exponential smoothing
+  kLinear,       // sliding-window least-squares trend extrapolation
+  kHoltWinters,  // additive level + trend + seasonal smoothing
+  kOracle,       // hindsight: solve on the actual next-period offered load
+};
+
+const char* to_string(ForecastKind kind) noexcept;
+// Parses "none|last|ewma|linear|holtwinters|oracle". Returns false (and
+// leaves *out untouched) on anything else.
+bool forecast_kind_from_string(const std::string& text, ForecastKind* out);
+
+struct ForecastOptions {
+  ForecastKind kind = ForecastKind::kNone;
+
+  // kEwma: smoothing factor (1 = last value).
+  double ewma_alpha = 0.4;
+  // kLinear: sliding window length, in control periods.
+  std::size_t window = 8;
+  // kHoltWinters: level/trend/seasonal gains and the season length in
+  // control periods (e.g. a 60 s diurnal cycle under a 1 s control period
+  // is season=60). Until two full seasons have been observed the cell
+  // falls back to last-value prediction.
+  double hw_alpha = 0.35;
+  double hw_beta = 0.08;
+  double hw_gamma = 0.3;
+  std::size_t season = 60;
+
+  // Online backtest: rolling window of |prediction - actual| sMAPE scores
+  // per cell. Confidence = clamp(1 - mean_smape / smape_scale, 0,
+  // max_confidence), and stays 0 until min_history predictions have been
+  // scored — a cold or chronically wrong forecaster blends to nothing.
+  std::size_t backtest_window = 12;
+  std::size_t min_history = 4;
+  double smape_scale = 0.6;
+  double max_confidence = 1.0;
+
+  // Wired by the harness, not by scenario files: the actuation window of
+  // one pushed plan (one control period) and, for kOracle, the schedule to
+  // read the future from (the oracle samples the window midpoint).
+  double horizon = 1.0;
+  const DemandSchedule* oracle_schedule = nullptr;
+
+  // Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+// One univariate next-value predictor. Implementations are deterministic
+// and allocation-free after construction (the controller steps every cell
+// every control period on the hot path).
+class CellForecaster {
+ public:
+  virtual ~CellForecaster() = default;
+  virtual void observe(double value) = 0;
+  // Predicted next observation; never negative (demand is a rate).
+  [[nodiscard]] virtual double predict() const = 0;
+};
+
+class LastValueForecaster final : public CellForecaster {
+ public:
+  void observe(double value) override { last_ = value; }
+  [[nodiscard]] double predict() const override;
+
+ private:
+  double last_ = 0.0;
+};
+
+class EwmaForecaster final : public CellForecaster {
+ public:
+  explicit EwmaForecaster(double alpha) : alpha_(alpha) {}
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+
+ private:
+  double alpha_;
+  double estimate_ = 0.0;
+  bool seen_ = false;
+};
+
+// Least-squares line over the last `window` observations, extrapolated one
+// step. With fewer than two observations it degrades to last-value.
+class LinearTrendForecaster final : public CellForecaster {
+ public:
+  explicit LinearTrendForecaster(std::size_t window);
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+// Additive Holt-Winters (level + trend + season). The first two seasons
+// initialize level/trend/seasonal indices; until then prediction is
+// last-value (the backtest keeps confidence low through the warmup).
+class HoltWintersForecaster final : public CellForecaster {
+ public:
+  HoltWintersForecaster(double alpha, double beta, double gamma,
+                        std::size_t season);
+  void observe(double value) override;
+  [[nodiscard]] double predict() const override;
+
+ private:
+  double alpha_, beta_, gamma_;
+  std::size_t season_;
+  std::vector<double> warmup_;    // first 2*season observations
+  std::vector<double> seasonal_;  // one index per position in the season
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::uint64_t n_ = 0;  // observations consumed
+  bool initialized_ = false;
+};
+
+// Builds the cell predictor for `options.kind`. kNone and kOracle have no
+// per-cell model and return nullptr.
+std::unique_ptr<CellForecaster> make_cell_forecaster(
+    const ForecastOptions& options);
+
+}  // namespace slate

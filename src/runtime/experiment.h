@@ -52,6 +52,10 @@ struct Scenario {
   // Each enabled gate of RunConfig::slate.guard overrides its counterpart
   // here at run time; see docs/control_plane.md.
   GuardOptions guard;
+  // Demand forecasting shipped with the world (`forecast` directive). A
+  // RunConfig-armed kind overrides it wholesale; --no-forecast disarms it.
+  // See docs/forecasting.md.
+  ForecastOptions forecast;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -132,6 +136,27 @@ struct RunConfig {
   // --no-guard): only RunConfig::slate.guard gates apply. The unguarded
   // arm of control-plane chaos comparisons.
   bool ignore_scenario_guard = false;
+  // Run the scenario with its `forecast` directive disarmed (slate_cli
+  // --no-forecast): the reactive arm of predictive comparisons. A kind
+  // armed in RunConfig::slate.forecast still applies.
+  bool ignore_scenario_forecast = false;
+  // Record the per-control-period demand trace (offered vs. estimated vs.
+  // forecast, per class x cluster cell) into ExperimentResult::demand_trace
+  // — the slate_cli --dump-demand signal. Off by default: the trace is
+  // periods x classes x clusters doubles.
+  bool record_demand_trace = false;
+};
+
+// One (control period, class, cluster) sample of the three demand signals:
+// what the workload actually offered, what the controller estimated from
+// telemetry, and what the armed forecast mode handed the optimizer.
+struct DemandTracePoint {
+  double time = 0.0;
+  std::uint32_t cls = 0;
+  std::uint32_t cluster = 0;
+  double offered_rps = 0.0;
+  double estimated_rps = 0.0;
+  double forecast_rps = 0.0;
 };
 
 struct ExperimentResult {
@@ -227,6 +252,14 @@ struct ExperimentResult {
                ? rule_delta_sum / static_cast<double>(rule_delta_count)
                : 0.0;
   }
+
+  // Forecast activity (zero/-1 with forecasting off; docs/forecasting.md).
+  std::uint64_t forecast_solves = 0;     // optimizations fed forecast demand
+  double forecast_mean_smape = -1.0;     // rolling backtest error, [0, 2]
+  double forecast_mean_confidence = 0.0; // mean blend weight across cells
+
+  // Per-period demand signals (RunConfig::record_demand_trace).
+  std::vector<DemandTracePoint> demand_trace;
 
   // Autoscaler activity (zero when disabled).
   std::uint64_t autoscaler_scale_ups = 0;

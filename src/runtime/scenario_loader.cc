@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/strfmt.h"
+#include "workload/generators.h"
 
 namespace slate {
 namespace {
@@ -123,12 +124,19 @@ struct DeployDirective {
   bool undeploy = false;
 };
 
+// Plain steps and the time-varying generators share one directive list so
+// finalize replays them in file order — steps for one stream must land in
+// increasing time order regardless of which form produced them.
 struct DemandDirective {
   std::size_t line;
+  std::string kind = "step";  // step | diurnal | ramp | pulse
   std::string cls;
   std::string cluster;
   double start_time = 0.0;
   double rps = 0.0;
+  DiurnalSpec diurnal;
+  RampSpec ramp;
+  PulseSpec pulse;
 };
 
 // Names are resolved at finalize time: faults may reference clusters and
@@ -343,19 +351,197 @@ Scenario load_scenario(std::istream& input) {
       deploys.push_back(std::move(d));
     } else if (directive == "demand") {
       need(4, "demand <class> <cluster> [@t] <rps>");
-      DemandDirective d;
-      d.line = line_number;
-      d.cls = tokens[1];
-      d.cluster = tokens[2];
-      std::size_t rate_index = 3;
-      if (tokens[3][0] == '@') {
-        need(5, "demand <class> <cluster> @<t> <rps>");
-        d.start_time = parse_duration(tokens[3].substr(1), line_number);
-        rate_index = 4;
+      if (tokens[1] == "diurnal") {
+        const char* usage =
+            "demand diurnal <class> <cluster> base=<rps> amp=<rps> "
+            "period=<dur> until=<t> [phase=<dur>] [start=<t>] [step=<dur>]";
+        need(5, usage);
+        DemandDirective d;
+        d.line = line_number;
+        d.kind = "diurnal";
+        d.cls = tokens[2];
+        d.cluster = tokens[3];
+        bool has_base = false, has_amp = false, has_period = false,
+             has_until = false;
+        for (std::size_t i = 4; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "base") {
+            d.diurnal.base = parse_number(value, line_number);
+            has_base = true;
+          } else if (key == "amp") {
+            d.diurnal.amplitude = parse_number(value, line_number);
+            has_amp = true;
+          } else if (key == "period") {
+            d.diurnal.period = parse_duration(value, line_number);
+            has_period = true;
+          } else if (key == "until") {
+            d.diurnal.end = parse_duration(value, line_number);
+            has_until = true;
+          } else if (key == "phase") {
+            d.diurnal.phase = parse_duration(value, line_number);
+          } else if (key == "start") {
+            d.diurnal.start = parse_duration(value, line_number);
+          } else if (key == "step") {
+            d.diurnal.step = parse_duration(value, line_number);
+          } else {
+            fail(line_number, "unknown demand diurnal attribute '" + key + "'");
+          }
+        }
+        if (!has_base || !has_amp || !has_period || !has_until) {
+          fail(line_number, std::string("usage: ") + usage);
+        }
+        demands.push_back(std::move(d));
+      } else if (tokens[1] == "ramp") {
+        const char* usage =
+            "demand ramp <class> <cluster> @<start> <duration> from=<rps> "
+            "to=<rps> [step=<dur>]";
+        need(8, usage);
+        DemandDirective d;
+        d.line = line_number;
+        d.kind = "ramp";
+        d.cls = tokens[2];
+        d.cluster = tokens[3];
+        if (tokens[4][0] != '@') {
+          fail(line_number, "expected @<start-time>, got '" + tokens[4] + "'");
+        }
+        d.ramp.start = parse_duration(tokens[4].substr(1), line_number);
+        d.ramp.duration = parse_duration(tokens[5], line_number);
+        bool has_from = false, has_to = false;
+        for (std::size_t i = 6; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "from") {
+            d.ramp.from_rps = parse_number(value, line_number);
+            has_from = true;
+          } else if (key == "to") {
+            d.ramp.to_rps = parse_number(value, line_number);
+            has_to = true;
+          } else if (key == "step") {
+            d.ramp.step = parse_duration(value, line_number);
+          } else {
+            fail(line_number, "unknown demand ramp attribute '" + key + "'");
+          }
+        }
+        if (!has_from || !has_to) {
+          fail(line_number, std::string("usage: ") + usage);
+        }
+        demands.push_back(std::move(d));
+      } else if (tokens[1] == "pulse") {
+        const char* usage =
+            "demand pulse <class> <cluster> @<start> <width> base=<rps> "
+            "peak=<rps> [decay=<dur>] [step=<dur>]";
+        need(8, usage);
+        DemandDirective d;
+        d.line = line_number;
+        d.kind = "pulse";
+        d.cls = tokens[2];
+        d.cluster = tokens[3];
+        if (tokens[4][0] != '@') {
+          fail(line_number, "expected @<start-time>, got '" + tokens[4] + "'");
+        }
+        d.pulse.start = parse_duration(tokens[4].substr(1), line_number);
+        d.pulse.width = parse_duration(tokens[5], line_number);
+        bool has_base = false, has_peak = false;
+        for (std::size_t i = 6; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "base") {
+            d.pulse.base = parse_number(value, line_number);
+            has_base = true;
+          } else if (key == "peak") {
+            d.pulse.peak = parse_number(value, line_number);
+            has_peak = true;
+          } else if (key == "decay") {
+            d.pulse.decay = parse_duration(value, line_number);
+          } else if (key == "step") {
+            d.pulse.step = parse_duration(value, line_number);
+          } else {
+            fail(line_number, "unknown demand pulse attribute '" + key + "'");
+          }
+        }
+        if (!has_base || !has_peak) {
+          fail(line_number, std::string("usage: ") + usage);
+        }
+        demands.push_back(std::move(d));
+      } else {
+        DemandDirective d;
+        d.line = line_number;
+        d.cls = tokens[1];
+        d.cluster = tokens[2];
+        std::size_t rate_index = 3;
+        if (tokens[3][0] == '@') {
+          need(5, "demand <class> <cluster> @<t> <rps>");
+          d.start_time = parse_duration(tokens[3].substr(1), line_number);
+          rate_index = 4;
+        }
+        d.rps = parse_number(tokens[rate_index], line_number);
+        if (d.rps < 0.0) fail(line_number, "demand rate must be >= 0");
+        demands.push_back(std::move(d));
       }
-      d.rps = parse_number(tokens[rate_index], line_number);
-      if (d.rps < 0.0) fail(line_number, "demand rate must be >= 0");
-      demands.push_back(std::move(d));
+    } else if (directive == "forecast") {
+      need(2,
+           "forecast <none|last|ewma|linear|holtwinters|oracle> "
+           "[key=value...]");
+      ForecastOptions& f = scenario.forecast;
+      if (!forecast_kind_from_string(tokens[1], &f.kind)) {
+        fail(line_number,
+             "unknown forecast kind '" + tokens[1] +
+                 "' (expected none, last, ewma, linear, holtwinters, oracle)");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        const auto& [key, value] = *kv;
+        if (key == "alpha") {
+          f.ewma_alpha = parse_number(value, line_number);
+          if (f.ewma_alpha <= 0.0 || f.ewma_alpha > 1.0) {
+            fail(line_number, "alpha must be in (0, 1]");
+          }
+        } else if (key == "window") {
+          f.window = static_cast<std::size_t>(
+              parse_count(value, line_number, 2, "window"));
+        } else if (key == "season") {
+          f.season = static_cast<std::size_t>(
+              parse_count(value, line_number, 2, "season"));
+        } else if (key == "hw_alpha") {
+          f.hw_alpha = parse_number(value, line_number);
+          if (f.hw_alpha <= 0.0 || f.hw_alpha > 1.0) {
+            fail(line_number, "hw_alpha must be in (0, 1]");
+          }
+        } else if (key == "hw_beta") {
+          f.hw_beta = parse_number(value, line_number);
+          if (f.hw_beta < 0.0 || f.hw_beta > 1.0) {
+            fail(line_number, "hw_beta must be in [0, 1]");
+          }
+        } else if (key == "hw_gamma") {
+          f.hw_gamma = parse_number(value, line_number);
+          if (f.hw_gamma < 0.0 || f.hw_gamma > 1.0) {
+            fail(line_number, "hw_gamma must be in [0, 1]");
+          }
+        } else if (key == "backtest") {
+          f.backtest_window = static_cast<std::size_t>(
+              parse_count(value, line_number, 1, "backtest"));
+        } else if (key == "min_history") {
+          f.min_history = static_cast<std::size_t>(
+              parse_count(value, line_number, 0, "min_history"));
+        } else if (key == "smape_scale") {
+          f.smape_scale = parse_number(value, line_number);
+          if (f.smape_scale <= 0.0) {
+            fail(line_number, "smape_scale must be > 0");
+          }
+        } else if (key == "max_confidence") {
+          f.max_confidence = parse_number(value, line_number);
+          if (f.max_confidence < 0.0 || f.max_confidence > 1.0) {
+            fail(line_number, "max_confidence must be in [0, 1]");
+          }
+        } else {
+          fail(line_number, "unknown forecast attribute '" + key + "'");
+        }
+      }
     } else if (directive == "fault") {
       need(2, "fault <outage|blackout|corrupt|slowdown|link|solver> ...");
       FaultDirective f;
@@ -746,11 +932,18 @@ Scenario load_scenario(std::istream& input) {
     if (it == classes.end()) fail(d.line, "unknown class '" + d.cls + "'");
     const ClusterId cluster = scenario.topology->find_cluster(d.cluster);
     if (!cluster.valid()) fail(d.line, "unknown cluster '" + d.cluster + "'");
-    if (d.start_time == 0.0) {
-      // First step may be expressed without '@0'.
-      scenario.demand.add_step(it->second.id, cluster, 0.0, d.rps);
-    } else {
-      scenario.demand.add_step(it->second.id, cluster, d.start_time, d.rps);
+    try {
+      if (d.kind == "diurnal") {
+        add_diurnal(scenario.demand, it->second.id, cluster, d.diurnal);
+      } else if (d.kind == "ramp") {
+        add_ramp(scenario.demand, it->second.id, cluster, d.ramp);
+      } else if (d.kind == "pulse") {
+        add_pulse(scenario.demand, it->second.id, cluster, d.pulse);
+      } else {
+        scenario.demand.add_step(it->second.id, cluster, d.start_time, d.rps);
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(d.line, e.what());
     }
   }
 

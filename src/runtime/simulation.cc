@@ -106,6 +106,24 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
     config_.slate.guard = effective;
   }
 
+  // Effective forecast mode: the scenario ships one (forecast directive),
+  // a config-armed kind overrides it wholesale, and --no-forecast disarms
+  // the scenario's. The harness owns the prediction horizon (one control
+  // period) and, for the oracle, the schedule the future is read from.
+  {
+    ForecastOptions effective = config_.ignore_scenario_forecast
+                                    ? ForecastOptions{}
+                                    : scenario_.forecast;
+    if (config_.slate.forecast.kind != ForecastKind::kNone) {
+      effective = config_.slate.forecast;
+    }
+    effective.horizon = config_.control_period;
+    effective.oracle_schedule = effective.kind == ForecastKind::kOracle
+                                    ? &scenario_.demand
+                                    : nullptr;
+    config_.slate.forecast = effective;
+  }
+
   // Fault injection: the scenario's shipped plan plus the config's.
   FaultPlan merged = scenario_.faults;
   merged.append(config_.faults);
@@ -813,6 +831,28 @@ void Simulation::control_tick() {
     // every period with tiny steps.
     ++result_.rule_delta_count;
   }
+
+  if (config_.record_demand_trace) {
+    const FlatMatrix<double>& estimated = global_->demand();
+    // Forecast column: the live next-period prediction when a forecaster
+    // is armed, else whatever demand the last solve consumed (the oracle's
+    // future, or the estimate itself when reactive).
+    const FlatMatrix<double>& forecast =
+        global_->forecaster() != nullptr ? global_->forecaster()->predicted()
+                                         : global_->solve_demand();
+    for (std::size_t k = 0; k < estimated.rows(); ++k) {
+      for (std::size_t c = 0; c < estimated.cols(); ++c) {
+        DemandTracePoint p;
+        p.time = now;
+        p.cls = static_cast<std::uint32_t>(k);
+        p.cluster = static_cast<std::uint32_t>(c);
+        p.offered_rps = scenario_.demand.rate_at(ClassId{k}, ClusterId{c}, now);
+        p.estimated_rps = estimated(k, c);
+        p.forecast_rps = forecast(k, c);
+        result_.demand_trace.push_back(p);
+      }
+    }
+  }
 }
 
 void Simulation::begin_measurement() {
@@ -892,6 +932,11 @@ ExperimentResult Simulation::run() {
     result_.controller_rounds = global_->rounds();
     result_.controller_reverts = global_->reverts();
     result_.solver_holds = global_->solver_holds();
+    result_.forecast_solves = global_->forecast_solves();
+    if (const DemandForecaster* f = global_->forecaster()) {
+      result_.forecast_mean_smape = f->mean_smape();
+      result_.forecast_mean_confidence = f->mean_confidence();
+    }
     if (const ReportValidator* v = global_->validator()) {
       result_.guard_fields_rejected = v->fields_rejected();
       result_.guard_spikes_clamped = v->spikes_clamped();

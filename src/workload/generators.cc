@@ -1,0 +1,114 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace slate {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+// Generators discretize into DemandSchedule steps; an absurd resolution
+// (microsecond steps over an hour) would silently bloat every rate_at scan.
+constexpr std::size_t kMaxSegments = 200000;
+
+void check_segments(double span, double step, const char* what) {
+  if (span / step > static_cast<double>(kMaxSegments)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": too many segments (raise step=)");
+  }
+}
+
+}  // namespace
+
+void add_diurnal(DemandSchedule& schedule, ClassId cls, ClusterId cluster,
+                 const DiurnalSpec& spec) {
+  if (spec.base < 0.0 || spec.amplitude < 0.0) {
+    throw std::invalid_argument("diurnal: base and amp must be >= 0");
+  }
+  if (spec.period <= 0.0) {
+    throw std::invalid_argument("diurnal: period must be > 0");
+  }
+  if (spec.step <= 0.0) {
+    throw std::invalid_argument("diurnal: step must be > 0");
+  }
+  if (spec.start < 0.0 || spec.end <= spec.start) {
+    throw std::invalid_argument("diurnal: need 0 <= start < until");
+  }
+  check_segments(spec.end - spec.start, spec.step, "diurnal");
+  for (double t = spec.start; t < spec.end; t += spec.step) {
+    const double seg_end = std::min(t + spec.step, spec.end);
+    const double mid = (t + seg_end) / 2.0;
+    const double rate =
+        spec.base +
+        spec.amplitude * std::sin(kTwoPi * (mid - spec.phase) / spec.period);
+    schedule.add_step(cls, cluster, t, std::max(0.0, rate));
+  }
+}
+
+void add_ramp(DemandSchedule& schedule, ClassId cls, ClusterId cluster,
+              const RampSpec& spec) {
+  if (spec.from_rps < 0.0 || spec.to_rps < 0.0) {
+    throw std::invalid_argument("ramp: rates must be >= 0");
+  }
+  if (spec.start < 0.0) {
+    throw std::invalid_argument("ramp: start must be >= 0");
+  }
+  if (spec.duration <= 0.0) {
+    throw std::invalid_argument("ramp: duration must be > 0");
+  }
+  if (spec.step <= 0.0) {
+    throw std::invalid_argument("ramp: step must be > 0");
+  }
+  check_segments(spec.duration, spec.step, "ramp");
+  const double end = spec.start + spec.duration;
+  for (double t = spec.start; t < end; t += spec.step) {
+    const double seg_end = std::min(t + spec.step, end);
+    const double mid = (t + seg_end) / 2.0;
+    const double frac = (mid - spec.start) / spec.duration;
+    schedule.add_step(cls, cluster, t,
+                      spec.from_rps + (spec.to_rps - spec.from_rps) * frac);
+  }
+  schedule.add_step(cls, cluster, end, spec.to_rps);
+}
+
+void add_pulse(DemandSchedule& schedule, ClassId cls, ClusterId cluster,
+               const PulseSpec& spec) {
+  if (spec.base < 0.0 || spec.peak < 0.0) {
+    throw std::invalid_argument("pulse: rates must be >= 0");
+  }
+  if (spec.start < 0.0) {
+    throw std::invalid_argument("pulse: start must be >= 0");
+  }
+  if (spec.width <= 0.0) {
+    throw std::invalid_argument("pulse: width must be > 0");
+  }
+  if (spec.decay < 0.0) {
+    throw std::invalid_argument("pulse: decay must be >= 0");
+  }
+  if (spec.step <= 0.0) {
+    throw std::invalid_argument("pulse: step must be > 0");
+  }
+  check_segments(spec.decay, spec.step, "pulse");
+  if (spec.start > 0.0) {
+    schedule.add_step(cls, cluster, 0.0, spec.base);
+  }
+  schedule.add_step(cls, cluster, spec.start, spec.peak);
+  const double fall = spec.start + spec.width;
+  if (spec.decay > 0.0) {
+    const double end = fall + spec.decay;
+    for (double t = fall; t < end; t += spec.step) {
+      const double seg_end = std::min(t + spec.step, end);
+      const double mid = (t + seg_end) / 2.0;
+      const double frac = (mid - fall) / spec.decay;
+      schedule.add_step(cls, cluster, t,
+                        spec.peak + (spec.base - spec.peak) * frac);
+    }
+    schedule.add_step(cls, cluster, end, spec.base);
+  } else {
+    schedule.add_step(cls, cluster, fall, spec.base);
+  }
+}
+
+}  // namespace slate

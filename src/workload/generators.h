@@ -1,0 +1,71 @@
+// Time-varying demand generators: diurnal sinusoids (with per-region phase
+// offsets for follow-the-sun load), linear ramps, and flash-crowd pulses.
+//
+// Each generator COMPILES into piecewise-constant DemandSchedule steps at a
+// configurable resolution instead of introducing a non-homogeneous arrival
+// process: the Poisson generation in WorkloadDriver stays exact (constant
+// rate within a segment, memoryless redraw at boundaries), determinism and
+// serial-vs-parallel byte-identity are untouched, and rate_at() remains the
+// single source of truth the forecast oracle reads the future from. Each
+// segment carries the profile's value at the segment MIDPOINT, which
+// preserves the mean rate to second order even at coarse resolutions.
+//
+// All generators throw std::invalid_argument on out-of-range parameters and
+// follow DemandSchedule::add_step ordering rules: steps for one
+// (class, cluster) stream must be appended in increasing time order, so
+// generators targeting the same stream must not overlap.
+#pragma once
+
+#include "util/ids.h"
+#include "workload/demand.h"
+
+namespace slate {
+
+// rate(t) = max(0, base + amplitude * sin(2*pi * (t - phase) / period)),
+// discretized over [start, end) in `step`-second segments. The last
+// segment's rate persists after `end` (size scenarios so end >= duration).
+// Peak load lands at t = phase + period/4 (+ k*period): shifting `phase` by
+// period/cluster_count per region models follow-the-sun offsets.
+struct DiurnalSpec {
+  double base = 0.0;       // mean RPS
+  double amplitude = 0.0;  // peak deviation from base, RPS
+  double period = 60.0;    // seconds per cycle
+  double phase = 0.0;      // seconds the whole curve is shifted later
+  double start = 0.0;
+  double end = 0.0;        // required: > start
+  double step = 1.0;       // discretization resolution, seconds
+};
+void add_diurnal(DemandSchedule& schedule, ClassId cls, ClusterId cluster,
+                 const DiurnalSpec& spec);
+
+// Linear ramp from `from_rps` at `start` to `to_rps` at `start + duration`,
+// discretized in `step`-second segments; holds `to_rps` afterwards. The
+// stream rate before `start` is whatever earlier steps defined (0 for a
+// fresh stream).
+struct RampSpec {
+  double from_rps = 0.0;
+  double to_rps = 0.0;
+  double start = 0.0;
+  double duration = 0.0;  // required: > 0
+  double step = 1.0;
+};
+void add_ramp(DemandSchedule& schedule, ClassId cls, ClusterId cluster,
+              const RampSpec& spec);
+
+// Flash crowd: `base` RPS from t=0, an instantaneous jump to `peak` over
+// [start, start + width), then a linear decay back to `base` over `decay`
+// seconds (discretized; decay=0 snaps straight back). Defines the stream
+// from t=0, so it must be the stream's first (and typically only) demand
+// directive.
+struct PulseSpec {
+  double base = 0.0;
+  double peak = 0.0;
+  double start = 0.0;  // required: > 0 when base > 0
+  double width = 0.0;  // required: > 0
+  double decay = 0.0;
+  double step = 0.5;
+};
+void add_pulse(DemandSchedule& schedule, ClassId cls, ClusterId cluster,
+               const PulseSpec& spec);
+
+}  // namespace slate

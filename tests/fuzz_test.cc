@@ -18,10 +18,12 @@
 
 #include "guard/report_validator.h"
 #include "net/gcp_topology.h"
+#include "runtime/parallel.h"
 #include "runtime/scenario_loader.h"
 #include "runtime/scenarios.h"
 #include "runtime/simulation.h"
 #include "util/strfmt.h"
+#include "workload/generators.h"
 
 namespace slate {
 namespace {
@@ -582,6 +584,190 @@ TEST_P(FuzzTest, GuardArmedChaosRunsSatisfyInvariantsAndDeterminism) {
   EXPECT_EQ(a.solver_fallbacks, b.solver_fallbacks);
   EXPECT_EQ(a.rollout_rollbacks, b.rollout_rollbacks);
   EXPECT_EQ(a.rule_pushes, b.rule_pushes);
+}
+
+// --- Forecasting & time-varying demand fuzzing ------------------------------
+
+// Random demand-generator and forecast directive lines through the text
+// loader: every line parses into schedule/forecast state or is rejected
+// with a line-numbered error — never a crash, never a half-built schedule.
+TEST_P(FuzzTest, DemandAndForecastDirectivesParseOrFailCleanly) {
+  const auto seed = static_cast<std::uint64_t>(23000 + GetParam());
+  Rng rng(seed);
+  const std::string base =
+      "cluster west\ncluster east\nrtt west east 20ms\n"
+      "service s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=200\ndemand k west 50\n";
+
+  auto token = [&](std::initializer_list<const char*> options) {
+    auto it = options.begin();
+    std::advance(it, rng.uniform_u64(options.size()));
+    return std::string(*it);
+  };
+  for (int line = 0; line < 24; ++line) {
+    std::string directive;
+    if (rng.bernoulli(0.5)) {
+      directive = "demand " + token({"diurnal", "ramp", "pulse"}) + " " +
+                  token({"k", "nope"}) + " " + token({"west", "east", "mars"});
+      const std::size_t extras = rng.uniform_u64(6);
+      for (std::size_t i = 0; i < extras; ++i) {
+        directive +=
+            " " + token({"base=100", "base=x", "amp=50", "amp=-2",
+                         "period=5s", "period=0s", "until=10s", "until=0s",
+                         "phase=2s", "start=8s", "step=0.5s", "step=0s",
+                         "from=10", "to=200", "@2s", "3s", "peak=500",
+                         "decay=2s", "bogus=1"});
+      }
+    } else {
+      directive = "forecast " + token({"last", "ewma", "linear",
+                                       "holtwinters", "oracle", "arima"});
+      const std::size_t extras = rng.uniform_u64(5);
+      for (std::size_t i = 0; i < extras; ++i) {
+        directive +=
+            " " + token({"alpha=0.5", "alpha=2", "window=4", "window=1",
+                         "season=8", "season=x", "hw_alpha=0.3", "hw_beta=2",
+                         "hw_gamma=0.1", "backtest=6", "backtest=0",
+                         "min_history=2", "smape_scale=0.6",
+                         "max_confidence=0.9", "max_confidence=2", "bogus=1",
+                         "7"});
+      }
+    }
+    const std::string text = base + directive + "\n";
+    try {
+      const Scenario s = load_scenario_from_string(text);
+      // Whatever parsed is coherent: a forecast directive armed a real
+      // kind, and demand schedules validate against add_step's ordering
+      // rules (enforced during finalize).
+      if (directive.rfind("forecast", 0) == 0) {
+        EXPECT_NE(s.forecast.kind, ForecastKind::kNone) << directive;
+        s.forecast.validate();
+      }
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 9"), std::string::npos)
+          << directive << " -> " << e.what();
+    }
+  }
+}
+
+// Random but valid forecast configuration (kinds, gains, gating).
+ForecastOptions random_forecast(Rng& rng) {
+  ForecastOptions o;
+  constexpr ForecastKind kKinds[] = {ForecastKind::kLast, ForecastKind::kEwma,
+                                     ForecastKind::kLinear,
+                                     ForecastKind::kHoltWinters,
+                                     ForecastKind::kOracle};
+  o.kind = kKinds[rng.uniform_u64(5)];
+  o.ewma_alpha = rng.uniform(0.05, 1.0);
+  o.window = 2 + rng.uniform_u64(10);
+  o.season = 2 + rng.uniform_u64(12);
+  o.backtest_window = 1 + rng.uniform_u64(16);
+  o.min_history = rng.uniform_u64(6);
+  o.smape_scale = rng.uniform(0.2, 1.5);
+  o.max_confidence = rng.uniform(0.3, 1.0);
+  return o;
+}
+
+// Replaces the scenario's demand with random time-varying streams: a mix of
+// constant rates, diurnal sinusoids, ramps, and flash-crowd pulses.
+void randomize_demand(DemandSchedule& demand, Rng& rng, const Application& app,
+                      std::size_t clusters, double duration) {
+  demand = DemandSchedule{};
+  bool any = false;
+  for (ClassId k : app.all_classes()) {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if (!rng.bernoulli(0.7)) continue;
+      any = true;
+      switch (rng.uniform_u64(4)) {
+        case 0:
+          demand.set_rate(k, ClusterId{c}, rng.uniform(10.0, 250.0));
+          break;
+        case 1: {
+          DiurnalSpec s;
+          s.base = rng.uniform(50.0, 200.0);
+          s.amplitude = rng.uniform(10.0, s.base);
+          s.period = rng.uniform(3.0, duration);
+          s.phase = rng.uniform(0.0, s.period);
+          s.end = duration;
+          s.step = 0.5;
+          add_diurnal(demand, k, ClusterId{c}, s);
+          break;
+        }
+        case 2: {
+          RampSpec s;
+          s.from_rps = rng.uniform(10.0, 150.0);
+          s.to_rps = rng.uniform(10.0, 300.0);
+          s.start = rng.uniform(0.0, duration / 2.0);
+          s.duration = rng.uniform(1.0, duration / 2.0);
+          s.step = 0.5;
+          add_ramp(demand, k, ClusterId{c}, s);
+          break;
+        }
+        default: {
+          PulseSpec s;
+          s.base = rng.uniform(10.0, 100.0);
+          s.peak = rng.uniform(s.base, 400.0);
+          s.start = rng.uniform(0.5, duration / 2.0);
+          s.width = rng.uniform(0.5, 4.0);
+          s.decay = rng.bernoulli(0.5) ? rng.uniform(0.5, 4.0) : 0.0;
+          add_pulse(demand, k, ClusterId{c}, s);
+          break;
+        }
+      }
+    }
+  }
+  if (!any) demand.set_rate(ClassId{0}, ClusterId{0}, 100.0);
+}
+
+// Forecast-armed runs over time-varying demand: job conservation holds, the
+// run stays deterministic, and a serial grid is byte-identical to a
+// parallel one (forecast state is per-simulation, nothing shared).
+TEST_P(FuzzTest, ForecastArmedRunsConserveAndParallelizeIdentically) {
+  const auto seed = static_cast<std::uint64_t>(25000 + GetParam());
+  Scenario scenario = random_scenario(seed);
+  Rng rng(seed ^ 0xf0u);
+  const double duration = 14.0;
+  randomize_demand(scenario.demand, rng, *scenario.app,
+                   scenario.topology->cluster_count(), duration);
+
+  std::vector<GridJob> jobs;
+  std::vector<RunConfig> configs(3);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].policy = PolicyKind::kSlate;
+    configs[i].duration = duration;
+    configs[i].warmup = 4.0;
+    configs[i].seed = seed + i;
+    configs[i].slate.forecast = random_forecast(rng);
+    configs[i].overload = random_overload(rng, scenario.app->class_count());
+    jobs.push_back(GridJob{&scenario, configs[i], strfmt("job-%zu", i)});
+  }
+
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 4;
+  const std::vector<ExperimentResult> a = run_experiment_grid(jobs, serial);
+  const std::vector<ExperimentResult> b = run_experiment_grid(jobs, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    // Conservation with forecasting armed.
+    EXPECT_EQ(a[i].jobs_submitted, a[i].jobs_served + a[i].jobs_cancelled +
+                                       a[i].jobs_evicted +
+                                       a[i].jobs_in_flight_at_end);
+    EXPECT_LE(a[i].completed, a[i].generated);
+    EXPECT_GT(a[i].forecast_solves, 0u);
+    // Serial and parallel execution are byte-identical.
+    EXPECT_EQ(a[i].generated, b[i].generated);
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].failed, b[i].failed);
+    EXPECT_EQ(a[i].egress_bytes, b[i].egress_bytes);
+    EXPECT_EQ(a[i].rule_pushes, b[i].rule_pushes);
+    EXPECT_EQ(a[i].forecast_solves, b[i].forecast_solves);
+    EXPECT_EQ(a[i].sim_events, b[i].sim_events);
+    EXPECT_EQ(a[i].mean_latency(), b[i].mean_latency());  // bit-exact
+    EXPECT_EQ(a[i].forecast_mean_smape, b[i].forecast_mean_smape);
+    EXPECT_EQ(a[i].forecast_mean_confidence, b[i].forecast_mean_confidence);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 12));

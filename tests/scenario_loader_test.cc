@@ -508,6 +508,106 @@ TEST(ScenarioLoader, WildcardThenSpecificOverrideStillAllowed) {
   EXPECT_EQ(s.deployment->servers(ServiceId{0}, ClusterId{1}), 1u);
 }
 
+// --- Demand generators & forecast directives --------------------------------
+
+TEST(ScenarioLoader, ParsesDemandGeneratorDirectives) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "demand diurnal k east base=100 amp=50 period=10s until=20s step=5s\n");
+  // Midpoint-sampled segments at t = 2.5, 7.5, ...: sin(pi/2) and
+  // sin(3pi/2) -> 150 / 50 alternating.
+  EXPECT_NEAR(s.demand.rate_at(ClassId{0}, ClusterId{1}, 0.0), 150.0, 1e-9);
+  EXPECT_NEAR(s.demand.rate_at(ClassId{0}, ClusterId{1}, 5.0), 50.0, 1e-9);
+  EXPECT_NEAR(s.demand.rate_at(ClassId{0}, ClusterId{1}, 10.0), 150.0, 1e-9);
+  // The plain-step directive from the base is untouched.
+  EXPECT_DOUBLE_EQ(s.demand.rate_at(ClassId{0}, ClusterId{0}, 0.0), 50.0);
+
+  const Scenario ramp = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "demand ramp k east @5s 10s from=10 to=110 step=5s\n");
+  EXPECT_DOUBLE_EQ(ramp.demand.rate_at(ClassId{0}, ClusterId{1}, 4.9), 0.0);
+  EXPECT_NEAR(ramp.demand.rate_at(ClassId{0}, ClusterId{1}, 5.0), 35.0, 1e-9);
+  EXPECT_NEAR(ramp.demand.rate_at(ClassId{0}, ClusterId{1}, 12.0), 85.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ramp.demand.rate_at(ClassId{0}, ClusterId{1}, 15.0), 110.0);
+
+  const Scenario pulse = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "demand pulse k east @2s 3s base=10 peak=99\n");
+  EXPECT_DOUBLE_EQ(pulse.demand.rate_at(ClassId{0}, ClusterId{1}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(pulse.demand.rate_at(ClassId{0}, ClusterId{1}, 2.0), 99.0);
+  EXPECT_DOUBLE_EQ(pulse.demand.rate_at(ClassId{0}, ClusterId{1}, 5.0), 10.0);
+}
+
+TEST(ScenarioLoader, ParsesForecastDirective) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) +
+      "forecast holtwinters season=30 hw_alpha=0.5 hw_beta=0.2 hw_gamma=0.4 "
+      "backtest=9 min_history=3 smape_scale=0.8 max_confidence=0.5\n");
+  EXPECT_EQ(s.forecast.kind, ForecastKind::kHoltWinters);
+  EXPECT_EQ(s.forecast.season, 30u);
+  EXPECT_DOUBLE_EQ(s.forecast.hw_alpha, 0.5);
+  EXPECT_DOUBLE_EQ(s.forecast.hw_beta, 0.2);
+  EXPECT_DOUBLE_EQ(s.forecast.hw_gamma, 0.4);
+  EXPECT_EQ(s.forecast.backtest_window, 9u);
+  EXPECT_EQ(s.forecast.min_history, 3u);
+  EXPECT_DOUBLE_EQ(s.forecast.smape_scale, 0.8);
+  EXPECT_DOUBLE_EQ(s.forecast.max_confidence, 0.5);
+  s.forecast.validate();
+
+  const Scenario bare =
+      load_scenario_from_string(std::string(kFaultBase) + "forecast ewma\n");
+  EXPECT_EQ(bare.forecast.kind, ForecastKind::kEwma);
+  // Unarmed scenarios stay reactive.
+  const Scenario none = load_scenario_from_string(std::string(kFaultBase));
+  EXPECT_EQ(none.forecast.kind, ForecastKind::kNone);
+}
+
+TEST(ScenarioLoader, BadDemandGeneratorDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "demand diurnal k east base=100 amp=50\n",
+               "usage: demand diurnal");
+  expect_error(base + "demand diurnal k east base=100 amp=50 period=5s "
+                      "until=0s\n",
+               "diurnal: need 0 <= start < until");
+  expect_error(base + "demand diurnal k east base=1 amp=1 period=5s "
+                      "until=10s spin=3\n",
+               "unknown demand diurnal attribute");
+  expect_error(base + "demand diurnal nope east base=1 amp=1 period=5s "
+                      "until=10s\n",
+               "unknown class 'nope'");
+  expect_error(base + "demand ramp k east 5s 10s from=1 to=2\n",
+               "expected @<start-time>");
+  expect_error(base + "demand ramp k east @5s 10s from=1\n",
+               "usage: demand ramp");
+  expect_error(base + "demand pulse k east @2s 0s base=1 peak=2\n",
+               "pulse: width must be > 0");
+  // A generator whose steps collide with an earlier directive for the same
+  // stream is rejected, not silently merged.
+  expect_error(base + "demand pulse k west @2s 3s base=1 peak=2\n",
+               "increasing time order");
+  // Errors carry the directive's source line.
+  expect_error(base + "demand diurnal k east base=100 amp=50\n", "line 10");
+}
+
+TEST(ScenarioLoader, BadForecastDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "forecast\n", "forecast <none|last");
+  expect_error(base + "forecast arima\n", "unknown forecast kind");
+  expect_error(base + "forecast ewma alpha=2\n", "alpha must be in (0, 1]");
+  expect_error(base + "forecast ewma alpha\n", "expected key=value");
+  expect_error(base + "forecast linear window=1\n", "window");
+  expect_error(base + "forecast holtwinters season=1\n", "season");
+  expect_error(base + "forecast holtwinters hw_beta=2\n",
+               "hw_beta must be in [0, 1]");
+  expect_error(base + "forecast last backtest=0\n", "backtest");
+  expect_error(base + "forecast last smape_scale=0\n",
+               "smape_scale must be > 0");
+  expect_error(base + "forecast last max_confidence=2\n",
+               "max_confidence must be in [0, 1]");
+  expect_error(base + "forecast last turbo=1\n", "unknown forecast attribute");
+  expect_error(base + "forecast arima\n", "line 10");
+}
+
 TEST(ScenarioLoader, SampleFilesParse) {
   // The shipped sample scenarios must stay valid.
   for (const char* path : {"examples/scenarios/two_cluster_overload.slate",
@@ -515,7 +615,8 @@ TEST(ScenarioLoader, SampleFilesParse) {
                            "examples/scenarios/anomaly_detection.slate",
                            "examples/scenarios/cluster_outage.slate",
                            "examples/scenarios/metastable_burst.slate",
-                           "examples/scenarios/controller_chaos.slate"}) {
+                           "examples/scenarios/controller_chaos.slate",
+                           "examples/scenarios/diurnal_predictive.slate"}) {
     SCOPED_TRACE(path);
     std::string full = std::string(SLATE_SOURCE_DIR) + "/" + path;
     EXPECT_NO_THROW({

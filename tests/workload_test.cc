@@ -1,4 +1,5 @@
-// Unit tests for demand schedules and Poisson arrival generation.
+// Unit tests for demand schedules, time-varying generators, and Poisson
+// arrival generation.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -6,6 +7,7 @@
 #include "sim/simulator.h"
 #include "workload/arrival.h"
 #include "workload/demand.h"
+#include "workload/generators.h"
 
 namespace slate {
 namespace {
@@ -48,11 +50,185 @@ TEST(DemandSchedule, SetRateReplacesSteps) {
   EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 15.0), 75.0);
 }
 
+// Boundary semantics the workload driver and the forecast oracle both rely
+// on: a step is active EXACTLY at its start time, a stream is silent before
+// its first step, and the last step persists forever.
+TEST(DemandSchedule, StepActiveExactlyAtBoundary) {
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 0.0, 50.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 10.0, 200.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 10.0), 200.0);
+  EXPECT_DOUBLE_EQ(
+      d.rate_at(ClassId{0}, ClusterId{0}, std::nextafter(10.0, 0.0)), 50.0);
+  // next_change_after is strictly-after: asking at the boundary itself skips
+  // past it.
+  EXPECT_DOUBLE_EQ(d.next_change_after(ClassId{0}, ClusterId{0}, 0.0), 10.0);
+  EXPECT_TRUE(std::isinf(d.next_change_after(ClassId{0}, ClusterId{0}, 10.0)));
+}
+
+TEST(DemandSchedule, BeforeFirstStepIsSilent) {
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 5.0, 80.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      d.rate_at(ClassId{0}, ClusterId{0}, std::nextafter(5.0, 0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 5.0), 80.0);
+  // The first step boundary is itself a change.
+  EXPECT_DOUBLE_EQ(d.next_change_after(ClassId{0}, ClusterId{0}, 0.0), 5.0);
+}
+
+TEST(DemandSchedule, AfterLastStepPersists) {
+  DemandSchedule d;
+  d.add_step(ClassId{0}, ClusterId{0}, 0.0, 10.0);
+  d.add_step(ClassId{0}, ClusterId{0}, 30.0, 70.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 30.0), 70.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 1e9), 70.0);
+  EXPECT_TRUE(std::isinf(d.next_change_after(ClassId{0}, ClusterId{0}, 30.0)));
+  EXPECT_TRUE(std::isinf(d.next_change_after(ClassId{0}, ClusterId{0}, 1e9)));
+}
+
 TEST(DemandSchedule, TotalRate) {
   DemandSchedule d;
   d.set_rate(ClassId{0}, ClusterId{0}, 100.0);
   d.set_rate(ClassId{1}, ClusterId{1}, 50.0);
   EXPECT_DOUBLE_EQ(d.total_rate_at(0.0), 150.0);
+}
+
+// --- Generator golden values -----------------------------------------------
+// Each generator compiles into midpoint-sampled piecewise-constant steps;
+// these pin the exact segment rates so resolution/sampling changes are loud.
+
+TEST(Generators, DiurnalGoldenSegments) {
+  DemandSchedule d;
+  DiurnalSpec spec;
+  spec.base = 100.0;
+  spec.amplitude = 50.0;
+  spec.period = 40.0;
+  spec.end = 40.0;
+  spec.step = 10.0;
+  add_diurnal(d, ClassId{0}, ClusterId{0}, spec);
+  // Segment midpoints 5, 15, 25, 35 → sin(pi/4), sin(3pi/4), sin(5pi/4),
+  // sin(7pi/4) = ±sqrt(2)/2.
+  const double hi = 100.0 + 50.0 * std::sqrt(2.0) / 2.0;
+  const double lo = 100.0 - 50.0 * std::sqrt(2.0) / 2.0;
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 0.0), hi, 1e-9);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 12.0), hi, 1e-9);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 20.0), lo, 1e-9);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 39.9), lo, 1e-9);
+  // The last segment's rate persists past end.
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 1000.0), lo, 1e-9);
+  EXPECT_EQ(d.streams()[0].steps.size(), 4u);
+}
+
+TEST(Generators, DiurnalPhaseShiftsPeak) {
+  // phase = period/4 moves the peak from period/4 to period/2.
+  DemandSchedule d;
+  DiurnalSpec spec;
+  spec.base = 200.0;
+  spec.amplitude = 100.0;
+  spec.period = 60.0;
+  spec.phase = 15.0;
+  spec.end = 60.0;
+  spec.step = 0.1;
+  add_diurnal(d, ClassId{0}, ClusterId{0}, spec);
+  // Peak at t = phase + period/4 = 30.
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 30.0), 300.0, 0.01);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 0.05), 100.0, 0.05);
+}
+
+TEST(Generators, DiurnalClampsNegativeToZero) {
+  DemandSchedule d;
+  DiurnalSpec spec;
+  spec.base = 10.0;
+  spec.amplitude = 50.0;
+  spec.period = 20.0;
+  spec.end = 20.0;
+  spec.step = 5.0;
+  add_diurnal(d, ClassId{0}, ClusterId{0}, spec);
+  // Trough midpoint 12.5 → 10 + 50*sin(5pi/4) < 0 → clamped.
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 12.0), 0.0);
+}
+
+TEST(Generators, RampGoldenSegments) {
+  DemandSchedule d;
+  RampSpec spec;
+  spec.from_rps = 100.0;
+  spec.to_rps = 200.0;
+  spec.start = 5.0;
+  spec.duration = 10.0;
+  spec.step = 2.0;
+  add_ramp(d, ClassId{0}, ClusterId{0}, spec);
+  // Fresh stream is silent before the ramp starts.
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 4.9), 0.0);
+  // Midpoint-sampled segments: [5,7)→110, [7,9)→130, ..., [13,15)→190.
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 5.0), 110.0, 1e-9);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 8.0), 130.0, 1e-9);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 14.0), 190.0, 1e-9);
+  // Lands exactly on to_rps at start+duration and holds it after.
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 15.0), 200.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 1e6), 200.0);
+}
+
+TEST(Generators, PulseGoldenSegments) {
+  DemandSchedule d;
+  PulseSpec spec;
+  spec.base = 20.0;
+  spec.peak = 500.0;
+  spec.start = 10.0;
+  spec.width = 5.0;
+  spec.decay = 4.0;
+  spec.step = 2.0;
+  add_pulse(d, ClassId{0}, ClusterId{0}, spec);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 9.9), 20.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 10.0), 500.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 14.9), 500.0);
+  // Decay over [15,19): segment [15,17) mid 16 → frac 0.25 → 380,
+  // segment [17,19) mid 18 → frac 0.75 → 140, then base at 19.
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 15.0), 380.0, 1e-9);
+  EXPECT_NEAR(d.rate_at(ClassId{0}, ClusterId{0}, 18.0), 140.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 19.0), 20.0);
+}
+
+TEST(Generators, PulseWithoutDecaySnapsBack) {
+  DemandSchedule d;
+  PulseSpec spec;
+  spec.base = 50.0;
+  spec.peak = 300.0;
+  spec.start = 2.0;
+  spec.width = 3.0;
+  add_pulse(d, ClassId{0}, ClusterId{0}, spec);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 4.9), 300.0);
+  EXPECT_DOUBLE_EQ(d.rate_at(ClassId{0}, ClusterId{0}, 5.0), 50.0);
+}
+
+TEST(Generators, InvalidSpecsThrow) {
+  DemandSchedule d;
+  DiurnalSpec diurnal;  // end defaults to 0 → start !< end
+  diurnal.base = 100.0;
+  EXPECT_THROW(add_diurnal(d, ClassId{0}, ClusterId{0}, diurnal),
+               std::invalid_argument);
+  diurnal.end = 10.0;
+  diurnal.period = -1.0;
+  EXPECT_THROW(add_diurnal(d, ClassId{0}, ClusterId{0}, diurnal),
+               std::invalid_argument);
+
+  RampSpec ramp;  // duration defaults to 0
+  ramp.from_rps = 10.0;
+  ramp.to_rps = 20.0;
+  EXPECT_THROW(add_ramp(d, ClassId{0}, ClusterId{0}, ramp),
+               std::invalid_argument);
+
+  PulseSpec pulse;  // width defaults to 0
+  pulse.base = 10.0;
+  pulse.peak = 100.0;
+  EXPECT_THROW(add_pulse(d, ClassId{0}, ClusterId{0}, pulse),
+               std::invalid_argument);
+  pulse.width = 1.0;
+  pulse.step = 1e-9;
+  pulse.decay = 100.0;  // 1e11 segments → rejected
+  EXPECT_THROW(add_pulse(d, ClassId{0}, ClusterId{0}, pulse),
+               std::invalid_argument);
 }
 
 TEST(WorkloadDriver, PoissonCountNearExpectation) {

@@ -57,12 +57,18 @@ def main(argv):
 
     failures = []
     warnings = []
+    header = (
+        f"    {'case/policy':28s} {'base ev/s':>12s} {'cur ev/s':>12s} "
+        f"{'delta':>8s} {'allocs/evt':>16s}"
+    )
+    print(header)
+    print("    " + "-" * (len(header) - 4))
     for key, base in sorted(baseline.items()):
         name = f"{key[0]}/{key[1]}"
         cur = current.get(key)
         if cur is None:
             warnings.append(f"{name}: in baseline but missing from the current run")
-            print(f"WRN {name}: missing from the current run")
+            print(f"WRN {name:28s} {base['events_per_sec']:12,.0f} {'-':>12s}")
             continue
         base_eps = base["events_per_sec"]
         cur_eps = cur["events_per_sec"]
@@ -74,19 +80,24 @@ def main(argv):
                 f"{name}: events/sec {cur_eps:,.0f} vs baseline "
                 f"{base_eps:,.0f} ({delta:+.1%} < -{threshold:.0%})"
             )
-        alloc_note = ""
+        alloc_note = f"{'-':>16s}"
         if "allocs_per_event" in base and "allocs_per_event" in cur:
             alloc_note = (
-                f"  allocs/event {cur['allocs_per_event']:.3f}"
-                f" (baseline {base['allocs_per_event']:.3f})"
+                f"{base['allocs_per_event']:7.3f} ->"
+                f"{cur['allocs_per_event']:6.3f}"
             )
         print(
-            f"{marker} {name:28s} {cur_eps:12,.0f} ev/s "
-            f"({delta:+7.1%} vs baseline){alloc_note}"
+            f"{marker} {name:28s} {base_eps:12,.0f} {cur_eps:12,.0f} "
+            f"{delta:+8.1%} {alloc_note}"
         )
 
     for key in sorted(set(current) - set(baseline)):
-        print(f"NEW {key[0]}/{key[1]}: not in baseline, skipped")
+        cur = current[key]
+        name = f"{key[0]}/{key[1]}"
+        print(
+            f"NEW {name:28s} {'-':>12s} {cur['events_per_sec']:12,.0f} "
+            f"{'-':>8s} (not in baseline, skipped)"
+        )
 
     if warnings:
         print(f"\n{len(warnings)} warning(s) (non-fatal):")
