@@ -1,95 +1,237 @@
-// Microbenchmark: optimizer solve time vs problem size (paper §5,
-// "Scalability & Fast reaction": optimization cost grows with the number of
-// clusters, services, and traffic classes; seconds-scale solve times are
-// the requirement).
-#include <benchmark/benchmark.h>
+// Solve time vs. topology size, one row per (synthesized world, solver arm).
+//
+// The paper's control loop runs on a period measured in seconds; the solve
+// has to fit inside it on planet-scale worlds (tens of clusters, hundreds
+// of services). This harness generates worlds along that curve with the
+// topogen subsystem and times every solver arm on each:
+//
+//   exact_cold   full two-phase LP, no cross-period state
+//   exact_warm   LP warm-started from the previous period's cache, on a
+//                2% demand perturbation (the steady-state memo is deliberately
+//                defeated so the basis path is what gets timed)
+//   ripup        negotiated-congestion rip-up-and-reroute heuristic
+//   fast         marginal-cost descent heuristic
+//
+// Each arm also reports its optimality gap against the exact solve on the
+// same demand, scored with the shared plan evaluator (core/plan_eval.h), so
+// the speed/quality tradeoff is one table.
+//
+//   $ ./bench/micro_optimizer_scaling [output.json] [max_clusters]
+//
+// Writes the committed-baseline JSON format consumed by
+// tools/check_bench_regression.py (metric: solves_per_sec). `max_clusters`
+// caps the case list for CI smoke runs (e.g. 20 skips the 30x200 world).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "app/builders.h"
+#include "core/fast_optimizer.h"
+#include "core/latency_model.h"
 #include "core/optimizer.h"
-#include "net/gcp_topology.h"
-#include "runtime/scenarios.h"
+#include "core/plan_eval.h"
+#include "core/ripup_optimizer.h"
+#include "topogen/topogen.h"
 
 namespace slate {
 namespace {
 
-// Chain app with `services` stages deployed on `clusters` clusters.
-void BM_OptimizerClusters(benchmark::State& state) {
-  const std::size_t clusters = static_cast<std::size_t>(state.range(0));
-  LinearChainOptions app_options;
-  app_options.chain_length = 3;
-  Scenario scenario =
-      make_uniform_scenario("scale", make_linear_chain_app(app_options),
-                            make_line_topology(clusters, 10e-3), 2);
-  FlatMatrix<double> demand(1, clusters, 0.0);
-  for (std::size_t c = 0; c < clusters; ++c) demand(0, c) = 400.0;
+struct Case {
+  std::size_t clusters;
+  std::size_t services;
+  std::size_t classes;
+};
 
-  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
-                           *scenario.topology);
-  const LatencyModel model =
-      LatencyModel::from_application(*scenario.app, clusters);
-  int vars = 0;
-  for (auto _ : state) {
-    const OptimizerResult result = optimizer.optimize(model, demand);
-    benchmark::DoNotOptimize(result);
-    vars = result.variables;
-  }
-  state.counters["lp_vars"] = vars;
+struct Row {
+  std::string case_name;
+  std::string arm;
+  double solve_seconds = 0.0;
+  double solves_per_sec = 0.0;
+  double gap_pct = 0.0;
+  bool warm = false;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_OptimizerClusters)->Arg(2)->Arg(4)->Arg(8)->Arg(12)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_OptimizerServices(benchmark::State& state) {
-  const std::size_t chain = static_cast<std::size_t>(state.range(0));
-  LinearChainOptions app_options;
-  app_options.chain_length = chain;
-  Scenario scenario =
-      make_uniform_scenario("scale", make_linear_chain_app(app_options),
-                            make_line_topology(4, 10e-3), 2);
-  FlatMatrix<double> demand(1, 4, 0.0);
-  for (std::size_t c = 0; c < 4; ++c) demand(0, c) = 400.0;
-
-  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
-                           *scenario.topology);
-  const LatencyModel model = LatencyModel::from_application(*scenario.app, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(optimizer.optimize(model, demand));
+// Demand matrix the generated world offers at t=0 (what the controller
+// would estimate at steady state).
+FlatMatrix<double> demand_at_start(const Scenario& scenario) {
+  FlatMatrix<double> demand(scenario.app->class_count(),
+                            scenario.topology->cluster_count(), 0.0);
+  for (const auto& stream : scenario.demand.streams()) {
+    demand(stream.cls.index(), stream.cluster.index()) +=
+        scenario.demand.rate_at(stream.cls, stream.cluster, 0.0);
   }
+  return demand;
 }
-BENCHMARK(BM_OptimizerServices)->Arg(2)->Arg(6)->Arg(12)->Arg(20)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_OptimizerClasses(benchmark::State& state) {
-  // Many classes sharing one worker service behind an ingress.
-  const std::size_t classes = static_cast<std::size_t>(state.range(0));
-  Application app;
-  const ServiceId ingress = app.add_service("ingress");
-  const ServiceId worker = app.add_service("worker");
-  for (std::size_t k = 0; k < classes; ++k) {
-    TrafficClassSpec spec;
-    spec.name = "class-" + std::to_string(k);
-    spec.attributes.path = "/api/" + std::to_string(k);
-    const std::size_t root = spec.graph.set_root(ingress, 0.1e-3, 512, 512);
-    spec.graph.add_call(root, worker, 1e-3 * static_cast<double>(1 + k % 5),
-                        512, 2048);
-    app.add_class(std::move(spec));
-  }
-  Scenario scenario = make_uniform_scenario(
-      "classes", std::move(app), make_line_topology(4, 10e-3), 4);
-  FlatMatrix<double> demand(classes, 4, 0.0);
-  for (std::size_t k = 0; k < classes; ++k) {
-    for (std::size_t c = 0; c < 4; ++c) demand(k, c) = 50.0;
-  }
-  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
-                           *scenario.topology);
-  const LatencyModel model = LatencyModel::from_application(*scenario.app, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(optimizer.optimize(model, demand));
-  }
+// Times `solve` by repetition: at least `min_reps` runs and at least
+// `min_total` seconds, reporting the BEST rep. Minimum-of-N is the
+// noise-robust microbenchmark statistic — a loaded machine only ever adds
+// time, so the fastest rep is the closest estimate of the true cost, and
+// it is what keeps the committed baseline comparable across runs. Every
+// rep's result feeds the gap computation through `keep` so the work cannot
+// be optimized away.
+template <typename Solve>
+double time_arm(Solve&& solve, OptimizerResult* keep, int min_reps = 5,
+                double min_total = 0.5) {
+  int reps = 0;
+  const double t0 = now_seconds();
+  double elapsed = 0.0;
+  double best = 0.0;
+  do {
+    const double rep_t0 = now_seconds();
+    *keep = solve(reps);
+    const double rep_s = now_seconds() - rep_t0;
+    if (reps == 0 || rep_s < best) best = rep_s;
+    ++reps;
+    elapsed = now_seconds() - t0;
+  } while (reps < min_reps || elapsed < min_total);
+  return best;
 }
-BENCHMARK(BM_OptimizerClasses)->Arg(1)->Arg(4)->Arg(16)->Arg(32)
-    ->Unit(benchmark::kMillisecond);
+
+double gap_pct(double arm_cost, double exact_cost) {
+  if (exact_cost <= 0.0) return 0.0;
+  return (arm_cost - exact_cost) / exact_cost * 100.0;
+}
 
 }  // namespace
 }  // namespace slate
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace slate;
+
+  const char* out_path = argc > 1 ? argv[1] : nullptr;
+  const std::size_t max_clusters =
+      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : SIZE_MAX;
+
+  const std::vector<Case> cases = {
+      {5, 20, 4}, {10, 50, 8}, {20, 100, 8}, {30, 200, 12}};
+
+  std::vector<Row> rows;
+  std::printf("%-14s %-10s %12s %14s %9s\n", "case", "arm", "solve_ms",
+              "solves_per_s", "gap_pct");
+  for (const Case& c : cases) {
+    if (c.clusters > max_clusters) {
+      std::printf("# skipping c%zu-s%zu-k%zu (max_clusters=%zu)\n", c.clusters,
+                  c.services, c.classes, max_clusters);
+      continue;
+    }
+    TopoGenOptions options;
+    options.seed = 11;
+    options.clusters = c.clusters;
+    options.services = c.services;
+    options.classes = c.classes;
+    options.total_rps = 100.0 * static_cast<double>(c.clusters);
+    const Scenario scenario = make_synth_scenario(options);
+    const std::string case_name = "c" + std::to_string(c.clusters) + "-s" +
+                                  std::to_string(c.services) + "-k" +
+                                  std::to_string(c.classes);
+
+    const LatencyModel model = LatencyModel::from_application(
+        *scenario.app, scenario.topology->cluster_count());
+    const FlatMatrix<double> demand = demand_at_start(scenario);
+    // The perturbed demand the warm arm solves: close enough to reuse the
+    // basis, different enough (per rep) to defeat the steady-state memo.
+    auto perturbed = [&](int rep) {
+      FlatMatrix<double> d = demand;
+      const double scale = 1.02 + 1e-7 * static_cast<double>(rep);
+      for (std::size_t k = 0; k < d.rows(); ++k) {
+        for (std::size_t i = 0; i < d.cols(); ++i) d(k, i) *= scale;
+      }
+      return d;
+    };
+
+    const RouteOptimizer exact(*scenario.app, *scenario.deployment,
+                               *scenario.topology);
+    const FastRouteOptimizer fast(*scenario.app, *scenario.deployment,
+                                  *scenario.topology);
+    const RipupRouteOptimizer ripup(*scenario.app, *scenario.deployment,
+                                    *scenario.topology);
+
+    auto plan_cost = [&](const OptimizerResult& r,
+                         const FlatMatrix<double>& d) {
+      return evaluate_plan_cost(*scenario.app, *scenario.deployment,
+                                *scenario.topology, model, d, *r.rules);
+    };
+
+    OptimizerResult cold_result;
+    const double cold_s =
+        time_arm([&](int) { return exact.optimize(model, demand); },
+                 &cold_result);
+    if (!cold_result.ok()) {
+      std::fprintf(stderr, "%s: exact solve failed\n", case_name.c_str());
+      return 1;
+    }
+    const double exact_cost = plan_cost(cold_result, demand);
+
+    // Exact solve of the perturbed demand scores the warm arm's gap.
+    const OptimizerResult exact_perturbed =
+        exact.optimize(model, perturbed(0));
+    const double exact_perturbed_cost =
+        plan_cost(exact_perturbed, perturbed(0));
+
+    OptimizerCache cache;
+    exact.optimize(model, demand, nullptr, &cache);  // prime the basis
+    OptimizerResult warm_result;
+    const double warm_s = time_arm(
+        [&](int rep) {
+          return exact.optimize(model, perturbed(rep), nullptr, &cache);
+        },
+        &warm_result);
+
+    OptimizerResult ripup_result;
+    const double ripup_s =
+        time_arm([&](int) { return ripup.optimize(model, demand); },
+                 &ripup_result);
+    OptimizerResult fast_result;
+    const double fast_s = time_arm(
+        [&](int) { return fast.optimize(model, demand); }, &fast_result);
+
+    const Row case_rows[] = {
+        {case_name, "exact_cold", cold_s, 1.0 / cold_s, 0.0, false},
+        {case_name, "exact_warm", warm_s, 1.0 / warm_s,
+         gap_pct(plan_cost(warm_result, perturbed(0)), exact_perturbed_cost),
+         warm_result.warm_started},
+        {case_name, "ripup", ripup_s, 1.0 / ripup_s,
+         gap_pct(plan_cost(ripup_result, demand), exact_cost), false},
+        {case_name, "fast", fast_s, 1.0 / fast_s,
+         gap_pct(plan_cost(fast_result, demand), exact_cost), false},
+    };
+    for (const Row& row : case_rows) {
+      std::printf("%-14s %-10s %12.3f %14.2f %8.2f%%%s\n",
+                  row.case_name.c_str(), row.arm.c_str(),
+                  row.solve_seconds * 1e3, row.solves_per_sec, row.gap_pct,
+                  row.warm ? "  (warm)" : "");
+      rows.push_back(row);
+    }
+  }
+
+  if (out_path != nullptr) {
+    std::FILE* out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"micro_optimizer_scaling\",\n");
+    std::fprintf(out, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"case\": \"%s\", \"policy\": \"%s\", "
+                   "\"solve_seconds\": %.6f, \"solves_per_sec\": %.3f, "
+                   "\"gap_pct\": %.3f}%s\n",
+                   r.case_name.c_str(), r.arm.c_str(), r.solve_seconds,
+                   r.solves_per_sec, r.gap_pct,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %zu runs to %s\n", rows.size(), out_path);
+  }
+  return 0;
+}

@@ -1,6 +1,11 @@
 // Run any text-format scenario under any routing policy.
 //
 //   $ ./slate_cli <scenario.slate> [options]
+//   $ ./slate_cli synth:clusters=30,services=200,classes=12,seed=7 [options]
+//
+// The second form synthesizes a planet-scale scenario instead of loading a
+// file; the spec syntax matches the `topology synth` scenario directive
+// (docs/scenario_format.md).
 //
 // Options:
 //   --policy=<local|rr|failover|static|waterfall|slate>   (default slate)
@@ -41,6 +46,7 @@
 #include "runtime/parallel.h"
 #include "runtime/scenario_loader.h"
 #include "runtime/simulation.h"
+#include "topogen/topogen.h"
 
 using namespace slate;
 
@@ -153,7 +159,12 @@ int main(int argc, char** argv) {
 
   Scenario scenario;
   try {
-    scenario = load_scenario_from_file(argv[1]);
+    const std::string source = argv[1];
+    if (source.rfind("synth:", 0) == 0) {
+      scenario = make_synth_scenario(parse_topogen_spec(source.substr(6)));
+    } else {
+      scenario = load_scenario_from_file(source);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
     return 1;
@@ -304,6 +315,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.rollout_flap_freezes),
         static_cast<unsigned long long>(r.rollout_damped_pushes),
         static_cast<unsigned long long>(r.stale_rule_pushes));
+  }
+  if (r.solver_solves > 0) {
+    std::printf(
+        "  solver   %llu solves, mean %.2f ms / max %.2f ms wall\n"
+        "  solver   arms: %llu exact-warm / %llu exact-cold / %llu fast / "
+        "%llu ripup / %llu split / %llu hold\n",
+        static_cast<unsigned long long>(r.solver_solves),
+        r.mean_solve_seconds() * 1e3, r.solver_max_seconds * 1e3,
+        static_cast<unsigned long long>(r.solver_exact_warm),
+        static_cast<unsigned long long>(r.solver_exact_cold),
+        static_cast<unsigned long long>(r.solver_arm_fast),
+        static_cast<unsigned long long>(r.solver_arm_ripup),
+        static_cast<unsigned long long>(r.solver_arm_split),
+        static_cast<unsigned long long>(r.solver_arm_hold));
   }
   if (r.rule_delta_count > 0) {
     std::printf("  rules    %llu pushes, mean successive L1 delta %.3f\n",

@@ -1,6 +1,7 @@
 #include "core/global_controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -25,6 +26,7 @@ GlobalController::GlobalController(const Application& app,
       fitter_(options.fitter),
       optimizer_(app, deployment, topology, options.optimizer),
       fast_optimizer_(app, deployment, topology, options.fast_optimizer),
+      ripup_optimizer_(app, deployment, topology, options.ripup),
       store_(app.service_count(), app.class_count(), topology.cluster_count(),
              options.sample_capacity),
       demand_(app.class_count(), topology.cluster_count(), 0.0),
@@ -296,17 +298,61 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
   for (double d : solve_demand.data()) total_demand += d;
   if (!(total_demand > 0.0) || !std::isfinite(total_demand)) return nullptr;
 
+  // Wall-clock the whole solve (whichever arm ends up producing the plan)
+  // and classify the arm for the run summary. Measurement only — see
+  // SolveTelemetry.
+  const auto solve_t0 = std::chrono::steady_clock::now();
+  auto record_solve = [&](std::uint64_t SolveTelemetry::* arm) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - solve_t0)
+                               .count();
+    ++solve_telemetry_.solves;
+    solve_telemetry_.last_seconds = elapsed;
+    solve_telemetry_.max_seconds =
+        std::max(solve_telemetry_.max_seconds, elapsed);
+    solve_telemetry_.total_seconds += elapsed;
+    ++(solve_telemetry_.*arm);
+  };
+  auto exact_arm = [&]() {
+    // Warm = the cache did real work this period: either the steady-state
+    // memo hit (warm_started) or at least one group's simplex reused the
+    // previous period's basis. Crash pivots can legitimately fail for a
+    // subset of groups (demand moved too far), and a solve that warmed the
+    // bulk of the problem should not read as cold in the summary.
+    const bool warm = last_result_.warm_started || last_result_.warm_groups > 0;
+    return warm ? &SolveTelemetry::exact_warm : &SolveTelemetry::exact_cold;
+  };
+
   if (solver_guard_ != nullptr) {
     const bool have_last_good =
         current_rules_ != nullptr && current_rules_->size() > 0;
     SolverGuard::Outcome outcome = solver_guard_->solve(
-        optimizer_, fast_optimizer_, options_.use_fast_optimizer, model_,
-        solve_demand, &live_servers_, solver_chaos_, have_last_good);
+        optimizer_, fast_optimizer_, ripup_optimizer_,
+        options_.use_fast_optimizer, model_, solve_demand, &live_servers_,
+        &optimizer_cache_, solver_chaos_, have_last_good);
     ++optimizations_;
     last_result_ = std::move(outcome.result);
     if (outcome.rung == SolverRung::kHoldLastGood || !last_result_.ok()) {
+      record_solve(&SolveTelemetry::hold);
       ++solver_holds_;
       return nullptr;  // ladder exhausted: keep last-known-good rules
+    }
+    switch (outcome.rung) {
+      case SolverRung::kPrimary:
+        record_solve(options_.use_fast_optimizer ? &SolveTelemetry::fast
+                                                 : exact_arm());
+        break;
+      case SolverRung::kFastHeuristic:
+        record_solve(&SolveTelemetry::fast);
+        break;
+      case SolverRung::kRipup:
+        record_solve(&SolveTelemetry::ripup);
+        break;
+      case SolverRung::kCapacitySplit:
+        record_solve(&SolveTelemetry::split);
+        break;
+      case SolverRung::kHoldLastGood:
+        break;  // handled above
     }
   } else {
     if (solver_chaos_) {
@@ -318,7 +364,8 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     last_result_ =
         options_.use_fast_optimizer
             ? fast_optimizer_.optimize(model_, solve_demand, &live_servers_)
-            : optimizer_.optimize(model_, solve_demand, &live_servers_);
+            : optimizer_.optimize(model_, solve_demand, &live_servers_,
+                                  &optimizer_cache_);
     ++optimizations_;
     if (options_.use_fast_optimizer &&
         last_result_.status == LpStatus::kIterationLimit) {
@@ -328,9 +375,12 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     if (!last_result_.ok()) {
       SLATE_LOG(kWarn) << "optimizer failed: "
                        << to_string(last_result_.status);
+      record_solve(&SolveTelemetry::hold);
       ++solver_holds_;
       return nullptr;
     }
+    record_solve(options_.use_fast_optimizer ? &SolveTelemetry::fast
+                                             : exact_arm());
   }
 
   // 5. Emit rules: guarded rollout (damping + flap detection + canary

@@ -19,6 +19,7 @@
 
 #include "cluster/deployment.h"
 #include "core/fast_optimizer.h"
+#include "core/ripup_optimizer.h"
 #include "forecast/demand_forecaster.h"
 #include "core/model_fitter.h"
 #include "core/optimizer.h"
@@ -52,6 +53,8 @@ struct GlobalControllerOptions {
   // the LP's plan quality — see bench/ablation_fast_optimizer).
   bool use_fast_optimizer = false;
   FastOptimizerOptions fast_optimizer;
+  // The negotiated-congestion rip-up arm (solver guard rung 2).
+  RipupOptions ripup;
   FitterOptions fitter;
   GuardrailOptions guardrails;
   // Seed the latency model from the application spec ("offline profile");
@@ -93,6 +96,24 @@ struct GlobalControllerOptions {
   // observes the post-admission demand estimate, so report-validator trust
   // keeps scaling its input when the guard stack is armed.
   ForecastOptions forecast;
+};
+
+// Per-period solver wall time and arm-selection telemetry. Measurement only:
+// the values are reported (run results, CLI summary) but never feed back into
+// plan selection — host timing must not change behavior in reproducible runs
+// (budget enforcement lives in SolverGuard and is opt-in).
+struct SolveTelemetry {
+  std::uint64_t solves = 0;        // control periods that attempted a solve
+  double last_seconds = 0.0;       // wall time of the most recent solve
+  double max_seconds = 0.0;
+  double total_seconds = 0.0;
+  // Which arm produced (or withheld) the period's plan.
+  std::uint64_t exact_cold = 0;    // exact LP, cold simplex
+  std::uint64_t exact_warm = 0;    // exact LP, warm-started (memo or basis)
+  std::uint64_t fast = 0;          // marginal-cost descent
+  std::uint64_t ripup = 0;         // negotiated-congestion rip-up
+  std::uint64_t split = 0;         // capacity-proportional split
+  std::uint64_t hold = 0;          // no plan: held last-known-good
 };
 
 class GlobalController {
@@ -156,6 +177,13 @@ class GlobalController {
   [[nodiscard]] const OptimizerResult& last_result() const noexcept {
     return last_result_;
   }
+  // Cross-period warm-start state (per-group simplex bases + memo counters).
+  [[nodiscard]] const OptimizerCache& optimizer_cache() const noexcept {
+    return optimizer_cache_;
+  }
+  [[nodiscard]] const SolveTelemetry& solve_telemetry() const noexcept {
+    return solve_telemetry_;
+  }
   [[nodiscard]] const SampleStore& samples() const noexcept { return store_; }
 
   // Live per-(service, cluster) server counts as last reported by cluster
@@ -215,6 +243,9 @@ class GlobalController {
   ModelFitter fitter_;
   RouteOptimizer optimizer_;
   FastRouteOptimizer fast_optimizer_;
+  RipupRouteOptimizer ripup_optimizer_;
+  OptimizerCache optimizer_cache_;
+  SolveTelemetry solve_telemetry_;
   SampleStore store_;
   FlatMatrix<double> demand_;  // classes x clusters, RPS
   // Demand fed to the optimizer under an armed forecast mode (unused, and

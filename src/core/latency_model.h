@@ -68,6 +68,13 @@ class LatencyModel {
   [[nodiscard]] std::size_t class_count() const noexcept { return classes_; }
   [[nodiscard]] std::size_t cluster_count() const noexcept { return clusters_; }
 
+  // Raw storage view (service-major; -1 = unset). Lets the optimizer's
+  // steady-state memo detect bit-identical model inputs without rebuilding
+  // anything.
+  [[nodiscard]] const std::vector<double>& service_times_raw() const noexcept {
+    return service_time_;
+  }
+
  private:
   [[nodiscard]] std::size_t key(ServiceId s, ClassId k, ClusterId c) const;
 

@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "lp/piecewise.h"
@@ -22,84 +23,122 @@ struct VarMaps {
   std::vector<int> u, o, t;
 };
 
-}  // namespace
+// One independently solvable sub-problem: a set of classes closed under
+// service sharing, plus the services they touch (which get station vars).
+struct ClassGroup {
+  std::vector<std::size_t> classes;   // ascending class ids
+  std::vector<std::size_t> services;  // ascending service ids
+};
 
-RouteOptimizer::RouteOptimizer(const Application& app,
-                               const Deployment& deployment,
-                               const Topology& topology,
-                               OptimizerOptions options)
-    : app_(&app),
-      deployment_(&deployment),
-      topology_(&topology),
-      options_(options) {
-  if (deployment.cluster_count() != topology.cluster_count()) {
-    throw std::invalid_argument(
-        "RouteOptimizer: deployment/topology cluster count mismatch");
-  }
-  if (!(options_.max_utilization > 0.0 && options_.max_utilization < 1.0)) {
-    throw std::invalid_argument("RouteOptimizer: max_utilization must be in (0,1)");
-  }
-  app.validate();
-  deployment.validate();
-}
-
-OptimizerResult RouteOptimizer::optimize(
-    const LatencyModel& model, const FlatMatrix<double>& demand,
-    const std::vector<unsigned>* live_servers) const {
-  const std::size_t C = deployment_->cluster_count();
-  auto servers_at = [&](std::size_t s, std::size_t c) -> double {
-    if (live_servers != nullptr && s * C + c < live_servers->size() &&
-        (*live_servers)[s * C + c] > 0) {
-      return static_cast<double>((*live_servers)[s * C + c]);
+// Partitions classes by shared services (union-find): two classes that
+// touch a common service share its capacity rows and must be solved
+// jointly; classes with disjoint service sets separate exactly — their
+// variables appear in no common constraint and the objective is a sum.
+// Groups are ordered by smallest class id; services a class never
+// references belong to no group.
+std::vector<ClassGroup> partition_classes(const Application& app) {
+  const std::size_t K = app.class_count();
+  const std::size_t S = app.service_count();
+  std::vector<std::size_t> parent(K);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
     }
-    return deployment_->servers(ServiceId{s}, ClusterId{c});
+    return a;
   };
-  const std::size_t K = app_->class_count();
-  const std::size_t S = app_->service_count();
-  if (demand.rows() != K || demand.cols() != C) {
-    throw std::invalid_argument("RouteOptimizer: demand matrix shape mismatch");
-  }
 
-  OptimizerResult result;
-  LpModel lp;
-  VarMaps vars;
-
-  // Effective demand: reassign demand at clusters lacking the entry service
-  // to the nearest cluster that has it (front-door anycast).
-  FlatMatrix<double> eff_demand(K, C, 0.0);
+  std::vector<std::size_t> owner(S, K);  // first class touching each service
   for (std::size_t k = 0; k < K; ++k) {
-    const ServiceId entry = app_->entry_service(ClassId{k});
-    const auto entry_clusters = deployment_->clusters_for(entry);
-    for (std::size_t c = 0; c < C; ++c) {
-      const double d = demand(k, c);
-      if (d <= 0.0) continue;
-      if (deployment_->is_deployed(entry, ClusterId{c})) {
-        eff_demand(k, c) += d;
+    const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+      const std::size_t s = graph.node(n).service.index();
+      if (owner[s] == K) {
+        owner[s] = k;
       } else {
-        const ClusterId fallback = topology_->nearest(ClusterId{c}, entry_clusters);
-        eff_demand(k, fallback.index()) += d;
+        const std::size_t ra = find(k);
+        const std::size_t rb = find(owner[s]);
+        if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
       }
     }
   }
 
-  // --- Variables ---------------------------------------------------------
-  vars.x.resize(K);
-  vars.a.resize(K);
+  std::vector<std::size_t> root_group(K, K);
+  std::vector<ClassGroup> groups;
   for (std::size_t k = 0; k < K; ++k) {
-    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+    const std::size_t r = find(k);
+    if (root_group[r] == K) {
+      root_group[r] = groups.size();
+      groups.emplace_back();
+    }
+    groups[root_group[r]].classes.push_back(k);
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    if (owner[s] == K) continue;
+    groups[root_group[find(owner[s])]].services.push_back(s);
+  }
+  return groups;
+}
+
+// Everything a group solve reads (immutable across groups).
+struct SolveContext {
+  const Application& app;
+  const Deployment& deployment;
+  const Topology& topology;
+  const OptimizerOptions& options;
+  const LatencyModel& model;
+  const FlatMatrix<double>& eff_demand;
+  const std::vector<unsigned>* live_servers;
+  std::size_t C;
+
+  [[nodiscard]] double servers_at(std::size_t s, std::size_t c) const {
+    if (live_servers != nullptr && s * C + c < live_servers->size() &&
+        (*live_servers)[s * C + c] > 0) {
+      return static_cast<double>((*live_servers)[s * C + c]);
+    }
+    return deployment.servers(ServiceId{s}, ClusterId{c});
+  }
+};
+
+// Builds and solves one group's LP (or the MILP in integer mode), extracts
+// its rules into `rules`, records station utilization/overflow into the
+// shared plan arrays, and accumulates the predicted-quality terms. With a
+// single group spanning every class and service this is exactly the legacy
+// whole-problem build — identical variable and constraint order — so
+// decomposition cannot change the undecomposed answer.
+LpStatus solve_group(const SolveContext& ctx, const ClassGroup& group,
+                     SimplexBasis* basis, OptimizerResult& result,
+                     RoutingRuleSet& rules, std::vector<double>& plan_u,
+                     std::vector<double>& plan_o, double& latency_per_sec,
+                     double& egress_per_sec) {
+  const std::size_t C = ctx.C;
+  const Application& app = ctx.app;
+  const Deployment& deployment = ctx.deployment;
+  const Topology& topology = ctx.topology;
+  const OptimizerOptions& options = ctx.options;
+
+  LpModel lp;
+  VarMaps vars;
+  vars.x.resize(app.class_count());
+  vars.a.resize(app.class_count());
+
+  // --- Variables ---------------------------------------------------------
+  for (const std::size_t k : group.classes) {
+    const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
     const std::size_t N = graph.node_count();
     vars.x[k].assign(N, {});
     vars.a[k].assign(N, std::vector<int>(C, -1));
     for (std::size_t n = 0; n < N; ++n) {
       const ServiceId svc = graph.node(n).service;
       for (std::size_t j = 0; j < C; ++j) {
-        if (!deployment_->is_deployed(svc, ClusterId{j})) continue;
+        if (!deployment.is_deployed(svc, ClusterId{j})) continue;
         if (n == 0) {
           // Root arrivals are pinned to the effective demand (entry service
           // serves in the arrival cluster).
-          const double d = eff_demand(k, j);
-          vars.a[k][n][j] = lp.add_variable(
-              d, d, 0.0, strfmt("a[k%zu][n0][c%zu]", k, j));
+          const double d = ctx.eff_demand(k, j);
+          vars.a[k][n][j] =
+              lp.add_variable(d, d, 0.0, strfmt("a[k%zu][n0][c%zu]", k, j));
         } else {
           vars.a[k][n][j] = lp.add_variable(
               0.0, kLpInfinity, 0.0, strfmt("a[k%zu][n%zu][c%zu]", k, n, j));
@@ -109,55 +148,57 @@ OptimizerResult RouteOptimizer::optimize(
       const ServiceId parent_svc = graph.node(graph.node(n).parent).service;
       vars.x[k][n].assign(C * C, -1);
       for (std::size_t i = 0; i < C; ++i) {
-        if (!deployment_->is_deployed(parent_svc, ClusterId{i})) continue;
+        if (!deployment.is_deployed(parent_svc, ClusterId{i})) continue;
         for (std::size_t j = 0; j < C; ++j) {
-          if (!deployment_->is_deployed(svc, ClusterId{j})) continue;
+          if (!deployment.is_deployed(svc, ClusterId{j})) continue;
           // Objective: network RTT (request out + response back) plus
           // weighted egress dollars per call.
           double coeff = 0.0;
           if (i != j) {
             const ClusterId ci{i}, cj{j};
-            coeff += topology_->one_way_latency(ci, cj) +
-                     topology_->one_way_latency(cj, ci);
+            coeff += topology.one_way_latency(ci, cj) +
+                     topology.one_way_latency(cj, ci);
             const double dollars_per_call =
                 (static_cast<double>(graph.node(n).request_bytes) *
-                     topology_->egress_price_per_gb(ci, cj) +
+                     topology.egress_price_per_gb(ci, cj) +
                  static_cast<double>(graph.node(n).response_bytes) *
-                     topology_->egress_price_per_gb(cj, ci)) /
+                     topology.egress_price_per_gb(cj, ci)) /
                 kBytesPerGb;
-            coeff += options_.cost_weight * dollars_per_call;
+            coeff += options.cost_weight * dollars_per_call;
           }
           vars.x[k][n][i * C + j] = lp.add_variable(
-              0.0, kLpInfinity, coeff, strfmt("x[k%zu][n%zu][%zu->%zu]", k, n, i, j));
+              0.0, kLpInfinity, coeff,
+              strfmt("x[k%zu][n%zu][%zu->%zu]", k, n, i, j));
         }
       }
     }
   }
 
-  // Station variables.
-  vars.u.assign(S * C, -1);
-  vars.o.assign(S * C, -1);
-  vars.t.assign(S * C, -1);
+  // Station variables (only this group's services: a service in no other
+  // group can receive flow from no other class).
+  vars.u.assign(app.service_count() * C, -1);
+  vars.o.assign(app.service_count() * C, -1);
+  vars.t.assign(app.service_count() * C, -1);
   const auto tangents =
-      queue_cost_tangents(options_.max_utilization, options_.tangent_count);
-  for (std::size_t s = 0; s < S; ++s) {
+      queue_cost_tangents(options.max_utilization, options.tangent_count);
+  for (const std::size_t s : group.services) {
     for (std::size_t c = 0; c < C; ++c) {
-      if (!deployment_->is_deployed(ServiceId{s}, ClusterId{c})) continue;
-      const double n_servers = servers_at(s, c);
+      if (!deployment.is_deployed(ServiceId{s}, ClusterId{c})) continue;
+      const double n_servers = ctx.servers_at(s, c);
       vars.u[s * C + c] =
-          lp.add_variable(0.0, options_.max_utilization, n_servers,
+          lp.add_variable(0.0, options.max_utilization, n_servers,
                           strfmt("u[s%zu][c%zu]", s, c));
-      vars.o[s * C + c] = lp.add_variable(
-          0.0, kLpInfinity, n_servers + options_.overflow_penalty,
-          strfmt("o[s%zu][c%zu]", s, c));
+      vars.o[s * C + c] =
+          lp.add_variable(0.0, kLpInfinity, n_servers + options.overflow_penalty,
+                          strfmt("o[s%zu][c%zu]", s, c));
       vars.t[s * C + c] = lp.add_variable(0.0, kLpInfinity, n_servers,
                                           strfmt("t[s%zu][c%zu]", s, c));
     }
   }
 
   // --- Constraints -------------------------------------------------------
-  for (std::size_t k = 0; k < K; ++k) {
-    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+  for (const std::size_t k : group.classes) {
+    const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
     for (std::size_t n = 1; n < graph.node_count(); ++n) {
       const std::size_t p = graph.node(n).parent;
       const double mult = graph.node(n).multiplicity;
@@ -198,16 +239,16 @@ OptimizerResult RouteOptimizer::optimize(
   }
 
   // Station utilization definitions and queue-cost epigraphs.
-  for (std::size_t s = 0; s < S; ++s) {
+  for (const std::size_t s : group.services) {
     for (std::size_t c = 0; c < C; ++c) {
       const int uv = vars.u[s * C + c];
       if (uv < 0) continue;
-      const double n_servers = servers_at(s, c);
+      const double n_servers = ctx.servers_at(s, c);
       std::vector<LinearTerm> terms{{uv, -1.0}, {vars.o[s * C + c], -1.0}};
-      for (std::size_t k = 0; k < K; ++k) {
-        const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+      for (const std::size_t k : group.classes) {
+        const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
         const double st =
-            model.service_time(ServiceId{s}, ClassId{k}, ClusterId{c});
+            ctx.model.service_time(ServiceId{s}, ClassId{k}, ClusterId{c});
         for (std::size_t n = 0; n < graph.node_count(); ++n) {
           if (graph.node(n).service != ServiceId{s}) continue;
           const int av = vars.a[k][n][c];
@@ -227,19 +268,17 @@ OptimizerResult RouteOptimizer::optimize(
 
   // Optional all-or-nothing MILP mode: binary y per (k, n, i, j) with
   // x <= D_k * y, sum_j y = 1.
-  std::vector<double> class_total_demand(K, 0.0);
-  for (std::size_t k = 0; k < K; ++k) {
-    for (std::size_t c = 0; c < C; ++c) class_total_demand[k] += eff_demand(k, c);
-  }
-  if (options_.integer_routes) {
-    for (std::size_t k = 0; k < K; ++k) {
-      const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+  if (options.integer_routes) {
+    for (const std::size_t k : group.classes) {
+      const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
+      double class_demand = 0.0;
+      for (std::size_t c = 0; c < C; ++c) class_demand += ctx.eff_demand(k, c);
       // Generous bound: total demand times the worst-case multiplicity chain.
       double max_mult = 1.0;
       for (std::size_t n = 1; n < graph.node_count(); ++n) {
         max_mult = std::max(max_mult, graph.executions_per_request(n));
       }
-      const double big = std::max(1.0, class_total_demand[k] * max_mult);
+      const double big = std::max(1.0, class_demand * max_mult);
       for (std::size_t n = 1; n < graph.node_count(); ++n) {
         for (std::size_t i = 0; i < C; ++i) {
           std::vector<LinearTerm> pick_one;
@@ -262,33 +301,37 @@ OptimizerResult RouteOptimizer::optimize(
     }
   }
 
-  result.variables = lp.variable_count();
-  result.constraints = lp.constraint_count();
+  result.variables += lp.variable_count();
+  result.constraints += lp.constraint_count();
 
   // --- Solve -------------------------------------------------------------
   LpSolution solution;
-  if (options_.integer_routes) {
-    MilpOptions milp = options_.milp;
-    milp.simplex = options_.simplex;
+  SimplexStats stats;
+  if (options.integer_routes) {
+    MilpOptions milp = options.milp;
+    milp.simplex = options.simplex;
     solution = solve_milp(lp, milp);
   } else {
-    solution = solve_lp(lp, options_.simplex, &result.simplex_stats);
+    solution = solve_lp(lp, options.simplex, &stats, basis);
   }
-  result.status = solution.status;
-  result.objective = solution.objective;
-  if (!solution.ok()) return result;
+  result.simplex_stats.iterations += stats.iterations;
+  result.simplex_stats.phase1_rows += stats.phase1_rows;
+  result.simplex_stats.columns += stats.columns;
+  ++result.solve_groups;
+  if (stats.warm_started) ++result.warm_groups;
+  if (!solution.ok()) return solution.status;
+  result.objective += solution.objective;
 
   // --- Extract rules -----------------------------------------------------
-  auto rules = std::make_shared<RoutingRuleSet>();
-  for (std::size_t k = 0; k < K; ++k) {
-    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+  for (const std::size_t k : group.classes) {
+    const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
     for (std::size_t n = 1; n < graph.node_count(); ++n) {
       const ServiceId svc = graph.node(n).service;
-      const auto candidates = deployment_->clusters_for(svc);
+      const auto candidates = deployment.clusters_for(svc);
       const std::size_t p = graph.node(n).parent;
       const ServiceId parent_svc = graph.node(p).service;
       for (std::size_t i = 0; i < C; ++i) {
-        if (!deployment_->is_deployed(parent_svc, ClusterId{i})) continue;
+        if (!deployment.is_deployed(parent_svc, ClusterId{i})) continue;
         RouteWeights weights;
         double total = 0.0;
         for (std::size_t j = 0; j < C; ++j) {
@@ -303,44 +346,37 @@ OptimizerResult RouteOptimizer::optimize(
           // No flow observed from this origin: deterministic fallback so the
           // data plane always has a complete rule.
           const ClusterId fallback =
-              deployment_->is_deployed(svc, ClusterId{i})
+              deployment.is_deployed(svc, ClusterId{i})
                   ? ClusterId{i}
-                  : topology_->nearest(ClusterId{i}, candidates);
+                  : topology.nearest(ClusterId{i}, candidates);
           weights.weights.assign(weights.weights.size(), 0.0);
           for (std::size_t wi = 0; wi < weights.clusters.size(); ++wi) {
             if (weights.clusters[wi] == fallback) weights.weights[wi] = 1.0;
           }
         }
         weights.normalize();
-        rules->set_rule(ClassId{k}, n, ClusterId{i}, std::move(weights));
+        rules.set_rule(ClassId{k}, n, ClusterId{i}, std::move(weights));
       }
     }
   }
-  rules->validate();
-  result.rules = std::move(rules);
 
   // --- Predicted quality (exact queue cost, not the PWL approximation) ----
-  double latency_per_sec = 0.0;
-  double egress_per_sec = 0.0;
-  double total_demand = 0.0;
-  for (std::size_t k = 0; k < K; ++k) total_demand += class_total_demand[k];
-
-  for (std::size_t s = 0; s < S; ++s) {
+  for (const std::size_t s : group.services) {
     for (std::size_t c = 0; c < C; ++c) {
       const int uv = vars.u[s * C + c];
       if (uv < 0) continue;
-      const double n_servers = servers_at(s, c);
+      const double n_servers = ctx.servers_at(s, c);
       const double u = solution.values[uv];
       const double o = solution.values[vars.o[s * C + c]];
-      result.station_plans.push_back(
-          StationPlan{ServiceId{s}, ClusterId{c}, u + o, o});
+      plan_u[s * C + c] = u + o;
+      plan_o[s * C + c] = o;
       if (o > 1e-6) result.overloaded = true;
       latency_per_sec += n_servers * (u + o);
       latency_per_sec += n_servers * queue_cost(std::min(u + o, 0.999));
     }
   }
-  for (std::size_t k = 0; k < K; ++k) {
-    const CallGraph& graph = app_->traffic_class(ClassId{k}).graph;
+  for (const std::size_t k : group.classes) {
+    const CallGraph& graph = app.traffic_class(ClassId{k}).graph;
     for (std::size_t n = 1; n < graph.node_count(); ++n) {
       for (std::size_t i = 0; i < C; ++i) {
         for (std::size_t j = 0; j < C; ++j) {
@@ -349,21 +385,169 @@ OptimizerResult RouteOptimizer::optimize(
           const double flow = solution.values[xv];
           if (flow <= 0.0) continue;
           const ClusterId ci{i}, cj{j};
-          latency_per_sec += flow * (topology_->one_way_latency(ci, cj) +
-                                     topology_->one_way_latency(cj, ci));
+          latency_per_sec += flow * (topology.one_way_latency(ci, cj) +
+                                     topology.one_way_latency(cj, ci));
           egress_per_sec += flow *
                             (static_cast<double>(graph.node(n).request_bytes) *
-                                 topology_->egress_price_per_gb(ci, cj) +
+                                 topology.egress_price_per_gb(ci, cj) +
                              static_cast<double>(graph.node(n).response_bytes) *
-                                 topology_->egress_price_per_gb(cj, ci)) /
+                                 topology.egress_price_per_gb(cj, ci)) /
                             kBytesPerGb;
         }
       }
     }
   }
+  return LpStatus::kOptimal;
+}
+
+}  // namespace
+
+RouteOptimizer::RouteOptimizer(const Application& app,
+                               const Deployment& deployment,
+                               const Topology& topology,
+                               OptimizerOptions options)
+    : app_(&app),
+      deployment_(&deployment),
+      topology_(&topology),
+      options_(options) {
+  if (deployment.cluster_count() != topology.cluster_count()) {
+    throw std::invalid_argument(
+        "RouteOptimizer: deployment/topology cluster count mismatch");
+  }
+  if (!(options_.max_utilization > 0.0 && options_.max_utilization < 1.0)) {
+    throw std::invalid_argument("RouteOptimizer: max_utilization must be in (0,1)");
+  }
+  app.validate();
+  deployment.validate();
+}
+
+OptimizerResult RouteOptimizer::optimize(
+    const LatencyModel& model, const FlatMatrix<double>& demand,
+    const std::vector<unsigned>* live_servers, OptimizerCache* cache) const {
+  const std::size_t C = deployment_->cluster_count();
+  const std::size_t K = app_->class_count();
+  const std::size_t S = app_->service_count();
+  if (demand.rows() != K || demand.cols() != C) {
+    throw std::invalid_argument("RouteOptimizer: demand matrix shape mismatch");
+  }
+
+  // Steady-state memo: when demand, the fitted model, and live capacity are
+  // bit-identical to the previous solve, the previous plan IS the optimal
+  // plan — return it without touching the LP.
+  if (cache != nullptr && cache->memo_valid) {
+    const bool live_same =
+        live_servers == nullptr
+            ? cache->memo_live.empty()
+            : cache->memo_live == *live_servers;
+    if (live_same && cache->memo_demand.rows() == demand.rows() &&
+        cache->memo_demand.cols() == demand.cols() &&
+        cache->memo_demand.data() == demand.data() &&
+        cache->memo_times == model.service_times_raw() &&
+        cache->memo_default_time == model.default_service_time()) {
+      ++cache->memo_hits;
+      OptimizerResult result = cache->memo_result;
+      result.warm_started = true;
+      return result;
+    }
+  }
+
+  OptimizerResult result;
+
+  // Effective demand: reassign demand at clusters lacking the entry service
+  // to the nearest cluster that has it (front-door anycast).
+  FlatMatrix<double> eff_demand(K, C, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const ServiceId entry = app_->entry_service(ClassId{k});
+    const auto entry_clusters = deployment_->clusters_for(entry);
+    for (std::size_t c = 0; c < C; ++c) {
+      const double d = demand(k, c);
+      if (d <= 0.0) continue;
+      if (deployment_->is_deployed(entry, ClusterId{c})) {
+        eff_demand(k, c) += d;
+      } else {
+        const ClusterId fallback = topology_->nearest(ClusterId{c}, entry_clusters);
+        eff_demand(k, fallback.index()) += d;
+      }
+    }
+  }
+
+  // Class groups. Anything that prevents decomposition — the MILP mode, the
+  // option being off, or every class sharing one component — collapses to a
+  // single whole-problem group over all classes AND all services, which is
+  // bit-identical to the legacy joint build.
+  std::vector<ClassGroup> groups;
+  if (!options_.integer_routes && options_.decompose) {
+    groups = partition_classes(*app_);
+  }
+  if (groups.size() <= 1) {
+    groups.clear();
+    ClassGroup whole;
+    whole.classes.resize(K);
+    std::iota(whole.classes.begin(), whole.classes.end(), 0);
+    whole.services.resize(S);
+    std::iota(whole.services.begin(), whole.services.end(), 0);
+    groups.push_back(std::move(whole));
+  }
+  if (cache != nullptr) cache->bases.resize(groups.size());
+
+  const SolveContext ctx{*app_,      *deployment_, *topology_, options_,
+                         model,      eff_demand,   live_servers, C};
+  auto rules = std::make_shared<RoutingRuleSet>();
+  std::vector<double> plan_u(S * C, 0.0);
+  std::vector<double> plan_o(S * C, 0.0);
+  double latency_per_sec = 0.0;
+  double egress_per_sec = 0.0;
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    SimplexBasis* basis =
+        cache != nullptr && !options_.integer_routes ? &cache->bases[g] : nullptr;
+    const LpStatus status =
+        solve_group(ctx, groups[g], basis, result, *rules, plan_u, plan_o,
+                    latency_per_sec, egress_per_sec);
+    if (status != LpStatus::kOptimal) {
+      result.status = status;
+      return result;
+    }
+  }
+  result.status = LpStatus::kOptimal;
+  if (cache != nullptr) {
+    cache->warm_group_solves += result.warm_groups;
+    cache->cold_group_solves += result.solve_groups - result.warm_groups;
+  }
+  result.warm_started =
+      result.solve_groups > 0 && result.warm_groups == result.solve_groups;
+
+  rules->validate();
+  result.rules = std::move(rules);
+
+  // Station plans for every deployed station, in (service, cluster) order —
+  // stations of services no class references carry zero load by definition.
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      if (!deployment_->is_deployed(ServiceId{s}, ClusterId{c})) continue;
+      result.station_plans.push_back(StationPlan{
+          ServiceId{s}, ClusterId{c}, plan_u[s * C + c], plan_o[s * C + c]});
+    }
+  }
+
+  double total_demand = 0.0;
+  for (const double d : eff_demand.data()) total_demand += d;
   result.predicted_mean_latency =
       total_demand > 0.0 ? latency_per_sec / total_demand : 0.0;
   result.predicted_egress_dollars_per_sec = egress_per_sec;
+
+  if (cache != nullptr) {
+    cache->memo_valid = true;
+    cache->memo_demand = demand;
+    cache->memo_times = model.service_times_raw();
+    cache->memo_default_time = model.default_service_time();
+    if (live_servers != nullptr) {
+      cache->memo_live = *live_servers;
+    } else {
+      cache->memo_live.clear();
+    }
+    cache->memo_result = result;
+  }
   return result;
 }
 

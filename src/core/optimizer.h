@@ -50,6 +50,14 @@ struct OptimizerOptions {
   // When true, each (class, edge, source) must route to a single cluster
   // (all-or-nothing), solved as a MILP. Used by ablations.
   bool integer_routes = false;
+  // Solve classes that share no service (hence no capacity row) as
+  // independent sub-LPs instead of one joint tableau. Exact — disjoint
+  // groups separate in both objective and constraints — and the only way a
+  // planet-scale instance fits in a control period: the dense joint tableau
+  // grows with (classes x clusters)^2 while per-group tableaus stay small.
+  // When every class lands in one group this takes the identical legacy
+  // whole-problem path. Ignored under integer_routes.
+  bool decompose = true;
   SimplexOptions simplex;
   MilpOptions milp;
 };
@@ -74,9 +82,40 @@ struct OptimizerResult {
   std::vector<StationPlan> station_plans;
   int variables = 0;
   int constraints = 0;
-  SimplexStats simplex_stats;
+  SimplexStats simplex_stats;  // summed across class groups
+
+  // Warm-start telemetry: solve_groups class groups were solved; warm_groups
+  // of them resumed from the previous period's basis. warm_started is true
+  // when the whole solve reused previous-period state (a steady-state memo
+  // hit, or every group basis warm start succeeding).
+  std::size_t solve_groups = 0;
+  std::size_t warm_groups = 0;
+  bool warm_started = false;
 
   [[nodiscard]] bool ok() const noexcept { return status == LpStatus::kOptimal; }
+};
+
+// Cross-period solver state owned by the caller (the global controller keeps
+// one per optimizer lifetime). Holds the previous solve's per-group simplex
+// bases — demand moves slowly between control periods, so the old optimal
+// basis is a near-feasible starting point — plus a steady-state memo that
+// returns the cached result outright when every input is bit-identical.
+struct OptimizerCache {
+  // Per class-group bases (indexed like the partition, which is a function
+  // of the immutable application/deployment and therefore stable).
+  std::vector<SimplexBasis> bases;
+
+  // Steady-state memo inputs + result.
+  bool memo_valid = false;
+  FlatMatrix<double> memo_demand{0, 0, 0.0};
+  std::vector<double> memo_times;
+  double memo_default_time = 0.0;
+  std::vector<unsigned> memo_live;
+  OptimizerResult memo_result;
+
+  std::uint64_t memo_hits = 0;
+  std::uint64_t warm_group_solves = 0;
+  std::uint64_t cold_group_solves = 0;
 };
 
 class RouteOptimizer {
@@ -92,9 +131,15 @@ class RouteOptimizer {
   // counts (indexed service * cluster_count + cluster; entries of 0 fall
   // back to the deployment). Autoscalers and failures change capacity at
   // runtime; the controller feeds the observed counts back here.
+  //
+  // `cache`, if non-null, carries warm-start state across periods: the
+  // previous solve's per-group bases (phase 1 is skipped when they still
+  // reach a feasible point) and the steady-state memo (bit-identical inputs
+  // return the cached result outright). Passing null solves cold.
   OptimizerResult optimize(const LatencyModel& model,
                            const FlatMatrix<double>& demand,
-                           const std::vector<unsigned>* live_servers = nullptr) const;
+                           const std::vector<unsigned>* live_servers = nullptr,
+                           OptimizerCache* cache = nullptr) const;
 
   [[nodiscard]] const OptimizerOptions& options() const noexcept { return options_; }
 

@@ -12,6 +12,7 @@ const char* to_string(SolverRung rung) noexcept {
   switch (rung) {
     case SolverRung::kPrimary: return "primary";
     case SolverRung::kFastHeuristic: return "fast-heuristic";
+    case SolverRung::kRipup: return "ripup";
     case SolverRung::kCapacitySplit: return "capacity-split";
     case SolverRung::kHoldLastGood: return "hold-last-good";
   }
@@ -56,10 +57,10 @@ bool SolverGuard::accept(const OptimizerResult& result,
 
 SolverGuard::Outcome SolverGuard::solve(
     const RouteOptimizer& primary, const FastRouteOptimizer& fast,
-    bool primary_is_fast, const LatencyModel& model,
-    const FlatMatrix<double>& demand,
-    const std::vector<unsigned>* live_servers, bool solver_down,
-    bool have_last_good) {
+    const RipupRouteOptimizer& ripup, bool primary_is_fast,
+    const LatencyModel& model, const FlatMatrix<double>& demand,
+    const std::vector<unsigned>* live_servers, OptimizerCache* cache,
+    bool solver_down, bool have_last_good) {
   using Clock = std::chrono::steady_clock;
   auto timed = [&](auto&& run, OptimizerResult& out) {
     const auto t0 = Clock::now();
@@ -101,7 +102,9 @@ SolverGuard::Outcome SolverGuard::solve(
             ? timed([&] { return fast.optimize(model, demand, live_servers); },
                     result)
             : timed(
-                  [&] { return primary.optimize(model, demand, live_servers); },
+                  [&] {
+                    return primary.optimize(model, demand, live_servers, cache);
+                  },
                   result);
     if (ok) {
       consecutive_degraded_ = 0;
@@ -112,6 +115,11 @@ SolverGuard::Outcome SolverGuard::solve(
               result)) {
       consecutive_degraded_ = 0;
       return settle(std::move(result), SolverRung::kFastHeuristic);
+    }
+    if (timed([&] { return ripup.optimize(model, demand, live_servers); },
+              result)) {
+      consecutive_degraded_ = 0;
+      return settle(std::move(result), SolverRung::kRipup);
     }
   }
 

@@ -115,6 +115,22 @@ Transformed transform(const LpModel& model) {
   return t;
 }
 
+// Fingerprint of the transformed layout (row/column counts and the relation
+// of every row). A basis is only reusable against the same layout — the
+// same tableau geometry and slack/artificial assignment. Coefficients and
+// rhs are deliberately excluded: they change every control period.
+std::uint64_t layout_signature(const Transformed& t) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(t.a.size());
+  mix(t.columns.size());
+  for (const Relation r : t.rel) mix(static_cast<std::uint64_t>(r) + 17);
+  return h;
+}
+
 // Dense tableau with explicit basis bookkeeping.
 class Tableau {
  public:
@@ -135,6 +151,10 @@ class Tableau {
 
     rows_.assign(m, std::vector<double>(total_cols_ + 1, 0.0));
     basis_.assign(m, -1);
+    // pivot() maintains the objective row unconditionally; warm-start
+    // reconstruction pivots before any build_objective call, so the row
+    // must exist (as zeros) from construction.
+    obj_.assign(total_cols_ + 1, 0.0);
 
     int next_slack = structural_cols_;
     int next_artificial = first_artificial_;
@@ -165,8 +185,6 @@ class Tableau {
   // holds structural column values.
   LpStatus solve(const std::vector<double>& cost, std::vector<double>& solution,
                  double& objective, SimplexStats* stats) {
-    const int m = static_cast<int>(rows_.size());
-
     if (first_artificial_ < total_cols_) {
       // Phase 1: minimize the sum of artificial variables.
       std::vector<double> phase1(total_cols_, 0.0);
@@ -177,8 +195,15 @@ class Tableau {
       if (objective_value() > 1e-7) return LpStatus::kInfeasible;
       purge_artificials();
     }
+    return solve_phase2(cost, solution, objective, stats);
+  }
 
-    // Phase 2.
+  // Phase 2 only — valid from a feasible basis (after phase 1, or after a
+  // successful try_warm).
+  LpStatus solve_phase2(const std::vector<double>& cost,
+                        std::vector<double>& solution, double& objective,
+                        SimplexStats* stats) {
+    const int m = static_cast<int>(rows_.size());
     std::vector<double> full_cost(total_cols_, 0.0);
     std::copy(cost.begin(), cost.end(), full_cost.begin());
     build_objective(full_cost);
@@ -193,6 +218,60 @@ class Tableau {
     }
     objective = objective_value();
     return LpStatus::kOptimal;
+  }
+
+  // Installs `target` (a previous solve's basis) by crash pivots, skipping
+  // phase 1 entirely. Returns false — leaving the tableau unusable, the
+  // caller must cold-solve a fresh one — when the basis does not fit this
+  // tableau or does not reach a primal-feasible point (demand moved too far
+  // since the basis was cut).
+  bool try_warm(const std::vector<int>& target) {
+    const int m = static_cast<int>(rows_.size());
+    if (static_cast<int>(target.size()) != m) return false;
+    std::vector<char> in_target(total_cols_, 0);
+    for (const int c : target) {
+      if (c < 0 || c >= total_cols_ || in_target[c] != 0) return false;
+      in_target[c] = 1;
+    }
+    std::vector<char> is_basic(total_cols_, 0);
+    for (const int c : basis_) is_basic[c] = 1;
+    for (int r = 0; r < m; ++r) {
+      const int c = target[r];
+      if (is_basic[c] != 0) continue;  // initial slack that stays basic
+      // Bring column c into the basis against a row whose current basic
+      // column is not wanted, preferring the largest pivot for stability.
+      int pivot_row = -1;
+      double best = 1e-7;
+      for (int i = 0; i < m; ++i) {
+        if (in_target[basis_[i]] != 0) continue;
+        const double a = std::abs(rows_[i][c]);
+        if (a > best) {
+          best = a;
+          pivot_row = i;
+        }
+      }
+      if (pivot_row < 0) return false;  // numerically dependent: cold-solve
+      is_basic[basis_[pivot_row]] = 0;
+      pivot(pivot_row, c);
+      is_basic[c] = 1;
+    }
+    // Primal feasibility at the reconstructed basis: nonnegative rhs (tiny
+    // negative rounding dust is clamped), and no artificial basic above
+    // noise level.
+    for (int i = 0; i < m; ++i) {
+      double& rhs = rows_[i][total_cols_];
+      if (rhs < 0.0) {
+        if (rhs < -1e-7) return false;
+        rhs = 0.0;
+      }
+      if (basis_[i] >= first_artificial_ && rhs > 1e-7) return false;
+    }
+    artificials_disabled_ = true;
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<int>& basis() const noexcept {
+    return basis_;
   }
 
  private:
@@ -322,19 +401,42 @@ class Tableau {
 }  // namespace
 
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options,
-                    SimplexStats* stats) {
+                    SimplexStats* stats, SimplexBasis* warm) {
   LpSolution result;
   const Transformed t = transform(model);
+  const std::uint64_t signature = layout_signature(t);
   if (stats != nullptr) {
     stats->phase1_rows = static_cast<int>(t.a.size());
     stats->columns = static_cast<int>(t.columns.size());
   }
 
-  Tableau tableau(t, options);
   std::vector<double> columns;
   double objective = 0.0;
-  result.status = tableau.solve(t.cost, columns, objective, stats);
-  if (result.status != LpStatus::kOptimal) return result;
+  bool solved = false;
+
+  if (warm != nullptr && warm->valid() && warm->signature == signature) {
+    Tableau tableau(t, options);
+    if (tableau.try_warm(warm->basis) &&
+        tableau.solve_phase2(t.cost, columns, objective, stats) ==
+            LpStatus::kOptimal) {
+      result.status = LpStatus::kOptimal;
+      solved = true;
+      warm->basis = tableau.basis();
+      if (stats != nullptr) stats->warm_started = true;
+    }
+    // Any warm failure falls through: a reconstruction that went sideways
+    // must not degrade the answer, only the speed.
+  }
+
+  if (!solved) {
+    Tableau tableau(t, options);
+    result.status = tableau.solve(t.cost, columns, objective, stats);
+    if (result.status != LpStatus::kOptimal) return result;
+    if (warm != nullptr) {
+      warm->signature = signature;
+      warm->basis = tableau.basis();
+    }
+  }
 
   // Map structural columns back to model variables.
   result.values.assign(model.variable_count(), 0.0);

@@ -30,11 +30,31 @@ struct SimplexStats {
   std::uint64_t iterations = 0;
   int phase1_rows = 0;
   int columns = 0;
+  // True when the solve skipped phase 1 by reusing a caller-supplied basis.
+  bool warm_started = false;
+};
+
+// An optimal basis exported by a previous solve, reusable as a warm start
+// for a structurally identical model (same constraint/variable layout; only
+// coefficients, bounds, and rhs may differ — the control loop's case, where
+// demand moves between periods but the LP shape is fixed). `signature`
+// fingerprints the transformed layout; a solve handed a basis with a stale
+// signature simply cold-solves and overwrites it.
+struct SimplexBasis {
+  std::uint64_t signature = 0;
+  std::vector<int> basis;  // basic column per transformed row
+
+  [[nodiscard]] bool valid() const noexcept { return !basis.empty(); }
 };
 
 // Solves the LP relaxation of `model`. `stats`, if non-null, receives
-// iteration counts.
+// iteration counts. `warm`, if non-null, is both input and output: a valid
+// matching basis skips phase 1 (reconstructing the previous period's basis
+// and resuming phase 2 from it, falling back to a cold solve if the basis
+// no longer reaches a feasible point); on any optimal solve the final basis
+// is written back for the next period.
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options = {},
-                    SimplexStats* stats = nullptr);
+                    SimplexStats* stats = nullptr,
+                    SimplexBasis* warm = nullptr);
 
 }  // namespace slate

@@ -236,6 +236,25 @@ struct ExperimentResult {
   std::uint64_t guard_interpolations = 0;   // admission: last-good substitutions
   std::uint64_t solver_fallbacks = 0;       // solves settled below rung 0
   std::uint64_t solver_holds = 0;           // periods held with no usable plan
+
+  // Per-period solver wall time and arm selection (SLATE runs only; see
+  // SolveTelemetry in core/global_controller.h). Measurement-only: reported
+  // here and in the slate_cli summary, never fed back into plan selection.
+  std::uint64_t solver_solves = 0;
+  double solver_last_seconds = 0.0;
+  double solver_max_seconds = 0.0;
+  double solver_total_seconds = 0.0;
+  std::uint64_t solver_exact_cold = 0;   // exact LP, cold simplex
+  std::uint64_t solver_exact_warm = 0;   // exact LP, warm-started (memo/basis)
+  std::uint64_t solver_arm_fast = 0;     // marginal-cost descent arm
+  std::uint64_t solver_arm_ripup = 0;    // negotiated-congestion rip-up arm
+  std::uint64_t solver_arm_split = 0;    // capacity-split arm
+  std::uint64_t solver_arm_hold = 0;     // periods that produced no plan
+  [[nodiscard]] double mean_solve_seconds() const noexcept {
+    return solver_solves > 0
+               ? solver_total_seconds / static_cast<double>(solver_solves)
+               : 0.0;
+  }
   std::uint64_t rollout_rollbacks = 0;      // canary-triggered reverts
   std::uint64_t rollout_flap_freezes = 0;   // flap-detector freezes
   std::uint64_t rollout_damped_pushes = 0;  // pushes clipped by the delta cap

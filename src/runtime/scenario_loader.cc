@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "topogen/topogen.h"
 #include "util/strfmt.h"
 #include "workload/generators.h"
 
@@ -182,6 +183,10 @@ Scenario load_scenario(std::istream& input) {
   std::vector<FaultDirective> faults;
   std::vector<OverloadClassDirective> overloads;
   double default_egress = -1.0;
+  // `topology synth` replaces the hand-written world wholesale; structural
+  // directives on either side of it would silently fight the generator, so
+  // both orders are spec errors.
+  bool synthesized = false;
 
   std::string raw;
   std::size_t line_number = 0;
@@ -216,10 +221,59 @@ Scenario load_scenario(std::istream& input) {
       return id;
     };
 
+    // Structural directives describe the world by hand; they are mutually
+    // exclusive with `topology synth` (which generates all of them).
+    auto reject_after_synth = [&] {
+      if (synthesized) {
+        fail(line_number, "'" + directive +
+                              "' cannot follow 'topology synth' (the "
+                              "generator owns clusters, services, classes, "
+                              "and pricing)");
+      }
+    };
+
     if (directive == "scenario") {
       exact(2, "scenario <name>");
       scenario.name = tokens[1];
+    } else if (directive == "topology") {
+      need(3, "topology synth key=value [key=value...]");
+      if (tokens[1] != "synth") {
+        fail(line_number, "unknown topology directive '" + tokens[1] +
+                              "' (expected synth)");
+      }
+      if (synthesized) {
+        fail(line_number, "duplicate 'topology synth'");
+      }
+      if (scenario.topology->cluster_count() != 0 ||
+          scenario.app->service_count() != 0 || !class_specs.empty()) {
+        fail(line_number,
+             "'topology synth' must precede all cluster/service/class "
+             "directives");
+      }
+      std::string spec;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (!spec.empty()) spec += ' ';
+        spec += tokens[i];
+      }
+      Scenario synth;
+      try {
+        synth = make_synth_scenario(parse_topogen_spec(spec));
+      } catch (const std::invalid_argument& e) {
+        fail(line_number, e.what());
+      }
+      const std::string keep_name = scenario.name;
+      scenario.app = std::move(synth.app);
+      scenario.topology = std::move(synth.topology);
+      scenario.deployment = std::move(synth.deployment);
+      scenario.demand = std::move(synth.demand);
+      scenario.name = keep_name.empty() ? synth.name : keep_name;
+      // Later demand/overload directives resolve generated class names.
+      for (ClassId k : scenario.app->all_classes()) {
+        classes[scenario.app->traffic_class(k).name].id = k;
+      }
+      synthesized = true;
     } else if (directive == "cluster") {
+      reject_after_synth();
       exact(2, "cluster <name>");
       if (scenario.topology->find_cluster(tokens[1]).valid()) {
         fail(line_number, "duplicate cluster '" + tokens[1] + "'");
@@ -235,6 +289,7 @@ Scenario load_scenario(std::istream& input) {
           find_cluster(tokens[1]), find_cluster(tokens[2]),
           parse_duration(tokens[3], line_number));
     } else if (directive == "egress_price") {
+      reject_after_synth();
       exact(2, "egress_price <dollars-per-GB>");
       default_egress = parse_number(tokens[1], line_number);
       if (default_egress < 0.0) {
@@ -249,9 +304,11 @@ Scenario load_scenario(std::istream& input) {
         fail(line_number, e.what());
       }
     } else if (directive == "service") {
+      reject_after_synth();
       exact(2, "service <name>");
       scenario.app->add_service(tokens[1]);
     } else if (directive == "class") {
+      reject_after_synth();
       need(2, "class <name> [<method> <path>]");
       if (class_specs.count(tokens[1]) != 0) {
         fail(line_number, "duplicate class '" + tokens[1] + "'");
@@ -263,6 +320,7 @@ Scenario load_scenario(std::istream& input) {
       class_specs[tokens[1]] = std::move(spec);
       class_order.push_back(tokens[1]);
     } else if (directive == "call") {
+      reject_after_synth();
       need(4, "call <class> <parent|root> <service> [key=value...]");
       auto spec_it = class_specs.find(tokens[1]);
       if (spec_it == class_specs.end()) {
@@ -860,21 +918,25 @@ Scenario load_scenario(std::istream& input) {
     }
   }
 
-  // Finalize: classes, egress pricing, deployment, demand.
+  // Finalize: classes, egress pricing, deployment, demand. A synthesized
+  // world arrives with all of these already built; only overrides (deploy,
+  // demand, faults, overload) replay on top.
   if (scenario.topology->cluster_count() == 0) {
     throw std::runtime_error("scenario defines no clusters");
   }
   if (default_egress >= 0.0) {
     scenario.topology->set_uniform_egress_price(default_egress);
   }
-  for (const auto& name : class_order) {
-    auto& spec = class_specs[name];
-    if (spec.graph.empty()) {
-      throw std::runtime_error("class '" + name + "' has no root call");
+  if (!synthesized) {
+    for (const auto& name : class_order) {
+      auto& spec = class_specs[name];
+      if (spec.graph.empty()) {
+        throw std::runtime_error("class '" + name + "' has no root call");
+      }
+      classes[name].id = scenario.app->add_class(std::move(spec));
     }
-    classes[name].id = scenario.app->add_class(std::move(spec));
+    scenario.app->validate();
   }
-  scenario.app->validate();
 
   // Two explicit directives naming the same (service, cluster) target:
   // the later one would silently overwrite the earlier (Deployment
@@ -896,8 +958,10 @@ Scenario load_scenario(std::istream& input) {
     }
   }
 
-  scenario.deployment = std::make_unique<Deployment>(
-      *scenario.app, scenario.topology->cluster_count());
+  if (!synthesized) {
+    scenario.deployment = std::make_unique<Deployment>(
+        *scenario.app, scenario.topology->cluster_count());
+  }
   for (const auto& d : deploys) {
     std::vector<ServiceId> services;
     if (d.service == "*") {

@@ -571,9 +571,15 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   const bool can_reroute = config_.policy != PolicyKind::kLocalOnly;
   const bool exclude_failed = can_reroute && as->exclude.valid() &&
                               config_.failure.retry_excludes_failed;
+  // The filter runs on every attempt when breakers are armed, so it reuses
+  // a member scratch vector: a local here would heap-allocate per attempt
+  // (the chain-2c-overload allocation regression). The scratch is consumed
+  // synchronously below — route() and nearest() read it before any event is
+  // scheduled — so reuse across attempts is safe.
   const std::vector<ClusterId>* cand = &candidates;
-  std::vector<ClusterId> filtered;
+  std::vector<ClusterId>& filtered = filter_scratch_;
   if (exclude_failed || (can_reroute && breakers_ != nullptr)) {
+    filtered.clear();
     for (ClusterId c : candidates) {
       if (exclude_failed && c == as->exclude) continue;
       if (breakers_ != nullptr && !breakers_->allowed(child_svc, c, now)) {
@@ -933,6 +939,17 @@ ExperimentResult Simulation::run() {
     result_.controller_reverts = global_->reverts();
     result_.solver_holds = global_->solver_holds();
     result_.forecast_solves = global_->forecast_solves();
+    const SolveTelemetry& st = global_->solve_telemetry();
+    result_.solver_solves = st.solves;
+    result_.solver_last_seconds = st.last_seconds;
+    result_.solver_max_seconds = st.max_seconds;
+    result_.solver_total_seconds = st.total_seconds;
+    result_.solver_exact_cold = st.exact_cold;
+    result_.solver_exact_warm = st.exact_warm;
+    result_.solver_arm_fast = st.fast;
+    result_.solver_arm_ripup = st.ripup;
+    result_.solver_arm_split = st.split;
+    result_.solver_arm_hold = st.hold;
     if (const DemandForecaster* f = global_->forecaster()) {
       result_.forecast_mean_smape = f->mean_smape();
       result_.forecast_mean_confidence = f->mean_confidence();

@@ -283,6 +283,9 @@ class Simulation {
   // Previous pushed rule set, for the successive-push L1 churn signal.
   std::shared_ptr<const RoutingRuleSet> last_pushed_rules_;
   double retry_tokens_ = 0.0;  // token-bucket retry budget
+  // Reused candidate-filter scratch for start_attempt (hot path: allocating
+  // a fresh vector per attempt dominated allocs/request with breakers on).
+  std::vector<ClusterId> filter_scratch_;
 };
 
 }  // namespace slate

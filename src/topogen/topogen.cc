@@ -1,0 +1,482 @@
+#include "topogen/topogen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strfmt.h"
+
+namespace slate {
+namespace {
+
+// Stable fork tags — adding a concern must never reshuffle another's draws.
+constexpr std::uint64_t kForkCoords = 1;
+constexpr std::uint64_t kForkPlacement = 2;
+constexpr std::uint64_t kForkClassBase = 100;  // + class id
+
+std::string padded_name(char prefix, std::size_t i, std::size_t count) {
+  std::size_t width = 1;
+  for (std::size_t v = count > 0 ? count - 1 : 0; v >= 10; v /= 10) ++width;
+  std::string digits = std::to_string(i);
+  std::string out(1, prefix);
+  out.append(width > digits.size() ? width - digits.size() : 0, '0');
+  out += digits;
+  return out;
+}
+
+double zipf_weight(std::size_t rank, double skew) {
+  return std::pow(static_cast<double>(rank + 1), -skew);
+}
+
+// FNV-1a accumulation helpers for scenario_digest.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  void mix(std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    mix(std::uint64_t{s.size()});
+  }
+};
+
+}  // namespace
+
+void TopoGenOptions::validate() const {
+  if (clusters < 2) {
+    throw std::invalid_argument("topogen: clusters must be >= 2");
+  }
+  if (classes < 1) {
+    throw std::invalid_argument("topogen: classes must be >= 1");
+  }
+  if (services < classes) {
+    throw std::invalid_argument(
+        "topogen: services must be >= classes (one private entry each)");
+  }
+  if (chain_weight < 0.0 || fanout_weight < 0.0 || diamond_weight < 0.0 ||
+      chain_weight + fanout_weight + diamond_weight <= 0.0) {
+    throw std::invalid_argument("topogen: pattern weights must be >= 0, sum > 0");
+  }
+  if (depth_min < 2 || depth_max < depth_min) {
+    throw std::invalid_argument("topogen: need 2 <= depth_min <= depth_max");
+  }
+  if (width_min < 2 || width_max < width_min) {
+    throw std::invalid_argument("topogen: need 2 <= width_min <= width_max");
+  }
+  if (shared_fraction < 0.0 || shared_fraction >= 1.0 ||
+      shared_call_probability < 0.0 || shared_call_probability > 1.0) {
+    throw std::invalid_argument("topogen: shared knobs out of range");
+  }
+  if (compute_min_ms <= 0.0 || compute_max_ms < compute_min_ms) {
+    throw std::invalid_argument("topogen: bad compute time range");
+  }
+  if (request_bytes_max < request_bytes_min ||
+      response_bytes_max < response_bytes_min) {
+    throw std::invalid_argument("topogen: bad message size range");
+  }
+  if (replicas_min < 1 || replicas_max < replicas_min) {
+    throw std::invalid_argument("topogen: bad replica range");
+  }
+  if (servers_min < 1 || servers_max < servers_min) {
+    throw std::invalid_argument("topogen: bad server range");
+  }
+  if (!(target_utilization > 0.0 && target_utilization < 1.0)) {
+    throw std::invalid_argument("topogen: target_utilization must be in (0,1)");
+  }
+  if (!(total_rps > 0.0)) {
+    throw std::invalid_argument("topogen: total_rps must be > 0");
+  }
+  if (class_skew < 0.0 || cluster_skew < 0.0) {
+    throw std::invalid_argument("topogen: skews must be >= 0");
+  }
+  if (!(map_extent_ms > 0.0) || rtt_floor_ms < 0.0) {
+    throw std::invalid_argument("topogen: bad geography");
+  }
+  if (egress_near < 0.0 || egress_far < egress_near) {
+    throw std::invalid_argument("topogen: need 0 <= egress_near <= egress_far");
+  }
+}
+
+Scenario make_synth_scenario(const TopoGenOptions& options) {
+  options.validate();
+  const std::size_t C = options.clusters;
+  const std::size_t S = options.services;
+  const std::size_t K = options.classes;
+  Rng root_rng(options.seed);
+
+  Scenario scenario;
+  scenario.name = strfmt("synth-c%zu-s%zu-k%zu-seed%llu", C, S, K,
+                         static_cast<unsigned long long>(options.seed));
+
+  // --- Geography -----------------------------------------------------------
+  // Clusters on a 2D map in one-way-millisecond units; distance IS latency.
+  scenario.topology = std::make_unique<Topology>();
+  Rng coord_rng = root_rng.fork(kForkCoords);
+  std::vector<double> xs(C), ys(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    scenario.topology->add_cluster(padded_name('c', c, C));
+    xs[c] = coord_rng.uniform(0.0, options.map_extent_ms);
+    ys[c] = coord_rng.uniform(0.0, options.map_extent_ms);
+  }
+  const double diagonal = options.map_extent_ms * std::sqrt(2.0);
+  for (std::size_t a = 0; a < C; ++a) {
+    for (std::size_t b = a + 1; b < C; ++b) {
+      const double dist =
+          std::hypot(xs[a] - xs[b], ys[a] - ys[b]);  // one-way ms
+      const double one_way = (options.rtt_floor_ms * 0.5 + dist) / 1000.0;
+      scenario.topology->set_one_way_latency(ClusterId{a}, ClusterId{b}, one_way);
+      scenario.topology->set_one_way_latency(ClusterId{b}, ClusterId{a}, one_way);
+      const double price =
+          options.egress_near +
+          (options.egress_far - options.egress_near) * (dist / diagonal);
+      scenario.topology->set_egress_price(ClusterId{a}, ClusterId{b}, price);
+      scenario.topology->set_egress_price(ClusterId{b}, ClusterId{a}, price);
+    }
+  }
+
+  // --- Services: shared pool + per-class private blocks --------------------
+  scenario.app = std::make_unique<Application>();
+  for (std::size_t s = 0; s < S; ++s) {
+    scenario.app->add_service(padded_name('s', s, S));
+  }
+  const std::size_t shared_count = std::min(
+      static_cast<std::size_t>(static_cast<double>(S) * options.shared_fraction),
+      S - K);
+  // Shared pool takes the tail of the id space; the head splits round-robin
+  // into private blocks, so class k's entry service is simply id k.
+  std::vector<std::size_t> shared_pool;
+  for (std::size_t s = S - shared_count; s < S; ++s) shared_pool.push_back(s);
+  std::vector<std::vector<std::size_t>> private_block(K);
+  for (std::size_t s = 0; s < S - shared_count; ++s) {
+    private_block[s % K].push_back(s);
+  }
+
+  // --- Traffic classes: chain / fan-out / diamond mix ----------------------
+  const double pattern_weights[3] = {options.chain_weight, options.fanout_weight,
+                                     options.diamond_weight};
+  for (std::size_t k = 0; k < K; ++k) {
+    Rng rng = root_rng.fork(kForkClassBase + k);
+    const auto& block = private_block[k];
+    // Cycle fresh private services first so large service counts actually
+    // get used; fall back to uniform re-use once the block is exhausted.
+    std::size_t next_private = 1;  // 0 is the entry service
+    auto pick_service = [&](std::size_t avoid) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        std::size_t s;
+        if (!shared_pool.empty() &&
+            rng.bernoulli(options.shared_call_probability)) {
+          s = shared_pool[rng.uniform_u64(shared_pool.size())];
+        } else if (next_private < block.size()) {
+          s = block[next_private++];
+        } else {
+          s = block[rng.uniform_u64(block.size())];
+        }
+        if (s != avoid) return s;
+      }
+      return block[rng.uniform_u64(block.size())];
+    };
+    auto compute_s = [&] {
+      return rng.uniform(options.compute_min_ms, options.compute_max_ms) / 1000.0;
+    };
+    auto req_bytes = [&] {
+      return options.request_bytes_min +
+             rng.uniform_u64(options.request_bytes_max -
+                             options.request_bytes_min + 1);
+    };
+    auto resp_bytes = [&] {
+      return options.response_bytes_min +
+             rng.uniform_u64(options.response_bytes_max -
+                             options.response_bytes_min + 1);
+    };
+
+    TrafficClassSpec spec;
+    spec.name = strfmt("class-%zu", k);
+    spec.attributes.path = strfmt("/%s", spec.name.c_str());
+    const std::size_t entry = block[0];
+    const std::size_t root =
+        spec.graph.set_root(ServiceId{entry}, compute_s(), req_bytes(),
+                            resp_bytes());
+
+    switch (rng.weighted_pick(pattern_weights)) {
+      case 0: {  // deep chain
+        const std::size_t depth =
+            options.depth_min +
+            rng.uniform_u64(options.depth_max - options.depth_min + 1);
+        std::size_t parent = root;
+        std::size_t parent_svc = entry;
+        for (std::size_t d = 1; d < depth; ++d) {
+          const std::size_t svc = pick_service(parent_svc);
+          parent = spec.graph.add_call(parent, ServiceId{svc}, compute_s(),
+                                       req_bytes(), resp_bytes());
+          parent_svc = svc;
+        }
+        break;
+      }
+      case 1: {  // fan-out
+        const std::size_t width =
+            options.width_min +
+            rng.uniform_u64(options.width_max - options.width_min + 1);
+        for (std::size_t w = 0; w < width; ++w) {
+          spec.graph.add_call(root, ServiceId{pick_service(entry)}, compute_s(),
+                              req_bytes(), resp_bytes());
+        }
+        spec.graph.set_invocation_mode(root, InvocationMode::kParallel);
+        break;
+      }
+      default: {  // diamond: parallel branches reconverging on one service
+        const std::size_t width =
+            options.width_min +
+            rng.uniform_u64(options.width_max - options.width_min + 1);
+        const std::size_t join =
+            !shared_pool.empty()
+                ? shared_pool[rng.uniform_u64(shared_pool.size())]
+                : pick_service(entry);
+        for (std::size_t w = 0; w < width; ++w) {
+          const std::size_t mid =
+              spec.graph.add_call(root, ServiceId{pick_service(join)},
+                                  compute_s(), req_bytes(), resp_bytes());
+          spec.graph.add_call(mid, ServiceId{join}, compute_s(), req_bytes(),
+                              resp_bytes());
+        }
+        spec.graph.set_invocation_mode(root, InvocationMode::kParallel);
+        break;
+      }
+    }
+    scenario.app->add_class(std::move(spec));
+  }
+
+  // --- Demand: power-law class rates, rotated Zipf ingress -----------------
+  std::vector<double> class_rate(K, 0.0);
+  {
+    double norm = 0.0;
+    for (std::size_t k = 0; k < K; ++k) norm += zipf_weight(k, options.class_skew);
+    for (std::size_t k = 0; k < K; ++k) {
+      class_rate[k] = options.total_rps * zipf_weight(k, options.class_skew) / norm;
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    const std::size_t rotation = (k * 7919) % C;
+    double norm = 0.0;
+    for (std::size_t p = 0; p < C; ++p) norm += zipf_weight(p, options.cluster_skew);
+    for (std::size_t p = 0; p < C; ++p) {
+      const std::size_t c = (rotation + p) % C;
+      const double rate =
+          class_rate[k] * zipf_weight(p, options.cluster_skew) / norm;
+      scenario.demand.set_rate(ClassId{k}, ClusterId{c}, rate);
+    }
+  }
+
+  // --- Capacity planning ---------------------------------------------------
+  // Expected server-seconds/sec per service implied by the demand and call
+  // graphs; server counts target `target_utilization` so the world is
+  // feasible by construction.
+  std::vector<double> work(S, 0.0);       // server-seconds per second
+  std::vector<double> exec_rate(S, 0.0);  // executions per second
+  for (std::size_t k = 0; k < K; ++k) {
+    const CallGraph& graph = scenario.app->traffic_class(ClassId{k}).graph;
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+      const std::size_t s = graph.node(n).service.index();
+      const double execs = class_rate[k] * graph.executions_per_request(n);
+      work[s] += execs * graph.node(n).compute_time_mean;
+      exec_rate[s] += execs;
+    }
+  }
+  std::vector<bool> is_entry(S, false);
+  for (std::size_t k = 0; k < K; ++k) is_entry[private_block[k][0]] = true;
+
+  scenario.deployment = std::make_unique<Deployment>(*scenario.app, C);
+  Rng place_rng = root_rng.fork(kForkPlacement);
+  for (std::size_t s = 0; s < S; ++s) {
+    std::size_t replicas;
+    if (exec_rate[s] <= 0.0) {
+      replicas = 1;  // unused service: minimal single-site presence
+    } else if (is_entry[s]) {
+      replicas = std::min(C, options.replicas_max);  // wide front door
+    } else {
+      replicas = std::min(
+          C, options.replicas_min +
+                 place_rng.uniform_u64(options.replicas_max -
+                                       options.replicas_min + 1));
+    }
+    // Anchor + nearest neighbors, so a service's replicas form a region
+    // rather than a uniform scatter (data-locality realism).
+    const std::size_t anchor = place_rng.uniform_u64(C);
+    std::vector<std::size_t> order(C);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double da = std::hypot(xs[a] - xs[anchor], ys[a] - ys[anchor]);
+      const double db = std::hypot(xs[b] - xs[anchor], ys[b] - ys[anchor]);
+      return da != db ? da < db : a < b;
+    });
+
+    const double mean_st =
+        exec_rate[s] > 0.0 ? work[s] / exec_rate[s]
+                           : 0.5 * (options.compute_min_ms + options.compute_max_ms) /
+                                 1000.0;
+    const double servers_needed =
+        exec_rate[s] > 0.0 ? work[s] / options.target_utilization : 0.0;
+    const unsigned per_replica = static_cast<unsigned>(std::clamp(
+        std::ceil(servers_needed / static_cast<double>(replicas)),
+        static_cast<double>(options.servers_min),
+        static_cast<double>(options.servers_max)));
+    const double capacity =
+        static_cast<double>(per_replica) / std::max(mean_st, 1e-6);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      scenario.deployment->deploy(ServiceId{s}, ClusterId{order[r]}, per_replica,
+                                  capacity);
+    }
+  }
+
+  scenario.app->validate();
+  scenario.deployment->validate();
+  return scenario;
+}
+
+TopoGenOptions parse_topogen_spec(std::string_view spec) {
+  TopoGenOptions options;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("topogen spec: " + why);
+  };
+  while (pos < spec.size()) {
+    while (pos < spec.size() &&
+           (spec[pos] == ',' || spec[pos] == ' ' || spec[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= spec.size()) break;
+    std::size_t end = pos;
+    while (end < spec.size() && spec[end] != ',' && spec[end] != ' ' &&
+           spec[end] != '\t') {
+      ++end;
+    }
+    const std::string_view token = spec.substr(pos, end - pos);
+    pos = end;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      fail("expected key=value, got '" + std::string(token) + "'");
+    }
+    const std::string key(token.substr(0, eq));
+    const std::string value(token.substr(eq + 1));
+    double num = 0.0;
+    try {
+      std::size_t used = 0;
+      num = std::stod(value, &used);
+      if (used != value.size()) fail("bad number '" + value + "' for " + key);
+    } catch (const std::invalid_argument&) {
+      fail("bad number '" + value + "' for " + key);
+    }
+    auto as_count = [&] { return static_cast<std::size_t>(num); };
+
+    if (key == "seed") options.seed = static_cast<std::uint64_t>(num);
+    else if (key == "clusters") options.clusters = as_count();
+    else if (key == "services") options.services = as_count();
+    else if (key == "classes") options.classes = as_count();
+    else if (key == "chain") options.chain_weight = num;
+    else if (key == "fanout") options.fanout_weight = num;
+    else if (key == "diamond") options.diamond_weight = num;
+    else if (key == "depth_min") options.depth_min = as_count();
+    else if (key == "depth_max") options.depth_max = as_count();
+    else if (key == "width_min") options.width_min = as_count();
+    else if (key == "width_max") options.width_max = as_count();
+    else if (key == "shared") options.shared_fraction = num;
+    else if (key == "shared_call") options.shared_call_probability = num;
+    else if (key == "compute_min_ms") options.compute_min_ms = num;
+    else if (key == "compute_max_ms") options.compute_max_ms = num;
+    else if (key == "req_bytes_min") options.request_bytes_min = static_cast<std::uint64_t>(num);
+    else if (key == "req_bytes_max") options.request_bytes_max = static_cast<std::uint64_t>(num);
+    else if (key == "resp_bytes_min") options.response_bytes_min = static_cast<std::uint64_t>(num);
+    else if (key == "resp_bytes_max") options.response_bytes_max = static_cast<std::uint64_t>(num);
+    else if (key == "replicas_min") options.replicas_min = as_count();
+    else if (key == "replicas_max") options.replicas_max = as_count();
+    else if (key == "servers_min") options.servers_min = static_cast<unsigned>(num);
+    else if (key == "servers_max") options.servers_max = static_cast<unsigned>(num);
+    else if (key == "target_util") options.target_utilization = num;
+    else if (key == "total_rps") options.total_rps = num;
+    else if (key == "class_skew") options.class_skew = num;
+    else if (key == "cluster_skew") options.cluster_skew = num;
+    else if (key == "map_extent_ms") options.map_extent_ms = num;
+    else if (key == "rtt_floor_ms") options.rtt_floor_ms = num;
+    else if (key == "egress_near") options.egress_near = num;
+    else if (key == "egress_far") options.egress_far = num;
+    else fail("unknown key '" + key + "'");
+  }
+  options.validate();
+  return options;
+}
+
+std::uint64_t scenario_digest(const Scenario& scenario) {
+  Fnv fnv;
+  fnv.mix(scenario.name);
+
+  const Topology& topo = *scenario.topology;
+  const std::size_t C = topo.cluster_count();
+  fnv.mix(std::uint64_t{C});
+  for (std::size_t a = 0; a < C; ++a) {
+    fnv.mix(topo.cluster_name(ClusterId{a}));
+    for (std::size_t b = 0; b < C; ++b) {
+      fnv.mix(topo.one_way_latency(ClusterId{a}, ClusterId{b}));
+      fnv.mix(topo.egress_price_per_gb(ClusterId{a}, ClusterId{b}));
+    }
+  }
+
+  const Application& app = *scenario.app;
+  fnv.mix(std::uint64_t{app.service_count()});
+  for (std::size_t s = 0; s < app.service_count(); ++s) {
+    fnv.mix(app.service_name(ServiceId{s}));
+  }
+  fnv.mix(std::uint64_t{app.class_count()});
+  for (std::size_t k = 0; k < app.class_count(); ++k) {
+    const TrafficClassSpec& spec = app.traffic_class(ClassId{k});
+    fnv.mix(spec.name);
+    fnv.mix(spec.attributes.path);
+    fnv.mix(std::uint64_t{spec.graph.node_count()});
+    for (const CallNode& node : spec.graph.nodes()) {
+      fnv.mix(std::uint64_t{node.service.index()});
+      fnv.mix(std::uint64_t{node.parent});
+      fnv.mix(std::uint64_t{static_cast<std::uint64_t>(node.mode)});
+      fnv.mix(node.compute_time_mean);
+      fnv.mix(node.request_bytes);
+      fnv.mix(node.response_bytes);
+      fnv.mix(node.multiplicity);
+    }
+  }
+
+  const Deployment& deployment = *scenario.deployment;
+  for (std::size_t s = 0; s < app.service_count(); ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      if (!deployment.is_deployed(ServiceId{s}, ClusterId{c})) continue;
+      fnv.mix(std::uint64_t{s});
+      fnv.mix(std::uint64_t{c});
+      fnv.mix(std::uint64_t{deployment.servers(ServiceId{s}, ClusterId{c})});
+      fnv.mix(deployment.capacity_rps(ServiceId{s}, ClusterId{c}));
+    }
+  }
+
+  for (const auto& stream : scenario.demand.streams()) {
+    fnv.mix(std::uint64_t{stream.cls.index()});
+    fnv.mix(std::uint64_t{stream.cluster.index()});
+    for (const RateStep& step : stream.steps) {
+      fnv.mix(step.start_time);
+      fnv.mix(step.rps);
+    }
+  }
+  return fnv.h;
+}
+
+}  // namespace slate

@@ -1,0 +1,123 @@
+// Deterministic planet-scale scenario synthesis (docs/scenario_format.md
+// §topology-synth).
+//
+// Hand-written .slate files top out at a handful of clusters and services;
+// the paper's motivating deployments are tens of clusters and hundreds of
+// services. This generator emits a first-class Scenario — topology,
+// application, deployment, demand — from a dozen knobs and one seed, so
+// every existing gauntlet, policy arm, and subsystem (faults, overload,
+// guard, forecast) runs unchanged on big topologies:
+//
+//   - clusters are dropped on a 2D map (coordinates in milliseconds); the
+//     one-way latency between two clusters is a floor plus their euclidean
+//     distance, and the egress price interpolates from `egress_near` to
+//     `egress_far` with distance — so RTT and dollar cost are correlated,
+//     as on real clouds;
+//   - services split into per-class private blocks plus a shared
+//     infrastructure pool; each traffic class draws a call graph from the
+//     chain / fan-out / diamond mix (diamonds reconverge by targeting one
+//     shared service from parallel branches);
+//   - demand is multi-class with configurable skew: class rates follow a
+//     power law, and each class's ingress distribution is a Zipf over a
+//     per-class rotation of the clusters (no two classes load the map the
+//     same way);
+//   - capacity is planned, not guessed: expected per-station load implied
+//     by the demand and call graphs sizes server counts to a target
+//     utilization, so generated scenarios are feasible by construction and
+//     overload comes from the knobs, not from accidents.
+//
+// Generation is pure: the same options (seed included) produce a
+// byte-identical scenario on every run, independent of platform threading —
+// pinned by the golden test in tests/topogen_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/experiment.h"
+
+namespace slate {
+
+struct TopoGenOptions {
+  std::uint64_t seed = 1;
+
+  // World size. The issue-scale envelope is 20-50 clusters and 100-500
+  // services; smaller values are allowed (tests, smoke runs).
+  std::size_t clusters = 20;
+  std::size_t services = 100;
+  std::size_t classes = 8;
+
+  // Call-graph pattern mix (relative weights; need not sum to 1).
+  double chain_weight = 1.0;
+  double fanout_weight = 1.0;
+  double diamond_weight = 1.0;
+  // Chain length and diamond/fan-out width, inclusive bounds.
+  std::size_t depth_min = 3;
+  std::size_t depth_max = 6;
+  std::size_t width_min = 2;
+  std::size_t width_max = 4;
+
+  // Fraction of services placed in the shared infrastructure pool (callable
+  // from any class) instead of a single class's private block. 0 makes
+  // every class's service set disjoint — the fully decomposable case.
+  double shared_fraction = 0.25;
+  // Probability a non-root call targets the shared pool (when non-empty).
+  double shared_call_probability = 0.35;
+
+  // Per-node compute time and message size ranges.
+  double compute_min_ms = 1.0;
+  double compute_max_ms = 20.0;
+  std::uint64_t request_bytes_min = 256;
+  std::uint64_t request_bytes_max = 16384;
+  std::uint64_t response_bytes_min = 512;
+  std::uint64_t response_bytes_max = 65536;
+
+  // Placement: clusters per service (entry services always get
+  // replicas_max) and the server-count envelope per station.
+  std::size_t replicas_min = 2;
+  std::size_t replicas_max = 5;
+  unsigned servers_min = 2;
+  unsigned servers_max = 512;
+  // Server counts are sized so the expected utilization at the generated
+  // demand is about this.
+  double target_utilization = 0.55;
+
+  // Demand. Total offered load across all classes and clusters; class k's
+  // share is proportional to (k+1)^-class_skew, and its per-cluster split
+  // is a Zipf((p+1)^-cluster_skew) over a per-class rotation of the
+  // clusters.
+  double total_rps = 2000.0;
+  double class_skew = 0.8;
+  double cluster_skew = 1.0;
+
+  // Geography. Clusters land uniformly on a map_extent_ms-sized square (in
+  // one-way milliseconds); rtt_floor_ms is the same-metro floor.
+  double map_extent_ms = 120.0;
+  double rtt_floor_ms = 1.0;
+  // $/GB at zero distance and at the map diagonal.
+  double egress_near = 0.02;
+  double egress_far = 0.12;
+
+  // Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+// Generates the full scenario world. Faults/overload/guard/forecast ship
+// empty — layer them with the usual directives or RunConfig.
+Scenario make_synth_scenario(const TopoGenOptions& options);
+
+// Parses "clusters=30,services=200,seed=42" (comma- and/or
+// whitespace-separated key=value pairs) over the defaults above. Unknown
+// keys and malformed values throw std::invalid_argument. This is the
+// argument syntax of both the `topology synth` scenario directive and
+// slate_cli's `synth:<spec>` scenario selector.
+TopoGenOptions parse_topogen_spec(std::string_view spec);
+
+// Order-insensitive-free content digest of a scenario (FNV-1a over a
+// canonical serialization of topology, application, deployment, and
+// demand). Used to pin byte-identical generation across runs and across
+// serial-vs-parallel harnesses.
+std::uint64_t scenario_digest(const Scenario& scenario);
+
+}  // namespace slate

@@ -226,7 +226,8 @@ struct SolverFixture {
         model(LatencyModel::from_application(*scenario.app, 2)),
         demand(scenario.app->class_count(), 2, 0.0),
         primary(*scenario.app, *scenario.deployment, *scenario.topology, {}),
-        fast(*scenario.app, *scenario.deployment, *scenario.topology, {}) {
+        fast(*scenario.app, *scenario.deployment, *scenario.topology, {}),
+        ripup(*scenario.app, *scenario.deployment, *scenario.topology, {}) {
     demand(0, 0) = 700.0;
     demand(0, 1) = 100.0;
   }
@@ -235,14 +236,15 @@ struct SolverFixture {
   FlatMatrix<double> demand;
   RouteOptimizer primary;
   FastRouteOptimizer fast;
+  RipupRouteOptimizer ripup;
 };
 
 TEST(SolverGuard, HealthySolveSettlesOnPrimary) {
   SolverFixture f;
   SolverGuard guard(*f.scenario.app, *f.scenario.deployment,
                     *f.scenario.topology, SolverGuardOptions{});
-  const auto outcome = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                   nullptr, /*solver_down=*/false,
+  const auto outcome = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                   nullptr, nullptr, /*solver_down=*/false,
                                    /*have_last_good=*/false);
   EXPECT_EQ(outcome.rung, SolverRung::kPrimary);
   ASSERT_TRUE(outcome.result.ok());
@@ -260,15 +262,15 @@ TEST(SolverGuard, OutageHoldsFreshPlanThenActuatesCapacitySplit) {
   // Periods 1-2 of the outage: a fresh plan exists, so the ladder holds it
   // rather than actuating a demand-blind split.
   for (int i = 0; i < 2; ++i) {
-    const auto held = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                  nullptr, /*solver_down=*/true,
+    const auto held = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                  nullptr, nullptr, /*solver_down=*/true,
                                   /*have_last_good=*/true);
     EXPECT_EQ(held.rung, SolverRung::kHoldLastGood);
     EXPECT_EQ(held.result.rules, nullptr);
   }
   // Period 3: the outage drags; the split actuates.
-  const auto split = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                 nullptr, true, true);
+  const auto split = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                 nullptr, nullptr, true, true);
   EXPECT_EQ(split.rung, SolverRung::kCapacitySplit);
   ASSERT_TRUE(split.result.ok());
   split.result.rules->validate();
@@ -282,8 +284,8 @@ TEST(SolverGuard, OutageWithNoPlanSplitsImmediately) {
   SolverGuard guard(*f.scenario.app, *f.scenario.deployment,
                     *f.scenario.topology, o);
   // Nothing to hold: the split is the only serviceable rung.
-  const auto outcome = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                   nullptr, /*solver_down=*/true,
+  const auto outcome = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                   nullptr, nullptr, /*solver_down=*/true,
                                    /*have_last_good=*/false);
   EXPECT_EQ(outcome.rung, SolverRung::kCapacitySplit);
   ASSERT_NE(outcome.result.rules, nullptr);
@@ -295,15 +297,17 @@ TEST(SolverGuard, PrimaryRecoveryResetsTheDegradedStreak) {
   o.hold_fresh_periods = 2;
   SolverGuard guard(*f.scenario.app, *f.scenario.deployment,
                     *f.scenario.topology, o);
-  guard.solve(f.primary, f.fast, false, f.model, f.demand, nullptr, true, true);
-  guard.solve(f.primary, f.fast, false, f.model, f.demand, nullptr, true, true);
+  guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+              nullptr, nullptr, true, true);
+  guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+              nullptr, nullptr, true, true);
   // Recovery: one healthy solve...
-  const auto healthy = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                   nullptr, false, true);
+  const auto healthy = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                   nullptr, nullptr, false, true);
   EXPECT_EQ(healthy.rung, SolverRung::kPrimary);
   // ...re-arms the hold-fresh preference for the next outage.
-  const auto held = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                nullptr, true, true);
+  const auto held = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                nullptr, nullptr, true, true);
   EXPECT_EQ(held.rung, SolverRung::kHoldLastGood);
 }
 
@@ -314,8 +318,8 @@ TEST(SolverGuard, CapacitySplitFavorsLocalAndCoversCandidates) {
   o.hold_fresh_periods = 0;
   SolverGuard guard(*f.scenario.app, *f.scenario.deployment,
                     *f.scenario.topology, o);
-  const auto outcome = guard.solve(f.primary, f.fast, false, f.model, f.demand,
-                                   nullptr, true, false);
+  const auto outcome = guard.solve(f.primary, f.fast, f.ripup, false, f.model, f.demand,
+                                   nullptr, nullptr, true, false);
   ASSERT_EQ(outcome.rung, SolverRung::kCapacitySplit);
   const RoutingRuleSet& rules = *outcome.result.rules;
   EXPECT_GT(rules.size(), 0u);

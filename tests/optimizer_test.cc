@@ -9,6 +9,7 @@
 #include "core/optimizer.h"
 #include "net/gcp_topology.h"
 #include "runtime/scenarios.h"
+#include "topogen/topogen.h"
 
 namespace slate {
 namespace {
@@ -471,6 +472,151 @@ TEST(Optimizer, BadOptionsThrow) {
   EXPECT_THROW(RouteOptimizer(*scenario.app, *scenario.deployment,
                               *scenario.topology, options),
                std::invalid_argument);
+}
+
+// --- Warm start & per-class decomposition ------------------------------------
+
+Scenario synth_world(double shared_fraction = 0.25) {
+  TopoGenOptions options;
+  options.seed = 9;
+  options.clusters = 6;
+  options.services = 20;
+  options.classes = 4;
+  options.total_rps = 500.0;
+  options.shared_fraction = shared_fraction;
+  return make_synth_scenario(options);
+}
+
+void expect_identical_rules(const OptimizerResult& a,
+                            const OptimizerResult& b) {
+  std::size_t rules = 0;
+  a.rules->for_each([&](ClassId k, std::size_t node, ClusterId origin,
+                        const RouteWeights& w) {
+    ++rules;
+    const RouteWeights* other = b.rules->find(k, node, origin);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(other->clusters.size(), w.clusters.size());
+    for (std::size_t d = 0; d < w.clusters.size(); ++d) {
+      EXPECT_EQ(other->clusters[d].index(), w.clusters[d].index());
+      EXPECT_EQ(other->weights[d], w.weights[d]);  // bit-for-bit
+    }
+  });
+  EXPECT_GT(rules, 0u);
+}
+
+TEST(OptimizerWarmStart, UnchangedDemandIsBitForBit) {
+  const Scenario scenario = synth_world();
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const FlatMatrix<double> demand = demand_for(scenario);
+
+  OptimizerCache cache;
+  const OptimizerResult cold =
+      optimizer.optimize(model, demand, nullptr, &cache);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.warm_started);
+
+  const OptimizerResult warm =
+      optimizer.optimize(model, demand, nullptr, &cache);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(cache.memo_hits, 1u);
+  EXPECT_EQ(warm.objective, cold.objective);  // bit-for-bit, not NEAR
+  expect_identical_rules(cold, warm);
+}
+
+TEST(OptimizerWarmStart, PerturbedDemandMatchesColdSolve) {
+  const Scenario scenario = synth_world();
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const FlatMatrix<double> demand = demand_for(scenario);
+
+  OptimizerCache cache;
+  ASSERT_TRUE(optimizer.optimize(model, demand, nullptr, &cache).ok());
+
+  for (const double scale : {1.02, 0.97, 1.10}) {
+    FlatMatrix<double> perturbed = demand;
+    for (std::size_t k = 0; k < perturbed.rows(); ++k) {
+      for (std::size_t c = 0; c < perturbed.cols(); ++c) {
+        perturbed(k, c) *= scale;
+      }
+    }
+    const OptimizerResult warm =
+        optimizer.optimize(model, perturbed, nullptr, &cache);
+    const OptimizerResult cold = optimizer.optimize(model, perturbed);
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(cold.ok());
+    // Both are optimal solutions of the same LP: objectives agree to
+    // rounding even when the vertex reached differs.
+    EXPECT_NEAR(warm.objective, cold.objective,
+                1e-6 * std::max(1.0, std::fabs(cold.objective)))
+        << "scale " << scale;
+  }
+}
+
+TEST(OptimizerWarmStart, MilpModeIgnoresCacheSafely) {
+  const Scenario scenario = make_two_cluster_chain_scenario({});
+  OptimizerOptions options;
+  options.integer_routes = true;
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology, options);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const FlatMatrix<double> demand = demand_for(scenario);
+  OptimizerCache cache;
+  const OptimizerResult a = optimizer.optimize(model, demand, nullptr, &cache);
+  const OptimizerResult b = optimizer.optimize(model, demand, nullptr, &cache);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The memo still short-circuits identical input; bases stay untouched.
+  EXPECT_EQ(b.objective, a.objective);
+}
+
+TEST(OptimizerDecompose, DisjointClassesMatchWholeProblem) {
+  // shared_fraction=0 makes every class's service set private, so the
+  // partition splits into one group per class. The decomposed solve must
+  // land on the same optimum as the whole-problem LP.
+  const Scenario scenario = synth_world(0.0);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const FlatMatrix<double> demand = demand_for(scenario);
+
+  OptimizerOptions on;
+  on.decompose = true;
+  OptimizerOptions off;
+  off.decompose = false;
+  RouteOptimizer decomposed(*scenario.app, *scenario.deployment,
+                            *scenario.topology, on);
+  RouteOptimizer whole(*scenario.app, *scenario.deployment,
+                       *scenario.topology, off);
+  const OptimizerResult a = decomposed.optimize(model, demand);
+  const OptimizerResult b = whole.optimize(model, demand);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.solve_groups, 1u);
+  EXPECT_EQ(b.solve_groups, 1u);
+  EXPECT_NEAR(a.objective, b.objective,
+              1e-6 * std::max(1.0, std::fabs(b.objective)));
+  EXPECT_EQ(a.station_plans.size(), b.station_plans.size());
+}
+
+TEST(OptimizerDecompose, SharedServicesCoupleClasses) {
+  // With a shared pool, classes touching the same service must solve in one
+  // group — splitting them would let two classes each claim the full
+  // capacity of the shared station.
+  const Scenario scenario = synth_world(0.5);
+  RouteOptimizer optimizer(*scenario.app, *scenario.deployment,
+                           *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const OptimizerResult result =
+      optimizer.optimize(model, demand_for(scenario));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.solve_groups, scenario.app->class_count());
 }
 
 }  // namespace

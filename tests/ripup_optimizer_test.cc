@@ -1,0 +1,178 @@
+// Negotiated-congestion rip-up-and-reroute heuristic: always feasible,
+// conservation-clean, bounded optimality gap on worlds the exact LP can
+// also solve.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/latency_model.h"
+#include "core/optimizer.h"
+#include "core/plan_eval.h"
+#include "core/ripup_optimizer.h"
+#include "topogen/topogen.h"
+
+namespace slate {
+namespace {
+
+Scenario world(std::uint64_t seed = 3, double total_rps = 800.0) {
+  TopoGenOptions options;
+  options.seed = seed;
+  options.clusters = 8;
+  options.services = 30;
+  options.classes = 6;
+  options.total_rps = total_rps;
+  return make_synth_scenario(options);
+}
+
+FlatMatrix<double> demand_for(const Scenario& scenario) {
+  FlatMatrix<double> d(scenario.app->class_count(),
+                       scenario.topology->cluster_count(), 0.0);
+  for (const auto& stream : scenario.demand.streams()) {
+    d(stream.cls.index(), stream.cluster.index()) +=
+        scenario.demand.rate_at(stream.cls, stream.cluster, 0.0);
+  }
+  return d;
+}
+
+// A rip-up result is usable whenever it carries a complete rule set:
+// kIterationLimit just means negotiation had not fully settled when the
+// round cap hit, and the best-seen plan is still returned (the solver guard
+// upgrades that status on acceptance).
+void expect_ripup_usable(const OptimizerResult& result) {
+  ASSERT_NE(result.rules, nullptr);
+  ASSERT_TRUE(result.status == LpStatus::kOptimal ||
+              result.status == LpStatus::kIterationLimit)
+      << "status " << static_cast<int>(result.status);
+}
+
+void expect_plan_well_formed(const Scenario& scenario,
+                             const OptimizerResult& result) {
+  ASSERT_NE(result.rules, nullptr);
+  EXPECT_NO_THROW(result.rules->validate());
+  result.rules->for_each([&](ClassId k, std::size_t node, ClusterId,
+                             const RouteWeights& w) {
+    double sum = 0.0;
+    const ServiceId svc =
+        scenario.app->traffic_class(k).graph.node(node).service;
+    for (std::size_t d = 0; d < w.clusters.size(); ++d) {
+      EXPECT_GE(w.weights[d], 0.0);
+      EXPECT_TRUE(std::isfinite(w.weights[d]));
+      if (w.weights[d] > 0.0) {
+        EXPECT_TRUE(scenario.deployment->is_deployed(svc, w.clusters[d]))
+            << "weight on undeployed station";
+      }
+      sum += w.weights[d];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  });
+}
+
+TEST(RipupOptimizer, FeasibleAndConservationClean) {
+  const Scenario scenario = world();
+  const RipupRouteOptimizer ripup(*scenario.app, *scenario.deployment,
+                                  *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const OptimizerResult result = ripup.optimize(model, demand_for(scenario));
+  expect_ripup_usable(result);
+  expect_plan_well_formed(scenario, result);
+}
+
+TEST(RipupOptimizer, CoversEveryKnobTheExactSolverCovers) {
+  // Anywhere the call graph can originate a call, the heuristic must have
+  // an answer — the data plane has no other plan to fall back on.
+  const Scenario scenario = world();
+  const RipupRouteOptimizer ripup(*scenario.app, *scenario.deployment,
+                                  *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const OptimizerResult result = ripup.optimize(model, demand_for(scenario));
+  expect_ripup_usable(result);
+  const std::size_t C = scenario.topology->cluster_count();
+  for (ClassId k : scenario.app->all_classes()) {
+    const CallGraph& graph = scenario.app->traffic_class(k).graph;
+    for (std::size_t n = 1; n < graph.node_count(); ++n) {
+      const ServiceId parent_svc =
+          graph.node(graph.node(n).parent).service;
+      for (std::size_t i = 0; i < C; ++i) {
+        if (!scenario.deployment->is_deployed(parent_svc, ClusterId{i})) {
+          continue;
+        }
+        EXPECT_NE(result.rules->find(k, n, ClusterId{i}), nullptr)
+            << "class " << k.index() << " node " << n << " origin " << i;
+      }
+    }
+  }
+}
+
+TEST(RipupOptimizer, GapWithinTenPercentOfExact) {
+  const Scenario scenario = world();
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const FlatMatrix<double> demand = demand_for(scenario);
+
+  const RouteOptimizer exact(*scenario.app, *scenario.deployment,
+                             *scenario.topology);
+  const RipupRouteOptimizer ripup(*scenario.app, *scenario.deployment,
+                                  *scenario.topology);
+  const OptimizerResult exact_result = exact.optimize(model, demand);
+  const OptimizerResult ripup_result = ripup.optimize(model, demand);
+  ASSERT_TRUE(exact_result.ok());
+  expect_ripup_usable(ripup_result);
+
+  const double exact_cost =
+      evaluate_plan_cost(*scenario.app, *scenario.deployment,
+                         *scenario.topology, model, demand,
+                         *exact_result.rules);
+  const double ripup_cost =
+      evaluate_plan_cost(*scenario.app, *scenario.deployment,
+                         *scenario.topology, model, demand,
+                         *ripup_result.rules);
+  EXPECT_GT(exact_cost, 0.0);
+  EXPECT_LE(ripup_cost, exact_cost * 1.10)
+      << "gap " << (ripup_cost / exact_cost - 1.0) * 100.0 << "%";
+}
+
+TEST(RipupOptimizer, OverloadedWorldStillProducesPlan) {
+  // 4x the planned demand: stations cannot all stay under the cap, but the
+  // plan must remain a complete distribution (load shedding is the
+  // engine's job, not the router's).
+  const Scenario scenario = world(5, 800.0);
+  const RipupRouteOptimizer ripup(*scenario.app, *scenario.deployment,
+                                  *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  FlatMatrix<double> demand = demand_for(scenario);
+  for (std::size_t k = 0; k < demand.rows(); ++k) {
+    for (std::size_t i = 0; i < demand.cols(); ++i) demand(k, i) *= 4.0;
+  }
+  const OptimizerResult result = ripup.optimize(model, demand);
+  expect_ripup_usable(result);
+  expect_plan_well_formed(scenario, result);
+}
+
+TEST(RipupOptimizer, DeterministicAcrossCalls) {
+  const Scenario scenario = world();
+  const RipupRouteOptimizer ripup(*scenario.app, *scenario.deployment,
+                                  *scenario.topology);
+  const LatencyModel model = LatencyModel::from_application(
+      *scenario.app, scenario.topology->cluster_count());
+  const FlatMatrix<double> demand = demand_for(scenario);
+  const OptimizerResult a = ripup.optimize(model, demand);
+  const OptimizerResult b = ripup.optimize(model, demand);
+  expect_ripup_usable(a);
+  expect_ripup_usable(b);
+  EXPECT_EQ(a.objective, b.objective);
+  a.rules->for_each([&](ClassId k, std::size_t node, ClusterId origin,
+                        const RouteWeights& w) {
+    const RouteWeights* other = b.rules->find(k, node, origin);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(other->clusters.size(), w.clusters.size());
+    for (std::size_t d = 0; d < w.clusters.size(); ++d) {
+      EXPECT_EQ(other->weights[d], w.weights[d]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace slate

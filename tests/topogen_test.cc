@@ -1,0 +1,211 @@
+// Topology synthesis: determinism (golden digest, serial-vs-parallel),
+// structural guarantees of generated worlds, spec parsing, and the
+// `topology synth` scenario directive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/scenario_loader.h"
+#include "topogen/topogen.h"
+
+namespace slate {
+namespace {
+
+TopoGenOptions small_options() {
+  TopoGenOptions options;
+  options.seed = 7;
+  options.clusters = 6;
+  options.services = 24;
+  options.classes = 4;
+  return options;
+}
+
+// Pinned digest of the default-knob 20x100 world at seed 1. Any change to
+// the generator's output — even a reordered loop — must regenerate this
+// constant deliberately (run the test; the failure message prints the new
+// value). This is the byte-identical-across-runs guarantee.
+constexpr std::uint64_t kGoldenDigest = 0x266b63cebb84992fULL;
+
+TEST(TopoGen, GeneratesRequestedShape) {
+  const TopoGenOptions options = small_options();
+  const Scenario scenario = make_synth_scenario(options);
+  EXPECT_EQ(scenario.topology->cluster_count(), options.clusters);
+  EXPECT_EQ(scenario.app->service_count(), options.services);
+  EXPECT_EQ(scenario.app->class_count(), options.classes);
+  EXPECT_FALSE(scenario.demand.streams().empty());
+  // Feasible by construction: deployment validates, every class has demand
+  // and its entry service deployed somewhere.
+  scenario.deployment->validate();
+  for (ClassId k : scenario.app->all_classes()) {
+    const ServiceId entry =
+        scenario.app->traffic_class(k).graph.node(0).service;
+    EXPECT_FALSE(scenario.deployment->clusters_for(entry).empty())
+        << "class " << k.index() << " entry service undeployed";
+  }
+}
+
+TEST(TopoGen, TotalDemandMatchesKnob) {
+  const TopoGenOptions options = small_options();
+  const Scenario scenario = make_synth_scenario(options);
+  EXPECT_NEAR(scenario.demand.total_rate_at(0.0), options.total_rps,
+              options.total_rps * 1e-9);
+}
+
+TEST(TopoGen, LatencyAndPriceCorrelateWithDistance) {
+  const Scenario scenario = make_synth_scenario(small_options());
+  const Topology& topo = *scenario.topology;
+  const std::size_t C = topo.cluster_count();
+  // Symmetric, floored latency; price within [near, far] bounds.
+  const TopoGenOptions o = small_options();
+  for (std::size_t a = 0; a < C; ++a) {
+    for (std::size_t b = a + 1; b < C; ++b) {
+      const double ab = topo.one_way_latency(ClusterId{a}, ClusterId{b});
+      const double ba = topo.one_way_latency(ClusterId{b}, ClusterId{a});
+      EXPECT_DOUBLE_EQ(ab, ba);
+      EXPECT_GE(ab, o.rtt_floor_ms / 2.0 * 1e-3);
+      const double price = topo.egress_price_per_gb(ClusterId{a}, ClusterId{b});
+      EXPECT_GE(price, o.egress_near - 1e-12);
+      EXPECT_LE(price, o.egress_far + 1e-12);
+    }
+  }
+}
+
+TEST(TopoGen, ByteIdenticalAcrossRuns) {
+  const TopoGenOptions options = small_options();
+  const std::uint64_t a = scenario_digest(make_synth_scenario(options));
+  const std::uint64_t b = scenario_digest(make_synth_scenario(options));
+  EXPECT_EQ(a, b);
+}
+
+TEST(TopoGen, DifferentSeedsDiffer) {
+  TopoGenOptions options = small_options();
+  const std::uint64_t a = scenario_digest(make_synth_scenario(options));
+  options.seed = 8;
+  const std::uint64_t b = scenario_digest(make_synth_scenario(options));
+  EXPECT_NE(a, b);
+}
+
+TEST(TopoGen, GoldenDigestDefaultWorld) {
+  const TopoGenOptions options;  // 20x100x8, seed 1
+  const std::uint64_t digest = scenario_digest(make_synth_scenario(options));
+  EXPECT_EQ(digest, kGoldenDigest)
+      << "generator output changed; new digest 0x" << std::hex << digest;
+}
+
+TEST(TopoGen, SerialVsParallelIdentical) {
+  // Generation must not depend on global state or host threading: four
+  // concurrent generators produce the serial digest, bit for bit.
+  const TopoGenOptions options = small_options();
+  const std::uint64_t serial = scenario_digest(make_synth_scenario(options));
+  std::vector<std::uint64_t> digests(4, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(digests.size());
+  for (std::size_t t = 0; t < digests.size(); ++t) {
+    workers.emplace_back([&, t] {
+      digests[t] = scenario_digest(make_synth_scenario(options));
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::uint64_t d : digests) EXPECT_EQ(d, serial);
+}
+
+// --- Spec parsing ------------------------------------------------------------
+
+TEST(TopoGenSpec, ParsesKeyValuePairs) {
+  const TopoGenOptions o =
+      parse_topogen_spec("clusters=30,services=200 classes=12\tseed=42");
+  EXPECT_EQ(o.clusters, 30u);
+  EXPECT_EQ(o.services, 200u);
+  EXPECT_EQ(o.classes, 12u);
+  EXPECT_EQ(o.seed, 42u);
+  // Untouched knobs keep their defaults.
+  EXPECT_DOUBLE_EQ(o.target_utilization, TopoGenOptions{}.target_utilization);
+}
+
+TEST(TopoGenSpec, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(parse_topogen_spec("cluster=5"), std::invalid_argument);
+  EXPECT_THROW(parse_topogen_spec("clusters=banana"), std::invalid_argument);
+  EXPECT_THROW(parse_topogen_spec("clusters"), std::invalid_argument);
+  EXPECT_THROW(parse_topogen_spec("clusters=1"), std::invalid_argument);
+  EXPECT_THROW(parse_topogen_spec("services=2,classes=8"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topogen_spec("target_util=1.5"), std::invalid_argument);
+}
+
+// --- The `topology synth` directive ------------------------------------------
+
+TEST(TopoGenDirective, LoadsAndMatchesDirectGeneration) {
+  const Scenario loaded = load_scenario_from_string(
+      "topology synth clusters=6 services=24 classes=4 seed=7\n");
+  const Scenario direct = make_synth_scenario(small_options());
+  EXPECT_EQ(scenario_digest(loaded), scenario_digest(direct));
+}
+
+TEST(TopoGenDirective, LayersDemandAndFaultsOnTop) {
+  const Scenario scenario = load_scenario_from_string(
+      "scenario layered\n"
+      "topology synth clusters=6 services=24 classes=4 seed=7\n"
+      "demand class-0 c0 @30s 250\n"
+      "fault outage c1 @10s 5s\n"
+      "overload priority class-1 2\n");
+  EXPECT_EQ(scenario.name, "layered");
+  const ClassId k0 = scenario.app->find_class("class-0");
+  ASSERT_TRUE(k0.valid());
+  const ClusterId c0 = scenario.topology->find_cluster("c0");
+  ASSERT_TRUE(c0.valid());
+  // The synthesized baseline rate still applies before the override kicks in.
+  EXPECT_GT(scenario.demand.rate_at(k0, c0, 31.0), 0.0);
+  EXPECT_EQ(scenario.faults.size(), 1u);
+  ASSERT_GE(scenario.overload.queue.class_priority.size(), 2u);
+  EXPECT_EQ(scenario.overload.queue.class_priority[1], 2);
+}
+
+TEST(TopoGenDirective, DeployOverrideApplies) {
+  const Scenario scenario = load_scenario_from_string(
+      "topology synth clusters=6 services=24 classes=4 seed=7\n"
+      "deploy s00 c0 servers=9 capacity=1234\n");
+  const ServiceId s = scenario.app->find_service("s00");
+  const ClusterId c = scenario.topology->find_cluster("c0");
+  ASSERT_TRUE(s.valid());
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(scenario.deployment->servers(s, c), 9u);
+  EXPECT_DOUBLE_EQ(scenario.deployment->capacity_rps(s, c), 1234.0);
+}
+
+TEST(TopoGenDirective, RejectsStructuralDirectivesAfterSynth) {
+  EXPECT_THROW(load_scenario_from_string(
+                   "topology synth clusters=6 services=24 classes=4\n"
+                   "cluster extra\n"),
+               std::runtime_error);
+  EXPECT_THROW(load_scenario_from_string(
+                   "topology synth clusters=6 services=24 classes=4\n"
+                   "service extra\n"),
+               std::runtime_error);
+  EXPECT_THROW(load_scenario_from_string(
+                   "topology synth clusters=6 services=24 classes=4\n"
+                   "topology synth clusters=6 services=24 classes=4\n"),
+               std::runtime_error);
+}
+
+TEST(TopoGenDirective, RejectsSynthAfterStructuralDirectives) {
+  EXPECT_THROW(load_scenario_from_string(
+                   "cluster west\n"
+                   "topology synth clusters=6 services=24 classes=4\n"),
+               std::runtime_error);
+}
+
+TEST(TopoGenDirective, BadSpecFailsWithLineNumber) {
+  try {
+    (void)load_scenario_from_string("topology synth clusters=banana\n");
+    FAIL() << "expected a loader error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace slate

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Compare a fresh micro_simulator run against the committed perf baseline.
+"""Compare a fresh bench run against its committed perf baseline.
 
 Usage:
     check_bench_regression.py CURRENT.json [BASELINE.json] [--threshold=0.25]
 
-Exits non-zero if any (case, policy) run's events_per_sec regressed by more
-than the threshold fraction relative to the baseline (BENCH_simulator.json
-at the repo root by default). Faster-than-baseline results and allocation
-deltas are reported but never fail the check — CI machines vary; a >25%
-events/sec drop on the same machine class is a real regression, not noise.
+Exits non-zero if any (case, policy) run's throughput metric regressed by
+more than the threshold fraction relative to the baseline
+(BENCH_simulator.json at the repo root by default). The metric is whichever
+rate field the run carries: events_per_sec (micro_simulator) or
+solves_per_sec (micro_optimizer_scaling) — so one gate covers both the
+engine bench and the solver solve-time curve. Faster-than-baseline results
+and allocation deltas are reported but never fail the check — CI machines
+vary; a >25% throughput drop on the same machine class is a real
+regression, not noise.
 
 Cases present on only one side never fail the check: new cases missing
 from the baseline are reported and skipped, and baseline cases missing
@@ -21,6 +25,19 @@ log without blocking unrelated changes. Regenerate the baseline with
 import json
 import pathlib
 import sys
+
+
+METRIC_KEYS = ("events_per_sec", "solves_per_sec")
+
+
+def metric_of(run, path):
+    for key in METRIC_KEYS:
+        if key in run:
+            return run[key]
+    sys.exit(
+        f"error: run {run.get('case')}/{run.get('policy')} in {path} has "
+        f"none of {METRIC_KEYS}"
+    )
 
 
 def load_runs(path):
@@ -58,7 +75,7 @@ def main(argv):
     failures = []
     warnings = []
     header = (
-        f"    {'case/policy':28s} {'base ev/s':>12s} {'cur ev/s':>12s} "
+        f"    {'case/policy':28s} {'base rate':>12s} {'cur rate':>12s} "
         f"{'delta':>8s} {'allocs/evt':>16s}"
     )
     print(header)
@@ -68,17 +85,17 @@ def main(argv):
         cur = current.get(key)
         if cur is None:
             warnings.append(f"{name}: in baseline but missing from the current run")
-            print(f"WRN {name:28s} {base['events_per_sec']:12,.0f} {'-':>12s}")
+            print(f"WRN {name:28s} {metric_of(base, baseline_path):12,.0f} {'-':>12s}")
             continue
-        base_eps = base["events_per_sec"]
-        cur_eps = cur["events_per_sec"]
+        base_eps = metric_of(base, baseline_path)
+        cur_eps = metric_of(cur, current_path)
         delta = (cur_eps - base_eps) / base_eps
         marker = "OK "
         if delta < -threshold:
             marker = "REG"
             failures.append(
-                f"{name}: events/sec {cur_eps:,.0f} vs baseline "
-                f"{base_eps:,.0f} ({delta:+.1%} < -{threshold:.0%})"
+                f"{name}: rate {cur_eps:,.0f}/s vs baseline "
+                f"{base_eps:,.0f}/s ({delta:+.1%} < -{threshold:.0%})"
             )
         alloc_note = f"{'-':>16s}"
         if "allocs_per_event" in base and "allocs_per_event" in cur:
@@ -95,7 +112,7 @@ def main(argv):
         cur = current[key]
         name = f"{key[0]}/{key[1]}"
         print(
-            f"NEW {name:28s} {'-':>12s} {cur['events_per_sec']:12,.0f} "
+            f"NEW {name:28s} {'-':>12s} {metric_of(cur, current_path):12,.0f} "
             f"{'-':>8s} (not in baseline, skipped)"
         )
 
