@@ -6,6 +6,7 @@
 // fan-out, fractional sub-calls, 50KB media responses) on the real GCP
 // topology with one hot region, comparing every policy in the library.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "net/gcp_topology.h"
@@ -15,6 +16,16 @@ using namespace slate;
 
 int main() {
   bench::print_header("Extension", "social-network app on the GCP topology");
+
+  // SLATE_SHARDS=<n> runs every job on the sharded engine with up to n
+  // workers (0 / unset = legacy serial engine). Results are byte-identical
+  // across worker counts, so CI's TSan smoke uses this to race-test the
+  // exact workload measured here.
+  std::size_t shards = 0;
+  if (const char* env = std::getenv("SLATE_SHARDS")) {
+    shards = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    std::printf("sharded engine: SLATE_SHARDS=%zu\n", shards);
+  }
 
   Scenario scenario = make_uniform_scenario(
       "social-network", make_social_network_app(), make_gcp_topology(), 2);
@@ -37,6 +48,7 @@ int main() {
   config.duration = 60.0;
   config.warmup = 15.0;
   config.seed = 71;
+  config.shards = shards;
 
   // Five policies, one grid job each.
   std::vector<GridJob> jobs;

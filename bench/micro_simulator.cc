@@ -11,6 +11,7 @@
 // The routing execution logic "should be simple and heavily optimized since
 // it is in the critical path of request processing" (paper §3.1) — this is
 // the bench that keeps the engine honest about it.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include "bench_util.h"
 #include "net/gcp_topology.h"
 #include "runtime/scenarios.h"
+#include "topogen/topogen.h"
 #include "workload/generators.h"
 
 // --- Counting allocator hook ------------------------------------------------
@@ -99,34 +101,47 @@ struct Measurement {
   }
 };
 
+// Measured passes per case; the reported row is the pass with the median
+// wall time (a full Measurement from one real pass, so events/allocs stay
+// mutually consistent — no cross-pass averaging).
+constexpr int kRepeats = 5;
+
 Measurement run_case(const char* name, const Scenario& scenario,
                      const RunConfig& config) {
   // Warm the scenario once (first-touch allocations: model fitting, rule
-  // tables, station setup) so the measured pass reflects steady state.
+  // tables, station setup) so the measured passes reflect steady state.
   {
     RunConfig warm = config;
     warm.duration = std::min(config.duration, config.warmup + 2.0);
     (void)run_experiment(scenario, warm);
   }
 
-  const std::uint64_t alloc0 = g_alloc_count.load(std::memory_order_relaxed);
-  const std::uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
-  const auto t0 = std::chrono::steady_clock::now();
-  const ExperimentResult r = run_experiment(scenario, config);
-  const auto t1 = std::chrono::steady_clock::now();
+  std::vector<Measurement> passes;
+  passes.reserve(kRepeats);
+  for (int i = 0; i < kRepeats; ++i) {
+    const std::uint64_t alloc0 = g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExperimentResult r = run_experiment(scenario, config);
+    const auto t1 = std::chrono::steady_clock::now();
 
-  Measurement m;
-  m.name = name;
-  m.policy = to_string(config.policy);
-  m.wall_ms =
-      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 -
-                                                                            t0)
-          .count();
-  m.events = r.sim_events;
-  m.requests = r.generated;
-  m.allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
-  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
-  return m;
+    Measurement m;
+    m.name = name;
+    m.policy = to_string(config.policy);
+    m.wall_ms = std::chrono::duration_cast<
+                    std::chrono::duration<double, std::milli>>(t1 - t0)
+                    .count();
+    m.events = r.sim_events;
+    m.requests = r.generated;
+    m.allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
+    m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+    passes.push_back(m);
+  }
+  std::sort(passes.begin(), passes.end(),
+            [](const Measurement& a, const Measurement& b) {
+              return a.wall_ms < b.wall_ms;
+            });
+  return passes[passes.size() / 2];
 }
 
 }  // namespace
@@ -207,6 +222,31 @@ int main(int argc, char** argv) {
     RunConfig c = config;
     c.policy = PolicyKind::kSlate;
     rows.push_back(run_case("social-gcp", scenario, c));
+    // The same world on the sharded engine: one event loop per latency
+    // island, conservative lookahead from the inter-island RTT floor, and
+    // the resolve_tolerance gate armed (steady demand should not re-solve
+    // every period; the floor keeps sub-128-RPS Poisson noise from forcing
+    // one). This is the production configuration for large steady runs.
+    RunConfig s = c;
+    s.shards = 8;
+    s.slate.resolve_tolerance = 0.15;
+    s.slate.resolve_floor_rps = 128.0;
+    rows.push_back(run_case("social-gcp-sharded", scenario, s));
+  }
+  {
+    // Planet-scale synthetic world (docs/scenario_format.md §topology-synth):
+    // 30 clusters x 200 services, sharded. Prices the engine at the paper's
+    // motivating scale rather than the hand-written 4-cluster scenarios.
+    const Scenario scenario = make_synth_scenario(
+        parse_topogen_spec("clusters=30,services=200,seed=11"));
+    RunConfig c = config;
+    c.policy = PolicyKind::kSlate;
+    c.duration = 10.0;
+    c.warmup = 2.0;
+    c.shards = 8;
+    c.slate.resolve_tolerance = 0.15;
+    c.slate.resolve_floor_rps = 128.0;
+    rows.push_back(run_case("synth-30x200", scenario, c));
   }
 
   std::printf("%-18s %-12s %10s %12s %14s %12s %12s\n", "case", "policy",
@@ -232,6 +272,7 @@ int main(int argc, char** argv) {
   json.field("bench", "micro_simulator");
   json.field("duration_s", config.duration);
   json.field("seed", config.seed);
+  json.field("repeats", kRepeats);
   json.begin_array("runs");
   for (const Measurement& m : rows) {
     json.begin_object();

@@ -151,6 +151,8 @@ int main(int argc, char** argv) {
       if (seeds == 0) seeds = 1;
     } else if (parse_flag(argv[i], "--jobs", &value)) {
       jobs = std::stoull(value);
+    } else if (parse_flag(argv[i], "--shards", &value)) {
+      config.shards = std::stoull(value);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;

@@ -79,8 +79,7 @@ bool ServiceStation::submit(const JobSpec& spec, Completion on_complete) {
     if (victim == queue_.size()) {
       return reject(JobOutcome::kShedQueueFull);
     }
-    Job evictee = std::move(queue_[victim]);
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    Job evictee = queue_.erase(victim);
     ++evicted_;
     ++submitted_;
     queue_.push_back(Job{spec.service_time_mean, std::move(on_complete), now,
@@ -121,10 +120,19 @@ void ServiceStation::observe_queue_delay(double delay) noexcept {
   }
 }
 
+std::uint32_t ServiceStation::acquire_slot() {
+  if (free_slot_ != kNilSlot) {
+    const std::uint32_t slot = free_slot_;
+    free_slot_ = inflight_[slot].next_free;
+    return slot;
+  }
+  inflight_.emplace_back();
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
+}
+
 void ServiceStation::try_dispatch() {
   while (busy_ < servers_ && !queue_.empty()) {
-    Job job = std::move(queue_.front());
-    queue_.pop_front();
+    Job job = queue_.pop_front();
     const double now = sim_.now();
     const double queue_seconds = now - job.enqueue_time;
     queue_delay_window_.add(queue_seconds);
@@ -147,22 +155,28 @@ void ServiceStation::try_dispatch() {
       // deadline propagation eliminates, made measurable.
       wasted_server_seconds_ += service_time;
     }
-    // Capture exactly {this, completion, 2 doubles} = 64 bytes — inline in
-    // the simulator's callback buffer, no heap allocation per job.
-    sim_.schedule_after(
-        service_time,
-        [this, on_complete = std::move(job.on_complete), queue_seconds,
-         service_time]() mutable {
-          finish_job(std::move(on_complete), queue_seconds, service_time);
-        });
+    // Park the job in a slot; the completion event captures {this, slot}.
+    const std::uint32_t slot = acquire_slot();
+    InFlight& in = inflight_[slot];
+    in.on_complete = std::move(job.on_complete);
+    in.queue_seconds = queue_seconds;
+    in.service_seconds = service_time;
+    sim_.schedule_after(service_time, [this, slot] { finish_slot(slot); });
   }
 }
 
-void ServiceStation::finish_job(Completion on_complete, double queue_seconds,
-                                double service_seconds) {
+void ServiceStation::finish_slot(std::uint32_t slot) {
   account_busy_time();
   --busy_;
   ++completed_;
+  // Free the slot before firing: the completion may re-enter submit().
+  InFlight& in = inflight_[slot];
+  Completion on_complete = std::move(in.on_complete);
+  const double queue_seconds = in.queue_seconds;
+  const double service_seconds = in.service_seconds;
+  in.on_complete = nullptr;
+  in.next_free = free_slot_;
+  free_slot_ = slot;
   if (on_complete) {
     on_complete(JobOutcome::kServed, queue_seconds, service_seconds);
   }

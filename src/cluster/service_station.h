@@ -16,12 +16,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "util/ids.h"
 #include "util/inline_function.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -151,9 +152,23 @@ class ServiceStation {
     double deadline = kNoDeadline;
   };
 
+  // One job currently occupying a server. Parked in a slot table so the
+  // service-completion event captures only {this, slot} — 16 bytes, inline
+  // in the simulator's callback buffer. Capturing the Completion itself
+  // would push the closure past the 64-byte buffer and heap-allocate once
+  // per served job (the dominant allocation on fan-out-heavy workloads).
+  struct InFlight {
+    Completion on_complete;
+    double queue_seconds = 0.0;
+    double service_seconds = 0.0;
+    std::uint32_t next_free = kNilSlot;
+  };
+  static constexpr std::uint32_t kNilSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
   void try_dispatch();
-  void finish_job(Completion on_complete, double queue_seconds,
-                  double service_seconds);
+  void finish_slot(std::uint32_t slot);
+  [[nodiscard]] std::uint32_t acquire_slot();
   void account_busy_time() noexcept;
   // CoDel bookkeeping at dispatch time; returns whether the shedder is
   // currently rejecting arrivals.
@@ -165,7 +180,9 @@ class ServiceStation {
   ClusterId cluster_;
   unsigned servers_;
   unsigned busy_ = 0;
-  std::deque<Job> queue_;
+  RingBuffer<Job> queue_;
+  std::vector<InFlight> inflight_;
+  std::uint32_t free_slot_ = kNilSlot;
   StationOverloadConfig overload_;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;

@@ -298,6 +298,30 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
   for (double d : solve_demand.data()) total_demand += d;
   if (!(total_demand > 0.0) || !std::isfinite(total_demand)) return nullptr;
 
+  // 4a. Re-solve gate: once a plan exists, a period whose demand moved less
+  // than resolve_tolerance in every cell keeps it — a steady-state workload
+  // should not pay a full solve (or churn rules) every control period.
+  if (options_.resolve_tolerance > 0.0 && current_rules_ != nullptr &&
+      current_rules_->size() > 0 &&
+      last_solved_demand_.data().size() == solve_demand.data().size() &&
+      !solve_demand.data().empty()) {
+    double worst = 0.0;
+    const std::vector<double>& prev = last_solved_demand_.data();
+    const std::vector<double>& cur = solve_demand.data();
+    const double floor = std::max(options_.resolve_floor_rps, 1.0);
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      // Absolute floor: noise in a cell below the floor is not movement.
+      const double scale =
+          std::max({std::abs(prev[i]), std::abs(cur[i]), floor});
+      worst = std::max(worst, std::abs(cur[i] - prev[i]) / scale);
+    }
+    if (worst <= options_.resolve_tolerance) {
+      ++resolve_skips_;
+      return nullptr;  // demand is flat: hold current rules, skip the solve
+    }
+  }
+  last_solved_demand_ = solve_demand;
+
   // Wall-clock the whole solve (whichever arm ends up producing the plan)
   // and classify the arm for the run summary. Measurement only — see
   // SolveTelemetry.

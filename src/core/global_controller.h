@@ -70,6 +70,19 @@ struct GlobalControllerOptions {
   double demand_smoothing = 0.6;
   std::size_t sample_capacity = 256;
 
+  // Re-solve gate: when > 0, a period whose solve demand moved less than
+  // this relative amount in every cell since the last actual solve keeps the
+  // current rules and skips the optimization entirely (no churn, no solver
+  // wall time). 0 solves every period (legacy behavior). Cells below
+  // `resolve_floor_rps` are compared on that absolute floor so small-cell
+  // noise cannot force a solve: a Poisson cell at rate r fluctuates by
+  // ~sqrt(2r) between periods, which exceeds any sane relative tolerance
+  // until r is in the hundreds — raise the floor toward the workload's hot
+  // cells when arming the gate on steady demand (a 20-RPS cell moving 6 RPS
+  // is noise; a 700-RPS cell moving 100 is a shift).
+  double resolve_tolerance = 0.0;
+  double resolve_floor_rps = 1.0;
+
   // Missing-report tolerance. A cluster whose report has not arrived for
   // more than `stale_after_periods` control periods (telemetry blackout,
   // partition, dead controller) has its demand estimate decayed by
@@ -201,6 +214,11 @@ class GlobalController {
   [[nodiscard]] std::uint64_t solver_holds() const noexcept {
     return solver_holds_;
   }
+  // Periods skipped by the resolve_tolerance gate (demand moved too little
+  // to justify a re-solve).
+  [[nodiscard]] std::uint64_t resolve_skips() const noexcept {
+    return resolve_skips_;
+  }
 
   // Guard stages; null when the corresponding gate is disabled.
   [[nodiscard]] const ReportValidator* validator() const noexcept {
@@ -263,6 +281,10 @@ class GlobalController {
   std::shared_ptr<const RoutingRuleSet> previous_rules_;
   OptimizerResult last_result_;
 
+  // Demand matrix of the last period that actually solved; empty until the
+  // first solve. Input to the resolve_tolerance gate.
+  FlatMatrix<double> last_solved_demand_;
+
   // Guardrail state.
   bool pending_eval_ = false;
   double baseline_e2e_ = -1.0;
@@ -279,6 +301,7 @@ class GlobalController {
   std::uint64_t reverts_ = 0;
   std::uint64_t optimizations_ = 0;
   std::uint64_t solver_holds_ = 0;
+  std::uint64_t resolve_skips_ = 0;
   std::uint64_t forecast_solves_ = 0;
 };
 

@@ -24,6 +24,18 @@ std::uint64_t EgressMeter::egress_bytes(ClusterId from, ClusterId to) const {
   return bytes_(from.index(), to.index());
 }
 
+void EgressMeter::absorb(const EgressMeter& other) {
+  const std::size_t n = bytes_.rows();
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      bytes_(f, t) += other.bytes_(f, t);
+    }
+  }
+  total_egress_bytes_ += other.total_egress_bytes_;
+  total_local_bytes_ += other.total_local_bytes_;
+  total_cost_ += other.total_cost_;
+}
+
 void EgressMeter::reset() noexcept {
   bytes_.fill(0);
   total_egress_bytes_ = 0;

@@ -32,6 +32,10 @@ class EgressMeter {
 
   void reset() noexcept;
 
+  // Adds another meter's counters into this one (same topology shape).
+  // Used to merge per-shard meters into the run total.
+  void absorb(const EgressMeter& other);
+
  private:
   const Topology* topology_;
   FlatMatrix<std::uint64_t> bytes_;

@@ -109,6 +109,15 @@ struct RunConfig {
   // Retained spans (0 disables tracing).
   std::size_t trace_capacity = 0;
 
+  // Parallel sharded execution (docs/performance.md). 0 runs the legacy
+  // serial engine, bit-identical to previous releases. Any value >= 1
+  // partitions the simulation into one logical process per latency island
+  // (for GCP-like topologies, per cluster) under conservative-lookahead
+  // synchronization, with up to `shards` worker threads; shards=1 runs the
+  // same partitioned schedule single-threaded. All sharded runs of a config
+  // produce identical results regardless of the shard count.
+  std::size_t shards = 0;
+
   // Horizontal autoscaling of every station (paper §5 interaction study).
   bool autoscaler_enabled = false;
   AutoscalerOptions autoscaler;
@@ -236,6 +245,9 @@ struct ExperimentResult {
   std::uint64_t guard_interpolations = 0;   // admission: last-good substitutions
   std::uint64_t solver_fallbacks = 0;       // solves settled below rung 0
   std::uint64_t solver_holds = 0;           // periods held with no usable plan
+  // Periods skipped by the resolve_tolerance gate (demand flat since the
+  // last solve; rules held with zero churn and zero solver time).
+  std::uint64_t solver_resolve_skips = 0;
 
   // Per-period solver wall time and arm selection (SLATE runs only; see
   // SolveTelemetry in core/global_controller.h). Measurement-only: reported

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "core/routing_rules.h"
 #include "routing/local_only.h"
@@ -37,6 +39,23 @@ class Simulation::LiveLoadView final : public LoadView {
   std::vector<RateMeter> meters_;
 };
 
+// Sharded Waterfall load signal: islands observe into private meters during
+// a window; the barrier hook sums them into the shared snapshot this view
+// reads. At most one lookahead window stale — the same kind of staleness a
+// distributed load-report bus has.
+class Simulation::SnapshotLoadView final : public LoadView {
+ public:
+  explicit SnapshotLoadView(const FlatMatrix<double>& snapshot)
+      : snapshot_(&snapshot) {}
+
+  [[nodiscard]] double load_rps(ServiceId s, ClusterId c) const override {
+    return (*snapshot_)(s.index(), c.index());
+  }
+
+ private:
+  const FlatMatrix<double>* snapshot_;
+};
+
 Simulation::~Simulation() = default;
 
 Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
@@ -44,12 +63,10 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
       config_(config),
       cluster_count_(scenario.topology->cluster_count()),
       rng_root_(config.seed),
-      rng_routing_(rng_root_.fork(2)),
       // Forking mutates the parent stream; the chaos stream forks a fresh
       // copy of the seed so arming it never perturbs the workload/station/
       // routing draws of an otherwise-identical run.
       rng_chaos_([&config] { return Rng(config.seed).fork(3); }()),
-      egress_(*scenario.topology),
       traces_(config.trace_capacity) {
   const Application& app = *scenario_.app;
   app.validate();
@@ -83,7 +100,9 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
     }
     priority_by_class_[k] = overload_.queue.priority_of(ClassId{k});
   }
-  if (overload_.breaker.enabled) {
+  if (overload_.breaker.enabled && config_.shards == 0) {
+    // Legacy engine: one shared bank. The sharded engine gives each island
+    // its own (caller-side health is island-local state).
     breakers_ = std::make_unique<CircuitBreakerBank>(overload_.breaker, S,
                                                      cluster_count_);
   }
@@ -124,11 +143,33 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
     config_.slate.forecast = effective;
   }
 
-  // Fault injection: the scenario's shipped plan plus the config's.
+  // Execution engine. The island partition and the conservative lookahead
+  // derive from the topology alone, so the schedule is independent of the
+  // worker-thread count (byte-identical output for any --shards >= 1).
+  if (config_.shards > 0) {
+    compute_islands();
+    // Worker threads clamp to hardware as well as to the island count:
+    // oversubscribing cores buys nothing but context switches, and the
+    // schedule (hence the output) never depends on the worker count.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    sharded_ = std::make_unique<ShardedSimulator>(
+        island_count_, lookahead_,
+        std::min({config_.shards, island_count_, hw}));
+  } else {
+    island_of_.assign(cluster_count_, 0);
+    island_count_ = 1;
+    lookahead_ = std::numeric_limits<double>::infinity();
+  }
+
+  // Fault injection: the scenario's shipped plan plus the config's. Fault
+  // transitions are control-plane events; they run on the global timeline
+  // (at window barriers when sharded) so every island observes each
+  // transition at the same boundary.
   FaultPlan merged = scenario_.faults;
   merged.append(config_.faults);
   if (!merged.empty()) {
-    injector_ = std::make_unique<FaultInjector>(sim_, std::move(merged),
+    injector_ = std::make_unique<FaultInjector>(global_sim(), std::move(merged),
                                                 cluster_count_, S);
   }
 
@@ -141,7 +182,54 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
         std::make_shared<WeightedRulesPolicy>(*scenario_.topology));
   }
 
-  // Stations and proxies where deployed.
+  // Execution contexts. The fork order on the root stream is load-bearing
+  // and mirrors the legacy engine exactly: fork(2) routing (here), fork(1)
+  // stations (below), fork(0) workload (in run()).
+  Rng routing_parent = rng_root_.fork(2);
+  const std::size_t n_ctx = sharded_ != nullptr ? island_count_ : 1;
+  ctxs_.reserve(n_ctx);
+  for (std::size_t i = 0; i < n_ctx; ++i) {
+    auto cx = std::make_unique<ExecCtx>(
+        *scenario_.topology, sharded_ != nullptr ? config_.trace_capacity : 0);
+    cx->island = static_cast<std::uint32_t>(i);
+    if (sharded_ != nullptr) {
+      cx->sim = &sharded_->lp(i);
+      // Per-island routing stream: each island forks the same parent state
+      // with its own tag, so streams are decorrelated and — critically —
+      // independent of every other island's draw count. A single island
+      // takes the parent stream itself and reproduces the legacy engine's
+      // draws exactly.
+      if (island_count_ == 1) {
+        cx->rng_routing = routing_parent;
+      } else {
+        Rng parent = routing_parent;
+        cx->rng_routing = parent.fork(i);
+      }
+      // Island-tagged id counters keep merged traces collision-free.
+      cx->next_request = static_cast<std::uint64_t>(i) << 24;
+      cx->next_span = (static_cast<std::uint64_t>(i) << 48) | 1;
+      cx->res_owned = std::make_unique<ExperimentResult>();
+      cx->res = cx->res_owned.get();
+      cx->traces = cx->traces_owned.enabled() ? &cx->traces_owned : nullptr;
+      if (overload_.breaker.enabled) {
+        cx->breakers_owned = std::make_unique<CircuitBreakerBank>(
+            overload_.breaker, S, cluster_count_);
+        cx->breakers = cx->breakers_owned.get();
+      }
+      if (config_.policy == PolicyKind::kWaterfall) {
+        cx->load_meters.assign(S * cluster_count_, RateMeter(1.0));
+      }
+    } else {
+      cx->sim = &sim_;
+      cx->rng_routing = routing_parent;  // the legacy fork(2) stream itself
+      cx->res = &result_;
+      cx->traces = traces_.enabled() ? &traces_ : nullptr;
+      cx->breakers = breakers_.get();
+    }
+    ctxs_.push_back(std::move(cx));
+  }
+
+  // Stations and proxies where deployed, each on its cluster's island.
   stations_.resize(S * cluster_count_);
   proxies_.resize(S * cluster_count_);
   Rng station_rng = rng_root_.fork(1);
@@ -151,8 +239,8 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
       const ClusterId cluster{c};
       if (!scenario_.deployment->is_deployed(svc, cluster)) continue;
       stations_[station_index(svc, cluster)] = std::make_unique<ServiceStation>(
-          sim_, station_rng.fork(s * cluster_count_ + c), svc, cluster,
-          scenario_.deployment->servers(svc, cluster));
+          *ctx_of(cluster).sim, station_rng.fork(s * cluster_count_ + c), svc,
+          cluster, scenario_.deployment->servers(svc, cluster));
       if (overload_.queue.enabled() || overload_.deadline.enabled) {
         StationOverloadConfig sc;
         sc.max_queue = overload_.queue.max_queue;
@@ -164,12 +252,16 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
         stations_[station_index(svc, cluster)]->configure_overload(sc);
       }
       proxies_[station_index(svc, cluster)] = std::make_unique<SlateProxy>(
-          svc, *registries_[c], rule_policies_[c],
-          traces_.enabled() ? &traces_ : nullptr);
+          svc, *registries_[c], rule_policies_[c], ctx_of(cluster).traces);
     }
   }
 
-  load_view_ = std::make_unique<LiveLoadView>(sim_, S, cluster_count_);
+  if (sharded_ == nullptr) {
+    load_view_ = std::make_unique<LiveLoadView>(sim_, S, cluster_count_);
+  } else if (config_.policy == PolicyKind::kWaterfall) {
+    waterfall_snapshot_ = FlatMatrix<double>(S, cluster_count_, 0.0);
+    snapshot_view_ = std::make_unique<SnapshotLoadView>(waterfall_snapshot_);
+  }
 
   // Candidate clusters per service (deployment is immutable during a run).
   candidates_.resize(S);
@@ -178,70 +270,173 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
   }
 
   // Routing scheme.
-  switch (config_.policy) {
-    case PolicyKind::kLocalOnly:
-      baseline_policy_ = std::make_unique<LocalOnlyPolicy>();
-      break;
-    case PolicyKind::kRoundRobin:
-      baseline_policy_ = std::make_unique<RoundRobinPolicy>();
-      break;
-    case PolicyKind::kLocalityFailover:
-      baseline_policy_ =
-          std::make_unique<LocalityFailoverPolicy>(*scenario_.topology);
-      break;
-    case PolicyKind::kStaticWeights:
-      baseline_policy_ = std::make_unique<StaticWeightsPolicy>(
-          StaticWeightsPolicy::make_uniform_spread(*scenario_.topology,
-                                                   config_.static_local_share));
-      break;
-    case PolicyKind::kWaterfall:
-      baseline_policy_ = std::make_unique<WaterfallPolicy>(
-          *scenario_.topology, *scenario_.deployment, *load_view_,
-          config_.waterfall);
-      break;
-    case PolicyKind::kSlate: {
-      global_ = std::make_unique<GlobalController>(
-          app, *scenario_.deployment, *scenario_.topology, config_.slate);
-      for (std::size_t c = 0; c < cluster_count_; ++c) {
-        std::vector<ServiceStation*> cluster_stations(S, nullptr);
-        for (std::size_t s = 0; s < S; ++s) {
-          cluster_stations[s] =
-              stations_[s * cluster_count_ + c].get();
-        }
-        cluster_controllers_.push_back(std::make_unique<ClusterController>(
-            ClusterId{c}, K, *registries_[c], std::move(cluster_stations),
-            rule_policies_[c]));
+  if (config_.policy == PolicyKind::kSlate) {
+    global_ = std::make_unique<GlobalController>(
+        app, *scenario_.deployment, *scenario_.topology, config_.slate);
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      std::vector<ServiceStation*> cluster_stations(S, nullptr);
+      for (std::size_t s = 0; s < S; ++s) {
+        cluster_stations[s] = stations_[s * cluster_count_ + c].get();
       }
-      break;
+      cluster_controllers_.push_back(std::make_unique<ClusterController>(
+          ClusterId{c}, K, *registries_[c], std::move(cluster_stations),
+          rule_policies_[c]));
+    }
+  } else if (sharded_ == nullptr) {
+    baseline_policy_ = make_baseline(load_view_.get());
+    ctxs_[0]->baseline = baseline_policy_.get();
+  } else {
+    // Per-island policy instances: stateful baselines (round-robin cursors,
+    // waterfall internals) are data-plane state and must not be shared
+    // across concurrently executing islands.
+    for (auto& cx : ctxs_) {
+      cx->baseline_owned = make_baseline(snapshot_view_.get());
+      cx->baseline = cx->baseline_owned.get();
     }
   }
 
   // Result containers.
   result_.scenario = scenario_.name;
   result_.policy = to_string(config_.policy);
-  result_.e2e_by_class.resize(K);
-  result_.failed_by_class.assign(K, 0);
-  result_.call_retries_by_class.assign(K, 0);
-  result_.call_timeouts_by_class.assign(K, 0);
-  result_.retry_budget_denials_by_class.assign(K, 0);
-  result_.flows.resize(K);
-  for (std::size_t k = 0; k < K; ++k) {
-    const std::size_t nodes = app.traffic_class(ClassId{k}).graph.node_count();
-    result_.flows[k].assign(nodes,
-                            FlatMatrix<std::uint64_t>(cluster_count_, cluster_count_, 0));
+  init_result_shape(result_);
+  if (sharded_ != nullptr) {
+    for (auto& cx : ctxs_) init_result_shape(*cx->res_owned);
   }
-  if (config_.timeseries_bucket > 0.0) {
-    const auto buckets = static_cast<std::size_t>(
-                             std::ceil(config_.duration / config_.timeseries_bucket)) +
-                         1;
-    result_.completed_series.assign(buckets, 0);
-    result_.failed_series.assign(buckets, 0);
-    result_.series_bucket = config_.timeseries_bucket;
+
+  // Pre-size the event queues: walk each demand stream's piecewise-constant
+  // schedule for its peak rate and size for the implied in-flight event
+  // population (a handful of events per request over a few tens of ms),
+  // instead of growing through every power of two during warmup.
+  {
+    const auto& streams = scenario_.demand.streams();
+    double peak_rps = 0.0;
+    for (const auto& st : streams) {
+      double peak = 0.0;
+      double t = 0.0;
+      for (int hop = 0; hop < 1024 && t < config_.duration; ++hop) {
+        peak = std::max(peak, scenario_.demand.rate_at(st.cls, st.cluster, t));
+        const double boundary =
+            scenario_.demand.next_change_after(st.cls, st.cluster, t);
+        if (!std::isfinite(boundary) || boundary <= t) break;
+        t = boundary;
+      }
+      peak_rps += peak;
+    }
+    const double est = peak_rps * 0.25 + static_cast<double>(streams.size()) + 64.0;
+    const std::size_t reserve = std::clamp(
+        static_cast<std::size_t>(est), std::size_t{1024}, std::size_t{1} << 20);
+    if (sharded_ != nullptr) {
+      for (std::size_t i = 0; i < island_count_; ++i) {
+        sharded_->lp(i).reserve_events(reserve / island_count_ + 64);
+      }
+    } else {
+      sim_.reserve_events(reserve);
+    }
   }
 }
 
-double Simulation::net_delay(ClusterId from, ClusterId to) {
-  double d = scenario_.topology->sample_latency(from, to, rng_routing_);
+void Simulation::compute_islands() {
+  const Topology& topo = *scenario_.topology;
+  const std::size_t C = cluster_count_;
+
+  // Union-find over zero-latency pairs: clusters a message can reach in
+  // zero simulated time must share an event loop (no lookahead separates
+  // them). Everything else is split apart.
+  std::vector<std::size_t> parent(C);
+  for (std::size_t i = 0; i < C; ++i) parent[i] = i;
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < C; ++i) {
+    for (std::size_t j = i + 1; j < C; ++j) {
+      if (topo.one_way_latency(ClusterId{i}, ClusterId{j}) <= 0.0 ||
+          topo.one_way_latency(ClusterId{j}, ClusterId{i}) <= 0.0) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  // Island ids in first-cluster order, so the partition (and with it every
+  // island-tagged id and merge order) is deterministic.
+  island_of_.assign(C, 0);
+  std::vector<std::uint32_t> id_of_root(C, 0xffffffffu);
+  std::uint32_t next = 0;
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::size_t r = find(c);
+    if (id_of_root[r] == 0xffffffffu) id_of_root[r] = next++;
+    island_of_[c] = id_of_root[r];
+  }
+  island_count_ = next;
+
+  // Conservative lookahead: no cross-island message can arrive sooner than
+  // the cross-island latency floor, even at maximum negative jitter.
+  if (island_count_ <= 1) {
+    lookahead_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  double floor = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < C; ++i) {
+    for (std::size_t j = 0; j < C; ++j) {
+      if (island_of_[i] == island_of_[j]) continue;
+      floor = std::min(floor, topo.one_way_latency(ClusterId{i}, ClusterId{j}));
+    }
+  }
+  lookahead_ = floor * (1.0 - topo.jitter_fraction());
+}
+
+std::unique_ptr<RoutingPolicy> Simulation::make_baseline(
+    const LoadView* view) const {
+  switch (config_.policy) {
+    case PolicyKind::kLocalOnly:
+      return std::make_unique<LocalOnlyPolicy>();
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kLocalityFailover:
+      return std::make_unique<LocalityFailoverPolicy>(*scenario_.topology);
+    case PolicyKind::kStaticWeights:
+      return std::make_unique<StaticWeightsPolicy>(
+          StaticWeightsPolicy::make_uniform_spread(*scenario_.topology,
+                                                   config_.static_local_share));
+    case PolicyKind::kWaterfall:
+      return std::make_unique<WaterfallPolicy>(*scenario_.topology,
+                                               *scenario_.deployment, *view,
+                                               config_.waterfall);
+    case PolicyKind::kSlate:
+      break;
+  }
+  return nullptr;
+}
+
+void Simulation::init_result_shape(ExperimentResult& r) const {
+  const Application& app = *scenario_.app;
+  const std::size_t K = app.class_count();
+  r.e2e_by_class.resize(K);
+  r.failed_by_class.assign(K, 0);
+  r.call_retries_by_class.assign(K, 0);
+  r.call_timeouts_by_class.assign(K, 0);
+  r.retry_budget_denials_by_class.assign(K, 0);
+  r.flows.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    const std::size_t nodes = app.traffic_class(ClassId{k}).graph.node_count();
+    r.flows[k].assign(
+        nodes, FlatMatrix<std::uint64_t>(cluster_count_, cluster_count_, 0));
+  }
+  if (config_.timeseries_bucket > 0.0) {
+    const auto buckets = static_cast<std::size_t>(std::ceil(
+                             config_.duration / config_.timeseries_bucket)) +
+                         1;
+    r.completed_series.assign(buckets, 0);
+    r.failed_series.assign(buckets, 0);
+    r.series_bucket = config_.timeseries_bucket;
+  }
+}
+
+double Simulation::net_delay(ExecCtx& cx, ClusterId from, ClusterId to) {
+  double d = scenario_.topology->sample_latency(from, to, cx.rng_routing);
   if (injector_ != nullptr) {
     d = d * injector_->latency_factor(from, to) +
         injector_->extra_latency(from, to);
@@ -249,41 +444,58 @@ double Simulation::net_delay(ClusterId from, ClusterId to) {
   return d;
 }
 
-void Simulation::finish_request(const RequestState& req, bool ok,
-                                ServiceId entry, ClusterId entry_cluster) {
-  const double e2e = sim_.now() - req.arrival_time;
-  if (ok) proxy(entry, entry_cluster).on_root_response(req.cls, e2e);
+void Simulation::observe_load(ExecCtx& cx, ServiceId s, ClusterId c) {
+  if (load_view_ != nullptr) {
+    load_view_->observe(s, c);
+    return;
+  }
+  if (!cx.load_meters.empty()) {
+    cx.load_meters[s.index() * cluster_count_ + c.index()].observe(
+        cx.sim->now());
+  }
+}
+
+void Simulation::finish_request_tail(ExecCtx& cx, ClassId cls, bool ok,
+                                     double e2e) {
   if (config_.timeseries_bucket > 0.0) {
     const auto b =
-        static_cast<std::size_t>(sim_.now() / config_.timeseries_bucket);
-    auto& series = ok ? result_.completed_series : result_.failed_series;
+        static_cast<std::size_t>(cx.sim->now() / config_.timeseries_bucket);
+    auto& series = ok ? cx.res->completed_series : cx.res->failed_series;
     if (b < series.size()) ++series[b];
   }
   if (!measuring_) return;
   if (ok) {
-    ++result_.completed;
-    result_.e2e.add(e2e);
-    result_.e2e_by_class[req.cls.index()].add(e2e);
+    ++cx.res->completed;
+    cx.res->e2e.add(e2e);
+    cx.res->e2e_by_class[cls.index()].add(e2e);
   } else {
-    ++result_.failed;
-    ++result_.failed_by_class[req.cls.index()];
+    ++cx.res->failed;
+    ++cx.res->failed_by_class[cls.index()];
   }
+}
+
+void Simulation::finish_request(ExecCtx& cx, const RequestState& req, bool ok,
+                                ServiceId entry, ClusterId entry_cluster) {
+  const double e2e = cx.sim->now() - req.arrival_time;
+  if (ok) proxy(entry, entry_cluster).on_root_response(req.cls, e2e);
+  finish_request_tail(cx, req.cls, ok, e2e);
 }
 
 void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   const Application& app = *scenario_.app;
-  ++result_.generated;
+  ExecCtx& cx = ctx_of(cluster);
+  ++cx.res->generated;
 
-  ReqPtr req = request_pool_.make();
-  req->id = RequestId{next_request_++};
+  ReqPtr req = cx.request_pool.make();
+  req->id = RequestId{cx.next_request++};
   req->cls = cls;
   req->ingress = cluster;
-  req->arrival_time = sim_.now();
+  req->arrival_time = cx.sim->now();
   // End-to-end budget: the class deadline starts at the front door
   // (kNoDeadline when deadlines are off).
-  req->deadline = sim_.now() + deadline_by_class_[cls.index()];
+  req->deadline = cx.sim->now() + deadline_by_class_[cls.index()];
 
-  registries_[cluster.index()]->record_ingress(cls, sim_.now());
+  registries_[cluster.index()]->record_ingress(cls, cx.sim->now());
 
   const ServiceId entry = app.entry_service(cls);
   ClusterId entry_cluster = cluster;
@@ -298,71 +510,113 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
     }
     if (alive.empty()) {
       // Every cluster hosting the entry service is down.
-      ++result_.call_rejections;
-      finish_request(*req, false, entry, cluster);
+      ++cx.res->call_rejections;
+      finish_request(cx, *req, false, entry, cluster);
       return;
     }
     entry_cluster = scenario_.topology->nearest(cluster, alive);
   }
 
-  Done finish = [this, req, entry, entry_cluster](bool ok) {
-    finish_request(*req, ok, entry, entry_cluster);
-  };
-
   if (measuring_) {
-    result_.flows[cls.index()][0](cluster.index(), entry_cluster.index())++;
+    cx.res->flows[cls.index()][0](cluster.index(), entry_cluster.index())++;
   }
-  load_view_->observe(entry, entry_cluster);
+  observe_load(cx, entry, entry_cluster);
 
   if (entry_cluster == cluster) {
+    Done finish = [this, req, entry, entry_cluster](bool ok) {
+      finish_request(ctx_of(req->ingress), *req, ok, entry, entry_cluster);
+    };
     const double deadline = req->deadline;
     execute_node(std::move(req), 0, entry_cluster, 0, deadline,
                  std::move(finish));
     return;
   }
+
   // Front-door redirect to the nearest cluster hosting the entry service.
   // Cold path: these closures may exceed the inline buffers and spill to
   // the heap — redirects only happen under partial deployments or faults.
   const CallGraph& graph = app.traffic_class(cls).graph;
-  egress_.record(cluster, entry_cluster, graph.node(0).request_bytes);
-  const double d1 = net_delay(cluster, entry_cluster);
-  sim_.schedule_after(d1, [this, req = std::move(req), entry_cluster, cluster,
-                           finish = std::move(finish)]() mutable {
-    ReqPtr r = req;
-    const double deadline = r->deadline;
-    execute_node(std::move(r), 0, entry_cluster, 0, deadline,
-                 [this, req = std::move(req), entry_cluster, cluster,
-                  finish = std::move(finish)](bool ok) mutable {
-                   if (ok) {
-                     const CallGraph& g =
-                         scenario_.app->traffic_class(req->cls).graph;
-                     egress_.record(entry_cluster, cluster,
-                                    g.node(0).response_bytes);
-                   }
-                   const double d2 = net_delay(entry_cluster, cluster);
-                   sim_.schedule_after(d2,
-                                       [finish = std::move(finish), ok]() mutable {
-                                         finish(ok);
-                                       });
-                 });
-  });
+  cx.egress.record(cluster, entry_cluster, graph.node(0).request_bytes);
+  const double d1 = net_delay(cx, cluster, entry_cluster);
+
+  if (island_of(entry_cluster) == cx.island) {
+    Done finish = [this, req, entry, entry_cluster](bool ok) {
+      finish_request(ctx_of(req->ingress), *req, ok, entry, entry_cluster);
+    };
+    cx.sim->schedule_after(d1, [this, req = std::move(req), entry_cluster,
+                                cluster, finish = std::move(finish)]() mutable {
+      ReqPtr r = req;
+      const double deadline = r->deadline;
+      execute_node(std::move(r), 0, entry_cluster, 0, deadline,
+                   [this, req = std::move(req), entry_cluster, cluster,
+                    finish = std::move(finish)](bool ok) mutable {
+                     ExecCtx& ce = ctx_of(entry_cluster);
+                     if (ok) {
+                       const CallGraph& g =
+                           scenario_.app->traffic_class(req->cls).graph;
+                       ce.egress.record(entry_cluster, cluster,
+                                        g.node(0).response_bytes);
+                     }
+                     const double d2 = net_delay(ce, entry_cluster, cluster);
+                     ce.sim->schedule_after(
+                         d2, [finish = std::move(finish), ok]() mutable {
+                           finish(ok);
+                         });
+                   });
+    });
+    return;
+  }
+
+  // Cross-island redirect: ship the request state by value to the entry
+  // island's event loop; no pooled handle crosses the boundary. The entry
+  // proxy records the root e2e at response-send time (same value the
+  // ingress later counts — the network delay home is added before the
+  // observation, not after); the ingress island keeps the run counters.
+  const RequestState snap = *req;
+  sharded_->send(
+      cx.island, island_of(entry_cluster), cx.sim->now() + d1,
+      [this, snap, entry, entry_cluster, cluster]() {
+        ExecCtx& ce = ctx_of(entry_cluster);
+        ReqPtr r = ce.request_pool.make();
+        *r = snap;
+        const double deadline = snap.deadline;
+        execute_node(
+            std::move(r), 0, entry_cluster, 0, deadline,
+            [this, arrival = snap.arrival_time, cls = snap.cls, entry,
+             entry_cluster, cluster](bool ok) {
+              ExecCtx& ce2 = ctx_of(entry_cluster);
+              if (ok) {
+                const CallGraph& g = scenario_.app->traffic_class(cls).graph;
+                ce2.egress.record(entry_cluster, cluster,
+                                  g.node(0).response_bytes);
+              }
+              const double d2 = net_delay(ce2, entry_cluster, cluster);
+              const double e2e = (ce2.sim->now() - arrival) + d2;
+              if (ok) proxy(entry, entry_cluster).on_root_response(cls, e2e);
+              sharded_->send(ce2.island, island_of(cluster),
+                             ce2.sim->now() + d2, [this, cluster, cls, ok, e2e]() {
+                               finish_request_tail(ctx_of(cluster), cls, ok, e2e);
+                             });
+            });
+      });
 }
 
 void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
                               std::uint64_t parent_span, double deadline,
                               Done done) {
+  ExecCtx& cx = ctx_of(cluster);
   if (cluster_down(cluster)) {
     // Every station in a down cluster refuses new work; in-flight jobs run
     // to completion (no preemption).
-    ++result_.call_rejections;
+    ++cx.res->call_rejections;
     done(false);
     return;
   }
   if (overload_.deadline.enabled && overload_.deadline.propagate &&
-      deadline <= sim_.now()) {
+      deadline <= cx.sim->now()) {
     // The budget is gone before the node even starts: cancel instead of
     // queueing doomed work.
-    ++result_.deadline_cancellations;
+    ++cx.res->deadline_cancellations;
     done(false);
     return;
   }
@@ -373,7 +627,7 @@ void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
     throw std::logic_error("Simulation: routed to a cluster without the service");
   }
   SlateProxy& px = proxy(cnode.service, cluster);
-  px.on_request_start(req->cls, sim_.now());
+  px.on_request_start(req->cls, cx.sim->now());
 
   double compute = cnode.compute_time_mean;
   if (injector_ != nullptr) {
@@ -386,13 +640,13 @@ void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
   spec.priority = priority_by_class_[req->cls.index()];
   spec.deadline = deadline;
 
-  auto ns = node_pool_.make();
+  auto ns = cx.node_pool.make();
   ns->req = std::move(req);
   ns->node = static_cast<std::uint32_t>(node);
   ns->cluster = cluster;
-  ns->span_id = next_span_++;
+  ns->span_id = cx.next_span++;
   ns->parent_span = parent_span;
-  ns->enqueue_time = sim_.now();
+  ns->enqueue_time = cx.sim->now();
   ns->deadline = deadline;
   ns->done = std::move(done);
 
@@ -406,12 +660,13 @@ void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
     ns->queue_s = queue_s;
     ns->service_s = service_s;
     if (outcome != JobOutcome::kServed) {
+      ExecCtx& c2 = ctx_of(ns->cluster);
       switch (outcome) {
-        case JobOutcome::kShedQueueFull: ++result_.shed_queue_full; break;
-        case JobOutcome::kShedQueueDelay: ++result_.shed_queue_delay; break;
-        case JobOutcome::kEvicted: ++result_.shed_evictions; break;
+        case JobOutcome::kShedQueueFull: ++c2.res->shed_queue_full; break;
+        case JobOutcome::kShedQueueDelay: ++c2.res->shed_queue_delay; break;
+        case JobOutcome::kEvicted: ++c2.res->shed_evictions; break;
         case JobOutcome::kCancelled:
-        case JobOutcome::kExpired: ++result_.deadline_cancellations; break;
+        case JobOutcome::kExpired: ++c2.res->deadline_cancellations; break;
         case JobOutcome::kServed: break;
       }
       finish_node(ns, false);
@@ -430,6 +685,7 @@ void Simulation::execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
 }
 
 void Simulation::finish_node(const PoolPtr<NodeState>& ns, bool ok) {
+  ExecCtx& cx = ctx_of(ns->cluster);
   const CallGraph& g = scenario_.app->traffic_class(ns->req->cls).graph;
   const CallNode& n = g.node(ns->node);
   Span span;
@@ -441,7 +697,7 @@ void Simulation::finish_node(const PoolPtr<NodeState>& ns, bool ok) {
   span.span_id = ns->span_id;
   span.parent_span_id = ns->parent_span;
   span.start_time = ns->enqueue_time;
-  span.end_time = sim_.now();
+  span.end_time = cx.sim->now();
   span.queue_time = ns->queue_s;
   span.exclusive_time = ns->queue_s + ns->service_s;
   span.error = !ok;
@@ -460,12 +716,13 @@ void Simulation::run_children(ReqPtr req, std::size_t parent_node,
     return;
   }
 
+  ExecCtx& cx = ctx_of(cluster);
   // Realize per-child multiplicities (floor + Bernoulli fraction).
-  auto cs = chain_pool_.make();
+  auto cs = cx.chain_pool.make();
   for (std::size_t child : parent.children) {
     const double mult = graph.node(child).multiplicity;
     std::size_t count = static_cast<std::size_t>(std::floor(mult));
-    if (rng_routing_.bernoulli(mult - std::floor(mult))) ++count;
+    if (cx.rng_routing.bernoulli(mult - std::floor(mult))) ++count;
     for (std::size_t i = 0; i < count; ++i) {
       cs->calls.push_back(static_cast<std::uint32_t>(child));
     }
@@ -479,7 +736,7 @@ void Simulation::run_children(ReqPtr req, std::size_t parent_node,
     // A parallel fan-out fails if any child failed; siblings are not
     // cancelled (their responses are awaited, then discarded). The chain
     // record only carried the realized call list; it recycles on return.
-    auto fs = fanout_pool_.make();
+    auto fs = cx.fanout_pool.make();
     fs->remaining = cs->calls.size();
     fs->all_ok = true;
     fs->done = std::move(done);
@@ -522,39 +779,80 @@ void Simulation::chain_next(const PoolPtr<ChainState>& cs, bool ok) {
 void Simulation::issue_call(ReqPtr req, std::size_t node, ClusterId from,
                             std::uint64_t parent_span, double deadline,
                             Done done) {
+  ExecCtx& cx = ctx_of(from);
   if (config_.failure.enabled) {
     // Each first attempt earns fractional retry credit (Finagle-style
     // budget): retries are bounded at ~ratio x offered call volume.
-    retry_tokens_ = std::min(retry_tokens_ + config_.failure.retry_budget_ratio,
-                             config_.failure.retry_budget_cap);
+    cx.retry_tokens = std::min(cx.retry_tokens + config_.failure.retry_budget_ratio,
+                               config_.failure.retry_budget_cap);
   }
-  auto as = attempt_pool_.make();
+  auto as = cx.attempt_pool.make();
   as->req = std::move(req);
   as->node = static_cast<std::uint32_t>(node);
   as->from = from;
   as->exclude = ClusterId{};
   as->parent_span = parent_span;
   as->attempt = 0;
+  as->slot = kNilSlot;
   as->settled = false;
   as->deadline = deadline;
   as->done = std::move(done);
   start_attempt(as);
 }
 
+std::uint32_t Simulation::acquire_slot(ExecCtx& cx,
+                                       const PoolPtr<AttemptState>& as) {
+  std::uint32_t slot;
+  if (cx.free_slot != kNilSlot) {
+    slot = cx.free_slot;
+    cx.free_slot = cx.slots[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(cx.slots.size());
+    cx.slots.emplace_back();
+  }
+  PendingRemote& pr = cx.slots[slot];
+  pr.as = as;  // pins the attempt until release
+  pr.next_free = kNilSlot;
+  as->slot = slot;
+  return slot;
+}
+
+void Simulation::release_slot(ExecCtx& cx, AttemptState& as) {
+  if (as.slot == kNilSlot) return;
+  PendingRemote& pr = cx.slots[as.slot];
+  ++pr.gen;  // any response still in flight for this slot is now stale
+  pr.as.reset();
+  pr.next_free = cx.free_slot;
+  cx.free_slot = as.slot;
+  as.slot = kNilSlot;
+}
+
+void Simulation::on_remote_response(ExecCtx& cx, RemoteToken tok, bool ok) {
+  if (tok.slot >= cx.slots.size()) return;
+  PendingRemote& pr = cx.slots[tok.slot];
+  if (pr.gen != tok.slot_gen || !pr.as) return;  // slot recycled: stale
+  const PoolPtr<AttemptState> as = pr.as;        // keep alive across settle
+  if (as->attempt != tok.attempt_gen || as->settled) return;
+  as->settled = true;
+  settle_attempt(as, ok);
+}
+
 void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
+  ExecCtx& cx = ctx_of(as->from);
   const Application& app = *scenario_.app;
   const CallGraph& graph = app.traffic_class(as->req->cls).graph;
   const CallNode& cnode = graph.node(as->node);
   const ServiceId child_svc = cnode.service;
   const ClusterId from = as->from;
-  const double now = sim_.now();
+  const double now = cx.sim->now();
 
   if (overload_.deadline.enabled && overload_.deadline.propagate &&
       as->deadline <= now) {
     // The call's remaining budget is gone (e.g. burned by earlier attempts'
     // backoff): fail fast without issuing another attempt.
-    ++result_.deadline_cancellations;
+    ++cx.res->deadline_cancellations;
     as->settled = true;
+    release_slot(cx, *as);
     Done done = std::move(as->done);
     done(false);
     return;
@@ -568,26 +866,27 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   // one viable target, so filtering is skipped entirely (the panic-routing
   // rule: with no alternative, ejections and exclusions must not strand
   // the request).
+  CircuitBreakerBank* bank = cx.breakers;
   const bool can_reroute = config_.policy != PolicyKind::kLocalOnly;
   const bool exclude_failed = can_reroute && as->exclude.valid() &&
                               config_.failure.retry_excludes_failed;
   // The filter runs on every attempt when breakers are armed, so it reuses
-  // a member scratch vector: a local here would heap-allocate per attempt
-  // (the chain-2c-overload allocation regression). The scratch is consumed
-  // synchronously below — route() and nearest() read it before any event is
-  // scheduled — so reuse across attempts is safe.
+  // the context's scratch vector: a local here would heap-allocate per
+  // attempt (the chain-2c-overload allocation regression). The scratch is
+  // consumed synchronously below — route() and nearest() read it before any
+  // event is scheduled — so reuse across attempts is safe.
   const std::vector<ClusterId>* cand = &candidates;
-  std::vector<ClusterId>& filtered = filter_scratch_;
-  if (exclude_failed || (can_reroute && breakers_ != nullptr)) {
+  std::vector<ClusterId>& filtered = cx.filter_scratch;
+  if (exclude_failed || (can_reroute && bank != nullptr)) {
     filtered.clear();
     for (ClusterId c : candidates) {
       if (exclude_failed && c == as->exclude) continue;
-      if (breakers_ != nullptr && !breakers_->allowed(child_svc, c, now)) {
+      if (bank != nullptr && !bank->allowed(child_svc, c, now)) {
         continue;
       }
       filtered.push_back(c);
     }
-    if (filtered.empty() && breakers_ != nullptr) {
+    if (filtered.empty() && bank != nullptr) {
       // Panic routing (Envoy's panic-threshold idea): every candidate is
       // ejected, so ejections are ignored rather than failing all traffic.
       for (ClusterId c : candidates) {
@@ -608,9 +907,9 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   const ServiceId parent_svc = graph.node(cnode.parent).service;
   ClusterId to;
   if (config_.policy == PolicyKind::kSlate) {
-    to = proxy(parent_svc, from).route(query, rng_routing_);
+    to = proxy(parent_svc, from).route(query, cx.rng_routing);
   } else {
-    to = baseline_policy_->route(query, rng_routing_);
+    to = cx.baseline->route(query, cx.rng_routing);
   }
   if (cand == &filtered && filtered.size() != candidates.size()) {
     // Weighted rules ignore the candidate filter; force the failover when
@@ -627,10 +926,10 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   as->to = to;
 
   if (measuring_) {
-    result_.flows[as->req->cls.index()][as->node](from.index(), to.index())++;
+    cx.res->flows[as->req->cls.index()][as->node](from.index(), to.index())++;
   }
-  load_view_->observe(child_svc, to);
-  egress_.record(from, to, cnode.request_bytes);
+  observe_load(cx, child_svc, to);
+  cx.egress.record(from, to, cnode.request_bytes);
 
   const FailurePolicy& fp = config_.failure;
 
@@ -648,11 +947,12 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
     timeout_after = std::min(timeout_after, as->deadline - now);
   }
   if (timeout_after < ServiceStation::kNoDeadline) {
-    sim_.schedule_after(timeout_after, [this, as, gen]() {
+    cx.sim->schedule_after(timeout_after, [this, as, gen]() {
       if (as->attempt != gen || as->settled) return;
+      ExecCtx& c = ctx_of(as->from);
       as->settled = true;
-      ++result_.call_timeouts;
-      ++result_.call_timeouts_by_class[as->req->cls.index()];
+      ++c.res->call_timeouts;
+      ++c.res->call_timeouts_by_class[as->req->cls.index()];
       settle_attempt(as, false);
     });
   }
@@ -673,46 +973,89 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   // honest price of a fair-weather configuration in a faulty world.
   if (injector_ != nullptr && injector_->link_partitioned(from, to)) return;
 
-  const double out = net_delay(from, to);
-  sim_.schedule_after(out, [this, as, gen, child_deadline]() mutable {
-    // Deadline propagation: an attempt abandoned before the request
-    // arrived is not executed by the server.
-    if (as->attempt != gen || as->settled) return;
-    ReqPtr req = as->req;
-    const ClusterId from = as->from;
-    const ClusterId to = as->to;
-    // The response continuation pins this generation's endpoints by value:
-    // by the time it fires a retry may have re-aimed the attempt record.
-    execute_node(
-        std::move(req), as->node, to, as->parent_span, child_deadline,
-        [this, as, gen, from, to](bool ok) mutable {
-          // Response leg (errors travel back too, but pay no egress).
-          if (injector_ != nullptr && injector_->link_partitioned(to, from)) {
-            return;  // response lost; the caller's timeout settles it
-          }
-          if (ok) {
-            const CallGraph& g =
-                scenario_.app->traffic_class(as->req->cls).graph;
-            egress_.record(to, from, g.node(as->node).response_bytes);
-          }
-          const double back = net_delay(to, from);
-          sim_.schedule_after(back, [this, as, gen, ok]() {
-            if (as->attempt != gen || as->settled) return;
-            as->settled = true;
-            settle_attempt(as, ok);
+  const double out = net_delay(cx, from, to);
+
+  if (island_of(to) == cx.island) {
+    cx.sim->schedule_after(out, [this, as, gen, child_deadline]() mutable {
+      // Deadline propagation: an attempt abandoned before the request
+      // arrived is not executed by the server.
+      if (as->attempt != gen || as->settled) return;
+      ReqPtr req = as->req;
+      const ClusterId from = as->from;
+      const ClusterId to = as->to;
+      // The response continuation pins this generation's endpoints by value:
+      // by the time it fires a retry may have re-aimed the attempt record.
+      execute_node(
+          std::move(req), as->node, to, as->parent_span, child_deadline,
+          [this, as, gen, from, to](bool ok) mutable {
+            // Response leg (errors travel back too, but pay no egress).
+            if (injector_ != nullptr && injector_->link_partitioned(to, from)) {
+              return;  // response lost; the caller's timeout settles it
+            }
+            ExecCtx& ct = ctx_of(to);
+            if (ok) {
+              const CallGraph& g =
+                  scenario_.app->traffic_class(as->req->cls).graph;
+              ct.egress.record(to, from, g.node(as->node).response_bytes);
+            }
+            const double back = net_delay(ct, to, from);
+            ct.sim->schedule_after(back, [this, as, gen, ok]() {
+              if (as->attempt != gen || as->settled) return;
+              as->settled = true;
+              settle_attempt(as, ok);
+            });
           });
-        });
-  });
+    });
+    return;
+  }
+
+  // Remote leg: the request crosses islands as a by-value message; the
+  // response finds its way back through the caller's slot registry. The
+  // staleness checks that the local path performs on request arrival run
+  // here at send time only — an attempt abandoned while the message is in
+  // flight still executes callee-side (wasted work the timeout already
+  // charges for), and the late response is dropped by the token.
+  if (as->slot == kNilSlot) acquire_slot(cx, as);
+  const RemoteToken tok{as->slot, cx.slots[as->slot].gen, gen};
+  const RequestState snap = *as->req;
+  sharded_->send(
+      cx.island, island_of(to), now + out,
+      [this, snap, node = as->node, parent_span = as->parent_span,
+       child_deadline, from, to, tok]() {
+        ExecCtx& ce = ctx_of(to);
+        ReqPtr r = ce.request_pool.make();
+        *r = snap;
+        execute_node(
+            std::move(r), node, to, parent_span, child_deadline,
+            [this, cls = snap.cls, node, from, to, tok](bool ok) {
+              if (injector_ != nullptr &&
+                  injector_->link_partitioned(to, from)) {
+                return;  // response lost; the caller's timeout settles it
+              }
+              ExecCtx& ce2 = ctx_of(to);
+              if (ok) {
+                const CallGraph& g = scenario_.app->traffic_class(cls).graph;
+                ce2.egress.record(to, from, g.node(node).response_bytes);
+              }
+              const double back = net_delay(ce2, to, from);
+              sharded_->send(ce2.island, island_of(from),
+                             ce2.sim->now() + back, [this, from, tok, ok]() {
+                               on_remote_response(ctx_of(from), tok, ok);
+                             });
+            });
+      });
 }
 
 void Simulation::settle_attempt(const PoolPtr<AttemptState>& as, bool ok) {
-  if (breakers_ != nullptr) {
+  ExecCtx& cx = ctx_of(as->from);
+  if (cx.breakers != nullptr) {
     // Outlier detection: every settled attempt is a health datapoint for
     // the (service, destination) breaker.
     const CallGraph& g = scenario_.app->traffic_class(as->req->cls).graph;
-    breakers_->on_result(g.node(as->node).service, as->to, ok, sim_.now());
+    cx.breakers->on_result(g.node(as->node).service, as->to, ok, cx.sim->now());
   }
   if (ok) {
+    release_slot(cx, *as);
     Done done = std::move(as->done);
     done(true);
     return;
@@ -721,27 +1064,30 @@ void Simulation::settle_attempt(const PoolPtr<AttemptState>& as, bool ok) {
   // Retrying past the deadline cannot help anyone; the failure is terminal.
   const bool budget_left =
       !(overload_.deadline.enabled && overload_.deadline.propagate &&
-        as->deadline <= sim_.now());
+        as->deadline <= cx.sim->now());
   if (policy.enabled && budget_left && as->attempt < policy.max_retries) {
-    if (retry_tokens_ >= 1.0) {
-      retry_tokens_ -= 1.0;
-      ++result_.call_retries;
-      ++result_.call_retries_by_class[as->req->cls.index()];
+    if (cx.retry_tokens >= 1.0) {
+      cx.retry_tokens -= 1.0;
+      ++cx.res->call_retries;
+      ++cx.res->call_retries_by_class[as->req->cls.index()];
       const double backoff =
           policy.backoff_base *
           std::pow(policy.backoff_multiplier, static_cast<double>(as->attempt));
       // Re-arm the same attempt record: bump the generation (stale events
       // of this attempt drop themselves) and steer away from the cluster
-      // that just failed.
+      // that just failed. The remote slot — if any — stays held: a late
+      // response addressed to the old generation must find the registry
+      // entry and miss on the generation check, not hit a recycled slot.
       as->exclude = as->to;
       ++as->attempt;
       as->settled = false;
-      sim_.schedule_after(backoff, [this, as]() { start_attempt(as); });
+      cx.sim->schedule_after(backoff, [this, as]() { start_attempt(as); });
       return;
     }
-    ++result_.retry_budget_denials;
-    ++result_.retry_budget_denials_by_class[as->req->cls.index()];
+    ++cx.res->retry_budget_denials;
+    ++cx.res->retry_budget_denials_by_class[as->req->cls.index()];
   }
+  release_slot(cx, *as);
   Done done = std::move(as->done);
   done(false);
 }
@@ -790,7 +1136,7 @@ void Simulation::corrupt_report(ClusterReport& report, double factor) {
 }
 
 void Simulation::control_tick() {
-  const double now = sim_.now();
+  const double now = global_sim().now();
   std::vector<ClusterReport> reports;
   reports.reserve(cluster_controllers_.size());
   for (auto& cc : cluster_controllers_) {
@@ -863,34 +1209,102 @@ void Simulation::control_tick() {
 
 void Simulation::begin_measurement() {
   measuring_ = true;
-  egress_.reset();
+  for (auto& cx : ctxs_) cx->egress.reset();
   // Stations keep running; utilization for results is derived from
   // lifetime_busy_seconds deltas captured here.
+}
+
+void Simulation::refresh_waterfall_snapshot() {
+  // At a window barrier every island's clock sits at the window end.
+  const double now = sharded_->lp(0).now();
+  const std::size_t S = waterfall_snapshot_.rows();
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      double sum = 0.0;
+      for (const auto& cx : ctxs_) {
+        sum += cx->load_meters[s * cluster_count_ + c].rate(now);
+      }
+      waterfall_snapshot_(s, c) = sum;
+    }
+  }
+}
+
+void Simulation::merge_results() {
+  const std::size_t K = scenario_.app->class_count();
+  for (const auto& cp : ctxs_) {
+    const ExperimentResult& r = *cp->res_owned;
+    result_.generated += r.generated;
+    result_.completed += r.completed;
+    result_.failed += r.failed;
+    result_.call_retries += r.call_retries;
+    result_.call_timeouts += r.call_timeouts;
+    result_.call_rejections += r.call_rejections;
+    result_.retry_budget_denials += r.retry_budget_denials;
+    result_.shed_queue_full += r.shed_queue_full;
+    result_.shed_queue_delay += r.shed_queue_delay;
+    result_.shed_evictions += r.shed_evictions;
+    result_.deadline_cancellations += r.deadline_cancellations;
+    for (std::size_t k = 0; k < K; ++k) {
+      result_.failed_by_class[k] += r.failed_by_class[k];
+      result_.call_retries_by_class[k] += r.call_retries_by_class[k];
+      result_.call_timeouts_by_class[k] += r.call_timeouts_by_class[k];
+      result_.retry_budget_denials_by_class[k] +=
+          r.retry_budget_denials_by_class[k];
+    }
+    result_.e2e.reserve(result_.e2e.count() + r.e2e.count());
+    for (double v : r.e2e.samples()) result_.e2e.add(v);
+    for (std::size_t k = 0; k < K; ++k) {
+      for (double v : r.e2e_by_class[k].samples()) {
+        result_.e2e_by_class[k].add(v);
+      }
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t n = 0; n < result_.flows[k].size(); ++n) {
+        FlatMatrix<std::uint64_t>& dst = result_.flows[k][n];
+        const FlatMatrix<std::uint64_t>& src = r.flows[k][n];
+        for (std::size_t i = 0; i < dst.rows(); ++i) {
+          for (std::size_t j = 0; j < dst.cols(); ++j) {
+            dst(i, j) += src(i, j);
+          }
+        }
+      }
+    }
+    for (std::size_t b = 0; b < result_.completed_series.size(); ++b) {
+      result_.completed_series[b] += r.completed_series[b];
+      result_.failed_series[b] += r.failed_series[b];
+    }
+    if (traces_.enabled()) {
+      cp->traces_owned.for_each([this](const Span& s) { traces_.record(s); });
+    }
+  }
 }
 
 ExperimentResult Simulation::run() {
   const Application& app = *scenario_.app;
   const std::size_t S = app.service_count();
 
-  // Autoscalers (paper §5 interaction study): one per deployed station.
+  // Autoscalers (paper §5 interaction study): one per deployed station,
+  // driven by the station's own event loop.
   if (config_.autoscaler_enabled) {
-    for (auto& station : stations_) {
-      if (station != nullptr) {
-        autoscalers_.push_back(std::make_unique<Autoscaler>(
-            sim_, *station, config_.autoscaler));
-      }
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      if (stations_[i] == nullptr) continue;
+      const ClusterId cluster{i % cluster_count_};
+      autoscalers_.push_back(std::make_unique<Autoscaler>(
+          *ctx_of(cluster).sim, *stations_[i], config_.autoscaler));
     }
   }
 
-  // Scheduled capacity changes (failures, manual provisioning).
+  // Scheduled capacity changes (failures, manual provisioning). Global
+  // timeline: under the sharded engine these apply at window barriers,
+  // like every other operator-plane action.
   for (const CapacityEvent& event : config_.capacity_events) {
     ServiceStation* st = station(event.service, event.cluster);
     if (st == nullptr) {
       throw std::invalid_argument(
           "Simulation: capacity event targets an undeployed station");
     }
-    sim_.schedule_at(event.time,
-                     [st, servers = event.servers]() { st->set_servers(servers); });
+    global_sim().schedule_at(
+        event.time, [st, servers = event.servers]() { st->set_servers(servers); });
   }
 
   // Faults.
@@ -898,7 +1312,7 @@ ExperimentResult Simulation::run() {
 
   // Warmup boundary.
   std::vector<double> busy_at_warmup(S * cluster_count_, 0.0);
-  sim_.schedule_at(config_.warmup, [this, &busy_at_warmup]() {
+  global_sim().schedule_at(config_.warmup, [this, &busy_at_warmup]() {
     begin_measurement();
     for (std::size_t i = 0; i < stations_.size(); ++i) {
       if (stations_[i] != nullptr) {
@@ -909,23 +1323,47 @@ ExperimentResult Simulation::run() {
 
   // Control loop (RAII handle: cancelled when the Simulation dies).
   if (config_.policy == PolicyKind::kSlate) {
-    control_timer_ = sim_.schedule_scoped_periodic(config_.control_period,
-                                                   [this]() { control_tick(); });
+    control_timer_ = global_sim().schedule_scoped_periodic(
+        config_.control_period, [this]() { control_tick(); });
   }
 
-  // Workload.
-  workload_ = std::make_unique<WorkloadDriver>(
-      sim_, rng_root_.fork(0), scenario_.demand, config_.duration,
-      [this](ClassId cls, ClusterId cluster) { on_arrival(cls, cluster); });
-
-  sim_.run_until(config_.duration);
+  // Workload. Each driver forks every stream's RNG from an identical copy
+  // of the fork(0) parent, so a stream's arrival sequence is the same no
+  // matter which driver owns it — the partitioned sharded workload matches
+  // the legacy single-driver workload stream for stream.
+  Rng workload_rng = rng_root_.fork(0);
+  if (sharded_ == nullptr) {
+    workloads_.push_back(std::make_unique<WorkloadDriver>(
+        sim_, workload_rng, scenario_.demand, config_.duration,
+        [this](ClassId cls, ClusterId cluster) { on_arrival(cls, cluster); }));
+    sim_.run_until(config_.duration);
+  } else {
+    if (config_.policy == PolicyKind::kWaterfall) {
+      sharded_->set_barrier_hook([this]() { refresh_waterfall_snapshot(); });
+    }
+    const auto& streams = scenario_.demand.streams();
+    for (std::size_t i = 0; i < island_count_; ++i) {
+      const auto island = static_cast<std::uint32_t>(i);
+      workloads_.push_back(std::make_unique<WorkloadDriver>(
+          sharded_->lp(i), workload_rng, scenario_.demand, config_.duration,
+          [this](ClassId cls, ClusterId cluster) { on_arrival(cls, cluster); },
+          [this, &streams, island](std::size_t s) {
+            return island_of_[streams[s].cluster.index()] == island;
+          }));
+    }
+    sharded_->run_until(config_.duration);
+    merge_results();
+  }
 
   // Finalize.
-  result_.sim_events = sim_.events_executed();
+  result_.sim_events = sharded_ != nullptr ? sharded_->events_executed()
+                                           : sim_.events_executed();
   result_.measured_seconds = config_.duration - config_.warmup;
-  result_.egress_bytes = egress_.total_egress_bytes();
-  result_.local_bytes = egress_.total_local_bytes();
-  result_.egress_cost_dollars = egress_.total_cost_dollars();
+  for (const auto& cx : ctxs_) {
+    result_.egress_bytes += cx->egress.total_egress_bytes();
+    result_.local_bytes += cx->egress.total_local_bytes();
+    result_.egress_cost_dollars += cx->egress.total_cost_dollars();
+  }
   result_.station_utilization.assign(S * cluster_count_, -1.0);
   for (std::size_t i = 0; i < stations_.size(); ++i) {
     if (stations_[i] == nullptr) continue;
@@ -938,6 +1376,7 @@ ExperimentResult Simulation::run() {
     result_.controller_rounds = global_->rounds();
     result_.controller_reverts = global_->reverts();
     result_.solver_holds = global_->solver_holds();
+    result_.solver_resolve_skips = global_->resolve_skips();
     result_.forecast_solves = global_->forecast_solves();
     const SolveTelemetry& st = global_->solve_telemetry();
     result_.solver_solves = st.solves;
@@ -987,6 +1426,12 @@ ExperimentResult Simulation::run() {
   }
   if (breakers_ != nullptr) {
     result_.breaker_ejections = breakers_->ejections();
+  } else {
+    for (const auto& cx : ctxs_) {
+      if (cx->breakers_owned != nullptr) {
+        result_.breaker_ejections += cx->breakers_owned->ejections();
+      }
+    }
   }
   // Station-level job conservation and doomed-work accounting.
   for (const auto& st : stations_) {

@@ -21,6 +21,20 @@
 // exponential backoff under a token-bucket budget, preferring a different
 // candidate cluster. Faults come from the FaultPlan via a FaultInjector the
 // engine consults at each decision point.
+//
+// Execution engines (RunConfig::shards; docs/performance.md):
+//   shards == 0  — the legacy serial engine: one Simulator, one execution
+//                  context, bit-identical to previous releases.
+//   shards >= 1  — conservative-lookahead parallel engine: clusters are
+//                  grouped into latency islands (connected components over
+//                  zero-latency pairs), each island becomes one logical
+//                  process with a private Simulator and a private execution
+//                  context (pools, RNG stream, telemetry accumulators);
+//                  cross-island calls travel as by-value RPC messages
+//                  through the ShardedSimulator's deterministic mailboxes.
+//                  The shard count only caps worker threads — the partition
+//                  and the schedule are island-determined, so every sharded
+//                  run of a config is byte-identical regardless of count.
 #pragma once
 
 #include <array>
@@ -36,7 +50,9 @@
 #include "overload/overload_policy.h"
 #include "routing/policy.h"
 #include "runtime/experiment.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "util/inline_function.h"
 #include "util/pool.h"
@@ -63,9 +79,11 @@ class Simulation {
   [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
     return injector_.get();
   }
-  // Null unless circuit breaking is enabled.
+  // Null unless circuit breaking is enabled. Under the sharded engine this
+  // is the first island's caller-side bank (banks are per island).
   [[nodiscard]] const CircuitBreakerBank* circuit_breakers() const noexcept {
-    return breakers_.get();
+    if (breakers_ != nullptr) return breakers_.get();
+    return ctxs_.empty() ? nullptr : ctxs_.front()->breakers;
   }
   // Null for baseline policies; indexed by cluster id under SLATE.
   [[nodiscard]] const ClusterController* cluster_controller(
@@ -74,12 +92,20 @@ class Simulation {
                ? cluster_controllers_[c.index()].get()
                : nullptr;
   }
+  // Latency islands the sharded engine partitions into (1 on the legacy
+  // engine) and the conservative lookahead window width in seconds
+  // (+infinity with a single island).
+  [[nodiscard]] std::size_t island_count() const noexcept {
+    return island_count_;
+  }
+  [[nodiscard]] double lookahead_seconds() const noexcept { return lookahead_; }
 
  private:
   // Continuation of one call-tree node; `ok` is false when the subtree
   // failed (rejection, timeout, exhausted retries). 32-byte inline buffer:
   // hot-path continuations capture {this, pooled-state handle} and stay
-  // allocation-free; only rare cold paths (front-door redirects) spill.
+  // allocation-free; only rare cold paths (front-door redirects, cross-
+  // island RPC legs) spill.
   using Done = InlineFunction<void(bool ok), 32>;
 
   struct RequestState {
@@ -151,9 +177,13 @@ class Simulation {
     Done done;
   };
 
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
   // One logical call (possibly several routed attempts). Reused across
   // retries; `attempt` doubles as the generation counter that lets stale
-  // events of a superseded attempt recognize themselves.
+  // events of a superseded attempt recognize themselves. `slot` is the
+  // attempt's entry in its context's cross-island RPC registry (kNilSlot
+  // until the first remote leg; released at the terminal verdict).
   struct AttemptState {
     ReqPtr req;
     std::uint32_t node = 0;
@@ -162,9 +192,74 @@ class Simulation {
     ClusterId exclude;  // cluster the previous attempt failed on
     std::uint64_t parent_span = 0;
     std::uint32_t attempt = 0;
+    std::uint32_t slot = kNilSlot;
     bool settled = false;
     double deadline = 0.0;
     Done done;
+  };
+
+  // Caller-side registry entry for a call with a remote leg in flight. The
+  // held handle pins the attempt alive until the slot is released; `gen`
+  // invalidates responses addressed to a recycled slot.
+  struct PendingRemote {
+    PoolPtr<AttemptState> as;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  // Routing stamp a remote request leg carries so the response (or a stale
+  // duplicate of it) can find — or correctly miss — its attempt.
+  struct RemoteToken {
+    std::uint32_t slot = kNilSlot;
+    std::uint32_t slot_gen = 0;
+    std::uint32_t attempt_gen = 0;
+  };
+
+  // Everything the data plane mutates per request, owned per latency island
+  // so shards never contend: object pools, the routing RNG stream, result
+  // accumulators, egress/trace/breaker telemetry, the retry-token budget,
+  // and id counters (island-tagged so merged traces stay unique). The
+  // legacy serial engine runs with exactly one context wired to the
+  // Simulation-level members, preserving bit-identical behavior.
+  struct ExecCtx {
+    ExecCtx(const Topology& topo, std::size_t trace_capacity)
+        : egress(topo), traces_owned(trace_capacity) {}
+
+    std::uint32_t island = 0;
+    Simulator* sim = nullptr;
+    Rng rng_routing;
+
+    // Hot-path control-block pools. Declared before the slot registry: a
+    // pending slot holds a PoolPtr and must release before its pool dies.
+    Pool<RequestState> request_pool;
+    Pool<NodeState> node_pool;
+    Pool<ChainState> chain_pool;
+    Pool<FanoutState> fanout_pool;
+    Pool<AttemptState> attempt_pool;
+
+    EgressMeter egress;
+    TraceCollector traces_owned;       // sharded sink; merged at run end
+    TraceCollector* traces = nullptr;  // what this island's proxies record to
+    std::unique_ptr<CircuitBreakerBank> breakers_owned;  // sharded only
+    CircuitBreakerBank* breakers = nullptr;
+    std::unique_ptr<RoutingPolicy> baseline_owned;  // sharded only
+    RoutingPolicy* baseline = nullptr;
+    std::unique_ptr<ExperimentResult> res_owned;  // sharded only
+    ExperimentResult* res = nullptr;
+    // Per-island Waterfall load observations, summed into the shared
+    // snapshot at each window barrier (empty unless sharded + Waterfall).
+    std::vector<RateMeter> load_meters;
+
+    double retry_tokens = 0.0;  // token-bucket retry budget
+    std::uint64_t next_request = 0;
+    std::uint64_t next_span = 1;  // 0 is "no span" in trace context
+    // Reused candidate-filter scratch for start_attempt (hot path:
+    // allocating a fresh vector per attempt dominated allocs/request).
+    std::vector<ClusterId> filter_scratch;
+
+    // Cross-island RPC slots; after the pools (see above).
+    std::vector<PendingRemote> slots;
+    std::uint32_t free_slot = kNilSlot;
   };
 
   [[nodiscard]] std::size_t station_index(ServiceId s, ClusterId c) const {
@@ -176,6 +271,19 @@ class Simulation {
   SlateProxy& proxy(ServiceId s, ClusterId c) {
     return *proxies_[station_index(s, c)];
   }
+  [[nodiscard]] bool sharded() const noexcept { return sharded_ != nullptr; }
+  // The simulator control-plane machinery lives on: the single engine in
+  // legacy mode, the coordinator's global LP in sharded mode.
+  [[nodiscard]] Simulator& global_sim() noexcept {
+    return sharded_ != nullptr ? sharded_->global() : sim_;
+  }
+  [[nodiscard]] std::uint32_t island_of(ClusterId c) const noexcept {
+    return island_of_[c.index()];
+  }
+  // The execution context every event touching `c` runs under.
+  [[nodiscard]] ExecCtx& ctx_of(ClusterId c) noexcept {
+    return *ctxs_[island_of_[c.index()]];
+  }
 
   void on_arrival(ClassId cls, ClusterId cluster);
   // Executes call node `node` of `req`'s class at `cluster`; `done` fires at
@@ -185,6 +293,7 @@ class Simulation {
   // propagation; 0 at the root). `deadline` is the remaining time budget
   // (absolute sim time; kNoDeadline when deadlines are off) — with deadline
   // propagation on, expired work is cancelled instead of executed.
+  // Runs on (and its `done` fires on) `cluster`'s island.
   void execute_node(ReqPtr req, std::size_t node, ClusterId cluster,
                     std::uint64_t parent_span, double deadline, Done done);
   // Emits the node's span and fires its continuation.
@@ -206,14 +315,29 @@ class Simulation {
   // Advances a sequential child chain after the previous child settled.
   void chain_next(const PoolPtr<ChainState>& cs, bool ok);
 
-  // One fault-aware network latency draw for a message from -> to.
-  [[nodiscard]] double net_delay(ClusterId from, ClusterId to);
+  // Cross-island RPC plumbing (sharded engine only). A remote request leg
+  // carries the request state by value plus a RemoteToken; the response
+  // finds its attempt through the caller context's slot registry.
+  std::uint32_t acquire_slot(ExecCtx& cx, const PoolPtr<AttemptState>& as);
+  void release_slot(ExecCtx& cx, AttemptState& as);
+  void on_remote_response(ExecCtx& cx, RemoteToken tok, bool ok);
+
+  // One fault-aware network latency draw for a message from -> to, from the
+  // issuing context's routing stream.
+  [[nodiscard]] double net_delay(ExecCtx& cx, ClusterId from, ClusterId to);
   [[nodiscard]] bool cluster_down(ClusterId c) const noexcept {
     return injector_ != nullptr && injector_->cluster_down(c);
   }
-  // Terminal outcome of one request (success or error).
-  void finish_request(const RequestState& req, bool ok, ServiceId entry,
-                      ClusterId entry_cluster);
+  // Terminal outcome of one request (success or error), at its ingress.
+  void finish_request(ExecCtx& cx, const RequestState& req, bool ok,
+                      ServiceId entry, ClusterId entry_cluster);
+  // The ingress-side half: time-series bucket + measurement counters.
+  // (Cross-island redirects record the root proxy's e2e callee-side and
+  // ship only this part home.)
+  void finish_request_tail(ExecCtx& cx, ClassId cls, bool ok, double e2e);
+  // Arrival-rate observation for Waterfall: the live view in legacy mode,
+  // the context's snapshot meters in sharded mode.
+  void observe_load(ExecCtx& cx, ServiceId s, ClusterId c);
 
   void control_tick();
   // Applies a telemetry-corruption fault to a collected report: finite
@@ -222,6 +346,21 @@ class Simulation {
   // are exercised in unit/fuzz tests against the validator directly.
   void corrupt_report(ClusterReport& report, double factor);
   void begin_measurement();
+
+  // Groups clusters into latency islands (union over zero-latency pairs)
+  // and derives the conservative lookahead from the cross-island latency
+  // floor. Sharded mode only.
+  void compute_islands();
+  // Constructs the configured baseline routing policy (non-SLATE kinds).
+  [[nodiscard]] std::unique_ptr<RoutingPolicy> make_baseline(
+      const LoadView* view) const;
+  // Sizes the per-class containers of a result accumulator.
+  void init_result_shape(ExperimentResult& r) const;
+  // Folds per-island accumulators into result_, in island order (the order
+  // is island-determined, so merged output is invariant to worker count).
+  void merge_results();
+  // Barrier hook: per-island Waterfall meters -> shared load snapshot.
+  void refresh_waterfall_snapshot();
 
   const Scenario& scenario_;
   RunConfig config_;
@@ -233,21 +372,23 @@ class Simulation {
   // Precomputed per-class knobs (kNoDeadline / 0 when the sub-policy is off).
   std::vector<double> deadline_by_class_;
   std::vector<int> priority_by_class_;
-  // Null unless overload_.breaker.enabled.
+  // Legacy-engine bank (null when sharded: each context owns its own).
   std::unique_ptr<CircuitBreakerBank> breakers_;
 
-  // Hot-path control-block pools. Declared before every consumer (the
-  // simulator's event queue and the stations' job queues hold PoolPtrs that
-  // are released during their destruction), so the pools are destroyed last.
-  Pool<RequestState> request_pool_;
-  Pool<NodeState> node_pool_;
-  Pool<ChainState> chain_pool_;
-  Pool<FanoutState> fanout_pool_;
-  Pool<AttemptState> attempt_pool_;
+  // Latency-island partition (all zeros / 1 island on the legacy engine).
+  std::vector<std::uint32_t> island_of_;  // per cluster
+  std::size_t island_count_ = 1;
+  double lookahead_ = 0.0;
 
-  Simulator sim_;
+  // Execution contexts, one per island (exactly one on the legacy engine).
+  // Declared before both engines and the stations: events and queued jobs
+  // hold PoolPtrs into these contexts' pools, so the contexts die last.
+  std::vector<std::unique_ptr<ExecCtx>> ctxs_;
+
+  Simulator sim_;  // legacy serial engine (idle when sharded_ is set)
+  std::unique_ptr<ShardedSimulator> sharded_;
+
   Rng rng_root_;
-  Rng rng_routing_;
   Rng rng_chaos_;  // telemetry-corruption draws (fork 3 of the root)
 
   // Per service: clusters hosting it (ascending id order).
@@ -260,15 +401,21 @@ class Simulation {
   std::vector<std::shared_ptr<WeightedRulesPolicy>> rule_policies_;  // per cluster
   std::vector<std::unique_ptr<ClusterController>> cluster_controllers_;
   std::unique_ptr<GlobalController> global_;
-  std::unique_ptr<RoutingPolicy> baseline_policy_;
+  std::unique_ptr<RoutingPolicy> baseline_policy_;  // legacy engine
 
-  // Live load signal for Waterfall.
+  // Live load signal for Waterfall (legacy engine).
   class LiveLoadView;
   std::unique_ptr<LiveLoadView> load_view_;
+  // Sharded Waterfall: per-island meters sum into this snapshot at every
+  // window barrier; routing reads it (at most one window stale).
+  class SnapshotLoadView;
+  FlatMatrix<double> waterfall_snapshot_;
+  std::unique_ptr<SnapshotLoadView> snapshot_view_;
 
-  EgressMeter egress_;
   TraceCollector traces_;
-  std::unique_ptr<WorkloadDriver> workload_;
+  // One driver on the legacy engine; one per island (stream-partitioned)
+  // on the sharded engine.
+  std::vector<std::unique_ptr<WorkloadDriver>> workloads_;
   std::unique_ptr<FaultInjector> injector_;
   // RAII: destroying the Simulation cancels the control loop, so an
   // injected controller shutdown cannot leak a live timer.
@@ -277,15 +424,9 @@ class Simulation {
   // Measurement state.
   bool measuring_ = false;
   ExperimentResult result_;
-  std::uint64_t next_request_ = 0;
-  std::uint64_t next_span_ = 1;  // 0 is "no span" in trace context
   std::uint64_t rule_pushes_ = 0;
   // Previous pushed rule set, for the successive-push L1 churn signal.
   std::shared_ptr<const RoutingRuleSet> last_pushed_rules_;
-  double retry_tokens_ = 0.0;  // token-bucket retry budget
-  // Reused candidate-filter scratch for start_attempt (hot path: allocating
-  // a fresh vector per attempt dominated allocs/request with breakers on).
-  std::vector<ClusterId> filter_scratch_;
 };
 
 }  // namespace slate

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -52,11 +53,132 @@ void Simulator::pop_min() {
   events_[i] = std::move(tail);
 }
 
+void Simulator::insert_event(Event event) {
+  if (!calendar_engaged_) {
+    push_event(std::move(event));
+    if (events_.size() > calendar_threshold_) engage_calendar();
+    return;
+  }
+  route_far(std::move(event));
+}
+
+void Simulator::route_far(Event event) {
+  // Non-finite times can never land in a finite-width bucket; park them in
+  // the overflow list (they only ever run under run()'s infinite horizon).
+  if (!std::isfinite(event.time)) {
+    beyond_.push_back(std::move(event));
+    return;
+  }
+  const double idx = std::floor((event.time - far_origin_) / bucket_width_);
+  if (idx < static_cast<double>(cur_bucket_abs_)) {
+    push_event(std::move(event));
+  } else if (idx >= static_cast<double>(cur_bucket_abs_) +
+                        static_cast<double>(kNumBuckets)) {
+    beyond_.push_back(std::move(event));
+  } else {
+    buckets_[static_cast<std::size_t>(
+                 static_cast<std::uint64_t>(idx) % kNumBuckets)]
+        .push_back(std::move(event));
+    ++bucket_population_;
+  }
+}
+
+void Simulator::engage_calendar() {
+  calendar_engaged_ = true;
+  buckets_.resize(kNumBuckets);
+  // Spread the present population across the bucket range: width from the
+  // span of finite event times, floored so identical times still engage.
+  SimTime hi = now_;
+  for (const Event& e : events_) {
+    if (std::isfinite(e.time) && e.time > hi) hi = e.time;
+  }
+  far_origin_ = now_;
+  cur_bucket_abs_ = 0;
+  bucket_width_ =
+      std::max((hi - now_) / static_cast<double>(kNumBuckets - 1),
+               kMinBucketWidth);
+  std::vector<Event> old;
+  old.swap(events_);
+  events_.reserve(old.size() / kNumBuckets + 64);
+  for (Event& e : old) route_far(std::move(e));
+}
+
+bool Simulator::refill_near() {
+  while (events_.empty()) {
+    // Entering a new lap of the bucket ring: overflow events routed during
+    // earlier laps may now fall inside the ring's window — re-route them
+    // before consuming any bucket of this lap, or they would run late.
+    const std::uint64_t lap = cur_bucket_abs_ / kNumBuckets;
+    if (lap > beyond_swept_lap_) {
+      beyond_swept_lap_ = lap;
+      if (!beyond_.empty()) sweep_beyond();
+    }
+    if (bucket_population_ == 0) {
+      if (beyond_.empty()) return false;
+      reanchor_from_beyond();
+      continue;
+    }
+    std::vector<Event>& bucket = buckets_[current_bucket_index()];
+    if (!bucket.empty()) {
+      bucket_population_ -= bucket.size();
+      for (Event& e : bucket) push_event(std::move(e));
+      bucket.clear();
+    }
+    // This bucket's range now belongs to the heap.
+    ++cur_bucket_abs_;
+  }
+  return true;
+}
+
+void Simulator::sweep_beyond() {
+  std::vector<Event> old;
+  old.swap(beyond_);
+  for (Event& e : old) route_far(std::move(e));
+}
+
+void Simulator::reanchor_from_beyond() {
+  assert(events_.empty() && bucket_population_ == 0 && !beyond_.empty());
+  SimTime lo = std::numeric_limits<SimTime>::infinity();
+  SimTime hi = -std::numeric_limits<SimTime>::infinity();
+  for (const Event& e : beyond_) {
+    if (!std::isfinite(e.time)) continue;
+    lo = std::min(lo, e.time);
+    hi = std::max(hi, e.time);
+  }
+  std::vector<Event> old;
+  old.swap(beyond_);
+  if (!std::isfinite(lo)) {
+    // Only non-finite times remain; the heap orders them by (time, seq).
+    for (Event& e : old) push_event(std::move(e));
+    return;
+  }
+  far_origin_ = lo;
+  cur_bucket_abs_ = 0;
+  beyond_swept_lap_ = 0;
+  bucket_width_ =
+      std::max((hi - lo) / static_cast<double>(kNumBuckets - 1),
+               kMinBucketWidth);
+  for (Event& e : old) route_far(std::move(e));
+}
+
+Simulator::Event* Simulator::peek_top() {
+  if (events_.empty()) {
+    if (!calendar_engaged_ || !refill_near()) return nullptr;
+  }
+  return &events_.front();
+}
+
+SimTime Simulator::peek_next_time() {
+  const Event* top = peek_top();
+  return top != nullptr ? top->time
+                        : std::numeric_limits<SimTime>::infinity();
+}
+
 void Simulator::schedule_at(SimTime when, Callback fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  push_event(Event{when, next_seq_++, std::move(fn)});
+  insert_event(Event{when, next_seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_after(SimTime delay, Callback fn) {
@@ -71,12 +193,12 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::run_until(SimTime until) {
   stopped_ = false;
   std::uint64_t ran = 0;
-  while (!events_.empty() && !stopped_) {
-    Event& top = events_.front();
-    if (top.time > until) break;
+  while (!stopped_) {
+    Event* top = peek_top();
+    if (top == nullptr || top->time > until) break;
     // Move the callback out before popping so it can schedule new events.
-    Callback fn = std::move(top.fn);
-    now_ = top.time;
+    Callback fn = std::move(top->fn);
+    now_ = top->time;
     pop_min();
     fn();
     ++ran;

@@ -2,16 +2,23 @@
 //
 // A single-threaded event loop over a virtual clock. Events are closures
 // ordered by (time, insertion sequence); the sequence tie-break makes runs
-// fully deterministic regardless of heap internals. All SLATE experiments run
+// fully deterministic regardless of queue internals. All SLATE experiments run
 // on this engine; nothing in it knows about services or networks.
 //
 // Hot-path design: callbacks are InlineCallback (64-byte small-buffer
 // optimization — scheduling a typical closure allocates nothing), and the
-// pending-event queue is a reserved 4-ary implicit heap (shallower than a
-// binary heap, sift path touches one cache line of children per level).
+// pending-event queue is two-tier. A reserved 4-ary implicit heap (shallower
+// than a binary heap, sift path touches one cache line of children per level)
+// holds the near future; once the population crosses a threshold a calendar
+// tier engages — 1024 fixed-width circular buckets plus an overflow list —
+// so far-future events cost O(1) to insert and only ever pass through a
+// near-heap holding one bucket's worth of events. Tier routing is monotone
+// in event time, so the exact (time, seq) total order of the plain heap is
+// preserved bit-for-bit.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -58,8 +65,24 @@ class Simulator {
   // Makes run()/run_until() return after the current event completes.
   void stop() noexcept { stopped_ = true; }
 
-  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+  // Time of the earliest pending event, +infinity when none are pending.
+  // May migrate calendar-tier events into the near heap, hence non-const.
+  [[nodiscard]] SimTime peek_next_time();
+
+  // Pending-event population above which the calendar tier engages (once,
+  // for the simulator's lifetime). 0 engages on the first scheduled event;
+  // std::numeric_limits<std::size_t>::max() keeps the plain heap forever.
+  void set_calendar_threshold(std::size_t n) noexcept {
+    calendar_threshold_ = n;
+  }
+  [[nodiscard]] bool calendar_engaged() const noexcept {
+    return calendar_engaged_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return events_.size() + bucket_population_ + beyond_.size();
+  }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
  private:
@@ -150,15 +173,59 @@ class Simulator {
   }
 
   void push_event(Event event);
-  // Removes the minimum event. Requires a non-empty queue.
+  // Removes the minimum event. Requires a non-empty near heap.
   void pop_min();
+
+  // Routes a new event to the near heap or a calendar tier, engaging the
+  // calendar when the population crosses the threshold.
+  void insert_event(Event event);
+  void route_far(Event event);
+  void engage_calendar();
+  // First bucket (cyclically) not yet spliced into the heap.
+  [[nodiscard]] std::uint64_t current_bucket_index() const noexcept {
+    return static_cast<std::size_t>(cur_bucket_abs_ % kNumBuckets);
+  }
+  // Moves calendar events into the near heap until it is non-empty.
+  // Returns false when no events remain anywhere.
+  bool refill_near();
+  // Re-routes every overflow event through route_far. Called once per lap of
+  // the bucket ring: an event parked in beyond_ when the cursor was at c has
+  // absolute index >= c + kNumBuckets, so the sweep at the next lap entry
+  // (cursor <= c + kNumBuckets) always lands it in a not-yet-consumed bucket.
+  void sweep_beyond();
+  void reanchor_from_beyond();
+  // Pointer to the earliest pending event (refilling the near heap from the
+  // calendar as needed), or nullptr when none are pending.
+  [[nodiscard]] Event* peek_top();
 
   void arm_periodic(std::weak_ptr<PeriodicTask> task,
                     std::shared_ptr<bool> alive, SimTime interval);
 
-  // 4-ary implicit min-heap over (time, seq).
+  // 4-ary implicit min-heap over (time, seq); the near tier.
   static constexpr std::size_t kHeapArity = 4;
   std::vector<Event> events_;
+
+  // Calendar (far) tier. Bucket b holds events whose absolute bucket index
+  // floor((time - far_origin_) / bucket_width_) equals b; indexes below
+  // cur_bucket_abs_ belong to the heap, indexes cur_bucket_abs_ + kNumBuckets
+  // and beyond overflow into beyond_. Because FP subtract/divide/floor are
+  // monotone, the index is a monotone function of event time and tiers can
+  // never misorder relative to each other.
+  static constexpr std::size_t kNumBuckets = 1024;
+  static constexpr double kMinBucketWidth = 1e-9;
+  bool calendar_engaged_ = false;
+  std::size_t calendar_threshold_ = 8192;
+  SimTime far_origin_ = 0.0;
+  double bucket_width_ = 0.0;
+  std::uint64_t cur_bucket_abs_ = 0;
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t bucket_population_ = 0;
+  // Overflow events (index past the ring, or non-finite time). Swept back
+  // through route_far each time the cursor enters a new lap of the ring, so
+  // an overflow event re-enters its bucket before that bucket is consumed.
+  std::vector<Event> beyond_;
+  std::uint64_t beyond_swept_lap_ = 0;
+
   // Owners of periodic-task closures. Cancelled entries are pruned on the
   // next schedule_periodic; their closures are released at cancel time.
   std::vector<std::shared_ptr<PeriodicTask>> periodic_tasks_;

@@ -33,7 +33,10 @@ MetricsRegistry::MetricsRegistry(std::size_t service_count,
                                  std::size_t class_count, double rate_tau)
     : services_(service_count),
       classes_(class_count),
-      stats_(service_count * class_count),
+      started_(service_count * class_count, 0),
+      completed_(service_count * class_count, 0),
+      latency_(service_count * class_count),
+      service_time_(service_count * class_count),
       service_rates_(service_count, RateMeter(rate_tau)),
       inflight_(service_count, 0),
       ingress_rates_(class_count, RateMeter(rate_tau)),
@@ -49,8 +52,7 @@ std::size_t MetricsRegistry::key(ServiceId s, ClassId k) const {
 }
 
 void MetricsRegistry::record_start(ServiceId service, ClassId cls, double now) {
-  auto& st = stats_[key(service, cls)];
-  ++st.started;
+  ++started_[key(service, cls)];
   ++inflight_[service.index()];
   service_rates_[service.index()].observe(now);
 }
@@ -58,10 +60,10 @@ void MetricsRegistry::record_start(ServiceId service, ClassId cls, double now) {
 void MetricsRegistry::record_end(ServiceId service, ClassId cls,
                                  double latency_seconds,
                                  double service_seconds) {
-  auto& st = stats_[key(service, cls)];
-  ++st.completed;
-  st.latency.add(latency_seconds);
-  st.service.add(service_seconds);
+  const std::size_t i = key(service, cls);
+  ++completed_[i];
+  latency_[i].add(latency_seconds);
+  service_time_[i].add(service_seconds);
   if (inflight_[service.index()] > 0) --inflight_[service.index()];
 }
 
@@ -95,8 +97,10 @@ const StreamingStats& MetricsRegistry::e2e(ClassId cls) const {
   return e2e_[cls.index()];
 }
 
-const RequestStats& MetricsRegistry::stats(ServiceId service, ClassId cls) const {
-  return stats_[key(service, cls)];
+RequestStats MetricsRegistry::stats(ServiceId service, ClassId cls) const {
+  const std::size_t i = key(service, cls);
+  return RequestStats{started_[i], completed_[i], latency_[i],
+                      service_time_[i]};
 }
 
 double MetricsRegistry::service_rate(ServiceId service, double now) const {
@@ -128,7 +132,10 @@ std::size_t MetricsRegistry::inflight(ServiceId service) const {
 }
 
 void MetricsRegistry::reset_period() {
-  for (auto& st : stats_) st = RequestStats{};
+  for (auto& c : started_) c = 0;
+  for (auto& c : completed_) c = 0;
+  for (auto& l : latency_) l.reset();
+  for (auto& s : service_time_) s.reset();
   for (auto& c : ingress_counts_) c = 0;
   for (auto& e : e2e_) e.reset();
   for (auto& s : e2e_samples_) s.clear();

@@ -34,6 +34,7 @@ class RateMeter {
 };
 
 // Accumulated per-(service, class) statistics for one control period.
+// Assembled on demand from the registry's SoA columns — see stats().
 struct RequestStats {
   std::uint64_t started = 0;
   std::uint64_t completed = 0;
@@ -66,7 +67,9 @@ class MetricsRegistry {
   // the current control interval.
   [[nodiscard]] double e2e_quantile(ClassId cls, double q) const;
 
-  [[nodiscard]] const RequestStats& stats(ServiceId service, ClassId cls) const;
+  // Period stats for one (service, class) cell, assembled from the SoA
+  // columns. Snapshot semantics: callers read it once per control period.
+  [[nodiscard]] RequestStats stats(ServiceId service, ClassId cls) const;
   // Instantaneous per-service arrival rate (all classes), for Waterfall.
   [[nodiscard]] double service_rate(ServiceId service, double now) const;
   [[nodiscard]] double ingress_rate(ClassId cls, double now) const;
@@ -85,7 +88,13 @@ class MetricsRegistry {
 
   std::size_t services_;
   std::size_t classes_;
-  std::vector<RequestStats> stats_;          // services x classes
+  // Structure-of-arrays over (service x class): the data plane increments a
+  // bare counter per request start, so the hot column stays 8 bytes/cell
+  // instead of dragging a whole RequestStats line into cache.
+  std::vector<std::uint64_t> started_;       // services x classes
+  std::vector<std::uint64_t> completed_;     // services x classes
+  std::vector<StreamingStats> latency_;      // services x classes
+  std::vector<StreamingStats> service_time_; // services x classes
   std::vector<RateMeter> service_rates_;     // per service
   std::vector<std::size_t> inflight_;        // per service
   std::vector<RateMeter> ingress_rates_;     // per class

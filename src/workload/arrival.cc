@@ -7,7 +7,7 @@ namespace slate {
 
 WorkloadDriver::WorkloadDriver(Simulator& sim, Rng rng,
                                const DemandSchedule& schedule, double end_time,
-                               Sink sink)
+                               Sink sink, StreamFilter owns)
     : sim_(sim),
       rng_(rng),
       schedule_(schedule),
@@ -15,8 +15,11 @@ WorkloadDriver::WorkloadDriver(Simulator& sim, Rng rng,
       sink_(std::move(sink)) {
   stream_rngs_.reserve(schedule_.streams().size());
   for (std::size_t i = 0; i < schedule_.streams().size(); ++i) {
+    // Fork unconditionally: each fork mutates the parent, so skipping
+    // unowned streams would desynchronize the owned streams' seeds across
+    // differently partitioned drivers.
     stream_rngs_.push_back(rng_.fork(i));
-    schedule_next(i);
+    if (!owns || owns(i)) schedule_next(i);
   }
 }
 

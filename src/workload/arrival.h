@@ -25,10 +25,18 @@ class WorkloadDriver {
   // Called for every generated request, at its arrival time.
   using Sink = std::function<void(ClassId, ClusterId)>;
 
-  // Generates arrivals on `sim` for every stream of `schedule` from t=0
-  // until `end_time`. The schedule must outlive the driver.
+  // Selects which demand streams this driver realizes (by stream index).
+  // Null means all of them.
+  using StreamFilter = std::function<bool(std::size_t)>;
+
+  // Generates arrivals on `sim` for every stream of `schedule` accepted by
+  // `owns`, from t=0 until `end_time`. The schedule must outlive the driver.
+  // Per-stream RNGs are forked for ALL streams, in stream order, whether
+  // owned or not — a set of drivers that partition the streams (one per
+  // simulation shard) draws exactly the arrival sequence a single driver
+  // over the full schedule would.
   WorkloadDriver(Simulator& sim, Rng rng, const DemandSchedule& schedule,
-                 double end_time, Sink sink);
+                 double end_time, Sink sink, StreamFilter owns = nullptr);
 
   WorkloadDriver(const WorkloadDriver&) = delete;
   WorkloadDriver& operator=(const WorkloadDriver&) = delete;

@@ -249,5 +249,118 @@ TEST(Simulator, ManyEventsStressOrdering) {
   EXPECT_EQ(sim.events_executed(), 10000u);
 }
 
+// --- Calendar queue vs heap ------------------------------------------------
+//
+// Above the engagement threshold the pending set migrates from the 4-ary
+// heap into the bucketed calendar. The two tiers must be observationally
+// identical: same execution order (including same-time ties, which run in
+// scheduling order), same clock behavior at run_until boundaries.
+
+// Executes the same deterministic storm on both queue tiers and returns the
+// two execution logs. The storm mixes duplicate timestamps (ties), events
+// scheduling more events mid-run, and run_until boundary stops.
+std::pair<std::vector<int>, std::vector<int>> storm_logs(std::size_t threshold_a,
+                                                         std::size_t threshold_b) {
+  auto run = [](std::size_t threshold) {
+    Simulator sim;
+    sim.set_calendar_threshold(threshold);
+    std::vector<int> log;
+    int next_id = 0;
+    // Deterministic pseudo-random times with heavy tie collisions.
+    for (int i = 0; i < 20000; ++i) {
+      const double t = static_cast<double>((i * 7919) % 500) * 0.01;
+      const int id = next_id++;
+      sim.schedule_at(t, [&log, &sim, &next_id, id, t] {
+        log.push_back(id);
+        if (id % 7 == 0) {
+          // Events scheduling events: land some in the current bucket, some
+          // far beyond the calendar's horizon.
+          const int child = next_id++;
+          sim.schedule_after((id % 3) * 0.25, [&log, child] { log.push_back(child); });
+        }
+        (void)t;
+      });
+    }
+    // Boundary stops: an event exactly at the horizon must run, later ones
+    // must not.
+    sim.run_until(1.0);
+    sim.run_until(2.5);
+    sim.run();
+    return log;
+  };
+  return {run(threshold_a), run(threshold_b)};
+}
+
+TEST(Simulator, CalendarMatchesHeapOrdering) {
+  // 64: engages almost immediately. SIZE_MAX: pure heap, never engages.
+  const auto [calendar, heap] = storm_logs(64, static_cast<std::size_t>(-1));
+  ASSERT_EQ(calendar.size(), heap.size());
+  EXPECT_EQ(calendar, heap);
+}
+
+TEST(Simulator, CalendarEngagesAboveThresholdOnly) {
+  Simulator heapy;
+  heapy.set_calendar_threshold(static_cast<std::size_t>(-1));
+  Simulator cal;
+  cal.set_calendar_threshold(100);
+  for (int i = 0; i < 500; ++i) {
+    heapy.schedule_at(i * 0.001, [] {});
+    cal.schedule_at(i * 0.001, [] {});
+  }
+  EXPECT_FALSE(heapy.calendar_engaged());
+  EXPECT_TRUE(cal.calendar_engaged());
+  heapy.run();
+  cal.run();
+  EXPECT_EQ(heapy.events_executed(), cal.events_executed());
+}
+
+TEST(Simulator, CalendarSameTimeTiesRunInSchedulingOrder) {
+  Simulator sim;
+  sim.set_calendar_threshold(8);
+  std::vector<int> log;
+  // All at the same instant, plus enough filler to engage the calendar.
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule_at(1.0, [&log, i] { log.push_back(i); });
+  }
+  ASSERT_TRUE(sim.calendar_engaged());
+  sim.run();
+  ASSERT_EQ(log.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(log[i], i);
+}
+
+TEST(Simulator, CalendarPeriodicMatchesHeapPeriodic) {
+  auto run = [](std::size_t threshold) {
+    Simulator sim;
+    sim.set_calendar_threshold(threshold);
+    std::vector<double> ticks;
+    auto handle = sim.schedule_periodic(0.125, [&] { ticks.push_back(sim.now()); });
+    // Filler population so the calendar tier actually engages.
+    for (int i = 0; i < 4000; ++i) sim.schedule_at(i * 0.003, [] {});
+    sim.run_until(10.0);
+    handle.cancel();
+    return ticks;
+  };
+  const auto a = run(16);
+  const auto b = run(static_cast<std::size_t>(-1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Simulator, CalendarRunUntilBoundaryExact) {
+  Simulator sim;
+  sim.set_calendar_threshold(4);
+  int at_horizon = 0;
+  int past_horizon = 0;
+  for (int i = 0; i < 32; ++i) sim.schedule_at(0.1 * i, [] {});
+  sim.schedule_at(5.0, [&] { ++at_horizon; });
+  sim.schedule_at(5.0 + 1e-9, [&] { ++past_horizon; });
+  ASSERT_TRUE(sim.calendar_engaged());
+  sim.run_until(5.0);
+  EXPECT_EQ(at_horizon, 1);
+  EXPECT_EQ(past_horizon, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(past_horizon, 1);
+}
+
 }  // namespace
 }  // namespace slate

@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py CURRENT.json [BASELINE.json] [--threshold=0.25]
+        [--alloc-threshold=0.10]
 
 Exits non-zero if any (case, policy) run's throughput metric regressed by
 more than the threshold fraction relative to the baseline
@@ -10,9 +11,15 @@ more than the threshold fraction relative to the baseline
 rate field the run carries: events_per_sec (micro_simulator) or
 solves_per_sec (micro_optimizer_scaling) — so one gate covers both the
 engine bench and the solver solve-time curve. Faster-than-baseline results
-and allocation deltas are reported but never fail the check — CI machines
-vary; a >25% throughput drop on the same machine class is a real
-regression, not noise.
+are reported but never fail the check — CI machines vary; a >25% throughput
+drop on the same machine class is a real regression, not noise.
+
+Allocation pressure is gated separately and more tightly: when both sides
+carry allocs_per_request, the check fails if the current run allocates more
+than (1 + alloc_threshold) times the baseline per request. The counting
+allocator is deterministic for a fixed seed — unlike wall time, an
+allocs/request increase is a code change, not machine noise, so the default
+headroom is only 10%.
 
 Cases present on only one side never fail the check: new cases missing
 from the baseline are reported and skipped, and baseline cases missing
@@ -53,10 +60,13 @@ def load_runs(path):
 
 def main(argv):
     threshold = 0.25
+    alloc_threshold = 0.10
     positional = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--alloc-threshold="):
+            alloc_threshold = float(arg.split("=", 1)[1])
         else:
             positional.append(arg)
     if not 1 <= len(positional) <= 2:
@@ -103,6 +113,16 @@ def main(argv):
                 f"{base['allocs_per_event']:7.3f} ->"
                 f"{cur['allocs_per_event']:6.3f}"
             )
+        base_apr = base.get("allocs_per_request")
+        cur_apr = cur.get("allocs_per_request")
+        if base_apr and cur_apr is not None:
+            if cur_apr > base_apr * (1.0 + alloc_threshold):
+                marker = "REG"
+                failures.append(
+                    f"{name}: allocs/request {cur_apr:.2f} vs baseline "
+                    f"{base_apr:.2f} (+{(cur_apr - base_apr) / base_apr:.1%} > "
+                    f"{alloc_threshold:.0%})"
+                )
         print(
             f"{marker} {name:28s} {base_eps:12,.0f} {cur_eps:12,.0f} "
             f"{delta:+8.1%} {alloc_note}"
