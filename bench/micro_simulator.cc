@@ -183,6 +183,14 @@ int main(int argc, char** argv) {
     o.overload.deadline.default_deadline = 0.5;
     o.overload.breaker.enabled = true;
     rows.push_back(run_case("chain-2c-overload", scenario, o));
+    // Front-door admission on top of the overload stack, with buckets
+    // sized above the offered load: every arrival pays the token-bucket
+    // gate and the adaptation loop retunes each control period, but
+    // nothing sheds — this prices the gate itself, not the rejections.
+    RunConfig a = o;
+    a.admission.enabled = true;
+    a.admission.default_rate = 900.0;
+    rows.push_back(run_case("chain-2c-admission", scenario, a));
     // Forecast armed on time-varying demand: the piecewise generator steps
     // churn arrival rates every 0.5 s and the Holt-Winters per-cell
     // forecasters + rolling backtest score every control period — this run

@@ -30,6 +30,10 @@
 //   --queue-limit=<n>      bound every station queue at n jobs (overload)
 //   --deadline=<seconds>   end-to-end deadline with propagation (overload)
 //   --no-overload          ignore the scenario's overload directives
+//   --admit=<class>:<rps>  front-door admission: cap class at rps per
+//                          ingress cluster (repeatable; <rps> alone caps
+//                          every class)
+//   --no-admission         ignore the scenario's admission directives
 //   --cdf                  print the latency CDF
 //   --seeds=<n>            run n replications (derived seeds) and report
 //                          mean +/- 95% CI across them (default 1)
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
   bool print_cdf = false;
   bool drop_faults = false;
   bool drop_overload = false;
+  // --admit specs, resolved against class names after the scenario loads.
+  std::vector<std::string> admit_specs;
   std::string dump_demand_path;
   std::size_t seeds = 1;
   std::size_t jobs = 0;  // 0 = hardware concurrency
@@ -144,6 +150,10 @@ int main(int argc, char** argv) {
       config.overload.deadline.default_deadline = std::stod(value);
     } else if (std::strcmp(argv[i], "--no-overload") == 0) {
       drop_overload = true;
+    } else if (parse_flag(argv[i], "--admit", &value)) {
+      admit_specs.push_back(value);
+    } else if (std::strcmp(argv[i], "--no-admission") == 0) {
+      config.ignore_scenario_admission = true;
     } else if (std::strcmp(argv[i], "--cdf") == 0) {
       print_cdf = true;
     } else if (parse_flag(argv[i], "--seeds", &value)) {
@@ -173,6 +183,41 @@ int main(int argc, char** argv) {
   }
   if (drop_faults) scenario.faults.clear();
   if (drop_overload) scenario.overload = OverloadPolicy{};
+
+  // --admit overlays onto the scenario's admission policy (and arms it):
+  // "<class>:<rps>" caps one class, a bare "<rps>" sets the default rate.
+  for (const std::string& spec : admit_specs) {
+    const std::size_t colon = spec.find(':');
+    double rps = 0.0;
+    try {
+      rps = std::stod(colon == std::string::npos ? spec
+                                                 : spec.substr(colon + 1));
+    } catch (const std::exception&) {
+      rps = 0.0;
+    }
+    if (rps <= 0.0) {
+      std::fprintf(stderr, "--admit expects <class>:<rps> or <rps>, got '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    if (colon == std::string::npos) {
+      scenario.admission.default_rate = rps;
+    } else {
+      const std::string cls = spec.substr(0, colon);
+      ClassId id;
+      for (ClassId k : scenario.app->all_classes()) {
+        if (scenario.app->traffic_class(k).name == cls) id = k;
+      }
+      if (!id.valid()) {
+        std::fprintf(stderr, "--admit: unknown class '%s'\n", cls.c_str());
+        return 2;
+      }
+      auto& rates = scenario.admission.class_rate;
+      if (rates.size() <= id.index()) rates.resize(id.index() + 1, 0.0);
+      rates[id.index()] = rps;
+    }
+    scenario.admission.enabled = true;
+  }
 
   // Replications: seed i is derived from the base seed, and every replicate
   // is an independent grid job, so `--jobs` changes wall-clock only.
@@ -296,6 +341,40 @@ int main(int argc, char** argv) {
     if (r.wasted_server_seconds > 0.0) {
       std::printf("  overload %.3f wasted server-seconds (expired work served)\n",
                   r.wasted_server_seconds);
+    }
+  }
+  if (r.admission_admitted + r.admission_rejected > 0) {
+    std::printf(
+        "  admission %llu admitted / %llu rejected at ingress "
+        "(%llu adapt rounds: %llu raises / %llu cuts / %llu floor raises"
+        " / %llu forecast widenings)\n",
+        static_cast<unsigned long long>(r.admission_admitted),
+        static_cast<unsigned long long>(r.admission_rejected),
+        static_cast<unsigned long long>(r.admission_adapt_rounds),
+        static_cast<unsigned long long>(r.admission_rate_raises),
+        static_cast<unsigned long long>(r.admission_rate_cuts),
+        static_cast<unsigned long long>(r.admission_floor_raises),
+        static_cast<unsigned long long>(r.admission_forecast_widenings));
+    for (ClassId k : scenario.app->all_classes()) {
+      const std::size_t i = k.index();
+      const std::uint64_t offered =
+          r.admission_admitted_by_class[i] + r.admission_rejected_by_class[i];
+      if (offered == 0) continue;
+      const std::size_t done = r.e2e_by_class[i].count();
+      const double attainment =
+          done > 0 ? static_cast<double>(r.slo_hits_by_class[i]) /
+                         static_cast<double>(done)
+                   : 0.0;
+      std::printf(
+          "  class %-12s %llu admitted / %llu rejected, goodput %.1f rps, "
+          "SLO attainment %.1f%%\n",
+          scenario.app->traffic_class(k).name.c_str(),
+          static_cast<unsigned long long>(r.admission_admitted_by_class[i]),
+          static_cast<unsigned long long>(r.admission_rejected_by_class[i]),
+          r.measured_seconds > 0.0
+              ? static_cast<double>(done) / r.measured_seconds
+              : 0.0,
+          attainment * 100.0);
     }
   }
   if (r.guard_fields_rejected + r.guard_spikes_clamped + r.solver_fallbacks +

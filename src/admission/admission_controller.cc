@@ -1,0 +1,130 @@
+#include "admission/admission_controller.h"
+
+#include <algorithm>
+
+namespace slate {
+
+AdmissionController::AdmissionController(const AdmissionPolicy& policy,
+                                         std::size_t class_count,
+                                         std::size_t cluster_count)
+    : policy_(policy),
+      class_count_(class_count),
+      cluster_count_(cluster_count),
+      cells_(class_count * cluster_count),
+      slo_by_class_(class_count) {
+  for (std::size_t k = 0; k < class_count_; ++k) {
+    slo_by_class_[k] = policy_.slo_for(ClassId{k});
+    const double rate =
+        std::clamp(policy_.rate_for(ClassId{k}), policy_.min_rate, policy_.max_rate);
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      Cell& cell = cells_[k * cluster_count_ + c];
+      cell.rate = rate;
+      cell.tokens = depth(cell);  // Buckets start full.
+    }
+  }
+}
+
+double AdmissionController::depth(const Cell& cell) const noexcept {
+  return std::max(1.0, cell.rate * policy_.burst);
+}
+
+bool AdmissionController::try_admit(ClassId cls, ClusterId ingress, double now) {
+  Cell& cell = cells_[cls.index() * cluster_count_ + ingress.index()];
+  if (now > cell.last_refill) {
+    cell.tokens = std::min(cell.tokens + cell.rate * (now - cell.last_refill),
+                           depth(cell));
+    cell.last_refill = now;
+  }
+  ++cell.offered;
+  if (cell.tokens >= 1.0) {
+    cell.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+void AdmissionController::on_outcome(ClassId cls, ClusterId ingress, bool ok,
+                                     double e2e) {
+  Cell& cell = cells_[cls.index() * cluster_count_ + ingress.index()];
+  ++cell.finished;
+  if (ok && e2e <= slo_by_class_[cls.index()]) ++cell.slo_hits;
+}
+
+void AdmissionController::adapt(double now, const FlatMatrix<double>* predicted,
+                                const FlatMatrix<double>* fconfidence) {
+  const double dt = now - last_adapt_;
+  last_adapt_ = now;
+  if (dt <= 0.0 || !policy_.adapt) return;
+  ++adapt_rounds_;
+  for (std::size_t k = 0; k < class_count_; ++k) {
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      Cell& cell = cells_[k * cluster_count_ + c];
+      const double offered_rps = static_cast<double>(cell.offered) / dt;
+      const double goodput_rps = static_cast<double>(cell.slo_hits) / dt;
+
+      // Pick a target rate from this period's evidence.
+      double target = cell.rate;
+      if (cell.finished > 0) {
+        const double attainment =
+            static_cast<double>(cell.slo_hits) / static_cast<double>(cell.finished);
+        if (attainment >= policy_.target_attainment) {
+          // Healthy: track offered demand with headroom so admission is
+          // not the bottleneck, stepping at most `gain` per period.
+          const double want = offered_rps * policy_.headroom;
+          target = want > cell.rate
+                       ? std::min(want, cell.rate * (1.0 + policy_.gain))
+                       : std::max(want, cell.rate * (1.0 - policy_.gain));
+        } else {
+          // Missing the SLO: cut proportionally to how far attainment
+          // fell short, but never below the goodput we actually
+          // observed — that work was worth admitting.
+          const double severity =
+              (policy_.target_attainment - attainment) / policy_.target_attainment;
+          target = std::max(cell.rate * (1.0 - policy_.gain * severity),
+                            goodput_rps);
+        }
+      }
+
+      // Confidence-weighted blending, same idiom as the demand
+      // forecaster: thin evidence moves the rate only a little, zero
+      // evidence holds it exactly.
+      const double conf =
+          std::min(1.0, static_cast<double>(cell.offered) / policy_.evidence);
+      double next = cell.rate + conf * (target - cell.rate);
+
+      // Max-min fairness floor: every class keeps an admitted share of
+      // at least fair_floor of its offered rate.
+      const double floor = offered_rps * policy_.fair_floor;
+      if (next < floor) {
+        next = floor;
+        ++floor_raises_;
+      }
+
+      // Forecast pre-widening: open the bucket ahead of a predicted
+      // ramp, weighted by forecast confidence. Zero confidence (or no
+      // forecaster) leaves the reactive rate untouched.
+      if (predicted != nullptr && fconfidence != nullptr &&
+          k < predicted->rows() && c < predicted->cols()) {
+        const double widen =
+            (*fconfidence)(k, c) * (*predicted)(k, c) * policy_.headroom;
+        if (widen > next) {
+          next = widen;
+          ++forecast_widenings_;
+        }
+      }
+
+      next = std::clamp(next, policy_.min_rate, policy_.max_rate);
+      if (next > cell.rate) {
+        ++rate_raises_;
+      } else if (next < cell.rate) {
+        ++rate_cuts_;
+      }
+      cell.rate = next;
+      cell.offered = 0;
+      cell.finished = 0;
+      cell.slo_hits = 0;
+    }
+  }
+}
+
+}  // namespace slate

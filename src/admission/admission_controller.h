@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "admission/admission_policy.h"
+#include "util/ids.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+// Per-(traffic-class, ingress-cluster) token buckets with a slow
+// adaptation loop, Autothrottle-style: the fast data path (try_admit /
+// on_outcome) runs at request birth and completion on the ingress
+// cluster's island; the slow path (adapt) runs once per control period
+// on the global timeline, at window barriers under the sharded engine.
+//
+// Determinism: the controller draws no RNG anywhere, every cell is
+// touched only from its cluster's island between barriers, and a period
+// with zero evidence in a cell holds that cell's rate exactly — so the
+// subsystem is byte-identical across serial, parallel, and any shard
+// count, and armed-but-idle cells never drift.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionPolicy& policy, std::size_t class_count,
+                      std::size_t cluster_count);
+
+  // Data path, called at request birth. Refills the (cls, ingress)
+  // bucket to `now` and spends one token; false means reject (the
+  // caller fast-fails the request synchronously).
+  bool try_admit(ClassId cls, ClusterId ingress, double now);
+
+  // Data path, called when an admitted request finishes end-to-end.
+  void on_outcome(ClassId cls, ClusterId ingress, bool ok, double e2e);
+
+  // Slow path, once per control period. Retunes each cell's rate from
+  // observed goodput and SLO attainment, blended by evidence
+  // confidence, then applies the max-min fairness floor. When a
+  // forecaster is armed, predicted demand pre-widens buckets ahead of a
+  // ramp, weighted by forecast confidence (zero confidence is a no-op).
+  // `predicted`/`fconfidence` are (class x cluster) or nullptr.
+  void adapt(double now, const FlatMatrix<double>* predicted,
+             const FlatMatrix<double>* fconfidence);
+
+  [[nodiscard]] double rate(ClassId cls, ClusterId ingress) const noexcept {
+    return cells_[cls.index() * cluster_count_ + ingress.index()].rate;
+  }
+  [[nodiscard]] double slo_for(ClassId cls) const noexcept {
+    return slo_by_class_[cls.index()];
+  }
+
+  // Adaptation telemetry, whole run.
+  [[nodiscard]] std::uint64_t adapt_rounds() const noexcept { return adapt_rounds_; }
+  [[nodiscard]] std::uint64_t rate_raises() const noexcept { return rate_raises_; }
+  [[nodiscard]] std::uint64_t rate_cuts() const noexcept { return rate_cuts_; }
+  [[nodiscard]] std::uint64_t floor_raises() const noexcept { return floor_raises_; }
+  [[nodiscard]] std::uint64_t forecast_widenings() const noexcept {
+    return forecast_widenings_;
+  }
+
+ private:
+  struct Cell {
+    double rate = 0.0;
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    // Period-scoped evidence, reset by adapt(). `finished` counts both
+    // successes and failures of admitted requests; `slo_hits` counts
+    // successes that landed inside the class SLO.
+    std::uint32_t offered = 0;
+    std::uint32_t finished = 0;
+    std::uint32_t slo_hits = 0;
+  };
+
+  [[nodiscard]] double depth(const Cell& cell) const noexcept;
+
+  AdmissionPolicy policy_;
+  std::size_t class_count_;
+  std::size_t cluster_count_;
+  std::vector<Cell> cells_;
+  std::vector<double> slo_by_class_;
+  double last_adapt_ = 0.0;
+
+  std::uint64_t adapt_rounds_ = 0;
+  std::uint64_t rate_raises_ = 0;
+  std::uint64_t rate_cuts_ = 0;
+  std::uint64_t floor_raises_ = 0;
+  std::uint64_t forecast_widenings_ = 0;
+};
+
+}  // namespace slate

@@ -1,0 +1,46 @@
+#include "admission/admission_policy.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+void AdmissionPolicy::validate(std::size_t class_count) const {
+  if (!enabled) return;
+  if (default_rate <= 0.0) {
+    throw std::invalid_argument("AdmissionPolicy: default_rate must be > 0");
+  }
+  if (class_rate.size() > class_count) {
+    throw std::invalid_argument("AdmissionPolicy: class_rate exceeds class count");
+  }
+  if (burst <= 0.0) {
+    throw std::invalid_argument("AdmissionPolicy: burst must be > 0");
+  }
+  if (default_slo <= 0.0) {
+    throw std::invalid_argument("AdmissionPolicy: default_slo must be > 0");
+  }
+  if (class_slo.size() > class_count) {
+    throw std::invalid_argument("AdmissionPolicy: class_slo exceeds class count");
+  }
+  if (target_attainment <= 0.0 || target_attainment > 1.0) {
+    throw std::invalid_argument(
+        "AdmissionPolicy: target_attainment must be in (0, 1]");
+  }
+  if (gain <= 0.0 || gain >= 1.0) {
+    throw std::invalid_argument("AdmissionPolicy: gain must be in (0, 1)");
+  }
+  if (headroom < 1.0) {
+    throw std::invalid_argument("AdmissionPolicy: headroom must be >= 1");
+  }
+  if (fair_floor < 0.0 || fair_floor > 1.0) {
+    throw std::invalid_argument("AdmissionPolicy: fair_floor must be in [0, 1]");
+  }
+  if (evidence <= 0.0) {
+    throw std::invalid_argument("AdmissionPolicy: evidence must be > 0");
+  }
+  if (min_rate <= 0.0 || max_rate < min_rate) {
+    throw std::invalid_argument(
+        "AdmissionPolicy: need 0 < min_rate <= max_rate");
+  }
+}
+
+}  // namespace slate

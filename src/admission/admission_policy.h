@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace slate {
+
+// Front-door admission control: per-(traffic-class, ingress-cluster)
+// token buckets gating request birth, before any call-tree work is done.
+// Everything is off by default; a disabled policy is bit-identical to a
+// build without the subsystem.
+//
+// The data path (try_admit) is a plain token bucket. The slow path is a
+// deterministic per-control-period adaptation loop that retunes bucket
+// rates from observed goodput, SLO attainment, and a cross-class
+// fairness floor (max-min on admitted share), using the same
+// confidence-weighted blending idiom as the demand forecaster: with no
+// evidence in a period the rate holds exactly.
+struct AdmissionPolicy {
+  bool enabled = false;
+
+  // Initial bucket refill rate, requests/second, per (class, ingress
+  // cluster) cell. Per-class overrides beat the default; entries <= 0
+  // fall back to the default.
+  double default_rate = 1000.0;
+  std::vector<double> class_rate;
+
+  // Bucket depth expressed in seconds of refill: depth = rate * burst
+  // (floored at one token so a cell can always admit something).
+  double burst = 0.5;
+
+  // Per-class end-to-end latency SLO (seconds). A completion counts as
+  // an SLO hit when its e2e latency is <= the class SLO. Entries <= 0
+  // fall back to the default.
+  double default_slo = 1.0;
+  std::vector<double> class_slo;
+
+  // Adaptation loop. `adapt` gates the per-period retuning; with it off
+  // the buckets are static. target_attainment is the fraction of
+  // completions that must land inside the SLO (0.99 targets p99).
+  bool adapt = true;
+  double target_attainment = 0.99;
+  // Multiplicative step per period when raising/cutting a cell's rate.
+  double gain = 0.25;
+  // When a cell is attaining its SLO, open the bucket toward
+  // offered_rps * headroom rather than exactly the offered rate, so
+  // admission is not the bottleneck on a healthy cell.
+  double headroom = 1.25;
+  // Max-min fairness floor: every class with offered demand is
+  // guaranteed an admitted share of at least fair_floor of its offered
+  // rate, no matter how hard the loop is cutting it.
+  double fair_floor = 0.1;
+  // Evidence scale for confidence blending: a period with `evidence`
+  // or more offered requests in a cell gets full confidence; fewer
+  // scale the step linearly toward "hold the current rate".
+  double evidence = 50.0;
+  // Absolute clamps on any cell's rate.
+  double min_rate = 1.0;
+  double max_rate = 1e9;
+
+  [[nodiscard]] double rate_for(ClassId cls) const noexcept {
+    const std::size_t k = cls.index();
+    if (k < class_rate.size() && class_rate[k] > 0.0) return class_rate[k];
+    return default_rate;
+  }
+
+  [[nodiscard]] double slo_for(ClassId cls) const noexcept {
+    const std::size_t k = cls.index();
+    if (k < class_slo.size() && class_slo[k] > 0.0) return class_slo[k];
+    return default_slo;
+  }
+
+  // Throws std::invalid_argument on nonsensical settings.
+  void validate(std::size_t class_count) const;
+};
+
+}  // namespace slate

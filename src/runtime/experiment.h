@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "admission/admission_policy.h"
 #include "app/application.h"
 #include "cluster/autoscaler.h"
 #include "cluster/deployment.h"
@@ -56,6 +57,10 @@ struct Scenario {
   // RunConfig-armed kind overrides it wholesale; --no-forecast disarms it.
   // See docs/forecasting.md.
   ForecastOptions forecast;
+  // Front-door admission control shipped with the world (`admission`
+  // directives). A RunConfig-enabled policy overrides it wholesale;
+  // --no-admission disarms it. See docs/overload.md.
+  AdmissionPolicy admission;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -149,6 +154,13 @@ struct RunConfig {
   // --no-forecast): the reactive arm of predictive comparisons. A kind
   // armed in RunConfig::slate.forecast still applies.
   bool ignore_scenario_forecast = false;
+  // Front-door admission control (token buckets at request birth). An
+  // enabled policy here overrides the scenario's wholesale; see
+  // docs/overload.md.
+  AdmissionPolicy admission;
+  // Run the scenario with its `admission` directives disarmed (slate_cli
+  // --no-admission). RunConfig::admission still applies when enabled.
+  bool ignore_scenario_admission = false;
   // Record the per-control-period demand trace (offered vs. estimated vs.
   // forecast, per class x cluster cell) into ExperimentResult::demand_trace
   // — the slate_cli --dump-demand signal. Off by default: the trace is
@@ -206,6 +218,25 @@ struct ExperimentResult {
   [[nodiscard]] std::uint64_t total_shed() const noexcept {
     return shed_queue_full + shed_queue_delay + shed_evictions;
   }
+
+  // Front-door admission activity (whole run; zero with the subsystem
+  // off). When armed, every arrival is gated before any call-tree work:
+  // generated = admission_admitted + admission_rejected, and rejections
+  // complete synchronously as fast-fail errors.
+  std::uint64_t admission_admitted = 0;
+  std::uint64_t admission_rejected = 0;
+  std::vector<std::uint64_t> admission_admitted_by_class;  // index = class id
+  std::vector<std::uint64_t> admission_rejected_by_class;
+  // Measured-window successes that landed inside their class SLO
+  // (admission armed only) — p99-vs-SLO attainment is
+  // slo_hits_by_class[k] / e2e_by_class[k].count().
+  std::vector<std::uint64_t> slo_hits_by_class;
+  // Adaptation-loop telemetry (zero with adapt off).
+  std::uint64_t admission_adapt_rounds = 0;
+  std::uint64_t admission_rate_raises = 0;
+  std::uint64_t admission_rate_cuts = 0;
+  std::uint64_t admission_floor_raises = 0;
+  std::uint64_t admission_forecast_widenings = 0;
 
   // Station-level job conservation, summed over stations at run end:
   // jobs_submitted = jobs_served + jobs_cancelled + jobs_evicted +

@@ -166,6 +166,15 @@ struct OverloadClassDirective {
   int priority = 0;
 };
 
+// Per-class admission override ("admission class <name> ..."); class names
+// may be forward references, resolved at finalize.
+struct AdmissionClassDirective {
+  std::size_t line;
+  std::string cls;
+  double rate = 0.0;  // 0 = keep default
+  double slo = 0.0;   // 0 = keep default
+};
+
 }  // namespace
 
 Scenario load_scenario(std::istream& input) {
@@ -182,6 +191,7 @@ Scenario load_scenario(std::istream& input) {
   std::vector<DemandDirective> demands;
   std::vector<FaultDirective> faults;
   std::vector<OverloadClassDirective> overloads;
+  std::vector<AdmissionClassDirective> admissions;
   double default_egress = -1.0;
   // `topology synth` replaces the hand-written world wholesale; structural
   // directives on either side of it would silently fight the generator, so
@@ -913,6 +923,84 @@ Scenario load_scenario(std::istream& input) {
         fail(line_number, "unknown guard kind '" + sub +
                               "' (expected admission, solver, rollout)");
       }
+    } else if (directive == "admission") {
+      // Front-door token-bucket admission (docs/overload.md). Two forms:
+      //   admission rate=<rps> [burst=<dur>] [slo=<dur>] [key=value...]
+      //   admission class <name> [rate=<rps>] [slo=<dur>]
+      need(2, "admission rate=<rps> [key=value...] | admission class <name> ...");
+      AdmissionPolicy& a = scenario.admission;
+      if (tokens[1] == "class") {
+        need(4, "admission class <name> [rate=<rps>] [slo=<dur>]");
+        AdmissionClassDirective ad;
+        ad.line = line_number;
+        ad.cls = tokens[2];
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "rate") {
+            ad.rate = parse_number(value, line_number);
+            if (ad.rate <= 0.0) fail(line_number, "rate must be > 0");
+          } else if (key == "slo") {
+            ad.slo = parse_duration(value, line_number);
+            if (ad.slo <= 0.0) fail(line_number, "slo must be > 0");
+          } else {
+            fail(line_number, "unknown admission class attribute '" + key + "'");
+          }
+        }
+        admissions.push_back(std::move(ad));
+      } else {
+        a.enabled = true;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          const auto kv = split_kv(tokens[i]);
+          if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+          const auto& [key, value] = *kv;
+          if (key == "rate") {
+            a.default_rate = parse_number(value, line_number);
+            if (a.default_rate <= 0.0) fail(line_number, "rate must be > 0");
+          } else if (key == "burst") {
+            a.burst = parse_duration(value, line_number);
+            if (a.burst <= 0.0) fail(line_number, "burst must be > 0");
+          } else if (key == "slo") {
+            a.default_slo = parse_duration(value, line_number);
+            if (a.default_slo <= 0.0) fail(line_number, "slo must be > 0");
+          } else if (key == "attainment") {
+            a.target_attainment = parse_number(value, line_number);
+            if (a.target_attainment <= 0.0 || a.target_attainment > 1.0) {
+              fail(line_number, "attainment must be in (0, 1]");
+            }
+          } else if (key == "gain") {
+            a.gain = parse_number(value, line_number);
+            if (a.gain <= 0.0 || a.gain >= 1.0) {
+              fail(line_number, "gain must be in (0, 1)");
+            }
+          } else if (key == "headroom") {
+            a.headroom = parse_number(value, line_number);
+            if (a.headroom < 1.0) fail(line_number, "headroom must be >= 1");
+          } else if (key == "fair_floor") {
+            a.fair_floor = parse_number(value, line_number);
+            if (a.fair_floor < 0.0 || a.fair_floor > 1.0) {
+              fail(line_number, "fair_floor must be in [0, 1]");
+            }
+          } else if (key == "evidence") {
+            a.evidence = static_cast<double>(
+                parse_count(value, line_number, 1, "evidence"));
+          } else if (key == "min_rate") {
+            a.min_rate = parse_number(value, line_number);
+            if (a.min_rate <= 0.0) fail(line_number, "min_rate must be > 0");
+          } else if (key == "max_rate") {
+            a.max_rate = parse_number(value, line_number);
+            if (a.max_rate <= 0.0) fail(line_number, "max_rate must be > 0");
+          } else if (key == "adapt") {
+            a.adapt = parse_on_off(value, line_number, "adapt");
+          } else {
+            fail(line_number, "unknown admission attribute '" + key + "'");
+          }
+        }
+        if (a.max_rate < a.min_rate) {
+          fail(line_number, "admission needs min_rate <= max_rate");
+        }
+      }
     } else {
       fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -1075,6 +1163,24 @@ Scenario load_scenario(std::istream& input) {
       if (priority.size() <= k) priority.resize(k + 1, 0);
       priority[k] = od.priority;
     }
+  }
+
+  // Per-class admission overrides (forward class references resolved
+  // here). A per-class directive arms the policy like the top-level form.
+  for (const auto& ad : admissions) {
+    const auto it = classes.find(ad.cls);
+    if (it == classes.end()) fail(ad.line, "unknown class '" + ad.cls + "'");
+    const std::size_t k = it->second.id.index();
+    AdmissionPolicy& a = scenario.admission;
+    if (ad.rate > 0.0) {
+      if (a.class_rate.size() <= k) a.class_rate.resize(k + 1, 0.0);
+      a.class_rate[k] = ad.rate;
+    }
+    if (ad.slo > 0.0) {
+      if (a.class_slo.size() <= k) a.class_slo.resize(k + 1, 0.0);
+      a.class_slo[k] = ad.slo;
+    }
+    a.enabled = true;
   }
   return scenario;
 }

@@ -125,6 +125,24 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
     config_.slate.guard = effective;
   }
 
+  // Effective front-door admission policy: the scenario ships one
+  // (`admission` directives), a config-enabled policy overrides it
+  // wholesale, and --no-admission disarms the scenario's. The controller
+  // exists only when armed — a disabled policy leaves the data path
+  // bit-identical to a build without the subsystem.
+  {
+    AdmissionPolicy effective = config_.ignore_scenario_admission
+                                    ? AdmissionPolicy{}
+                                    : scenario_.admission;
+    if (config_.admission.enabled) effective = config_.admission;
+    effective.validate(K);
+    admission_policy_ = effective;
+    if (admission_policy_.enabled) {
+      admission_ = std::make_unique<AdmissionController>(admission_policy_, K,
+                                                         cluster_count_);
+    }
+  }
+
   // Effective forecast mode: the scenario ships one (forecast directive),
   // a config-armed kind overrides it wholesale, and --no-forecast disarms
   // the scenario's. The harness owns the prediction horizon (one control
@@ -419,6 +437,9 @@ void Simulation::init_result_shape(ExperimentResult& r) const {
   r.call_retries_by_class.assign(K, 0);
   r.call_timeouts_by_class.assign(K, 0);
   r.retry_budget_denials_by_class.assign(K, 0);
+  r.admission_admitted_by_class.assign(K, 0);
+  r.admission_rejected_by_class.assign(K, 0);
+  r.slo_hits_by_class.assign(K, 0);
   r.flows.resize(K);
   for (std::size_t k = 0; k < K; ++k) {
     const std::size_t nodes = app.traffic_class(ClassId{k}).graph.node_count();
@@ -455,8 +476,16 @@ void Simulation::observe_load(ExecCtx& cx, ServiceId s, ClusterId c) {
   }
 }
 
-void Simulation::finish_request_tail(ExecCtx& cx, ClassId cls, bool ok,
-                                     double e2e) {
+void Simulation::finish_request_tail(ExecCtx& cx, ClassId cls,
+                                     ClusterId ingress, bool ok, double e2e,
+                                     bool admitted) {
+  // Outcome evidence for the admission adaptation loop (whole run —
+  // the loop needs signal during warmup too). Gate-rejected requests
+  // are excluded: feeding their fast-fails back would spiral every
+  // cut into more cuts.
+  if (admission_ != nullptr && admitted) {
+    admission_->on_outcome(cls, ingress, ok, e2e);
+  }
   if (config_.timeseries_bucket > 0.0) {
     const auto b =
         static_cast<std::size_t>(cx.sim->now() / config_.timeseries_bucket);
@@ -468,6 +497,9 @@ void Simulation::finish_request_tail(ExecCtx& cx, ClassId cls, bool ok,
     ++cx.res->completed;
     cx.res->e2e.add(e2e);
     cx.res->e2e_by_class[cls.index()].add(e2e);
+    if (admission_ != nullptr && e2e <= admission_->slo_for(cls)) {
+      ++cx.res->slo_hits_by_class[cls.index()];
+    }
   } else {
     ++cx.res->failed;
     ++cx.res->failed_by_class[cls.index()];
@@ -478,7 +510,7 @@ void Simulation::finish_request(ExecCtx& cx, const RequestState& req, bool ok,
                                 ServiceId entry, ClusterId entry_cluster) {
   const double e2e = cx.sim->now() - req.arrival_time;
   if (ok) proxy(entry, entry_cluster).on_root_response(req.cls, e2e);
-  finish_request_tail(cx, req.cls, ok, e2e);
+  finish_request_tail(cx, req.cls, req.ingress, ok, e2e, /*admitted=*/true);
 }
 
 void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
@@ -494,6 +526,23 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
   // End-to-end budget: the class deadline starts at the front door
   // (kNoDeadline when deadlines are off).
   req->deadline = cx.sim->now() + deadline_by_class_[cls.index()];
+
+  // Front-door admission gate: before the redirect logic, before the
+  // telemetry the controller solves on (TE sees admitted demand only),
+  // and before execute_node ever runs. A rejection completes
+  // synchronously as a fast-fail error.
+  if (admission_ != nullptr) {
+    if (!admission_->try_admit(cls, cluster, cx.sim->now())) {
+      ++cx.res->admission_rejected;
+      ++cx.res->admission_rejected_by_class[cls.index()];
+      registries_[cluster.index()]->record_ingress_rejected(cls);
+      finish_request_tail(cx, cls, cluster, /*ok=*/false, /*e2e=*/0.0,
+                          /*admitted=*/false);
+      return;
+    }
+    ++cx.res->admission_admitted;
+    ++cx.res->admission_admitted_by_class[cls.index()];
+  }
 
   registries_[cluster.index()]->record_ingress(cls, cx.sim->now());
 
@@ -546,6 +595,19 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
     cx.sim->schedule_after(d1, [this, req = std::move(req), entry_cluster,
                                 cluster, finish = std::move(finish)]() mutable {
       ReqPtr r = req;
+      ExecCtx& ce = ctx_of(entry_cluster);
+      if (overload_.deadline.enabled && r->deadline <= ce.sim->now()) {
+        // Born dead in transit: the end-to-end budget expired during the
+        // redirect hop. Cancel before execute_node ever runs — even
+        // without propagation, work already expired at arrival must not
+        // be enqueued.
+        ++ce.res->deadline_cancellations;
+        const double d2 = net_delay(ce, entry_cluster, cluster);
+        ce.sim->schedule_after(d2, [finish = std::move(finish)]() mutable {
+          finish(false);
+        });
+        return;
+      }
       const double deadline = r->deadline;
       execute_node(std::move(r), 0, entry_cluster, 0, deadline,
                    [this, req = std::move(req), entry_cluster, cluster,
@@ -577,6 +639,19 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
       cx.island, island_of(entry_cluster), cx.sim->now() + d1,
       [this, snap, entry, entry_cluster, cluster]() {
         ExecCtx& ce = ctx_of(entry_cluster);
+        if (overload_.deadline.enabled && snap.deadline <= ce.sim->now()) {
+          // Born dead in transit (cross-island): cancel at delivery,
+          // before the remote pool entry or execute_node exist.
+          ++ce.res->deadline_cancellations;
+          const double d2 = net_delay(ce, entry_cluster, cluster);
+          const double e2e = (ce.sim->now() - snap.arrival_time) + d2;
+          sharded_->send(ce.island, island_of(cluster), ce.sim->now() + d2,
+                         [this, cluster, cls = snap.cls, e2e]() {
+                           finish_request_tail(ctx_of(cluster), cls, cluster,
+                                               false, e2e, /*admitted=*/true);
+                         });
+          return;
+        }
         ReqPtr r = ce.request_pool.make();
         *r = snap;
         const double deadline = snap.deadline;
@@ -595,7 +670,8 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
               if (ok) proxy(entry, entry_cluster).on_root_response(cls, e2e);
               sharded_->send(ce2.island, island_of(cluster),
                              ce2.sim->now() + d2, [this, cluster, cls, ok, e2e]() {
-                               finish_request_tail(ctx_of(cluster), cls, ok, e2e);
+                               finish_request_tail(ctx_of(cluster), cls, cluster,
+                                                   ok, e2e, /*admitted=*/true);
                              });
             });
       });
@@ -1244,12 +1320,17 @@ void Simulation::merge_results() {
     result_.shed_queue_delay += r.shed_queue_delay;
     result_.shed_evictions += r.shed_evictions;
     result_.deadline_cancellations += r.deadline_cancellations;
+    result_.admission_admitted += r.admission_admitted;
+    result_.admission_rejected += r.admission_rejected;
     for (std::size_t k = 0; k < K; ++k) {
       result_.failed_by_class[k] += r.failed_by_class[k];
       result_.call_retries_by_class[k] += r.call_retries_by_class[k];
       result_.call_timeouts_by_class[k] += r.call_timeouts_by_class[k];
       result_.retry_budget_denials_by_class[k] +=
           r.retry_budget_denials_by_class[k];
+      result_.admission_admitted_by_class[k] += r.admission_admitted_by_class[k];
+      result_.admission_rejected_by_class[k] += r.admission_rejected_by_class[k];
+      result_.slo_hits_by_class[k] += r.slo_hits_by_class[k];
     }
     result_.e2e.reserve(result_.e2e.count() + r.e2e.count());
     for (double v : r.e2e.samples()) result_.e2e.add(v);
@@ -1325,6 +1406,21 @@ ExperimentResult Simulation::run() {
   if (config_.policy == PolicyKind::kSlate) {
     control_timer_ = global_sim().schedule_scoped_periodic(
         config_.control_period, [this]() { control_tick(); });
+  }
+
+  // Admission adaptation loop: once per control period on the global
+  // timeline (at window barriers under the sharded engine, where every
+  // island is quiesced). Scheduled only when armed with adapt on, so an
+  // unarmed run executes zero extra events.
+  if (admission_ != nullptr && admission_policy_.adapt) {
+    admission_timer_ = global_sim().schedule_scoped_periodic(
+        config_.control_period, [this]() {
+          const DemandForecaster* f =
+              global_ != nullptr ? global_->forecaster() : nullptr;
+          admission_->adapt(global_sim().now(),
+                            f != nullptr ? &f->predicted() : nullptr,
+                            f != nullptr ? &f->confidence() : nullptr);
+        });
   }
 
   // Workload. Each driver forks every stream's RNG from an identical copy
@@ -1423,6 +1519,13 @@ ExperimentResult Simulation::run() {
     if (stations_[i] != nullptr) {
       result_.final_servers[i] = stations_[i]->servers();
     }
+  }
+  if (admission_ != nullptr) {
+    result_.admission_adapt_rounds = admission_->adapt_rounds();
+    result_.admission_rate_raises = admission_->rate_raises();
+    result_.admission_rate_cuts = admission_->rate_cuts();
+    result_.admission_floor_raises = admission_->floor_raises();
+    result_.admission_forecast_widenings = admission_->forecast_widenings();
   }
   if (breakers_ != nullptr) {
     result_.breaker_ejections = breakers_->ejections();

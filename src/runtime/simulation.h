@@ -41,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "admission/admission_controller.h"
 #include "cluster/service_station.h"
 #include "core/cluster_controller.h"
 #include "core/slate_proxy.h"
@@ -99,6 +100,10 @@ class Simulation {
     return island_count_;
   }
   [[nodiscard]] double lookahead_seconds() const noexcept { return lookahead_; }
+  // Null unless front-door admission control is armed.
+  [[nodiscard]] const AdmissionController* admission_controller() const noexcept {
+    return admission_.get();
+  }
 
  private:
   // Continuation of one call-tree node; `ok` is false when the subtree
@@ -333,8 +338,11 @@ class Simulation {
                       ServiceId entry, ClusterId entry_cluster);
   // The ingress-side half: time-series bucket + measurement counters.
   // (Cross-island redirects record the root proxy's e2e callee-side and
-  // ship only this part home.)
-  void finish_request_tail(ExecCtx& cx, ClassId cls, bool ok, double e2e);
+  // ship only this part home.) `admitted` is false only for requests the
+  // admission gate fast-failed — they must not feed the adaptation
+  // loop's outcome evidence.
+  void finish_request_tail(ExecCtx& cx, ClassId cls, ClusterId ingress,
+                           bool ok, double e2e, bool admitted);
   // Arrival-rate observation for Waterfall: the live view in legacy mode,
   // the context's snapshot meters in sharded mode.
   void observe_load(ExecCtx& cx, ServiceId s, ClusterId c);
@@ -374,6 +382,14 @@ class Simulation {
   std::vector<int> priority_by_class_;
   // Legacy-engine bank (null when sharded: each context owns its own).
   std::unique_ptr<CircuitBreakerBank> breakers_;
+
+  // Effective front-door admission policy (config overrides scenario
+  // wholesale when enabled) and its controller, null unless armed. The
+  // controller is shared across islands but every (class, cluster) cell
+  // is touched only from its cluster's island between barriers; the
+  // adaptation loop runs on the global timeline at window barriers.
+  AdmissionPolicy admission_policy_;
+  std::unique_ptr<AdmissionController> admission_;
 
   // Latency-island partition (all zeros / 1 island on the legacy engine).
   std::vector<std::uint32_t> island_of_;  // per cluster
@@ -420,6 +436,9 @@ class Simulation {
   // RAII: destroying the Simulation cancels the control loop, so an
   // injected controller shutdown cannot leak a live timer.
   Simulator::ScopedPeriodic control_timer_;
+  // Admission adaptation loop (scheduled only when admission is armed
+  // with adapt on — an unarmed run adds zero events).
+  Simulator::ScopedPeriodic admission_timer_;
 
   // Measurement state.
   bool measuring_ = false;

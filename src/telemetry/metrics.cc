@@ -41,6 +41,7 @@ MetricsRegistry::MetricsRegistry(std::size_t service_count,
       inflight_(service_count, 0),
       ingress_rates_(class_count, RateMeter(rate_tau)),
       ingress_counts_(class_count, 0),
+      ingress_rejected_(class_count, 0),
       e2e_(class_count),
       e2e_samples_(class_count) {}
 
@@ -73,6 +74,20 @@ void MetricsRegistry::record_ingress(ClassId cls, double now) {
   }
   ingress_rates_[cls.index()].observe(now);
   ++ingress_counts_[cls.index()];
+}
+
+void MetricsRegistry::record_ingress_rejected(ClassId cls) {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  ++ingress_rejected_[cls.index()];
+}
+
+std::uint64_t MetricsRegistry::ingress_rejected_count(ClassId cls) const {
+  if (!cls.valid() || cls.index() >= classes_) {
+    throw std::out_of_range("MetricsRegistry: bad class id");
+  }
+  return ingress_rejected_[cls.index()];
 }
 
 void MetricsRegistry::record_e2e(ClassId cls, double latency_seconds) {
@@ -137,6 +152,7 @@ void MetricsRegistry::reset_period() {
   for (auto& l : latency_) l.reset();
   for (auto& s : service_time_) s.reset();
   for (auto& c : ingress_counts_) c = 0;
+  for (auto& c : ingress_rejected_) c = 0;
   for (auto& e : e2e_) e.reset();
   for (auto& s : e2e_samples_) s.clear();
 }

@@ -57,6 +57,11 @@ class MetricsRegistry {
 
   // Ingress demand tracking: class-k requests entering this cluster.
   void record_ingress(ClassId cls, double now);
+  // Class-k requests refused at this cluster's front door (admission
+  // control). Kept out of record_ingress so the demand estimate the
+  // controller solves on reflects admitted work only.
+  void record_ingress_rejected(ClassId cls);
+  [[nodiscard]] std::uint64_t ingress_rejected_count(ClassId cls) const;
 
   // End-to-end latency of a class-k request that entered at this cluster
   // (root span duration). Feeds the guarded controller's live objective.
@@ -99,6 +104,7 @@ class MetricsRegistry {
   std::vector<std::size_t> inflight_;        // per service
   std::vector<RateMeter> ingress_rates_;     // per class
   std::vector<std::uint64_t> ingress_counts_;  // per class, period-scoped
+  std::vector<std::uint64_t> ingress_rejected_;  // per class, period-scoped
   std::vector<StreamingStats> e2e_;          // per class, period-scoped
   std::vector<SampleSet> e2e_samples_;       // per class, period-scoped
 };

@@ -426,6 +426,155 @@ TEST_P(FuzzTest, OverloadDirectivesParseOrFailCleanly) {
   }
 }
 
+// Random but valid front-door admission configuration.
+AdmissionPolicy random_admission(Rng& rng, std::size_t classes) {
+  AdmissionPolicy p;
+  p.enabled = true;
+  p.default_rate = rng.uniform(20.0, 600.0);
+  p.burst = rng.uniform(0.05, 2.0);
+  p.default_slo = rng.uniform(0.05, 2.0);
+  p.adapt = rng.bernoulli(0.8);
+  p.target_attainment = rng.uniform(0.5, 1.0);
+  p.gain = rng.uniform(0.05, 0.9);
+  p.headroom = 1.0 + rng.uniform(0.0, 0.5);
+  p.fair_floor = rng.uniform(0.0, 0.5);
+  p.evidence = rng.uniform(5.0, 200.0);
+  p.min_rate = rng.uniform(0.5, 5.0);
+  p.max_rate = rng.uniform(1e3, 1e6);
+  for (std::size_t k = 0; k < classes; ++k) {
+    if (rng.bernoulli(0.3)) {
+      p.class_rate.resize(classes, 0.0);
+      p.class_rate[k] = rng.uniform(10.0, 400.0);
+    }
+    if (rng.bernoulli(0.3)) {
+      p.class_slo.resize(classes, 0.0);
+      p.class_slo[k] = rng.uniform(0.05, 2.0);
+    }
+  }
+  return p;
+}
+
+// Front-door admission interleaved with random faults and random mid-tree
+// overload control: the gate's conservation law (every generated request
+// is either admitted or rejected at the door, per class and in total)
+// must hold under any interleaving, and the whole stack stays
+// bit-deterministic for a fixed seed.
+TEST_P(FuzzTest, AdmissionRunsSatisfyConservationAndDeterminism) {
+  const auto seed = static_cast<std::uint64_t>(27000 + GetParam());
+  Scenario scenario = random_scenario(seed);
+  Rng rng(seed ^ 0xadu);
+  if (rng.bernoulli(0.5)) {
+    add_random_faults(scenario.faults, rng, scenario.topology->cluster_count(),
+                      scenario.app->service_count(), 12.0);
+  }
+
+  for (PolicyKind policy : {PolicyKind::kLocalityFailover, PolicyKind::kSlate}) {
+    SCOPED_TRACE(to_string(policy));
+    RunConfig config;
+    config.policy = policy;
+    config.duration = 12.0;
+    config.warmup = 4.0;
+    config.seed = seed;
+    config.failure.enabled = rng.bernoulli(0.5);
+    config.admission = random_admission(rng, scenario.app->class_count());
+    if (rng.bernoulli(0.5)) {
+      config.overload = random_overload(rng, scenario.app->class_count());
+    }
+
+    const ExperimentResult a = run_experiment(scenario, config);
+    // Door conservation: every arrival is admitted or rejected, per class
+    // and in total, and only admitted requests reach the engine.
+    EXPECT_EQ(a.generated, a.admission_admitted + a.admission_rejected);
+    std::uint64_t admitted_by_class = 0;
+    std::uint64_t rejected_by_class = 0;
+    for (const std::uint64_t v : a.admission_admitted_by_class) {
+      admitted_by_class += v;
+    }
+    for (const std::uint64_t v : a.admission_rejected_by_class) {
+      rejected_by_class += v;
+    }
+    EXPECT_EQ(admitted_by_class, a.admission_admitted);
+    EXPECT_EQ(rejected_by_class, a.admission_rejected);
+    EXPECT_LE(a.completed, a.admission_admitted);
+    // Mid-tree job conservation is unaffected by the door.
+    EXPECT_EQ(a.jobs_submitted, a.jobs_served + a.jobs_cancelled +
+                                    a.jobs_evicted + a.jobs_in_flight_at_end);
+    if (!config.admission.adapt) {
+      EXPECT_EQ(a.admission_rate_raises, 0u);
+      EXPECT_EQ(a.admission_rate_cuts, 0u);
+    }
+    if (a.completed > 0) {
+      EXPECT_TRUE(std::isfinite(a.p99()));
+    }
+
+    const ExperimentResult b = run_experiment(scenario, config);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+    EXPECT_EQ(a.admission_admitted, b.admission_admitted);
+    EXPECT_EQ(a.admission_rejected, b.admission_rejected);
+    EXPECT_EQ(a.admission_adapt_rounds, b.admission_adapt_rounds);
+    EXPECT_EQ(a.admission_rate_raises, b.admission_rate_raises);
+    EXPECT_EQ(a.admission_rate_cuts, b.admission_rate_cuts);
+    EXPECT_EQ(a.admission_floor_raises, b.admission_floor_raises);
+  }
+}
+
+// Random admission directive lines through the text loader: parse into a
+// policy that validates, or fail with a line-numbered error.
+TEST_P(FuzzTest, AdmissionDirectivesParseOrFailCleanly) {
+  const auto seed = static_cast<std::uint64_t>(29000 + GetParam());
+  Rng rng(seed);
+  const std::string base =
+      "cluster west\ncluster east\nrtt west east 20ms\n"
+      "service s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=200\ndemand k west 50\n";
+
+  auto token = [&](std::initializer_list<const char*> options) {
+    auto it = options.begin();
+    std::advance(it, rng.uniform_u64(options.size()));
+    return std::string(*it);
+  };
+  for (int line = 0; line < 24; ++line) {
+    std::string directive = "admission";
+    if (rng.bernoulli(0.3)) {
+      directive += " class " + token({"k", "nope"});
+      const std::size_t extras = rng.uniform_u64(3);
+      for (std::size_t i = 0; i < extras; ++i) {
+        directive += " " + token({"rate=120", "rate=-5", "rate=x",
+                                  "slo=250ms", "slo=0s", "burst=1s",
+                                  "bogus=1"});
+      }
+    } else {
+      const std::size_t extras = rng.uniform_u64(6);
+      directive += " " + token({"rate=450", "rate=0", "rate=x"});
+      for (std::size_t i = 0; i < extras; ++i) {
+        directive +=
+            " " + token({"burst=200ms", "burst=0s", "slo=500ms",
+                         "attainment=0.9", "attainment=2", "gain=0.5",
+                         "gain=1", "headroom=1.25", "headroom=0.5",
+                         "fair_floor=0.2", "fair_floor=1.5", "evidence=50",
+                         "evidence=0", "min_rate=1", "max_rate=1e6",
+                         "max_rate=0.5", "adapt=on", "adapt=off",
+                         "adapt=maybe", "bogus=1", "7"});
+      }
+    }
+    const std::string text = base + directive + "\n";
+    try {
+      const Scenario s = load_scenario_from_string(text);
+      // Whatever parsed must be a coherent policy for this world.
+      s.admission.validate(s.app->class_count());
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 9"), std::string::npos)
+          << directive << " -> " << e.what();
+    } catch (const std::invalid_argument& e) {
+      ADD_FAILURE() << "parsed but invalid: " << directive << " -> "
+                    << e.what();
+    }
+  }
+}
+
 // --- Corrupted-report fuzzing (control-plane hardening) ---------------------
 
 // Poisons random fields of a report the way a byzantine reporter would:

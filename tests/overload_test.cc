@@ -342,6 +342,43 @@ TEST(DeadlinePropagation, CancelsExpiredWorkInsteadOfServingIt) {
   EXPECT_EQ(without.deadline_cancellations, 0u);
 }
 
+TEST(DeadlinePropagation, BornDeadRedirectIsCancelledBeforeExecuteNode) {
+  // The entry service is absent in West, so every West arrival redirects
+  // to East over a 200ms one-way hop — but the class deadline is only
+  // 150ms, so each request is already dead when it lands. Regression:
+  // such requests must be cancelled at delivery (counted, not enqueued),
+  // never handed to execute_node — even with propagation off, where they
+  // previously ran the whole call tree as guaranteed-wasted work.
+  TwoClusterChainParams params;
+  params.rtt = 0.4;
+  params.west_rps = 200.0;
+  params.east_rps = 0.0;
+  Scenario scenario = make_two_cluster_chain_scenario(params);
+  scenario.deployment->undeploy(scenario.app->find_service("ingress"),
+                                ClusterId{0});
+
+  for (bool propagate : {false, true}) {
+    SCOPED_TRACE(propagate ? "propagate" : "accounting-only");
+    RunConfig config;
+    config.policy = PolicyKind::kLocalOnly;
+    config.duration = 20.0;
+    config.warmup = 5.0;
+    config.seed = 11;
+    config.overload.deadline.enabled = true;
+    config.overload.deadline.default_deadline = 0.15;
+    config.overload.deadline.propagate = propagate;
+    const ExperimentResult r = run_experiment(scenario, config);
+
+    EXPECT_GT(r.generated, 1000u);
+    EXPECT_GT(r.deadline_cancellations, 1000u);
+    // Born-dead work never reached a station: nothing submitted, nothing
+    // served, no server time burned on it.
+    EXPECT_EQ(r.jobs_submitted, 0u);
+    EXPECT_EQ(r.completed, 0u);
+    EXPECT_EQ(r.wasted_server_seconds, 0.0);
+  }
+}
+
 // --- End-to-end: the metastable-failure gauntlet ---------------------------
 
 RunConfig burst_config(bool protected_run) {

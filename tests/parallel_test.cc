@@ -86,6 +86,10 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.call_retries, b.call_retries);
   EXPECT_EQ(a.call_timeouts, b.call_timeouts);
   EXPECT_EQ(a.call_rejections, b.call_rejections);
+  EXPECT_EQ(a.admission_admitted, b.admission_admitted);
+  EXPECT_EQ(a.admission_rejected, b.admission_rejected);
+  EXPECT_EQ(a.admission_rate_raises, b.admission_rate_raises);
+  EXPECT_EQ(a.admission_rate_cuts, b.admission_rate_cuts);
   // Byte-identical latency streams, not just equal summaries.
   ASSERT_EQ(a.e2e.samples().size(), b.e2e.samples().size());
   EXPECT_EQ(a.e2e.samples(), b.e2e.samples());
@@ -173,6 +177,43 @@ TEST(ExperimentGrid, ParallelMatchesSerialWithOverloadControlEnabled) {
   }
   // The comparison is vacuous unless the subsystem actually did something.
   EXPECT_GT(overload_activity, 0u);
+}
+
+TEST(ExperimentGrid, ParallelMatchesSerialWithAdmissionArmed) {
+  // The front-door admission gate (token buckets + per-period adaptation)
+  // must stay bit-deterministic across worker threads while actively
+  // rejecting and retuning.
+  TwoClusterChainParams params;
+  params.west_rps = 650.0;  // overloaded: the gate fires constantly
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  std::vector<GridJob> jobs = determinism_jobs(scenario);
+  for (GridJob& job : jobs) {
+    job.config.admission.enabled = true;
+    job.config.admission.default_rate = 400.0;
+    job.config.admission.default_slo = 0.4;
+    job.config.admission.target_attainment = 0.9;
+  }
+
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<ExperimentResult> a = run_experiment_grid(jobs, serial);
+  const std::vector<ExperimentResult> b = run_experiment_grid(jobs, parallel);
+
+  ASSERT_EQ(a.size(), jobs.size());
+  std::uint64_t admission_activity = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(a[i], b[i]);
+    EXPECT_EQ(a[i].generated,
+              a[i].admission_admitted + a[i].admission_rejected);
+    EXPECT_EQ(a[i].admission_adapt_rounds, b[i].admission_adapt_rounds);
+    EXPECT_EQ(a[i].admission_floor_raises, b[i].admission_floor_raises);
+    admission_activity += a[i].admission_rejected + a[i].admission_rate_cuts;
+  }
+  // The comparison is vacuous unless the gate actually did something.
+  EXPECT_GT(admission_activity, 0u);
 }
 
 TEST(ExperimentGrid, ParallelMatchesSerialWithGuardArmed) {

@@ -178,6 +178,12 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.breaker_ejections, b.breaker_ejections);
   EXPECT_EQ(a.rule_pushes, b.rule_pushes);
   EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.admission_admitted, b.admission_admitted);
+  EXPECT_EQ(a.admission_rejected, b.admission_rejected);
+  EXPECT_EQ(a.admission_adapt_rounds, b.admission_adapt_rounds);
+  EXPECT_EQ(a.admission_rate_raises, b.admission_rate_raises);
+  EXPECT_EQ(a.admission_rate_cuts, b.admission_rate_cuts);
+  EXPECT_EQ(a.admission_floor_raises, b.admission_floor_raises);
   // Byte-identical latency streams, not just equal summaries.
   ASSERT_EQ(a.e2e.samples().size(), b.e2e.samples().size());
   EXPECT_EQ(a.e2e.samples(), b.e2e.samples());
@@ -266,6 +272,26 @@ TEST(ShardedSimulation, IdentityOverloadArmed) {
   config.overload.breaker.enabled = true;
   config.overload.breaker.min_volume = 10;
   run_gauntlet(scenario, config);
+}
+
+TEST(ShardedSimulation, IdentityAdmissionArmed) {
+  GcpChainParams params;
+  params.rps[0] = 1200.0;  // overloaded: the gate fires constantly
+  params.rps[2] = 1200.0;
+  const Scenario scenario = make_gcp_chain_scenario(params);
+  RunConfig config = gauntlet_config(PolicyKind::kSlate);
+  config.admission.enabled = true;
+  config.admission.default_rate = 900.0;
+  config.admission.default_slo = 0.4;
+  config.admission.target_attainment = 0.9;
+  run_gauntlet(scenario, config);
+  // The gauntlet is vacuous unless the gate actually rejected work.
+  RunConfig probe = config;
+  probe.shards = 2;
+  const ExperimentResult r = run_experiment(scenario, probe);
+  EXPECT_GT(r.admission_rejected, 0u);
+  EXPECT_EQ(r.generated, r.admission_admitted + r.admission_rejected);
+  EXPECT_GT(r.admission_adapt_rounds, 0u);
 }
 
 TEST(ShardedSimulation, IdentityGuardArmed) {

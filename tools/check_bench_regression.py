@@ -21,17 +21,39 @@ allocator is deterministic for a fixed seed — unlike wall time, an
 allocs/request increase is a code change, not machine noise, so the default
 headroom is only 10%.
 
-Cases present on only one side never fail the check: new cases missing
-from the baseline are reported and skipped, and baseline cases missing
-from the current run are *warned* about but tolerated — a bench binary
-that drops or renames a case mid-refactor should show up loudly in the
-log without blocking unrelated changes. Regenerate the baseline with
-`./bench/micro_simulator BENCH_simulator.json` to re-pin the case set.
+New cases missing from the baseline are reported and skipped. Baseline
+cases missing from the current run get one grace period: the first
+absence is a warning recorded in a state file next to the baseline
+(<baseline>.missing), so a bench binary that drops or renames a case
+mid-refactor shows up loudly without blocking the change that caused it —
+but the *next* run that still lacks the case fails, so a dropped case
+cannot silently rot out of the gate. A run where the case reappears (or
+the baseline is regenerated) clears the record. Regenerate the baseline
+with `./bench/micro_simulator BENCH_simulator.json` to re-pin the case
+set.
 """
 
 import json
 import pathlib
 import sys
+
+
+def load_missing_state(state_path):
+    """Case/policy pairs recorded missing by the previous run."""
+    try:
+        with open(state_path) as f:
+            return {tuple(entry) for entry in json.load(f)}
+    except (OSError, ValueError):
+        return set()
+
+
+def store_missing_state(state_path, missing):
+    if missing:
+        with open(state_path, "w") as f:
+            json.dump(sorted(list(k) for k in missing), f, indent=2)
+            f.write("\n")
+    else:
+        pathlib.Path(state_path).unlink(missing_ok=True)
 
 
 METRIC_KEYS = ("events_per_sec", "solves_per_sec")
@@ -81,6 +103,9 @@ def main(argv):
 
     current = load_runs(current_path)
     baseline = load_runs(baseline_path)
+    state_path = str(baseline_path) + ".missing"
+    previously_missing = load_missing_state(state_path)
+    missing_now = set()
 
     failures = []
     warnings = []
@@ -94,8 +119,26 @@ def main(argv):
         name = f"{key[0]}/{key[1]}"
         cur = current.get(key)
         if cur is None:
-            warnings.append(f"{name}: in baseline but missing from the current run")
-            print(f"WRN {name:28s} {metric_of(base, baseline_path):12,.0f} {'-':>12s}")
+            missing_now.add(key)
+            if key in previously_missing:
+                failures.append(
+                    f"{name}: in baseline but missing from the current run "
+                    f"for the second consecutive check — regenerate the "
+                    f"baseline or restore the case"
+                )
+                print(
+                    f"REG {name:28s} {metric_of(base, baseline_path):12,.0f} "
+                    f"{'-':>12s}"
+                )
+            else:
+                warnings.append(
+                    f"{name}: in baseline but missing from the current run "
+                    f"(recorded; a second consecutive absence fails)"
+                )
+                print(
+                    f"WRN {name:28s} {metric_of(base, baseline_path):12,.0f} "
+                    f"{'-':>12s}"
+                )
             continue
         base_eps = metric_of(base, baseline_path)
         cur_eps = metric_of(cur, current_path)
@@ -135,6 +178,8 @@ def main(argv):
             f"NEW {name:28s} {'-':>12s} {metric_of(cur, current_path):12,.0f} "
             f"{'-':>8s} (not in baseline, skipped)"
         )
+
+    store_missing_state(state_path, missing_now)
 
     if warnings:
         print(f"\n{len(warnings)} warning(s) (non-fatal):")
