@@ -1,0 +1,208 @@
+// Extension experiment: contingency-aware TE — N-1 failover headroom and
+// coordinated drains (docs/resilience.md).
+//
+// Three clusters running a two-stage chain (ingress -> svc-1 @ 4ms):
+//
+//   cluster   svc-1 servers   capacity   demand      distance
+//   a             2            500 RPS    400 RPS    10ms to b, 30ms to c
+//   b             2            500 RPS    400 RPS    10ms to a, 30ms to c
+//   c             4           1000 RPS    100 RPS    30ms to both
+//
+// Reactive SLATE keeps everything local (a and b at 80%, c idle). When b
+// dies, its 400 RPS anycasts to the nearest alive ingress — a — whose svc-1
+// now faces 800 RPS against 500 of capacity. Queues blow past the 0.5s
+// deadline, timed-out work still burns server time (propagate=off), retries
+// re-aim at the saturated survivor, and goodput collapses metastably until
+// the damped controller walks the spill over to c.
+//
+// Part A — surprise outage. Contingency mode stress-tests every plan
+// against each single-cluster failure: "if b dies, can the reroute fit
+// under a 0.95 utilization cap?" It cannot, so the solver re-prices with
+// padded capacity until the primary plan pre-spreads enough of a's and b's
+// load onto c that the post-failure flood lands on warm headroom. The armed
+// run holds >= 95% of pre-fault goodput through the outage window; the
+// reactive run collapses.
+//
+// Part B — planned removal. Taking b out on purpose, two ways: yanking it
+// (outage, zero warning) versus draining it (`drain` directive: front-door
+// weight walks to zero in bounded steps over 15s, solver and autoscaler see
+// the capacity shrinking). Scored on lost goodput over the removal window
+// plus wasted server-seconds; the drain wins by >= 10x.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/scenarios.h"
+
+using namespace slate;
+
+namespace {
+
+constexpr double kFaultStart = 40.0;
+constexpr double kFaultEnd = 50.0;
+
+// The three-cluster world described above.
+Scenario make_triangle_scenario() {
+  LinearChainOptions app;
+  app.chain_length = 1;
+  app.service_compute_mean = 4.0e-3;  // 250 RPS per server
+  Scenario scenario;
+  scenario.name = "contingency-triangle";
+  scenario.app = std::make_unique<Application>(make_linear_chain_app(app));
+
+  Topology topology(3);
+  const ClusterId a{0}, b{1}, c{2};
+  topology.set_rtt(a, b, 10e-3);
+  topology.set_rtt(a, c, 30e-3);
+  topology.set_rtt(b, c, 30e-3);
+  topology.set_uniform_egress_price(0.08);
+  scenario.topology = std::make_unique<Topology>(std::move(topology));
+
+  scenario.deployment = std::make_unique<Deployment>(*scenario.app, 3);
+  const unsigned servers[3] = {2, 2, 4};
+  for (ServiceId s : scenario.app->all_services()) {
+    const bool gateway = scenario.app->service_name(s) == "ingress";
+    for (std::size_t i = 0; i < 3; ++i) {
+      // The gateway does ~no work; svc-1 is the capacity that matters.
+      const unsigned n = gateway ? 2 : servers[i];
+      const double mu = gateway ? 1.0 / 0.1e-3 : 1.0 / 4.0e-3;
+      scenario.deployment->deploy(s, ClusterId{i}, n, 0.95 * mu * n);
+    }
+  }
+
+  const ClassId chain = scenario.app->find_class("chain");
+  scenario.demand.set_rate(chain, a, 400.0);
+  scenario.demand.set_rate(chain, b, 400.0);
+  scenario.demand.set_rate(chain, c, 100.0);
+  return scenario;
+}
+
+RunConfig base_config() {
+  RunConfig config;
+  config.policy = PolicyKind::kSlate;
+  config.duration = 70.0;
+  config.warmup = 10.0;
+  config.seed = 17;
+  config.control_period = 1.0;
+  config.timeseries_bucket = 1.0;
+  config.failure.enabled = true;
+  config.failure.call_timeout = 0.5;
+  config.failure.max_retries = 2;
+  // Deadlines carried but not propagated: timed-out work still burns server
+  // time — the wasted_server_seconds the drain comparison is scored on.
+  config.overload.deadline.enabled = true;
+  config.overload.deadline.default_deadline = 0.5;
+  config.overload.deadline.propagate = false;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension",
+                      "N-1 failover headroom + coordinated drain vs yank");
+
+  // --- Part A: surprise single-cluster outage ----------------------------
+  Scenario outage_world = make_triangle_scenario();
+  outage_world.faults.cluster_outage(ClusterId{1}, kFaultStart,
+                                     kFaultEnd - kFaultStart);
+
+  std::vector<GridJob> jobs;
+  {
+    RunConfig reactive = base_config();
+    jobs.push_back({&outage_world, reactive, "reactive"});
+    RunConfig armed = base_config();
+    armed.slate.contingency.enabled = true;
+    armed.slate.contingency.max_post_failure_utilization = 0.95;
+    jobs.push_back({&outage_world, armed, "contingency"});
+  }
+
+  // --- Part B: planned removal, drain vs yank ----------------------------
+  Scenario yank_world = make_triangle_scenario();
+  yank_world.faults.cluster_outage(ClusterId{1}, kFaultStart,
+                                   70.0 - kFaultStart);
+  Scenario drain_world = make_triangle_scenario();
+  {
+    RunConfig yank = base_config();
+    jobs.push_back({&yank_world, yank, "yank"});
+    RunConfig drain = base_config();
+    DrainSpec spec;
+    spec.cluster = ClusterId{1};
+    spec.start = kFaultStart;
+    spec.over = 15.0;
+    drain.drains.push_back(spec);
+    jobs.push_back({&drain_world, drain, "drain"});
+  }
+
+  std::vector<ExperimentResult> results = bench::run_grid(jobs);
+  const char* arms[4] = {"reactive", "contingency", "yank", "drain"};
+
+  // Part A report: goodput before / during / after the 10s outage.
+  std::printf("%-14s %9s %9s %9s %8s %8s %10s %8s\n", "arm", "pre_rps",
+              "fault_rps", "post_rps", "hold", "margin", "resolves", "errors");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const ExperimentResult& r = results[i];
+    const double pre = r.goodput_in_window(30.0, kFaultStart);
+    const double during = r.goodput_in_window(42.0, 49.0);
+    const double post = r.goodput_in_window(53.0, 60.0);
+    const double hold = pre > 0.0 ? during / pre : 0.0;
+    std::printf("%-14s %9.1f %9.1f %9.1f %7.1f%% %8.3f %10llu %8llu\n",
+                arms[i], pre, during, post, hold * 100.0,
+                r.contingency_margin_worst,
+                static_cast<unsigned long long>(r.contingency_resolves),
+                static_cast<unsigned long long>(r.failed));
+    std::printf("data,contingency,%s,%.2f,%.2f,%.2f,%.4f,%.4f,%llu,%llu\n",
+                arms[i], pre, during, post, hold,
+                r.contingency_margin_worst,
+                static_cast<unsigned long long>(r.contingency_resolves),
+                static_cast<unsigned long long>(r.failed));
+    for (std::size_t t = 0; t < r.completed_series.size(); ++t) {
+      std::printf("data,goodput_series,%s,%.1f,%llu\n", arms[i],
+                  static_cast<double>(t) * r.series_bucket,
+                  static_cast<unsigned long long>(r.completed_series[t]));
+    }
+  }
+
+  // Part B report: lost goodput over the removal window + wasted work.
+  std::printf("\n%-14s %10s %12s %10s %8s %8s %8s\n", "arm", "lost_reqs",
+              "wasted_sec", "score", "steps", "pauses", "errors");
+  double score[2] = {0.0, 0.0};
+  for (std::size_t i = 2; i < 4; ++i) {
+    const ExperimentResult& r = results[i];
+    const double pre = r.goodput_in_window(30.0, kFaultStart);
+    const double window = 65.0 - kFaultStart;
+    double served = 0.0;
+    for (std::size_t t = static_cast<std::size_t>(kFaultStart);
+         t < static_cast<std::size_t>(65.0) && t < r.completed_series.size();
+         ++t) {
+      served += static_cast<double>(r.completed_series[t]);
+    }
+    const double lost = std::max(0.0, pre * window - served);
+    score[i - 2] = lost + r.wasted_server_seconds;
+    std::printf("%-14s %10.1f %12.2f %10.1f %8llu %8llu %8llu\n",
+                arms[i], lost, r.wasted_server_seconds, score[i - 2],
+                static_cast<unsigned long long>(r.drain_steps),
+                static_cast<unsigned long long>(r.drain_pause_periods),
+                static_cast<unsigned long long>(r.failed));
+    std::printf("data,drain_vs_yank,%s,%.2f,%.3f,%.2f,%llu,%llu\n",
+                arms[i], lost, r.wasted_server_seconds, score[i - 2],
+                static_cast<unsigned long long>(r.drain_steps),
+                static_cast<unsigned long long>(r.drains_completed));
+  }
+  if (score[1] > 0.0) {
+    std::printf("data,drain_advantage,%.2f\n", score[0] / score[1]);
+  }
+
+  std::printf(
+      "\nreading: reactive SLATE runs a and b hot (80%%) because local is\n"
+      "cheapest; b's outage doubles a's ingress against fixed capacity and\n"
+      "goodput collapses until the damped controller walks the spill to c.\n"
+      "Contingency mode pays a little latency up front — the padded solve\n"
+      "pre-spreads load onto c so every single-cluster failure reroutes\n"
+      "under the 0.95 utilization cap — and rides out the same outage at\n"
+      ">= 95%% of pre-fault goodput. For planned removals the drain walks\n"
+      "b's front-door weight to zero over 15s with the solver watching the\n"
+      "capacity shrink, beating the yank by >= 10x on lost-goodput plus\n"
+      "wasted server-seconds.\n");
+  return 0;
+}

@@ -191,6 +191,14 @@ int main(int argc, char** argv) {
     a.admission.enabled = true;
     a.admission.default_rate = 900.0;
     rows.push_back(run_case("chain-2c-admission", scenario, a));
+    // N-1 headroom armed: every control period pays one simulated reroute
+    // per cluster (plus padded re-solves when the margin overflows) — this
+    // run prices the contingency check on top of the control loop
+    // (docs/resilience.md).
+    RunConfig n1 = config;
+    n1.policy = PolicyKind::kSlate;
+    n1.slate.contingency.enabled = true;
+    rows.push_back(run_case("chain-2c-contingency", scenario, n1));
     // Forecast armed on time-varying demand: the piecewise generator steps
     // churn arrival rates every 0.5 s and the Holt-Winters per-cell
     // forecasters + rolling backtest score every control period — this run

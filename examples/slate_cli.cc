@@ -34,6 +34,14 @@
 //                          ingress cluster (repeatable; <rps> alone caps
 //                          every class)
 //   --no-admission         ignore the scenario's admission directives
+//   --contingency          SLATE: arm N-1 headroom planning (pad the solve
+//                          until every single-cluster failure reroutes
+//                          within the utilization cap; docs/resilience.md)
+//   --contingency-cap=<u>  post-failure utilization cap (default 0.95;
+//                          implies --contingency)
+//   --no-contingency       ignore the scenario's contingency directive
+//   --no-drains            ignore the scenario's drain directives (and
+//                          campaign-expanded drains)
 //   --cdf                  print the latency CDF
 //   --seeds=<n>            run n replications (derived seeds) and report
 //                          mean +/- 95% CI across them (default 1)
@@ -154,6 +162,15 @@ int main(int argc, char** argv) {
       admit_specs.push_back(value);
     } else if (std::strcmp(argv[i], "--no-admission") == 0) {
       config.ignore_scenario_admission = true;
+    } else if (std::strcmp(argv[i], "--contingency") == 0) {
+      config.slate.contingency.enabled = true;
+    } else if (parse_flag(argv[i], "--contingency-cap", &value)) {
+      config.slate.contingency.enabled = true;
+      config.slate.contingency.max_post_failure_utilization = std::stod(value);
+    } else if (std::strcmp(argv[i], "--no-contingency") == 0) {
+      config.ignore_scenario_contingency = true;
+    } else if (std::strcmp(argv[i], "--no-drains") == 0) {
+      config.ignore_scenario_drains = true;
     } else if (std::strcmp(argv[i], "--cdf") == 0) {
       print_cdf = true;
     } else if (parse_flag(argv[i], "--seeds", &value)) {
@@ -415,6 +432,25 @@ int main(int argc, char** argv) {
     std::printf("  rules    %llu pushes, mean successive L1 delta %.3f\n",
                 static_cast<unsigned long long>(r.rule_pushes),
                 r.mean_rule_delta());
+  }
+  if (r.contingency_evals > 0) {
+    std::printf(
+        "  contingency %llu margin checks / %llu padded re-solves, "
+        "margin last %.3f / worst %.3f, pad level %llu\n",
+        static_cast<unsigned long long>(r.contingency_evals),
+        static_cast<unsigned long long>(r.contingency_resolves),
+        r.contingency_margin_last, r.contingency_margin_worst,
+        static_cast<unsigned long long>(r.contingency_pad_level));
+  }
+  if (r.drains_started + r.drains_cancelled > 0) {
+    std::printf(
+        "  drains   %llu started / %llu completed / %llu cancelled by outage, "
+        "%llu steps, %llu pause periods on goodput sag\n",
+        static_cast<unsigned long long>(r.drains_started),
+        static_cast<unsigned long long>(r.drains_completed),
+        static_cast<unsigned long long>(r.drains_cancelled),
+        static_cast<unsigned long long>(r.drain_steps),
+        static_cast<unsigned long long>(r.drain_pause_periods));
   }
   if (r.forecast_solves > 0) {
     std::printf(

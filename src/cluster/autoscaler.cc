@@ -44,6 +44,12 @@ void Autoscaler::evaluate() {
   const unsigned target = std::clamp(proposed, options_.min_servers,
                                      options_.max_servers);
   if (target == current) return;
+  if (target > current && inhibit_scale_up_) {
+    // Drain in progress: adding replicas to an evacuating cluster would
+    // only create capacity the drain immediately walks away from. Not a
+    // decision — the cooldown clock is untouched.
+    return;
+  }
 
   last_decision_ = sim_.now();
   desired_ = target;

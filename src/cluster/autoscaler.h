@@ -52,6 +52,16 @@ class Autoscaler {
   // provisioning).
   [[nodiscard]] unsigned desired_servers() const noexcept { return desired_; }
 
+  // A draining cluster must not fight its own evacuation: while inhibited
+  // the autoscaler takes no scale-up decisions (scale-downs still apply,
+  // and in-flight provisioning completes). See docs/resilience.md.
+  void set_scale_up_inhibited(bool inhibited) noexcept {
+    inhibit_scale_up_ = inhibited;
+  }
+  [[nodiscard]] bool scale_up_inhibited() const noexcept {
+    return inhibit_scale_up_;
+  }
+
  private:
   void evaluate();
 
@@ -61,6 +71,7 @@ class Autoscaler {
   ScaleObserver on_scale_;
   Simulator::ScopedPeriodic task_;  // cancel-on-destroy: no leaked timer
   unsigned desired_;
+  bool inhibit_scale_up_ = false;
   double last_decision_ = -1e18;
   double window_start_;
   std::uint64_t scale_ups_ = 0;

@@ -1,0 +1,110 @@
+#include "contingency/drain_orchestrator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slate {
+
+namespace {
+// Smoothing for the rolling goodput estimate the sag gate compares against.
+constexpr double kGoodputAlpha = 0.3;
+}  // namespace
+
+DrainOrchestrator::DrainOrchestrator(std::vector<DrainSpec> drains,
+                                     double control_period, Hooks hooks)
+    : control_period_(control_period), hooks_(std::move(hooks)) {
+  if (control_period_ <= 0.0) {
+    throw std::invalid_argument("DrainOrchestrator: control period must be > 0");
+  }
+  drains_.reserve(drains.size());
+  for (DrainSpec& spec : drains) {
+    if (!spec.cluster.valid()) {
+      throw std::invalid_argument("DrainOrchestrator: invalid drain cluster");
+    }
+    if (spec.over <= 0.0) {
+      throw std::invalid_argument("DrainOrchestrator: drain duration must be > 0");
+    }
+    if (spec.step <= 0.0 || spec.step > 1.0) {
+      throw std::invalid_argument("DrainOrchestrator: step must be in (0, 1]");
+    }
+    if (spec.sag_threshold <= 0.0 || spec.sag_threshold >= 1.0) {
+      throw std::invalid_argument(
+          "DrainOrchestrator: sag threshold must be in (0, 1)");
+    }
+    drains_.push_back(Drain{spec});
+  }
+}
+
+void DrainOrchestrator::tick(double now) {
+  // Measured goodput over the last period, from the cumulative served count.
+  // Reads happen at a global control barrier, so the delta is deterministic
+  // at any shard count.
+  const std::uint64_t served = hooks_.jobs_served ? hooks_.jobs_served() : 0;
+  double goodput = 0.0;
+  if (have_last_served_) {
+    goodput =
+        static_cast<double>(served - last_served_) / control_period_;
+    goodput_ewma_ = have_ewma_
+                        ? kGoodputAlpha * goodput +
+                              (1.0 - kGoodputAlpha) * goodput_ewma_
+                        : goodput;
+    have_ewma_ = true;
+  }
+  last_served_ = served;
+  have_last_served_ = true;
+
+  for (Drain& d : drains_) {
+    if (d.state == State::kDrained || d.state == State::kCancelled) continue;
+
+    // Outage overlap: the outage wins. The drain cancels cleanly and the
+    // keep-fraction is restored, so the cluster serves normally again the
+    // moment the outage lifts.
+    if (hooks_.cluster_down && hooks_.cluster_down(d.spec.cluster)) {
+      if (d.state == State::kDraining || d.keep < 1.0) {
+        d.keep = 1.0;
+        if (hooks_.apply_keep) hooks_.apply_keep(d.spec.cluster, 1.0);
+      }
+      d.state = State::kCancelled;
+      ++drains_cancelled_;
+      continue;
+    }
+
+    if (d.state == State::kPending) {
+      if (now + 1e-9 < d.spec.start) continue;
+      d.state = State::kDraining;
+      // Freeze the pre-drain goodput baseline; with no history yet the sag
+      // gate stays disabled (baseline 0).
+      d.baseline_goodput = have_ewma_ ? goodput_ewma_ : 0.0;
+      ++drains_started_;
+    }
+
+    // Pause-and-hold while downstream goodput sags below the pre-drain
+    // baseline — the same reflex as canary rollback, applied to capacity
+    // removal. Progress resumes once goodput recovers.
+    if (d.baseline_goodput > 0.0 && have_ewma_ &&
+        goodput < d.spec.sag_threshold * d.baseline_goodput) {
+      ++drain_pause_periods_;
+      continue;
+    }
+
+    const double step =
+        std::min(d.spec.step, control_period_ / d.spec.over);
+    d.keep = std::max(0.0, d.keep - step);
+    ++drain_steps_;
+    if (hooks_.apply_keep) hooks_.apply_keep(d.spec.cluster, d.keep);
+    if (d.keep <= 0.0) {
+      d.state = State::kDrained;
+      ++drains_completed_;
+    }
+  }
+}
+
+double DrainOrchestrator::keep_fraction(ClusterId cluster) const noexcept {
+  double keep = 1.0;
+  for (const Drain& d : drains_) {
+    if (d.spec.cluster == cluster) keep = std::min(keep, d.keep);
+  }
+  return keep;
+}
+
+}  // namespace slate

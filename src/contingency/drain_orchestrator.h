@@ -1,0 +1,97 @@
+// Coordinated drain / evacuation of clusters on the control timeline.
+//
+// A drain phases traffic off a cluster in bounded per-period steps instead of
+// removing capacity cliff-edge. Each control period the orchestrator:
+//
+//   1. cancels any drain whose cluster is under a fault outage — the outage
+//      wins, the drain cancels cleanly (keep-fraction restored to 1 so the
+//      cluster serves again once the outage lifts);
+//   2. gates progress on downstream health: while measured goodput sags
+//      below sag_threshold x the pre-drain baseline, the drain pauses and
+//      holds (the canary-rollback idiom, applied to capacity removal);
+//   3. otherwise lowers the cluster's keep-fraction by a bounded step, so
+//      the drain completes in `over` seconds of healthy progress.
+//
+// The orchestrator is wired to the host simulation through three hooks and
+// knows nothing about engines or sharding: every decision is a pure function
+// of hook reads made at a global control barrier, so results are
+// byte-identical at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "contingency/contingency.h"
+
+namespace slate {
+
+class DrainOrchestrator {
+ public:
+  struct Hooks {
+    // Cumulative jobs served by the whole simulation (monotone).
+    std::function<std::uint64_t()> jobs_served;
+    // True while `cluster` is under a fault outage.
+    std::function<bool(ClusterId)> cluster_down;
+    // Applies a new keep-fraction in [0, 1]: the share of this cluster's
+    // normal traffic it should continue to receive. The host propagates it
+    // to the data plane, the solver's capacity view, and the autoscaler.
+    std::function<void(ClusterId, double)> apply_keep;
+  };
+
+  DrainOrchestrator(std::vector<DrainSpec> drains, double control_period,
+                    Hooks hooks);
+
+  // Runs one control-period step; call once per period from the global
+  // timeline (Simulator::ScopedPeriodic).
+  void tick(double now);
+
+  [[nodiscard]] std::uint64_t drains_started() const noexcept {
+    return drains_started_;
+  }
+  [[nodiscard]] std::uint64_t drains_completed() const noexcept {
+    return drains_completed_;
+  }
+  [[nodiscard]] std::uint64_t drains_cancelled() const noexcept {
+    return drains_cancelled_;
+  }
+  [[nodiscard]] std::uint64_t drain_pause_periods() const noexcept {
+    return drain_pause_periods_;
+  }
+  [[nodiscard]] std::uint64_t drain_steps() const noexcept {
+    return drain_steps_;
+  }
+  // Keep-fraction the orchestrator last applied for `cluster` (1 when it has
+  // never been touched).
+  [[nodiscard]] double keep_fraction(ClusterId cluster) const noexcept;
+
+ private:
+  enum class State { kPending, kDraining, kDrained, kCancelled };
+
+  struct Drain {
+    DrainSpec spec;
+    State state = State::kPending;
+    double keep = 1.0;
+    // Goodput baseline frozen when the drain goes active; 0 = no baseline
+    // yet (gate disabled until one exists).
+    double baseline_goodput = 0.0;
+  };
+
+  std::vector<Drain> drains_;
+  double control_period_ = 1.0;
+  Hooks hooks_;
+
+  // Per-tick goodput estimate: served delta over the last period, smoothed.
+  std::uint64_t last_served_ = 0;
+  bool have_last_served_ = false;
+  double goodput_ewma_ = 0.0;
+  bool have_ewma_ = false;
+
+  std::uint64_t drains_started_ = 0;
+  std::uint64_t drains_completed_ = 0;
+  std::uint64_t drains_cancelled_ = 0;
+  std::uint64_t drain_pause_periods_ = 0;
+  std::uint64_t drain_steps_ = 0;
+};
+
+}  // namespace slate

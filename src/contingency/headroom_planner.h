@@ -1,0 +1,62 @@
+// N-1 failover headroom evaluation for routing plans.
+//
+// Given a routing rule set and the demand it was solved for, predicts the
+// per-station utilization after any single cluster fails, mirroring what the
+// data plane actually does on failure:
+//
+//   * ingress demand entering the failed cluster is anycast to the nearest
+//     alive cluster holding the class's entry service (on_arrival failover);
+//   * rule weight pointing at the failed cluster lands on the nearest alive
+//     candidate as seen from the source cluster (start_attempt's forced
+//     nearest-alive re-pick when the weighted draw is excluded);
+//   * flow that was flowing *through* the failed cluster disappears with it,
+//     so no traffic originates there post-failure.
+//
+// The worst-case max utilization over the failure set is the plan's
+// contingency margin: a margin <= the configured cap means every single
+// failure is absorbable within existing headroom, before any reactive
+// mechanism (fault age-out, breakers, re-solve) has to engage.
+#pragma once
+
+#include <vector>
+
+#include "app/application.h"
+#include "cluster/deployment.h"
+#include "core/latency_model.h"
+#include "net/topology.h"
+#include "routing/weighted_rules.h"
+#include "util/matrix.h"
+
+namespace slate {
+
+class HeadroomPlanner {
+ public:
+  HeadroomPlanner(const Application& app, const Deployment& deployment,
+                  const Topology& topology);
+
+  // Max post-failure station utilization across all alive stations when
+  // `failed` is down. `demand` and `live_servers` are interpreted exactly as
+  // by RouteOptimizer::optimize (live entries of 0 fall back to the
+  // deployment's static count). Demand whose class loses its last alive
+  // entry (or a call edge its last alive candidate) is lost outright, not
+  // rerouted — total loss is a different failure mode than overload and
+  // contributes no utilization.
+  [[nodiscard]] double failure_max_utilization(
+      const LatencyModel& model, const FlatMatrix<double>& demand,
+      const RoutingRuleSet& rules, const std::vector<unsigned>* live_servers,
+      ClusterId failed) const;
+
+  // Worst case of failure_max_utilization over the default failure set:
+  // each cluster singly. Writes the worst failure to `worst` if non-null.
+  [[nodiscard]] double worst_case_margin(
+      const LatencyModel& model, const FlatMatrix<double>& demand,
+      const RoutingRuleSet& rules, const std::vector<unsigned>* live_servers,
+      ClusterId* worst = nullptr) const;
+
+ private:
+  const Application* app_;
+  const Deployment* deployment_;
+  const Topology* topology_;
+};
+
+}  // namespace slate

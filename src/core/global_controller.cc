@@ -33,7 +33,8 @@ GlobalController::GlobalController(const Application& app,
       solve_demand_(app.class_count(), topology.cluster_count(), 0.0),
       live_servers_(app.service_count() * topology.cluster_count(), 0),
       last_seen_round_(topology.cluster_count(), 0),
-      cluster_stale_(topology.cluster_count(), false) {
+      cluster_stale_(topology.cluster_count(), false),
+      drain_scale_(topology.cluster_count(), 1.0) {
   if (options_.initial_model_scale != 1.0) {
     model_.scale_all(options_.initial_model_scale);
   }
@@ -48,6 +49,9 @@ GlobalController::GlobalController(const Application& app,
   }
   if (options_.guard.rollout.enabled) {
     rollout_ = std::make_unique<RuleRollout>(options_.guard.rollout);
+  }
+  if (options_.contingency.enabled) {
+    headroom_ = std::make_unique<HeadroomPlanner>(app, deployment, topology);
   }
   switch (options_.forecast.kind) {
     case ForecastKind::kLast:
@@ -75,6 +79,132 @@ std::size_t GlobalController::stale_periods(ClusterId cluster) const noexcept {
   const std::size_t c = cluster.index();
   if (c >= last_seen_round_.size() || last_seen_round_[c] == 0) return 0;
   return static_cast<std::size_t>(rounds_ - last_seen_round_[c]);
+}
+
+void GlobalController::set_drain_scale(ClusterId cluster, double keep) {
+  if (!cluster.valid() || cluster.index() >= drain_scale_.size()) return;
+  keep = std::clamp(keep, 0.0, 1.0);
+  if (drain_scale_[cluster.index()] == keep) return;
+  drain_scale_[cluster.index()] = keep;
+  capacity_dirty_ = true;
+  drain_scaling_active_ = false;
+  for (const double s : drain_scale_) {
+    if (s < 1.0) drain_scaling_active_ = true;
+  }
+}
+
+const std::vector<unsigned>* GlobalController::capacity_view() {
+  if (!drain_scaling_active_) return &live_servers_;
+  const std::size_t C = topology_->cluster_count();
+  const std::size_t S = app_->service_count();
+  scaled_live_ = live_servers_;
+  for (std::size_t c = 0; c < C; ++c) {
+    const double scale = drain_scale_[c];
+    if (scale >= 1.0) continue;
+    for (std::size_t s = 0; s < S; ++s) {
+      // Scale from the live count when reported, else the static
+      // deployment; 0 stays 0 (not deployed). Floor at one server so the
+      // program stays feasible — the data plane's drain filter, not the
+      // solver, performs the final cutoff.
+      const unsigned base =
+          live_servers_[s * C + c] > 0
+              ? live_servers_[s * C + c]
+              : deployment_->servers(ServiceId{s}, ClusterId{c});
+      if (base == 0) continue;
+      scaled_live_[s * C + c] = std::max(
+          1u, static_cast<unsigned>(static_cast<double>(base) * scale));
+    }
+  }
+  return &scaled_live_;
+}
+
+const FlatMatrix<double>& GlobalController::apply_drain_divert(
+    const FlatMatrix<double>& demand) {
+  if (!drain_scaling_active_) return demand;
+  drain_demand_ = demand;
+  const std::size_t C = topology_->cluster_count();
+  for (std::size_t c = 0; c < C; ++c) {
+    const double keep = drain_scale_[c];
+    if (keep >= 1.0) continue;
+    for (std::size_t k = 0; k < demand.rows(); ++k) {
+      const double diverted = (1.0 - keep) * demand(k, c);
+      if (diverted <= 0.0) continue;
+      // Mirror the data plane's front-door divert: nearest cluster hosting
+      // the entry service that is not itself evacuating.
+      const ServiceId entry = app_->entry_service(ClassId{k});
+      std::vector<ClusterId> candidates;
+      for (std::size_t t = 0; t < C; ++t) {
+        if (t == c || drain_scale_[t] <= 0.0) continue;
+        if (!deployment_->is_deployed(entry, ClusterId{t})) continue;
+        candidates.push_back(ClusterId{t});
+      }
+      if (candidates.empty()) continue;  // divert has nowhere to go
+      const ClusterId target = topology_->nearest(ClusterId{c}, candidates);
+      drain_demand_(k, c) -= diverted;
+      drain_demand_(k, target.index()) += diverted;
+    }
+  }
+  return drain_demand_;
+}
+
+void GlobalController::plan_contingency(const FlatMatrix<double>& solve_demand,
+                                        const std::vector<unsigned>* live,
+                                        bool exact_plan) {
+  const ContingencyOptions& c = options_.contingency;
+  ++contingency_evals_;
+  double margin = headroom_->worst_case_margin(model_, solve_demand,
+                                               *last_result_.rules, live,
+                                               &contingency_worst_failure_);
+  if (exact_plan) {
+    const double primary_cap = options_.optimizer.max_utilization;
+    // Pad levels are quantized so the padded-solve inputs repeat across
+    // periods and ride the contingency warm-start cache.
+    std::size_t max_level = 0;
+    while (primary_cap - static_cast<double>(max_level + 1) * c.pad_step >=
+           c.min_utilization) {
+      ++max_level;
+    }
+    std::size_t level = std::min(pad_level_, max_level);
+    auto padded_solve = [&](std::size_t lvl) {
+      OptimizerOptions padded = options_.optimizer;
+      padded.max_utilization =
+          primary_cap - static_cast<double>(lvl) * c.pad_step;
+      if (cache_pad_level_ != lvl) {
+        // The memo is keyed on solve inputs, not options: a cached plan
+        // from another cap must not be served at this one.
+        contingency_cache_.memo_valid = false;
+        cache_pad_level_ = lvl;
+      }
+      RouteOptimizer padded_optimizer(*app_, *deployment_, *topology_, padded);
+      ++contingency_resolves_;
+      return padded_optimizer.optimize(model_, solve_demand, live,
+                                       &contingency_cache_);
+    };
+    while (true) {
+      if (level > 0) {
+        OptimizerResult padded = padded_solve(level);
+        if (!padded.ok()) break;  // keep the plan we have
+        last_result_ = std::move(padded);
+        margin = headroom_->worst_case_margin(
+            model_, solve_demand, *last_result_.rules, live,
+            &contingency_worst_failure_);
+      }
+      if (margin <= c.max_post_failure_utilization || level >= max_level) {
+        break;
+      }
+      ++level;
+    }
+    // Relax one step per period, and only from comfortably inside the cap
+    // (hysteresis prevents pad-level flapping at the boundary).
+    if (level > 0 &&
+        margin < c.max_post_failure_utilization - c.relax_hysteresis) {
+      pad_level_ = level - 1;
+    } else {
+      pad_level_ = level;
+    }
+  }
+  contingency_margin_last_ = margin;
+  contingency_margin_worst_ = std::max(contingency_margin_worst_, margin);
 }
 
 void GlobalController::ingest(const std::vector<ClusterReport>& reports) {
@@ -293,7 +423,8 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
   // the oracle's future, depending on the armed forecast mode. The demand
   // check is written non-finite-safe: a poisoned matrix (possible only
   // with admission off) must hold, not solve.
-  const FlatMatrix<double>& solve_demand = solve_demand_input(now);
+  const FlatMatrix<double>& solve_demand =
+      apply_drain_divert(solve_demand_input(now));
   double total_demand = 0.0;
   for (double d : solve_demand.data()) total_demand += d;
   if (!(total_demand > 0.0) || !std::isfinite(total_demand)) return nullptr;
@@ -301,8 +432,8 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
   // 4a. Re-solve gate: once a plan exists, a period whose demand moved less
   // than resolve_tolerance in every cell keeps it — a steady-state workload
   // should not pay a full solve (or churn rules) every control period.
-  if (options_.resolve_tolerance > 0.0 && current_rules_ != nullptr &&
-      current_rules_->size() > 0 &&
+  if (options_.resolve_tolerance > 0.0 && !capacity_dirty_ &&
+      current_rules_ != nullptr && current_rules_->size() > 0 &&
       last_solved_demand_.data().size() == solve_demand.data().size() &&
       !solve_demand.data().empty()) {
     double worst = 0.0;
@@ -321,6 +452,9 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     }
   }
   last_solved_demand_ = solve_demand;
+  capacity_dirty_ = false;
+  // Live capacity as the solver should see it (drain scaling applied).
+  const std::vector<unsigned>* live = capacity_view();
 
   // Wall-clock the whole solve (whichever arm ends up producing the plan)
   // and classify the arm for the run summary. Measurement only — see
@@ -347,12 +481,16 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     return warm ? &SolveTelemetry::exact_warm : &SolveTelemetry::exact_cold;
   };
 
+  // True when the period's plan came from the primary or fast rung —
+  // fallback-rung plans are margin-measured but never contingency
+  // re-priced (they are already degraded mode).
+  bool plan_from_primary = false;
   if (solver_guard_ != nullptr) {
     const bool have_last_good =
         current_rules_ != nullptr && current_rules_->size() > 0;
     SolverGuard::Outcome outcome = solver_guard_->solve(
         optimizer_, fast_optimizer_, ripup_optimizer_,
-        options_.use_fast_optimizer, model_, solve_demand, &live_servers_,
+        options_.use_fast_optimizer, model_, solve_demand, live,
         &optimizer_cache_, solver_chaos_, have_last_good);
     ++optimizations_;
     last_result_ = std::move(outcome.result);
@@ -363,10 +501,12 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     }
     switch (outcome.rung) {
       case SolverRung::kPrimary:
+        plan_from_primary = true;
         record_solve(options_.use_fast_optimizer ? &SolveTelemetry::fast
                                                  : exact_arm());
         break;
       case SolverRung::kFastHeuristic:
+        plan_from_primary = true;
         record_solve(&SolveTelemetry::fast);
         break;
       case SolverRung::kRipup:
@@ -387,8 +527,8 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     }
     last_result_ =
         options_.use_fast_optimizer
-            ? fast_optimizer_.optimize(model_, solve_demand, &live_servers_)
-            : optimizer_.optimize(model_, solve_demand, &live_servers_,
+            ? fast_optimizer_.optimize(model_, solve_demand, live)
+            : optimizer_.optimize(model_, solve_demand, live,
                                   &optimizer_cache_);
     ++optimizations_;
     if (options_.use_fast_optimizer &&
@@ -403,8 +543,17 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
       ++solver_holds_;
       return nullptr;
     }
+    plan_from_primary = true;
     record_solve(options_.use_fast_optimizer ? &SolveTelemetry::fast
                                              : exact_arm());
+  }
+
+  // 4b. N-1 headroom: stress-test the plan against each single-cluster
+  // failure and re-price with a padded cap until the worst-case reroute
+  // fits (docs/resilience.md). Runs before emission so rollout damping
+  // steps toward the padded target.
+  if (headroom_ != nullptr && last_result_.rules != nullptr) {
+    plan_contingency(solve_demand, live, plan_from_primary);
   }
 
   // 5. Emit rules: guarded rollout (damping + flap detection + canary

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "cluster/deployment.h"
+#include "contingency/contingency.h"
+#include "contingency/headroom_planner.h"
 #include "core/fast_optimizer.h"
 #include "core/ripup_optimizer.h"
 #include "forecast/demand_forecaster.h"
@@ -109,6 +111,12 @@ struct GlobalControllerOptions {
   // observes the post-admission demand estimate, so report-validator trust
   // keeps scaling its input when the guard stack is armed.
   ForecastOptions forecast;
+
+  // N-1 failover headroom planning (docs/resilience.md). Off by default;
+  // when enabled, every primary-rung plan is stress-tested against each
+  // single-cluster failure and re-priced with a padded utilization cap
+  // until the worst-case post-failure reroute fits.
+  ContingencyOptions contingency;
 };
 
 // Per-period solver wall time and arm-selection telemetry. Measurement only:
@@ -155,6 +163,15 @@ class GlobalController {
   // solver rungs are unavailable. With the solver guard armed the ladder
   // descends to the capacity split; without it the controller holds.
   void set_solver_chaos(bool down) noexcept { solver_chaos_ = down; }
+
+  // Coordinated drain: the orchestrator marks `cluster` as shrinking to
+  // `keep` of its capacity, so the solver plans around the evacuation
+  // instead of chasing it. Scaled capacity floors at one server per
+  // deployed station (keeping the program feasible); the data plane's
+  // drain filter handles the final cutoff. Also bypasses the
+  // resolve_tolerance gate for the next period — capacity moved even if
+  // demand did not.
+  void set_drain_scale(ClusterId cluster, double keep);
 
   // Epoch stamped on the most recent non-null rule set returned by
   // on_reports (monotone; 0 = nothing pushed yet). Cluster controllers use
@@ -220,6 +237,33 @@ class GlobalController {
     return resolve_skips_;
   }
 
+  // Contingency telemetry (all zero unless options.contingency.enabled).
+  // Margins are worst-case post-failure max station utilizations of the
+  // plan in force; "worst" is the maximum seen over any evaluated period.
+  [[nodiscard]] double contingency_margin_last() const noexcept {
+    return contingency_margin_last_;
+  }
+  [[nodiscard]] double contingency_margin_worst() const noexcept {
+    return contingency_margin_worst_;
+  }
+  // Periods whose plan had its margin evaluated / was re-priced with a
+  // padded cap.
+  [[nodiscard]] std::uint64_t contingency_evals() const noexcept {
+    return contingency_evals_;
+  }
+  [[nodiscard]] std::uint64_t contingency_resolves() const noexcept {
+    return contingency_resolves_;
+  }
+  // Current pad level (the primary cap is reduced by level * pad_step).
+  [[nodiscard]] std::size_t contingency_pad_level() const noexcept {
+    return pad_level_;
+  }
+  // Failure whose reroute produced the last margin (invalid before the
+  // first evaluation).
+  [[nodiscard]] ClusterId contingency_worst_failure() const noexcept {
+    return contingency_worst_failure_;
+  }
+
   // Guard stages; null when the corresponding gate is disabled.
   [[nodiscard]] const ReportValidator* validator() const noexcept {
     return validator_.get();
@@ -251,6 +295,22 @@ class GlobalController {
   // Stamps a fresh epoch on a non-null push and records it as current.
   std::shared_ptr<const RoutingRuleSet> emit(
       std::shared_ptr<const RoutingRuleSet> rules);
+  // Capacity view for solves and margin evaluation: live_servers_, with
+  // drain scaling applied when any cluster is evacuating.
+  [[nodiscard]] const std::vector<unsigned>* capacity_view();
+  // Demand view for solves while a drain is active: (1 - keep) of a
+  // draining cluster's ingress estimate re-attributed to the cluster its
+  // diverted arrivals actually enter (telemetry measures arrivals at the
+  // original front door, before the divert). Returns `demand` untouched
+  // when no drain is active.
+  [[nodiscard]] const FlatMatrix<double>& apply_drain_divert(
+      const FlatMatrix<double>& demand);
+  // N-1 headroom check + padded re-pricing of last_result_. `exact_plan` is
+  // true when the period's plan came from the primary or fast rung (fallback
+  // rungs are measured but never re-priced — they are already degraded
+  // mode).
+  void plan_contingency(const FlatMatrix<double>& solve_demand,
+                        const std::vector<unsigned>* live, bool exact_plan);
 
   const Application* app_;
   const Deployment* deployment_;
@@ -303,6 +363,32 @@ class GlobalController {
   std::uint64_t solver_holds_ = 0;
   std::uint64_t resolve_skips_ = 0;
   std::uint64_t forecast_solves_ = 0;
+
+  // Contingency state (inert unless options.contingency.enabled).
+  std::unique_ptr<HeadroomPlanner> headroom_;
+  // Padded re-solves use their own warm-start cache: the memo is keyed on
+  // solve inputs, not optimizer options, so sharing the primary cache would
+  // serve plans solved under a different utilization cap.
+  OptimizerCache contingency_cache_;
+  std::size_t pad_level_ = 0;
+  // Pad level the contingency cache's memo was filled at; a level change
+  // invalidates the memo (the bases stay — they warm-start fine across
+  // nearby caps).
+  std::size_t cache_pad_level_ = static_cast<std::size_t>(-1);
+  double contingency_margin_last_ = 0.0;
+  double contingency_margin_worst_ = 0.0;
+  ClusterId contingency_worst_failure_;
+  std::uint64_t contingency_evals_ = 0;
+  std::uint64_t contingency_resolves_ = 0;
+
+  // Coordinated-drain capacity scaling (1 = full capacity).
+  std::vector<double> drain_scale_;
+  std::vector<unsigned> scaled_live_;
+  // Scratch for apply_drain_divert (unused while no drain is active).
+  FlatMatrix<double> drain_demand_;
+  bool drain_scaling_active_ = false;
+  // Set when a drain step changed capacity; bypasses the resolve gate once.
+  bool capacity_dirty_ = false;
 };
 
 }  // namespace slate

@@ -1,0 +1,94 @@
+#include "fault/chaos_campaign.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace slate {
+
+namespace {
+
+enum class EventKind { kOutage, kGray, kPartition, kDrain };
+
+}  // namespace
+
+void expand_campaign(const CampaignSpec& spec, std::size_t cluster_count,
+                     std::size_t service_count, FaultPlan* plan,
+                     std::vector<DrainSpec>* drains) {
+  if (spec.events == 0) {
+    throw std::invalid_argument("campaign events must be >= 1");
+  }
+  if (spec.start < 0.0) {
+    throw std::invalid_argument("campaign start must be >= 0");
+  }
+  if (spec.spacing <= 0.0) {
+    throw std::invalid_argument("campaign spacing must be > 0");
+  }
+  if (spec.mean_duration <= 0.0) {
+    throw std::invalid_argument("campaign mean duration must be > 0");
+  }
+  if (cluster_count == 0) {
+    throw std::invalid_argument("campaign needs at least one cluster");
+  }
+
+  // Fixed enumeration order: the draw sequence (and therefore the expansion)
+  // depends only on (seed, enabled kinds, world sizes).
+  std::vector<EventKind> enabled;
+  if (spec.kinds.outage) enabled.push_back(EventKind::kOutage);
+  if (spec.kinds.gray) {
+    if (service_count == 0) {
+      throw std::invalid_argument("campaign gray events need a service");
+    }
+    enabled.push_back(EventKind::kGray);
+  }
+  if (spec.kinds.partition) {
+    if (cluster_count < 2) {
+      throw std::invalid_argument(
+          "campaign partition events need at least two clusters");
+    }
+    enabled.push_back(EventKind::kPartition);
+  }
+  if (spec.kinds.drain) enabled.push_back(EventKind::kDrain);
+  if (enabled.empty()) {
+    throw std::invalid_argument("campaign enables no event kinds");
+  }
+
+  Rng rng(spec.seed);
+  double t = spec.start;
+  for (std::size_t i = 0; i < spec.events; ++i) {
+    const EventKind kind = enabled[rng.uniform_u64(enabled.size())];
+    // Durations jitter in [0.5, 1.5) x mean so overlapping shapes occur
+    // without any event degenerating to zero length.
+    const double duration = spec.mean_duration * (0.5 + rng.next_double());
+    const ClusterId cluster{rng.uniform_u64(cluster_count)};
+    switch (kind) {
+      case EventKind::kOutage:
+        plan->cluster_outage(cluster, t, duration);
+        break;
+      case EventKind::kGray: {
+        const ServiceId service{rng.uniform_u64(service_count)};
+        const double factor = 2.0 + 6.0 * rng.next_double();
+        plan->service_slowdown(service, cluster, t, duration, factor);
+        break;
+      }
+      case EventKind::kPartition: {
+        // A distinct destination, drawn uniformly from the other clusters.
+        std::uint64_t to = rng.uniform_u64(cluster_count - 1);
+        if (to >= cluster.index()) ++to;
+        plan->link_partition(cluster, ClusterId{to}, t, duration);
+        break;
+      }
+      case EventKind::kDrain: {
+        DrainSpec d;
+        d.cluster = cluster;
+        d.start = t;
+        d.over = duration;
+        drains->push_back(d);
+        break;
+      }
+    }
+    t += spec.spacing * (0.5 + rng.next_double());
+  }
+}
+
+}  // namespace slate

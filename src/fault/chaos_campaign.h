@@ -1,0 +1,50 @@
+// Seeded chaos campaigns: deterministic randomized failure sequences.
+//
+// A campaign is a compact generator for a whole gauntlet of failure shapes —
+// outages, gray failures (service slowdowns), link partitions, and
+// coordinated drains — instead of one hand-scripted story. Expansion is a
+// pure function of (spec, world sizes): the same seed always yields the same
+// concrete FaultPlan and drain list, at scenario-load time, drawing nothing
+// from any simulation RNG stream. The determinism contract is therefore the
+// strongest possible: a campaign-bearing scenario is just a scenario with a
+// longer fault plan, and every engine/shard-count identity guarantee applies
+// unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "contingency/contingency.h"
+#include "fault/fault_plan.h"
+
+namespace slate {
+
+// Which event families a campaign may draw from.
+struct CampaignKinds {
+  bool outage = true;
+  bool gray = true;       // service slowdown (slow, not down)
+  bool partition = true;  // directed link partition
+  bool drain = true;      // coordinated drain (contingency subsystem)
+};
+
+struct CampaignSpec {
+  std::uint64_t seed = 1;
+  std::size_t events = 0;       // must be >= 1
+  double start = 10.0;          // first event no earlier than this
+  double spacing = 10.0;        // mean gap between event starts, > 0
+  double mean_duration = 8.0;   // mean event duration, > 0
+  CampaignKinds kinds;
+};
+
+// Expands `spec` into concrete faults/drains against a world with
+// `cluster_count` clusters and `service_count` services. Appends to `plan`
+// and `drains`. Throws std::invalid_argument (message suitable for loader
+// line-located errors) on events == 0, non-positive spacing/duration, no
+// enabled kinds, or a world too small to host the enabled kinds.
+void expand_campaign(const CampaignSpec& spec, std::size_t cluster_count,
+                     std::size_t service_count, FaultPlan* plan,
+                     std::vector<DrainSpec>* drains);
+
+}  // namespace slate

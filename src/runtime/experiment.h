@@ -9,6 +9,7 @@
 #include "admission/admission_policy.h"
 #include "app/application.h"
 #include "cluster/autoscaler.h"
+#include "contingency/contingency.h"
 #include "cluster/deployment.h"
 #include "core/global_controller.h"
 #include "fault/fault_plan.h"
@@ -61,6 +62,14 @@ struct Scenario {
   // directives). A RunConfig-enabled policy overrides it wholesale;
   // --no-admission disarms it. See docs/overload.md.
   AdmissionPolicy admission;
+  // N-1 contingency planning shipped with the world (`contingency`
+  // directive). RunConfig-enabled options override it wholesale;
+  // --no-contingency disarms it. See docs/resilience.md.
+  ContingencyOptions contingency;
+  // Coordinated drains shipped with the world (`drain` directives and
+  // campaign-expanded drain events). Merged with RunConfig::drains at run
+  // time; --no-drains disarms the scenario's.
+  std::vector<DrainSpec> drains;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -161,6 +170,16 @@ struct RunConfig {
   // Run the scenario with its `admission` directives disarmed (slate_cli
   // --no-admission). RunConfig::admission still applies when enabled.
   bool ignore_scenario_admission = false;
+  // Run the scenario with its `contingency` directive disarmed (slate_cli
+  // --no-contingency): the reactive-only arm of failover comparisons.
+  // RunConfig::slate.contingency still applies when enabled.
+  bool ignore_scenario_contingency = false;
+  // Run the scenario with its `drain` directives (and campaign-expanded
+  // drains) disarmed (slate_cli --no-drains). RunConfig::drains still apply.
+  bool ignore_scenario_drains = false;
+  // Coordinated drains scheduled by the harness (merged with the
+  // scenario's). See docs/resilience.md.
+  std::vector<DrainSpec> drains;
   // Record the per-control-period demand trace (offered vs. estimated vs.
   // forecast, per class x cluster cell) into ExperimentResult::demand_trace
   // — the slate_cli --dump-demand signal. Off by default: the trace is
@@ -314,6 +333,24 @@ struct ExperimentResult {
                ? rule_delta_sum / static_cast<double>(rule_delta_count)
                : 0.0;
   }
+
+  // N-1 contingency planning activity (zero with the subsystem off; see
+  // docs/resilience.md). Margins are worst-case post-failure max station
+  // utilization: the load the hottest station would see if the worst single
+  // cluster failed right now and its traffic rerouted along the data plane's
+  // failover rules.
+  std::uint64_t contingency_evals = 0;      // periods margin-checked
+  std::uint64_t contingency_resolves = 0;   // padded re-solves issued
+  double contingency_margin_last = 0.0;     // final period's margin
+  double contingency_margin_worst = 0.0;    // max margin over the run
+  std::uint64_t contingency_pad_level = 0;  // pad level at run end
+
+  // Coordinated drain activity (zero with no drains scheduled).
+  std::uint64_t drains_started = 0;
+  std::uint64_t drains_completed = 0;
+  std::uint64_t drains_cancelled = 0;     // overlapped by an outage
+  std::uint64_t drain_pause_periods = 0;  // steps held on goodput sag
+  std::uint64_t drain_steps = 0;          // weight steps actually taken
 
   // Forecast activity (zero/-1 with forecasting off; docs/forecasting.md).
   std::uint64_t forecast_solves = 0;     // optimizations fed forecast demand

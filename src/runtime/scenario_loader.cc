@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "contingency/contingency.h"
+#include "fault/chaos_campaign.h"
 #include "topogen/topogen.h"
 #include "util/strfmt.h"
 #include "workload/generators.h"
@@ -175,6 +177,21 @@ struct AdmissionClassDirective {
   double slo = 0.0;   // 0 = keep default
 };
 
+// Coordinated drain; the cluster may be a forward reference, resolved at
+// finalize like faults.
+struct DrainDirective {
+  std::size_t line;
+  std::string cluster;
+  DrainSpec spec;  // spec.cluster filled at finalize
+};
+
+// Seeded chaos campaign; expanded at finalize against the finished world
+// (cluster/service counts must be known).
+struct CampaignDirective {
+  std::size_t line;
+  CampaignSpec spec;
+};
+
 }  // namespace
 
 Scenario load_scenario(std::istream& input) {
@@ -192,6 +209,8 @@ Scenario load_scenario(std::istream& input) {
   std::vector<FaultDirective> faults;
   std::vector<OverloadClassDirective> overloads;
   std::vector<AdmissionClassDirective> admissions;
+  std::vector<DrainDirective> drains;
+  std::vector<CampaignDirective> campaigns;
   double default_egress = -1.0;
   // `topology synth` replaces the hand-written world wholesale; structural
   // directives on either side of it would silently fight the generator, so
@@ -610,6 +629,63 @@ Scenario load_scenario(std::istream& input) {
           fail(line_number, "unknown forecast attribute '" + key + "'");
         }
       }
+    } else if (directive == "fault" && tokens.size() >= 2 &&
+               tokens[1] == "campaign") {
+      // Seeded chaos campaign: expands to a concrete fault/drain sequence at
+      // finalize (a pure function of seed + world sizes; docs/resilience.md).
+      need(3,
+           "fault campaign seed=<n> events=<k> [start=<t>] [spacing=<dur>] "
+           "[mean_duration=<dur>] [kinds=outage,gray,partition,drain]");
+      CampaignDirective cd;
+      cd.line = line_number;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        const auto& [key, value] = *kv;
+        if (key == "seed") {
+          cd.spec.seed = parse_count(value, line_number, 0, "seed");
+        } else if (key == "events") {
+          cd.spec.events = static_cast<std::size_t>(
+              parse_count(value, line_number, 1, "events"));
+        } else if (key == "start") {
+          cd.spec.start = parse_duration(value, line_number);
+        } else if (key == "spacing") {
+          cd.spec.spacing = parse_duration(value, line_number);
+          if (cd.spec.spacing <= 0.0) fail(line_number, "spacing must be > 0");
+        } else if (key == "mean_duration") {
+          cd.spec.mean_duration = parse_duration(value, line_number);
+          if (cd.spec.mean_duration <= 0.0) {
+            fail(line_number, "mean_duration must be > 0");
+          }
+        } else if (key == "kinds") {
+          cd.spec.kinds = CampaignKinds{false, false, false, false};
+          std::string rest = value;
+          while (!rest.empty()) {
+            const std::size_t comma = rest.find(',');
+            const std::string kind = rest.substr(0, comma);
+            rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+            if (kind == "outage") {
+              cd.spec.kinds.outage = true;
+            } else if (kind == "gray") {
+              cd.spec.kinds.gray = true;
+            } else if (kind == "partition") {
+              cd.spec.kinds.partition = true;
+            } else if (kind == "drain") {
+              cd.spec.kinds.drain = true;
+            } else {
+              fail(line_number,
+                   "unknown campaign kind '" + kind +
+                       "' (expected outage, gray, partition, drain)");
+            }
+          }
+        } else {
+          fail(line_number, "unknown campaign attribute '" + key + "'");
+        }
+      }
+      if (cd.spec.events == 0) {
+        fail(line_number, "fault campaign requires events=<k> (>= 1)");
+      }
+      campaigns.push_back(std::move(cd));
     } else if (directive == "fault") {
       need(2, "fault <outage|blackout|corrupt|slowdown|link|solver> ...");
       FaultDirective f;
@@ -645,7 +721,7 @@ Scenario load_scenario(std::istream& input) {
         fail(line_number,
              "unknown fault kind '" + f.kind +
                  "' (expected outage, blackout, corrupt, slowdown, link, "
-                 "solver)");
+                 "solver, campaign)");
       }
       if (tokens[i][0] != '@') {
         fail(line_number, "expected @<start-time>, got '" + tokens[i] + "'");
@@ -1001,6 +1077,79 @@ Scenario load_scenario(std::istream& input) {
           fail(line_number, "admission needs min_rate <= max_rate");
         }
       }
+    } else if (directive == "contingency") {
+      // N-1 headroom planning (docs/resilience.md). Attributes are all
+      // optional; the bare directive arms the defaults.
+      ContingencyOptions& co = scenario.contingency;
+      co.enabled = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        const auto& [key, value] = *kv;
+        if (key == "cap") {
+          co.max_post_failure_utilization = parse_number(value, line_number);
+          if (co.max_post_failure_utilization <= 0.0 ||
+              co.max_post_failure_utilization > 1.0) {
+            fail(line_number, "cap must be in (0, 1]");
+          }
+        } else if (key == "pad_step") {
+          co.pad_step = parse_number(value, line_number);
+          if (co.pad_step <= 0.0 || co.pad_step >= 1.0) {
+            fail(line_number, "pad_step must be in (0, 1)");
+          }
+        } else if (key == "min_cap") {
+          co.min_utilization = parse_number(value, line_number);
+          if (co.min_utilization <= 0.0 || co.min_utilization > 1.0) {
+            fail(line_number, "min_cap must be in (0, 1]");
+          }
+        } else if (key == "hysteresis") {
+          co.relax_hysteresis = parse_number(value, line_number);
+          if (co.relax_hysteresis < 0.0) {
+            fail(line_number, "hysteresis must be >= 0");
+          }
+        } else {
+          fail(line_number, "unknown contingency attribute '" + key + "'");
+        }
+      }
+      if (co.min_utilization > co.max_post_failure_utilization) {
+        fail(line_number, "contingency needs min_cap <= cap");
+      }
+    } else if (directive == "drain") {
+      // Coordinated drain (docs/resilience.md); cluster may be a forward
+      // reference, resolved at finalize.
+      need(4, "drain <cluster> @<start> over=<dur> [step=<frac>] [sag=<frac>]");
+      DrainDirective dd;
+      dd.line = line_number;
+      dd.cluster = tokens[1];
+      if (tokens[2][0] != '@') {
+        fail(line_number, "expected @<start-time>, got '" + tokens[2] + "'");
+      }
+      dd.spec.start = parse_duration(tokens[2].substr(1), line_number);
+      bool has_over = false;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        const auto& [key, value] = *kv;
+        if (key == "over") {
+          dd.spec.over = parse_duration(value, line_number);
+          if (dd.spec.over <= 0.0) fail(line_number, "over must be > 0");
+          has_over = true;
+        } else if (key == "step") {
+          dd.spec.step = parse_number(value, line_number);
+          if (dd.spec.step <= 0.0 || dd.spec.step > 1.0) {
+            fail(line_number, "step must be in (0, 1]");
+          }
+        } else if (key == "sag") {
+          dd.spec.sag_threshold = parse_number(value, line_number);
+          if (dd.spec.sag_threshold <= 0.0 || dd.spec.sag_threshold >= 1.0) {
+            fail(line_number, "sag must be in (0, 1)");
+          }
+        } else {
+          fail(line_number, "unknown drain attribute '" + key + "'");
+        }
+      }
+      if (!has_over) fail(line_number, "drain requires over=<duration>");
+      drains.push_back(std::move(dd));
     } else {
       fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -1181,6 +1330,28 @@ Scenario load_scenario(std::istream& input) {
       a.class_slo[k] = ad.slo;
     }
     a.enabled = true;
+  }
+
+  // Drains (forward cluster references resolved here).
+  for (const auto& dd : drains) {
+    const ClusterId id = scenario.topology->find_cluster(dd.cluster);
+    if (!id.valid()) fail(dd.line, "unknown cluster '" + dd.cluster + "'");
+    DrainSpec spec = dd.spec;
+    spec.cluster = id;
+    scenario.drains.push_back(spec);
+  }
+
+  // Chaos campaigns expand against the finished world: the fault plan and
+  // drain list they append to are the same ones hand-written directives
+  // feed, so a campaign scenario is just a scenario with a longer plan.
+  for (const auto& cd : campaigns) {
+    try {
+      expand_campaign(cd.spec, scenario.topology->cluster_count(),
+                      scenario.app->service_count(), &scenario.faults,
+                      &scenario.drains);
+    } catch (const std::invalid_argument& e) {
+      fail(cd.line, e.what());
+    }
   }
   return scenario;
 }

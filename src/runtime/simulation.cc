@@ -143,6 +143,32 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
     }
   }
 
+  // Effective N-1 contingency options: the scenario ships one
+  // (`contingency` directive), config-enabled options override it
+  // wholesale, and --no-contingency disarms the scenario's. The planner
+  // exists only when enabled — a disabled run solves exactly as before.
+  {
+    ContingencyOptions effective = config_.ignore_scenario_contingency
+                                       ? ContingencyOptions{}
+                                       : scenario_.contingency;
+    if (config_.slate.contingency.enabled) {
+      effective = config_.slate.contingency;
+    }
+    config_.slate.contingency = effective;
+  }
+
+  // Effective drain schedule: the scenario's (unless --no-drains) plus the
+  // config's, mirroring fault-plan merging. drain_keep_ is the data plane's
+  // per-cluster view; it moves only at global control barriers.
+  if (!config_.ignore_scenario_drains) drains_ = scenario_.drains;
+  drains_.insert(drains_.end(), config_.drains.begin(), config_.drains.end());
+  drain_keep_.assign(cluster_count_, 1.0);
+  for (const DrainSpec& d : drains_) {
+    if (!d.cluster.valid() || d.cluster.index() >= cluster_count_) {
+      throw std::invalid_argument("Simulation: drain targets an unknown cluster");
+    }
+  }
+
   // Effective forecast mode: the scenario ships one (forecast directive),
   // a config-armed kind overrides it wholesale, and --no-forecast disarms
   // the scenario's. The harness owns the prediction horizon (one control
@@ -548,22 +574,59 @@ void Simulation::on_arrival(ClassId cls, ClusterId cluster) {
 
   const ServiceId entry = app.entry_service(cls);
   ClusterId entry_cluster = cluster;
+  // Coordinated drain: the front door sheds (1 - keep) of this cluster's
+  // new arrivals to the nearest healthy edge — the DNS/anycast weight shift
+  // a real evacuation starts with. Zero RNG draws unless this cluster is
+  // mid-drain, so undrained runs stay byte-identical.
+  bool drain_divert = false;
+  if (drain_orch_ != nullptr) {
+    const double keep = drain_keep_[cluster.index()];
+    if (keep < 1.0 &&
+        (keep <= 0.0 || cx.rng_routing.next_double() >= keep)) {
+      drain_divert = true;
+    }
+  }
   if (!scenario_.deployment->is_deployed(entry, cluster) ||
-      cluster_down(cluster)) {
+      cluster_down(cluster) || drain_divert) {
     // Front-door failover: the nearest up cluster hosting the entry service
     // (clients reach a healthy edge via DNS/anycast; the client edge itself
     // is not subject to link partitions).
     std::vector<ClusterId> alive;
     for (ClusterId c : candidates_[entry.index()]) {
-      if (!cluster_down(c)) alive.push_back(c);
+      if (cluster_down(c)) continue;
+      if (drain_divert && c == cluster) continue;
+      if (drain_orch_ != nullptr && c != cluster &&
+          drain_keep_[c.index()] <= 0.0) {
+        continue;  // never divert INTO a fully evacuated cluster
+      }
+      alive.push_back(c);
+    }
+    if (alive.empty() && have_fully_drained_) {
+      // Panic: every live alternative is evacuated. An evacuated-but-up
+      // cluster beats stranding the request (same rule the breaker's
+      // panic-threshold applies to ejections).
+      for (ClusterId c : candidates_[entry.index()]) {
+        if (cluster_down(c)) continue;
+        if (drain_divert && c == cluster) continue;
+        alive.push_back(c);
+      }
     }
     if (alive.empty()) {
-      // Every cluster hosting the entry service is down.
-      ++cx.res->call_rejections;
-      finish_request(cx, *req, false, entry, cluster);
-      return;
+      if (drain_divert &&
+          scenario_.deployment->is_deployed(entry, cluster) &&
+          !cluster_down(cluster)) {
+        // Nowhere to divert to: a drain must degrade to serving locally,
+        // never strand traffic the way a real outage would.
+        entry_cluster = cluster;
+      } else {
+        // Every cluster hosting the entry service is down.
+        ++cx.res->call_rejections;
+        finish_request(cx, *req, false, entry, cluster);
+        return;
+      }
+    } else {
+      entry_cluster = scenario_.topology->nearest(cluster, alive);
     }
-    entry_cluster = scenario_.topology->nearest(cluster, alive);
   }
 
   if (measuring_) {
@@ -946,6 +1009,9 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   const bool can_reroute = config_.policy != PolicyKind::kLocalOnly;
   const bool exclude_failed = can_reroute && as->exclude.valid() &&
                               config_.failure.retry_excludes_failed;
+  // Fully evacuated clusters are filtered like breaker ejections. The flag
+  // flips only at global barriers, so the filter set is window-stable.
+  const bool exclude_drained = can_reroute && have_fully_drained_;
   // The filter runs on every attempt when breakers are armed, so it reuses
   // the context's scratch vector: a local here would heap-allocate per
   // attempt (the chain-2c-overload allocation regression). The scratch is
@@ -953,18 +1019,20 @@ void Simulation::start_attempt(const PoolPtr<AttemptState>& as) {
   // event is scheduled — so reuse across attempts is safe.
   const std::vector<ClusterId>* cand = &candidates;
   std::vector<ClusterId>& filtered = cx.filter_scratch;
-  if (exclude_failed || (can_reroute && bank != nullptr)) {
+  if (exclude_failed || exclude_drained || (can_reroute && bank != nullptr)) {
     filtered.clear();
     for (ClusterId c : candidates) {
       if (exclude_failed && c == as->exclude) continue;
+      if (exclude_drained && drain_keep_[c.index()] <= 0.0) continue;
       if (bank != nullptr && !bank->allowed(child_svc, c, now)) {
         continue;
       }
       filtered.push_back(c);
     }
-    if (filtered.empty() && bank != nullptr) {
+    if (filtered.empty() && (bank != nullptr || exclude_drained)) {
       // Panic routing (Envoy's panic-threshold idea): every candidate is
-      // ejected, so ejections are ignored rather than failing all traffic.
+      // ejected or evacuated, so those filters are ignored rather than
+      // failing all traffic.
       for (ClusterId c : candidates) {
         if (exclude_failed && c == as->exclude) continue;
         filtered.push_back(c);
@@ -1283,6 +1351,31 @@ void Simulation::control_tick() {
   }
 }
 
+void Simulation::apply_drain_keep(ClusterId cluster, double keep) {
+  drain_keep_[cluster.index()] = keep;
+  have_fully_drained_ = false;
+  for (double k : drain_keep_) {
+    if (k <= 0.0) {
+      have_fully_drained_ = true;
+      break;
+    }
+  }
+  // The solver sees the draining cluster as shrinking capacity, so weights
+  // walk off it ahead of the evacuation instead of reacting to it.
+  if (global_ != nullptr) global_->set_drain_scale(cluster, keep);
+  // The cluster's autoscalers must not fight the drain by re-adding
+  // replicas to capacity the drain is walking away from.
+  if (!autoscalers_.empty()) {
+    const std::size_t S = scenario_.app->service_count();
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::size_t idx = s * cluster_count_ + cluster.index();
+      if (autoscalers_[idx] != nullptr) {
+        autoscalers_[idx]->set_scale_up_inhibited(keep < 1.0);
+      }
+    }
+  }
+}
+
 void Simulation::begin_measurement() {
   measuring_ = true;
   for (auto& cx : ctxs_) cx->egress.reset();
@@ -1367,11 +1460,14 @@ ExperimentResult Simulation::run() {
   // Autoscalers (paper §5 interaction study): one per deployed station,
   // driven by the station's own event loop.
   if (config_.autoscaler_enabled) {
+    // Station-indexed (null where not deployed) so a drain can find the
+    // scalers of one cluster; the counter loop below skips the holes.
+    autoscalers_.resize(stations_.size());
     for (std::size_t i = 0; i < stations_.size(); ++i) {
       if (stations_[i] == nullptr) continue;
       const ClusterId cluster{i % cluster_count_};
-      autoscalers_.push_back(std::make_unique<Autoscaler>(
-          *ctx_of(cluster).sim, *stations_[i], config_.autoscaler));
+      autoscalers_[i] = std::make_unique<Autoscaler>(
+          *ctx_of(cluster).sim, *stations_[i], config_.autoscaler);
     }
   }
 
@@ -1401,6 +1497,29 @@ ExperimentResult Simulation::run() {
       }
     }
   });
+
+  // Drain orchestrator: one tick per control period on the global timeline,
+  // scheduled before the control loop so a capacity change lands ahead of
+  // the same period's solve. Unscheduled (zero events) with no drains.
+  if (!drains_.empty()) {
+    DrainOrchestrator::Hooks hooks;
+    hooks.jobs_served = [this]() {
+      std::uint64_t total = 0;
+      for (const auto& st : stations_) {
+        if (st != nullptr) total += st->jobs_completed();
+      }
+      return total;
+    };
+    hooks.cluster_down = [this](ClusterId c) { return cluster_down(c); };
+    hooks.apply_keep = [this](ClusterId c, double keep) {
+      apply_drain_keep(c, keep);
+    };
+    drain_orch_ = std::make_unique<DrainOrchestrator>(
+        drains_, config_.control_period, std::move(hooks));
+    drain_timer_ = global_sim().schedule_scoped_periodic(
+        config_.control_period,
+        [this]() { drain_orch_->tick(global_sim().now()); });
+  }
 
   // Control loop (RAII handle: cancelled when the Simulation dies).
   if (config_.policy == PolicyKind::kSlate) {
@@ -1502,6 +1621,18 @@ ExperimentResult Simulation::run() {
       result_.rollout_flap_freezes = ro->flap_freezes();
       result_.rollout_damped_pushes = ro->damped_pushes();
     }
+    result_.contingency_evals = global_->contingency_evals();
+    result_.contingency_resolves = global_->contingency_resolves();
+    result_.contingency_margin_last = global_->contingency_margin_last();
+    result_.contingency_margin_worst = global_->contingency_margin_worst();
+    result_.contingency_pad_level = global_->contingency_pad_level();
+  }
+  if (drain_orch_ != nullptr) {
+    result_.drains_started = drain_orch_->drains_started();
+    result_.drains_completed = drain_orch_->drains_completed();
+    result_.drains_cancelled = drain_orch_->drains_cancelled();
+    result_.drain_pause_periods = drain_orch_->drain_pause_periods();
+    result_.drain_steps = drain_orch_->drain_steps();
   }
   for (const auto& cc : cluster_controllers_) {
     result_.stale_rule_pushes += cc->stale_rule_pushes();
@@ -1511,6 +1642,7 @@ ExperimentResult Simulation::run() {
     result_.fault_transitions = injector_->transitions();
   }
   for (const auto& scaler : autoscalers_) {
+    if (scaler == nullptr) continue;
     result_.autoscaler_scale_ups += scaler->scale_ups();
     result_.autoscaler_scale_downs += scaler->scale_downs();
   }

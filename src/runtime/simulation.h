@@ -43,6 +43,7 @@
 
 #include "admission/admission_controller.h"
 #include "cluster/service_station.h"
+#include "contingency/drain_orchestrator.h"
 #include "core/cluster_controller.h"
 #include "core/slate_proxy.h"
 #include "fault/fault_injector.h"
@@ -103,6 +104,10 @@ class Simulation {
   // Null unless front-door admission control is armed.
   [[nodiscard]] const AdmissionController* admission_controller() const noexcept {
     return admission_.get();
+  }
+  // Null unless at least one coordinated drain is scheduled.
+  [[nodiscard]] const DrainOrchestrator* drain_orchestrator() const noexcept {
+    return drain_orch_.get();
   }
 
  private:
@@ -348,6 +353,10 @@ class Simulation {
   void observe_load(ExecCtx& cx, ServiceId s, ClusterId c);
 
   void control_tick();
+  // Propagates a drain keep-fraction change to the data plane (ingress
+  // shedding), the solver's capacity view, and the cluster's autoscalers.
+  // Runs on the global timeline only (DrainOrchestrator::Hooks::apply_keep).
+  void apply_drain_keep(ClusterId cluster, double keep);
   // Applies a telemetry-corruption fault to a collected report: finite
   // garbage only (spikes, zeros, sign flips) — the byzantine-reporter
   // recipe the admission guard is benchmarked against. Non-finite payloads
@@ -390,6 +399,17 @@ class Simulation {
   // adaptation loop runs on the global timeline at window barriers.
   AdmissionPolicy admission_policy_;
   std::unique_ptr<AdmissionController> admission_;
+
+  // Coordinated drains: the merged scenario+config schedule, the
+  // orchestrator driving it (null when no drains — an undrained run adds
+  // zero events and zero RNG draws), and the per-cluster keep-fraction the
+  // data plane reads. drain_keep_ changes only at global barriers.
+  std::vector<DrainSpec> drains_;
+  std::unique_ptr<DrainOrchestrator> drain_orch_;
+  std::vector<double> drain_keep_;
+  // True once any cluster's keep-fraction hit 0 (fully evacuated): arms the
+  // candidate-filter exclusion in start_attempt.
+  bool have_fully_drained_ = false;
 
   // Latency-island partition (all zeros / 1 island on the legacy engine).
   std::vector<std::uint32_t> island_of_;  // per cluster
@@ -439,6 +459,8 @@ class Simulation {
   // Admission adaptation loop (scheduled only when admission is armed
   // with adapt on — an unarmed run adds zero events).
   Simulator::ScopedPeriodic admission_timer_;
+  // Drain orchestrator tick (scheduled only when drains are present).
+  Simulator::ScopedPeriodic drain_timer_;
 
   // Measurement state.
   bool measuring_ = false;

@@ -919,6 +919,87 @@ TEST_P(FuzzTest, ForecastArmedRunsConserveAndParallelizeIdentically) {
   }
 }
 
+// Random drains over a random world: 1-2 evacuations with arbitrary
+// overlap against faults, admission, and overload control. Whatever the
+// interleaving — drain completing, pausing on sag, or cancelled by an
+// outage of the same cluster — conservation laws and run-to-run
+// determinism must hold.
+std::vector<DrainSpec> random_drains(Rng& rng, std::size_t clusters) {
+  std::vector<DrainSpec> drains;
+  const std::size_t n = 1 + rng.uniform_u64(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    DrainSpec spec;
+    spec.cluster = ClusterId{rng.uniform_u64(clusters)};
+    spec.start = rng.uniform(0.0, 12.0);
+    spec.over = rng.uniform(1.0, 8.0);
+    spec.step = rng.uniform(0.1, 1.0);
+    spec.sag_threshold = rng.uniform(0.5, 0.95);
+    drains.push_back(spec);
+  }
+  return drains;
+}
+
+TEST_P(FuzzTest, DrainRunsSatisfyConservationAndDeterminism) {
+  const auto seed = static_cast<std::uint64_t>(31000 + GetParam());
+  Scenario scenario = random_scenario(seed);
+  Rng rng(seed ^ 0xd3u);
+  if (rng.bernoulli(0.5)) {
+    add_random_faults(scenario.faults, rng, scenario.topology->cluster_count(),
+                      scenario.app->service_count(), 12.0);
+  }
+
+  for (PolicyKind policy : {PolicyKind::kLocalityFailover, PolicyKind::kSlate}) {
+    SCOPED_TRACE(to_string(policy));
+    RunConfig config;
+    config.policy = policy;
+    config.duration = 12.0;
+    config.warmup = 4.0;
+    config.seed = seed;
+    config.failure.enabled = rng.bernoulli(0.5);
+    config.drains = random_drains(rng, scenario.topology->cluster_count());
+    if (rng.bernoulli(0.5)) config.slate.contingency.enabled = true;
+    if (rng.bernoulli(0.5)) {
+      config.admission = random_admission(rng, scenario.app->class_count());
+    }
+    if (rng.bernoulli(0.5)) {
+      config.overload = random_overload(rng, scenario.app->class_count());
+    }
+
+    const ExperimentResult a = run_experiment(scenario, config);
+    // Job conservation survives any drain interleaving.
+    EXPECT_EQ(a.jobs_submitted, a.jobs_served + a.jobs_cancelled +
+                                    a.jobs_evicted + a.jobs_in_flight_at_end);
+    if (config.admission.enabled) {
+      EXPECT_EQ(a.generated, a.admission_admitted + a.admission_rejected);
+    }
+    if (!(config.overload.deadline.enabled &&
+          !config.overload.deadline.propagate)) {
+      EXPECT_EQ(a.wasted_server_seconds, 0.0);
+    }
+    // Every drain resolves to exactly one terminal (or stays in flight at
+    // the end of a short run); none is double-counted.
+    EXPECT_LE(a.drains_completed + a.drains_cancelled, a.drains_started);
+    EXPECT_LE(a.drains_started, config.drains.size());
+    if (a.completed > 0) {
+      EXPECT_TRUE(std::isfinite(a.p99()));
+    }
+
+    const ExperimentResult b = run_experiment(scenario, config);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+    EXPECT_EQ(a.egress_bytes, b.egress_bytes);
+    EXPECT_EQ(a.drains_started, b.drains_started);
+    EXPECT_EQ(a.drains_completed, b.drains_completed);
+    EXPECT_EQ(a.drains_cancelled, b.drains_cancelled);
+    EXPECT_EQ(a.drain_steps, b.drain_steps);
+    EXPECT_EQ(a.drain_pause_periods, b.drain_pause_periods);
+    EXPECT_EQ(a.contingency_evals, b.contingency_evals);
+    EXPECT_EQ(a.contingency_resolves, b.contingency_resolves);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 12));
 
 }  // namespace

@@ -270,6 +270,51 @@ TEST(ExperimentGrid, ParallelMatchesSerialWithGuardArmed) {
   EXPECT_GT(guard_activity, 0u);
 }
 
+TEST(ExperimentGrid, ParallelMatchesSerialWithDrainAndContingencyArmed) {
+  // The contingency subsystem (N-1 margin checks, padded re-solves) and a
+  // mid-run coordinated drain both live on the control timeline; neither
+  // may leak state across grid workers.
+  TwoClusterChainParams params;
+  params.west_rps = 500.0;
+  const Scenario scenario = make_two_cluster_chain_scenario(params);
+  std::vector<GridJob> jobs = determinism_jobs(scenario);
+  for (GridJob& job : jobs) {
+    job.config.slate.contingency.enabled = true;
+    DrainSpec drain;
+    drain.cluster = ClusterId{1};
+    drain.start = 3.0;
+    drain.over = 3.0;
+    job.config.drains.push_back(drain);
+  }
+
+  GridOptions serial;
+  serial.jobs = 1;
+  GridOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<ExperimentResult> a = run_experiment_grid(jobs, serial);
+  const std::vector<ExperimentResult> b = run_experiment_grid(jobs, parallel);
+
+  ASSERT_EQ(a.size(), jobs.size());
+  std::uint64_t contingency_activity = 0;
+  std::uint64_t drain_activity = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(a[i], b[i]);
+    EXPECT_EQ(a[i].contingency_evals, b[i].contingency_evals);
+    EXPECT_EQ(a[i].contingency_resolves, b[i].contingency_resolves);
+    EXPECT_EQ(a[i].contingency_margin_worst, b[i].contingency_margin_worst);
+    EXPECT_EQ(a[i].drains_started, b[i].drains_started);
+    EXPECT_EQ(a[i].drain_steps, b[i].drain_steps);
+    EXPECT_EQ(a[i].drain_pause_periods, b[i].drain_pause_periods);
+    contingency_activity += a[i].contingency_evals;
+    drain_activity += a[i].drain_steps;
+  }
+  // Vacuous unless both subsystems actually engaged somewhere in the grid
+  // (contingency only arms under SLATE; the drain runs under every policy).
+  EXPECT_GT(contingency_activity, 0u);
+  EXPECT_GT(drain_activity, 0u);
+}
+
 TEST(ExperimentGrid, ResultsComeBackInJobOrder) {
   TwoClusterChainParams params;
   const Scenario scenario = make_two_cluster_chain_scenario(params);

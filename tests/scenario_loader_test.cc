@@ -616,7 +616,8 @@ TEST(ScenarioLoader, SampleFilesParse) {
                            "examples/scenarios/cluster_outage.slate",
                            "examples/scenarios/metastable_burst.slate",
                            "examples/scenarios/controller_chaos.slate",
-                           "examples/scenarios/diurnal_predictive.slate"}) {
+                           "examples/scenarios/diurnal_predictive.slate",
+                           "examples/scenarios/region_evacuation.slate"}) {
     SCOPED_TRACE(path);
     std::string full = std::string(SLATE_SOURCE_DIR) + "/" + path;
     EXPECT_NO_THROW({
@@ -625,6 +626,113 @@ TEST(ScenarioLoader, SampleFilesParse) {
       s.deployment->validate();
     });
   }
+}
+
+// --- Contingency / drain / campaign directives -----------------------------
+
+TEST(ScenarioLoader, ParsesContingencyDirective) {
+  const std::string base = kFaultBase;
+  const Scenario bare = load_scenario_from_string(base + "contingency\n");
+  EXPECT_TRUE(bare.contingency.enabled);
+  EXPECT_DOUBLE_EQ(bare.contingency.max_post_failure_utilization, 0.95);
+
+  const Scenario s = load_scenario_from_string(
+      base + "contingency cap=0.9 pad_step=0.04 min_cap=0.4 hysteresis=0.02\n");
+  EXPECT_TRUE(s.contingency.enabled);
+  EXPECT_DOUBLE_EQ(s.contingency.max_post_failure_utilization, 0.9);
+  EXPECT_DOUBLE_EQ(s.contingency.pad_step, 0.04);
+  EXPECT_DOUBLE_EQ(s.contingency.min_utilization, 0.4);
+  EXPECT_DOUBLE_EQ(s.contingency.relax_hysteresis, 0.02);
+}
+
+TEST(ScenarioLoader, BadContingencyDirectivesRejected) {
+  const std::string base = kFaultBase;  // 9 content lines; directive is line 10
+  expect_error(base + "contingency cap=1.5\n", "cap must be in (0, 1]");
+  expect_error(base + "contingency cap=0\n", "line 10");
+  expect_error(base + "contingency pad_step=1\n", "pad_step must be in (0, 1)");
+  expect_error(base + "contingency hysteresis=-0.1\n", "hysteresis");
+  expect_error(base + "contingency cap=0.5 min_cap=0.7\n",
+               "contingency needs min_cap <= cap");
+  expect_error(base + "contingency frobnicate=1\n",
+               "unknown contingency attribute");
+}
+
+TEST(ScenarioLoader, ParsesDrainDirective) {
+  const Scenario s = load_scenario_from_string(
+      std::string(kFaultBase) + "drain east @30s over=10s step=0.2 sag=0.9\n");
+  ASSERT_EQ(s.drains.size(), 1u);
+  EXPECT_EQ(s.drains[0].cluster, ClusterId{1});
+  EXPECT_DOUBLE_EQ(s.drains[0].start, 30.0);
+  EXPECT_DOUBLE_EQ(s.drains[0].over, 10.0);
+  EXPECT_DOUBLE_EQ(s.drains[0].step, 0.2);
+  EXPECT_DOUBLE_EQ(s.drains[0].sag_threshold, 0.9);
+}
+
+TEST(ScenarioLoader, DrainDirectiveForwardReferencesResolve) {
+  const Scenario s = load_scenario_from_string(
+      "drain east @5s over=4s\n" + std::string(kFaultBase));
+  ASSERT_EQ(s.drains.size(), 1u);
+  EXPECT_EQ(s.drains[0].cluster, ClusterId{1});
+}
+
+TEST(ScenarioLoader, BadDrainDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "drain nowhere @5s over=4s\n", "unknown cluster");
+  expect_error(base + "drain east 5s over=4s\n", "expected @<start-time>");
+  expect_error(base + "drain east @5s step=0.5\n",
+               "drain requires over=<duration>");
+  expect_error(base + "drain east @5s over=0s\n", "over must be > 0");
+  expect_error(base + "drain east @5s over=4s step=2\n",
+               "step must be in (0, 1]");
+  expect_error(base + "drain east @5s over=4s sag=1\n", "sag must be in (0, 1)");
+  expect_error(base + "drain east @5s over=4s color=red\n",
+               "unknown drain attribute");
+  expect_error(base + "drain east @5s over=4s\ndrain east @5s over=4s\nxx\n",
+               "line 12");  // errors carry the right line past multiple drains
+}
+
+TEST(ScenarioLoader, CampaignExpandsDeterministically) {
+  const std::string text =
+      std::string(kFaultBase) +
+      "fault campaign seed=5 events=6 start=20s spacing=8s "
+      "kinds=outage,drain\n";
+  const Scenario a = load_scenario_from_string(text);
+  const Scenario b = load_scenario_from_string(text);
+  EXPECT_EQ(a.faults.size() + a.drains.size(), 6u);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults.faults()[i].kind, FaultKind::kClusterOutage);
+    EXPECT_EQ(a.faults.faults()[i].kind, b.faults.faults()[i].kind);
+    EXPECT_DOUBLE_EQ(a.faults.faults()[i].start, b.faults.faults()[i].start);
+    EXPECT_EQ(a.faults.faults()[i].cluster, b.faults.faults()[i].cluster);
+    EXPECT_GE(a.faults.faults()[i].start, 20.0);
+  }
+  ASSERT_EQ(a.drains.size(), b.drains.size());
+  for (std::size_t i = 0; i < a.drains.size(); ++i) {
+    EXPECT_EQ(a.drains[i].cluster, b.drains[i].cluster);
+    EXPECT_DOUBLE_EQ(a.drains[i].start, b.drains[i].start);
+    EXPECT_DOUBLE_EQ(a.drains[i].over, b.drains[i].over);
+  }
+}
+
+TEST(ScenarioLoader, BadCampaignDirectivesRejected) {
+  const std::string base = kFaultBase;
+  expect_error(base + "fault campaign seed=5\n",
+               "fault campaign requires events=<k>");
+  expect_error(base + "fault campaign seed=5 events=0\n", "events");
+  expect_error(base + "fault campaign events=3 kinds=meteor\n",
+               "unknown campaign kind");
+  expect_error(base + "fault campaign events=3 bogus=1\n",
+               "unknown campaign attribute");
+  expect_error(base + "fault campaign events=3 spacing=0s\n",
+               "spacing must be > 0");
+  // Expansion failures surface on the campaign's line: a world with one
+  // cluster cannot host partitions.
+  expect_error(
+      "cluster solo\nservice s\nclass k\ncall k root s compute=1ms\n"
+      "deploy * * servers=1 capacity=100\ndemand k solo 5\n"
+      "fault campaign events=2 kinds=partition\n",
+      "line 7");
 }
 
 }  // namespace

@@ -184,6 +184,14 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.admission_rate_raises, b.admission_rate_raises);
   EXPECT_EQ(a.admission_rate_cuts, b.admission_rate_cuts);
   EXPECT_EQ(a.admission_floor_raises, b.admission_floor_raises);
+  EXPECT_EQ(a.contingency_evals, b.contingency_evals);
+  EXPECT_EQ(a.contingency_resolves, b.contingency_resolves);
+  EXPECT_EQ(a.contingency_margin_worst, b.contingency_margin_worst);
+  EXPECT_EQ(a.drains_started, b.drains_started);
+  EXPECT_EQ(a.drains_completed, b.drains_completed);
+  EXPECT_EQ(a.drains_cancelled, b.drains_cancelled);
+  EXPECT_EQ(a.drain_steps, b.drain_steps);
+  EXPECT_EQ(a.drain_pause_periods, b.drain_pause_periods);
   // Byte-identical latency streams, not just equal summaries.
   ASSERT_EQ(a.e2e.samples().size(), b.e2e.samples().size());
   EXPECT_EQ(a.e2e.samples(), b.e2e.samples());
@@ -309,6 +317,40 @@ TEST(ShardedSimulation, IdentityForecastArmed) {
   RunConfig config = gauntlet_config(PolicyKind::kSlate);
   config.slate.forecast.kind = ForecastKind::kEwma;
   run_gauntlet(scenario, config);
+}
+
+TEST(ShardedSimulation, IdentityDrainArmed) {
+  // A coordinated drain changes routing (front-door diverts), capacity
+  // (solver + autoscaler views), and the control timeline; the keep-fraction
+  // steps land at global barriers, so byte-identity must hold across shard
+  // counts while a drain is actively walking a cluster to zero.
+  const Scenario scenario = make_gcp_chain_scenario();
+  RunConfig config = gauntlet_config(PolicyKind::kSlate);
+  DrainSpec drain;
+  drain.cluster = ClusterId{1};
+  drain.start = 3.0;
+  drain.over = 4.0;
+  config.drains.push_back(drain);
+  run_gauntlet(scenario, config);
+  // The gauntlet is vacuous unless the drain actually stepped.
+  RunConfig probe = config;
+  probe.shards = 2;
+  const ExperimentResult r = run_experiment(scenario, probe);
+  EXPECT_EQ(r.drains_started, 1u);
+  EXPECT_GT(r.drain_steps, 0u);
+}
+
+TEST(ShardedSimulation, IdentityContingencyArmed) {
+  // N-1 headroom checks and padded re-solves run inside the control tick at
+  // window barriers; arming them must not perturb shard-count identity.
+  const Scenario scenario = make_gcp_chain_scenario();
+  RunConfig config = gauntlet_config(PolicyKind::kSlate);
+  config.slate.contingency.enabled = true;
+  run_gauntlet(scenario, config);
+  RunConfig probe = config;
+  probe.shards = 2;
+  const ExperimentResult r = run_experiment(scenario, probe);
+  EXPECT_GT(r.contingency_evals, 0u);
 }
 
 TEST(ShardedSimulation, SingleIslandShardedMatchesLegacyExactly) {
