@@ -199,6 +199,19 @@ int main(int argc, char** argv) {
     n1.policy = PolicyKind::kSlate;
     n1.slate.contingency.enabled = true;
     rows.push_back(run_case("chain-2c-contingency", scenario, n1));
+    // Bi-level co-design armed on a priced copy: every control period the
+    // coordinator builds the effective-capacity overlay, the LP carries
+    // the server-cost term, and the plan pushes back down to the
+    // autoscalers — this run prices the full autoscaling x TE loop
+    // (docs/autoscaling.md).
+    Scenario priced = make_two_cluster_chain_scenario(params);
+    priced.topology->set_uniform_server_price(0.10);
+    RunConfig bl = config;
+    bl.policy = PolicyKind::kSlate;
+    bl.autoscaler_enabled = true;
+    bl.autoscaler.evaluation_period = 1.0;
+    bl.bilevel.enabled = true;
+    rows.push_back(run_case("chain-2c-bilevel", priced, bl));
     // Forecast armed on time-varying demand: the piecewise generator steps
     // churn arrival rates every 0.5 s and the Holt-Winters per-cell
     // forecasters + rolling backtest score every control period — this run

@@ -42,6 +42,11 @@
 //   --no-contingency       ignore the scenario's contingency directive
 //   --no-drains            ignore the scenario's drain directives (and
 //                          campaign-expanded drains)
+//   --bilevel              SLATE: arm bi-level autoscaling x TE co-design
+//                          (implies --autoscale; docs/autoscaling.md)
+//   --no-bilevel           ignore the scenario's bilevel directive
+//   --server-price=<x>     price every cluster at x dollars per server-hour
+//                          (overrides the scenario's `price` directives)
 //   --cdf                  print the latency CDF
 //   --seeds=<n>            run n replications (derived seeds) and report
 //                          mean +/- 95% CI across them (default 1)
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
   bool print_cdf = false;
   bool drop_faults = false;
   bool drop_overload = false;
+  double server_price = -1.0;  // < 0 = keep the scenario's prices
   // --admit specs, resolved against class names after the scenario loads.
   std::vector<std::string> admit_specs;
   std::string dump_demand_path;
@@ -171,6 +177,13 @@ int main(int argc, char** argv) {
       config.ignore_scenario_contingency = true;
     } else if (std::strcmp(argv[i], "--no-drains") == 0) {
       config.ignore_scenario_drains = true;
+    } else if (std::strcmp(argv[i], "--bilevel") == 0) {
+      config.bilevel.enabled = true;
+      config.autoscaler_enabled = true;
+    } else if (std::strcmp(argv[i], "--no-bilevel") == 0) {
+      config.ignore_scenario_bilevel = true;
+    } else if (parse_flag(argv[i], "--server-price", &value)) {
+      server_price = std::stod(value);
     } else if (std::strcmp(argv[i], "--cdf") == 0) {
       print_cdf = true;
     } else if (parse_flag(argv[i], "--seeds", &value)) {
@@ -200,6 +213,9 @@ int main(int argc, char** argv) {
   }
   if (drop_faults) scenario.faults.clear();
   if (drop_overload) scenario.overload = OverloadPolicy{};
+  if (server_price >= 0.0) {
+    scenario.topology->set_uniform_server_price(server_price);
+  }
 
   // --admit overlays onto the scenario's admission policy (and arms it):
   // "<class>:<rps>" caps one class, a bare "<rps>" sets the default rate.
@@ -313,6 +329,11 @@ int main(int argc, char** argv) {
               static_cast<double>(r.egress_bytes) / (1024.0 * 1024.0),
               r.egress_cost_dollars,
               static_cast<double>(r.local_bytes) / (1024.0 * 1024.0));
+  if (r.server_cost_dollars > 0.0) {
+    std::printf("  servers  %.2f server-hours ($%.5f), total cost $%.5f\n",
+                r.server_seconds / 3600.0, r.server_cost_dollars,
+                r.total_cost_dollars());
+  }
   for (ClassId k : scenario.app->all_classes()) {
     if (r.e2e_by_class[k.index()].empty()) continue;
     std::printf("  class %-12s mean %8.2f ms over %zu requests\n",
@@ -463,6 +484,11 @@ int main(int argc, char** argv) {
     std::printf("  autoscaler: %llu up / %llu down\n",
                 static_cast<unsigned long long>(r.autoscaler_scale_ups),
                 static_cast<unsigned long long>(r.autoscaler_scale_downs));
+  }
+  if (r.bilevel_plans_pushed > 0) {
+    std::printf("  bilevel: %llu plans pushed down, %llu capacity overrides\n",
+                static_cast<unsigned long long>(r.bilevel_plans_pushed),
+                static_cast<unsigned long long>(r.bilevel_capacity_overrides));
   }
   if (print_cdf) {
     std::printf("\n  %-8s %12s\n", "quantile", "latency_ms");

@@ -1,0 +1,33 @@
+// Bi-level autoscaling x traffic-engineering co-design options
+// (docs/autoscaling.md; paper §5 "Interaction between request routing and
+// autoscaler").
+//
+// Kept dependency-free: runtime/experiment.h embeds this in Scenario and
+// RunConfig, and the scenario loader fills it from the `bilevel` directive.
+#pragma once
+
+namespace slate {
+
+struct BilevelOptions {
+  bool enabled = false;
+  // Upward-coupling planning window: effective capacity fed to the solver
+  // is each autoscaler's mean provisioned servers over [now, now+horizon]
+  // (in-flight scale-ups counted only for the fraction of the window they
+  // are live). 0 = one control period.
+  double horizon = 0.0;
+  // Seconds a pushed plan stays authoritative for scaling decisions before
+  // an autoscaler falls back to reactive utilization. 0 = two control
+  // periods (one period of slack past the next push).
+  double plan_ttl = 0.0;
+  // Joint objective: seconds of objective per dollar-per-second of server
+  // spend (OptimizerOptions::server_cost_weight; the server analogue of
+  // cost_weight on egress dollars).
+  double server_cost_weight = 1.0;
+  // Utilization the joint objective assumes the autoscaler provisions
+  // toward when converting planned busy work into paid servers
+  // (OptimizerOptions::server_price_target). 0 = the autoscaler's
+  // target_utilization.
+  double price_target = 0.0;
+};
+
+}  // namespace slate

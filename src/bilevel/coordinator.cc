@@ -1,0 +1,68 @@
+#include "bilevel/coordinator.h"
+
+#include <stdexcept>
+
+namespace slate {
+
+BilevelCoordinator::BilevelCoordinator(GlobalController& global,
+                                       const BilevelOptions& options,
+                                       double control_period,
+                                       std::size_t service_count,
+                                       std::size_t cluster_count)
+    : global_(global),
+      horizon_(options.horizon > 0.0 ? options.horizon : control_period),
+      // One period of slack past the next push: a plan posted at tick T is
+      // still authoritative for an evaluation landing anywhere before tick
+      // T+2, even when evaluations and ticks share timestamps.
+      plan_ttl_(options.plan_ttl > 0.0 ? options.plan_ttl
+                                       : 2.0 * control_period),
+      cluster_count_(cluster_count),
+      scalers_(service_count * cluster_count, nullptr),
+      overlay_(service_count * cluster_count, 0) {
+  if (control_period <= 0.0) {
+    throw std::invalid_argument("BilevelCoordinator: control_period must be > 0");
+  }
+}
+
+void BilevelCoordinator::attach(std::size_t station_index, Autoscaler* scaler) {
+  if (station_index >= scalers_.size()) {
+    throw std::out_of_range("BilevelCoordinator: station index out of range");
+  }
+  scalers_[station_index] = scaler;
+}
+
+void BilevelCoordinator::pre_solve() {
+  const std::vector<unsigned>& live = global_.live_servers();
+  for (std::size_t i = 0; i < scalers_.size(); ++i) {
+    if (scalers_[i] == nullptr) {
+      overlay_[i] = 0;  // no autoscaler: leave the reported view alone
+      continue;
+    }
+    const unsigned eff = scalers_[i]->effective_servers(horizon_);
+    overlay_[i] = eff;
+    if (i < live.size() && live[i] > 0 && eff != live[i]) {
+      ++capacity_overrides_;
+    }
+  }
+  global_.set_capacity_overlay(overlay_);
+}
+
+void BilevelCoordinator::post_solve() {
+  // The plan in force: on hold periods (resolve gate, solver hold) the last
+  // solved plan stays authoritative, so keep re-pushing it — its TTL
+  // refreshes and the autoscalers keep sizing for the routed load.
+  const OptimizerResult& plan = global_.last_result();
+  if (plan.rules == nullptr || plan.station_plans.empty()) return;
+  ++plans_pushed_;
+  for (const StationPlan& sp : plan.station_plans) {
+    const std::size_t i = sp.service.index() * cluster_count_ + sp.cluster.index();
+    if (i >= scalers_.size() || scalers_[i] == nullptr) continue;
+    // StationPlan::utilization already includes the overflow component, so
+    // this is the total busy work the solver routed to the station.
+    const double busy =
+        sp.utilization * global_.planned_servers(sp.service, sp.cluster);
+    scalers_[i]->set_planned_load(busy, plan_ttl_);
+  }
+}
+
+}  // namespace slate

@@ -1,0 +1,72 @@
+// Bi-level co-design coordinator (docs/autoscaling.md).
+//
+// Sits between the GlobalController and the per-station Autoscalers and
+// closes the routing<->scaling loop in both directions, once per control
+// period on the global control timeline (so sharded runs stay byte-identical
+// — it executes at window barriers, like admission and contingency):
+//
+//   upward (pre_solve)    each autoscaler's provisioning-lag-aware effective
+//                         capacity becomes a capacity overlay on the solver's
+//                         live-server view: TE stops dumping load onto
+//                         capacity that will not exist for another ~30s, and
+//                         sees capacity that is about to arrive;
+//   downward (post_solve) the solved plan's per-station busy work
+//                         (utilization x planned servers) is pushed into
+//                         each autoscaler as its planned load: stations
+//                         provision for where traffic is GOING, not where it
+//                         was, breaking the TE-shifts/autoscaler-chases
+//                         oscillation the paper calls out in §5.
+//
+// The joint $/hr objective itself lives in the optimizer
+// (OptimizerOptions::server_cost_weight); the simulation arms it alongside
+// this coordinator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "bilevel/bilevel.h"
+#include "cluster/autoscaler.h"
+#include "core/global_controller.h"
+
+namespace slate {
+
+class BilevelCoordinator {
+ public:
+  // `control_period` resolves the option defaults (horizon, plan TTL).
+  BilevelCoordinator(GlobalController& global, const BilevelOptions& options,
+                     double control_period, std::size_t service_count,
+                     std::size_t cluster_count);
+
+  // Registers the autoscaler managing station index (service *
+  // cluster_count + cluster). Stations without one stay un-overlaid.
+  void attach(std::size_t station_index, Autoscaler* scaler);
+
+  // Upward coupling; call immediately before GlobalController::on_reports.
+  void pre_solve();
+  // Downward coupling; call immediately after on_reports returns.
+  void post_solve();
+
+  // Overlay cells that differed from the reported live view (in-flight
+  // provisioning visible to the solver), cumulative.
+  [[nodiscard]] std::uint64_t capacity_overrides() const noexcept {
+    return capacity_overrides_;
+  }
+  // Control periods whose plan was pushed down into the autoscalers.
+  [[nodiscard]] std::uint64_t plans_pushed() const noexcept {
+    return plans_pushed_;
+  }
+
+ private:
+  GlobalController& global_;
+  double horizon_;
+  double plan_ttl_;
+  std::size_t cluster_count_;
+  std::vector<Autoscaler*> scalers_;
+  std::vector<unsigned> overlay_;
+  std::uint64_t capacity_overrides_ = 0;
+  std::uint64_t plans_pushed_ = 0;
+};
+
+}  // namespace slate

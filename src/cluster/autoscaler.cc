@@ -20,25 +20,90 @@ Autoscaler::Autoscaler(Simulator& sim, ServiceStation& station,
   if (options_.min_servers == 0 || options_.min_servers > options_.max_servers) {
     throw std::invalid_argument("Autoscaler: bad server bounds");
   }
+  if (options_.align_period < 0.0) {
+    throw std::invalid_argument("Autoscaler: align_period must be >= 0");
+  }
   station_.reset_utilization();
-  task_ = sim_.schedule_scoped_periodic(options_.evaluation_period,
-                                        [this]() { evaluate(); });
+  if (options_.align_period > 0.0) {
+    // Aligned cadence: tick on the control-period grid, evaluate every
+    // aligned_period_ (evaluation_period rounded up to a grid multiple).
+    // The extra no-op ticks exist only when alignment is armed, so the
+    // default path stays event-for-event identical.
+    const double grid = options_.align_period;
+    aligned_period_ =
+        std::max(1.0, std::ceil(options_.evaluation_period / grid - 1e-9)) *
+        grid;
+    next_eval_ = sim_.now() + aligned_period_;
+    task_ = sim_.schedule_scoped_periodic(grid, [this]() {
+      if (sim_.now() < next_eval_ - 1e-9) return;
+      next_eval_ = sim_.now() + aligned_period_;
+      evaluate();
+    });
+  } else {
+    task_ = sim_.schedule_scoped_periodic(options_.evaluation_period,
+                                          [this]() { evaluate(); });
+  }
 }
 
 Autoscaler::~Autoscaler() = default;
+
+void Autoscaler::set_planned_load(double busy_servers, double ttl) noexcept {
+  planned_busy_ = std::max(0.0, busy_servers);
+  planned_until_ = sim_.now() + std::max(0.0, ttl);
+}
+
+void Autoscaler::prune_pending() {
+  const double now = sim_.now();
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [now](const PendingScaleUp& p) {
+                                  return p.ready_time <= now;
+                                }),
+                 pending_.end());
+}
+
+unsigned Autoscaler::effective_servers(double horizon) const {
+  const double now = sim_.now();
+  if (horizon <= 0.0) return station_.servers();
+  // Walk the provisioning ladder: each in-flight scale-up that will still
+  // apply (mirrors the guard in the provisioning callback) lifts the level
+  // at its ready time. Entries are in decision order, so ready times are
+  // non-decreasing.
+  double level = static_cast<double>(station_.servers());
+  double weighted = 0.0;
+  double t = now;
+  for (const PendingScaleUp& p : pending_) {
+    if (p.ready_time <= t || static_cast<double>(p.target) <= level ||
+        p.target > desired_) {
+      continue;
+    }
+    if (p.ready_time >= now + horizon) continue;
+    weighted += level * (p.ready_time - t);
+    level = static_cast<double>(p.target);
+    t = p.ready_time;
+  }
+  weighted += level * (now + horizon - t);
+  return static_cast<unsigned>(weighted / horizon + 1e-9);
+}
 
 void Autoscaler::evaluate() {
   const double utilization = station_.utilization();
   station_.reset_utilization();
   window_start_ = sim_.now();
 
-  if (sim_.now() - last_decision_ < options_.cooldown) return;
-
-  // HPA formula: desired = ceil(current * observed / target), within the
-  // deadband.
-  const double ratio = utilization / options_.target_utilization;
-  if (std::abs(ratio - 1.0) <= options_.deadband) return;
+  // Bi-level downward coupling: while a pushed plan is fresh, size for the
+  // busy-work the solver routed here instead of the load observed last
+  // window. ceil(current * ratio) then reduces to ceil(planned / target).
   const unsigned current = desired_;
+  double ratio;
+  if (planned_until_ >= sim_.now()) {
+    ratio = planned_busy_ /
+            (static_cast<double>(current) * options_.target_utilization);
+  } else {
+    // HPA formula: desired = ceil(current * observed / target), within the
+    // deadband.
+    ratio = utilization / options_.target_utilization;
+  }
+  if (std::abs(ratio - 1.0) <= options_.deadband) return;
   const auto proposed = static_cast<unsigned>(std::ceil(
       static_cast<double>(current) * std::max(ratio, 1e-3)));
   const unsigned target = std::clamp(proposed, options_.min_servers,
@@ -50,8 +115,19 @@ void Autoscaler::evaluate() {
     // decision — the cooldown clock is untouched.
     return;
   }
+  // Direction-aware cooldown: a split timer (up_/down_cooldown >= 0) gates
+  // each direction on its own last decision; negative keeps the shared
+  // timer. All gates above are pure, so checking the cooldown here instead
+  // of first leaves the legacy behavior unchanged.
+  const bool up = target > current;
+  const double split = up ? options_.up_cooldown : options_.down_cooldown;
+  const double cooldown = split >= 0.0 ? split : options_.cooldown;
+  const double last =
+      split >= 0.0 ? (up ? last_up_ : last_down_) : last_decision_;
+  if (sim_.now() - last < cooldown) return;
 
   last_decision_ = sim_.now();
+  (up ? last_up_ : last_down_) = sim_.now();
   desired_ = target;
   const unsigned old_servers = station_.servers();
   if (target < current) {
@@ -63,7 +139,10 @@ void Autoscaler::evaluate() {
   }
   // Scale-up serves traffic only after the provisioning delay.
   ++scale_ups_;
+  pending_.push_back(
+      PendingScaleUp{sim_.now() + options_.provision_delay, target});
   sim_.schedule_after(options_.provision_delay, [this, target, old_servers]() {
+    prune_pending();
     // A later decision may have changed desired_; never scale below it.
     if (target > station_.servers() && target <= desired_) {
       station_.set_servers(target);

@@ -12,10 +12,16 @@
 // SLATE's request routing operates in the gap: it can shift load away in one
 // control period (~1s) while the autoscaler needs tens of seconds. The
 // interaction experiments (bench/ablation_autoscaler) measure exactly that.
+//
+// The bi-level co-design loop (docs/autoscaling.md) closes that gap in both
+// directions: set_planned_load feeds the solver's post-TE load into scaling
+// decisions, and effective_servers exposes in-flight provisioning so the
+// solver stops routing onto capacity that does not exist yet.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "cluster/service_station.h"
 #include "sim/simulator.h"
@@ -27,10 +33,22 @@ struct AutoscalerOptions {
   double evaluation_period = 15.0;   // seconds between decisions
   double provision_delay = 30.0;     // scale-up takes effect this much later
   double cooldown = 30.0;            // min time between scale decisions
+  // Split cooldowns: when >= 0, scale-ups are gated only on the last
+  // scale-UP and scale-downs only on the last scale-DOWN, so a utilization
+  // spike right after a scale-down is not stuck behind the shared clock.
+  // Negative (default) keeps the single shared `cooldown` timer.
+  double up_cooldown = -1.0;
+  double down_cooldown = -1.0;
   unsigned min_servers = 1;
   unsigned max_servers = 64;
   // Utilization must stray this far (relative) from target to trigger.
   double deadband = 0.1;
+  // When > 0, snap the evaluation cadence to multiples of this period (the
+  // global control period), so scaling decisions land on the same timeline
+  // the solver plans on instead of skewing by up to one evaluation period.
+  // Assumes construction at a grid boundary (the simulation constructs
+  // autoscalers at t=0). 0 (default) free-runs at `evaluation_period`.
+  double align_period = 0.0;
 };
 
 // Scales one station. The station must outlive the autoscaler; the
@@ -62,8 +80,32 @@ class Autoscaler {
     return inhibit_scale_up_;
   }
 
+  // --- Bi-level co-design surface (docs/autoscaling.md) ---------------------
+
+  // Downward coupling: the solver's planned busy-server load for this
+  // station (utilization x planned servers). While fresh (for `ttl`
+  // seconds) it replaces the reactive utilization signal in evaluate(), so
+  // the station provisions for where traffic is going, not where it was.
+  void set_planned_load(double busy_servers, double ttl) noexcept;
+  [[nodiscard]] bool planned_load_active() const noexcept {
+    return planned_until_ >= sim_.now();
+  }
+
+  // Upward coupling: mean provisioned capacity over [now, now + horizon]
+  // counting in-flight scale-ups for the fraction of the window they will
+  // actually be live, floored — the solver must never be promised capacity
+  // that will not exist. Equals station.servers() with nothing in flight.
+  [[nodiscard]] unsigned effective_servers(double horizon) const;
+
  private:
   void evaluate();
+  void prune_pending();
+
+  // One scheduled scale-up that has not provisioned yet.
+  struct PendingScaleUp {
+    double ready_time;
+    unsigned target;
+  };
 
   Simulator& sim_;
   ServiceStation& station_;
@@ -73,7 +115,16 @@ class Autoscaler {
   unsigned desired_;
   bool inhibit_scale_up_ = false;
   double last_decision_ = -1e18;
+  double last_up_ = -1e18;
+  double last_down_ = -1e18;
   double window_start_;
+  // Alignment state (align_period > 0): evaluations fire on the fine grid
+  // but run only at multiples of the snapped period.
+  double aligned_period_ = 0.0;
+  double next_eval_ = 0.0;
+  std::vector<PendingScaleUp> pending_;
+  double planned_busy_ = 0.0;
+  double planned_until_ = -1e18;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
 };

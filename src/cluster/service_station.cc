@@ -13,7 +13,8 @@ ServiceStation::ServiceStation(Simulator& sim, Rng rng, ServiceId service,
       cluster_(cluster),
       servers_(servers),
       window_start_(sim.now()),
-      last_busy_change_(sim.now()) {
+      last_busy_change_(sim.now()),
+      last_server_change_(sim.now()) {
   if (servers == 0) {
     throw std::invalid_argument("ServiceStation: servers must be >= 1");
   }
@@ -31,9 +32,13 @@ void ServiceStation::set_servers(unsigned servers) {
   if (servers == 0) {
     throw std::invalid_argument("ServiceStation: servers must be >= 1");
   }
-  // Fold the busy integral at the old parallelism before changing it, so
-  // utilization accounting stays exact across the transition.
+  // Fold the busy and provisioned integrals at the old parallelism before
+  // changing it, so utilization and billing accounting stay exact across
+  // the transition.
   account_busy_time();
+  server_seconds_ +=
+      static_cast<double>(servers_) * (sim_.now() - last_server_change_);
+  last_server_change_ = sim_.now();
   servers_ = servers;
   try_dispatch();
 }
@@ -201,6 +206,11 @@ void ServiceStation::reset_utilization() noexcept {
 double ServiceStation::lifetime_busy_seconds() const noexcept {
   return lifetime_busy_ +
          static_cast<double>(busy_) * (sim_.now() - last_busy_change_);
+}
+
+double ServiceStation::lifetime_server_seconds() const noexcept {
+  return server_seconds_ +
+         static_cast<double>(servers_) * (sim_.now() - last_server_change_);
 }
 
 }  // namespace slate

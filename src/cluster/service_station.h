@@ -143,6 +143,11 @@ class ServiceStation {
   // controller's per-period resets.
   [[nodiscard]] double lifetime_busy_seconds() const noexcept;
 
+  // Provisioned server-seconds (the integral of servers() over time) since
+  // construction; never reset. This is what a cloud bill meters — the
+  // bi-level joint objective prices it per cluster (docs/autoscaling.md).
+  [[nodiscard]] double lifetime_server_seconds() const noexcept;
+
  private:
   struct Job {
     double service_time_mean;
@@ -201,6 +206,10 @@ class ServiceStation {
   double lifetime_busy_ = 0.0;
   double window_start_ = 0.0;
   double last_busy_change_ = 0.0;
+  // Provisioned-capacity accounting (server-seconds, billed whether busy
+  // or idle). Folded on every set_servers.
+  double server_seconds_ = 0.0;
+  double last_server_change_ = 0.0;
 };
 
 }  // namespace slate

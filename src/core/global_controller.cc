@@ -93,11 +93,39 @@ void GlobalController::set_drain_scale(ClusterId cluster, double keep) {
   }
 }
 
+void GlobalController::set_capacity_overlay(const std::vector<unsigned>& overlay) {
+  if (capacity_overlay_ == overlay) return;
+  capacity_overlay_ = overlay;
+  // The effective capacity moved even if demand did not: the next period
+  // must actually re-solve so the plan reflects it.
+  capacity_dirty_ = true;
+}
+
+double GlobalController::planned_servers(ServiceId s, ClusterId c) const {
+  const std::size_t i = s.index() * topology_->cluster_count() + c.index();
+  if (i < planned_capacity_.size() && planned_capacity_[i] > 0) {
+    return static_cast<double>(planned_capacity_[i]);
+  }
+  return static_cast<double>(deployment_->servers(s, c));
+}
+
 const std::vector<unsigned>* GlobalController::capacity_view() {
-  if (!drain_scaling_active_) return &live_servers_;
+  // Bi-level overlay first: the coordinator's provisioning-lag-aware counts
+  // replace the raw reported ones where set (0 = no override).
+  const std::vector<unsigned>* base = &live_servers_;
+  if (!capacity_overlay_.empty()) {
+    overlaid_live_ = live_servers_;
+    const std::size_t n =
+        std::min(overlaid_live_.size(), capacity_overlay_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (capacity_overlay_[i] > 0) overlaid_live_[i] = capacity_overlay_[i];
+    }
+    base = &overlaid_live_;
+  }
+  if (!drain_scaling_active_) return base;
   const std::size_t C = topology_->cluster_count();
   const std::size_t S = app_->service_count();
-  scaled_live_ = live_servers_;
+  scaled_live_ = *base;
   for (std::size_t c = 0; c < C; ++c) {
     const double scale = drain_scale_[c];
     if (scale >= 1.0) continue;
@@ -106,13 +134,13 @@ const std::vector<unsigned>* GlobalController::capacity_view() {
       // deployment; 0 stays 0 (not deployed). Floor at one server so the
       // program stays feasible — the data plane's drain filter, not the
       // solver, performs the final cutoff.
-      const unsigned base =
-          live_servers_[s * C + c] > 0
-              ? live_servers_[s * C + c]
+      const unsigned base_servers =
+          (*base)[s * C + c] > 0
+              ? (*base)[s * C + c]
               : deployment_->servers(ServiceId{s}, ClusterId{c});
-      if (base == 0) continue;
+      if (base_servers == 0) continue;
       scaled_live_[s * C + c] = std::max(
-          1u, static_cast<unsigned>(static_cast<double>(base) * scale));
+          1u, static_cast<unsigned>(static_cast<double>(base_servers) * scale));
     }
   }
   return &scaled_live_;
@@ -547,6 +575,11 @@ std::shared_ptr<const RoutingRuleSet> GlobalController::on_reports(
     record_solve(options_.use_fast_optimizer ? &SolveTelemetry::fast
                                              : exact_arm());
   }
+
+  // Record the capacity view this plan was solved against — the bi-level
+  // coordinator converts the plan's station utilizations into busy-server
+  // loads off it (planned_servers).
+  planned_capacity_ = *live;
 
   // 4b. N-1 headroom: stress-test the plan against each single-cluster
   // failure and re-price with a padded cap until the worst-case reroute

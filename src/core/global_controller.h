@@ -173,6 +173,19 @@ class GlobalController {
   // demand did not.
   void set_drain_scale(ClusterId cluster, double keep);
 
+  // Bi-level upward coupling (docs/autoscaling.md): a per-station effective
+  // capacity view (service * cluster_count + cluster; 0 = no override)
+  // merged over live_servers_ for subsequent solves. The coordinator sets
+  // it to each autoscaler's provisioning-lag-aware capacity each period. A
+  // changed overlay bypasses the resolve gate once, like a drain step —
+  // capacity moved even if demand did not.
+  void set_capacity_overlay(const std::vector<unsigned>& overlay);
+
+  // Server count the most recent solve planned station (s, c) against: the
+  // capacity view captured at solve time (overlay and drain scaling
+  // included), falling back to the static deployment before any solve.
+  [[nodiscard]] double planned_servers(ServiceId s, ClusterId c) const;
+
   // Epoch stamped on the most recent non-null rule set returned by
   // on_reports (monotone; 0 = nothing pushed yet). Cluster controllers use
   // it to discard stale pushes.
@@ -384,6 +397,12 @@ class GlobalController {
   // Coordinated-drain capacity scaling (1 = full capacity).
   std::vector<double> drain_scale_;
   std::vector<unsigned> scaled_live_;
+  // Bi-level effective-capacity overlay (empty = disarmed) and the merged
+  // view capacity_view() builds from it.
+  std::vector<unsigned> capacity_overlay_;
+  std::vector<unsigned> overlaid_live_;
+  // Capacity view the most recent successful solve ran against.
+  std::vector<unsigned> planned_capacity_;
   // Scratch for apply_drain_divert (unused while no drain is active).
   FlatMatrix<double> drain_demand_;
   bool drain_scaling_active_ = false;

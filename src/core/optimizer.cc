@@ -111,7 +111,7 @@ LpStatus solve_group(const SolveContext& ctx, const ClassGroup& group,
                      SimplexBasis* basis, OptimizerResult& result,
                      RoutingRuleSet& rules, std::vector<double>& plan_u,
                      std::vector<double>& plan_o, double& latency_per_sec,
-                     double& egress_per_sec) {
+                     double& egress_per_sec, double& server_per_sec) {
   const std::size_t C = ctx.C;
   const Application& app = ctx.app;
   const Deployment& deployment = ctx.deployment;
@@ -185,11 +185,20 @@ LpStatus solve_group(const SolveContext& ctx, const ClassGroup& group,
     for (std::size_t c = 0; c < C; ++c) {
       if (!deployment.is_deployed(ServiceId{s}, ClusterId{c})) continue;
       const double n_servers = ctx.servers_at(s, c);
+      // Joint cost: busy work u*n implies u*n/price_target provisioned
+      // replicas at this cluster's $/server-hour. weight = 0 adds exactly
+      // 0.0 to the coefficient, keeping the legacy objective bit-identical.
+      double busy_coeff = n_servers;
+      if (options.server_cost_weight > 0.0) {
+        busy_coeff += options.server_cost_weight *
+                      topology.server_price_per_hour(ClusterId{c}) / 3600.0 *
+                      n_servers / options.server_price_target;
+      }
       vars.u[s * C + c] =
-          lp.add_variable(0.0, options.max_utilization, n_servers,
+          lp.add_variable(0.0, options.max_utilization, busy_coeff,
                           strfmt("u[s%zu][c%zu]", s, c));
       vars.o[s * C + c] =
-          lp.add_variable(0.0, kLpInfinity, n_servers + options.overflow_penalty,
+          lp.add_variable(0.0, kLpInfinity, busy_coeff + options.overflow_penalty,
                           strfmt("o[s%zu][c%zu]", s, c));
       vars.t[s * C + c] = lp.add_variable(0.0, kLpInfinity, n_servers,
                                           strfmt("t[s%zu][c%zu]", s, c));
@@ -373,6 +382,11 @@ LpStatus solve_group(const SolveContext& ctx, const ClassGroup& group,
       if (o > 1e-6) result.overloaded = true;
       latency_per_sec += n_servers * (u + o);
       latency_per_sec += n_servers * queue_cost(std::min(u + o, 0.999));
+      if (options.server_cost_weight > 0.0) {
+        server_per_sec += topology.server_price_per_hour(ClusterId{c}) /
+                          3600.0 * n_servers * (u + o) /
+                          options.server_price_target;
+      }
     }
   }
   for (const std::size_t k : group.classes) {
@@ -416,6 +430,12 @@ RouteOptimizer::RouteOptimizer(const Application& app,
   }
   if (!(options_.max_utilization > 0.0 && options_.max_utilization < 1.0)) {
     throw std::invalid_argument("RouteOptimizer: max_utilization must be in (0,1)");
+  }
+  if (options_.server_cost_weight > 0.0 &&
+      !(options_.server_price_target > 0.0 &&
+        options_.server_price_target < 1.0)) {
+    throw std::invalid_argument(
+        "RouteOptimizer: server_price_target must be in (0,1)");
   }
   app.validate();
   deployment.validate();
@@ -497,13 +517,14 @@ OptimizerResult RouteOptimizer::optimize(
   std::vector<double> plan_o(S * C, 0.0);
   double latency_per_sec = 0.0;
   double egress_per_sec = 0.0;
+  double server_per_sec = 0.0;
 
   for (std::size_t g = 0; g < groups.size(); ++g) {
     SimplexBasis* basis =
         cache != nullptr && !options_.integer_routes ? &cache->bases[g] : nullptr;
     const LpStatus status =
         solve_group(ctx, groups[g], basis, result, *rules, plan_u, plan_o,
-                    latency_per_sec, egress_per_sec);
+                    latency_per_sec, egress_per_sec, server_per_sec);
     if (status != LpStatus::kOptimal) {
       result.status = status;
       return result;
@@ -535,6 +556,7 @@ OptimizerResult RouteOptimizer::optimize(
   result.predicted_mean_latency =
       total_demand > 0.0 ? latency_per_sec / total_demand : 0.0;
   result.predicted_egress_dollars_per_sec = egress_per_sec;
+  result.predicted_server_dollars_per_sec = server_per_sec;
 
   if (cache != nullptr) {
     cache->memo_valid = true;

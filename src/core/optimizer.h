@@ -47,6 +47,18 @@ struct OptimizerOptions {
   std::size_t tangent_count = 14;
   // Objective penalty per unit of utilization overflow (latency-seconds).
   double overflow_penalty = 1e4;
+  // Joint cost term (bi-level co-design, docs/autoscaling.md): seconds of
+  // objective per dollar-per-second of SERVER spend. When > 0, planned busy
+  // work u*n at a station is priced as the servers an autoscaler must keep
+  // provisioned for it — u * n / server_price_target replicas at the
+  // cluster's $/server-hour — so the solver can trade "route it far"
+  // (egress) against "scale it here" (server-hours). 0 (default) keeps the
+  // legacy latency+egress objective bit-identical. Exact-LP rungs only; the
+  // fast gradient optimizer ignores it.
+  double server_cost_weight = 0.0;
+  // Utilization the autoscaler provisions toward, used to convert planned
+  // busy work into paid servers. Must be in (0,1) when pricing is armed.
+  double server_price_target = 0.6;
   // When true, each (class, edge, source) must route to a single cluster
   // (all-or-nothing), solved as a MILP. Used by ablations.
   bool integer_routes = false;
@@ -76,6 +88,8 @@ struct OptimizerResult {
   // Predicted plan quality, evaluated with the exact (non-PWL) queue model.
   double predicted_mean_latency = 0.0;        // seconds per request
   double predicted_egress_dollars_per_sec = 0.0;
+  // Server-hours the plan implies, in $/s (0 unless server pricing armed).
+  double predicted_server_dollars_per_sec = 0.0;
   double objective = 0.0;                     // LP objective value
   bool overloaded = false;                    // any station overflowed
 

@@ -16,6 +16,7 @@ Topology::Topology(std::size_t cluster_count) {
 ClusterId Topology::add_cluster(std::string name) {
   const ClusterId id{names_.size()};
   names_.push_back(std::move(name));
+  server_price_.push_back(0.0);
   // Grow both matrices, preserving existing entries.
   FlatMatrix<double> new_latency(names_.size(), names_.size(), 0.0);
   FlatMatrix<double> new_price(names_.size(), names_.size(), 0.0);
@@ -91,6 +92,26 @@ double Topology::egress_price_per_gb(ClusterId from, ClusterId to) const {
   check(from);
   check(to);
   return price_(from.index(), to.index());
+}
+
+void Topology::set_server_price(ClusterId c, double dollars_per_hour) {
+  check(c);
+  if (dollars_per_hour < 0.0) {
+    throw std::invalid_argument("Topology: negative server price");
+  }
+  server_price_[c.index()] = dollars_per_hour;
+}
+
+void Topology::set_uniform_server_price(double dollars_per_hour) {
+  if (dollars_per_hour < 0.0) {
+    throw std::invalid_argument("Topology: negative server price");
+  }
+  for (double& p : server_price_) p = dollars_per_hour;
+}
+
+double Topology::server_price_per_hour(ClusterId c) const {
+  check(c);
+  return server_price_[c.index()];
 }
 
 void Topology::set_jitter_fraction(double j) {

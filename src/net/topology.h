@@ -44,6 +44,14 @@ class Topology {
   void set_uniform_egress_price(double dollars_per_gb);
   [[nodiscard]] double egress_price_per_gb(ClusterId from, ClusterId to) const;
 
+  // Compute pricing, $/server-hour for capacity provisioned in `c`
+  // (regions price the same VM differently — the other half of the
+  // egress-vs-servers cost trade the bi-level objective optimizes).
+  // Defaults to 0: server time is free unless a scenario prices it.
+  void set_server_price(ClusterId c, double dollars_per_hour);
+  void set_uniform_server_price(double dollars_per_hour);
+  [[nodiscard]] double server_price_per_hour(ClusterId c) const;
+
   // Multiplicative jitter: sampled latency = base * (1 + U(-j, +j)).
   // j = 0 (default) disables jitter. Requires 0 <= j < 1.
   void set_jitter_fraction(double j);
@@ -66,6 +74,7 @@ class Topology {
   std::vector<std::string> names_;
   FlatMatrix<double> latency_;  // one-way seconds
   FlatMatrix<double> price_;    // $/GB
+  std::vector<double> server_price_;  // $/server-hour, per cluster
   double jitter_ = 0.0;
 };
 

@@ -8,6 +8,7 @@
 
 #include "admission/admission_policy.h"
 #include "app/application.h"
+#include "bilevel/bilevel.h"
 #include "cluster/autoscaler.h"
 #include "contingency/contingency.h"
 #include "cluster/deployment.h"
@@ -70,6 +71,10 @@ struct Scenario {
   // campaign-expanded drain events). Merged with RunConfig::drains at run
   // time; --no-drains disarms the scenario's.
   std::vector<DrainSpec> drains;
+  // Bi-level autoscaling x TE co-design shipped with the world (`bilevel`
+  // directive). RunConfig-enabled options override it wholesale;
+  // --no-bilevel disarms it. See docs/autoscaling.md.
+  BilevelOptions bilevel;
 };
 
 // A scheduled change to a station's replica count mid-run: failure
@@ -135,6 +140,14 @@ struct RunConfig {
   // Horizontal autoscaling of every station (paper §5 interaction study).
   bool autoscaler_enabled = false;
   AutoscalerOptions autoscaler;
+
+  // Bi-level autoscaling x TE co-design (docs/autoscaling.md). Requires
+  // kSlate and autoscaler_enabled; silently inert otherwise. Enabled here
+  // overrides the scenario's wholesale.
+  BilevelOptions bilevel;
+  // Run the scenario with its `bilevel` directive disarmed (slate_cli
+  // --no-bilevel). RunConfig::bilevel still applies when enabled.
+  bool ignore_scenario_bilevel = false;
 
   // Scheduled capacity changes (applied in addition to autoscaling).
   std::vector<CapacityEvent> capacity_events;
@@ -274,6 +287,22 @@ struct ExperimentResult {
   std::uint64_t egress_bytes = 0;
   std::uint64_t local_bytes = 0;
   double egress_cost_dollars = 0.0;
+
+  // Post-warmup provisioned-capacity accounting: the integral of servers()
+  // over measured time summed across stations, and its cost at each
+  // cluster's $/server-hour price (0 when no prices are set). Always
+  // recorded — it is pure bookkeeping with no simulation events.
+  double server_seconds = 0.0;
+  double server_cost_dollars = 0.0;
+  // Egress + server spend — the joint objective the bi-level co-design
+  // minimizes (docs/autoscaling.md).
+  [[nodiscard]] double total_cost_dollars() const noexcept {
+    return egress_cost_dollars + server_cost_dollars;
+  }
+
+  // Bi-level co-design activity (zero with the subsystem off).
+  std::uint64_t bilevel_capacity_overrides = 0;  // overlay cells != live view
+  std::uint64_t bilevel_plans_pushed = 0;        // periods pushed downward
 
   // Post-warmup station utilization, indexed service * clusters + cluster
   // (-1 where not deployed).

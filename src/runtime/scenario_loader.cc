@@ -1150,6 +1150,47 @@ Scenario load_scenario(std::istream& input) {
       }
       if (!has_over) fail(line_number, "drain requires over=<duration>");
       drains.push_back(std::move(dd));
+    } else if (directive == "price") {
+      // Per-cluster server pricing, the capacity half of the joint cost
+      // objective (docs/autoscaling.md). Like rtt, clusters must already
+      // exist; `*` prices every cluster uniformly.
+      exact(3, "price <cluster|*> <dollars-per-server-hour>");
+      const double rate = parse_number(tokens[2], line_number);
+      if (rate < 0.0) fail(line_number, "price must be >= 0");
+      if (tokens[1] == "*") {
+        scenario.topology->set_uniform_server_price(rate);
+      } else {
+        scenario.topology->set_server_price(find_cluster(tokens[1]), rate);
+      }
+    } else if (directive == "bilevel") {
+      // Bi-level autoscaling x TE co-design (docs/autoscaling.md).
+      // Attributes are all optional; the bare directive arms the defaults.
+      BilevelOptions& bo = scenario.bilevel;
+      bo.enabled = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto kv = split_kv(tokens[i]);
+        if (!kv) fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+        const auto& [key, value] = *kv;
+        if (key == "horizon") {
+          bo.horizon = parse_duration(value, line_number);
+          if (bo.horizon <= 0.0) fail(line_number, "horizon must be > 0");
+        } else if (key == "ttl") {
+          bo.plan_ttl = parse_duration(value, line_number);
+          if (bo.plan_ttl <= 0.0) fail(line_number, "ttl must be > 0");
+        } else if (key == "weight") {
+          bo.server_cost_weight = parse_number(value, line_number);
+          if (bo.server_cost_weight < 0.0) {
+            fail(line_number, "weight must be >= 0");
+          }
+        } else if (key == "target") {
+          bo.price_target = parse_number(value, line_number);
+          if (bo.price_target <= 0.0 || bo.price_target >= 1.0) {
+            fail(line_number, "target must be in (0, 1)");
+          }
+        } else {
+          fail(line_number, "unknown bilevel attribute '" + key + "'");
+        }
+      }
     } else {
       fail(line_number, "unknown directive '" + directive + "'");
     }

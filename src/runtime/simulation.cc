@@ -157,6 +157,33 @@ Simulation::Simulation(const Scenario& scenario, const RunConfig& config)
     config_.slate.contingency = effective;
   }
 
+  // Effective bi-level co-design options: the scenario ships one (`bilevel`
+  // directive), config-enabled options override it wholesale, and
+  // --no-bilevel disarms the scenario's. The loop needs both halves it
+  // couples — the SLATE control plane and the autoscalers — so it silently
+  // disarms without them (a scenario shipping `bilevel` must stay runnable
+  // under baseline policies and fixed capacity).
+  {
+    BilevelOptions effective = config_.ignore_scenario_bilevel
+                                   ? BilevelOptions{}
+                                   : scenario_.bilevel;
+    if (config_.bilevel.enabled) effective = config_.bilevel;
+    if (effective.enabled && (config_.policy != PolicyKind::kSlate ||
+                              !config_.autoscaler_enabled)) {
+      effective.enabled = false;
+    }
+    config_.bilevel = effective;
+    if (effective.enabled && effective.server_cost_weight > 0.0) {
+      // Arm the joint $/hr objective before the controller is built below:
+      // the solver prices planned busy work as the servers the autoscaler
+      // must keep provisioned for it (docs/autoscaling.md).
+      config_.slate.optimizer.server_cost_weight = effective.server_cost_weight;
+      config_.slate.optimizer.server_price_target =
+          effective.price_target > 0.0 ? effective.price_target
+                                       : config_.autoscaler.target_utilization;
+    }
+  }
+
   // Effective drain schedule: the scenario's (unless --no-drains) plus the
   // config's, mirroring fault-plan merging. drain_keep_ is the data plane's
   // per-cluster view; it moves only at global control barriers.
@@ -1303,7 +1330,13 @@ void Simulation::control_tick() {
   if (injector_ != nullptr) {
     global_->set_solver_chaos(injector_->solver_down());
   }
+  // Bi-level upward coupling: overlay each autoscaler's provisioning-lag-
+  // aware effective capacity onto the solver's live-server view.
+  if (bilevel_ != nullptr) bilevel_->pre_solve();
   auto rules = global_->on_reports(reports, now);
+  // Downward coupling: push the solved plan's per-station busy work into
+  // the autoscalers as their planned load.
+  if (bilevel_ != nullptr) bilevel_->post_solve();
   const std::uint64_t epoch = global_->last_push_epoch();
   for (auto& cc : cluster_controllers_) {
     if (injector_ != nullptr && injector_->telemetry_blackout(cc->cluster())) {
@@ -1471,6 +1504,17 @@ ExperimentResult Simulation::run() {
     }
   }
 
+  // Bi-level coordinator: bridges the controller and the autoscalers once
+  // per control period, on the global timeline (control_tick). The merge
+  // block already disarmed config_.bilevel unless both halves exist.
+  if (config_.bilevel.enabled) {
+    bilevel_ = std::make_unique<BilevelCoordinator>(
+        *global_, config_.bilevel, config_.control_period, S, cluster_count_);
+    for (std::size_t i = 0; i < autoscalers_.size(); ++i) {
+      if (autoscalers_[i] != nullptr) bilevel_->attach(i, autoscalers_[i].get());
+    }
+  }
+
   // Scheduled capacity changes (failures, manual provisioning). Global
   // timeline: under the sharded engine these apply at window barriers,
   // like every other operator-plane action.
@@ -1489,14 +1533,17 @@ ExperimentResult Simulation::run() {
 
   // Warmup boundary.
   std::vector<double> busy_at_warmup(S * cluster_count_, 0.0);
-  global_sim().schedule_at(config_.warmup, [this, &busy_at_warmup]() {
-    begin_measurement();
-    for (std::size_t i = 0; i < stations_.size(); ++i) {
-      if (stations_[i] != nullptr) {
-        busy_at_warmup[i] = stations_[i]->lifetime_busy_seconds();
-      }
-    }
-  });
+  std::vector<double> provisioned_at_warmup(S * cluster_count_, 0.0);
+  global_sim().schedule_at(
+      config_.warmup, [this, &busy_at_warmup, &provisioned_at_warmup]() {
+        begin_measurement();
+        for (std::size_t i = 0; i < stations_.size(); ++i) {
+          if (stations_[i] != nullptr) {
+            busy_at_warmup[i] = stations_[i]->lifetime_busy_seconds();
+            provisioned_at_warmup[i] = stations_[i]->lifetime_server_seconds();
+          }
+        }
+      });
 
   // Drain orchestrator: one tick per control period on the global timeline,
   // scheduled before the control loop so a capacity change lands ahead of
@@ -1586,6 +1633,18 @@ ExperimentResult Simulation::run() {
     result_.station_utilization[i] =
         busy / (result_.measured_seconds *
                 static_cast<double>(stations_[i]->servers()));
+    // Provisioned-capacity spend over the measurement window, priced at the
+    // station's cluster rate (0 when no `price` directives are set).
+    const double provisioned =
+        stations_[i]->lifetime_server_seconds() - provisioned_at_warmup[i];
+    result_.server_seconds += provisioned;
+    result_.server_cost_dollars +=
+        provisioned / 3600.0 *
+        scenario_.topology->server_price_per_hour(ClusterId{i % cluster_count_});
+  }
+  if (bilevel_ != nullptr) {
+    result_.bilevel_capacity_overrides = bilevel_->capacity_overrides();
+    result_.bilevel_plans_pushed = bilevel_->plans_pushed();
   }
   if (global_ != nullptr) {
     result_.controller_rounds = global_->rounds();

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "admission/admission_controller.h"
+#include "bilevel/coordinator.h"
 #include "cluster/service_station.h"
 #include "contingency/drain_orchestrator.h"
 #include "core/cluster_controller.h"
@@ -108,6 +109,10 @@ class Simulation {
   // Null unless at least one coordinated drain is scheduled.
   [[nodiscard]] const DrainOrchestrator* drain_orchestrator() const noexcept {
     return drain_orch_.get();
+  }
+  // Null unless bi-level co-design is armed (kSlate + autoscaler required).
+  [[nodiscard]] const BilevelCoordinator* bilevel_coordinator() const noexcept {
+    return bilevel_.get();
   }
 
  private:
@@ -437,6 +442,10 @@ class Simulation {
   std::vector<std::shared_ptr<WeightedRulesPolicy>> rule_policies_;  // per cluster
   std::vector<std::unique_ptr<ClusterController>> cluster_controllers_;
   std::unique_ptr<GlobalController> global_;
+  // Bi-level co-design coordinator (docs/autoscaling.md), created in run()
+  // once the autoscalers exist; null when the subsystem is off — a disabled
+  // run touches neither the capacity view nor the autoscalers.
+  std::unique_ptr<BilevelCoordinator> bilevel_;
   std::unique_ptr<RoutingPolicy> baseline_policy_;  // legacy engine
 
   // Live load signal for Waterfall (legacy engine).

@@ -165,6 +165,161 @@ TEST(Autoscaler, BadOptionsThrow) {
   bounds.min_servers = 5;
   bounds.max_servers = 2;
   EXPECT_THROW(Autoscaler(sim, st, bounds), std::invalid_argument);
+  AutoscalerOptions align;
+  align.align_period = -1.0;
+  EXPECT_THROW(Autoscaler(sim, st, align), std::invalid_argument);
+}
+
+// A shared cooldown couples the directions: an early scale-down pushes the
+// next scale-up past the horizon. Split timers gate each direction on its
+// own last decision. Defaults (-1) preserve the coupled legacy behavior.
+TEST(Autoscaler, SplitCooldownDecouplesDirections) {
+  EXPECT_LT(AutoscalerOptions{}.up_cooldown, 0.0);
+  EXPECT_LT(AutoscalerOptions{}.down_cooldown, 0.0);
+  // Quiet first window (down to 1 at t=5), then a hot phase from t=10.
+  const auto run = [](AutoscalerOptions options) {
+    Simulator sim;
+    Rng rng(13);
+    ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 8);
+    Autoscaler scaler(sim, st, options);
+    Rng quiet = rng.fork(1);
+    Rng hot = rng.fork(2);
+    drive(sim, st, quiet, 100.0, 1e-3, 10.0);
+    sim.schedule_at(10.0, [&] { drive(sim, st, hot, 700.0, 1e-3, 60.0); });
+    sim.run_until(60.0);
+    return std::pair<unsigned, unsigned>{scaler.scale_ups(),
+                                         scaler.scale_downs()};
+  };
+
+  AutoscalerOptions shared;
+  shared.evaluation_period = 5.0;
+  shared.cooldown = 1000.0;
+  shared.provision_delay = 1.0;
+  const auto [shared_ups, shared_downs] = run(shared);
+  EXPECT_GE(shared_downs, 1u);
+  EXPECT_EQ(shared_ups, 0u);  // the down's cooldown starves the hot phase
+
+  AutoscalerOptions split = shared;
+  split.up_cooldown = 0.0;
+  split.down_cooldown = 1000.0;
+  const auto [split_ups, split_downs] = run(split);
+  EXPECT_GE(split_downs, 1u);
+  EXPECT_GE(split_ups, 1u);  // ups no longer pay for the down
+}
+
+// align_period snaps the evaluation cadence onto the control-period grid:
+// evaluation_period 2.5 on a 1s grid rounds up to every 3rd tick, so the
+// first decision lands at t=3.0 instead of the free-running t=2.5.
+TEST(Autoscaler, AlignPeriodSnapsEvaluationToGrid) {
+  const auto first_decision = [](double align) {
+    Simulator sim;
+    Rng rng(15);
+    ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 8);
+    AutoscalerOptions options;
+    options.evaluation_period = 2.5;
+    options.align_period = align;
+    std::vector<double> times;
+    Autoscaler scaler(sim, st, options,
+                      [&](unsigned, unsigned) { times.push_back(sim.now()); });
+    Rng arrivals = rng.fork(1);
+    drive(sim, st, arrivals, 100.0, 1e-3, 10.0);  // idle: scales down
+    sim.run_until(10.0);
+    EXPECT_FALSE(times.empty());
+    return times.empty() ? -1.0 : times.front();
+  };
+  EXPECT_DOUBLE_EQ(first_decision(0.0), 2.5);  // free-running default
+  EXPECT_DOUBLE_EQ(first_decision(1.0), 3.0);  // snapped to the grid
+}
+
+// A scale-up already in flight when a drain inhibits the station still
+// completes at its ready time: the drain stops new decisions, not
+// provisioning that was already paid for.
+TEST(Autoscaler, InFlightProvisioningCompletesUnderInhibit) {
+  Simulator sim;
+  Rng rng(17);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 1);
+  AutoscalerOptions options;
+  options.target_utilization = 0.5;
+  options.evaluation_period = 1.0;
+  options.provision_delay = 5.0;
+  Autoscaler scaler(sim, st, options);
+  // Planned load forces an up at t=1 (ready t=6); the drain lands at t=3.
+  scaler.set_planned_load(2.0, 100.0);
+  sim.schedule_at(3.0, [&] { scaler.set_scale_up_inhibited(true); });
+  sim.run_until(7.0);
+  EXPECT_TRUE(scaler.scale_up_inhibited());
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+  EXPECT_EQ(st.servers(), 4u);  // ceil(2.0 / 0.5) landed despite the inhibit
+}
+
+// min_servers == max_servers pins the fleet: overload proposes more but the
+// clamp makes every proposal a no-op, so no decisions are ever recorded.
+TEST(Autoscaler, MinEqualsMaxPinsFleet) {
+  Simulator sim;
+  Rng rng(19);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 3);
+  AutoscalerOptions options;
+  options.evaluation_period = 2.0;
+  options.cooldown = 0.0;
+  options.min_servers = 3;
+  options.max_servers = 3;
+  Autoscaler scaler(sim, st, options);
+  Rng arrivals = rng.fork(1);
+  drive(sim, st, arrivals, 2700.0, 1e-3, 60.0);  // u ~ 0.9 on 3 servers
+  sim.run_until(60.0);
+  EXPECT_EQ(scaler.scale_ups() + scaler.scale_downs(), 0u);
+  EXPECT_EQ(st.servers(), 3u);
+}
+
+// The deadband is inclusive: a ratio of exactly target*(1+deadband) holds.
+// Dyadic values (target 0.5, deadband 0.25, planned busy 2.5 on 4 servers
+// -> ratio exactly 1.25) make the boundary exact in floating point.
+TEST(Autoscaler, DeadbandBoundaryIsInclusive) {
+  Simulator sim;
+  Rng rng(21);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 4);
+  AutoscalerOptions options;
+  options.target_utilization = 0.5;
+  options.evaluation_period = 1.0;
+  options.cooldown = 0.0;
+  options.deadband = 0.25;
+  options.provision_delay = 0.1;
+  Autoscaler scaler(sim, st, options);
+  scaler.set_planned_load(2.5, 1.2);  // ratio 1.25: exactly on the boundary
+  sim.schedule_at(1.4, [&] {
+    EXPECT_EQ(scaler.scale_ups() + scaler.scale_downs(), 0u);
+    scaler.set_planned_load(2.625, 100.0);  // ratio 1.3125: just outside
+  });
+  sim.run_until(3.0);
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+  EXPECT_EQ(scaler.scale_downs(), 0u);
+  EXPECT_EQ(st.servers(), 6u);  // ceil(4 * 1.3125)
+}
+
+// effective_servers: the time-weighted provisioning ladder the bi-level
+// coordinator feeds the solver as a capacity overlay.
+TEST(Autoscaler, EffectiveServersWeighsPendingScaleUps) {
+  Simulator sim;
+  Rng rng(23);
+  ServiceStation st(sim, rng.fork(0), ServiceId{0}, ClusterId{0}, 1);
+  AutoscalerOptions options;
+  options.target_utilization = 0.5;
+  options.evaluation_period = 1.0;
+  options.provision_delay = 10.0;
+  Autoscaler scaler(sim, st, options);
+  scaler.set_planned_load(2.0, 100.0);  // up to 4 at t=1, ready t=11
+  sim.schedule_at(2.0, [&] {
+    EXPECT_EQ(st.servers(), 1u);
+    EXPECT_EQ(scaler.effective_servers(0.0), 1u);  // horizon<=0: live fleet
+    EXPECT_EQ(scaler.effective_servers(5.0), 1u);  // ready outside horizon
+    // Over [2, 22]: 1 server for 9s then 4 for 11s = 53/20 -> floor 2.
+    EXPECT_EQ(scaler.effective_servers(20.0), 2u);
+  });
+  sim.schedule_at(12.0, [&] {
+    EXPECT_EQ(st.servers(), 4u);
+    EXPECT_EQ(scaler.effective_servers(5.0), 4u);
+  });
+  sim.run_until(15.0);
 }
 
 // --- Capacity events & interaction through the full simulation --------------------

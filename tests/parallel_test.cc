@@ -90,6 +90,8 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.admission_rejected, b.admission_rejected);
   EXPECT_EQ(a.admission_rate_raises, b.admission_rate_raises);
   EXPECT_EQ(a.admission_rate_cuts, b.admission_rate_cuts);
+  EXPECT_EQ(a.server_seconds, b.server_seconds);
+  EXPECT_EQ(a.server_cost_dollars, b.server_cost_dollars);
   // Byte-identical latency streams, not just equal summaries.
   ASSERT_EQ(a.e2e.samples().size(), b.e2e.samples().size());
   EXPECT_EQ(a.e2e.samples(), b.e2e.samples());

@@ -192,6 +192,12 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.drains_cancelled, b.drains_cancelled);
   EXPECT_EQ(a.drain_steps, b.drain_steps);
   EXPECT_EQ(a.drain_pause_periods, b.drain_pause_periods);
+  EXPECT_EQ(a.server_seconds, b.server_seconds);
+  EXPECT_EQ(a.server_cost_dollars, b.server_cost_dollars);
+  EXPECT_EQ(a.autoscaler_scale_ups, b.autoscaler_scale_ups);
+  EXPECT_EQ(a.autoscaler_scale_downs, b.autoscaler_scale_downs);
+  EXPECT_EQ(a.bilevel_capacity_overrides, b.bilevel_capacity_overrides);
+  EXPECT_EQ(a.bilevel_plans_pushed, b.bilevel_plans_pushed);
   // Byte-identical latency streams, not just equal summaries.
   ASSERT_EQ(a.e2e.samples().size(), b.e2e.samples().size());
   EXPECT_EQ(a.e2e.samples(), b.e2e.samples());
@@ -351,6 +357,31 @@ TEST(ShardedSimulation, IdentityContingencyArmed) {
   probe.shards = 2;
   const ExperimentResult r = run_experiment(scenario, probe);
   EXPECT_GT(r.contingency_evals, 0u);
+}
+
+TEST(ShardedSimulation, IdentityBilevelArmed) {
+  // Bi-level co-design touches both directions of the control loop: the
+  // capacity overlay feeds the solve and the plan feeds the autoscalers,
+  // all inside the control tick at window barriers. Arming it — with
+  // differentiated server prices so the joint objective is live — must not
+  // perturb shard-count identity, including the server-dollar accounting.
+  Scenario scenario = make_gcp_chain_scenario();
+  scenario.topology->set_uniform_server_price(0.10);
+  scenario.topology->set_server_price(ClusterId{0}, 0.04);
+  RunConfig config = gauntlet_config(PolicyKind::kSlate);
+  config.autoscaler_enabled = true;
+  config.autoscaler.evaluation_period = 1.0;
+  config.autoscaler.cooldown = 2.0;
+  config.autoscaler.provision_delay = 2.0;
+  config.bilevel.enabled = true;
+  run_gauntlet(scenario, config);
+  // The gauntlet is vacuous unless the loop actually closed.
+  RunConfig probe = config;
+  probe.shards = 2;
+  const ExperimentResult r = run_experiment(scenario, probe);
+  EXPECT_GT(r.bilevel_plans_pushed, 0u);
+  EXPECT_GT(r.server_seconds, 0.0);
+  EXPECT_GT(r.server_cost_dollars, 0.0);
 }
 
 TEST(ShardedSimulation, SingleIslandShardedMatchesLegacyExactly) {
